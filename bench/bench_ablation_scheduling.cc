@@ -1,0 +1,136 @@
+// Ablations over the scheduling simulator's design choices (DESIGN.md §4):
+//  1. Tick-lagged runtime accounting vs near-exact accounting: lagged
+//     accounting is what produces overrun debt.
+//  2. Slice size: local pools acquire min(slice, remaining); the slice
+//     quantizes throttle timing.
+//  3. Dispatch/accounting granularity across schedulers and timer
+//     frequencies.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/sched/closed_form.h"
+#include "src/sched/profiler.h"
+
+namespace faascost {
+namespace {
+
+struct RunStats {
+  double mean_wall_ms = 0.0;
+  double cpu_share = 0.0;
+  double median_burst_ms = 0.0;
+};
+
+RunStats Measure(const SchedConfig& cfg, MicroSecs demand, int samples, uint64_t seed) {
+  const CpuBandwidthSim sim(cfg);
+  Rng rng(seed);
+  RunningStats wall;
+  MicroSecs total_cpu = 0;
+  MicroSecs total_wall = 0;
+  ThrottleStats stats;
+  for (int i = 0; i < samples; ++i) {
+    const TaskRunResult r = sim.RunWithRandomPhase(demand, 3'600LL * kMicrosPerSec, rng);
+    wall.Add(MicrosToMillis(r.wall_duration));
+    total_cpu += r.cpu_obtained;
+    total_wall += r.wall_duration;
+    ThrottleProfile p;
+    p.throttle_log = r.gaps;
+    AccumulateProfile(p, stats);
+  }
+  RunStats out;
+  out.mean_wall_ms = wall.mean();
+  out.cpu_share = total_wall > 0
+                      ? static_cast<double>(total_cpu) / static_cast<double>(total_wall)
+                      : 0.0;
+  out.median_burst_ms = stats.runtimes_ms.empty() ? 0.0 : Summarize(stats.runtimes_ms).p50;
+  return out;
+}
+
+}  // namespace
+}  // namespace faascost
+
+int main() {
+  using namespace faascost;
+  const MicroSecs kDemand = 160 * kMicrosPerMilli;
+  const double kFraction = 0.072;
+  const MicroSecs kPeriod = 20 * kMicrosPerMilli;
+
+  PrintHeader("Ablation 1: Accounting granularity (tick interval)");
+  std::printf("Expected duration under exact accounting (Eq. 2): %.1f ms; ideal\n"
+              "reciprocal scaling: %.1f ms.\n\n",
+              MicrosToMillis(ClosedFormDuration(
+                  kDemand, kPeriod,
+                  static_cast<MicroSecs>(kFraction * static_cast<double>(kPeriod)))),
+              IdealDuration(kDemand, kFraction) / 1'000.0);
+  TextTable t1({"CONFIG_HZ (tick)", "mean wall (ms)", "long-run CPU share",
+                "median burst (ms)"});
+  for (int hz : {100, 250, 1000, 10'000}) {
+    const SchedConfig cfg = MakeSchedConfig(kPeriod, kFraction, hz);
+    const RunStats s = Measure(cfg, kDemand, 100, 100 + hz);
+    t1.AddRow({std::to_string(hz) + (hz == 10'000 ? " (near-exact)" : ""),
+               FormatDouble(s.mean_wall_ms, 1), FormatDouble(s.cpu_share, 4),
+               FormatDouble(s.median_burst_ms, 2)});
+  }
+  std::printf("%s", t1.Render().c_str());
+  std::printf("  Coarser ticks -> larger overrun bursts; the 10 kHz row approaches\n"
+              "  exact accounting and Eq. (2).\n");
+
+  PrintHeader("Ablation 2: Bandwidth slice size (sched_cfs_bandwidth_slice)");
+  TextTable t2({"slice (ms)", "mean wall (ms)", "CPU share", "median burst (ms)"});
+  for (MicroSecs slice_ms : {1, 5, 20}) {
+    SchedConfig cfg = MakeSchedConfig(kPeriod, 0.5, 250);
+    cfg.slice = slice_ms * kMicrosPerMilli;
+    const RunStats s = Measure(cfg, kDemand, 100, 200 + slice_ms);
+    t2.AddRow({std::to_string(slice_ms), FormatDouble(s.mean_wall_ms, 1),
+               FormatDouble(s.cpu_share, 4), FormatDouble(s.median_burst_ms, 2)});
+  }
+  std::printf("%s", t2.Render().c_str());
+
+  PrintHeader("Ablation 3: Scheduler kind x timer frequency (0.072 vCPU)");
+  TextTable t3({"Scheduler", "HZ", "CPU share", "median burst (ms)",
+                "overrun vs quota (1.44 ms)"});
+  for (SchedulerKind kind : {SchedulerKind::kCfs, SchedulerKind::kEevdf}) {
+    for (int hz : {250, 1000}) {
+      const SchedConfig cfg = MakeSchedConfig(kPeriod, kFraction, hz, kind);
+      const RunStats s = Measure(cfg, kUnlimitedDemand / 1'000'000, 20, 300 + hz);
+      t3.AddRow({kind == SchedulerKind::kCfs ? "CFS" : "EEVDF", std::to_string(hz),
+                 FormatDouble(s.cpu_share, 4), FormatDouble(s.median_burst_ms, 2),
+                 FormatDouble(s.median_burst_ms / 1.44, 2) + "x"});
+    }
+  }
+  std::printf("%s", t3.Render().c_str());
+  std::printf("  Paper §4.3: EEVDF overruns slightly less than CFS at the same HZ;\n"
+              "  1000 Hz mitigates overrun but sub-quota overallocation remains.\n");
+
+  PrintHeader("Ablation 4: CFS burst allowance (cpu.cfs_burst_us) on an I/O task");
+  // An I/O-bound task (spiky CPU after idle) benefits from burst capacity:
+  // quota accumulated during waits absorbs the next spike.
+  TextTable t4({"burst (ms)", "mean wall (ms)", "throttle events"});
+  for (MicroSecs burst_ms : {0, 4, 8, 16}) {
+    SchedConfig cfg = MakeSchedConfig(kPeriod, 0.4, 250);
+    cfg.burst = burst_ms * kMicrosPerMilli;
+    const CpuBandwidthSim sim(cfg);
+    Rng rng(400 + burst_ms);
+    RunningStats wall;
+    size_t throttle_events = 0;
+    IoPattern io;
+    io.cpu_burst = 12 * kMicrosPerMilli;
+    io.io_wait = 25 * kMicrosPerMilli;
+    for (int i = 0; i < 100; ++i) {
+      const MicroSecs tick_phase = rng.UniformInt(0, cfg.tick - 1);
+      const TaskRunResult r = sim.RunIoBound(io, 96 * kMicrosPerMilli,
+                                             60LL * kMicrosPerSec, tick_phase,
+                                             cfg.period, &rng);
+      wall.Add(MicrosToMillis(r.wall_duration));
+      throttle_events += r.throttles.size();
+    }
+    t4.AddRow({std::to_string(burst_ms), FormatDouble(wall.mean(), 1),
+               std::to_string(throttle_events)});
+  }
+  std::printf("%s", t4.Render().c_str());
+  std::printf("  Quota saved during I/O waits absorbs subsequent spikes -- another\n"
+              "  source of 'more CPU than allocated' on top of tick quantization.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// §4 extension: co-tenant interference on a shared host. The paper's GCP
+// profiles show 6.42-14.83% of observed gaps shorter than 2 ms -- "frequent
+// context switches and preemption events even within the CPU bandwidth
+// control quota". Here those short gaps emerge endogenously from fair-share
+// scheduling of co-tenants rather than from an injected noise process.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/sched/host_sim.h"
+
+int main() {
+  using namespace faascost;
+  constexpr MicroSecs kSec = kMicrosPerSec;
+
+  PrintHeader("Victim gap profile vs co-tenant count (4 cores, GCP-like host)");
+  // Victim: 0.5 vCPU quota, always runnable (the Algorithm-1 probe).
+  // Co-tenants: unquoted, 40% duty cycle (bursty neighbour functions).
+  TextTable table({"co-tenants", "victim CPU share", "gaps/s", "frac gaps < 2 ms",
+                   "host util", "p95 gap (ms)"});
+  for (int neighbours : {0, 2, 4, 8, 16}) {
+    HostSimConfig cfg;
+    cfg.cores = 4;
+    cfg.period = 100 * kMicrosPerMilli;
+    cfg.tick = 1 * kMicrosPerMilli;
+    cfg.duration = 60 * kSec;
+    std::vector<TenantSpec> tenants;
+    tenants.push_back({0.5, 1.0, 1.0});  // The victim.
+    for (int i = 0; i < neighbours; ++i) {
+      tenants.push_back({1.0, 1.0, 0.4});
+    }
+    const HostSimResult r = SimulateHost(cfg, tenants, 40 + neighbours);
+    const auto& victim = r.tenants[0];
+    size_t short_gaps = 0;
+    std::vector<double> gap_ms;
+    for (const auto& g : victim.gaps) {
+      gap_ms.push_back(MicrosToMillis(g.duration));
+      if (gap_ms.back() < 2.0) {
+        ++short_gaps;
+      }
+    }
+    const Summary s = Summarize(gap_ms);
+    table.AddRow(
+        {std::to_string(neighbours), FormatDouble(victim.cpu_share, 3),
+         FormatDouble(static_cast<double>(victim.gaps.size()) /
+                          MicrosToSecs(cfg.duration),
+                      1),
+         victim.gaps.empty()
+             ? std::string("-")
+             : FormatPercent(static_cast<double>(short_gaps) / victim.gaps.size(), 1),
+         FormatPercent(r.host_utilization, 1), FormatDouble(s.p95, 1)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nPaper §4.3: GCP functions show 6.42-14.83%% of gap durations under\n"
+      "2 ms. With a handful of bursty neighbours the victim's profile\n"
+      "develops exactly this mixture: long bandwidth throttles (multiples of\n"
+      "the period) plus short waiting-for-a-core preemptions.\n");
+
+  PrintHeader("Isolation under oversubscription (1 core, equal tenants)");
+  TextTable fair({"tenants", "per-tenant share", "expected", "max |error|"});
+  for (int n : {1, 2, 4, 8}) {
+    HostSimConfig cfg;
+    cfg.cores = 1;
+    cfg.duration = 30 * kSec;
+    std::vector<TenantSpec> tenants(static_cast<size_t>(n), {1.0, 1.0, 1.0});
+    const HostSimResult r = SimulateHost(cfg, tenants, 100 + n);
+    double max_err = 0.0;
+    double mean_share = 0.0;
+    for (const auto& t : r.tenants) {
+      mean_share += t.cpu_share;
+      max_err = std::max(max_err, std::abs(t.cpu_share - 1.0 / n));
+    }
+    mean_share /= n;
+    fair.AddRow({std::to_string(n), FormatDouble(mean_share, 3),
+                 FormatDouble(1.0 / n, 3), FormatDouble(max_err, 4)});
+  }
+  std::printf("%s", fair.Render().c_str());
+  std::printf("  Fair-share dispatch keeps co-tenants within a tick of their\n"
+              "  entitlement -- the isolation foundation §4 builds on.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// The paper's headline exercise, end to end: a top-down decomposition of
+// what a serverless dollar pays for -- useful work, the utilization gap of
+// allocation-based billing, initialization (turnaround billing), serving-
+// architecture overhead, multi-concurrency contention, rounding, and
+// invocation fees -- for the same workload deployed on different platforms.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/billing/catalog.h"
+#include "src/common/table.h"
+#include "src/core/cost_decomposition.h"
+#include "src/platform/presets.h"
+
+namespace faascost {
+namespace {
+
+void Decompose(const char* label, const BillingModel& billing, PlatformSimConfig cfg,
+               const WorkloadSpec& wl, double rps, uint64_t seed, TextTable& table) {
+  PlatformSim sim(std::move(cfg), seed);
+  Rng rng(seed * 31);
+  const auto arrivals = PoissonArrivals(rps, 600LL * kMicrosPerSec, rng);
+  const auto result = sim.Run(arrivals, wl);
+  const CostBreakdown b =
+      DecomposeCosts(billing, sim.config(), wl, result.requests);
+  auto pct = [&](Usd v) { return FormatPercent(b.total > 0 ? v / b.total : 0, 1); };
+  table.AddRow({label, FormatSci(b.total / static_cast<double>(b.num_requests), 2),
+                pct(b.useful_work), pct(b.utilization_gap), pct(b.initialization),
+                pct(b.serving_overhead), pct(b.contention), pct(b.rounding),
+                pct(b.invocation_fees)});
+}
+
+}  // namespace
+}  // namespace faascost
+
+int main() {
+  using namespace faascost;
+
+  PrintHeader("Top-down cost decomposition: where each serverless dollar goes");
+  TextTable table({"Deployment", "$/request", "useful", "util gap", "init", "serving",
+                   "contention", "rounding", "fees"});
+
+  const WorkloadSpec pyaes = PyAesWorkload();
+  const WorkloadSpec minimal = MinimalWorkload();
+
+  Decompose("PyAES on AWS Lambda (1 vCPU)", MakeBillingModel(Platform::kAwsLambda),
+            AwsLambdaPlatform(1.0, 1'769.0), pyaes, 5.0, 11, table);
+  Decompose("PyAES on GCP (1 vCPU, multi-conc, 5 RPS)",
+            MakeBillingModel(Platform::kGcpCloudRunFunctions), GcpPlatform(1.0, 1'024.0),
+            pyaes, 5.0, 12, table);
+  Decompose("PyAES on Azure Consumption", MakeBillingModel(Platform::kAzureConsumption),
+            AzurePlatform(), pyaes, 5.0, 13, table);
+  Decompose("PyAES on Cloudflare Workers", MakeBillingModel(Platform::kCloudflareWorkers),
+            CloudflarePlatform(), pyaes, 5.0, 14, table);
+  Decompose("Minimal fn on AWS Lambda", MakeBillingModel(Platform::kAwsLambda),
+            AwsLambdaPlatform(1.0, 1'769.0), minimal, 5.0, 15, table);
+  Decompose("Minimal fn on GCP", MakeBillingModel(Platform::kGcpCloudRunFunctions),
+            GcpPlatform(1.0, 512.0), minimal, 5.0, 16, table);
+  Decompose("Minimal fn on Cloudflare", MakeBillingModel(Platform::kCloudflareWorkers),
+            CloudflarePlatform(), minimal, 5.0, 17, table);
+
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nReading: compute-bound functions on wall-clock allocation billing pay\n"
+      "mostly for useful work plus the utilization gap; short functions on\n"
+      "coarse-granularity platforms pay mostly rounding and invocation fees\n"
+      "(paper §2.5); consumption billing (Cloudflare) tracks useful work most\n"
+      "closely (paper §2.3); multi-concurrency contention appears as billable\n"
+      "wall time (paper §3.1).\n");
+  return 0;
+}

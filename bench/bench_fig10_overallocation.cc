@@ -1,0 +1,170 @@
+// Reproduces Fig. 10: CPU over-allocation on public platforms. A PyAES-like
+// CPU-bound task (160 ms of CPU) runs under decreasing fractional vCPU
+// allocations through the bandwidth-control simulator with each platform's
+// inferred scheduling parameters (AWS: P=20 ms/250 Hz via the memory knob;
+// GCP 1st gen: P=100 ms/1000 Hz via the CPU knob). The empirical mean falls
+// at or below the expected reciprocal-scaling line, with step-like jumps.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/chart.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/sched/overalloc.h"
+
+namespace faascost {
+namespace {
+
+void RunSweep(const char* title, const OverallocSweepConfig& cfg,
+              const std::vector<double>& fractions, const char* knob_name,
+              double knob_scale) {
+  PrintHeader(title);
+  const auto pts = SweepOverallocation(cfg, fractions, 20250515);
+
+  TextTable table({knob_name, "vCPU frac", "mean ms", "p5 ms", "expected ms",
+                   "overalloc ratio"});
+  // Print a readable subset (every 4th point) but chart everything.
+  for (size_t i = 0; i < pts.size(); i += 4) {
+    const auto& p = pts[i];
+    table.AddRow({FormatDouble(p.vcpu_fraction * knob_scale, 0),
+                  FormatDouble(p.vcpu_fraction, 3), FormatDouble(p.mean_ms, 1),
+                  FormatDouble(p.p5_ms, 1), FormatDouble(p.expected_mean_ms, 1),
+                  FormatDouble(p.overalloc_ratio, 3)});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  AsciiChart chart(66, 18);
+  chart.SetXLabel(knob_name);
+  chart.SetYLabel("execution duration (ms)");
+  ChartSeries mean_s;
+  mean_s.label = "empirical mean";
+  mean_s.marker = 'o';
+  ChartSeries exp_s;
+  exp_s.label = "expected (reciprocal scaling)";
+  exp_s.marker = '-';
+  for (const auto& p : pts) {
+    mean_s.points.emplace_back(p.vcpu_fraction * knob_scale, p.mean_ms);
+    exp_s.points.emplace_back(p.vcpu_fraction * knob_scale, p.expected_mean_ms);
+  }
+  chart.AddSeries(std::move(exp_s));
+  chart.AddSeries(std::move(mean_s));
+  std::printf("%s", chart.Render().c_str());
+
+  // Jump detection: steps in the mean-duration curve far above the local
+  // average step (the paper's harmonic ~1400*{1, 1/2, 1/3, ...} sequence).
+  double max_step = 0.0;
+  double step_sum = 0.0;
+  size_t big_jumps = 0;
+  std::vector<double> jump_knobs;
+  std::vector<double> steps;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    steps.push_back(std::max(0.0, pts[i - 1].mean_ms - pts[i].mean_ms));
+  }
+  for (double s : steps) {
+    step_sum += s;
+    max_step = std::max(max_step, s);
+  }
+  const double avg_step = step_sum / static_cast<double>(steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i] > 3.0 * avg_step && steps[i] > 2.0) {
+      ++big_jumps;
+      jump_knobs.push_back(pts[i + 1].vcpu_fraction * knob_scale);
+    }
+  }
+  std::printf("  Distinct jumps (step > 3x average): %zu at %s = ", big_jumps, knob_name);
+  for (double k : jump_knobs) {
+    std::printf("%.0f ", k);
+  }
+  std::printf("\n  Max overallocation ratio (expected/empirical): %.3f\n",
+              [&] {
+                double best = 0.0;
+                for (const auto& p : pts) {
+                  best = std::max(best, p.overalloc_ratio);
+                }
+                return best;
+              }());
+}
+
+}  // namespace
+}  // namespace faascost
+
+int main() {
+  using namespace faascost;
+
+  // AWS Lambda: memory knob 128..1769 MB; vCPU fraction = mem / 1769.
+  {
+    OverallocSweepConfig cfg;
+    cfg.period = 20 * kMicrosPerMilli;
+    cfg.config_hz = 250;
+    cfg.cpu_demand = 160 * kMicrosPerMilli;
+    cfg.samples_per_point = 150;
+    std::vector<double> fractions;
+    for (MegaBytes mem = 128.0; mem <= 1'769.0; mem += 16.0) {
+      fractions.push_back(mem / 1'769.0);
+    }
+    RunSweep("Fig. 10-top: AWS Lambda (P=20 ms, 250 Hz), memory 128..1769 MB", cfg,
+             fractions, "memory (MB)", 1'769.0);
+  }
+
+  // GCP 1st gen: CPU knob 0.08..1.00 vCPUs in 0.01 steps.
+  {
+    OverallocSweepConfig cfg;
+    cfg.period = 100 * kMicrosPerMilli;
+    cfg.config_hz = 1000;
+    cfg.cpu_demand = 160 * kMicrosPerMilli;
+    cfg.samples_per_point = 150;
+    std::vector<double> fractions;
+    for (double f = 0.08; f <= 1.0 + 1e-9; f += 0.01) {
+      fractions.push_back(f);
+    }
+    RunSweep("Fig. 10-bottom: GCP 1st gen (P=100 ms, 1000 Hz), 0.08..1.00 vCPUs", cfg,
+             fractions, "vCPUs x100", 100.0);
+  }
+
+  // GCP's logs show TWO families of quantization jumps; the paper attributes
+  // the second to CPU being scaled down to ~0.01 vCPUs during keep-alive and
+  // ramped back up when a request arrives (§3.3). Model: requests that land
+  // on a KA-throttled instance spend the scale-up latency at 0.01 vCPUs
+  // before the configured allocation is restored.
+  {
+    PrintHeader("Fig. 10 extension: GCP requests arriving during the KA CPU ramp");
+    Rng rng(99);
+    TextTable table({"vCPUs", "steady mean ms", "via-KA-ramp mean ms", "extra ms"});
+    for (double f : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      const CpuBandwidthSim steady(MakeSchedConfig(100 * kMicrosPerMilli, f, 1000));
+      const CpuBandwidthSim ka_throttled(
+          MakeSchedConfig(100 * kMicrosPerMilli, 0.01, 1000));
+      RunningStats steady_ms;
+      RunningStats ramp_ms;
+      for (int i = 0; i < 100; ++i) {
+        const MicroSecs demand = 160 * kMicrosPerMilli;
+        steady_ms.Add(MicrosToMillis(
+            steady.RunWithRandomPhase(demand, 3'600LL * kMicrosPerSec, rng)
+                .wall_duration));
+        // Ramp: the first ~2 ms of CPU executes at the KA allocation while
+        // the control plane restores the configured CPU.
+        const TaskRunResult pre = ka_throttled.RunWithRandomPhase(
+            2 * kMicrosPerMilli, 3'600LL * kMicrosPerSec, rng);
+        const TaskRunResult rest = steady.RunWithRandomPhase(
+            demand - 2 * kMicrosPerMilli, 3'600LL * kMicrosPerSec, rng);
+        ramp_ms.Add(MicrosToMillis(pre.wall_duration + rest.wall_duration));
+      }
+      table.AddRow({FormatDouble(f, 2), FormatDouble(steady_ms.mean(), 1),
+                    FormatDouble(ramp_ms.mean(), 1),
+                    FormatDouble(ramp_ms.mean() - steady_ms.mean(), 1)});
+    }
+    std::printf("%s", table.Render().c_str());
+    std::printf("  The KA-entry path shifts the whole curve by a near-constant\n"
+                "  offset, creating the second family of jumps in GCP's logs.\n");
+  }
+
+  std::printf(
+      "\nPaper: the empirical average is consistently below the expected\n"
+      "reciprocal-scaling line (functions receive more CPU than allocated);\n"
+      "the curve falls with sudden drops -- a discrete 1/n quantization\n"
+      "sequence rather than continuous proportional allocation. GCP shows\n"
+      "two sets of quantization jumps (KA-phase CPU rescaling).\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Reproduces Fig. 12: Algorithm-1 scheduler profiling of cloud-like and
+// local configurations -- distributions of throttle intervals, throttle
+// durations, and the CPU time obtained between throttles, plus the EEVDF vs
+// CFS and 250 Hz vs 1000 Hz comparisons (Fig. 12(d)).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/sched/profiler.h"
+
+namespace faascost {
+namespace {
+
+struct ProfiledConfig {
+  const char* label;
+  SchedConfig config;
+};
+
+void ProfileAndPrint(const std::vector<ProfiledConfig>& cases, int invocations,
+                     MicroSecs exec_duration) {
+  TextTable table({"Configuration", "intervals: p50/p95 ms", "durations: p50/p95 ms",
+                   "runtime: p50/p95 ms", "CPU share", "frac dur < 2 ms"});
+  for (const auto& c : cases) {
+    const CpuBandwidthSim sim(c.config);
+    Rng rng(7);
+    ThrottleStats stats;
+    MicroSecs wall = 0;
+    MicroSecs cpu = 0;
+    for (int i = 0; i < invocations; ++i) {
+      const ThrottleProfile p = ProfileOnce(sim, exec_duration, rng);
+      AccumulateProfile(p, stats);
+      wall += p.exec_duration;
+      cpu += p.cpu_obtained;
+    }
+    const Summary iv = Summarize(stats.intervals_ms);
+    const Summary du = Summarize(stats.durations_ms);
+    const Summary rt = Summarize(stats.runtimes_ms);
+    size_t short_gaps = 0;
+    for (double d : stats.durations_ms) {
+      if (d < 2.0) {
+        ++short_gaps;
+      }
+    }
+    const double short_frac =
+        stats.durations_ms.empty()
+            ? 0.0
+            : static_cast<double>(short_gaps) / static_cast<double>(stats.durations_ms.size());
+    table.AddRow({c.label, FormatDouble(iv.p50, 1) + " / " + FormatDouble(iv.p95, 1),
+                  FormatDouble(du.p50, 1) + " / " + FormatDouble(du.p95, 1),
+                  FormatDouble(rt.p50, 2) + " / " + FormatDouble(rt.p95, 2),
+                  FormatDouble(static_cast<double>(cpu) / static_cast<double>(wall), 3),
+                  FormatPercent(short_frac, 1)});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace faascost
+
+int main() {
+  using namespace faascost;
+  const int kInvocations = 300;                      // Paper: 300 invocations.
+  const MicroSecs kExec = 10LL * kMicrosPerSec;      // Paper: 10 s each.
+
+  PrintHeader("Fig. 12(a-c): Cloud profiles and matching local configurations");
+  std::vector<ProfiledConfig> cloud;
+  cloud.push_back({"AWS Lambda 128MB (0.072 vCPU)", AwsLambdaSched(0.072)});
+  cloud.push_back({"AWS Lambda 512MB (0.29 vCPU)", AwsLambdaSched(0.29)});
+  cloud.push_back({"GCP 0.3 vCPU", GcpSched(0.3)});
+  cloud.push_back({"GCP 0.5 vCPU", GcpSched(0.5)});
+  cloud.push_back({"IBM 0.25 vCPU", IbmSched(0.25)});
+  cloud.push_back(
+      {"local match: P20/Q1.45 CFS 250Hz",
+       LocalVmSched(20 * kMicrosPerMilli, 0.0725, 250, SchedulerKind::kCfs)});
+  cloud.push_back(
+      {"local match: P10/Q2.5 CFS 250Hz",
+       LocalVmSched(10 * kMicrosPerMilli, 0.25, 250, SchedulerKind::kCfs)});
+  cloud.push_back(
+      {"local match: P100/Q30 CFS 1000Hz",
+       LocalVmSched(100 * kMicrosPerMilli, 0.3, 1000, SchedulerKind::kCfs)});
+  ProfileAndPrint(cloud, kInvocations, kExec);
+  std::printf(
+      "\nPaper: AWS throttle intervals are multiples of 20 ms, IBM of 10 ms,\n"
+      "GCP of 100 ms; GCP additionally shows 6.42-14.83%% of gaps < 2 ms\n"
+      "(co-tenant preemptions) and a smoother runtime curve (finer 1000 Hz\n"
+      "tick); AWS runtime is quantized at the coarse 250 Hz tick.\n");
+
+  PrintHeader("Fig. 12(d): EEVDF vs CFS and timer frequency (P=20 ms, 0.072 vCPU)");
+  std::vector<ProfiledConfig> schedulers;
+  schedulers.push_back(
+      {"CFS, 250 Hz", LocalVmSched(20 * kMicrosPerMilli, 0.072, 250, SchedulerKind::kCfs)});
+  schedulers.push_back({"EEVDF, 250 Hz", LocalVmSched(20 * kMicrosPerMilli, 0.072, 250,
+                                                      SchedulerKind::kEevdf)});
+  schedulers.push_back({"CFS, 1000 Hz", LocalVmSched(20 * kMicrosPerMilli, 0.072, 1000,
+                                                     SchedulerKind::kCfs)});
+  schedulers.push_back({"EEVDF, 1000 Hz", LocalVmSched(20 * kMicrosPerMilli, 0.072, 1000,
+                                                       SchedulerKind::kEevdf)});
+  ProfileAndPrint(schedulers, kInvocations, kExec);
+
+  // Overrun: obtained CPU per enforcement cycle vs the 1.44 ms quota.
+  PrintHeader("Overrun per cycle vs configured quota (1.44 ms)");
+  TextTable overrun({"Scheduler/HZ", "median runtime burst (ms)", "overrun vs quota"});
+  for (const auto& c : schedulers) {
+    const CpuBandwidthSim sim(c.config);
+    Rng rng(8);
+    const ThrottleStats stats = ProfileMany(sim, kExec, 50, rng);
+    const double med = Summarize(stats.runtimes_ms).p50;
+    const double quota_ms = MicrosToMillis(c.config.quota);
+    overrun.AddRow({c.label, FormatDouble(med, 2),
+                    FormatDouble(med / quota_ms, 2) + "x"});
+  }
+  std::printf("%s", overrun.Render().c_str());
+  std::printf(
+      "\nPaper: EEVDF at 250 Hz still overruns (slightly less than CFS);\n"
+      "raising the timer to 1000 Hz significantly mitigates overrun, but\n"
+      "overallocation below the quota cannot be eliminated by any scheduler\n"
+      "or timer setting.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Fig. 1 (per-unit vCPU and memory prices across platforms) and
+// the §1 Lambda-vs-EC2-vs-Fargate price comparison, plus the §2.2
+// CPU-to-memory price-ratio analysis.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/billing/catalog.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace faascost;
+
+  PrintHeader("Fig. 1: Effective per-unit vCPU and memory prices");
+  TextTable table({"Platform", "$ per vCPU-s", "$ per GB-s", "CPU pricing"});
+  for (Platform p : AllPlatforms()) {
+    const UnitPrices up = EffectiveUnitPrices(p);
+    table.AddRow({PlatformName(p), FormatSci(up.per_vcpu_second, 2),
+                  up.per_gb_second > 0.0 ? FormatSci(up.per_gb_second, 2)
+                                         : std::string("not billed"),
+                  up.cpu_embedded ? "embedded in memory price" : "separate line item"});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nPaper observation: per-unit resource prices are similar across\n"
+              "platforms; the high price of serverless is not one provider's\n"
+              "billing strategy.\n");
+
+  PrintHeader("Section 1: Lambda vs EC2 vs Fargate (identical ARM hardware)");
+  const auto cmp = MakeSection1Comparison();
+  TextTable c({"Service", "$ per second", "% of Lambda", "Invocation fee"});
+  const double lambda = cmp[0].per_second;
+  for (const auto& row : cmp) {
+    c.AddRow({row.service, FormatSci(row.per_second, 4),
+              FormatPercent(row.per_second / lambda, 1),
+              row.invocation_fee > 0.0 ? FormatSci(row.invocation_fee, 1)
+                                       : std::string("none")});
+  }
+  std::printf("%s", c.Render().c_str());
+  PrintPaperVsMeasured("EC2 price as % of Lambda", 41.1,
+                       cmp[1].per_second / lambda * 100.0, "%");
+  PrintPaperVsMeasured("Fargate price as % of Lambda", 47.8,
+                       cmp[2].per_second / lambda * 100.0, "%");
+
+  PrintHeader("Section 2.2: CPU:memory unit-price ratio (paper: 9 to 9.64)");
+  TextTable r({"Platform", "vCPU-s price / GB-s price"});
+  for (Platform p :
+       {Platform::kGcpCloudRunFunctions, Platform::kIbmCodeEngine,
+        Platform::kAlibabaFunctionCompute}) {
+    const auto ratio = CpuMemPriceRatio(p);
+    if (ratio.has_value()) {
+      r.AddRow({PlatformName(p), FormatDouble(*ratio, 2)});
+    }
+  }
+  const UnitPrices fargate = FargateUnitPrices();
+  r.AddRow({"AWS Fargate (container hosting)",
+            FormatDouble(fargate.per_vcpu_second / fargate.per_gb_second, 2)});
+  std::printf("%s", r.Render().c_str());
+  return 0;
+}

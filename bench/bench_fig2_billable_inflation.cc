@@ -1,0 +1,92 @@
+// Reproduces Fig. 2: distributions of billable vCPU time and billable memory
+// versus actual consumption under the representative billing models, driven
+// by the calibrated synthetic trace (the paper uses 66.1M requests from the
+// first day of the Huawei traces; we use a 2M-request synthetic trace with
+// the same published aggregate statistics).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/billing/analysis.h"
+#include "src/billing/catalog.h"
+#include "src/common/chart.h"
+#include "src/common/histogram.h"
+#include "src/common/table.h"
+#include "src/trace/generator.h"
+
+int main() {
+  using namespace faascost;
+
+  TraceGenConfig cfg;
+  cfg.num_requests = 2'000'000;
+  cfg.num_functions = 5'000;
+  std::printf("Generating %lld synthetic requests...\n",
+              static_cast<long long>(cfg.num_requests));
+  const auto trace = TraceGenerator(cfg, 20240515).Generate();
+  const ActualConsumption actual = ComputeActualConsumption(trace);
+
+  const std::vector<Platform> platforms = {
+      Platform::kAwsLambda, Platform::kGcpCloudRunFunctions, Platform::kAzureConsumption,
+      Platform::kHuaweiFunctionGraph, Platform::kCloudflareWorkers};
+
+  PrintHeader("Fig. 2: Billable vs actual resources (ratio of totals)");
+  TextTable table({"Billing model", "Billable/actual vCPU time", "Billable/actual memory"});
+  std::vector<InflationResult> results;
+  for (Platform p : platforms) {
+    results.push_back(AnalyzeInflation(MakeBillingModel(p), trace, /*keep_samples=*/true));
+    const auto& r = results.back();
+    table.AddRow({r.platform, FormatDouble(r.cpu_inflation, 2) + "x",
+                  r.mem_inflation > 0.0 ? FormatDouble(r.mem_inflation, 2) + "x"
+                                        : std::string("memory not billed")});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::printf("\nPaper: billable vCPU time exceeds actual CPU usage by 1.02x\n"
+              "(Cloudflare) up to 3.99x (GCP); billable memory by 1.95x (Azure)\n"
+              "up to 5.49x (GCP); AWS at 2.62x / 3.67x. Usage-based billing has\n"
+              "the lowest inflation.\n\n");
+  PrintPaperVsMeasured("Cloudflare billable CPU inflation", 1.02,
+                       results[4].cpu_inflation, "x");
+  PrintPaperVsMeasured("AWS billable CPU inflation", 2.62, results[0].cpu_inflation, "x");
+  PrintPaperVsMeasured("GCP billable CPU inflation", 3.99, results[1].cpu_inflation, "x");
+  PrintPaperVsMeasured("Azure billable memory inflation", 1.95, results[2].mem_inflation,
+                       "x");
+  PrintPaperVsMeasured("AWS billable memory inflation", 3.67, results[0].mem_inflation,
+                       "x");
+  PrintPaperVsMeasured("GCP billable memory inflation", 5.49, results[1].mem_inflation,
+                       "x");
+
+  // CDF overlay of billable vCPU-seconds per request.
+  PrintHeader("Fig. 2 (left panel): CDF of billable vCPU-seconds per request");
+  AsciiChart chart(64, 18);
+  chart.SetXLabel("billable vCPU-seconds (per request)");
+  chart.SetYLabel("CDF");
+  const char markers[] = {'a', 'g', 'z', 'h', 'c', '.'};
+  for (size_t i = 0; i < results.size(); ++i) {
+    EmpiricalCdf cdf(results[i].billable_vcpu_seconds);
+    ChartSeries s;
+    s.label = results[i].platform;
+    s.marker = markers[i];
+    for (const auto& [x, y] : cdf.Curve(60)) {
+      if (x < 0.5) {  // Clip the heavy tail for readability.
+        s.points.emplace_back(x, y);
+      }
+    }
+    chart.AddSeries(std::move(s));
+  }
+  {
+    EmpiricalCdf cdf(actual.vcpu_seconds);
+    ChartSeries s;
+    s.label = "actual consumption";
+    s.marker = markers[5];
+    for (const auto& [x, y] : cdf.Curve(60)) {
+      if (x < 0.5) {
+        s.points.emplace_back(x, y);
+      }
+    }
+    chart.AddSeries(std::move(s));
+  }
+  std::printf("%s", chart.Render().c_str());
+  return 0;
+}

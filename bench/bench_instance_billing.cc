@@ -1,0 +1,122 @@
+// §2.4 extension: request-based vs instance-time billing across traffic
+// shapes. "Instance time billing can further increase billable resources
+// under bursty traffic patterns since scale-down-to-zero is delayed or
+// disabled, and instance idle time is billed."
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/billing/catalog.h"
+#include "src/billing/instance_time.h"
+#include "src/common/table.h"
+#include "src/platform/presets.h"
+
+namespace faascost {
+namespace {
+
+struct ModeCosts {
+  Usd request_based = 0.0;
+  Usd instance_time = 0.0;
+  double busy_fraction = 0.0;
+};
+
+ModeCosts CompareModes(const std::vector<MicroSecs>& arrivals, uint64_t seed) {
+  PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+  // Instance-billing deployments configure a scale-down delay; keep the
+  // request-based run on the same keep-alive for a like-for-like instance
+  // lifetime.
+  cfg.keepalive = MakeFixedKeepAlive(300LL * kMicrosPerSec,
+                                     KaResourceBehavior::kScaleDownCpu);
+  PlatformSim sim(cfg, seed);
+  const WorkloadSpec wl = PyAesWorkload();
+  const auto result = sim.Run(arrivals, wl);
+
+  ModeCosts out;
+  const BillingModel request_model = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  for (const auto& o : result.requests) {
+    RequestRecord r;
+    r.exec_duration = o.reported_duration;
+    r.cpu_time = wl.cpu_time;
+    r.alloc_vcpus = cfg.vcpus;
+    r.alloc_mem_mb = cfg.mem_mb;
+    r.used_mem_mb = wl.memory_footprint;
+    r.init_duration = o.init_duration;
+    out.request_based += ComputeInvoice(request_model, r).total;
+  }
+  std::vector<InstanceSpan> spans;
+  double busy = 0.0;
+  double lifespan = 0.0;
+  for (const auto& sb : result.sandboxes) {
+    spans.push_back({sb.created_at, sb.destroyed_at});
+    busy += MicrosToSecs(sb.busy_time);
+    lifespan += MicrosToSecs(sb.destroyed_at - sb.created_at);
+  }
+  out.instance_time = BillInstanceTime(InstanceTimeBillingModel{}, spans, cfg.vcpus,
+                                       cfg.mem_mb, result.requests.size())
+                          .total;
+  out.busy_fraction = lifespan > 0.0 ? busy / lifespan : 0.0;
+  return out;
+}
+
+}  // namespace
+}  // namespace faascost
+
+int main() {
+  using namespace faascost;
+  constexpr MicroSecs kSec = kMicrosPerSec;
+
+  PrintHeader("Section 2.4: request-based vs instance-time billing (GCP rates)");
+  TextTable table({"Traffic shape", "busy fraction", "request-based $", "instance-time $",
+                   "instance/request"});
+
+  struct Shape {
+    const char* label;
+    std::vector<MicroSecs> arrivals;
+  };
+  std::vector<Shape> shapes;
+  {
+    Rng rng(1);
+    shapes.push_back({"dense: 5 RPS for 20 min",
+                      PoissonArrivals(5.0, 1'200 * kSec, rng)});
+  }
+  {
+    Rng rng(2);
+    shapes.push_back({"moderate: 1 RPS for 20 min",
+                      PoissonArrivals(1.0, 1'200 * kSec, rng)});
+  }
+  {
+    // Bursty: 30 s bursts of 5 RPS every 5 minutes.
+    std::vector<MicroSecs> arrivals;
+    Rng rng(3);
+    for (int burst = 0; burst < 4; ++burst) {
+      const MicroSecs base = static_cast<MicroSecs>(burst) * 300 * kSec;
+      for (MicroSecs t : PoissonArrivals(5.0, 30 * kSec, rng)) {
+        arrivals.push_back(base + t);
+      }
+    }
+    shapes.push_back({"bursty: 30 s of 5 RPS every 5 min", std::move(arrivals)});
+  }
+  {
+    // Sparse: one request every 4 minutes.
+    std::vector<MicroSecs> arrivals;
+    for (int i = 0; i < 5; ++i) {
+      arrivals.push_back(static_cast<MicroSecs>(i) * 240 * kSec);
+    }
+    shapes.push_back({"sparse: 1 request every 4 min", std::move(arrivals)});
+  }
+
+  uint64_t seed = 10;
+  for (const auto& s : shapes) {
+    const ModeCosts costs = CompareModes(s.arrivals, seed++);
+    table.AddRow({s.label, FormatPercent(costs.busy_fraction, 1),
+                  FormatSci(costs.request_based, 3), FormatSci(costs.instance_time, 3),
+                  FormatDouble(costs.instance_time / costs.request_based, 2) + "x"});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nPaper §2.4: instance-time billing charges the whole instance\n"
+      "lifespan. Dense traffic amortizes it (cheaper per-unit rates, no\n"
+      "rounding, no fees); bursty or sparse traffic pays for billed idle time\n"
+      "many times over.\n");
+  return 0;
+}

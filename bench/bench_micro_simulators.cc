@@ -1,0 +1,115 @@
+// Simulator-throughput micro-benchmarks (google-benchmark): how fast the
+// substrates run, for sizing larger experiments.
+
+#include <benchmark/benchmark.h>
+
+#include "src/billing/analysis.h"
+#include "src/billing/catalog.h"
+#include "src/cluster/fleet_sim.h"
+#include "src/platform/presets.h"
+#include "src/sched/bandwidth_sim.h"
+#include "src/sched/host_sim.h"
+#include "src/trace/generator.h"
+
+namespace faascost {
+namespace {
+
+void BM_TraceGeneration(benchmark::State& state) {
+  TraceGenConfig cfg;
+  cfg.num_requests = state.range(0);
+  cfg.num_functions = 500;
+  for (auto _ : state) {
+    TraceGenerator gen(cfg, 1);
+    auto trace = gen.Generate();
+    benchmark::DoNotOptimize(trace.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10'000)->Arg(100'000);
+
+void BM_InvoiceComputation(benchmark::State& state) {
+  TraceGenConfig cfg;
+  cfg.num_requests = 10'000;
+  cfg.num_functions = 200;
+  const auto trace = TraceGenerator(cfg, 2).Generate();
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Invoice inv = ComputeInvoice(aws, trace[i++ % trace.size()]);
+    benchmark::DoNotOptimize(inv.total);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InvoiceComputation);
+
+void BM_BandwidthSimRun(benchmark::State& state) {
+  const SchedConfig cfg = MakeSchedConfig(20 * kMicrosPerMilli, 0.25, 250);
+  const CpuBandwidthSim sim(cfg);
+  Rng rng(3);
+  for (auto _ : state) {
+    const TaskRunResult r =
+        sim.RunWithRandomPhase(160 * kMicrosPerMilli, 60LL * kMicrosPerSec, rng);
+    benchmark::DoNotOptimize(r.wall_duration);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BandwidthSimRun);
+
+void BM_ProfilerTenSeconds(benchmark::State& state) {
+  const SchedConfig cfg = MakeSchedConfig(20 * kMicrosPerMilli, 0.072, 250);
+  const CpuBandwidthSim sim(cfg);
+  Rng rng(4);
+  for (auto _ : state) {
+    const TaskRunResult r =
+        sim.RunWithRandomPhase(kUnlimitedDemand, 10LL * kMicrosPerSec, rng);
+    benchmark::DoNotOptimize(r.throttles.size());
+  }
+}
+BENCHMARK(BM_ProfilerTenSeconds);
+
+void BM_PlatformSimThousandRequests(benchmark::State& state) {
+  const WorkloadSpec wl = PyAesWorkload();
+  for (auto _ : state) {
+    state.PauseTiming();
+    PlatformSim sim(GcpPlatform(1.0, 1'024.0), 5);
+    Rng rng(6);
+    const auto arrivals = PoissonArrivals(10.0, 100LL * kMicrosPerSec, rng);
+    state.ResumeTiming();
+    const auto result = sim.Run(arrivals, wl);
+    benchmark::DoNotOptimize(result.requests.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_PlatformSimThousandRequests);
+
+void BM_HostSimSecond(benchmark::State& state) {
+  HostSimConfig cfg;
+  cfg.cores = 4;
+  cfg.duration = 1LL * kMicrosPerSec;
+  std::vector<TenantSpec> tenants(static_cast<size_t>(state.range(0)), {0.5, 1.0, 0.5});
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    const HostSimResult r = SimulateHost(cfg, tenants, seed++);
+    benchmark::DoNotOptimize(r.host_utilization);
+  }
+}
+BENCHMARK(BM_HostSimSecond)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FleetSimDay(benchmark::State& state) {
+  TraceGenConfig cfg;
+  cfg.num_requests = state.range(0);
+  cfg.num_functions = 500;
+  const auto trace = TraceGenerator(cfg, 7).Generate();
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  for (auto _ : state) {
+    const FleetResult r = SimulateFleet(trace, aws, FleetSimConfig{});
+    benchmark::DoNotOptimize(r.revenue);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FleetSimDay)->Arg(50'000);
+
+}  // namespace
+}  // namespace faascost
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// §2.2 extension: the function-placement rationale behind constrained
+// resource knobs. "Highly unbalanced CPU-to-memory combinations can fragment
+// the resource capacity on host servers, potentially leading to higher
+// deployment costs, e.g. through decreased deployment density."
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cluster/placement.h"
+#include "src/common/rng.h"
+#include "src/common/table.h"
+
+namespace faascost {
+namespace {
+
+void Report(TextTable& table, const char* label, const DensityReport& r) {
+  table.AddRow({label, std::to_string(r.servers), FormatDouble(r.density, 1),
+                FormatPercent(r.cpu_util, 1), FormatPercent(r.mem_util, 1),
+                FormatPercent(r.stranded_cpu, 1), FormatPercent(r.stranded_mem, 1),
+                FormatDouble(r.allocated_cpu, 0)});
+}
+
+}  // namespace
+}  // namespace faascost
+
+int main() {
+  using namespace faascost;
+
+  PrintHeader("Packing raw user demands onto 64-vCPU/256-GB hosts");
+  // Raw demands: what users would request with perfectly free knobs --
+  // weakly correlated CPU and memory needs (the paper's Fig. 3 correlation
+  // of 0.397 motivates decoupled knobs).
+  Rng demand_rng(22);
+  std::vector<SandboxDemand> demands;
+  for (int i = 0; i < 20'000; ++i) {
+    const auto [zc, zm] = demand_rng.CorrelatedNormals(0.4);
+    const double cpu = std::clamp(std::exp(-0.9 + 0.8 * zc), 0.05, 4.0);
+    const double mem = std::clamp(1'024.0 * std::exp(0.9 * zm), 128.0, 16'384.0);
+    demands.push_back({cpu, mem});
+  }
+
+  TextTable table({"Knob policy", "servers", "density", "cpu util", "mem util",
+                   "stranded cpu", "stranded mem", "allocated vCPUs"});
+  for (KnobPolicy knob : {KnobPolicy::kUnconstrained, KnobPolicy::kRatioBounded,
+                          KnobPolicy::kProportional, KnobPolicy::kFixedCombos}) {
+    Report(table, KnobPolicyName(knob),
+           PackAndMeasure(demands, knob, PlacementPolicy::kBestFit));
+  }
+  std::printf("%s", table.Render().c_str());
+
+  PrintHeader("Unbalanced demand mixes fragment hosts (free knobs, best-fit)");
+  Rng rng(23);
+  TextTable mixes({"Population", "servers", "cpu util", "mem util", "stranded cpu",
+                   "stranded mem"});
+  std::vector<SandboxDemand> balanced;
+  std::vector<SandboxDemand> mem_heavy;
+  std::vector<SandboxDemand> cpu_heavy;
+  for (int i = 0; i < 10'000; ++i) {
+    const double cpu = rng.Uniform(0.25, 1.0);
+    balanced.push_back({cpu, cpu * 4'096.0});  // The host's own shape.
+    mem_heavy.push_back({cpu, cpu * 14'000.0});
+    cpu_heavy.push_back({cpu, cpu * 700.0});
+  }
+  auto add = [&](const char* label, const std::vector<SandboxDemand>& d) {
+    const DensityReport r =
+        PackAndMeasure(d, KnobPolicy::kUnconstrained, PlacementPolicy::kBestFit);
+    mixes.AddRow({label, std::to_string(r.servers), FormatPercent(r.cpu_util, 1),
+                  FormatPercent(r.mem_util, 1), FormatPercent(r.stranded_cpu, 1),
+                  FormatPercent(r.stranded_mem, 1)});
+  };
+  add("balanced (matches host 1:4)", balanced);
+  add("memory-heavy (1:14 GB/vCPU)", mem_heavy);
+  add("CPU-heavy (1:0.7 GB/vCPU)", cpu_heavy);
+  std::printf("%s", mixes.Render().c_str());
+
+  PrintHeader("Placement policy sensitivity (trace population, free knobs)");
+  TextTable policies({"Placement policy", "servers", "density"});
+  for (PlacementPolicy p : {PlacementPolicy::kFirstFit, PlacementPolicy::kBestFit,
+                            PlacementPolicy::kWorstFit}) {
+    const DensityReport r = PackAndMeasure(demands, KnobPolicy::kUnconstrained, p);
+    policies.AddRow({PlacementPolicyName(p), std::to_string(r.servers),
+                     FormatDouble(r.density, 1)});
+  }
+  std::printf("%s", policies.Render().c_str());
+
+  std::printf(
+      "\nReading (paper §2.2-2.3): one-sided populations strand one host\n"
+      "dimension; ratio bands and fixed combos lift user allocations toward\n"
+      "the host shape, turning stranded capacity into billed capacity -- the\n"
+      "placement-side rationale for constrained knobs, paid for by users as\n"
+      "overprovisioned (low-utilization) allocations.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces Table 1: the billing models of the ten studied serverless
+// platforms -- billable time, billable resources, billing granularity and
+// cutoffs, and resource control knobs.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/billing/catalog.h"
+#include "src/common/table.h"
+
+namespace faascost {
+namespace {
+
+std::string BillableTimeName(const BillingModel& m) {
+  switch (m.billable_time) {
+    case BillableTime::kExecution:
+      return "Wall-clock execution time";
+    case BillableTime::kTurnaround:
+      return "Wall-clock turnaround time";
+    case BillableTime::kConsumedCpuTime:
+      return "Consumed CPU time";
+  }
+  return "?";
+}
+
+std::string BillableResources(const BillingModel& m) {
+  std::string out;
+  if (m.bills_cpu_separately || m.cpu_basis == ResourceBasis::kConsumed) {
+    out += m.cpu_basis == ResourceBasis::kConsumed ? "Consumed CPU" : "Allocated CPU";
+  }
+  if (m.bills_memory) {
+    if (!out.empty()) {
+      out += " + ";
+    }
+    out += m.mem_basis == ResourceBasis::kConsumed ? "Consumed memory" : "Allocated memory";
+  }
+  return out;
+}
+
+std::string Granularity(const BillingModel& m) {
+  std::string out = FormatDouble(MicrosToMillis(m.time_granularity), 0) + " ms";
+  if (m.min_billable_time > 0) {
+    out += " (min cutoff " + FormatDouble(MicrosToMillis(m.min_billable_time), 0) + " ms)";
+  }
+  if (m.mem_granularity_mb > 0.0) {
+    out += ", " + FormatDouble(m.mem_granularity_mb, 0) + " MB";
+  }
+  return out;
+}
+
+std::string Knobs(const BillingModel& m) {
+  switch (m.cpu_knob) {
+    case CpuKnob::kProportionalToMemory:
+      return "Memory " + FormatDouble(m.memory_step_mb, 0) +
+             " MB steps (CPU proportional, " + FormatDouble(m.mb_per_vcpu, 0) +
+             " MB/vCPU)";
+    case CpuKnob::kFixed:
+      return "Fixed size: " + FormatDouble(m.fixed_vcpus, 0) + " vCPU / " +
+             FormatDouble(m.fixed_mem_mb, 0) + " MB";
+    case CpuKnob::kIndependent: {
+      if (!m.fixed_memory_sizes.empty()) {
+        return "Fixed CPU-memory combos (" +
+               std::to_string(m.fixed_memory_sizes.size()) + " sizes)";
+      }
+      std::string out = "Memory " + FormatDouble(m.memory_step_mb, 0) + " MB steps";
+      if (m.cpu_granularity_vcpus > 0.0) {
+        out += ", CPU " + FormatDouble(m.cpu_granularity_vcpus, 2) + " vCPU steps";
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+}  // namespace faascost
+
+int main() {
+  using namespace faascost;
+  PrintHeader("Table 1: Billing models on major serverless platforms");
+  TextTable table({"Platform", "Billable Time", "Billable Resources",
+                   "Granularity/Cutoffs", "Control Knobs"});
+  for (const auto& m : MakeCatalog()) {
+    table.AddRow({m.platform, BillableTimeName(m), BillableResources(m), Granularity(m),
+                  Knobs(m)});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  PrintHeader("Invocation fees (paper: typically $1.5e-7 to $6e-7 per request)");
+  TextTable fees({"Platform", "Fee per invocation (USD)"});
+  for (const auto& m : MakeCatalog()) {
+    fees.AddRow({m.platform, m.invocation_fee > 0.0 ? FormatSci(m.invocation_fee, 2)
+                                                    : std::string("none")});
+  }
+  std::printf("%s", fees.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Table 3: scheduling parameters recovered from user-space
+// profiling. Each "cloud" is profiled with Algorithm 1 under several vCPU
+// configurations (as in the paper), and the inference recovers the
+// bandwidth-control period and the scheduler tick frequency.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/sched/inference.h"
+
+int main() {
+  using namespace faascost;
+
+  struct Cloud {
+    const char* label;
+    double expected_period_ms;
+    int expected_hz;
+    std::vector<SchedConfig> configs;
+  };
+  std::vector<Cloud> clouds;
+  clouds.push_back({"AWS Lambda", 20.0, 250,
+                    {AwsLambdaSched(0.072), AwsLambdaSched(0.145), AwsLambdaSched(0.29),
+                     AwsLambdaSched(0.58)}});
+  clouds.push_back({"Google Cloud Run functions", 100.0, 1000,
+                    {GcpSched(0.17), GcpSched(0.33), GcpSched(0.5), GcpSched(0.72)}});
+  clouds.push_back({"IBM Cloud Code Engine", 10.0, 250,
+                    {IbmSched(0.125), IbmSched(0.25), IbmSched(0.5), IbmSched(0.62)}});
+
+  PrintHeader("Table 3: Scheduling parameters recovered by empirical profiling");
+  TextTable table({"Platform", "Period (paper)", "Period (inferred)", "CONFIG_HZ (paper)",
+                   "CONFIG_HZ (inferred)", "period match", "tick match"});
+  Rng rng(2025);
+  for (const auto& cloud : clouds) {
+    std::vector<ThrottleProfile> profiles;
+    for (const auto& cfg : cloud.configs) {
+      const CpuBandwidthSim sim(cfg);
+      for (int i = 0; i < 75; ++i) {  // 300 invocations total per platform.
+        profiles.push_back(ProfileOnce(sim, 10LL * kMicrosPerSec, rng));
+      }
+    }
+    const InferredSchedParams inferred = InferSchedParams(profiles);
+    table.AddRow({cloud.label, FormatDouble(cloud.expected_period_ms, 0) + " ms",
+                  FormatDouble(inferred.period_ms, 0) + " ms",
+                  std::to_string(cloud.expected_hz), std::to_string(inferred.config_hz),
+                  FormatPercent(inferred.match_period, 1),
+                  FormatPercent(inferred.match_tick, 1)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nPaper Table 3: AWS 20 ms / 250 Hz, GCP 100 ms / 1000 Hz, IBM\n"
+              "10 ms / 250 Hz -- providers do not share a unanimous scheduling\n"
+              "configuration.\n");
+  return 0;
+}

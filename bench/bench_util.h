@@ -1,0 +1,25 @@
+// Shared helpers for the bench binaries.
+
+#ifndef FAASCOST_BENCH_BENCH_UTIL_H_
+#define FAASCOST_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace faascost {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintPaperVsMeasured(const char* what, double paper, double measured,
+                                 const char* unit) {
+  std::printf("  %-52s paper: %10.4g %-8s measured: %10.4g %s\n", what, paper, unit,
+              measured, unit);
+}
+
+}  // namespace faascost
+
+#endif  // FAASCOST_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,78 @@
+// Billing audit: estimate what the same production workload would cost per
+// month on each of the ten platforms, and how much of it is inflation over
+// actual consumption -- the paper's §2 analysis as a user-facing tool.
+//
+// The workload is a synthetic day of traffic calibrated to the Huawei-trace
+// statistics; monthly cost extrapolates the daily bill.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/billing/analysis.h"
+#include "src/billing/catalog.h"
+#include "src/common/table.h"
+#include "src/trace/generator.h"
+
+int main() {
+  using namespace faascost;
+
+  TraceGenConfig cfg;
+  cfg.num_requests = 500'000;  // One day of traffic for a mid-size tenant.
+  cfg.num_functions = 200;
+  std::printf("Generating one day of traffic (%lld requests, %lld functions)...\n",
+              static_cast<long long>(cfg.num_requests),
+              static_cast<long long>(cfg.num_functions));
+  const auto day = TraceGenerator(cfg, 20260706).Generate();
+  const ActualConsumption actual = ComputeActualConsumption(day);
+
+  std::printf("Actual daily consumption: %.1f vCPU-hours, %.1f GB-hours\n\n",
+              actual.total_vcpu_seconds / 3'600.0, actual.total_gb_seconds / 3'600.0);
+
+  TextTable table({"Platform", "$/day", "$/month", "fees share", "CPU inflation",
+                   "memory inflation"});
+  struct Row {
+    std::string platform;
+    double per_day;
+  };
+  std::vector<Row> rows;
+  for (Platform p : AllPlatforms()) {
+    const BillingModel m = MakeBillingModel(p);
+    Usd resource = 0.0;
+    Usd fees = 0.0;
+    for (const auto& r : day) {
+      const Invoice inv = ComputeInvoice(m, r);
+      resource += inv.resource_cost;
+      fees += inv.invocation_cost;
+    }
+    const InflationResult infl = AnalyzeInflation(m, day);
+    const Usd total = resource + fees;
+    rows.push_back({m.platform, total});
+    table.AddRow({m.platform, FormatDouble(total, 2), FormatDouble(total * 30.0, 2),
+                  FormatPercent(total > 0 ? fees / total : 0, 1),
+                  FormatDouble(infl.cpu_inflation, 2) + "x",
+                  infl.mem_inflation > 0 ? FormatDouble(infl.mem_inflation, 2) + "x"
+                                         : std::string("-")});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  const Row* cheapest = &rows.front();
+  const Row* priciest = &rows.front();
+  for (const auto& r : rows) {
+    if (r.per_day < cheapest->per_day) {
+      cheapest = &r;
+    }
+    if (r.per_day > priciest->per_day) {
+      priciest = &r;
+    }
+  }
+  std::printf("\nCheapest for this workload: %s ($%.2f/day)\n", cheapest->platform.c_str(),
+              cheapest->per_day);
+  std::printf("Most expensive:             %s ($%.2f/day, %.1fx the cheapest)\n",
+              priciest->platform.c_str(), priciest->per_day,
+              priciest->per_day / cheapest->per_day);
+  std::printf(
+      "\nNote (paper §2): rankings depend on the workload shape -- short\n"
+      "requests are dominated by fees and rounding, long low-utilization\n"
+      "requests by the allocation-based wall-clock inflation.\n");
+  return 0;
+}

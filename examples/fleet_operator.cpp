@@ -1,0 +1,87 @@
+// Fleet operator: the provider's view of a day of traffic. Simulates every
+// function's sandbox lifecycle, packs sandboxes onto servers, compares
+// keep-alive strategies, and solves for the break-even per-unit price -- the
+// paper's bottom line that billing practices are the shape of serving costs.
+
+#include <cstdio>
+
+#include "src/billing/catalog.h"
+#include "src/cluster/fleet_sim.h"
+#include "src/trace/generator.h"
+
+int main() {
+  using namespace faascost;
+  constexpr MicroSecs kSec = kMicrosPerSec;
+
+  TraceGenConfig gen_cfg;
+  gen_cfg.num_requests = 300'000;
+  gen_cfg.num_functions = 2'000;
+  std::printf("Operating a day of traffic: %lld requests, %lld functions.\n\n",
+              static_cast<long long>(gen_cfg.num_requests),
+              static_cast<long long>(gen_cfg.num_functions));
+  const auto trace = TraceGenerator(gen_cfg, 99).Generate();
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+
+  // 1. Choose the keep-alive strategy.
+  std::printf("Keep-alive strategy comparison (AWS billing, 300 s window):\n");
+  struct Strategy {
+    const char* name;
+    double ka_share;
+  };
+  const Strategy strategies[] = {
+      {"run-as-usual", 1.0}, {"cpu-scale-down", 0.2}, {"freeze", 0.03}};
+  for (const auto& s : strategies) {
+    FleetSimConfig cfg;
+    cfg.keepalive = 300 * kSec;
+    cfg.ka_cost_share = s.ka_share;
+    const FleetResult r = SimulateFleet(trace, aws, cfg);
+    std::printf("  %-14s hw cost $%7.2f  revenue $%5.2f  cold-rate %.3f  peak %d servers\n",
+                s.name, r.hardware_cost, r.revenue,
+                static_cast<double>(r.cold_starts) / r.requests, r.peak_servers);
+  }
+
+  // 2. Solve for the break-even resource price: the multiplier m on the
+  //    resource component such that m * resource_revenue + fees = hw cost.
+  FleetSimConfig cfg;
+  cfg.keepalive = 300 * kSec;
+  cfg.ka_cost_share = 0.03;  // Freeze, the cheapest realistic strategy.
+  const FleetResult r = SimulateFleet(trace, aws, cfg);
+  const Usd resource_revenue = r.revenue - r.fee_revenue;
+  const double multiplier =
+      resource_revenue > 0.0 ? (r.hardware_cost - r.fee_revenue) / resource_revenue : 0.0;
+  std::printf("\nBreak-even analysis (freeze strategy):\n");
+  std::printf("  hardware cost:        $%.2f\n", r.hardware_cost);
+  std::printf("  resource revenue:     $%.2f at AWS list prices\n", resource_revenue);
+  std::printf("  fee revenue:          $%.2f\n", r.fee_revenue);
+  std::printf("  break-even multiple:  %.1fx the AWS list price\n", multiplier);
+  std::printf("  implied $/GB-s:       %.3g (list: 1.67e-5)\n",
+              multiplier * 1.66667e-5);
+  std::printf(
+      "\n  This trace is dominated by sparse functions whose sandboxes sit\n"
+      "  idle; serving them from dedicated (non-overcommitted) capacity\n"
+      "  would require prices far above list. Real providers close the gap\n"
+      "  with co-tenant overcommit, keep-alive deallocations (Table 2),\n"
+      "  turnaround billing, and invocation fees -- the paper's explanation\n"
+      "  of why serverless bills look the way they do.\n");
+
+  // 3. What would a denser tenant look like?
+  TraceGenConfig dense_cfg = gen_cfg;
+  dense_cfg.num_functions = 50;  // Same traffic over 40x fewer functions.
+  const auto dense = TraceGenerator(dense_cfg, 100).Generate();
+  const FleetResult rd = SimulateFleet(dense, aws, cfg);
+  const Usd dense_resource = rd.revenue - rd.fee_revenue;
+  const double dense_multiplier =
+      dense_resource > 0.0 ? (rd.hardware_cost - rd.fee_revenue) / dense_resource : 0.0;
+  std::printf("\nSame request volume across only 50 functions (dense tenant):\n");
+  std::printf("  cold-rate %.4f, hw cost $%.2f, break-even multiple %.2fx\n",
+              static_cast<double>(rd.cold_starts) / rd.requests, rd.hardware_cost,
+              dense_multiplier);
+  std::printf(
+      "  Density halves the break-even multiple (cold starts all but vanish\n"
+      "  and sandboxes amortize), but even here break-even sits above list\n"
+      "  price under dedicated reservations: day-long warm sandboxes at sub-\n"
+      "  percent utilization only pay off once hosts overcommit them -- the\n"
+      "  co-tenancy §4 studies, and the reason KA-phase deallocation\n"
+      "  (Table 2) is worth provider engineering effort.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: deploy a CPU-bound function on a simulated serverless
+// platform, send traffic, bill every request under the platform's real
+// billing rules, and decompose where the money went.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/billing/catalog.h"
+#include "src/common/stats.h"
+#include "src/core/cost_decomposition.h"
+#include "src/platform/presets.h"
+
+int main() {
+  using namespace faascost;
+
+  // 1. A workload: PyAES from FunctionBench, ~160 ms of CPU per request.
+  const WorkloadSpec workload = PyAesWorkload();
+
+  // 2. A platform: AWS Lambda with 1769 MB (exactly 1 vCPU).
+  PlatformSimConfig platform = AwsLambdaPlatform(/*vcpus=*/1.0, /*mem_mb=*/1'769.0);
+
+  // 3. Traffic: Poisson arrivals at 5 requests/second for 10 minutes.
+  Rng rng(7);
+  const auto arrivals = PoissonArrivals(5.0, 600LL * kMicrosPerSec, rng);
+
+  // 4. Simulate.
+  PlatformSim sim(platform, /*seed=*/42);
+  const PlatformSimResult result = sim.Run(arrivals, workload);
+
+  RunningStats duration_ms;
+  for (const auto& r : result.requests) {
+    duration_ms.Add(MicrosToMillis(r.reported_duration));
+  }
+  std::printf("Simulated %zu requests on %s\n", result.requests.size(),
+              platform.name.c_str());
+  std::printf("  cold starts: %d, mean execution: %.1f ms, sandboxes used: %zu\n",
+              result.cold_starts, duration_ms.mean(), result.sandboxes.size());
+
+  // 5. Bill every request under AWS Lambda's billing model (Table 1 of the
+  //    paper: turnaround time, 1 ms granularity, memory-proportional vCPUs,
+  //    $2e-7 per invocation).
+  const BillingModel billing = MakeBillingModel(Platform::kAwsLambda);
+  const CostBreakdown bill =
+      DecomposeCosts(billing, platform, workload, result.requests);
+
+  std::printf("\nBill: $%.6f total ($%.3g per request)\n", bill.total,
+              bill.total / static_cast<double>(bill.num_requests));
+  auto line = [&](const char* label, Usd v) {
+    std::printf("  %-22s $%.6f  (%5.1f%%)\n", label, v,
+                bill.total > 0 ? v / bill.total * 100.0 : 0.0);
+  };
+  line("useful work", bill.useful_work);
+  line("utilization gap", bill.utilization_gap);
+  line("initialization", bill.initialization);
+  line("serving overhead", bill.serving_overhead);
+  line("contention", bill.contention);
+  line("rounding", bill.rounding);
+  line("invocation fees", bill.invocation_fees);
+  std::printf("\nUseful fraction of every dollar: %.1f%%\n",
+              bill.UsefulFraction() * 100.0);
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "src/billing/analysis.h"
+
+#include <algorithm>
+
+namespace faascost {
+
+ActualConsumption ComputeActualConsumption(const std::vector<RequestRecord>& requests) {
+  ActualConsumption out;
+  out.vcpu_seconds.reserve(requests.size());
+  out.gb_seconds.reserve(requests.size());
+  for (const auto& r : requests) {
+    const double cpu_s = MicrosToSecs(r.cpu_time);
+    const double gb_s = MbToGb(r.used_mem_mb) * MicrosToSecs(r.exec_duration);
+    out.vcpu_seconds.push_back(cpu_s);
+    out.gb_seconds.push_back(gb_s);
+    out.total_vcpu_seconds += cpu_s;
+    out.total_gb_seconds += gb_s;
+  }
+  return out;
+}
+
+InflationResult AnalyzeInflation(const BillingModel& model,
+                                 const std::vector<RequestRecord>& requests,
+                                 bool keep_samples) {
+  InflationResult out;
+  out.platform = model.platform;
+  if (keep_samples) {
+    out.billable_vcpu_seconds.reserve(requests.size());
+    out.billable_gb_seconds.reserve(requests.size());
+  }
+  double actual_cpu = 0.0;
+  double actual_gb = 0.0;
+  for (const auto& r : requests) {
+    const Invoice inv = ComputeInvoice(model, r);
+    out.total_billable_vcpu_seconds += inv.billable_vcpu_seconds;
+    out.total_billable_gb_seconds += inv.billable_gb_seconds;
+    actual_cpu += MicrosToSecs(r.cpu_time);
+    actual_gb += MbToGb(r.used_mem_mb) * MicrosToSecs(r.exec_duration);
+    if (keep_samples) {
+      out.billable_vcpu_seconds.push_back(inv.billable_vcpu_seconds);
+      out.billable_gb_seconds.push_back(inv.billable_gb_seconds);
+    }
+  }
+  out.total_actual_vcpu_seconds = actual_cpu;
+  out.total_actual_gb_seconds = actual_gb;
+  out.cpu_inflation = actual_cpu > 0.0 ? out.total_billable_vcpu_seconds / actual_cpu : 0.0;
+  out.mem_inflation = (actual_gb > 0.0 && model.bills_memory)
+                          ? out.total_billable_gb_seconds / actual_gb
+                          : 0.0;
+  return out;
+}
+
+RoundingResult AnalyzeRounding(const std::vector<RequestRecord>& requests,
+                               MicroSecs time_granularity, MicroSecs min_cutoff,
+                               MegaBytes mem_granularity_mb) {
+  RoundingResult out;
+  double added_time_us = 0.0;
+  double added_gb_s = 0.0;
+  for (const auto& r : requests) {
+    if (r.exec_duration < kMicrosPerMilli) {
+      continue;  // The paper studies requests with exec >= 1 ms (Fig. 5).
+    }
+    ++out.num_requests;
+    const MicroSecs billed =
+        std::max(RoundUpTime(r.exec_duration, time_granularity), min_cutoff);
+    added_time_us += static_cast<double>(billed - r.exec_duration);
+    if (mem_granularity_mb > 0.0) {
+      // Memory rounding applied to consumed memory, over the (unrounded)
+      // execution duration: isolates the memory-granularity effect.
+      const MegaBytes billed_mem = RoundUpDouble(r.used_mem_mb, mem_granularity_mb);
+      added_gb_s += MbToGb(billed_mem - r.used_mem_mb) * MicrosToSecs(r.exec_duration);
+    }
+  }
+  if (out.num_requests > 0) {
+    added_time_us /= static_cast<double>(out.num_requests);
+    added_gb_s /= static_cast<double>(out.num_requests);
+  }
+  out.mean_rounded_up_time_ms = added_time_us / static_cast<double>(kMicrosPerMilli);
+  out.mean_rounded_up_gb_seconds = added_gb_s;
+  return out;
+}
+
+ColdStartStudy AnalyzeColdStarts(const std::vector<SandboxLifecycle>& lifecycles) {
+  ColdStartStudy out;
+  out.diffs.reserve(lifecycles.size());
+  size_t nonpos_cpu = 0;
+  size_t nonpos_mem = 0;
+  for (const auto& lc : lifecycles) {
+    MicroSecs exec_total = 0;
+    for (MicroSecs d : lc.request_durations) {
+      exec_total += d;
+    }
+    // Billable resources in wall-clock allocation terms: alloc x duration for
+    // both phases (the sandbox holds its full allocation during init too).
+    ColdStartDiff diff;
+    const double dt_s = MicrosToSecs(exec_total) - MicrosToSecs(lc.init_duration);
+    diff.cpu_diff_vcpu_seconds = lc.alloc_vcpus * dt_s;
+    diff.mem_diff_gb_seconds = MbToGb(lc.alloc_mem_mb) * dt_s;
+    if (diff.cpu_diff_vcpu_seconds <= 0.0) {
+      ++nonpos_cpu;
+    }
+    if (diff.mem_diff_gb_seconds <= 0.0) {
+      ++nonpos_mem;
+    }
+    out.diffs.push_back(diff);
+  }
+  if (!lifecycles.empty()) {
+    out.frac_zero_or_negative_cpu =
+        static_cast<double>(nonpos_cpu) / static_cast<double>(lifecycles.size());
+    out.frac_zero_or_negative_mem =
+        static_cast<double>(nonpos_mem) / static_cast<double>(lifecycles.size());
+  }
+  return out;
+}
+
+}  // namespace faascost

@@ -1,0 +1,88 @@
+// Trace-driven billing analyses from the paper's §2:
+//  - billable-resource inflation under different billing models (Fig. 2),
+//  - rounding-up and minimum-cutoff overheads (Fig. 5-right),
+//  - cold-start vs execution billable-resource differences (Fig. 4).
+
+#ifndef FAASCOST_BILLING_ANALYSIS_H_
+#define FAASCOST_BILLING_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/billing/model.h"
+#include "src/common/histogram.h"
+#include "src/trace/record.h"
+
+namespace faascost {
+
+// --- Fig. 2: billable vs actual resources ---
+
+struct InflationResult {
+  std::string platform;
+  // Ratio of total billable to total actual consumption across the trace.
+  double cpu_inflation = 0.0;  // billable vCPU-s / consumed vCPU-s.
+  double mem_inflation = 0.0;  // billable GB-s / consumed GB-s. 0 if unbilled.
+  double total_billable_vcpu_seconds = 0.0;
+  double total_actual_vcpu_seconds = 0.0;
+  double total_billable_gb_seconds = 0.0;
+  double total_actual_gb_seconds = 0.0;
+  // Per-request billable amounts for CDF plotting.
+  std::vector<double> billable_vcpu_seconds;
+  std::vector<double> billable_gb_seconds;
+};
+
+// Bills every request under `model` and compares against actual consumption
+// (consumed CPU time; used memory held for the wall-clock execution
+// duration). `keep_samples` controls whether per-request vectors are kept.
+InflationResult AnalyzeInflation(const BillingModel& model,
+                                 const std::vector<RequestRecord>& requests,
+                                 bool keep_samples = false);
+
+// Actual per-request consumption (identical across models), for CDF overlay.
+struct ActualConsumption {
+  std::vector<double> vcpu_seconds;
+  std::vector<double> gb_seconds;
+  double total_vcpu_seconds = 0.0;
+  double total_gb_seconds = 0.0;
+};
+ActualConsumption ComputeActualConsumption(const std::vector<RequestRecord>& requests);
+
+// --- Fig. 5-right: rounding up ---
+
+struct RoundingResult {
+  // Mean added billable wall-clock time (ms) from rounding `exec` up.
+  double mean_rounded_up_time_ms = 0.0;
+  // Mean added billable memory (GB-s) from memory-granularity rounding.
+  double mean_rounded_up_gb_seconds = 0.0;
+  size_t num_requests = 0;
+};
+
+// Rounding overhead under (time granularity, minimum cutoff, memory
+// granularity), computed over requests with exec >= 1 ms as in the paper.
+RoundingResult AnalyzeRounding(const std::vector<RequestRecord>& requests,
+                               MicroSecs time_granularity, MicroSecs min_cutoff,
+                               MegaBytes mem_granularity_mb);
+
+// --- Fig. 4: cold-start billable-resource difference ---
+
+struct ColdStartDiff {
+  // (billable resources during executions) - (billable during init), in
+  // wall-clock allocation terms. Negative: the cold start cost more than all
+  // requests it served.
+  double cpu_diff_vcpu_seconds = 0.0;
+  double mem_diff_gb_seconds = 0.0;
+};
+
+struct ColdStartStudy {
+  std::vector<ColdStartDiff> diffs;
+  // Fraction of lifecycles whose execution-phase billable resources do not
+  // exceed the initialization-phase billable resources (paper: 42.1%).
+  double frac_zero_or_negative_cpu = 0.0;
+  double frac_zero_or_negative_mem = 0.0;
+};
+
+ColdStartStudy AnalyzeColdStarts(const std::vector<SandboxLifecycle>& lifecycles);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_BILLING_ANALYSIS_H_

@@ -1,0 +1,320 @@
+#include "src/billing/catalog.h"
+
+#include <cassert>
+
+namespace faascost {
+
+std::vector<Platform> AllPlatforms() {
+  return {
+      Platform::kAwsLambda,           Platform::kGcpCloudRunFunctions,
+      Platform::kAzureConsumption,    Platform::kAzureFlexConsumption,
+      Platform::kIbmCodeEngine,       Platform::kHuaweiFunctionGraph,
+      Platform::kAlibabaFunctionCompute, Platform::kOracleFunctions,
+      Platform::kVercelFunctions,     Platform::kCloudflareWorkers,
+  };
+}
+
+const char* PlatformName(Platform p) {
+  switch (p) {
+    case Platform::kAwsLambda:
+      return "AWS Lambda";
+    case Platform::kGcpCloudRunFunctions:
+      return "GCP Cloud Run functions";
+    case Platform::kAzureConsumption:
+      return "Azure Functions (Consumption)";
+    case Platform::kAzureFlexConsumption:
+      return "Azure Functions (Flex Consumption)";
+    case Platform::kIbmCodeEngine:
+      return "IBM Code Engine Functions";
+    case Platform::kHuaweiFunctionGraph:
+      return "Huawei FunctionGraph";
+    case Platform::kAlibabaFunctionCompute:
+      return "Alibaba Function Compute";
+    case Platform::kOracleFunctions:
+      return "Oracle Cloud Functions";
+    case Platform::kVercelFunctions:
+      return "Vercel Functions";
+    case Platform::kCloudflareWorkers:
+      return "Cloudflare Workers";
+  }
+  return "unknown";
+}
+
+BillingModel MakeBillingModel(Platform p) {
+  BillingModel m;
+  m.platform = PlatformName(p);
+  switch (p) {
+    case Platform::kAwsLambda: {
+      // Wall-clock turnaround (INIT billed since August 2025), 1 ms
+      // granularity, memory-only pricing with proportional vCPUs
+      // (1769 MB per vCPU). x86 price: $1.66667e-5 per GB-s; the paper's
+      // 1769 MB function at $2.8792e-5/s matches this rate.
+      m.billable_time = BillableTime::kTurnaround;
+      m.time_granularity = 1 * kMicrosPerMilli;
+      m.bills_cpu_separately = false;
+      m.cpu_basis = ResourceBasis::kAllocated;
+      m.bills_memory = true;
+      m.mem_basis = ResourceBasis::kAllocated;
+      m.price_per_gb_second = 1.66667e-5;
+      m.invocation_fee = 2e-7;
+      m.cpu_knob = CpuKnob::kProportionalToMemory;
+      m.mb_per_vcpu = kAwsLambdaMbPerVcpu;
+      m.memory_step_mb = 1.0;
+      m.min_memory_mb = 128.0;
+      m.max_memory_mb = 10240.0;
+      break;
+    }
+    case Platform::kGcpCloudRunFunctions: {
+      // Request-based billing: turnaround time, 100 ms granularity, separate
+      // CPU ($2.4e-5 per vCPU-s) and memory ($2.5e-6 per GB-s) pricing;
+      // 1st-gen CPU knob step of 0.01 vCPUs, plus the documented minimum-CPU
+      // constraint per memory size. The paper's fee-equivalent check:
+      // 0.5 vCPU + 512 MB -> $4e-7 / $1.325e-5 = 30.19 ms.
+      m.billable_time = BillableTime::kTurnaround;
+      m.time_granularity = 100 * kMicrosPerMilli;
+      m.bills_cpu_separately = true;
+      m.cpu_basis = ResourceBasis::kAllocated;
+      m.cpu_granularity_vcpus = 0.01;
+      m.price_per_vcpu_second = 2.4e-5;
+      m.bills_memory = true;
+      m.mem_basis = ResourceBasis::kAllocated;
+      m.price_per_gb_second = 2.5e-6;
+      m.invocation_fee = 4e-7;
+      m.cpu_knob = CpuKnob::kIndependent;
+      m.memory_step_mb = 1.0;
+      m.min_memory_mb = 128.0;
+      m.max_memory_mb = 32768.0;
+      m.min_cpu_for_memory = {
+          {128.0, 0.08}, {256.0, 0.167}, {512.0, 0.333},
+          {1024.0, 0.583}, {2048.0, 1.0}, {4096.0, 2.0},
+      };
+      break;
+    }
+    case Platform::kAzureConsumption: {
+      // Consumed memory rounded up to 128 MB, 1 ms granularity with a 100 ms
+      // minimum cutoff, fixed sandbox of 1.5 GB memory / 1 vCPU. $1.6e-5 per
+      // GB-s.
+      m.billable_time = BillableTime::kExecution;
+      m.time_granularity = 1 * kMicrosPerMilli;
+      m.min_billable_time = 100 * kMicrosPerMilli;
+      m.bills_cpu_separately = false;
+      m.cpu_basis = ResourceBasis::kAllocated;
+      m.bills_memory = true;
+      m.mem_basis = ResourceBasis::kConsumed;
+      m.mem_granularity_mb = 128.0;
+      m.price_per_gb_second = 1.6e-5;
+      m.invocation_fee = 2e-7;
+      m.cpu_knob = CpuKnob::kFixed;
+      m.fixed_vcpus = 1.0;
+      m.fixed_mem_mb = 1536.0;
+      break;
+    }
+    case Platform::kAzureFlexConsumption: {
+      // Allocated memory (2 GB or 4 GB instance sizes), 100 ms granularity
+      // with a 1 s minimum cutoff, proportional CPU.
+      m.billable_time = BillableTime::kExecution;
+      m.time_granularity = 100 * kMicrosPerMilli;
+      m.min_billable_time = 1000 * kMicrosPerMilli;
+      m.bills_cpu_separately = false;
+      m.cpu_basis = ResourceBasis::kAllocated;
+      m.bills_memory = true;
+      m.mem_basis = ResourceBasis::kAllocated;
+      m.price_per_gb_second = 1.6e-5;
+      m.invocation_fee = 4e-7;
+      m.cpu_knob = CpuKnob::kIndependent;
+      m.fixed_memory_sizes = {2048.0, 4096.0};
+      m.min_cpu_for_memory = {{2048.0, 1.0}, {4096.0, 2.0}};
+      break;
+    }
+    case Platform::kIbmCodeEngine: {
+      // Allocated memory and CPU in fixed combos, turnaround time, 100 ms
+      // granularity. $3.431e-5 per vCPU-s, $3.56e-6 per GB-s (CPU:mem price
+      // ratio 9.64, §2.2). No per-request fee on function workloads.
+      m.billable_time = BillableTime::kTurnaround;
+      m.time_granularity = 100 * kMicrosPerMilli;
+      m.bills_cpu_separately = true;
+      m.cpu_basis = ResourceBasis::kAllocated;
+      m.price_per_vcpu_second = 3.431e-5;
+      m.bills_memory = true;
+      m.mem_basis = ResourceBasis::kAllocated;
+      m.price_per_gb_second = 3.56e-6;
+      m.invocation_fee = 0.0;
+      m.cpu_knob = CpuKnob::kIndependent;
+      m.fixed_memory_sizes = {1024.0, 2048.0, 4096.0, 8192.0, 16384.0, 32768.0};
+      m.min_cpu_for_memory = {
+          {1024.0, 0.25}, {2048.0, 0.5}, {4096.0, 1.0},
+          {8192.0, 2.0},  {16384.0, 4.0}, {32768.0, 8.0},
+      };
+      break;
+    }
+    case Platform::kHuaweiFunctionGraph: {
+      // Allocated memory in fixed CPU-memory combos, wall-clock execution
+      // time, 1 ms granularity. Memory price with embedded CPU (~$1.35e-5
+      // per GB-s, paper-estimated); fee at the low end of the documented
+      // 1.5e-7..6e-7 range.
+      m.billable_time = BillableTime::kExecution;
+      m.time_granularity = 1 * kMicrosPerMilli;
+      m.bills_cpu_separately = false;
+      m.cpu_basis = ResourceBasis::kAllocated;
+      m.bills_memory = true;
+      m.mem_basis = ResourceBasis::kAllocated;
+      m.price_per_gb_second = 1.35e-5;
+      m.invocation_fee = 1.5e-7;
+      m.cpu_knob = CpuKnob::kIndependent;
+      m.fixed_memory_sizes = {128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0};
+      m.min_cpu_for_memory = {
+          {128.0, 0.1},  {256.0, 0.2},  {512.0, 0.3},  {1024.0, 0.5},
+          {2048.0, 1.0}, {4096.0, 2.0}, {8192.0, 4.0},
+      };
+      break;
+    }
+    case Platform::kAlibabaFunctionCompute: {
+      // Separate CPU (step 0.05 vCPUs) and memory (step 64 MB) knobs with a
+      // 1:1..1:4 vCPU:GB ratio constraint, execution time, 1 ms granularity.
+      m.billable_time = BillableTime::kExecution;
+      m.time_granularity = 1 * kMicrosPerMilli;
+      m.bills_cpu_separately = true;
+      m.cpu_basis = ResourceBasis::kAllocated;
+      m.cpu_granularity_vcpus = 0.05;
+      m.price_per_vcpu_second = 1.3e-5;
+      m.bills_memory = true;
+      m.mem_basis = ResourceBasis::kAllocated;
+      m.price_per_gb_second = 1.4e-6;
+      m.invocation_fee = 1.5e-7;
+      m.cpu_knob = CpuKnob::kIndependent;
+      m.memory_step_mb = 64.0;
+      m.min_memory_mb = 128.0;
+      m.max_memory_mb = 32768.0;
+      break;
+    }
+    case Platform::kOracleFunctions: {
+      // Allocated memory in fixed sizes, execution time; granularity not
+      // documented publicly (modeled at 1 ms). $1.417e-5 per GB-s + $0.2 per
+      // million invocations.
+      m.billable_time = BillableTime::kExecution;
+      m.time_granularity = 1 * kMicrosPerMilli;
+      m.bills_cpu_separately = false;
+      m.cpu_basis = ResourceBasis::kAllocated;
+      m.bills_memory = true;
+      m.mem_basis = ResourceBasis::kAllocated;
+      m.price_per_gb_second = 1.417e-5;
+      m.invocation_fee = 2e-7;
+      m.cpu_knob = CpuKnob::kIndependent;
+      m.fixed_memory_sizes = {128.0, 256.0, 512.0, 1024.0, 2048.0};
+      m.min_cpu_for_memory = {
+          {128.0, 0.1}, {256.0, 0.2}, {512.0, 0.5}, {1024.0, 1.0}, {2048.0, 2.0},
+      };
+      break;
+    }
+    case Platform::kVercelFunctions: {
+      // Allocated memory with proportional CPU, execution time; granularity
+      // not documented publicly (modeled at 1 ms). $0.18 per GB-hour = $5e-5
+      // per GB-s, $0.60 per million invocations.
+      m.billable_time = BillableTime::kExecution;
+      m.time_granularity = 1 * kMicrosPerMilli;
+      m.bills_cpu_separately = false;
+      m.cpu_basis = ResourceBasis::kAllocated;
+      m.bills_memory = true;
+      m.mem_basis = ResourceBasis::kAllocated;
+      m.price_per_gb_second = 5e-5;
+      m.invocation_fee = 6e-7;
+      m.cpu_knob = CpuKnob::kProportionalToMemory;
+      m.mb_per_vcpu = 1769.0;
+      m.memory_step_mb = 1.0;
+      m.min_memory_mb = 128.0;
+      m.max_memory_mb = 4096.0;
+      break;
+    }
+    case Platform::kCloudflareWorkers: {
+      // Consumed CPU time only, 1 ms granularity; fixed 128 MB sandbox,
+      // memory not billed. $0.02 per million CPU-ms = $2e-5 per vCPU-s,
+      // $0.30 per million requests.
+      m.billable_time = BillableTime::kConsumedCpuTime;
+      m.time_granularity = 1 * kMicrosPerMilli;
+      m.bills_cpu_separately = true;
+      m.cpu_basis = ResourceBasis::kConsumed;
+      m.price_per_vcpu_second = 2e-5;
+      m.bills_memory = false;
+      m.invocation_fee = 3e-7;
+      m.cpu_knob = CpuKnob::kFixed;
+      m.fixed_vcpus = 1.0;
+      m.fixed_mem_mb = 128.0;
+      break;
+    }
+  }
+  return m;
+}
+
+std::vector<BillingModel> MakeCatalog() {
+  std::vector<BillingModel> out;
+  for (Platform p : AllPlatforms()) {
+    out.push_back(MakeBillingModel(p));
+  }
+  return out;
+}
+
+std::vector<ComputeUnitPrice> MakeSection1Comparison() {
+  // §1: 1 vCPU-class unit on identical ARM hardware, us-east-2. The paper
+  // reports Lambda (1 vCPU, 1769 MB, 512 MB storage) at $2.3034e-5/s, a
+  // c6g.medium EC2 VM at $9.4753e-6/s (41.1%), and an equivalent Fargate
+  // container at $1.1003e-5/s (47.8%).
+  return {
+      {"AWS Lambda (ARM, 1 vCPU / 1769 MB)", 2.3034e-5, 2e-7},
+      {"AWS EC2 c6g.medium (1 vCPU / 2 GB)", 9.4753e-6, 0.0},
+      {"AWS Fargate (ARM, 1 vCPU / 2 GB)", 1.1003e-5, 0.0},
+  };
+}
+
+UnitPrices EffectiveUnitPrices(Platform p) {
+  const BillingModel m = MakeBillingModel(p);
+  UnitPrices out;
+  out.platform = p;
+  if (m.bills_cpu_separately || m.cpu_basis == ResourceBasis::kConsumed) {
+    out.per_vcpu_second = m.price_per_vcpu_second;
+    out.per_gb_second = m.bills_memory ? m.price_per_gb_second : 0.0;
+    out.cpu_embedded = false;
+    return out;
+  }
+  // Memory-only pricing: CPU is embedded. The implied vCPU rate is the cost
+  // of the memory that carries one vCPU, minus memory at the going
+  // separately-billed rate (we use GCP's memory rate as the industry
+  // reference, §2.2).
+  out.cpu_embedded = true;
+  out.per_gb_second = m.price_per_gb_second;
+  const Usd reference_mem_rate = 2.5e-6;  // GCP memory rate.
+  MegaBytes mb_per_vcpu = m.mb_per_vcpu;
+  if (mb_per_vcpu <= 0.0) {
+    // Fixed-combo platforms: use the largest combo's memory per vCPU.
+    if (!m.min_cpu_for_memory.empty()) {
+      const auto& [mem_mb, cpu] = m.min_cpu_for_memory.back();
+      mb_per_vcpu = mem_mb / cpu;
+    } else if (m.fixed_vcpus > 0.0) {
+      mb_per_vcpu = m.fixed_mem_mb / m.fixed_vcpus;
+    } else {
+      mb_per_vcpu = 1769.0;
+    }
+  }
+  const double gb_per_vcpu = MbToGb(mb_per_vcpu);
+  out.per_vcpu_second =
+      std::max(0.0, (m.price_per_gb_second - reference_mem_rate) * gb_per_vcpu);
+  return out;
+}
+
+std::optional<double> CpuMemPriceRatio(Platform p) {
+  const BillingModel m = MakeBillingModel(p);
+  if (!m.bills_cpu_separately || m.price_per_gb_second <= 0.0) {
+    return std::nullopt;
+  }
+  return m.price_per_vcpu_second / m.price_per_gb_second;
+}
+
+UnitPrices FargateUnitPrices() {
+  UnitPrices out;
+  out.platform = Platform::kAwsLambda;  // Placeholder; Fargate is not FaaS.
+  out.per_vcpu_second = 1.1244e-5;      // $0.04048 per vCPU-hour (x86).
+  out.per_gb_second = 1.2347e-6;        // $0.004445 per GB-hour.
+  out.cpu_embedded = false;
+  return out;
+}
+
+}  // namespace faascost

@@ -1,0 +1,79 @@
+// Machine-readable catalog of the billing models and unit prices of the ten
+// public serverless platforms the paper studies (Table 1 and Fig. 1, as of
+// 2025-05-15), plus the §1 price-comparison constants (AWS Lambda vs EC2 vs
+// Fargate on identical ARM hardware).
+//
+// All prices are USD. Where a platform does not document a value publicly the
+// entry carries the paper's empirical estimate and is flagged in the comment.
+
+#ifndef FAASCOST_BILLING_CATALOG_H_
+#define FAASCOST_BILLING_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/billing/model.h"
+
+namespace faascost {
+
+// Canonical platform identifiers used across the library.
+enum class Platform {
+  kAwsLambda,
+  kGcpCloudRunFunctions,   // Request-based billing, 1st gen knobs.
+  kAzureConsumption,
+  kAzureFlexConsumption,
+  kIbmCodeEngine,
+  kHuaweiFunctionGraph,
+  kAlibabaFunctionCompute,
+  kOracleFunctions,
+  kVercelFunctions,
+  kCloudflareWorkers,
+};
+
+// All platforms in Table 1 order.
+std::vector<Platform> AllPlatforms();
+
+const char* PlatformName(Platform p);
+
+// Billing model for one platform (Table 1 rules + Fig. 1 prices).
+BillingModel MakeBillingModel(Platform p);
+
+// Entire catalog in Table 1 order.
+std::vector<BillingModel> MakeCatalog();
+
+// §1 comparison constants: per-second cost of a ~1 vCPU / ~2 GB unit on AWS
+// Lambda (ARM), an EC2 c6g.medium VM, and an equivalently sized Fargate
+// container (us-east-2). The paper reports Lambda at $2.3034e-5/s with EC2 at
+// 41.1% and Fargate at 47.8% of that price.
+struct ComputeUnitPrice {
+  std::string service;
+  Usd per_second = 0.0;
+  Usd invocation_fee = 0.0;
+};
+std::vector<ComputeUnitPrice> MakeSection1Comparison();
+
+// Effective unit prices for Fig. 1. For platforms that bill memory only (CPU
+// embedded), `vcpu` is the embedded rate implied by the proportional
+// allocation (price of the memory that buys one vCPU, minus the memory's own
+// going rate) and `memory` is the listed memory rate.
+struct UnitPrices {
+  Platform platform;
+  Usd per_vcpu_second = 0.0;
+  Usd per_gb_second = 0.0;
+  bool cpu_embedded = false;
+};
+UnitPrices EffectiveUnitPrices(Platform p);
+
+// CPU-to-memory unit price ratio (vCPU-s price / GB-s price); the paper
+// reports 9-9.64 across GCP, Fargate, and IBM (§2.2). Returns nullopt for
+// platforms without separate CPU pricing.
+std::optional<double> CpuMemPriceRatio(Platform p);
+
+// AWS Fargate separate unit prices (x86, us-east-2), used for the §2.2 ratio
+// analysis.
+UnitPrices FargateUnitPrices();
+
+}  // namespace faascost
+
+#endif  // FAASCOST_BILLING_CATALOG_H_

@@ -1,0 +1,24 @@
+#include "src/billing/instance_time.h"
+
+#include <algorithm>
+
+namespace faascost {
+
+InstanceTimeBill BillInstanceTime(const InstanceTimeBillingModel& model,
+                                  const std::vector<InstanceSpan>& instances,
+                                  double vcpus, MegaBytes mem_mb, size_t num_requests) {
+  InstanceTimeBill bill;
+  for (const auto& inst : instances) {
+    const MicroSecs span =
+        std::max(inst.destroyed_at - inst.created_at, model.min_instance_time);
+    bill.instance_seconds += MicrosToSecs(span);
+  }
+  bill.resource_cost = bill.instance_seconds *
+                       (model.price_per_vcpu_second * vcpus +
+                        model.price_per_gb_second * MbToGb(mem_mb));
+  bill.invocation_cost = model.invocation_fee * static_cast<double>(num_requests);
+  bill.total = bill.resource_cost + bill.invocation_cost;
+  return bill;
+}
+
+}  // namespace faascost

@@ -1,0 +1,57 @@
+// Instance-time billing (paper §2.4): with provisioned concurrency, minimum
+// instances, or a configured scale-down delay, the user pays for the whole
+// runtime-instance lifespan rather than per request. Providers price
+// instance time slightly below the request-based rates (and usually without
+// rounding), but idle instance time is billed -- so bursty traffic with long
+// idle gaps can cost far more than request-based billing.
+
+#ifndef FAASCOST_BILLING_INSTANCE_TIME_H_
+#define FAASCOST_BILLING_INSTANCE_TIME_H_
+
+#include <vector>
+
+#include "src/billing/model.h"
+#include "src/common/units.h"
+
+namespace faascost {
+
+struct InstanceTimeBillingModel {
+  // GCP instance-based billing rates (request-based: 2.4e-5 / 2.5e-6).
+  Usd price_per_vcpu_second = 1.8e-5;
+  Usd price_per_gb_second = 2.0e-6;
+  Usd invocation_fee = 0.0;  // Instance-based billing waives request fees.
+  // Minimum billed lifespan per instance (some providers bill a floor).
+  MicroSecs min_instance_time = 0;
+};
+
+// One instance's lifespan for billing purposes.
+struct InstanceSpan {
+  MicroSecs created_at = 0;
+  MicroSecs destroyed_at = 0;
+};
+
+struct InstanceTimeBill {
+  Usd resource_cost = 0.0;
+  Usd invocation_cost = 0.0;
+  Usd total = 0.0;
+  double instance_seconds = 0.0;
+};
+
+// Bills instance lifespans at the given allocation.
+InstanceTimeBill BillInstanceTime(const InstanceTimeBillingModel& model,
+                                  const std::vector<InstanceSpan>& instances,
+                                  double vcpus, MegaBytes mem_mb, size_t num_requests);
+
+// Comparison of the two billing modes for the same run.
+struct BillingModeComparison {
+  Usd request_based_total = 0.0;
+  Usd instance_time_total = 0.0;
+  // > 1: instance-time billing costs more (bursty / low-utilization traffic,
+  // the paper's §2.4 warning); < 1: it is cheaper (dense traffic amortizes
+  // the instance and dodges rounding + fees).
+  double instance_over_request = 0.0;
+};
+
+}  // namespace faascost
+
+#endif  // FAASCOST_BILLING_INSTANCE_TIME_H_

@@ -1,0 +1,175 @@
+#include "src/billing/model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace faascost {
+
+MicroSecs RoundUpTime(MicroSecs value, MicroSecs granularity) {
+  if (granularity <= 0 || value <= 0) {
+    return std::max<MicroSecs>(value, 0);
+  }
+  return (value + granularity - 1) / granularity * granularity;
+}
+
+double RoundUpDouble(double value, double granularity) {
+  if (granularity <= 0.0 || value <= 0.0) {
+    return std::max(value, 0.0);
+  }
+  // The 1e-9 slack keeps snapping idempotent when a derived value (e.g. a
+  // proportional vCPU share times the MB-per-vCPU ratio) lands one ulp above
+  // an exact multiple.
+  return std::ceil(value / granularity - 1e-9) * granularity;
+}
+
+namespace {
+
+// Minimum vCPUs the platform requires for `mem_mb`, from the model's
+// threshold table (largest threshold not exceeding mem_mb).
+double MinCpuFor(const BillingModel& model, MegaBytes mem_mb) {
+  double min_cpu = 0.0;
+  for (const auto& [threshold_mb, cpu] : model.min_cpu_for_memory) {
+    if (mem_mb >= threshold_mb) {
+      min_cpu = cpu;
+    }
+  }
+  return min_cpu;
+}
+
+MegaBytes ClampMemory(const BillingModel& model, MegaBytes mem_mb) {
+  mem_mb = std::max(mem_mb, model.min_memory_mb);
+  if (model.max_memory_mb > 0.0) {
+    mem_mb = std::min(mem_mb, model.max_memory_mb);
+  }
+  return mem_mb;
+}
+
+}  // namespace
+
+SnappedAllocation SnapAllocation(const BillingModel& model, double want_vcpus,
+                                 MegaBytes want_mem_mb) {
+  SnappedAllocation out;
+  switch (model.cpu_knob) {
+    case CpuKnob::kFixed: {
+      out.vcpus = model.fixed_vcpus;
+      out.mem_mb = model.fixed_mem_mb;
+      return out;
+    }
+    case CpuKnob::kProportionalToMemory: {
+      assert(model.mb_per_vcpu > 0.0);
+      // Raise memory until the derived vCPU share covers the request; the
+      // paper maps Huawei allocations to AWS with max(mem, vcpu-equivalent).
+      MegaBytes mem = std::max(want_mem_mb, want_vcpus * model.mb_per_vcpu);
+      mem = ClampMemory(model, RoundUpDouble(mem, model.memory_step_mb));
+      out.mem_mb = mem;
+      out.vcpus = mem / model.mb_per_vcpu;
+      return out;
+    }
+    case CpuKnob::kIndependent: {
+      if (!model.fixed_memory_sizes.empty()) {
+        // Fixed vCPU-memory combos: pick the first size that covers both the
+        // memory demand and (via the combo's CPU) the CPU demand.
+        MegaBytes chosen = model.fixed_memory_sizes.back();
+        for (MegaBytes size : model.fixed_memory_sizes) {
+          if (size >= want_mem_mb && MinCpuFor(model, size) >= want_vcpus) {
+            chosen = size;
+            break;
+          }
+        }
+        out.mem_mb = chosen;
+        out.vcpus = std::max(MinCpuFor(model, chosen), want_vcpus);
+        if (model.cpu_granularity_vcpus > 0.0) {
+          out.vcpus = RoundUpDouble(out.vcpus, model.cpu_granularity_vcpus);
+        }
+        return out;
+      }
+      MegaBytes mem = ClampMemory(model, RoundUpDouble(want_mem_mb, model.memory_step_mb));
+      double cpu = std::max(want_vcpus, MinCpuFor(model, mem));
+      if (model.cpu_granularity_vcpus > 0.0) {
+        cpu = RoundUpDouble(cpu, model.cpu_granularity_vcpus);
+      }
+      out.mem_mb = mem;
+      out.vcpus = cpu;
+      return out;
+    }
+  }
+  return out;
+}
+
+MicroSecs BillableTimeOf(const BillingModel& model, const RequestRecord& request) {
+  MicroSecs t = 0;
+  switch (model.billable_time) {
+    case BillableTime::kExecution:
+      t = request.exec_duration;
+      break;
+    case BillableTime::kTurnaround:
+      t = request.exec_duration + request.init_duration;
+      break;
+    case BillableTime::kConsumedCpuTime:
+      t = request.cpu_time;
+      break;
+  }
+  t = RoundUpTime(t, model.time_granularity);
+  return std::max(t, model.min_billable_time);
+}
+
+Invoice ComputeInvoice(const BillingModel& model, const RequestRecord& request) {
+  Invoice inv;
+  const SnappedAllocation alloc =
+      SnapAllocation(model, request.alloc_vcpus, request.alloc_mem_mb);
+  inv.billable_time = BillableTimeOf(model, request);
+  const double t_sec = MicrosToSecs(inv.billable_time);
+
+  // CPU component. Embedded-CPU platforms still report billable vCPU time
+  // (the CPU price is folded into the memory price, paper §2.2).
+  if (model.cpu_basis == ResourceBasis::kConsumed) {
+    const MicroSecs billed_cpu = std::max(
+        RoundUpTime(request.cpu_time, model.time_granularity), model.min_billable_time);
+    inv.billable_vcpu_seconds = MicrosToSecs(billed_cpu);
+  } else {
+    inv.billable_vcpu_seconds = alloc.vcpus * t_sec;
+  }
+  if (model.bills_cpu_separately || model.cpu_basis == ResourceBasis::kConsumed) {
+    inv.resource_cost += model.price_per_vcpu_second * inv.billable_vcpu_seconds;
+  }
+
+  // Memory component.
+  if (model.bills_memory) {
+    MegaBytes billed_mem = 0.0;
+    if (model.mem_basis == ResourceBasis::kConsumed) {
+      billed_mem = RoundUpDouble(request.used_mem_mb, model.mem_granularity_mb);
+    } else {
+      billed_mem = model.mem_granularity_mb > 0.0
+                       ? RoundUpDouble(alloc.mem_mb, model.mem_granularity_mb)
+                       : alloc.mem_mb;
+    }
+    inv.billable_gb_seconds = MbToGb(billed_mem) * t_sec;
+    inv.resource_cost += model.price_per_gb_second * inv.billable_gb_seconds;
+  }
+
+  inv.invocation_cost = model.invocation_fee;
+  inv.total = inv.resource_cost + inv.invocation_cost;
+  return inv;
+}
+
+Usd ResourceCostPerSecond(const BillingModel& model, const SnappedAllocation& alloc) {
+  Usd per_sec = 0.0;
+  if (model.bills_cpu_separately || model.cpu_basis == ResourceBasis::kConsumed) {
+    per_sec += model.price_per_vcpu_second * alloc.vcpus;
+  }
+  if (model.bills_memory) {
+    per_sec += model.price_per_gb_second * MbToGb(alloc.mem_mb);
+  }
+  return per_sec;
+}
+
+double FeeEquivalentMillis(const BillingModel& model, const SnappedAllocation& alloc) {
+  const Usd per_sec = ResourceCostPerSecond(model, alloc);
+  if (per_sec <= 0.0) {
+    return 0.0;
+  }
+  return model.invocation_fee / per_sec * 1000.0;
+}
+
+}  // namespace faascost

@@ -1,0 +1,135 @@
+// Generalized pay-per-use billing model, implementing the paper's
+// Equation (1):
+//
+//   Cost = sum_{r in R_alloc} ceil(ALLOC(r)/G_r)*G_r * ceil(T/G_T)*G_T * C_r
+//        + sum_{r in R_usg}   ceil(USG(r)/G_r)*G_r * C_r
+//        + C_0
+//
+// where T is the billable wall-clock time (execution or turnaround),
+// allocation-based resources are charged for the full billable duration,
+// usage-based resources are charged on consumption, G are rounding
+// granularities / minimum cutoffs, and C_0 is the fixed invocation fee.
+
+#ifndef FAASCOST_BILLING_MODEL_H_
+#define FAASCOST_BILLING_MODEL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/trace/record.h"
+
+namespace faascost {
+
+// What counts as the billable wall-clock time T (paper Table 1).
+enum class BillableTime {
+  kExecution,       // Wall-clock execution duration only.
+  kTurnaround,      // Execution plus initialization (cold start) duration.
+  kConsumedCpuTime, // Consumed CPU time (Cloudflare Workers).
+};
+
+// Whether a resource is charged on its allocation or on actual consumption.
+enum class ResourceBasis {
+  kAllocated,
+  kConsumed,
+};
+
+// How the platform derives the vCPU allocation from the user-facing knobs.
+enum class CpuKnob {
+  kProportionalToMemory,  // vCPU = memory / mb_per_vcpu (AWS, Vercel, ...).
+  kIndependent,           // Separate CPU knob (GCP, Alibaba, IBM).
+  kFixed,                 // Platform-fixed size (Azure Consumption, Cloudflare).
+};
+
+struct BillingModel {
+  std::string platform;
+
+  BillableTime billable_time = BillableTime::kExecution;
+  MicroSecs time_granularity = kMicrosPerMilli;  // G_T.
+  MicroSecs min_billable_time = 0;               // Minimum cutoff (0 = none).
+
+  // --- CPU ---
+  // True if CPU appears as its own line item. When false, CPU cost is
+  // embedded in the memory price (memory-only billing); billable vCPU time is
+  // still reported for analysis (paper §2.2-2.3 includes billable vCPU time
+  // for AWS because the CPU price is embedded).
+  bool bills_cpu_separately = false;
+  ResourceBasis cpu_basis = ResourceBasis::kAllocated;
+  double cpu_granularity_vcpus = 0.0;  // Knob/billing step; 0 = no rounding.
+  Usd price_per_vcpu_second = 0.0;     // 0 when embedded in memory price.
+
+  // --- Memory ---
+  bool bills_memory = true;
+  ResourceBasis mem_basis = ResourceBasis::kAllocated;
+  MegaBytes mem_granularity_mb = 0.0;  // 0 = no rounding.
+  Usd price_per_gb_second = 0.0;
+
+  Usd invocation_fee = 0.0;  // C_0.
+
+  // --- Control-knob model (how trace allocations map onto this platform) ---
+  CpuKnob cpu_knob = CpuKnob::kIndependent;
+  MegaBytes mb_per_vcpu = 0.0;       // For kProportionalToMemory.
+  MegaBytes memory_step_mb = 1.0;    // Memory knob step.
+  MegaBytes min_memory_mb = 0.0;
+  MegaBytes max_memory_mb = 0.0;     // 0 = unbounded.
+  double fixed_vcpus = 0.0;          // For kFixed.
+  MegaBytes fixed_mem_mb = 0.0;      // For kFixed (billing may still use usage).
+  // Fixed memory sizes (Azure Flex, Oracle); empty = continuous knob.
+  std::vector<MegaBytes> fixed_memory_sizes;
+  // Minimum vCPU required per memory size, as (memory MB, min vCPUs) steps
+  // sorted by memory (GCP's constraint table, paper §2.2). Empty = none.
+  std::vector<std::pair<MegaBytes, double>> min_cpu_for_memory;
+};
+
+// The allocation actually billed after snapping the requested (vCPU, memory)
+// onto the platform's control knobs.
+struct SnappedAllocation {
+  double vcpus = 0.0;
+  MegaBytes mem_mb = 0.0;
+};
+
+// Maps a desired allocation onto the platform's knobs: applies fixed sizes,
+// granularity rounding (up), proportional-CPU coupling and minimum-CPU
+// constraints. For proportional platforms the memory is first raised so the
+// derived vCPU count covers `want_vcpus` (the paper maps Huawei allocations
+// onto AWS by taking the larger of the two, §2.3).
+SnappedAllocation SnapAllocation(const BillingModel& model, double want_vcpus,
+                                 MegaBytes want_mem_mb);
+
+// Result of billing one request under a model.
+struct Invoice {
+  MicroSecs billable_time = 0;        // Rounded billable wall-clock time.
+  double billable_vcpu_seconds = 0.0; // Includes embedded-CPU platforms.
+  double billable_gb_seconds = 0.0;   // 0 if memory not billed (Cloudflare).
+  Usd resource_cost = 0.0;
+  Usd invocation_cost = 0.0;
+  Usd total = 0.0;
+};
+
+// Bills one trace request under `model`. The trace allocation is snapped via
+// SnapAllocation; consumption-based components use the record's measured
+// usage.
+Invoice ComputeInvoice(const BillingModel& model, const RequestRecord& request);
+
+// Rounds `value` up to a multiple of `granularity` (> 0); identity otherwise.
+MicroSecs RoundUpTime(MicroSecs value, MicroSecs granularity);
+double RoundUpDouble(double value, double granularity);
+
+// The billable wall-clock time of a request under the model's time rules
+// (granularity + minimum cutoff + turnaround inclusion). For
+// kConsumedCpuTime models this is the rounded CPU time.
+MicroSecs BillableTimeOf(const BillingModel& model, const RequestRecord& request);
+
+// Equivalent billable wall-clock time of the invocation fee for a function
+// with the given snapped allocation: the duration whose resource cost equals
+// the fee (paper Fig. 5-left; e.g. 96 ms for AWS at 128 MB).
+double FeeEquivalentMillis(const BillingModel& model, const SnappedAllocation& alloc);
+
+// Per-second resource cost of holding `alloc` for one second under `model`
+// (allocation-based components only).
+Usd ResourceCostPerSecond(const BillingModel& model, const SnappedAllocation& alloc);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_BILLING_MODEL_H_

@@ -1,0 +1,201 @@
+#include "src/cluster/fleet_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace faascost {
+
+namespace {
+
+// A function's live sandbox (single-concurrency: busy until available_at).
+struct LiveSandbox {
+  MicroSecs available_at = 0;
+  size_t span_index = 0;
+};
+
+Usd SpanRate(const SandboxSpan& span, const FleetSimConfig& cfg) {
+  return cfg.hardware_per_vcpu_second * span.vcpus +
+         cfg.hardware_per_gb_second * MbToGb(span.mem_mb);
+}
+
+RequestRecord Billed(const RequestRecord& r, bool cold, const FleetSimConfig& cfg) {
+  RequestRecord out = r;
+  out.cold_start = cold;
+  out.init_duration = cold ? cfg.init_duration : 0;
+  return out;
+}
+
+}  // namespace
+
+FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
+                          const BillingModel& billing, const FleetSimConfig& config) {
+  FleetResult result;
+  result.requests = static_cast<int64_t>(trace.size());
+
+  // Per-function sandbox pools, fed in global arrival order.
+  std::unordered_map<int64_t, std::vector<LiveSandbox>> pools;
+  for (const auto& r : trace) {
+    assert(r.exec_duration >= 0);
+    auto& pool = pools[r.function_id];
+    // Reuse the most recently freed sandbox that is idle and unexpired.
+    LiveSandbox* reuse = nullptr;
+    for (auto& sb : pool) {
+      if (sb.available_at <= r.arrival &&
+          r.arrival - sb.available_at <= config.keepalive) {
+        if (reuse == nullptr || sb.available_at > reuse->available_at) {
+          reuse = &sb;
+        }
+      }
+    }
+    if (reuse != nullptr) {
+      SandboxSpan& span = result.spans[reuse->span_index];
+      span.idle += r.arrival - reuse->available_at;
+      span.busy += r.exec_duration;
+      ++span.requests;
+      reuse->available_at = r.arrival + r.exec_duration;
+      result.revenue += ComputeInvoice(billing, Billed(r, false, config)).total;
+      result.fee_revenue += billing.invocation_fee;
+    } else {
+      SandboxSpan span;
+      span.function_id = r.function_id;
+      span.vcpus = r.alloc_vcpus;
+      span.mem_mb = r.alloc_mem_mb;
+      span.created_at = r.arrival;
+      span.busy = config.init_duration + r.exec_duration;
+      span.requests = 1;
+      result.spans.push_back(span);
+      LiveSandbox sb;
+      sb.available_at = r.arrival + config.init_duration + r.exec_duration;
+      sb.span_index = result.spans.size() - 1;
+      pool.push_back(sb);
+      ++result.cold_starts;
+      result.revenue += ComputeInvoice(billing, Billed(r, true, config)).total;
+      result.fee_revenue += billing.invocation_fee;
+    }
+  }
+
+  // Close every sandbox: it lingers one keep-alive window past its last use.
+  for (auto& [fid, pool] : pools) {
+    for (const auto& sb : pool) {
+      SandboxSpan& span = result.spans[sb.span_index];
+      span.idle += config.keepalive;
+      span.destroyed_at = sb.available_at + config.keepalive;
+    }
+  }
+
+  result.sandboxes = static_cast<int64_t>(result.spans.size());
+  for (const auto& span : result.spans) {
+    result.sandbox_seconds += MicrosToSecs(span.destroyed_at - span.created_at);
+    result.busy_seconds += MicrosToSecs(span.busy);
+    result.idle_seconds += MicrosToSecs(span.idle);
+    const Usd rate = SpanRate(span, config);
+    result.hardware_cost += rate * MicrosToSecs(span.busy) +
+                            rate * config.ka_cost_share * MicrosToSecs(span.idle);
+  }
+  if (result.revenue > 0.0) {
+    result.margin = (result.revenue - result.hardware_cost) / result.revenue;
+  }
+
+  // Pack the sandbox spans onto servers to find the fleet high-water mark.
+  struct Event {
+    MicroSecs time;
+    bool create;
+    size_t span;
+  };
+  std::vector<Event> events;
+  events.reserve(result.spans.size() * 2);
+  for (size_t i = 0; i < result.spans.size(); ++i) {
+    events.push_back({result.spans[i].created_at, true, i});
+    events.push_back({result.spans[i].destroyed_at, false, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    return a.create < b.create;  // Process destroys before creates at ties.
+  });
+  ClusterPlacer placer(config.server, config.placement);
+  std::vector<Placement> tickets(result.spans.size());
+  for (const auto& ev : events) {
+    const SandboxSpan& span = result.spans[ev.span];
+    if (ev.create) {
+      tickets[ev.span] = placer.Place({span.vcpus, span.mem_mb});
+      result.peak_servers = std::max(result.peak_servers, placer.active_server_count());
+    } else {
+      placer.Release(tickets[ev.span]);
+    }
+  }
+  return result;
+}
+
+std::vector<EconomicsBucket> BucketEconomics(const FleetResult& result,
+                                             const std::vector<RequestRecord>& trace,
+                                             const BillingModel& billing,
+                                             const FleetSimConfig& config, int buckets) {
+  assert(buckets > 0);
+  struct FnAgg {
+    int64_t requests = 0;
+    Usd revenue = 0.0;
+    Usd cost = 0.0;
+    int64_t cold = 0;
+  };
+  std::unordered_map<int64_t, FnAgg> per_fn;
+
+  // Cost and cold starts from the spans.
+  for (const auto& span : result.spans) {
+    FnAgg& agg = per_fn[span.function_id];
+    const Usd rate = SpanRate(span, config);
+    agg.cost += rate * MicrosToSecs(span.busy) +
+                rate * config.ka_cost_share * MicrosToSecs(span.idle);
+    ++agg.cold;
+  }
+  // Revenue approximated per request with warm billing plus the per-span
+  // cold-start surcharge (exact enough for bucketing).
+  for (const auto& r : trace) {
+    FnAgg& agg = per_fn[r.function_id];
+    ++agg.requests;
+    RequestRecord warm = r;
+    warm.cold_start = false;
+    warm.init_duration = 0;
+    agg.revenue += ComputeInvoice(billing, warm).total;
+  }
+  if (billing.billable_time == BillableTime::kTurnaround) {
+    for (const auto& span : result.spans) {
+      FnAgg& agg = per_fn[span.function_id];
+      // The init duration billed at the sandbox's allocation rate.
+      RequestRecord init_only;
+      init_only.exec_duration = 0;
+      init_only.cpu_time = 0;
+      init_only.init_duration = config.init_duration;
+      init_only.cold_start = true;
+      init_only.alloc_vcpus = span.vcpus;
+      init_only.alloc_mem_mb = span.mem_mb;
+      agg.revenue += ComputeInvoice(billing, init_only).resource_cost;
+    }
+  }
+
+  std::vector<std::pair<int64_t, FnAgg>> sorted(per_fn.begin(), per_fn.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.requests > b.second.requests;
+  });
+
+  std::vector<EconomicsBucket> out(static_cast<size_t>(buckets));
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const size_t b = i * static_cast<size_t>(buckets) / sorted.size();
+    EconomicsBucket& bucket = out[b];
+    ++bucket.functions;
+    bucket.requests += sorted[i].second.requests;
+    bucket.revenue += sorted[i].second.revenue;
+    bucket.hardware_cost += sorted[i].second.cost;
+    bucket.cold_start_rate += static_cast<double>(sorted[i].second.cold);
+  }
+  for (auto& bucket : out) {
+    if (bucket.requests > 0) {
+      bucket.cold_start_rate /= static_cast<double>(bucket.requests);
+    }
+  }
+  return out;
+}
+
+}  // namespace faascost

@@ -1,0 +1,88 @@
+// Fleet-level serving simulation: an entire trace day across thousands of
+// functions, each with its own sandbox pool and keep-alive lifecycle, packed
+// onto host servers. This ties the paper's layers together end to end:
+// per-request billing (§2) x keep-alive and cold starts (§3.3) x placement
+// and deployment density (§2.2) x provider economics ("these costs are
+// ultimately passed on to users through per-unit resource pricing or
+// invocation fees").
+//
+// The per-function serving model is the single-concurrency one (a sandbox
+// serves one request at a time; concurrent arrivals fan out to more
+// sandboxes), with a fixed keep-alive window after each idle period.
+
+#ifndef FAASCOST_CLUSTER_FLEET_SIM_H_
+#define FAASCOST_CLUSTER_FLEET_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/billing/model.h"
+#include "src/cluster/placement.h"
+#include "src/trace/record.h"
+
+namespace faascost {
+
+struct FleetSimConfig {
+  MicroSecs keepalive = 300LL * kMicrosPerSec;  // Per-sandbox KA window.
+  MicroSecs init_duration = 400 * kMicrosPerMilli;  // Cold-start cost.
+  // KA-phase cost share of the full allocation (Table 2: 1.0 = run as
+  // usual, ~0.03 = freeze/deallocate, GCP-style in between).
+  double ka_cost_share = 1.0;
+  ServerSpec server;
+  PlacementPolicy placement = PlacementPolicy::kBestFit;
+  // Provider hardware rate for a fully-utilized (1 vCPU, 2 GB) unit.
+  Usd hardware_per_vcpu_second = 7.68e-6;
+  Usd hardware_per_gb_second = 8.53e-7;
+};
+
+// One sandbox's lifetime, for placement and cost accounting.
+struct SandboxSpan {
+  int64_t function_id = 0;
+  double vcpus = 0.0;
+  MegaBytes mem_mb = 0.0;
+  MicroSecs created_at = 0;
+  MicroSecs destroyed_at = 0;
+  MicroSecs busy = 0;   // init + execution time.
+  MicroSecs idle = 0;   // Keep-alive time.
+  int64_t requests = 0;
+};
+
+struct FleetResult {
+  int64_t requests = 0;
+  int64_t cold_starts = 0;
+  int64_t sandboxes = 0;
+  double sandbox_seconds = 0.0;  // Sum of sandbox lifetimes.
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+  int peak_servers = 0;          // Fleet size high-water mark.
+  Usd revenue = 0.0;             // User bills under the billing model.
+  Usd fee_revenue = 0.0;         // Fee component of the revenue.
+  Usd hardware_cost = 0.0;       // Busy at full rate; idle at ka_cost_share.
+  double margin = 0.0;
+  std::vector<SandboxSpan> spans;  // Per-sandbox accounting.
+};
+
+// Simulates sandbox lifecycles for the whole trace (requests must be sorted
+// by arrival; they are grouped per function internally), bills every request
+// under `billing`, and packs the sandbox spans onto servers to find the
+// fleet's peak size.
+FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
+                          const BillingModel& billing, const FleetSimConfig& config);
+
+// Revenue/cost split by function-popularity decile: functions sorted by
+// request count, bucketed into `buckets` groups of equal function count.
+struct EconomicsBucket {
+  int64_t functions = 0;
+  int64_t requests = 0;
+  Usd revenue = 0.0;
+  Usd hardware_cost = 0.0;
+  double cold_start_rate = 0.0;
+};
+std::vector<EconomicsBucket> BucketEconomics(const FleetResult& result,
+                                             const std::vector<RequestRecord>& trace,
+                                             const BillingModel& billing,
+                                             const FleetSimConfig& config, int buckets);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_CLUSTER_FLEET_SIM_H_

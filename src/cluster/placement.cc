@@ -1,0 +1,226 @@
+#include "src/cluster/placement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace faascost {
+
+const char* PlacementPolicyName(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kFirstFit:
+      return "first-fit";
+    case PlacementPolicy::kBestFit:
+      return "best-fit";
+    case PlacementPolicy::kWorstFit:
+      return "worst-fit";
+  }
+  return "unknown";
+}
+
+ClusterPlacer::ClusterPlacer(ServerSpec server, PlacementPolicy policy)
+    : spec_(server), policy_(policy) {
+  assert(spec_.vcpus > 0.0);
+  assert(spec_.mem_mb > 0.0);
+}
+
+bool ClusterPlacer::Fits(const Server& s, const SandboxDemand& d) const {
+  return s.cpu_used + d.vcpus <= spec_.vcpus + 1e-9 &&
+         s.mem_used + d.mem_mb <= spec_.mem_mb + 1e-6;
+}
+
+double ClusterPlacer::RemainingScore(const Server& s) const {
+  // Normalized remaining capacity across both dimensions.
+  return (spec_.vcpus - s.cpu_used) / spec_.vcpus +
+         (spec_.mem_mb - s.mem_used) / spec_.mem_mb;
+}
+
+Placement ClusterPlacer::Place(const SandboxDemand& demand) {
+  assert(demand.vcpus <= spec_.vcpus && demand.mem_mb <= spec_.mem_mb);
+  int chosen = -1;
+  double chosen_score = 0.0;
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    if (!Fits(servers_[i], demand)) {
+      continue;
+    }
+    if (policy_ == PlacementPolicy::kFirstFit) {
+      chosen = static_cast<int>(i);
+      break;
+    }
+    const double score = RemainingScore(servers_[i]);
+    const bool better = policy_ == PlacementPolicy::kBestFit ? score < chosen_score
+                                                             : score > chosen_score;
+    if (chosen < 0 || better) {
+      chosen = static_cast<int>(i);
+      chosen_score = score;
+    }
+  }
+  if (chosen < 0) {
+    servers_.push_back({});
+    chosen = static_cast<int>(servers_.size()) - 1;
+  }
+  Server& s = servers_[static_cast<size_t>(chosen)];
+  s.cpu_used += demand.vcpus;
+  s.mem_used += demand.mem_mb;
+  ++s.sandboxes;
+  ++sandboxes_;
+  return {chosen, demand};
+}
+
+void ClusterPlacer::Release(const Placement& placement) {
+  assert(placement.server >= 0 &&
+         placement.server < static_cast<int>(servers_.size()));
+  Server& s = servers_[static_cast<size_t>(placement.server)];
+  s.cpu_used = std::max(0.0, s.cpu_used - placement.demand.vcpus);
+  s.mem_used = std::max<MegaBytes>(0.0, s.mem_used - placement.demand.mem_mb);
+  --s.sandboxes;
+  --sandboxes_;
+}
+
+int ClusterPlacer::active_server_count() const {
+  int n = 0;
+  for (const auto& s : servers_) {
+    if (s.sandboxes > 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double ClusterPlacer::CpuUtilization() const {
+  double used = 0.0;
+  int active = 0;
+  for (const auto& s : servers_) {
+    if (s.sandboxes > 0) {
+      used += s.cpu_used / spec_.vcpus;
+      ++active;
+    }
+  }
+  return active > 0 ? used / active : 0.0;
+}
+
+double ClusterPlacer::MemUtilization() const {
+  double used = 0.0;
+  int active = 0;
+  for (const auto& s : servers_) {
+    if (s.sandboxes > 0) {
+      used += s.mem_used / spec_.mem_mb;
+      ++active;
+    }
+  }
+  return active > 0 ? used / active : 0.0;
+}
+
+double ClusterPlacer::StrandedCpuFraction(double exhaustion_threshold) const {
+  // CPU left unusable on servers whose memory is effectively exhausted.
+  double stranded = 0.0;
+  int active = 0;
+  for (const auto& s : servers_) {
+    if (s.sandboxes == 0) {
+      continue;
+    }
+    ++active;
+    if (s.mem_used / spec_.mem_mb >= exhaustion_threshold) {
+      stranded += (spec_.vcpus - s.cpu_used) / spec_.vcpus;
+    }
+  }
+  return active > 0 ? stranded / active : 0.0;
+}
+
+double ClusterPlacer::StrandedMemFraction(double exhaustion_threshold) const {
+  double stranded = 0.0;
+  int active = 0;
+  for (const auto& s : servers_) {
+    if (s.sandboxes == 0) {
+      continue;
+    }
+    ++active;
+    if (s.cpu_used / spec_.vcpus >= exhaustion_threshold) {
+      stranded += (spec_.mem_mb - s.mem_used) / spec_.mem_mb;
+    }
+  }
+  return active > 0 ? stranded / active : 0.0;
+}
+
+double ClusterPlacer::DeploymentDensity() const {
+  const int active = active_server_count();
+  return active > 0 ? static_cast<double>(sandboxes_) / active : 0.0;
+}
+
+const char* KnobPolicyName(KnobPolicy p) {
+  switch (p) {
+    case KnobPolicy::kUnconstrained:
+      return "unconstrained";
+    case KnobPolicy::kRatioBounded:
+      return "ratio-bounded (1:1..1:4 vCPU:GB)";
+    case KnobPolicy::kProportional:
+      return "memory-proportional CPU (1769 MB/vCPU)";
+    case KnobPolicy::kFixedCombos:
+      return "fixed CPU-memory combos";
+  }
+  return "unknown";
+}
+
+SandboxDemand ApplyKnobPolicy(KnobPolicy policy, const SandboxDemand& raw) {
+  SandboxDemand d = raw;
+  switch (policy) {
+    case KnobPolicy::kUnconstrained:
+      return d;
+    case KnobPolicy::kRatioBounded: {
+      // Alibaba: vCPU:GB within [1:4, 1:1]; round CPU up to 0.05 steps and
+      // memory to 64 MB steps, raising whichever side violates the band.
+      const double gb = MbToGb(d.mem_mb);
+      if (d.vcpus < gb / 4.0) {
+        d.vcpus = gb / 4.0;  // Too little CPU for the memory.
+      }
+      if (gb < d.vcpus) {
+        d.mem_mb = d.vcpus * 1024.0;  // Too little memory for the CPU.
+      }
+      d.vcpus = std::ceil(d.vcpus / 0.05) * 0.05;
+      d.mem_mb = std::ceil(d.mem_mb / 64.0) * 64.0;
+      return d;
+    }
+    case KnobPolicy::kProportional: {
+      // AWS: memory raised so the proportional CPU covers the demand.
+      const MegaBytes needed = d.vcpus * kAwsLambdaMbPerVcpu;
+      d.mem_mb = std::max(d.mem_mb, needed);
+      d.vcpus = d.mem_mb / kAwsLambdaMbPerVcpu;
+      return d;
+    }
+    case KnobPolicy::kFixedCombos: {
+      // Huawei-style ladder; pick the first combo covering both dimensions.
+      static const SandboxDemand kCombos[] = {
+          {0.3, 512.0}, {0.5, 1024.0}, {1.0, 2048.0}, {2.0, 4096.0}, {4.0, 8192.0},
+      };
+      for (const auto& combo : kCombos) {
+        if (combo.vcpus >= d.vcpus && combo.mem_mb >= d.mem_mb) {
+          return combo;
+        }
+      }
+      return kCombos[std::size(kCombos) - 1];
+    }
+  }
+  return d;
+}
+
+DensityReport PackAndMeasure(const std::vector<SandboxDemand>& raw_demands,
+                             KnobPolicy knob, PlacementPolicy placement,
+                             const ServerSpec& server) {
+  ClusterPlacer placer(server, placement);
+  DensityReport out;
+  for (const auto& raw : raw_demands) {
+    const SandboxDemand d = ApplyKnobPolicy(knob, raw);
+    out.allocated_cpu += d.vcpus;
+    out.allocated_mem += d.mem_mb;
+    placer.Place(d);
+  }
+  out.servers = placer.active_server_count();
+  out.density = placer.DeploymentDensity();
+  out.cpu_util = placer.CpuUtilization();
+  out.mem_util = placer.MemUtilization();
+  out.stranded_cpu = placer.StrandedCpuFraction();
+  out.stranded_mem = placer.StrandedMemFraction();
+  return out;
+}
+
+}  // namespace faascost

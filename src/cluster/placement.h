@@ -1,0 +1,129 @@
+// Function placement and deployment density (paper §2.2): the constraints
+// providers put on resource control knobs (fixed combos, bounded CPU:memory
+// ratios) "reflect an underlying function placement challenge: highly
+// unbalanced CPU-to-memory combinations can fragment the resource capacity
+// on host servers, potentially leading to higher deployment costs, e.g.
+// through decreased deployment density, or higher scheduling delay waiting
+// for placement."
+//
+// This module models a fleet of identical hosts onto which function
+// sandboxes are packed by their (vCPU, memory) allocation, and measures the
+// deployment density and the stranded (unusable) capacity different knob
+// policies produce.
+
+#ifndef FAASCOST_CLUSTER_PLACEMENT_H_
+#define FAASCOST_CLUSTER_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace faascost {
+
+// Host shape. The default mirrors a common FaaS worker: 64 vCPUs with 4 GB
+// of memory per core (the 1:4 CPU:GB boundary Alibaba enforces on users).
+struct ServerSpec {
+  double vcpus = 64.0;
+  MegaBytes mem_mb = 64.0 * 4096.0;
+};
+
+struct SandboxDemand {
+  double vcpus = 0.0;
+  MegaBytes mem_mb = 0.0;
+};
+
+enum class PlacementPolicy {
+  kFirstFit,  // First server with room.
+  kBestFit,   // Server with the least remaining capacity that still fits.
+  kWorstFit,  // Server with the most remaining capacity.
+};
+
+const char* PlacementPolicyName(PlacementPolicy p);
+
+// A placement ticket used to release capacity later.
+struct Placement {
+  int server = -1;
+  SandboxDemand demand;
+};
+
+class ClusterPlacer {
+ public:
+  ClusterPlacer(ServerSpec server, PlacementPolicy policy);
+
+  // Places a sandbox, opening a new server when nothing fits. Returns the
+  // ticket (server index is always valid: servers are unbounded).
+  Placement Place(const SandboxDemand& demand);
+
+  // Returns capacity from an earlier placement.
+  void Release(const Placement& placement);
+
+  int server_count() const { return static_cast<int>(servers_.size()); }
+  int active_server_count() const;  // Servers hosting at least one sandbox.
+  int64_t sandbox_count() const { return sandboxes_; }
+
+  // Mean utilization of each dimension across ACTIVE servers.
+  double CpuUtilization() const;
+  double MemUtilization() const;
+
+  // Stranded capacity (paper's fragmentation): on each active server, the
+  // share of one dimension that cannot be used because the other dimension
+  // is (nearly) exhausted. Reported as the fleet-wide fraction of the
+  // less-utilized dimension left unusable on servers whose other dimension
+  // is above `exhaustion_threshold`.
+  double StrandedCpuFraction(double exhaustion_threshold = 0.9) const;
+  double StrandedMemFraction(double exhaustion_threshold = 0.9) const;
+
+  // Sandboxes per active server.
+  double DeploymentDensity() const;
+
+ private:
+  struct Server {
+    double cpu_used = 0.0;
+    MegaBytes mem_used = 0.0;
+    int64_t sandboxes = 0;
+  };
+
+  bool Fits(const Server& s, const SandboxDemand& d) const;
+  double RemainingScore(const Server& s) const;
+
+  ServerSpec spec_;
+  PlacementPolicy policy_;
+  std::vector<Server> servers_;
+  int64_t sandboxes_ = 0;
+};
+
+// --- Knob-policy experiment (paper §2.2) ---
+
+// How the platform constrains what users may request.
+enum class KnobPolicy {
+  kUnconstrained,     // Users get exactly what they ask for.
+  kRatioBounded,      // CPU:GB ratio clamped to [1:4, 1:1] (Alibaba-style).
+  kProportional,      // CPU forced proportional to memory (AWS-style).
+  kFixedCombos,       // Snap up to the nearest fixed combo (Huawei-style).
+};
+
+const char* KnobPolicyName(KnobPolicy p);
+
+// Applies the knob policy to a raw demand (never shrinks either dimension).
+SandboxDemand ApplyKnobPolicy(KnobPolicy policy, const SandboxDemand& raw);
+
+struct DensityReport {
+  int servers = 0;
+  double density = 0.0;   // Sandboxes per server.
+  double cpu_util = 0.0;
+  double mem_util = 0.0;
+  double stranded_cpu = 0.0;
+  double stranded_mem = 0.0;
+  double allocated_cpu = 0.0;      // Total vCPUs granted (>= requested).
+  MegaBytes allocated_mem = 0.0;
+};
+
+// Packs the demands (after the knob policy) and reports fleet metrics.
+DensityReport PackAndMeasure(const std::vector<SandboxDemand>& raw_demands,
+                             KnobPolicy knob, PlacementPolicy placement,
+                             const ServerSpec& server = {});
+
+}  // namespace faascost
+
+#endif  // FAASCOST_CLUSTER_PLACEMENT_H_

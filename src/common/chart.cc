@@ -1,0 +1,90 @@
+#include "src/common/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace faascost {
+
+AsciiChart::AsciiChart(size_t width, size_t height) : width_(width), height_(height) {}
+
+std::string AsciiChart::Render() const {
+  std::ostringstream out;
+  if (!title_.empty()) {
+    out << title_ << '\n';
+  }
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      if (!std::isfinite(x) || !std::isfinite(y)) {
+        continue;
+      }
+      any = true;
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (!any) {
+    out << "(no data)\n";
+    return out.str();
+  }
+  if (xmax <= xmin) {
+    xmax = xmin + 1.0;
+  }
+  if (ymax <= ymin) {
+    ymax = ymin + 1.0;
+  }
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      if (!std::isfinite(x) || !std::isfinite(y)) {
+        continue;
+      }
+      const double fx = (x - xmin) / (xmax - xmin);
+      const double fy = (y - ymin) / (ymax - ymin);
+      size_t cx = static_cast<size_t>(fx * static_cast<double>(width_ - 1) + 0.5);
+      size_t cy = static_cast<size_t>(fy * static_cast<double>(height_ - 1) + 0.5);
+      cx = std::min(cx, width_ - 1);
+      cy = std::min(cy, height_ - 1);
+      grid[height_ - 1 - cy][cx] = s.marker;
+    }
+  }
+
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%10.4g", ymax);
+  out << buf << " +" << grid.front() << "+\n";
+  for (size_t r = 1; r + 1 < height_; ++r) {
+    out << std::string(10, ' ') << " |" << grid[r] << "|\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%10.4g", ymin);
+  out << buf << " +" << grid.back() << "+\n";
+
+  std::snprintf(buf, sizeof(buf), "%-12.4g", xmin);
+  std::string xaxis = std::string(11, ' ') + buf;
+  std::snprintf(buf, sizeof(buf), "%12.4g", xmax);
+  const std::string right = buf;
+  if (xaxis.size() + right.size() < width_ + 13) {
+    xaxis += std::string(width_ + 13 - xaxis.size() - right.size(), ' ');
+  }
+  xaxis += right;
+  out << xaxis << '\n';
+  if (!x_label_.empty() || !y_label_.empty()) {
+    out << "  x: " << x_label_ << "   y: " << y_label_ << '\n';
+  }
+  for (const auto& s : series_) {
+    out << "  '" << s.marker << "' = " << s.label << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace faascost

@@ -1,0 +1,43 @@
+// ASCII charts for bench output: XY line/scatter plots and CDF overlays.
+// The paper's figures are reproduced as numeric series plus a coarse ASCII
+// rendering so the shape is visible directly in terminal output.
+
+#ifndef FAASCOST_COMMON_CHART_H_
+#define FAASCOST_COMMON_CHART_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace faascost {
+
+struct ChartSeries {
+  std::string label;
+  char marker = '*';
+  std::vector<std::pair<double, double>> points;
+};
+
+class AsciiChart {
+ public:
+  AsciiChart(size_t width, size_t height);
+
+  void SetTitle(std::string title) { title_ = std::move(title); }
+  void SetXLabel(std::string label) { x_label_ = std::move(label); }
+  void SetYLabel(std::string label) { y_label_ = std::move(label); }
+  void AddSeries(ChartSeries series) { series_.push_back(std::move(series)); }
+
+  // Renders all series onto a shared grid with auto-scaled axes.
+  std::string Render() const;
+
+ private:
+  size_t width_;
+  size_t height_;
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<ChartSeries> series_;
+};
+
+}  // namespace faascost
+
+#endif  // FAASCOST_COMMON_CHART_H_

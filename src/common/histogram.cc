@@ -1,0 +1,77 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace faascost {
+
+Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo) {
+  assert(hi > lo);
+  assert(bins > 0);
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::Add(double value) {
+  double idx = (value - lo_) / width_;
+  if (idx < 0.0) {
+    idx = 0.0;
+  }
+  size_t bin = static_cast<size_t>(idx);
+  if (bin >= counts_.size()) {
+    bin = counts_.size() - 1;
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::bin_lo(size_t bin) const { return lo_ + width_ * static_cast<double>(bin); }
+
+double Histogram::bin_hi(size_t bin) const { return bin_lo(bin) + width_; }
+
+double Histogram::ModeMidpoint() const {
+  size_t best = 0;
+  for (size_t i = 1; i < counts_.size(); ++i) {
+    if (counts_[i] > counts_[best]) {
+      best = i;
+    }
+  }
+  return bin_lo(best) + width_ / 2.0;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::At(double x) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  assert(!sorted_.empty());
+  assert(q > 0.0 && q <= 1.0);
+  const double rank = q * static_cast<double>(sorted_.size());
+  size_t idx = rank <= 1.0 ? 0 : static_cast<size_t>(std::ceil(rank)) - 1;
+  idx = std::min(idx, sorted_.size() - 1);
+  return sorted_[idx];
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::Curve(size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) {
+    return out;
+  }
+  out.reserve(points);
+  for (size_t i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(Quantile(q), q);
+  }
+  return out;
+}
+
+}  // namespace faascost

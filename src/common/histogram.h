@@ -1,0 +1,59 @@
+// Histograms and empirical CDFs for the analysis benches.
+
+#ifndef FAASCOST_COMMON_HISTOGRAM_H_
+#define FAASCOST_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace faascost {
+
+// Fixed-width-bin histogram over [lo, hi); values outside are clamped into the
+// first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double value);
+
+  size_t bin_count() const { return counts_.size(); }
+  int64_t count(size_t bin) const { return counts_[bin]; }
+  int64_t total() const { return total_; }
+  double bin_lo(size_t bin) const;
+  double bin_hi(size_t bin) const;
+  // Midpoint of the bin with the highest count (ties -> lowest bin).
+  double ModeMidpoint() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+// Empirical CDF built from a sample; supports evaluation and inverse.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  // P(X <= x).
+  double At(double x) const;
+  // Smallest sample value v with P(X <= v) >= q, q in (0, 1].
+  double Quantile(double q) const;
+
+  size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  // Evaluation points for plotting: `points` evenly spaced quantiles as
+  // (value, cumulative probability) pairs.
+  std::vector<std::pair<double, double>> Curve(size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace faascost
+
+#endif  // FAASCOST_COMMON_HISTOGRAM_H_

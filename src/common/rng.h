@@ -1,0 +1,87 @@
+// Deterministic random number generation for the simulators and the synthetic
+// trace generator.
+//
+// All stochastic components in faascost draw from an explicitly seeded `Rng`
+// so every experiment is reproducible bit-for-bit. The class wraps a
+// xoshiro256** engine and provides the distributions the trace generator and
+// platform simulator need (uniform, normal, lognormal, exponential, beta via
+// gamma sampling, bounded Zipf, and correlated normal pairs for the Gaussian
+// copula).
+
+#ifndef FAASCOST_COMMON_RNG_H_
+#define FAASCOST_COMMON_RNG_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace faascost {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Raw 64-bit output of the underlying engine.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  // Standard normal via Box-Muller (cached spare value).
+  double Normal();
+  double Normal(double mean, double stddev);
+
+  // Lognormal with the given parameters of the underlying normal.
+  double LogNormal(double mu, double sigma);
+
+  // Exponential with the given rate (lambda).
+  double Exponential(double rate);
+
+  // Gamma(shape, scale) via Marsaglia-Tsang; valid for shape > 0.
+  double Gamma(double shape, double scale);
+
+  // Beta(a, b) sampled as Gamma ratios.
+  double Beta(double a, double b);
+
+  // Pair of standard normals with correlation rho (Gaussian copula input).
+  std::pair<double, double> CorrelatedNormals(double rho);
+
+  // Zipf-distributed integer in [1, n] with exponent s. Uses an inverted-CDF
+  // table owned by the caller-visible helper `ZipfTable`.
+  // (Use ZipfTable for repeated draws; this is a convenience for small n.)
+  int64_t Zipf(int64_t n, double s);
+
+  // Fork a statistically independent child stream. Deterministic: the child
+  // seed is derived from this engine's next output.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+// Precomputed inverse-CDF table for Zipf draws; O(log n) per sample.
+class ZipfTable {
+ public:
+  ZipfTable(int64_t n, double exponent);
+
+  int64_t Sample(Rng& rng) const;
+  int64_t size() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace faascost
+
+#endif  // FAASCOST_COMMON_RNG_H_

@@ -1,0 +1,143 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace faascost {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double PercentileOfSorted(const std::vector<double>& sorted, double pct) {
+  assert(!sorted.empty());
+  assert(pct >= 0.0 && pct <= 100.0);
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double Percentile(std::vector<double> values, double pct) {
+  std::sort(values.begin(), values.end());
+  return PercentileOfSorted(values, pct);
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) {
+    return s;
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  RunningStats rs;
+  for (double v : sorted) {
+    rs.Add(v);
+  }
+  s.count = sorted.size();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p5 = PercentileOfSorted(sorted, 5);
+  s.p25 = PercentileOfSorted(sorted, 25);
+  s.p50 = PercentileOfSorted(sorted, 50);
+  s.p75 = PercentileOfSorted(sorted, 75);
+  s.p95 = PercentileOfSorted(sorted, 95);
+  s.p99 = PercentileOfSorted(sorted, 99);
+  return s;
+}
+
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  double mx = 0.0;
+  double my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double v : values) {
+    s += v;
+  }
+  return s / static_cast<double>(values.size());
+}
+
+double FractionBelow(const std::vector<double>& values, double threshold) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  size_t n = 0;
+  for (double v : values) {
+    if (v < threshold) {
+      ++n;
+    }
+  }
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+double FractionAtOrBelow(const std::vector<double>& values, double threshold) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  size_t n = 0;
+  for (double v : values) {
+    if (v <= threshold) {
+      ++n;
+    }
+  }
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+}  // namespace faascost

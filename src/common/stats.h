@@ -1,0 +1,74 @@
+// Descriptive statistics used throughout the analysis and benches.
+
+#ifndef FAASCOST_COMMON_STATS_H_
+#define FAASCOST_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace faascost {
+
+// Online accumulator for mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Summary of a sample vector. Percentiles use linear interpolation between
+// order statistics (the "linear" / type-7 definition).
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p5 = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+// Computes the summary of `values`. Copies and sorts internally; `values` is
+// not modified. Returns a zeroed Summary for an empty input.
+Summary Summarize(const std::vector<double>& values);
+
+// Percentile in [0, 100] of `sorted` (must be ascending, non-empty).
+double PercentileOfSorted(const std::vector<double>& sorted, double pct);
+
+// Convenience: sorts a copy and takes the percentile.
+double Percentile(std::vector<double> values, double pct);
+
+// Pearson correlation coefficient of two equal-length samples. Returns 0 when
+// either sample has zero variance or fewer than two points.
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+// Fraction of entries strictly below `threshold`; 0 for empty input.
+double FractionBelow(const std::vector<double>& values, double threshold);
+
+// Fraction of entries <= `threshold`; 0 for empty input.
+double FractionAtOrBelow(const std::vector<double>& values, double threshold);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_COMMON_STATS_H_

@@ -1,0 +1,72 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace faascost {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TextTable::Render() const {
+  size_t cols = headers_.size();
+  for (const auto& row : rows_) {
+    cols = std::max(cols, row.size());
+  }
+  std::vector<size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      out << "| " << cell << std::string(widths[i] - cell.size(), ' ') << ' ';
+    }
+    out << "|\n";
+  };
+  auto rule = [&] {
+    for (size_t i = 0; i < cols; ++i) {
+      out << '+' << std::string(widths[i] + 2, '-');
+    }
+    out << "+\n";
+  };
+
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  rule();
+  return out.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatSci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace faascost

@@ -1,0 +1,36 @@
+// Minimal ASCII table renderer used by the bench binaries to print
+// paper-style tables.
+
+#ifndef FAASCOST_COMMON_TABLE_H_
+#define FAASCOST_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace faascost {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with column separators, padding every column to its
+  // widest cell. Missing cells render as empty strings.
+  std::string Render() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers for table cells.
+std::string FormatDouble(double v, int precision);
+std::string FormatSci(double v, int precision);  // e.g. "2.30e-05"
+std::string FormatPercent(double fraction, int precision);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_COMMON_TABLE_H_

@@ -1,0 +1,60 @@
+// Top-down cost decomposition: the paper's central exercise of tracing a
+// user-facing bill down through the serving architecture to OS scheduling.
+//
+// For a simulated run of a function on a platform, the bill of every request
+// is decomposed into:
+//   - useful work: the cost of the CPU actually consumed and the memory
+//     actually used over the contention-free execution,
+//   - utilization gap: allocation-based billing of resources the request
+//     held but did not use,
+//   - initialization: billable time attributable to cold starts under
+//     turnaround billing,
+//   - serving overhead: the architecture's per-request latency (Fig. 8),
+//   - contention: execution-time inflation from the multi-concurrency model
+//     (Fig. 6),
+//   - rounding: billable-time granularity and minimum cutoffs (Fig. 5),
+//   - invocation fees.
+
+#ifndef FAASCOST_CORE_COST_DECOMPOSITION_H_
+#define FAASCOST_CORE_COST_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/billing/model.h"
+#include "src/platform/platform_sim.h"
+#include "src/platform/workload.h"
+
+namespace faascost {
+
+struct CostBreakdown {
+  std::string platform;
+  size_t num_requests = 0;
+  Usd total = 0.0;
+  Usd useful_work = 0.0;
+  Usd utilization_gap = 0.0;
+  Usd initialization = 0.0;
+  Usd serving_overhead = 0.0;
+  Usd contention = 0.0;
+  Usd rounding = 0.0;
+  Usd invocation_fees = 0.0;
+
+  // Fraction of the bill that paid for useful work.
+  double UsefulFraction() const { return total > 0.0 ? useful_work / total : 0.0; }
+};
+
+// Decomposes the bill of a simulated run. `workload` provides per-request
+// CPU demand and memory footprint; `sim_config` provides the allocation and
+// the expected serving overhead used to separate overhead from contention.
+CostBreakdown DecomposeCosts(const BillingModel& billing, const PlatformSimConfig& sim_config,
+                             const WorkloadSpec& workload,
+                             const std::vector<RequestOutcome>& outcomes);
+
+// Converts a simulated request outcome into a billing-layer trace record.
+RequestRecord OutcomeToRecord(const RequestOutcome& outcome,
+                              const PlatformSimConfig& sim_config,
+                              const WorkloadSpec& workload);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_CORE_COST_DECOMPOSITION_H_

@@ -1,0 +1,62 @@
+#include "src/core/provider_economics.h"
+
+#include <algorithm>
+
+#include "src/core/cost_decomposition.h"
+
+namespace faascost {
+
+ProviderEconomics AnalyzeProviderEconomics(const BillingModel& billing,
+                                           const PlatformSimConfig& sim_config,
+                                           const WorkloadSpec& workload,
+                                           const PlatformSimResult& result,
+                                           const HardwareCostModel& hardware) {
+  ProviderEconomics out;
+
+  for (const auto& o : result.requests) {
+    const RequestRecord rec = OutcomeToRecord(o, sim_config, workload);
+    out.revenue += ComputeInvoice(billing, rec).total;
+  }
+  if (!result.requests.empty()) {
+    out.cold_start_rate = static_cast<double>(result.cold_starts) /
+                          static_cast<double>(result.requests.size());
+  }
+
+  const Usd full_rate = hardware.per_vcpu_second * sim_config.vcpus +
+                        hardware.per_gb_second * MbToGb(sim_config.mem_mb);
+
+  // KA-phase cost share, from the policy's resource behaviour (Table 2).
+  double idle_share = 1.0;
+  switch (sim_config.keepalive->resource_behavior()) {
+    case KaResourceBehavior::kFreezeDeallocate:
+      idle_share = hardware.frozen_residual;
+      break;
+    case KaResourceBehavior::kScaleDownCpu: {
+      // CPU throttled to ~0.01 vCPUs; memory stays resident.
+      const Usd idle_rate = hardware.per_vcpu_second * 0.01 +
+                            hardware.per_gb_second * MbToGb(sim_config.mem_mb);
+      idle_share = full_rate > 0.0 ? idle_rate / full_rate : 1.0;
+      break;
+    }
+    case KaResourceBehavior::kRunAsUsual:
+      idle_share = 1.0;
+      break;
+    case KaResourceBehavior::kCodeCache:
+      idle_share = hardware.frozen_residual / 3.0;  // Bytecode cache only.
+      break;
+  }
+
+  for (const auto& sb : result.sandboxes) {
+    out.init_seconds += MicrosToSecs(sb.init_time);
+    out.busy_seconds += MicrosToSecs(sb.busy_time);
+    out.idle_seconds += MicrosToSecs(sb.idle_time);
+  }
+  out.provider_cost = full_rate * (out.init_seconds + out.busy_seconds) +
+                      full_rate * idle_share * out.idle_seconds;
+  if (out.revenue > 0.0) {
+    out.margin = (out.revenue - out.provider_cost) / out.revenue;
+  }
+  return out;
+}
+
+}  // namespace faascost

@@ -1,0 +1,54 @@
+// Provider-side economics of serverless serving (paper §3.3 and §5): keeping
+// sandboxes alive holds machine resources whose cost the provider bears, so
+// keep-alive policy, KA-phase resource behaviour, and cold-start rates trade
+// off against each other -- and are ultimately "passed on to users through
+// per-unit resource pricing or invocation fees".
+//
+// The hardware cost proxy is the §1 price comparison: an EC2 c6g.medium
+// (1 vCPU / 2 GB) costs $9.4753e-6 per second, i.e. the provider can rent
+// the same capacity users buy through Lambda at ~41% of the Lambda price.
+
+#ifndef FAASCOST_CORE_PROVIDER_ECONOMICS_H_
+#define FAASCOST_CORE_PROVIDER_ECONOMICS_H_
+
+#include "src/billing/model.h"
+#include "src/platform/keepalive.h"
+#include "src/platform/platform_sim.h"
+#include "src/platform/workload.h"
+
+namespace faascost {
+
+// Machine cost rates (per second) the provider pays for held resources.
+struct HardwareCostModel {
+  // Decomposed from the EC2 c6g.medium price with the §2.2 CPU:memory
+  // price-ratio consensus (~9.1): 1 vCPU + 2 GB = $9.4753e-6/s.
+  Usd per_vcpu_second = 7.68e-6;
+  Usd per_gb_second = 8.53e-7;
+  // Residual cost share of a sandbox whose resources are deallocated during
+  // KA (snapshot/cache storage, control-plane state).
+  double frozen_residual = 0.03;
+};
+
+struct ProviderEconomics {
+  Usd revenue = 0.0;        // What the user is billed.
+  Usd provider_cost = 0.0;  // Machine-time cost of serving.
+  double margin = 0.0;      // (revenue - cost) / revenue.
+  double cold_start_rate = 0.0;
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;  // KA-phase instance time.
+  double init_seconds = 0.0;
+};
+
+// Computes revenue (by billing every request under `billing`) and provider
+// machine cost (by pricing each sandbox phase: init and busy at full
+// allocation; KA idle according to the keep-alive policy's resource
+// behaviour).
+ProviderEconomics AnalyzeProviderEconomics(const BillingModel& billing,
+                                           const PlatformSimConfig& sim_config,
+                                           const WorkloadSpec& workload,
+                                           const PlatformSimResult& result,
+                                           const HardwareCostModel& hardware = {});
+
+}  // namespace faascost
+
+#endif  // FAASCOST_CORE_PROVIDER_ECONOMICS_H_

@@ -1,0 +1,138 @@
+#include "src/core/rightsizing.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/stats.h"
+#include "src/sched/bandwidth_sim.h"
+#include "src/sched/closed_form.h"
+
+namespace faascost {
+
+namespace {
+
+Usd CostAtDuration(const BillingModel& billing, double vcpus, MegaBytes mem_mb,
+                   double duration_ms) {
+  RequestRecord r;
+  r.exec_duration = static_cast<MicroSecs>(duration_ms * 1'000.0);
+  r.cpu_time = r.exec_duration;
+  r.alloc_vcpus = vcpus;
+  r.alloc_mem_mb = mem_mb;
+  r.used_mem_mb = mem_mb;
+  return ComputeInvoice(billing, r).total;
+}
+
+// Picks best (measured, SLO-feasible, cheapest) and model_choice (cheapest
+// under the reciprocal model) from a filled sweep, and the savings.
+void SelectChoices(RightsizingResult& out) {
+  const RightsizingPoint* best = nullptr;
+  for (const auto& pt : out.points) {
+    if (!pt.meets_slo) {
+      continue;
+    }
+    if (best == nullptr || pt.cost_per_invocation < best->cost_per_invocation) {
+      best = &pt;
+    }
+  }
+  const RightsizingPoint* model_choice = nullptr;
+  for (const auto& pt : out.points) {
+    if (!pt.modeled_meets_slo) {
+      continue;
+    }
+    if (model_choice == nullptr || pt.modeled_cost < model_choice->modeled_cost - 1e-12) {
+      model_choice = &pt;
+    }
+  }
+  if (best != nullptr) {
+    out.best = *best;
+  }
+  if (model_choice != nullptr) {
+    out.model_choice = *model_choice;
+  }
+  if (best != nullptr && model_choice != nullptr &&
+      model_choice->cost_per_invocation > 0.0) {
+    out.savings_fraction =
+        1.0 - best->cost_per_invocation / model_choice->cost_per_invocation;
+  }
+}
+
+}  // namespace
+
+RightsizingResult RightsizeAwsMemory(const RightsizingConfig& config,
+                                     const BillingModel& billing, uint64_t seed) {
+  assert(config.mem_step > 0.0);
+  assert(config.mem_max >= config.mem_min);
+  RightsizingResult out;
+  Rng rng(seed);
+
+  // Reference at full allocation for the reciprocal model.
+  double full_alloc_ms = MicrosToMillis(config.cpu_demand);
+
+  for (MegaBytes mem = config.mem_min; mem <= config.mem_max + 1e-9;
+       mem += config.mem_step) {
+    RightsizingPoint pt;
+    pt.mem_mb = mem;
+    pt.vcpu_fraction = AwsVcpuFractionForMemory(mem);
+
+    const SchedConfig sc =
+        MakeSchedConfig(config.period, std::min(pt.vcpu_fraction, 1.0), config.config_hz);
+    const CpuBandwidthSim sim(sc);
+    RunningStats stats;
+    for (int i = 0; i < config.samples_per_point; ++i) {
+      const TaskRunResult r = sim.RunWithRandomPhase(
+          config.cpu_demand, 3'600LL * kMicrosPerSec, rng);
+      stats.Add(MicrosToMillis(r.wall_duration));
+    }
+    pt.mean_duration_ms = stats.mean();
+    pt.modeled_duration_ms =
+        full_alloc_ms / std::min(1.0, std::max(pt.vcpu_fraction, 1e-9));
+    pt.cost_per_invocation =
+        CostAtDuration(billing, pt.vcpu_fraction, mem, pt.mean_duration_ms);
+    pt.modeled_cost =
+        CostAtDuration(billing, pt.vcpu_fraction, mem, pt.modeled_duration_ms);
+    pt.meets_slo = pt.mean_duration_ms <= config.latency_slo_ms;
+    pt.modeled_meets_slo = pt.modeled_duration_ms <= config.latency_slo_ms;
+    out.points.push_back(pt);
+  }
+  SelectChoices(out);
+  return out;
+}
+
+RightsizingResult RightsizeGcpCpu(const GcpRightsizingConfig& config,
+                                  const BillingModel& billing, uint64_t seed) {
+  assert(config.vcpu_step > 0.0);
+  assert(config.vcpu_max >= config.vcpu_min);
+  RightsizingResult out;
+  Rng rng(seed);
+  const double full_alloc_ms = MicrosToMillis(config.cpu_demand);
+
+  for (double vcpus = config.vcpu_min; vcpus <= config.vcpu_max + 1e-9;
+       vcpus += config.vcpu_step) {
+    RightsizingPoint pt;
+    pt.mem_mb = config.mem_mb;
+    pt.vcpu_fraction = vcpus;
+
+    const SchedConfig sc =
+        MakeSchedConfig(config.period, std::min(vcpus, 1.0), config.config_hz);
+    const CpuBandwidthSim sim(sc);
+    RunningStats stats;
+    for (int i = 0; i < config.samples_per_point; ++i) {
+      const TaskRunResult r =
+          sim.RunWithRandomPhase(config.cpu_demand, 3'600LL * kMicrosPerSec, rng);
+      stats.Add(MicrosToMillis(r.wall_duration));
+    }
+    pt.mean_duration_ms = stats.mean();
+    pt.modeled_duration_ms = full_alloc_ms / std::min(1.0, std::max(vcpus, 1e-9));
+    pt.cost_per_invocation =
+        CostAtDuration(billing, vcpus, config.mem_mb, pt.mean_duration_ms);
+    pt.modeled_cost =
+        CostAtDuration(billing, vcpus, config.mem_mb, pt.modeled_duration_ms);
+    pt.meets_slo = pt.mean_duration_ms <= config.latency_slo_ms;
+    pt.modeled_meets_slo = pt.modeled_duration_ms <= config.latency_slo_ms;
+    out.points.push_back(pt);
+  }
+  SelectChoices(out);
+  return out;
+}
+
+}  // namespace faascost

@@ -1,0 +1,82 @@
+// Quantization-aware function rightsizing (paper §4.3 implications).
+//
+// Existing rightsizing tools assume reciprocal scaling: halve the allocation,
+// double the duration, so allocation-based cost stays roughly flat and the
+// cheapest SLO-compliant configuration is the smallest one that meets the
+// latency target under the reciprocal model. The paper shows the real
+// duration curve has step-like jumps from quantized scheduling (Fig. 10), so
+// a fine-grained, measurement-driven search can find configurations that are
+// both cheaper and faster than the reciprocal-model choice.
+
+#ifndef FAASCOST_CORE_RIGHTSIZING_H_
+#define FAASCOST_CORE_RIGHTSIZING_H_
+
+#include <vector>
+
+#include "src/billing/model.h"
+#include "src/sched/config.h"
+
+namespace faascost {
+
+struct RightsizingPoint {
+  MegaBytes mem_mb = 0.0;
+  double vcpu_fraction = 0.0;
+  double mean_duration_ms = 0.0;   // Measured via the scheduling simulator.
+  double modeled_duration_ms = 0.0; // Reciprocal-model prediction.
+  Usd cost_per_invocation = 0.0;    // Billable cost at the measured duration.
+  Usd modeled_cost = 0.0;           // Cost at the modeled duration.
+  bool meets_slo = false;
+  bool modeled_meets_slo = false;
+};
+
+struct RightsizingResult {
+  std::vector<RightsizingPoint> points;
+  // Best configuration found by measuring through the scheduler simulator.
+  RightsizingPoint best;
+  // Configuration a reciprocal-model (quantization-agnostic) tool would pick.
+  RightsizingPoint model_choice;
+  // Relative cost saving of quantization-aware over model-driven choice,
+  // evaluated at real (measured) costs.
+  double savings_fraction = 0.0;
+};
+
+struct RightsizingConfig {
+  MicroSecs cpu_demand = 160 * kMicrosPerMilli;
+  double latency_slo_ms = 1'000.0;
+  MegaBytes mem_min = 128.0;
+  MegaBytes mem_max = 1'769.0;
+  MegaBytes mem_step = 32.0;
+  int samples_per_point = 60;
+  // AWS-style scheduling environment.
+  MicroSecs period = 20 * kMicrosPerMilli;
+  int config_hz = 250;
+};
+
+// Sweeps AWS Lambda memory sizes for a CPU-bound function under `billing`
+// (use MakeBillingModel(Platform::kAwsLambda)) and returns the best
+// measured configuration vs the reciprocal-model choice.
+RightsizingResult RightsizeAwsMemory(const RightsizingConfig& config,
+                                     const BillingModel& billing, uint64_t seed);
+
+// GCP variant: sweeps the fine-grained 1st-gen CPU knob (0.01 vCPU steps) at
+// a fixed memory size under GCP's request-based billing (100 ms rounding +
+// separate CPU pricing). The quantization effects here come from the 100 ms
+// period and the coarse billable-time granularity.
+struct GcpRightsizingConfig {
+  MicroSecs cpu_demand = 160 * kMicrosPerMilli;
+  double latency_slo_ms = 2'000.0;
+  double vcpu_min = 0.08;
+  double vcpu_max = 1.0;
+  double vcpu_step = 0.02;
+  MegaBytes mem_mb = 512.0;
+  int samples_per_point = 60;
+  MicroSecs period = 100 * kMicrosPerMilli;
+  int config_hz = 1000;
+};
+
+RightsizingResult RightsizeGcpCpu(const GcpRightsizingConfig& config,
+                                  const BillingModel& billing, uint64_t seed);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_CORE_RIGHTSIZING_H_

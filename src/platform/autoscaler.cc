@@ -1,0 +1,45 @@
+#include "src/platform/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faascost {
+
+WindowedAutoscaler::WindowedAutoscaler(AutoscalerConfig config) : config_(config) {}
+
+void WindowedAutoscaler::AddSample(MicroSecs now, double demand) {
+  samples_.emplace_back(now, demand);
+  const MicroSecs horizon = now - config_.metric_window;
+  while (!samples_.empty() && samples_.front().first <= horizon) {
+    samples_.pop_front();
+  }
+}
+
+double WindowedAutoscaler::WindowAverage(MicroSecs now) const {
+  // Exclusive horizon: a 60 s window holds exactly 60 one-second samples.
+  const MicroSecs horizon = now - config_.metric_window;
+  double sum = 0.0;
+  for (const auto& [t, u] : samples_) {
+    if (t > horizon) {
+      sum += u;
+    }
+  }
+  // Fixed denominator: one slot per sample interval across the whole window,
+  // so an unfilled window averages in implicit zeros.
+  const double slots = static_cast<double>(config_.metric_window) /
+                       static_cast<double>(config_.sample_interval);
+  return slots > 0.0 ? sum / slots : 0.0;
+}
+
+int WindowedAutoscaler::DesiredInstances(MicroSecs now) const {
+  if (config_.per_instance_capacity <= 0.0) {
+    return 1;
+  }
+  const double avg = WindowAverage(now);
+  // Epsilon guards against ceil(4.0000000001) at exactly the capacity.
+  const int desired =
+      static_cast<int>(std::ceil(avg / config_.per_instance_capacity - 1e-9));
+  return std::clamp(desired, 1, config_.max_instances);
+}
+
+}  // namespace faascost

@@ -1,0 +1,81 @@
+#include "src/platform/coldstart.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faascost {
+
+MicroSecs InitPhase::Sample(Rng& rng) const {
+  if (median <= 0) {
+    return 0;
+  }
+  const double v = static_cast<double>(median) * rng.LogNormal(0.0, sigma);
+  return std::max<MicroSecs>(1, static_cast<MicroSecs>(v));
+}
+
+ColdStartModel::Breakdown ColdStartModel::Sample(Rng& rng) const {
+  Breakdown b;
+  b.sandbox_provision = sandbox_provision.Sample(rng);
+  b.runtime_boot = runtime_boot.Sample(rng);
+  b.code_fetch = code_fetch.Sample(rng);
+  b.dependency_import = dependency_import.Sample(rng);
+  b.user_init = user_init.Sample(rng);
+  b.total = b.sandbox_provision + b.runtime_boot + b.code_fetch + b.dependency_import +
+            b.user_init;
+  return b;
+}
+
+MicroSecs ColdStartModel::MedianTotal() const {
+  return sandbox_provision.median + runtime_boot.median + code_fetch.median +
+         dependency_import.median + user_init.median;
+}
+
+namespace {
+constexpr MicroSecs kMs = kMicrosPerMilli;
+}  // namespace
+
+ColdStartModel PythonColdStart() {
+  ColdStartModel m;
+  m.runtime_name = "python3.11";
+  m.sandbox_provision = {120 * kMs, 0.35};
+  m.runtime_boot = {95 * kMs, 0.25};
+  m.code_fetch = {60 * kMs, 0.50};
+  m.dependency_import = {140 * kMs, 0.60};
+  m.user_init = {20 * kMs, 0.70};
+  return m;
+}
+
+ColdStartModel NodeColdStart() {
+  ColdStartModel m;
+  m.runtime_name = "nodejs20";
+  m.sandbox_provision = {120 * kMs, 0.35};
+  m.runtime_boot = {55 * kMs, 0.25};
+  m.code_fetch = {50 * kMs, 0.50};
+  m.dependency_import = {70 * kMs, 0.55};
+  m.user_init = {15 * kMs, 0.70};
+  return m;
+}
+
+ColdStartModel JavaColdStart() {
+  ColdStartModel m;
+  m.runtime_name = "java17";
+  m.sandbox_provision = {130 * kMs, 0.35};
+  m.runtime_boot = {650 * kMs, 0.30};   // JVM start.
+  m.code_fetch = {120 * kMs, 0.50};     // Fat jars.
+  m.dependency_import = {900 * kMs, 0.45};  // Class loading + JIT warmup.
+  m.user_init = {150 * kMs, 0.70};      // Framework bootstrap.
+  return m;
+}
+
+ColdStartModel WasmIsolateColdStart() {
+  ColdStartModel m;
+  m.runtime_name = "wasm-isolate";
+  m.sandbox_provision = {1 * kMs, 0.40};  // Isolate, not a microVM.
+  m.runtime_boot = {0, 0.0};              // Engine is resident.
+  m.code_fetch = {1 * kMs, 0.50};         // Bytecode cache hit.
+  m.dependency_import = {3 * kMs, 0.50};  // Compile/instantiate.
+  m.user_init = {0, 0.0};
+  return m;
+}
+
+}  // namespace faascost

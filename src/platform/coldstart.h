@@ -1,0 +1,56 @@
+// Cold-start (initialization) phase model. The paper's sandbox lifecycle
+// (§2.4) is initialization -> execution -> keep-alive -> shutdown, and
+// turnaround billing exists precisely because initialization cost "varies
+// across functions with different language runtimes and dependency
+// requirements". This model decomposes initialization into its phases and
+// provides per-runtime presets, so cold-start experiments (Figs. 4, 9) can
+// be run per language runtime.
+
+#ifndef FAASCOST_PLATFORM_COLDSTART_H_
+#define FAASCOST_PLATFORM_COLDSTART_H_
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace faascost {
+
+// One lognormal-distributed phase of sandbox initialization.
+struct InitPhase {
+  MicroSecs median = 0;
+  double sigma = 0.3;  // Lognormal shape (relative spread).
+
+  MicroSecs Sample(Rng& rng) const;
+};
+
+struct ColdStartModel {
+  std::string runtime_name;
+  InitPhase sandbox_provision;  // MicroVM/container allocation + boot.
+  InitPhase runtime_boot;       // Language runtime / host process start.
+  InitPhase code_fetch;         // Artifact download / layer mount.
+  InitPhase dependency_import;  // Library loading, JIT warmup.
+  InitPhase user_init;          // User code's global/init section.
+
+  struct Breakdown {
+    MicroSecs sandbox_provision = 0;
+    MicroSecs runtime_boot = 0;
+    MicroSecs code_fetch = 0;
+    MicroSecs dependency_import = 0;
+    MicroSecs user_init = 0;
+    MicroSecs total = 0;
+  };
+
+  Breakdown Sample(Rng& rng) const;
+  MicroSecs MedianTotal() const;
+};
+
+// Presets calibrated to commonly reported cold-start magnitudes.
+ColdStartModel PythonColdStart();      // ~350-700 ms typical.
+ColdStartModel NodeColdStart();        // ~250-500 ms.
+ColdStartModel JavaColdStart();        // Seconds: JVM boot + class loading.
+ColdStartModel WasmIsolateColdStart(); // ~5 ms: V8 isolate + bytecode cache.
+
+}  // namespace faascost
+
+#endif  // FAASCOST_PLATFORM_COLDSTART_H_

@@ -1,0 +1,170 @@
+#include "src/platform/keepalive.h"
+
+#include <algorithm>
+
+namespace faascost {
+
+const char* KaResourceBehaviorName(KaResourceBehavior b) {
+  switch (b) {
+    case KaResourceBehavior::kFreezeDeallocate:
+      return "deallocate CPU and memory (freeze/resume)";
+    case KaResourceBehavior::kScaleDownCpu:
+      return "scale down CPU (~0.01 vCPUs)";
+    case KaResourceBehavior::kRunAsUsual:
+      return "run as usual (full allocation)";
+    case KaResourceBehavior::kCodeCache:
+      return "code/bytecode cache";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class AwsKeepAlive final : public KeepAlivePolicy {
+ public:
+  MicroSecs SampleDuration(Rng& rng, int /*active_instances*/) const override {
+    return rng.UniformInt(300LL * kMicrosPerSec, 360LL * kMicrosPerSec);
+  }
+  KaResourceBehavior resource_behavior() const override {
+    return KaResourceBehavior::kFreezeDeallocate;
+  }
+  double KaCpuShare(double /*alloc_vcpus*/) const override { return 0.0; }
+  bool graceful_shutdown() const override { return true; }
+  std::string name() const override { return "AWS Lambda (freeze, 300-360s)"; }
+};
+
+class GcpKeepAlive final : public KeepAlivePolicy {
+ public:
+  MicroSecs SampleDuration(Rng& rng, int /*active_instances*/) const override {
+    return rng.UniformInt(850LL * kMicrosPerSec, 900LL * kMicrosPerSec);
+  }
+  KaResourceBehavior resource_behavior() const override {
+    return KaResourceBehavior::kScaleDownCpu;
+  }
+  double KaCpuShare(double alloc_vcpus) const override {
+    return alloc_vcpus > 0.0 ? 0.01 / alloc_vcpus : 0.0;
+  }
+  bool graceful_shutdown() const override { return false; }
+  std::string name() const override { return "GCP (scale-down CPU, ~900s)"; }
+};
+
+class AzureKeepAlive final : public KeepAlivePolicy {
+ public:
+  MicroSecs SampleDuration(Rng& rng, int active_instances) const override {
+    // Opportunistic: 120-360 s at one instance; functions scaled to 3+
+    // instances observe up to ~740 s.
+    if (active_instances >= 3) {
+      return rng.UniformInt(360LL * kMicrosPerSec, 740LL * kMicrosPerSec);
+    }
+    return rng.UniformInt(120LL * kMicrosPerSec, 360LL * kMicrosPerSec);
+  }
+  KaResourceBehavior resource_behavior() const override {
+    return KaResourceBehavior::kRunAsUsual;
+  }
+  double KaCpuShare(double /*alloc_vcpus*/) const override { return 1.0; }
+  bool graceful_shutdown() const override { return false; }
+  std::string name() const override { return "Azure (opportunistic, 120-360s)"; }
+};
+
+class CloudflareKeepAlive final : public KeepAlivePolicy {
+ public:
+  MicroSecs SampleDuration(Rng& /*rng*/, int /*active_instances*/) const override {
+    // The code cache persists far beyond the measurement horizon; the ~5 ms
+    // re-JIT on a miss is masked by the TLS-handshake pre-warm.
+    return 86'400LL * kMicrosPerSec;
+  }
+  KaResourceBehavior resource_behavior() const override {
+    return KaResourceBehavior::kCodeCache;
+  }
+  double KaCpuShare(double /*alloc_vcpus*/) const override { return 0.0; }
+  bool graceful_shutdown() const override { return false; }
+  std::string name() const override { return "Cloudflare (code cache)"; }
+};
+
+class FixedKeepAlive final : public KeepAlivePolicy {
+ public:
+  FixedKeepAlive(MicroSecs duration, KaResourceBehavior behavior)
+      : duration_(duration), behavior_(behavior) {}
+  MicroSecs SampleDuration(Rng& /*rng*/, int /*active_instances*/) const override {
+    return duration_;
+  }
+  KaResourceBehavior resource_behavior() const override { return behavior_; }
+  double KaCpuShare(double /*alloc_vcpus*/) const override {
+    return behavior_ == KaResourceBehavior::kRunAsUsual ? 1.0 : 0.0;
+  }
+  bool graceful_shutdown() const override { return false; }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  MicroSecs duration_;
+  KaResourceBehavior behavior_;
+};
+
+}  // namespace
+
+std::unique_ptr<KeepAlivePolicy> MakeAwsKeepAlive() {
+  return std::make_unique<AwsKeepAlive>();
+}
+std::unique_ptr<KeepAlivePolicy> MakeGcpKeepAlive() {
+  return std::make_unique<GcpKeepAlive>();
+}
+std::unique_ptr<KeepAlivePolicy> MakeAzureKeepAlive() {
+  return std::make_unique<AzureKeepAlive>();
+}
+std::unique_ptr<KeepAlivePolicy> MakeCloudflareKeepAlive() {
+  return std::make_unique<CloudflareKeepAlive>();
+}
+std::unique_ptr<KeepAlivePolicy> MakeFixedKeepAlive(MicroSecs duration,
+                                                    KaResourceBehavior behavior) {
+  return std::make_unique<FixedKeepAlive>(duration, behavior);
+}
+
+HistogramPrewarmPolicy::HistogramPrewarmPolicy(HistogramPrewarmConfig config)
+    : config_(config) {
+  const size_t bins = static_cast<size_t>(config_.max_tracked / config_.bin_width) + 1;
+  bins_.assign(bins, 0);
+}
+
+void HistogramPrewarmPolicy::ObserveIdleInterval(MicroSecs idle) {
+  if (idle < 0) {
+    return;
+  }
+  size_t bin = static_cast<size_t>(idle / config_.bin_width);
+  bin = std::min(bin, bins_.size() - 1);
+  ++bins_[bin];
+  ++observations_;
+}
+
+MicroSecs HistogramPrewarmPolicy::LearnedWindow() const {
+  if (observations_ < config_.min_observations) {
+    return 0;
+  }
+  const int64_t target = static_cast<int64_t>(
+      config_.coverage_quantile * static_cast<double>(observations_));
+  int64_t seen = 0;
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    seen += bins_[i];
+    if (seen > target) {
+      // Upper edge of the covering bin, scaled by the safety margin.
+      const double edge = static_cast<double>((i + 1)) *
+                          static_cast<double>(config_.bin_width) * config_.margin;
+      return std::min(static_cast<MicroSecs>(edge), config_.max_keepalive);
+    }
+  }
+  return config_.max_keepalive;
+}
+
+MicroSecs HistogramPrewarmPolicy::SampleDuration(Rng& rng,
+                                                 int /*active_instances*/) const {
+  const MicroSecs learned = LearnedWindow();
+  if (learned > 0) {
+    return learned;
+  }
+  return rng.UniformInt(config_.fallback_min, config_.fallback_max);
+}
+
+std::unique_ptr<KeepAlivePolicy> MakeHistogramPrewarm(HistogramPrewarmConfig config) {
+  return std::make_unique<HistogramPrewarmPolicy>(config);
+}
+
+}  // namespace faascost

@@ -1,0 +1,127 @@
+// Keep-alive policies and KA-phase resource behaviour (paper §3.3, Fig. 9 and
+// Table 2). Policies decide how long an idle sandbox survives before
+// reclamation; the resource behaviour describes what the sandbox can do (and
+// what the provider pays) while kept alive.
+
+#ifndef FAASCOST_PLATFORM_KEEPALIVE_H_
+#define FAASCOST_PLATFORM_KEEPALIVE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace faascost {
+
+// Resource allocation during the KA phase (Table 2).
+enum class KaResourceBehavior {
+  kFreezeDeallocate,  // AWS: microVM frozen; CPU and memory deallocated.
+  kScaleDownCpu,      // GCP: CPU throttled to ~0.01 vCPUs; memory retained.
+  kRunAsUsual,        // Azure Consumption: full allocation retained.
+  kCodeCache,         // Cloudflare: only code/bytecode cache retained.
+};
+
+const char* KaResourceBehaviorName(KaResourceBehavior b);
+
+class KeepAlivePolicy {
+ public:
+  virtual ~KeepAlivePolicy() = default;
+
+  // Samples the keep-alive duration granted to a sandbox that just became
+  // idle. `active_instances` lets opportunistic policies extend KA for
+  // functions scaled to multiple instances (the paper observes ~740 s for an
+  // Azure function scaled to 3 instances).
+  virtual MicroSecs SampleDuration(Rng& rng, int active_instances) const = 0;
+
+  // Feedback hook: the platform reports the observed idle interval between
+  // the end of one invocation and the arrival of the next (whether or not
+  // the sandbox survived it). Predictive policies (idle-time histograms,
+  // paper §3.3 / Serverless-in-the-Wild) learn from this; the default
+  // ignores it.
+  virtual void ObserveIdleInterval(MicroSecs /*idle*/) {}
+
+  virtual KaResourceBehavior resource_behavior() const = 0;
+
+  // CPU share available to the (frozen/throttled) sandbox during KA, as a
+  // fraction of `alloc_vcpus`.
+  virtual double KaCpuShare(double alloc_vcpus) const = 0;
+
+  // Whether the platform delivers SIGTERM and waits for handling when the
+  // sandbox leaves KA (Table 2: only AWS via Lambda Extensions).
+  virtual bool graceful_shutdown() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// AWS Lambda: freeze/resume with a fixed KA window of 300-360 s; graceful
+// shutdown supported with Lambda Extensions.
+std::unique_ptr<KeepAlivePolicy> MakeAwsKeepAlive();
+
+// GCP: scale-down-delay style KA of ~900 s with CPU scaled to ~0.01 vCPUs;
+// instances are killed without SIGTERM.
+std::unique_ptr<KeepAlivePolicy> MakeGcpKeepAlive();
+
+// Azure Consumption: opportunistic KA between 120 s and 360 s at one
+// instance, extended (up to ~740 s) when scaled to 3+ instances; full
+// resource allocation retained; killed right after SIGTERM.
+std::unique_ptr<KeepAlivePolicy> MakeAzureKeepAlive();
+
+// Cloudflare Workers: code/bytecode cache with TLS-handshake pre-warm; the
+// ~5 ms load+JIT on a miss is masked, so cold starts are effectively
+// invisible. Modeled as a very long KA with near-zero re-init cost.
+std::unique_ptr<KeepAlivePolicy> MakeCloudflareKeepAlive();
+
+// A fixed-duration policy for experiments and tests.
+std::unique_ptr<KeepAlivePolicy> MakeFixedKeepAlive(MicroSecs duration,
+                                                    KaResourceBehavior behavior);
+
+// Histogram-based predictive keep-alive (the mechanism the paper's §3.3
+// attributes to Azure, after Shahrad et al.'s "Serverless in the Wild"):
+// the platform builds an idle-time histogram per function and keeps the
+// sandbox warm long enough to cover the observed inter-invocation gaps.
+// Until `min_observations` intervals have been seen, it behaves like the
+// opportunistic fallback window -- which is why the paper's short test
+// period saw consistent cold starts despite regular traffic.
+struct HistogramPrewarmConfig {
+  MicroSecs bin_width = 30LL * kMicrosPerSec;
+  MicroSecs max_tracked = 7'200LL * kMicrosPerSec;  // 2 h histogram span.
+  int min_observations = 10;
+  double coverage_quantile = 0.99;  // Keep warm to this idle percentile.
+  double margin = 1.10;             // Safety factor on the learned window.
+  MicroSecs max_keepalive = 3'600LL * kMicrosPerSec;
+  // Fallback window before the histogram is trusted (Azure's opportunistic
+  // 120-360 s).
+  MicroSecs fallback_min = 120LL * kMicrosPerSec;
+  MicroSecs fallback_max = 360LL * kMicrosPerSec;
+};
+
+class HistogramPrewarmPolicy final : public KeepAlivePolicy {
+ public:
+  explicit HistogramPrewarmPolicy(HistogramPrewarmConfig config);
+
+  MicroSecs SampleDuration(Rng& rng, int active_instances) const override;
+  void ObserveIdleInterval(MicroSecs idle) override;
+  KaResourceBehavior resource_behavior() const override {
+    return KaResourceBehavior::kRunAsUsual;
+  }
+  double KaCpuShare(double /*alloc_vcpus*/) const override { return 1.0; }
+  bool graceful_shutdown() const override { return false; }
+  std::string name() const override { return "histogram pre-warm"; }
+
+  int64_t observations() const { return observations_; }
+  // The idle duration covered at the configured quantile; 0 until trained.
+  MicroSecs LearnedWindow() const;
+
+ private:
+  HistogramPrewarmConfig config_;
+  std::vector<int64_t> bins_;
+  int64_t observations_ = 0;
+};
+
+std::unique_ptr<KeepAlivePolicy> MakeHistogramPrewarm(HistogramPrewarmConfig config = {});
+
+}  // namespace faascost
+
+#endif  // FAASCOST_PLATFORM_KEEPALIVE_H_

@@ -1,0 +1,559 @@
+#include "src/platform/platform_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+
+namespace faascost {
+
+namespace {
+
+enum class EventType {
+  kArrival,
+  kInitDone,
+  kSandboxNext,
+  kKaExpire,
+  kScalerEval,
+  kSample,
+};
+
+struct Event {
+  MicroSecs time = 0;
+  EventType type = EventType::kArrival;
+  int sandbox_id = -1;
+  uint64_t gen = 0;
+  int req_idx = -1;
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+struct InFlightReq {
+  int req_idx = -1;
+  double remaining_cpu = 0.0;  // Microseconds of CPU at full-core speed.
+  bool in_cpu_phase = false;
+  MicroSecs fixed_end = 0;  // End of the fixed (overhead + I/O) phase.
+};
+
+struct SandboxState {
+  int id = 0;
+  bool dead = false;
+  bool initializing = true;
+  MicroSecs created_at = 0;
+  MicroSecs ready_at = 0;
+  std::vector<InFlightReq> inflight;
+  std::vector<int> pending_local;  // Requests waiting for this sandbox's init.
+  MicroSecs last_advance = 0;
+  double rate = 0.0;  // Cached per-request CPU rate.
+  uint64_t gen = 0;
+  MicroSecs ka_deadline = -1;
+  int64_t served = 0;
+  MicroSecs busy_time = 0;
+  MicroSecs idle_time = 0;
+  MicroSecs busy_snapshot = 0;  // busy_time at the previous metric sample.
+};
+
+}  // namespace
+
+PlatformSim::PlatformSim(PlatformSimConfig config, uint64_t seed)
+    : config_(std::move(config)), seed_(seed) {
+  assert(config_.vcpus > 0.0);
+  assert(config_.concurrency_limit >= 1);
+  assert(config_.keepalive != nullptr);
+}
+
+PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
+                                   const WorkloadSpec& workload) {
+  PlatformSimResult result;
+  result.requests.resize(arrivals.size());
+  Rng rng(seed_);
+  AutoscalerConfig scaler_config = config_.autoscaler;
+  scaler_config.per_instance_capacity =
+      config_.vcpus * config_.autoscaler.target_utilization;
+  scaler_config.max_instances = std::min(scaler_config.max_instances, config_.max_instances);
+  WindowedAutoscaler scaler(scaler_config);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  std::vector<SandboxState> sandboxes;
+  std::deque<int> global_queue;  // Requests waiting for capacity (multi model).
+  size_t completed = 0;
+  MicroSecs now = 0;
+  MicroSecs last_scale_action = std::numeric_limits<MicroSecs>::min() / 2;
+  int64_t arrivals_since_sample = 0;
+  MicroSecs last_completion = -1;  // For idle-interval feedback to the KA policy.
+
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    assert(i == 0 || arrivals[i] >= arrivals[i - 1]);
+    queue.push({arrivals[i], EventType::kArrival, -1, 0, static_cast<int>(i)});
+    result.requests[i].arrival = arrivals[i];
+  }
+  if (!arrivals.empty()) {
+    queue.push({arrivals.front() + config_.autoscaler.sample_interval, EventType::kSample});
+    if (config_.autoscaler_enabled) {
+      queue.push(
+          {arrivals.front() + config_.autoscaler.eval_interval, EventType::kScalerEval});
+    }
+  }
+
+  auto cpu_phase_count = [](const SandboxState& s) {
+    int k = 0;
+    for (const auto& r : s.inflight) {
+      if (r.in_cpu_phase) {
+        ++k;
+      }
+    }
+    return k;
+  };
+
+  auto compute_rate = [&](const SandboxState& s) {
+    const int k = cpu_phase_count(s);
+    if (k == 0) {
+      return 0.0;
+    }
+    double rate = std::min(1.0, config_.vcpus / static_cast<double>(k));
+    const double excess = std::min(static_cast<double>(k) - config_.vcpus,
+                                   config_.contention_excess_cap);
+    if (excess > 0.0) {
+      rate /= 1.0 + config_.contention_coeff * excess;
+    }
+    return rate;
+  };
+
+  auto advance = [&](SandboxState& s) {
+    const MicroSecs dt = now - s.last_advance;
+    if (dt <= 0) {
+      return;
+    }
+    if (!s.initializing && !s.dead) {
+      if (s.inflight.empty()) {
+        s.idle_time += dt;
+      } else {
+        s.busy_time += dt;
+      }
+    }
+    if (s.rate > 0.0) {
+      for (auto& r : s.inflight) {
+        if (r.in_cpu_phase) {
+          r.remaining_cpu -= s.rate * static_cast<double>(dt);
+        }
+      }
+    }
+    s.last_advance = now;
+  };
+
+  auto schedule_next = [&](SandboxState& s) {
+    if (s.dead || s.initializing || s.inflight.empty()) {
+      return;
+    }
+    MicroSecs next = -1;
+    for (const auto& r : s.inflight) {
+      MicroSecs t = 0;
+      if (r.in_cpu_phase) {
+        if (s.rate <= 0.0) {
+          continue;
+        }
+        t = now + static_cast<MicroSecs>(std::ceil(std::max(0.0, r.remaining_cpu) / s.rate));
+        t = std::max(t, now + 1);
+      } else {
+        t = std::max(r.fixed_end, now);
+      }
+      if (next < 0 || t < next) {
+        next = t;
+      }
+    }
+    if (next >= 0) {
+      ++s.gen;
+      queue.push({next, EventType::kSandboxNext, s.id, s.gen});
+    }
+  };
+
+  auto ready_count = [&] {
+    int n = 0;
+    for (const auto& s : sandboxes) {
+      if (!s.dead && !s.initializing) {
+        ++n;
+      }
+    }
+    return n;
+  };
+
+  auto alive_count = [&] {
+    int n = 0;
+    for (const auto& s : sandboxes) {
+      if (!s.dead) {
+        ++n;
+      }
+    }
+    return n;
+  };
+
+  auto initializing_count = [&] {
+    int n = 0;
+    for (const auto& s : sandboxes) {
+      if (!s.dead && s.initializing) {
+        ++n;
+      }
+    }
+    return n;
+  };
+
+  auto create_sandbox = [&]() -> SandboxState& {
+    SandboxState s;
+    s.id = static_cast<int>(sandboxes.size());
+    s.created_at = now;
+    s.last_advance = now;
+    MicroSecs init = 0;
+    if (config_.coldstart != nullptr) {
+      init = config_.coldstart->Sample(rng).total;
+    } else {
+      const double jitter = rng.Uniform(-config_.init_jitter, config_.init_jitter);
+      init = std::max<MicroSecs>(
+          1,
+          static_cast<MicroSecs>(static_cast<double>(config_.init_mean) * (1.0 + jitter)));
+    }
+    s.ready_at = now + init;
+    sandboxes.push_back(std::move(s));
+    SandboxState& ref = sandboxes.back();
+    queue.push({ref.ready_at, EventType::kInitDone, ref.id, ref.gen});
+    return ref;
+  };
+
+  // Starts processing `req_idx` on a ready sandbox at `now`.
+  auto start_request = [&](SandboxState& s, int req_idx, bool cold) {
+    RequestOutcome& out = result.requests[static_cast<size_t>(req_idx)];
+    out.sandbox_id = s.id;
+    out.start_exec = now;
+    out.cold_start = cold;
+    if (cold) {
+      out.init_duration = s.ready_at - s.created_at;
+    }
+    InFlightReq r;
+    r.req_idx = req_idx;
+    double cpu = static_cast<double>(workload.cpu_time);
+    if (workload.cpu_jitter > 0.0) {
+      cpu *= 1.0 + rng.Uniform(-workload.cpu_jitter, workload.cpu_jitter);
+    }
+    r.remaining_cpu = std::max(1.0, cpu);
+    const MicroSecs overhead = config_.serving.Sample(config_.vcpus, rng);
+    r.fixed_end = now + overhead + workload.io_wait;
+    r.in_cpu_phase = r.fixed_end <= now;
+    s.inflight.push_back(r);
+    ++s.served;
+    s.ka_deadline = -1;
+  };
+
+  // Completes one request; returns true if the sandbox became idle.
+  auto complete_request = [&](SandboxState& s, size_t pos) {
+    const int req_idx = s.inflight[pos].req_idx;
+    RequestOutcome& out = result.requests[static_cast<size_t>(req_idx)];
+    out.completion = now;
+    out.reported_duration = now - out.start_exec;
+    out.e2e_latency = now - out.arrival;
+    s.inflight.erase(s.inflight.begin() + static_cast<int>(pos));
+    ++completed;
+    last_completion = std::max(last_completion, now);
+  };
+
+  auto enter_idle = [&](SandboxState& s) {
+    s.ka_deadline = now + config_.keepalive->SampleDuration(rng, ready_count());
+    ++s.gen;
+    queue.push({s.ka_deadline, EventType::kKaExpire, s.id, s.gen});
+  };
+
+  // Pulls queued requests onto available capacity (multi-concurrency model).
+  auto pull_global_queue = [&] {
+    while (!global_queue.empty()) {
+      SandboxState* best = nullptr;
+      int eligible = 0;
+      for (auto& s : sandboxes) {
+        if (s.dead || s.initializing) {
+          continue;
+        }
+        if (static_cast<int>(s.inflight.size()) >= config_.concurrency_limit) {
+          continue;
+        }
+        ++eligible;
+        if (config_.routing == RoutingPolicy::kRandom) {
+          // Reservoir pick: uniform among eligible sandboxes.
+          if (rng.UniformInt(1, eligible) == 1) {
+            best = &s;
+          }
+        } else if (best == nullptr || s.inflight.size() < best->inflight.size()) {
+          best = &s;
+        }
+      }
+      if (best == nullptr) {
+        return;
+      }
+      advance(*best);
+      const int req_idx = global_queue.front();
+      global_queue.pop_front();
+      const bool cold = best->served == 0;
+      start_request(*best, req_idx, cold);
+      best->rate = compute_rate(*best);
+      schedule_next(*best);
+    }
+  };
+
+  auto handle_arrival = [&](int req_idx) {
+    if (config_.concurrency == ConcurrencyModel::kSingleConcurrency) {
+      // Reuse the most recently used warm idle sandbox, else cold start.
+      SandboxState* best = nullptr;
+      for (auto& s : sandboxes) {
+        if (s.dead || s.initializing || !s.inflight.empty()) {
+          continue;
+        }
+        if (s.ka_deadline >= 0 && s.ka_deadline <= now) {
+          continue;  // Expiry event still queued but the window has passed.
+        }
+        if (best == nullptr || s.ready_at > best->ready_at) {
+          best = &s;
+        }
+      }
+      if (best != nullptr) {
+        advance(*best);
+        start_request(*best, req_idx, /*cold=*/false);
+        best->rate = compute_rate(*best);
+        // schedule_next bumps the generation, which also invalidates the
+        // pending KA-expiry event of the previously idle sandbox.
+        schedule_next(*best);
+        return;
+      }
+      SandboxState& fresh = create_sandbox();
+      fresh.pending_local.push_back(req_idx);
+      return;
+    }
+    // Multi-concurrency: queue at the ingress and let the pull logic place it.
+    global_queue.push_back(req_idx);
+    pull_global_queue();
+    if (!global_queue.empty() && alive_count() == 0) {
+      // Scale from zero: start one instance immediately; any further
+      // scale-out is metric-driven and therefore lags demand (paper §3.1).
+      create_sandbox();
+    }
+  };
+
+  while (!queue.empty()) {
+    if (completed == arrivals.size()) {
+      break;
+    }
+    const Event ev = queue.top();
+    queue.pop();
+    now = ev.time;
+    switch (ev.type) {
+      case EventType::kArrival: {
+        ++arrivals_since_sample;
+        // Idle-time feedback for predictive keep-alive (paper §3.3).
+        if (last_completion >= 0 && now > last_completion) {
+          config_.keepalive->ObserveIdleInterval(now - last_completion);
+        }
+        handle_arrival(ev.req_idx);
+        break;
+      }
+      case EventType::kInitDone: {
+        SandboxState& s = sandboxes[static_cast<size_t>(ev.sandbox_id)];
+        if (s.dead || !s.initializing) {
+          break;
+        }
+        advance(s);
+        s.initializing = false;
+        if (!s.pending_local.empty()) {
+          for (int req_idx : s.pending_local) {
+            start_request(s, req_idx, /*cold=*/true);
+          }
+          s.pending_local.clear();
+          s.rate = compute_rate(s);
+          schedule_next(s);
+        } else if (config_.concurrency == ConcurrencyModel::kMultiConcurrency) {
+          pull_global_queue();
+          if (s.inflight.empty()) {
+            enter_idle(s);
+          }
+        } else if (s.inflight.empty()) {
+          enter_idle(s);
+        }
+        break;
+      }
+      case EventType::kSandboxNext: {
+        SandboxState& s = sandboxes[static_cast<size_t>(ev.sandbox_id)];
+        if (s.dead || ev.gen != s.gen) {
+          break;
+        }
+        advance(s);
+        // Fixed-phase transitions first, then completions.
+        for (auto& r : s.inflight) {
+          if (!r.in_cpu_phase && r.fixed_end <= now) {
+            r.in_cpu_phase = true;
+          }
+        }
+        for (size_t i = s.inflight.size(); i-- > 0;) {
+          if (s.inflight[i].in_cpu_phase && s.inflight[i].remaining_cpu <= 0.5) {
+            complete_request(s, i);
+          }
+        }
+        s.rate = compute_rate(s);
+        if (s.inflight.empty()) {
+          enter_idle(s);
+          if (config_.concurrency == ConcurrencyModel::kMultiConcurrency) {
+            pull_global_queue();
+          }
+        } else {
+          schedule_next(s);
+        }
+        break;
+      }
+      case EventType::kKaExpire: {
+        SandboxState& s = sandboxes[static_cast<size_t>(ev.sandbox_id)];
+        if (s.dead || ev.gen != s.gen || !s.inflight.empty() || s.initializing) {
+          break;
+        }
+        advance(s);
+        s.dead = true;
+        break;
+      }
+      case EventType::kScalerEval: {
+        const int ready = ready_count();
+        const int desired = scaler.DesiredInstances(now);
+        const int alive = alive_count();
+        const bool cooled_down =
+            now - last_scale_action >= scaler_config.action_cooldown;
+        if (desired > alive && cooled_down) {
+          const int target = std::min(desired, config_.max_instances);
+          for (int i = alive; i < target; ++i) {
+            create_sandbox();
+          }
+          last_scale_action = now;
+        } else if (desired < ready && global_queue.empty() && cooled_down) {
+          // Scale down surplus idle instances.
+          int to_remove = ready - desired;
+          for (auto& s : sandboxes) {
+            if (to_remove <= 0) {
+              break;
+            }
+            if (!s.dead && !s.initializing && s.inflight.empty()) {
+              advance(s);
+              s.dead = true;
+              --to_remove;
+            }
+          }
+          last_scale_action = now;
+        }
+        if (completed < arrivals.size()) {
+          queue.push({now + config_.autoscaler.eval_interval, EventType::kScalerEval});
+        }
+        break;
+      }
+      case EventType::kSample: {
+        TimelineSample sample;
+        sample.time = now;
+        double util_sum = 0.0;
+        int ready = 0;
+        for (auto& s : sandboxes) {
+          if (s.dead) {
+            continue;
+          }
+          ++sample.instances;
+          if (!s.initializing) {
+            ++ready;
+            // Utilization = busy-time fraction over the last sample interval
+            // (what a CPU-usage metric reports), not the instantaneous
+            // in-flight indicator.
+            advance(s);
+            const double busy_frac =
+                static_cast<double>(s.busy_time - s.busy_snapshot) /
+                static_cast<double>(config_.autoscaler.sample_interval);
+            s.busy_snapshot = s.busy_time;
+            util_sum += std::clamp(busy_frac, 0.0, 1.0);
+          }
+          sample.busy_requests += static_cast<int>(s.inflight.size());
+        }
+        sample.busy_requests += static_cast<int>(global_queue.size());
+        sample.ready_instances = ready;
+        sample.avg_utilization = ready > 0 ? util_sum / ready : 0.0;
+        result.timeline.push_back(sample);
+        if (config_.autoscaler_enabled) {
+          // Consumed-CPU metric (what a CPU-utilization target observes):
+          // the sum of per-instance busy fractions times the allocation,
+          // physically capped at the deployed capacity.
+          scaler.AddSample(now, util_sum * config_.vcpus);
+        }
+        arrivals_since_sample = 0;
+        if (completed < arrivals.size()) {
+          queue.push({now + config_.autoscaler.sample_interval, EventType::kSample});
+        }
+        break;
+      }
+    }
+  }
+
+  // Finalize accounting; surviving sandboxes are closed at the last event.
+  for (auto& s : sandboxes) {
+    advance(s);
+    SandboxAccounting acc;
+    acc.sandbox_id = s.id;
+    acc.created_at = s.created_at;
+    acc.destroyed_at = now;
+    acc.init_time = std::min(s.ready_at, now) - s.created_at;
+    acc.busy_time = s.busy_time;
+    acc.idle_time = s.idle_time;
+    result.total_instance_seconds += MicrosToSecs(acc.destroyed_at - acc.created_at);
+    result.sandboxes.push_back(acc);
+  }
+  for (const auto& r : result.requests) {
+    if (r.cold_start) {
+      ++result.cold_starts;
+    }
+  }
+  return result;
+}
+
+std::vector<MicroSecs> UniformArrivals(double rps, MicroSecs duration) {
+  std::vector<MicroSecs> out;
+  if (rps <= 0.0 || duration <= 0) {
+    return out;
+  }
+  const double gap = static_cast<double>(kMicrosPerSec) / rps;
+  for (double t = 0.0; t < static_cast<double>(duration); t += gap) {
+    out.push_back(static_cast<MicroSecs>(t));
+  }
+  return out;
+}
+
+std::vector<MicroSecs> PoissonArrivals(double rps, MicroSecs duration, Rng& rng) {
+  std::vector<MicroSecs> out;
+  if (rps <= 0.0 || duration <= 0) {
+    return out;
+  }
+  const double rate_per_us = rps / static_cast<double>(kMicrosPerSec);
+  double t = rng.Exponential(rate_per_us);
+  while (t < static_cast<double>(duration)) {
+    out.push_back(static_cast<MicroSecs>(t));
+    t += rng.Exponential(rate_per_us);
+  }
+  return out;
+}
+
+double ColdStartProbability(const PlatformSimConfig& config, const WorkloadSpec& workload,
+                            MicroSecs idle, int samples, uint64_t seed) {
+  assert(samples > 0);
+  int cold = 0;
+  for (int i = 0; i < samples; ++i) {
+    const uint64_t run_seed = seed + static_cast<uint64_t>(i) * 7919;
+    // First pass: find the warm-up request's completion time.
+    PlatformSim warmup(config, run_seed);
+    const PlatformSimResult first = warmup.Run({0}, workload);
+    const MicroSecs probe_at = first.requests.front().completion + idle;
+    // Replay with the same seed so the warm-up behaves identically, then
+    // probe after the idle interval.
+    PlatformSim probe(config, run_seed);
+    const PlatformSimResult both = probe.Run({0, probe_at}, workload);
+    if (both.requests.back().cold_start) {
+      ++cold;
+    }
+  }
+  return static_cast<double>(cold) / static_cast<double>(samples);
+}
+
+}  // namespace faascost

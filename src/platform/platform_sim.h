@@ -1,0 +1,137 @@
+// Discrete-event serverless platform simulator (paper §3).
+//
+// Simulates one deployed function on a platform with:
+//   - a sandbox lifecycle of initialization (cold start), execution,
+//     keep-alive and shutdown,
+//   - either the single-concurrency serving model (one request per sandbox,
+//     instant demand-driven scale-out; AWS Lambda, Cloudflare) or the
+//     multi-concurrency model (requests share sandboxes up to a concurrency
+//     limit, windowed-metric autoscaling; GCP, Azure, IBM, Knative),
+//   - processor-sharing execution: concurrent CPU-bound requests in one
+//     sandbox share its vCPUs, with a configurable contention penalty for
+//     context switches and cache interference,
+//   - per-architecture serving overhead added to every request,
+//   - keep-alive policies that decide how long idle sandboxes survive.
+
+#ifndef FAASCOST_PLATFORM_PLATFORM_SIM_H_
+#define FAASCOST_PLATFORM_PLATFORM_SIM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/platform/autoscaler.h"
+#include "src/platform/coldstart.h"
+#include "src/platform/keepalive.h"
+#include "src/platform/serving.h"
+#include "src/platform/workload.h"
+
+namespace faascost {
+
+enum class ConcurrencyModel {
+  kSingleConcurrency,
+  kMultiConcurrency,
+};
+
+// How the ingress picks among warm sandboxes with spare concurrency.
+enum class RoutingPolicy {
+  kLeastLoaded,  // Idealized: always the emptiest sandbox.
+  kRandom,       // Load-balancer reality: uniformly random among eligible.
+};
+
+struct PlatformSimConfig {
+  std::string name = "platform";
+  ConcurrencyModel concurrency = ConcurrencyModel::kSingleConcurrency;
+  int concurrency_limit = 1;  // Per-sandbox in-flight cap (multi model).
+  RoutingPolicy routing = RoutingPolicy::kRandom;
+  double vcpus = 1.0;
+  MegaBytes mem_mb = 1024.0;
+  ServingOverheadModel serving;
+  std::shared_ptr<KeepAlivePolicy> keepalive;
+  // Sandbox initialization (cold start) duration: mean with uniform jitter,
+  // or a phase-decomposed per-runtime model when `coldstart` is set.
+  MicroSecs init_mean = 600 * kMicrosPerMilli;
+  double init_jitter = 0.25;
+  std::shared_ptr<const ColdStartModel> coldstart;
+  // Relative slowdown per excess concurrent CPU-bound request (context
+  // switching and cache pressure; paper §3.1 notes contention slowdowns are
+  // "often worse" than pure sharing). The excess is capped: past a point the
+  // working sets already thrash and extra requests add no marginal penalty.
+  double contention_coeff = 0.02;
+  double contention_excess_cap = 5.0;
+  // Metric-driven autoscaling (multi-concurrency platforms only).
+  bool autoscaler_enabled = false;
+  AutoscalerConfig autoscaler;
+  int max_instances = 1000;
+};
+
+struct RequestOutcome {
+  MicroSecs arrival = 0;
+  MicroSecs start_exec = 0;   // When the sandbox began processing.
+  MicroSecs completion = 0;
+  MicroSecs reported_duration = 0;  // Provider-reported execution duration.
+  MicroSecs e2e_latency = 0;        // arrival -> completion (includes queue).
+  bool cold_start = false;
+  MicroSecs init_duration = 0;
+  int sandbox_id = -1;
+};
+
+struct TimelineSample {
+  MicroSecs time = 0;
+  int instances = 0;       // Ready + initializing.
+  int ready_instances = 0;
+  int busy_requests = 0;   // In-flight requests across sandboxes.
+  double avg_utilization = 0.0;
+};
+
+struct SandboxAccounting {
+  int sandbox_id = 0;
+  MicroSecs created_at = 0;
+  MicroSecs destroyed_at = 0;
+  MicroSecs init_time = 0;
+  MicroSecs busy_time = 0;  // Time with >= 1 in-flight request.
+  MicroSecs idle_time = 0;  // Keep-alive time.
+};
+
+struct PlatformSimResult {
+  std::vector<RequestOutcome> requests;
+  std::vector<TimelineSample> timeline;
+  std::vector<SandboxAccounting> sandboxes;
+  int cold_starts = 0;
+  double total_instance_seconds = 0.0;
+};
+
+class PlatformSim {
+ public:
+  PlatformSim(PlatformSimConfig config, uint64_t seed);
+
+  // Runs the arrival sequence (sorted ascending) of identical requests of
+  // `workload` to completion and returns per-request outcomes plus timeline
+  // and sandbox accounting.
+  PlatformSimResult Run(const std::vector<MicroSecs>& arrivals, const WorkloadSpec& workload);
+
+  const PlatformSimConfig& config() const { return config_; }
+
+ private:
+  PlatformSimConfig config_;
+  uint64_t seed_;
+};
+
+// Generates `duration`-long arrivals at a constant rate `rps` (deterministic
+// spacing), starting at time 0.
+std::vector<MicroSecs> UniformArrivals(double rps, MicroSecs duration);
+
+// Poisson arrivals at rate `rps` over `duration`.
+std::vector<MicroSecs> PoissonArrivals(double rps, MicroSecs duration, Rng& rng);
+
+// Empirical cold-start probability at a given idle interval: repeatedly send
+// a warm-up request followed by a probe after `idle`; returns the fraction
+// of probes that hit a cold sandbox (paper Fig. 9, 100 samples per point).
+double ColdStartProbability(const PlatformSimConfig& config, const WorkloadSpec& workload,
+                            MicroSecs idle, int samples, uint64_t seed);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_PLATFORM_PLATFORM_SIM_H_

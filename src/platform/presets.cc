@@ -1,0 +1,82 @@
+#include "src/platform/presets.h"
+
+namespace faascost {
+
+PlatformSimConfig AwsLambdaPlatform(double vcpus, MegaBytes mem_mb) {
+  PlatformSimConfig c;
+  c.name = "AWS Lambda";
+  c.concurrency = ConcurrencyModel::kSingleConcurrency;
+  c.concurrency_limit = 1;
+  c.vcpus = vcpus;
+  c.mem_mb = mem_mb;
+  c.serving = ApiLongPollingOverhead();
+  c.keepalive = MakeAwsKeepAlive();
+  c.init_mean = 400 * kMicrosPerMilli;
+  c.init_jitter = 0.30;
+  return c;
+}
+
+PlatformSimConfig GcpPlatform(double vcpus, MegaBytes mem_mb) {
+  PlatformSimConfig c;
+  c.name = "GCP Cloud Run functions";
+  c.concurrency = ConcurrencyModel::kMultiConcurrency;
+  c.concurrency_limit = 80;  // Default concurrency limit (paper §3.1).
+  c.vcpus = vcpus;
+  c.mem_mb = mem_mb;
+  c.serving = HttpServerOverhead();
+  c.keepalive = MakeGcpKeepAlive();
+  c.init_mean = 1'500 * kMicrosPerMilli;
+  c.init_jitter = 0.30;
+  c.autoscaler_enabled = true;
+  c.autoscaler.target_utilization = 0.6;  // 60% CPU utilization target.
+  c.autoscaler.metric_window = 60LL * kMicrosPerSec;
+  return c;
+}
+
+PlatformSimConfig AzurePlatform() {
+  PlatformSimConfig c;
+  c.name = "Azure Functions (Consumption)";
+  c.concurrency = ConcurrencyModel::kMultiConcurrency;
+  c.concurrency_limit = 100;
+  c.vcpus = 1.0;
+  c.mem_mb = 1536.0;
+  c.serving = HttpServerOverhead();
+  c.keepalive = MakeAzureKeepAlive();
+  c.init_mean = 2'500 * kMicrosPerMilli;
+  c.init_jitter = 0.35;
+  c.autoscaler_enabled = true;
+  c.autoscaler.target_utilization = 0.7;
+  c.autoscaler.metric_window = 30LL * kMicrosPerSec;
+  return c;
+}
+
+PlatformSimConfig CloudflarePlatform() {
+  PlatformSimConfig c;
+  c.name = "Cloudflare Workers";
+  c.concurrency = ConcurrencyModel::kSingleConcurrency;
+  c.concurrency_limit = 1;
+  c.vcpus = 1.0;
+  c.mem_mb = 128.0;
+  c.serving = CodeExecutionOverhead();
+  c.keepalive = MakeCloudflareKeepAlive();
+  c.init_mean = 5 * kMicrosPerMilli;  // Load + JIT, masked by TLS pre-warm.
+  c.init_jitter = 0.40;
+  return c;
+}
+
+PlatformSimConfig IbmPlatform(double vcpus, MegaBytes mem_mb) {
+  PlatformSimConfig c;
+  c.name = "IBM Code Engine";
+  c.concurrency = ConcurrencyModel::kMultiConcurrency;
+  c.concurrency_limit = 100;
+  c.vcpus = vcpus;
+  c.mem_mb = mem_mb;
+  c.serving = HttpServerOverhead();
+  c.keepalive = MakeFixedKeepAlive(600LL * kMicrosPerSec, KaResourceBehavior::kScaleDownCpu);
+  c.init_mean = 1'000 * kMicrosPerMilli;
+  c.init_jitter = 0.30;
+  c.autoscaler_enabled = true;
+  return c;
+}
+
+}  // namespace faascost

@@ -1,0 +1,35 @@
+// Platform presets wiring concurrency model, serving architecture, keep-alive
+// policy and cold-start characteristics to match the paper's observations of
+// each provider (§3).
+
+#ifndef FAASCOST_PLATFORM_PRESETS_H_
+#define FAASCOST_PLATFORM_PRESETS_H_
+
+#include "src/platform/platform_sim.h"
+
+namespace faascost {
+
+// AWS Lambda: single-concurrency, runtime-API long polling, freeze/resume KA
+// of 300-360 s. `vcpus` follows the memory-proportional allocation.
+PlatformSimConfig AwsLambdaPlatform(double vcpus, MegaBytes mem_mb);
+
+// GCP Cloud Run functions (request-based billing): multi-concurrency with a
+// default limit of 80, HTTP-server serving, windowed CPU-utilization
+// autoscaling (60% target), ~900 s scale-down delay with CPU throttled to
+// ~0.01 vCPUs during KA.
+PlatformSimConfig GcpPlatform(double vcpus, MegaBytes mem_mb);
+
+// Azure Functions Consumption: multi-concurrency HTTP serving on a fixed
+// 1 vCPU / 1.5 GB sandbox, opportunistic 120-360 s KA with full resources.
+PlatformSimConfig AzurePlatform();
+
+// Cloudflare Workers: single-concurrency (isolate-per-request semantics),
+// code/binary execution, code-cache KA with TLS pre-warm (~5 ms init).
+PlatformSimConfig CloudflarePlatform();
+
+// IBM Cloud Code Engine functions: multi-concurrency HTTP serving.
+PlatformSimConfig IbmPlatform(double vcpus, MegaBytes mem_mb);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_PLATFORM_PRESETS_H_

@@ -1,0 +1,63 @@
+#include "src/platform/serving.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faascost {
+
+const char* ServingArchitectureName(ServingArchitecture arch) {
+  switch (arch) {
+    case ServingArchitecture::kApiLongPolling:
+      return "runtime-API long polling";
+    case ServingArchitecture::kHttpServer:
+      return "HTTP server";
+    case ServingArchitecture::kCodeExecution:
+      return "code/binary execution";
+  }
+  return "unknown";
+}
+
+MicroSecs ServingOverheadModel::Sample(double vcpus, Rng& rng) const {
+  double cpu_part = static_cast<double>(cpu_work);
+  if (vcpus < 1.0 && cpu_work > 0) {
+    const double deficit = 1.0 - std::max(vcpus, 0.0);
+    cpu_part += static_cast<double>(low_alloc_penalty) * deficit;
+  }
+  double total = static_cast<double>(base) + cpu_part;
+  if (jitter > 0.0) {
+    total *= 1.0 + rng.Uniform(-jitter, jitter);
+  }
+  return std::max<MicroSecs>(0, static_cast<MicroSecs>(total));
+}
+
+ServingOverheadModel ApiLongPollingOverhead() {
+  ServingOverheadModel m;
+  m.arch = ServingArchitecture::kApiLongPolling;
+  m.base = 870;      // Poll cycle + response post over the local endpoint.
+  m.cpu_work = 300;  // Event (de)serialization in the runtime.
+  m.low_alloc_penalty = 0;
+  m.jitter = 0.20;
+  return m;
+}
+
+ServingOverheadModel HttpServerOverhead() {
+  ServingOverheadModel m;
+  m.arch = ServingArchitecture::kHttpServer;
+  m.base = 1'000;              // Queue-proxy hop + connection handling.
+  m.cpu_work = 2'100;          // Header/payload parsing and serialization.
+  m.low_alloc_penalty = 3'100; // At 0.08 vCPUs: ~5.9 ms average.
+  m.jitter = 0.25;
+  return m;
+}
+
+ServingOverheadModel CodeExecutionOverhead() {
+  ServingOverheadModel m;
+  m.arch = ServingArchitecture::kCodeExecution;
+  m.base = 4;  // Isolate dispatch; below the 0.01 ms reporting precision.
+  m.cpu_work = 2;
+  m.low_alloc_penalty = 0;
+  m.jitter = 0.30;
+  return m;
+}
+
+}  // namespace faascost

@@ -1,0 +1,56 @@
+// The three mainstream request-serving architectures (paper §3.2, Fig. 7)
+// and their per-request overhead models (Fig. 8):
+//
+//  (a) Runtime-API long polling (AWS Lambda): a provider runtime inside the
+//      sandbox blocks on the runtime API, hands events to the handler and
+//      posts results back. Stable ~1.17 ms overhead, independent of the
+//      resource configuration.
+//  (b) HTTP server (GCP, Azure, IBM, Knative): a queue/sidecar proxies the
+//      request to an HTTP server running the user handler. Highest overhead
+//      (up to ~5.93 ms average): header/payload parsing, encoding and
+//      serialization are CPU-bound, so low CPU allocations inflate it.
+//  (c) Code/binary execution (Cloudflare Workers): the language engine runs
+//      the code block per request. Near-zero overhead (below Cloudflare's
+//      0.01 ms reporting precision).
+
+#ifndef FAASCOST_PLATFORM_SERVING_H_
+#define FAASCOST_PLATFORM_SERVING_H_
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace faascost {
+
+enum class ServingArchitecture {
+  kApiLongPolling,
+  kHttpServer,
+  kCodeExecution,
+};
+
+const char* ServingArchitectureName(ServingArchitecture arch);
+
+struct ServingOverheadModel {
+  ServingArchitecture arch = ServingArchitecture::kApiLongPolling;
+  MicroSecs base = 0;               // Fixed per-request overhead.
+  MicroSecs cpu_work = 0;           // CPU-bound portion at a full vCPU.
+  MicroSecs low_alloc_penalty = 0;  // Extra as the allocation approaches 0.
+  double jitter = 0.15;             // Relative uniform jitter.
+
+  // Samples the serving overhead for a request on a sandbox with `vcpus`.
+  // The CPU-bound portion inflates as (1 + penalty * (1 - vcpus)) for
+  // sub-core allocations: individual parsing/serialization bursts are short
+  // enough to ride quota overallocation (§4.2), so the inflation is far
+  // milder than reciprocal scaling.
+  MicroSecs Sample(double vcpus, Rng& rng) const;
+};
+
+// Default overhead models calibrated to the Fig. 8 measurements.
+ServingOverheadModel ApiLongPollingOverhead();   // AWS: ~1.17 ms mean.
+ServingOverheadModel HttpServerOverhead();       // GCP/Azure: ~3-6 ms mean.
+ServingOverheadModel CodeExecutionOverhead();    // Cloudflare: ~0.005 ms.
+
+}  // namespace faascost
+
+#endif  // FAASCOST_PLATFORM_SERVING_H_

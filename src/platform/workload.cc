@@ -1,0 +1,41 @@
+#include "src/platform/workload.h"
+
+namespace faascost {
+
+WorkloadSpec PyAesWorkload() {
+  WorkloadSpec w;
+  w.name = "pyaes";
+  w.cpu_time = 160 * kMicrosPerMilli;
+  w.memory_footprint = 45.0;
+  w.cpu_jitter = 0.04;
+  return w;
+}
+
+WorkloadSpec MinimalWorkload() {
+  WorkloadSpec w;
+  w.name = "minimal";
+  w.cpu_time = 5;  // A few microseconds: return an empty string and status.
+  w.memory_footprint = 8.0;
+  w.cpu_jitter = 0.10;
+  return w;
+}
+
+WorkloadSpec VideoProcessingWorkload() {
+  WorkloadSpec w;
+  w.name = "video-processing";
+  w.cpu_time = 10LL * kMicrosPerSec;
+  w.memory_footprint = 350.0;
+  w.cpu_jitter = 0.05;
+  return w;
+}
+
+WorkloadSpec ProfilerProbeWorkload(MicroSecs exec_duration) {
+  WorkloadSpec w;
+  w.name = "profiler-probe";
+  w.cpu_time = exec_duration;
+  w.memory_footprint = 10.0;
+  w.cpu_jitter = 0.0;
+  return w;
+}
+
+}  // namespace faascost

@@ -1,0 +1,43 @@
+// Workload definitions used across the platform experiments (paper §3-§4).
+
+#ifndef FAASCOST_PLATFORM_WORKLOAD_H_
+#define FAASCOST_PLATFORM_WORKLOAD_H_
+
+#include <string>
+
+#include "src/common/units.h"
+
+namespace faascost {
+
+// A serverless function body. CPU demand is expressed at full-core speed;
+// the execution model divides it by the effective CPU share. `io_wait` is
+// wall-clock time spent blocked (e.g., remote API calls) that consumes no
+// CPU.
+struct WorkloadSpec {
+  std::string name;
+  MicroSecs cpu_time = 0;        // CPU demand per request at 1 vCPU.
+  MicroSecs io_wait = 0;         // Blocking time per request.
+  MegaBytes memory_footprint = 0.0;
+  double cpu_jitter = 0.03;      // Relative uniform jitter on cpu_time.
+};
+
+// PyAES from FunctionBench: the compute-bound function the paper deploys for
+// the concurrency (Fig. 6) and overallocation (Fig. 10) experiments; each
+// request takes about 160 ms of CPU time.
+WorkloadSpec PyAesWorkload();
+
+// A minimal function returning an empty string (Fig. 8): the measured
+// duration is pure serving-architecture overhead.
+WorkloadSpec MinimalWorkload();
+
+// The SeBS video-processing application used for the intermittent-execution
+// exploit (§4.3): a long, strongly compute-bound function.
+WorkloadSpec VideoProcessingWorkload();
+
+// The scheduler-profiling probe of Algorithm 1: pure CPU burn for a fixed
+// wall-clock duration.
+WorkloadSpec ProfilerProbeWorkload(MicroSecs exec_duration);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_PLATFORM_WORKLOAD_H_

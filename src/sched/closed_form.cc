@@ -1,0 +1,34 @@
+#include "src/sched/closed_form.h"
+
+#include <cassert>
+
+namespace faascost {
+
+MicroSecs ClosedFormDuration(MicroSecs cpu_demand, MicroSecs period, MicroSecs quota) {
+  assert(cpu_demand >= 0);
+  assert(period > 0);
+  assert(quota > 0);
+  if (cpu_demand == 0) {
+    return 0;
+  }
+  if (quota >= period) {
+    // No effective throttling for a single-threaded task.
+    return cpu_demand;
+  }
+  const MicroSecs full = cpu_demand / quota;
+  const MicroSecs rem = cpu_demand % quota;
+  if (rem != 0) {
+    return full * period + rem;
+  }
+  return (full - 1) * period + quota;
+}
+
+double IdealDuration(MicroSecs cpu_demand, double vcpu_fraction) {
+  assert(vcpu_fraction > 0.0);
+  if (vcpu_fraction >= 1.0) {
+    return static_cast<double>(cpu_demand);
+  }
+  return static_cast<double>(cpu_demand) / vcpu_fraction;
+}
+
+}  // namespace faascost

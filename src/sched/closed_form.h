@@ -1,0 +1,30 @@
+// Closed-form execution-duration model of CPU bandwidth control, the paper's
+// Equation (2):
+//
+//   d = floor(T/Q) * P + (T mod Q)        if T mod Q != 0
+//   d = (T/Q - 1) * P + Q                 otherwise
+//
+// where T is the required CPU time, P the enforcement period and Q the quota.
+// This idealized model assumes exact (continuous) runtime accounting; the
+// discrete-event simulator adds the tick-lagged accounting that produces
+// overrun on real systems.
+
+#ifndef FAASCOST_SCHED_CLOSED_FORM_H_
+#define FAASCOST_SCHED_CLOSED_FORM_H_
+
+#include "src/common/units.h"
+
+namespace faascost {
+
+// Equation (2): wall-clock duration of a CPU-bound task with demand T under
+// (period, quota) bandwidth control, assuming the task starts at a period
+// boundary with a full quota and exact accounting.
+MicroSecs ClosedFormDuration(MicroSecs cpu_demand, MicroSecs period, MicroSecs quota);
+
+// Ideal reciprocal-scaling duration: T / (Q/P). The paper's Fig. 10 "expected
+// average" lines scale the full-allocation measurement this way.
+double IdealDuration(MicroSecs cpu_demand, double vcpu_fraction);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_SCHED_CLOSED_FORM_H_

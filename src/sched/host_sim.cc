@@ -1,0 +1,137 @@
+#include "src/sched/host_sim.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/rng.h"
+#include "src/sched/profiler.h"
+
+namespace faascost {
+
+HostSimResult SimulateHost(const HostSimConfig& config,
+                           const std::vector<TenantSpec>& tenants, uint64_t seed) {
+  assert(config.cores >= 1);
+  assert(config.tick > 0);
+  assert(config.period % config.tick == 0);
+
+  struct TenantState {
+    double vruntime = 0.0;
+    int64_t pool = 0;      // Remaining cgroup runtime this period.
+    bool on_phase = true;  // Whether the task currently wants CPU.
+    MicroSecs next_flip = 0;
+    MicroSecs gap_start = -1;  // Start of the current runnable-but-off-CPU gap.
+  };
+
+  Rng rng(seed);
+  const size_t n = tenants.size();
+  std::vector<TenantState> state(n);
+  HostSimResult result;
+  result.tenants.resize(n);
+
+  auto phase_length = [&](const TenantSpec& spec, bool on) {
+    // Exponential on/off phases sized so the long-run on-fraction matches
+    // demand_fraction.
+    const double mean_on = static_cast<double>(config.demand_phase);
+    const double f = std::clamp(spec.demand_fraction, 0.01, 1.0);
+    const double mean = on ? mean_on : mean_on * (1.0 - f) / f;
+    return std::max<MicroSecs>(config.tick,
+                               static_cast<MicroSecs>(rng.Exponential(1.0 / mean)));
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    state[i].pool = static_cast<int64_t>(tenants[i].quota_fraction *
+                                         static_cast<double>(config.period));
+    if (tenants[i].demand_fraction < 1.0) {
+      state[i].on_phase = rng.Bernoulli(tenants[i].demand_fraction);
+      state[i].next_flip = phase_length(tenants[i], state[i].on_phase);
+    } else {
+      state[i].next_flip = kUnlimitedDemand;
+    }
+    // Small random vruntime offsets break ties deterministically.
+    state[i].vruntime = rng.Uniform(0.0, 1.0);
+  }
+
+  int64_t busy_core_ticks = 0;
+  std::vector<size_t> runnable;
+  runnable.reserve(n);
+
+  for (MicroSecs now = 0; now < config.duration; now += config.tick) {
+    // Quota refills at period boundaries.
+    if (now % config.period == 0 && now > 0) {
+      for (size_t i = 0; i < n; ++i) {
+        state[i].pool = static_cast<int64_t>(tenants[i].quota_fraction *
+                                             static_cast<double>(config.period));
+      }
+    }
+    // Demand phase flips.
+    for (size_t i = 0; i < n; ++i) {
+      if (now >= state[i].next_flip && tenants[i].demand_fraction < 1.0) {
+        state[i].on_phase = !state[i].on_phase;
+        state[i].next_flip = now + phase_length(tenants[i], state[i].on_phase);
+      }
+    }
+
+    // Collect runnable (wants CPU, quota left) tenants.
+    runnable.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (state[i].on_phase && state[i].pool > 0) {
+        runnable.push_back(i);
+      }
+    }
+    // Fair-share dispatch: the `cores` lowest weighted vruntimes run.
+    std::sort(runnable.begin(), runnable.end(), [&](size_t a, size_t b) {
+      return state[a].vruntime < state[b].vruntime;
+    });
+    const size_t running = std::min<size_t>(runnable.size(),
+                                            static_cast<size_t>(config.cores));
+    busy_core_ticks += static_cast<int64_t>(running);
+
+    std::vector<bool> ran(n, false);
+    for (size_t k = 0; k < running; ++k) {
+      const size_t i = runnable[k];
+      ran[i] = true;
+      result.tenants[i].cpu_obtained += config.tick;
+      state[i].vruntime +=
+          static_cast<double>(config.tick) / std::max(tenants[i].weight, 1e-6);
+      state[i].pool -= config.tick;
+    }
+
+    // Gap bookkeeping from the tenant's (user-space) point of view.
+    for (size_t i = 0; i < n; ++i) {
+      TenantResult& tr = result.tenants[i];
+      if (state[i].on_phase) {
+        tr.runnable_time += config.tick;
+      }
+      const bool wanted = state[i].on_phase;
+      if (wanted && !ran[i]) {
+        if (state[i].gap_start < 0) {
+          state[i].gap_start = now;
+        }
+        if (state[i].pool <= 0) {
+          ++tr.throttled_ticks;
+        } else {
+          ++tr.preempted_ticks;
+        }
+      } else if (state[i].gap_start >= 0 && ran[i]) {
+        const MicroSecs dur = now - state[i].gap_start;
+        if (dur > kThrottleDetectThreshold) {
+          tr.gaps.push_back({state[i].gap_start, dur});
+        }
+        state[i].gap_start = -1;
+      } else if (!wanted) {
+        state[i].gap_start = -1;  // Voluntary sleep: not an observed gap.
+      }
+    }
+  }
+
+  for (auto& tr : result.tenants) {
+    tr.cpu_share =
+        static_cast<double>(tr.cpu_obtained) / static_cast<double>(config.duration);
+  }
+  result.host_utilization =
+      static_cast<double>(busy_core_ticks) * static_cast<double>(config.tick) /
+      (static_cast<double>(config.cores) * static_cast<double>(config.duration));
+  return result;
+}
+
+}  // namespace faascost

@@ -1,0 +1,95 @@
+#include "src/sched/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faascost {
+
+namespace {
+
+constexpr double kNoiseCutoffMs = 2.0;    // Gaps below this are preemption noise.
+constexpr double kMatchThreshold = 0.85;  // Acceptance fraction for a candidate.
+
+// Candidate periods observed across clouds and common kernel defaults (ms).
+const double kPeriodCandidates[] = {100.0, 50.0, 40.0, 25.0, 20.0, 10.0, 5.0};
+// Candidate tick intervals (ms) -> CONFIG_HZ in {100, 250, 300, 1000}.
+const std::pair<double, int> kTickCandidates[] = {
+    {10.0, 100}, {4.0, 250}, {10.0 / 3.0, 300}, {1.0, 1000}};
+
+}  // namespace
+
+double MultipleMatchFraction(const std::vector<double>& samples_ms, double base_ms,
+                             double tol_ms) {
+  if (samples_ms.empty() || base_ms <= 0.0) {
+    return 0.0;
+  }
+  size_t hits = 0;
+  for (double s : samples_ms) {
+    const double k = std::round(s / base_ms);
+    if (k >= 1.0 && std::abs(s - k * base_ms) <= tol_ms) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples_ms.size());
+}
+
+InferredSchedParams InferSchedParams(const std::vector<ThrottleProfile>& profiles) {
+  InferredSchedParams out;
+
+  // Rebuild per-event samples with sub-2 ms noise gaps removed. Unthrottles
+  // happen at quota refills, so the differences between consecutive gap
+  // *ends* carry the period; the CPU bursts between gaps are quantized by
+  // the accounting tick.
+  std::vector<double> end_diffs_ms;
+  std::vector<double> runtimes_ms;
+  MicroSecs total_wall = 0;
+  MicroSecs total_cpu = 0;
+  for (const auto& p : profiles) {
+    total_wall += p.exec_duration;
+    total_cpu += p.cpu_obtained;
+    std::vector<SuspensionEvent> filtered;
+    for (const auto& ev : p.throttle_log) {
+      if (MicrosToMillis(ev.duration) >= kNoiseCutoffMs) {
+        filtered.push_back(ev);
+      }
+    }
+    for (size_t i = 0; i + 1 < filtered.size(); ++i) {
+      const MicroSecs end_i = filtered[i].start + filtered[i].duration;
+      const MicroSecs end_j = filtered[i + 1].start + filtered[i + 1].duration;
+      end_diffs_ms.push_back(MicrosToMillis(end_j - end_i));
+      runtimes_ms.push_back(MicrosToMillis(filtered[i + 1].start - end_i));
+    }
+  }
+
+  // Coarsest tick consistent with the obtained CPU bursts.
+  double tick_ms = 0.0;
+  for (const auto& [cand_ms, hz] : kTickCandidates) {
+    const double match = MultipleMatchFraction(runtimes_ms, cand_ms, 0.35);
+    if (match >= kMatchThreshold) {
+      out.config_hz = hz;
+      out.match_tick = match;
+      tick_ms = cand_ms;
+      break;
+    }
+  }
+
+  // Coarsest period consistent with the unthrottle times. Dispatch after an
+  // off-grid refill waits for the next tick, so end-to-end differences can
+  // drift by up to one tick around period multiples.
+  const double period_tol = std::max(1.0, tick_ms);
+  for (double cand : kPeriodCandidates) {
+    const double match = MultipleMatchFraction(end_diffs_ms, cand, period_tol);
+    if (match >= kMatchThreshold) {
+      out.period_ms = cand;
+      out.match_period = match;
+      break;
+    }
+  }
+
+  if (total_wall > 0) {
+    out.quota_fraction = static_cast<double>(total_cpu) / static_cast<double>(total_wall);
+  }
+  return out;
+}
+
+}  // namespace faascost

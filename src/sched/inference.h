@@ -1,0 +1,39 @@
+// Scheduling-parameter inference: recovers the CPU bandwidth-control period
+// and the scheduler tick frequency from user-space throttle profiles, the
+// analysis behind the paper's Table 3 (AWS P=20 ms/250 Hz, GCP P=100 ms/
+// 1000 Hz, IBM P=10 ms/250 Hz).
+//
+// Intervals between throttles are multiples of the enforcement period
+// (unthrottling happens only at quota refills), and the CPU bursts obtained
+// between throttles are quantized by the accounting tick. The inference
+// searches candidate values and picks the coarsest one consistent with the
+// observations; sub-2 ms gaps are discarded first as co-tenant preemption
+// noise (the paper observes 6.4-14.8% such gaps on GCP).
+
+#ifndef FAASCOST_SCHED_INFERENCE_H_
+#define FAASCOST_SCHED_INFERENCE_H_
+
+#include <vector>
+
+#include "src/sched/profiler.h"
+
+namespace faascost {
+
+struct InferredSchedParams {
+  double period_ms = 0.0;   // Bandwidth-control period.
+  int config_hz = 0;        // Scheduler tick frequency.
+  double quota_fraction = 0.0;  // Long-run CPU share = quota / period.
+  double match_period = 0.0;    // Fraction of intervals fitting the period.
+  double match_tick = 0.0;      // Fraction of runtimes fitting the tick.
+};
+
+InferredSchedParams InferSchedParams(const std::vector<ThrottleProfile>& profiles);
+
+// Fraction of samples lying within `tol_ms` of a positive multiple of
+// `base_ms` (helper, exposed for testing).
+double MultipleMatchFraction(const std::vector<double>& samples_ms, double base_ms,
+                             double tol_ms);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_SCHED_INFERENCE_H_

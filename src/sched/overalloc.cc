@@ -1,0 +1,56 @@
+#include "src/sched/overalloc.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/stats.h"
+
+namespace faascost {
+
+std::vector<OverallocPoint> SweepOverallocation(const OverallocSweepConfig& config,
+                                                const std::vector<double>& fractions,
+                                                uint64_t seed) {
+  assert(!fractions.empty());
+  std::vector<double> sorted = fractions;
+  std::sort(sorted.begin(), sorted.end());
+
+  Rng rng(seed);
+  std::vector<OverallocPoint> out;
+  out.reserve(sorted.size());
+  for (double frac : sorted) {
+    const SchedConfig sc =
+        MakeSchedConfig(config.period, frac, config.config_hz, config.scheduler);
+    const CpuBandwidthSim sim(sc);
+    std::vector<double> durations_ms;
+    durations_ms.reserve(static_cast<size_t>(config.samples_per_point));
+    for (int i = 0; i < config.samples_per_point; ++i) {
+      MicroSecs demand = config.cpu_demand;
+      if (config.demand_jitter > 0.0) {
+        const double jitter = rng.Uniform(-config.demand_jitter, config.demand_jitter);
+        demand = std::max<MicroSecs>(
+            1, static_cast<MicroSecs>(static_cast<double>(demand) * (1.0 + jitter)));
+      }
+      const TaskRunResult r = sim.RunWithRandomPhase(demand, config.wall_limit, rng);
+      durations_ms.push_back(MicrosToMillis(r.wall_duration));
+    }
+    const Summary s = Summarize(durations_ms);
+    OverallocPoint pt;
+    pt.vcpu_fraction = frac;
+    pt.mean_ms = s.mean;
+    pt.p5_ms = s.p5;
+    out.push_back(pt);
+  }
+
+  // Expected curves: reciprocal scaling of the largest-allocation point.
+  const OverallocPoint& ref = out.back();
+  const double ref_frac = ref.vcpu_fraction;
+  for (auto& pt : out) {
+    const double scale = ref_frac / pt.vcpu_fraction;
+    pt.expected_mean_ms = ref.mean_ms * scale;
+    pt.expected_p5_ms = ref.p5_ms * scale;
+    pt.overalloc_ratio = pt.mean_ms > 0.0 ? pt.expected_mean_ms / pt.mean_ms : 0.0;
+  }
+  return out;
+}
+
+}  // namespace faascost

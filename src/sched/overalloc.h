@@ -1,0 +1,46 @@
+// Overallocation sweep (paper §4.1, Fig. 10): run a fixed CPU-bound workload
+// under decreasing fractional vCPU allocations and compare the measured
+// wall-clock duration against ideal reciprocal scaling. Quantized scheduling
+// makes the empirical mean fall below the expected curve, with step-like
+// jumps at harmonic allocation points.
+
+#ifndef FAASCOST_SCHED_OVERALLOC_H_
+#define FAASCOST_SCHED_OVERALLOC_H_
+
+#include <vector>
+
+#include "src/sched/bandwidth_sim.h"
+#include "src/sched/config.h"
+
+namespace faascost {
+
+struct OverallocPoint {
+  double vcpu_fraction = 0.0;
+  double mean_ms = 0.0;          // Empirical mean duration.
+  double p5_ms = 0.0;            // Empirical 5th percentile.
+  double expected_mean_ms = 0.0; // Reciprocal scaling of full-alloc mean.
+  double expected_p5_ms = 0.0;
+  double overalloc_ratio = 0.0;  // expected_mean / mean (>1 = overallocation).
+};
+
+struct OverallocSweepConfig {
+  MicroSecs period = 20 * kMicrosPerMilli;
+  int config_hz = 250;
+  SchedulerKind scheduler = SchedulerKind::kCfs;
+  MicroSecs cpu_demand = 160 * kMicrosPerMilli;  // PyAES: ~160 ms of CPU.
+  double demand_jitter = 0.02;  // Relative lognormal-free jitter (uniform +/-).
+  int samples_per_point = 200;
+  MicroSecs wall_limit = 600LL * kMicrosPerSec;
+};
+
+// Sweeps the given vCPU fractions (each mapped to a quota over the period)
+// and returns one point per fraction. The expected curves derive from the
+// measurement at the largest fraction, scaled reciprocally, exactly as the
+// paper constructs its dashed reference lines.
+std::vector<OverallocPoint> SweepOverallocation(const OverallocSweepConfig& config,
+                                                const std::vector<double>& fractions,
+                                                uint64_t seed);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_SCHED_OVERALLOC_H_

@@ -1,0 +1,41 @@
+#include "src/sched/profiler.h"
+
+namespace faascost {
+
+ThrottleProfile ProfileOnce(const CpuBandwidthSim& sim, MicroSecs exec_duration, Rng& rng) {
+  ThrottleProfile out;
+  const TaskRunResult run = sim.RunWithRandomPhase(kUnlimitedDemand, exec_duration, rng);
+  out.exec_duration = run.wall_duration;
+  out.cpu_obtained = run.cpu_obtained;
+  for (const auto& gap : run.gaps) {
+    if (gap.duration > kThrottleDetectThreshold) {
+      out.throttle_log.push_back(gap);
+    }
+  }
+  return out;
+}
+
+void AccumulateProfile(const ThrottleProfile& profile, ThrottleStats& stats) {
+  const auto& log = profile.throttle_log;
+  for (size_t i = 0; i < log.size(); ++i) {
+    stats.durations_ms.push_back(MicrosToMillis(log[i].duration));
+    if (i + 1 < log.size()) {
+      const MicroSecs interval = log[i + 1].start - log[i].start;
+      stats.intervals_ms.push_back(MicrosToMillis(interval));
+      const MicroSecs runtime = log[i + 1].start - (log[i].start + log[i].duration);
+      stats.runtimes_ms.push_back(MicrosToMillis(runtime));
+    }
+  }
+}
+
+ThrottleStats ProfileMany(const CpuBandwidthSim& sim, MicroSecs exec_duration,
+                          int invocations, Rng& rng) {
+  ThrottleStats stats;
+  for (int i = 0; i < invocations; ++i) {
+    const ThrottleProfile profile = ProfileOnce(sim, exec_duration, rng);
+    AccumulateProfile(profile, stats);
+  }
+  return stats;
+}
+
+}  // namespace faascost

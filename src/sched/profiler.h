@@ -1,0 +1,55 @@
+// User-space scheduler profiler, the paper's Algorithm 1: a CPU-bound probe
+// runs for a fixed wall-clock duration and records every jump larger than
+// 500 us in its monotonic-clock readings. Such jumps indicate throttles (the
+// kernel's default minimal preemption granularity is 750 us, so anything
+// above the threshold is an involuntary suspension).
+//
+// Here the probe runs inside the bandwidth-control simulator; the recorded
+// jumps are exactly the simulator's suspension gaps above the threshold,
+// which is what the real algorithm observes from user space.
+
+#ifndef FAASCOST_SCHED_PROFILER_H_
+#define FAASCOST_SCHED_PROFILER_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/sched/bandwidth_sim.h"
+
+namespace faascost {
+
+// One profiled invocation: the gap log of Algorithm 1.
+struct ThrottleProfile {
+  // Time of each detected throttle (gap start) and its duration.
+  std::vector<SuspensionEvent> throttle_log;
+  MicroSecs exec_duration = 0;  // Wall-clock duration of the probe run.
+  MicroSecs cpu_obtained = 0;
+};
+
+// Aggregated per-event statistics across many invocations (Fig. 12):
+// intervals between consecutive throttles, throttle durations, and the CPU
+// time obtained between consecutive throttles.
+struct ThrottleStats {
+  std::vector<double> intervals_ms;   // Gap-start to next gap-start.
+  std::vector<double> durations_ms;   // Gap lengths.
+  std::vector<double> runtimes_ms;    // Run time between consecutive gaps.
+};
+
+inline constexpr MicroSecs kThrottleDetectThreshold = 500;  // Algorithm 1: >500 us.
+
+// Runs Algorithm 1 once: a probe that needs CPU continuously, running for
+// `exec_duration` wall-clock time under `sim` with randomized phases.
+ThrottleProfile ProfileOnce(const CpuBandwidthSim& sim, MicroSecs exec_duration, Rng& rng);
+
+// Runs `invocations` probes and aggregates the event statistics, mirroring
+// the paper's methodology (300 invocations x 10 s per configuration).
+ThrottleStats ProfileMany(const CpuBandwidthSim& sim, MicroSecs exec_duration,
+                          int invocations, Rng& rng);
+
+// Appends the interval/duration/runtime triples of one profile to `stats`.
+void AccumulateProfile(const ThrottleProfile& profile, ThrottleStats& stats);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_SCHED_PROFILER_H_

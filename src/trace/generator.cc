@@ -1,0 +1,148 @@
+#include "src/trace/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace faascost {
+
+namespace {
+
+// Weight split between function-level and request-level utilization latents.
+// Functions have characteristic utilization levels; requests jitter around
+// them. The squares sum to one so the combined latent stays standard normal.
+constexpr double kFunctionLatentWeight = 0.5;
+const double kRequestLatentWeight = std::sqrt(1.0 - 0.5 * 0.5);
+
+}  // namespace
+
+double StdNormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double KumaraswamyParams::Quantile(double u) const {
+  u = std::clamp(u, 1e-12, 1.0 - 1e-12);
+  return std::pow(1.0 - std::pow(1.0 - u, 1.0 / b), 1.0 / a);
+}
+
+double KumaraswamyParams::Cdf(double x) const {
+  x = std::clamp(x, 0.0, 1.0);
+  return 1.0 - std::pow(1.0 - std::pow(x, a), b);
+}
+
+TraceGenerator::TraceGenerator(TraceGenConfig config, uint64_t seed)
+    : config_(std::move(config)),
+      rng_(seed),
+      popularity_(std::max<int64_t>(config_.num_functions, 1), config_.zipf_exponent) {
+  assert(!config_.combos.empty());
+  // Global lognormal location from the target mean and the combined sigma.
+  const double sigma_total_sq =
+      config_.exec_ln_sigma_function * config_.exec_ln_sigma_function +
+      config_.exec_ln_sigma_request * config_.exec_ln_sigma_request;
+  const double mu_global =
+      std::log(config_.exec_mean_ms * static_cast<double>(kMicrosPerMilli)) -
+      sigma_total_sq / 2.0;
+
+  double total_weight = 0.0;
+  double mean_ln_vcpu = 0.0;
+  for (const auto& combo : config_.combos) {
+    total_weight += combo.weight;
+    mean_ln_vcpu += combo.weight * std::log(combo.vcpus);
+  }
+  mean_ln_vcpu /= total_weight;
+
+  functions_.reserve(static_cast<size_t>(config_.num_functions));
+  for (int64_t id = 0; id < config_.num_functions; ++id) {
+    FunctionProfile fn;
+    fn.function_id = id;
+    // Weighted combo choice.
+    double pick = rng_.NextDouble() * total_weight;
+    const AllocCombo* chosen = &config_.combos.back();
+    for (const auto& combo : config_.combos) {
+      if (pick < combo.weight) {
+        chosen = &combo;
+        break;
+      }
+      pick -= combo.weight;
+    }
+    fn.vcpus = chosen->vcpus;
+    fn.mem_mb = chosen->mem_mb;
+    const double alloc_shift =
+        config_.exec_alloc_exponent * (std::log(fn.vcpus) - mean_ln_vcpu);
+    fn.exec_ln_mu = rng_.Normal(mu_global + alloc_shift, config_.exec_ln_sigma_function);
+    const auto [zc, zm] = rng_.CorrelatedNormals(config_.util_copula_rho);
+    fn.cpu_latent_shift = kFunctionLatentWeight * zc;
+    fn.mem_latent_shift = kFunctionLatentWeight * zm;
+    functions_.push_back(fn);
+  }
+}
+
+RequestRecord TraceGenerator::MakeRequest(const FunctionProfile& fn, MicroSecs arrival,
+                                          Rng& rng) const {
+  RequestRecord r;
+  r.function_id = fn.function_id;
+  r.arrival = arrival;
+  r.alloc_vcpus = fn.vcpus;
+  r.alloc_mem_mb = fn.mem_mb;
+
+  const double exec_us = std::exp(rng.Normal(fn.exec_ln_mu, config_.exec_ln_sigma_request));
+  r.exec_duration = std::max<MicroSecs>(1, static_cast<MicroSecs>(exec_us));
+
+  const auto [zc, zm] = rng.CorrelatedNormals(config_.util_copula_rho);
+  const double latent_cpu = fn.cpu_latent_shift + kRequestLatentWeight * zc;
+  const double latent_mem = fn.mem_latent_shift + kRequestLatentWeight * zm;
+  const double cpu_util = config_.cpu_util.Quantile(StdNormalCdf(latent_cpu));
+  const double mem_util = config_.mem_util.Quantile(StdNormalCdf(latent_mem));
+
+  r.cpu_time = std::max<MicroSecs>(
+      1, static_cast<MicroSecs>(cpu_util * fn.vcpus * static_cast<double>(r.exec_duration)));
+  r.used_mem_mb = mem_util * fn.mem_mb;
+
+  if (rng.Bernoulli(config_.cold_start_fraction)) {
+    r.cold_start = true;
+    r.init_duration = std::max<MicroSecs>(
+        1, static_cast<MicroSecs>(rng.LogNormal(config_.init_ln_mu, config_.init_ln_sigma)));
+  }
+  return r;
+}
+
+std::vector<RequestRecord> TraceGenerator::Generate() {
+  std::vector<RequestRecord> out;
+  out.reserve(static_cast<size_t>(config_.num_requests));
+  Rng rng = rng_.Fork();
+  for (int64_t i = 0; i < config_.num_requests; ++i) {
+    const int64_t fid = popularity_.Sample(rng) - 1;
+    const FunctionProfile& fn = functions_[static_cast<size_t>(fid)];
+    const MicroSecs arrival = rng.UniformInt(0, config_.window - 1);
+    out.push_back(MakeRequest(fn, arrival, rng));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestRecord& a, const RequestRecord& b) { return a.arrival < b.arrival; });
+  return out;
+}
+
+std::vector<SandboxLifecycle> TraceGenerator::GenerateLifecycles(int64_t count) {
+  std::vector<SandboxLifecycle> out;
+  out.reserve(static_cast<size_t>(count));
+  Rng rng = rng_.Fork();
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t fid = popularity_.Sample(rng) - 1;
+    const FunctionProfile& fn = functions_[static_cast<size_t>(fid)];
+    SandboxLifecycle lc;
+    lc.function_id = fn.function_id;
+    lc.alloc_vcpus = fn.vcpus;
+    lc.alloc_mem_mb = fn.mem_mb;
+    lc.init_duration = std::max<MicroSecs>(
+        1, static_cast<MicroSecs>(rng.LogNormal(config_.init_ln_mu, config_.init_ln_sigma)));
+    const double n_extra = rng.LogNormal(config_.lifecycle_ln_mu, config_.lifecycle_ln_sigma);
+    const int64_t n = 1 + static_cast<int64_t>(n_extra);
+    lc.request_durations.reserve(static_cast<size_t>(n));
+    for (int64_t k = 0; k < n; ++k) {
+      const double exec_us =
+          std::exp(rng.Normal(fn.exec_ln_mu, config_.exec_ln_sigma_request));
+      lc.request_durations.push_back(std::max<MicroSecs>(1, static_cast<MicroSecs>(exec_us)));
+    }
+    out.push_back(std::move(lc));
+  }
+  return out;
+}
+
+}  // namespace faascost

@@ -1,0 +1,117 @@
+#include "src/trace/io.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace faascost {
+
+namespace {
+
+constexpr const char* kHeader =
+    "function_id,arrival_us,exec_us,cpu_us,alloc_vcpus,alloc_mem_mb,"
+    "used_mem_mb,cold_start,init_us";
+
+bool ParseField(std::string_view field, int64_t& out) {
+  const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), out);
+  return ec == std::errc() && ptr == field.data() + field.size();
+}
+
+bool ParseField(std::string_view field, double& out) {
+  // std::from_chars for doubles is not universally available; strtod via a
+  // bounded copy keeps this portable.
+  char buf[64];
+  if (field.empty() || field.size() >= sizeof(buf)) {
+    return false;
+  }
+  field.copy(buf, field.size());
+  buf[field.size()] = '\0';
+  char* end = nullptr;
+  out = std::strtod(buf, &end);
+  return end == buf + field.size();
+}
+
+bool ParseLine(std::string_view line, RequestRecord& r) {
+  std::string_view fields[9];
+  size_t n = 0;
+  while (n < 9) {
+    const size_t comma = line.find(',');
+    fields[n++] = line.substr(0, comma);
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    line.remove_prefix(comma + 1);
+  }
+  if (n != 9) {
+    return false;
+  }
+  int64_t cold = 0;
+  if (!ParseField(fields[0], r.function_id) || !ParseField(fields[1], r.arrival) ||
+      !ParseField(fields[2], r.exec_duration) || !ParseField(fields[3], r.cpu_time) ||
+      !ParseField(fields[4], r.alloc_vcpus) || !ParseField(fields[5], r.alloc_mem_mb) ||
+      !ParseField(fields[6], r.used_mem_mb) || !ParseField(fields[7], cold) ||
+      !ParseField(fields[8], r.init_duration)) {
+    return false;
+  }
+  r.cold_start = cold != 0;
+  return true;
+}
+
+}  // namespace
+
+size_t WriteTraceCsv(std::ostream& out, const std::vector<RequestRecord>& records) {
+  out.precision(17);  // Round-trip-exact doubles.
+  out << kHeader << '\n';
+  for (const auto& r : records) {
+    out << r.function_id << ',' << r.arrival << ',' << r.exec_duration << ','
+        << r.cpu_time << ',' << r.alloc_vcpus << ',' << r.alloc_mem_mb << ','
+        << r.used_mem_mb << ',' << (r.cold_start ? 1 : 0) << ',' << r.init_duration
+        << '\n';
+  }
+  return records.size();
+}
+
+size_t WriteTraceCsvFile(const std::string& path,
+                         const std::vector<RequestRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    return 0;
+  }
+  return WriteTraceCsv(out, records);
+}
+
+std::vector<RequestRecord> ReadTraceCsv(std::istream& in, size_t* skipped) {
+  std::vector<RequestRecord> out;
+  size_t bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == kHeader) {
+      continue;
+    }
+    RequestRecord r;
+    if (ParseLine(line, r)) {
+      out.push_back(r);
+    } else {
+      ++bad;
+    }
+  }
+  if (skipped != nullptr) {
+    *skipped = bad;
+  }
+  return out;
+}
+
+std::vector<RequestRecord> ReadTraceCsvFile(const std::string& path, size_t* skipped) {
+  std::ifstream in(path);
+  if (!in) {
+    if (skipped != nullptr) {
+      *skipped = 0;
+    }
+    return {};
+  }
+  return ReadTraceCsv(in, skipped);
+}
+
+}  // namespace faascost

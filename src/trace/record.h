@@ -1,0 +1,61 @@
+// Trace record model mirroring the fields of the Huawei Cloud production FaaS
+// trace release that the paper's §2 analysis uses: per-request wall-clock
+// execution duration, consumed CPU time, CPU/memory utilization relative to a
+// fixed per-function allocation, and cold-start lifecycle information.
+
+#ifndef FAASCOST_TRACE_RECORD_H_
+#define FAASCOST_TRACE_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace faascost {
+
+// One function invocation as recorded by the provider.
+struct RequestRecord {
+  int64_t function_id = 0;
+  MicroSecs arrival = 0;         // Arrival time within the trace window.
+  MicroSecs exec_duration = 0;   // Wall-clock execution duration.
+  MicroSecs cpu_time = 0;        // Consumed CPU time (vCPU-microseconds).
+  double alloc_vcpus = 0.0;      // Configured vCPU allocation.
+  MegaBytes alloc_mem_mb = 0.0;  // Configured memory allocation.
+  MegaBytes used_mem_mb = 0.0;   // Average memory actually used.
+  bool cold_start = false;
+  MicroSecs init_duration = 0;  // Sandbox initialization time; 0 if warm.
+
+  // Fraction of the CPU allocation actually consumed over exec_duration.
+  double CpuUtilization() const {
+    if (exec_duration <= 0 || alloc_vcpus <= 0.0) {
+      return 0.0;
+    }
+    return static_cast<double>(cpu_time) /
+           (static_cast<double>(exec_duration) * alloc_vcpus);
+  }
+
+  // Fraction of the memory allocation actually used.
+  double MemUtilization() const {
+    if (alloc_mem_mb <= 0.0) {
+      return 0.0;
+    }
+    return used_mem_mb / alloc_mem_mb;
+  }
+};
+
+// A sandbox lifecycle for the cold-start study (paper Fig. 4): one cold start
+// (initialization) followed by the requests served before the sandbox is
+// reclaimed. Requests inherit the sandbox's allocation.
+struct SandboxLifecycle {
+  int64_t function_id = 0;
+  double alloc_vcpus = 0.0;
+  MegaBytes alloc_mem_mb = 0.0;
+  MicroSecs init_duration = 0;
+  // Wall-clock execution durations of all requests served in this sandbox
+  // (the first one is the request that triggered the cold start).
+  std::vector<MicroSecs> request_durations;
+};
+
+}  // namespace faascost
+
+#endif  // FAASCOST_TRACE_RECORD_H_

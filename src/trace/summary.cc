@@ -1,0 +1,53 @@
+#include "src/trace/summary.h"
+
+#include "src/common/units.h"
+
+namespace faascost {
+
+UtilizationSamples ExtractUtilization(const std::vector<RequestRecord>& records) {
+  UtilizationSamples s;
+  s.cpu.reserve(records.size());
+  s.mem.reserve(records.size());
+  for (const auto& r : records) {
+    s.cpu.push_back(r.CpuUtilization());
+    s.mem.push_back(r.MemUtilization());
+  }
+  return s;
+}
+
+TraceStats ComputeTraceStats(const std::vector<RequestRecord>& records) {
+  TraceStats out;
+  out.num_requests = records.size();
+  if (records.empty()) {
+    return out;
+  }
+
+  std::vector<double> exec_ms;
+  std::vector<double> cpu_ms;
+  exec_ms.reserve(records.size());
+  cpu_ms.reserve(records.size());
+  size_t cold = 0;
+  for (const auto& r : records) {
+    exec_ms.push_back(MicrosToMillis(r.exec_duration));
+    cpu_ms.push_back(MicrosToMillis(r.cpu_time));
+    if (r.cold_start) {
+      ++cold;
+    }
+  }
+  const UtilizationSamples util = ExtractUtilization(records);
+
+  out.mean_exec_ms = Mean(exec_ms);
+  out.mean_cpu_time_ms = Mean(cpu_ms);
+  out.mean_cpu_util = Mean(util.cpu);
+  out.mean_mem_util = Mean(util.mem);
+  out.frac_cpu_util_below_half = FractionBelow(util.cpu, 0.5);
+  out.frac_mem_util_below_half = FractionBelow(util.mem, 0.5);
+  out.util_pearson = PearsonCorrelation(util.cpu, util.mem);
+  out.cold_start_fraction = static_cast<double>(cold) / static_cast<double>(records.size());
+  out.exec_ms = Summarize(exec_ms);
+  out.cpu_util = Summarize(util.cpu);
+  out.mem_util = Summarize(util.mem);
+  return out;
+}
+
+}  // namespace faascost

@@ -1,0 +1,42 @@
+// Trace summarization: the aggregate statistics the paper reports from the
+// Huawei traces, used both to validate the generator's calibration and to
+// drive the Fig. 3 bench.
+
+#ifndef FAASCOST_TRACE_SUMMARY_H_
+#define FAASCOST_TRACE_SUMMARY_H_
+
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/trace/record.h"
+
+namespace faascost {
+
+struct TraceStats {
+  size_t num_requests = 0;
+  double mean_exec_ms = 0.0;
+  double mean_cpu_time_ms = 0.0;
+  double mean_cpu_util = 0.0;
+  double mean_mem_util = 0.0;
+  // Fraction of requests using less than half of the allocation.
+  double frac_cpu_util_below_half = 0.0;
+  double frac_mem_util_below_half = 0.0;
+  double util_pearson = 0.0;  // Pearson correlation of CPU vs memory util.
+  double cold_start_fraction = 0.0;
+  Summary exec_ms;      // Full distribution of execution durations (ms).
+  Summary cpu_util;     // Full distribution of CPU utilization.
+  Summary mem_util;     // Full distribution of memory utilization.
+};
+
+TraceStats ComputeTraceStats(const std::vector<RequestRecord>& records);
+
+// Extracts per-request utilization vectors (for scatter/CDF plots).
+struct UtilizationSamples {
+  std::vector<double> cpu;
+  std::vector<double> mem;
+};
+UtilizationSamples ExtractUtilization(const std::vector<RequestRecord>& records);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_TRACE_SUMMARY_H_

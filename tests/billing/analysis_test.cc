@@ -1,0 +1,196 @@
+#include "src/billing/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "src/billing/catalog.h"
+#include "src/trace/generator.h"
+
+namespace faascost {
+namespace {
+
+RequestRecord SimpleRequest(MicroSecs exec_ms, double cpu_util, double alloc_vcpus,
+                            MegaBytes alloc_mem, double mem_util) {
+  RequestRecord r;
+  r.exec_duration = exec_ms * kMicrosPerMilli;
+  r.alloc_vcpus = alloc_vcpus;
+  r.alloc_mem_mb = alloc_mem;
+  r.cpu_time = static_cast<MicroSecs>(cpu_util * alloc_vcpus *
+                                      static_cast<double>(r.exec_duration));
+  r.used_mem_mb = mem_util * alloc_mem;
+  return r;
+}
+
+TEST(ActualConsumption, HandComputed) {
+  // 100 ms at 50% of 1 vCPU -> 0.05 vCPU-s; 512 MB used for 100 ms -> 0.05 GB-s.
+  const auto reqs = std::vector<RequestRecord>{SimpleRequest(100, 0.5, 1.0, 1024.0, 0.5)};
+  const ActualConsumption ac = ComputeActualConsumption(reqs);
+  EXPECT_NEAR(ac.total_vcpu_seconds, 0.05, 1e-9);
+  EXPECT_NEAR(ac.total_gb_seconds, 0.05, 1e-9);
+}
+
+TEST(AnalyzeInflation, FullUtilizationNoRoundingIsNearOne) {
+  // A model with 1 us granularity and full utilization inflates ~1x.
+  BillingModel m;
+  m.platform = "ideal";
+  m.billable_time = BillableTime::kExecution;
+  m.time_granularity = 1;
+  m.cpu_knob = CpuKnob::kIndependent;
+  m.memory_step_mb = 1.0;
+  m.bills_memory = true;
+  const auto reqs = std::vector<RequestRecord>{SimpleRequest(100, 1.0, 1.0, 1024.0, 1.0)};
+  const InflationResult r = AnalyzeInflation(m, reqs);
+  EXPECT_NEAR(r.cpu_inflation, 1.0, 0.01);
+  EXPECT_NEAR(r.mem_inflation, 1.0, 0.01);
+}
+
+TEST(AnalyzeInflation, HalfUtilizationDoublesBillableCpu) {
+  BillingModel m;
+  m.platform = "ideal";
+  m.billable_time = BillableTime::kExecution;
+  m.time_granularity = 1;
+  m.cpu_knob = CpuKnob::kIndependent;
+  m.memory_step_mb = 1.0;
+  const auto reqs = std::vector<RequestRecord>{SimpleRequest(100, 0.5, 1.0, 1024.0, 0.25)};
+  const InflationResult r = AnalyzeInflation(m, reqs);
+  EXPECT_NEAR(r.cpu_inflation, 2.0, 0.01);
+  EXPECT_NEAR(r.mem_inflation, 4.0, 0.01);
+}
+
+TEST(AnalyzeInflation, RoundingAddsInflation) {
+  // 100 ms granularity on a 50 ms request doubles billable time.
+  BillingModel m;
+  m.platform = "rounded";
+  m.billable_time = BillableTime::kExecution;
+  m.time_granularity = 100 * kMicrosPerMilli;
+  m.cpu_knob = CpuKnob::kIndependent;
+  m.memory_step_mb = 1.0;
+  const auto reqs = std::vector<RequestRecord>{SimpleRequest(50, 1.0, 1.0, 1024.0, 1.0)};
+  const InflationResult r = AnalyzeInflation(m, reqs);
+  EXPECT_NEAR(r.cpu_inflation, 2.0, 0.01);
+}
+
+TEST(AnalyzeInflation, CloudflareNearOne) {
+  // Usage-based billing shows the lowest inflation (paper: 1.02x).
+  const BillingModel cf = MakeBillingModel(Platform::kCloudflareWorkers);
+  TraceGenConfig cfg;
+  cfg.num_requests = 50'000;
+  cfg.num_functions = 500;
+  const auto trace = TraceGenerator(cfg, 5).Generate();
+  const InflationResult r = AnalyzeInflation(cf, trace);
+  EXPECT_GE(r.cpu_inflation, 1.0);
+  EXPECT_LE(r.cpu_inflation, 1.10);
+}
+
+TEST(AnalyzeInflation, KeepSamplesRetainsPerRequestVectors) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const auto reqs = std::vector<RequestRecord>{SimpleRequest(50, 0.5, 1.0, 1024.0, 0.2),
+                                               SimpleRequest(80, 0.7, 0.5, 512.0, 0.4)};
+  const InflationResult with = AnalyzeInflation(aws, reqs, /*keep_samples=*/true);
+  EXPECT_EQ(with.billable_vcpu_seconds.size(), 2u);
+  const InflationResult without = AnalyzeInflation(aws, reqs, /*keep_samples=*/false);
+  EXPECT_TRUE(without.billable_vcpu_seconds.empty());
+  EXPECT_DOUBLE_EQ(with.cpu_inflation, without.cpu_inflation);
+}
+
+TEST(AnalyzeInflation, OrderingAcrossModels) {
+  // Paper Fig. 2 ordering: Cloudflare < Huawei/AWS < GCP for billable CPU.
+  TraceGenConfig cfg;
+  cfg.num_requests = 100'000;
+  cfg.num_functions = 1'000;
+  const auto trace = TraceGenerator(cfg, 17).Generate();
+  const double cf =
+      AnalyzeInflation(MakeBillingModel(Platform::kCloudflareWorkers), trace).cpu_inflation;
+  const double hw =
+      AnalyzeInflation(MakeBillingModel(Platform::kHuaweiFunctionGraph), trace).cpu_inflation;
+  const double aws =
+      AnalyzeInflation(MakeBillingModel(Platform::kAwsLambda), trace).cpu_inflation;
+  const double gcp =
+      AnalyzeInflation(MakeBillingModel(Platform::kGcpCloudRunFunctions), trace).cpu_inflation;
+  EXPECT_LT(cf, hw);
+  EXPECT_LE(hw, aws * 1.05);  // AWS >= Huawei (proportional mapping).
+  EXPECT_LT(aws, gcp);        // 100 ms rounding dominates.
+}
+
+TEST(AnalyzeRounding, HandComputed) {
+  // One 150 ms request: 100 ms granularity rounds to 200 -> +50 ms.
+  const auto reqs = std::vector<RequestRecord>{SimpleRequest(150, 1.0, 1.0, 1024.0, 0.5)};
+  const RoundingResult r = AnalyzeRounding(reqs, 100 * kMicrosPerMilli, 0, 0.0);
+  EXPECT_EQ(r.num_requests, 1u);
+  EXPECT_NEAR(r.mean_rounded_up_time_ms, 50.0, 1e-9);
+}
+
+TEST(AnalyzeRounding, MinCutoffDominatesShortRequests) {
+  const auto reqs = std::vector<RequestRecord>{SimpleRequest(10, 1.0, 1.0, 1024.0, 0.5)};
+  const RoundingResult r =
+      AnalyzeRounding(reqs, kMicrosPerMilli, 100 * kMicrosPerMilli, 0.0);
+  EXPECT_NEAR(r.mean_rounded_up_time_ms, 90.0, 1e-9);
+}
+
+TEST(AnalyzeRounding, SubMillisecondRequestsExcluded) {
+  RequestRecord tiny = SimpleRequest(100, 1.0, 1.0, 1024.0, 0.5);
+  tiny.exec_duration = 500;  // 0.5 ms.
+  const RoundingResult r = AnalyzeRounding({tiny}, 100 * kMicrosPerMilli, 0, 0.0);
+  EXPECT_EQ(r.num_requests, 0u);
+  EXPECT_EQ(r.mean_rounded_up_time_ms, 0.0);
+}
+
+TEST(AnalyzeRounding, MemoryGranularity) {
+  // Used memory 100 MB rounded to 128 MB for 1 s -> +28 MB-s = 0.02734 GB-s.
+  auto req = SimpleRequest(1'000, 1.0, 1.0, 1024.0, 100.0 / 1024.0);
+  const RoundingResult r = AnalyzeRounding({req}, kMicrosPerMilli, 0, 128.0);
+  EXPECT_NEAR(r.mean_rounded_up_gb_seconds, 28.0 / 1024.0, 1e-6);
+}
+
+TEST(AnalyzeRounding, TraceMagnitudesMatchPaper) {
+  // Paper Fig. 5-right: 100 ms granularity -> ~77 ms mean round-up;
+  // 1 ms + 100 ms cutoff -> ~61 ms; both within a factor-of-two band here
+  // since the synthetic duration distribution differs in shape.
+  TraceGenConfig cfg;
+  cfg.num_requests = 200'000;
+  cfg.num_functions = 1'000;
+  const auto trace = TraceGenerator(cfg, 23).Generate();
+  const RoundingResult g100 = AnalyzeRounding(trace, 100 * kMicrosPerMilli, 0, 0.0);
+  const RoundingResult cutoff =
+      AnalyzeRounding(trace, kMicrosPerMilli, 100 * kMicrosPerMilli, 0.0);
+  EXPECT_GT(g100.mean_rounded_up_time_ms, 40.0);
+  EXPECT_LT(g100.mean_rounded_up_time_ms, 100.0);
+  EXPECT_GT(cutoff.mean_rounded_up_time_ms, 30.0);
+  EXPECT_LT(cutoff.mean_rounded_up_time_ms, g100.mean_rounded_up_time_ms);
+}
+
+TEST(AnalyzeColdStarts, HandComputedDiffs) {
+  SandboxLifecycle cheap;
+  cheap.alloc_vcpus = 1.0;
+  cheap.alloc_mem_mb = 1024.0;
+  cheap.init_duration = 1'000 * kMicrosPerMilli;
+  cheap.request_durations = {100 * kMicrosPerMilli};  // Exec << init.
+  SandboxLifecycle busy = cheap;
+  busy.request_durations.assign(20, 100 * kMicrosPerMilli);  // Exec 2x init.
+  const ColdStartStudy study = AnalyzeColdStarts({cheap, busy});
+  ASSERT_EQ(study.diffs.size(), 2u);
+  EXPECT_LT(study.diffs[0].cpu_diff_vcpu_seconds, 0.0);
+  EXPECT_GT(study.diffs[1].cpu_diff_vcpu_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(study.frac_zero_or_negative_cpu, 0.5);
+  EXPECT_DOUBLE_EQ(study.frac_zero_or_negative_mem, 0.5);
+}
+
+TEST(AnalyzeColdStarts, FractionMatchesPaperOnCalibratedLifecycles) {
+  // Paper Fig. 4: 42.1% of cold starts produce a zero or negative
+  // difference.
+  TraceGenConfig cfg;
+  cfg.num_functions = 2'000;
+  TraceGenerator gen(cfg, 77);
+  const auto lifecycles = gen.GenerateLifecycles(30'000);
+  const ColdStartStudy study = AnalyzeColdStarts(lifecycles);
+  EXPECT_NEAR(study.frac_zero_or_negative_cpu, 0.421, 0.08);
+  EXPECT_NEAR(study.frac_zero_or_negative_mem, 0.421, 0.08);
+}
+
+TEST(AnalyzeColdStarts, EmptyInput) {
+  const ColdStartStudy study = AnalyzeColdStarts({});
+  EXPECT_TRUE(study.diffs.empty());
+  EXPECT_EQ(study.frac_zero_or_negative_cpu, 0.0);
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,190 @@
+#include "src/billing/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace faascost {
+namespace {
+
+TEST(Catalog, HasAllTenPlatforms) {
+  EXPECT_EQ(MakeCatalog().size(), 10u);
+  EXPECT_EQ(AllPlatforms().size(), 10u);
+}
+
+TEST(Catalog, PlatformNamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& m : MakeCatalog()) {
+    EXPECT_TRUE(names.insert(m.platform).second) << m.platform;
+  }
+}
+
+// Table 1 row-by-row properties.
+
+TEST(Catalog, AwsRow) {
+  const BillingModel m = MakeBillingModel(Platform::kAwsLambda);
+  EXPECT_EQ(m.billable_time, BillableTime::kTurnaround);  // Since Aug 2025.
+  EXPECT_EQ(m.time_granularity, 1 * kMicrosPerMilli);
+  EXPECT_FALSE(m.bills_cpu_separately);
+  EXPECT_EQ(m.cpu_knob, CpuKnob::kProportionalToMemory);
+  EXPECT_DOUBLE_EQ(m.memory_step_mb, 1.0);  // 1 MB memory knob.
+  EXPECT_DOUBLE_EQ(m.mb_per_vcpu, 1769.0);
+  EXPECT_DOUBLE_EQ(m.invocation_fee, 2e-7);
+}
+
+TEST(Catalog, GcpRow) {
+  const BillingModel m = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  EXPECT_EQ(m.billable_time, BillableTime::kTurnaround);
+  EXPECT_EQ(m.time_granularity, 100 * kMicrosPerMilli);
+  EXPECT_TRUE(m.bills_cpu_separately);
+  EXPECT_DOUBLE_EQ(m.cpu_granularity_vcpus, 0.01);  // 1st gen step.
+  EXPECT_FALSE(m.min_cpu_for_memory.empty());
+}
+
+TEST(Catalog, AzureConsumptionRow) {
+  const BillingModel m = MakeBillingModel(Platform::kAzureConsumption);
+  EXPECT_EQ(m.billable_time, BillableTime::kExecution);
+  EXPECT_EQ(m.time_granularity, 1 * kMicrosPerMilli);
+  EXPECT_EQ(m.min_billable_time, 100 * kMicrosPerMilli);
+  EXPECT_EQ(m.mem_basis, ResourceBasis::kConsumed);
+  EXPECT_DOUBLE_EQ(m.mem_granularity_mb, 128.0);
+  EXPECT_EQ(m.cpu_knob, CpuKnob::kFixed);
+  EXPECT_DOUBLE_EQ(m.fixed_mem_mb, 1536.0);  // 1.5 GB fixed sandbox.
+  EXPECT_DOUBLE_EQ(m.fixed_vcpus, 1.0);
+}
+
+TEST(Catalog, AzureFlexRow) {
+  const BillingModel m = MakeBillingModel(Platform::kAzureFlexConsumption);
+  EXPECT_EQ(m.time_granularity, 100 * kMicrosPerMilli);
+  EXPECT_EQ(m.min_billable_time, 1'000 * kMicrosPerMilli);  // 1 s cutoff.
+  ASSERT_EQ(m.fixed_memory_sizes.size(), 2u);  // 2 GB or 4 GB.
+  EXPECT_DOUBLE_EQ(m.fixed_memory_sizes[0], 2048.0);
+  EXPECT_DOUBLE_EQ(m.fixed_memory_sizes[1], 4096.0);
+}
+
+TEST(Catalog, IbmRow) {
+  const BillingModel m = MakeBillingModel(Platform::kIbmCodeEngine);
+  EXPECT_EQ(m.billable_time, BillableTime::kTurnaround);
+  EXPECT_EQ(m.time_granularity, 100 * kMicrosPerMilli);
+  EXPECT_TRUE(m.bills_cpu_separately);
+  EXPECT_FALSE(m.fixed_memory_sizes.empty());  // Fixed combos.
+  EXPECT_DOUBLE_EQ(m.invocation_fee, 0.0);
+}
+
+TEST(Catalog, HuaweiRow) {
+  const BillingModel m = MakeBillingModel(Platform::kHuaweiFunctionGraph);
+  EXPECT_EQ(m.billable_time, BillableTime::kExecution);
+  EXPECT_EQ(m.time_granularity, 1 * kMicrosPerMilli);
+  EXPECT_FALSE(m.bills_cpu_separately);  // CPU embedded in memory price.
+  EXPECT_FALSE(m.fixed_memory_sizes.empty());
+}
+
+TEST(Catalog, AlibabaRow) {
+  const BillingModel m = MakeBillingModel(Platform::kAlibabaFunctionCompute);
+  EXPECT_EQ(m.time_granularity, 1 * kMicrosPerMilli);
+  EXPECT_TRUE(m.bills_cpu_separately);
+  EXPECT_DOUBLE_EQ(m.cpu_granularity_vcpus, 0.05);  // 0.05 vCPU steps.
+  EXPECT_DOUBLE_EQ(m.memory_step_mb, 64.0);         // 64 MB steps.
+}
+
+TEST(Catalog, CloudflareRow) {
+  const BillingModel m = MakeBillingModel(Platform::kCloudflareWorkers);
+  EXPECT_EQ(m.billable_time, BillableTime::kConsumedCpuTime);
+  EXPECT_EQ(m.cpu_basis, ResourceBasis::kConsumed);
+  EXPECT_FALSE(m.bills_memory);
+  EXPECT_DOUBLE_EQ(m.fixed_mem_mb, 128.0);  // 128 MB cap.
+}
+
+TEST(Catalog, InvocationFeesWithinDocumentedRange) {
+  // Paper §2.5: fees typically between $1.5e-7 and $6e-7 per request.
+  for (const auto& m : MakeCatalog()) {
+    if (m.invocation_fee > 0.0) {
+      EXPECT_GE(m.invocation_fee, 1.5e-7) << m.platform;
+      EXPECT_LE(m.invocation_fee, 6e-7) << m.platform;
+    }
+  }
+}
+
+// §2.2: CPU-to-memory price ratio consensus.
+
+TEST(Catalog, GcpCpuMemRatioNearTen) {
+  const auto ratio = CpuMemPriceRatio(Platform::kGcpCloudRunFunctions);
+  ASSERT_TRUE(ratio.has_value());
+  EXPECT_GE(*ratio, 9.0);
+  EXPECT_LE(*ratio, 9.64);
+}
+
+TEST(Catalog, IbmCpuMemRatioNearTen) {
+  const auto ratio = CpuMemPriceRatio(Platform::kIbmCodeEngine);
+  ASSERT_TRUE(ratio.has_value());
+  EXPECT_GE(*ratio, 9.0);
+  EXPECT_LE(*ratio, 9.7);
+}
+
+TEST(Catalog, FargateCpuMemRatioNearTen) {
+  const UnitPrices fargate = FargateUnitPrices();
+  const double ratio = fargate.per_vcpu_second / fargate.per_gb_second;
+  EXPECT_GE(ratio, 9.0);
+  EXPECT_LE(ratio, 9.64);
+}
+
+TEST(Catalog, EmbeddedPlatformsHaveNoRatio) {
+  EXPECT_FALSE(CpuMemPriceRatio(Platform::kAwsLambda).has_value());
+  EXPECT_FALSE(CpuMemPriceRatio(Platform::kVercelFunctions).has_value());
+}
+
+// §1 comparison: Lambda vs EC2 vs Fargate.
+
+TEST(Section1Comparison, PaperPercentages) {
+  const auto cmp = MakeSection1Comparison();
+  ASSERT_EQ(cmp.size(), 3u);
+  const double lambda = cmp[0].per_second;
+  const double ec2 = cmp[1].per_second;
+  const double fargate = cmp[2].per_second;
+  EXPECT_NEAR(ec2 / lambda, 0.411, 0.005);     // EC2 at 41.1% of Lambda.
+  EXPECT_NEAR(fargate / lambda, 0.478, 0.005); // Fargate at 47.8%.
+  EXPECT_DOUBLE_EQ(cmp[0].invocation_fee, 2e-7);
+  EXPECT_DOUBLE_EQ(cmp[1].invocation_fee, 0.0);
+}
+
+// Fig. 1: effective unit prices.
+
+class UnitPricesTest : public ::testing::TestWithParam<Platform> {};
+
+TEST_P(UnitPricesTest, PricesArePlausible) {
+  const UnitPrices up = EffectiveUnitPrices(GetParam());
+  // Memory: $0 (Cloudflare) up to $5e-5 per GB-s (Vercel).
+  EXPECT_GE(up.per_gb_second, 0.0);
+  EXPECT_LE(up.per_gb_second, 6e-5);
+  // CPU: up to ~$8.3e-5 per vCPU-s (Vercel's embedded rate is the highest).
+  EXPECT_GE(up.per_vcpu_second, 0.0);
+  EXPECT_LE(up.per_vcpu_second, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, UnitPricesTest,
+                         ::testing::ValuesIn(AllPlatforms()));
+
+TEST(UnitPrices, SeparatelyBilledPlatformsReportListedRates) {
+  const UnitPrices gcp = EffectiveUnitPrices(Platform::kGcpCloudRunFunctions);
+  EXPECT_FALSE(gcp.cpu_embedded);
+  EXPECT_DOUBLE_EQ(gcp.per_vcpu_second, 2.4e-5);
+  EXPECT_DOUBLE_EQ(gcp.per_gb_second, 2.5e-6);
+}
+
+TEST(UnitPrices, AwsEmbeddedCpuRateImplied) {
+  const UnitPrices aws = EffectiveUnitPrices(Platform::kAwsLambda);
+  EXPECT_TRUE(aws.cpu_embedded);
+  // Implied vCPU rate: (1.66667e-5 - 2.5e-6) * 1.7275 GB ~ 2.45e-5, in the
+  // same band as GCP's listed $2.4e-5.
+  EXPECT_NEAR(aws.per_vcpu_second, 2.4e-5, 0.4e-5);
+}
+
+TEST(PlatformName, AllNamed) {
+  for (Platform p : AllPlatforms()) {
+    EXPECT_STRNE(PlatformName(p), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace faascost

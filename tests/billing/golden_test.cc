@@ -1,0 +1,182 @@
+// Golden invoices: exact hand-computed bills for canonical requests across
+// the full catalog, pinning the billing engine's arithmetic end to end
+// (allocation snapping + time rules + resource rounding + fees).
+
+#include <gtest/gtest.h>
+
+#include "src/billing/catalog.h"
+#include "src/billing/model.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kMs = kMicrosPerMilli;
+
+// Canonical request A: warm, 150 ms execution, 80 ms CPU, 1 vCPU + 1769 MB
+// requested, 300 MB used.
+RequestRecord RequestA() {
+  RequestRecord r;
+  r.exec_duration = 150 * kMs;
+  r.cpu_time = 80 * kMs;
+  r.alloc_vcpus = 1.0;
+  r.alloc_mem_mb = 1'769.0;
+  r.used_mem_mb = 300.0;
+  return r;
+}
+
+// Canonical request B: cold, 40 ms execution after a 460 ms init, small
+// 0.3 vCPU / 512 MB function, 60 MB used, 10 ms CPU.
+RequestRecord RequestB() {
+  RequestRecord r;
+  r.exec_duration = 40 * kMs;
+  r.cpu_time = 10 * kMs;
+  r.init_duration = 460 * kMs;
+  r.cold_start = true;
+  r.alloc_vcpus = 0.3;
+  r.alloc_mem_mb = 512.0;
+  r.used_mem_mb = 60.0;
+  return r;
+}
+
+TEST(GoldenInvoice, AwsRequestA) {
+  // Turnaround = exec (no init) = 150 ms; memory 1769 MB = 1.72753906 GB.
+  // resource = 0.150 * 1.7275 * 1.66667e-5 = 4.3190e-6; fee 2e-7.
+  const Invoice inv = ComputeInvoice(MakeBillingModel(Platform::kAwsLambda), RequestA());
+  EXPECT_EQ(inv.billable_time, 150 * kMs);
+  EXPECT_NEAR(inv.billable_gb_seconds, 0.150 * 1769.0 / 1024.0, 1e-9);
+  EXPECT_NEAR(inv.resource_cost, 0.150 * (1769.0 / 1024.0) * 1.66667e-5, 1e-10);
+  EXPECT_NEAR(inv.total, inv.resource_cost + 2e-7, 1e-15);
+}
+
+TEST(GoldenInvoice, AwsRequestB) {
+  // Cold: turnaround = 460 + 40 = 500 ms. Memory snapped to
+  // max(512, 0.3*1769=530.7) -> 531 MB after 1 MB rounding.
+  const Invoice inv = ComputeInvoice(MakeBillingModel(Platform::kAwsLambda), RequestB());
+  EXPECT_EQ(inv.billable_time, 500 * kMs);
+  EXPECT_NEAR(inv.billable_gb_seconds, 0.500 * 531.0 / 1024.0, 1e-9);
+}
+
+TEST(GoldenInvoice, GcpRequestA) {
+  // Turnaround 150 ms -> rounded to 200 ms. CPU 1 vCPU, memory 1769 MB.
+  // resource = 0.200 * (1*2.4e-5 + 1.7275*2.5e-6).
+  const Invoice inv =
+      ComputeInvoice(MakeBillingModel(Platform::kGcpCloudRunFunctions), RequestA());
+  EXPECT_EQ(inv.billable_time, 200 * kMs);
+  EXPECT_NEAR(inv.resource_cost, 0.200 * (2.4e-5 + (1769.0 / 1024.0) * 2.5e-6), 1e-10);
+  EXPECT_DOUBLE_EQ(inv.invocation_cost, 4e-7);
+}
+
+TEST(GoldenInvoice, GcpRequestB) {
+  // Turnaround 500 ms (multiple of 100 -> unchanged). CPU: 0.3 requested,
+  // 512 MB requires >= 0.333 -> snapped to 0.34 at the 0.01 step.
+  const Invoice inv =
+      ComputeInvoice(MakeBillingModel(Platform::kGcpCloudRunFunctions), RequestB());
+  EXPECT_EQ(inv.billable_time, 500 * kMs);
+  EXPECT_NEAR(inv.billable_vcpu_seconds, 0.500 * 0.34, 1e-9);
+  EXPECT_NEAR(inv.resource_cost, 0.500 * (0.34 * 2.4e-5 + 0.5 * 2.5e-6), 1e-10);
+}
+
+TEST(GoldenInvoice, AzureConsumptionRequestA) {
+  // Execution billing: 150 ms (>= 100 ms cutoff). Consumed memory 300 MB
+  // rounded to 384 MB.
+  const Invoice inv =
+      ComputeInvoice(MakeBillingModel(Platform::kAzureConsumption), RequestA());
+  EXPECT_EQ(inv.billable_time, 150 * kMs);
+  EXPECT_NEAR(inv.billable_gb_seconds, 0.150 * 384.0 / 1024.0, 1e-9);
+  EXPECT_NEAR(inv.resource_cost, 0.150 * 0.375 * 1.6e-5, 1e-10);
+}
+
+TEST(GoldenInvoice, AzureConsumptionRequestB) {
+  // Execution billing ignores init: 40 ms -> cutoff lifts it to 100 ms.
+  // Consumed 60 MB -> 128 MB.
+  const Invoice inv =
+      ComputeInvoice(MakeBillingModel(Platform::kAzureConsumption), RequestB());
+  EXPECT_EQ(inv.billable_time, 100 * kMs);
+  EXPECT_NEAR(inv.billable_gb_seconds, 0.100 * 0.125, 1e-9);
+}
+
+TEST(GoldenInvoice, AzureFlexRequestA) {
+  // 150 ms lifted to the 1 s minimum; memory size 2048 MB (smallest combo).
+  const Invoice inv =
+      ComputeInvoice(MakeBillingModel(Platform::kAzureFlexConsumption), RequestA());
+  EXPECT_EQ(inv.billable_time, 1'000 * kMs);
+  EXPECT_NEAR(inv.billable_gb_seconds, 1.0 * 2.0, 1e-9);
+  EXPECT_NEAR(inv.resource_cost, 2.0 * 1.6e-5, 1e-10);
+}
+
+TEST(GoldenInvoice, IbmRequestB) {
+  // Turnaround 500 ms; smallest combo covering 512 MB / 0.3 vCPU is
+  // 2048 MB / 0.5 vCPU (1024 MB offers only 0.25 vCPU).
+  const Invoice inv = ComputeInvoice(MakeBillingModel(Platform::kIbmCodeEngine), RequestB());
+  EXPECT_EQ(inv.billable_time, 500 * kMs);
+  EXPECT_NEAR(inv.billable_vcpu_seconds, 0.500 * 0.5, 1e-9);
+  EXPECT_NEAR(inv.billable_gb_seconds, 0.500 * 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(inv.invocation_cost, 0.0);
+}
+
+TEST(GoldenInvoice, HuaweiRequestA) {
+  // Execution billing, 1 ms granularity: 150 ms. Combo for 1 vCPU/1769 MB
+  // demand -> 2048 MB (combo CPU 1.0).
+  const Invoice inv =
+      ComputeInvoice(MakeBillingModel(Platform::kHuaweiFunctionGraph), RequestA());
+  EXPECT_EQ(inv.billable_time, 150 * kMs);
+  EXPECT_NEAR(inv.billable_gb_seconds, 0.150 * 2.0, 1e-9);
+  EXPECT_NEAR(inv.resource_cost, 0.150 * 2.0 * 1.35e-5, 1e-10);
+}
+
+TEST(GoldenInvoice, AlibabaRequestB) {
+  // Execution 40 ms; CPU 0.3 snapped to the 0.05 step (already a multiple);
+  // memory 512 MB is a 64 MB multiple.
+  const Invoice inv =
+      ComputeInvoice(MakeBillingModel(Platform::kAlibabaFunctionCompute), RequestB());
+  EXPECT_EQ(inv.billable_time, 40 * kMs);
+  EXPECT_NEAR(inv.billable_vcpu_seconds, 0.040 * 0.3, 1e-9);
+  EXPECT_NEAR(inv.resource_cost, 0.040 * (0.3 * 1.3e-5 + 0.5 * 1.4e-6), 1e-10);
+}
+
+TEST(GoldenInvoice, CloudflareRequestA) {
+  // Consumed CPU only: 80 ms at $2e-5 per vCPU-s; fee 3e-7.
+  const Invoice inv =
+      ComputeInvoice(MakeBillingModel(Platform::kCloudflareWorkers), RequestA());
+  EXPECT_NEAR(inv.billable_vcpu_seconds, 0.080, 1e-9);
+  EXPECT_NEAR(inv.total, 0.080 * 2e-5 + 3e-7, 1e-12);
+}
+
+TEST(GoldenInvoice, VercelRequestA) {
+  // Execution 150 ms; memory 1769 MB (covers the 1 vCPU demand exactly).
+  const Invoice inv =
+      ComputeInvoice(MakeBillingModel(Platform::kVercelFunctions), RequestA());
+  EXPECT_EQ(inv.billable_time, 150 * kMs);
+  EXPECT_NEAR(inv.resource_cost, 0.150 * (1769.0 / 1024.0) * 5e-5, 1e-9);
+  EXPECT_DOUBLE_EQ(inv.invocation_cost, 6e-7);
+}
+
+TEST(GoldenInvoice, OracleRequestB) {
+  // Fixed sizes: smallest covering 512 MB with combo CPU >= 0.3 is 512 MB
+  // (combo CPU 0.5).
+  const Invoice inv =
+      ComputeInvoice(MakeBillingModel(Platform::kOracleFunctions), RequestB());
+  EXPECT_EQ(inv.billable_time, 40 * kMs);
+  EXPECT_NEAR(inv.billable_gb_seconds, 0.040 * 0.5, 1e-9);
+}
+
+// Cross-platform invariant: request B (short + cold) is billed more under
+// turnaround models than execution models with the same resource rates.
+TEST(GoldenInvoice, TurnaroundModelsBillInitForColdStarts) {
+  for (Platform p : AllPlatforms()) {
+    const BillingModel m = MakeBillingModel(p);
+    RequestRecord warm = RequestB();
+    warm.init_duration = 0;
+    warm.cold_start = false;
+    const Usd cold_total = ComputeInvoice(m, RequestB()).total;
+    const Usd warm_total = ComputeInvoice(m, warm).total;
+    if (m.billable_time == BillableTime::kTurnaround) {
+      EXPECT_GT(cold_total, warm_total) << m.platform;
+    } else {
+      EXPECT_NEAR(cold_total, warm_total, warm_total * 1e-9) << m.platform;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faascost

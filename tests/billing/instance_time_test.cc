@@ -1,0 +1,122 @@
+// Tests for instance-time billing (paper §2.4: provisioned concurrency /
+// minimum instances / scale-down delay bill the full instance lifespan).
+
+#include "src/billing/instance_time.h"
+
+#include <gtest/gtest.h>
+
+#include "src/billing/catalog.h"
+#include "src/platform/presets.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kSec = kMicrosPerSec;
+
+TEST(InstanceTime, HandComputedBill) {
+  InstanceTimeBillingModel m;
+  m.price_per_vcpu_second = 1.8e-5;
+  m.price_per_gb_second = 2.0e-6;
+  const std::vector<InstanceSpan> spans = {{0, 100 * kSec}};
+  const InstanceTimeBill bill = BillInstanceTime(m, spans, 1.0, 1024.0, 500);
+  EXPECT_DOUBLE_EQ(bill.instance_seconds, 100.0);
+  EXPECT_NEAR(bill.resource_cost, 100.0 * (1.8e-5 + 2.0e-6), 1e-12);
+  EXPECT_DOUBLE_EQ(bill.invocation_cost, 0.0);  // No request fees.
+}
+
+TEST(InstanceTime, MultipleInstancesSum) {
+  InstanceTimeBillingModel m;
+  const std::vector<InstanceSpan> spans = {{0, 50 * kSec}, {10 * kSec, 60 * kSec}};
+  const InstanceTimeBill bill = BillInstanceTime(m, spans, 1.0, 1024.0, 0);
+  EXPECT_DOUBLE_EQ(bill.instance_seconds, 100.0);
+}
+
+TEST(InstanceTime, MinimumInstanceTimeFloor) {
+  InstanceTimeBillingModel m;
+  m.min_instance_time = 60 * kSec;
+  const std::vector<InstanceSpan> spans = {{0, 5 * kSec}};
+  const InstanceTimeBill bill = BillInstanceTime(m, spans, 1.0, 1024.0, 1);
+  EXPECT_DOUBLE_EQ(bill.instance_seconds, 60.0);
+}
+
+TEST(InstanceTime, EmptySpansZeroBill) {
+  const InstanceTimeBill bill =
+      BillInstanceTime(InstanceTimeBillingModel{}, {}, 1.0, 1024.0, 0);
+  EXPECT_DOUBLE_EQ(bill.total, 0.0);
+}
+
+TEST(InstanceTime, FeeAppliesWhenConfigured) {
+  InstanceTimeBillingModel m;
+  m.invocation_fee = 4e-7;
+  const InstanceTimeBill bill =
+      BillInstanceTime(m, {{0, kSec}}, 1.0, 1024.0, 1'000'000);
+  EXPECT_NEAR(bill.invocation_cost, 0.4, 1e-9);
+}
+
+// Paper §2.4: instance-time billing loses under bursty/idle traffic and wins
+// under dense traffic.
+TEST(InstanceTime, DenseTrafficFavorsInstanceBilling) {
+  PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+  cfg.keepalive = MakeFixedKeepAlive(30 * kSec, KaResourceBehavior::kScaleDownCpu);
+  PlatformSim sim(cfg, 1);
+  const auto arrivals = UniformArrivals(5.0, 300 * kSec);  // Busy the whole time.
+  const auto result = sim.Run(arrivals, PyAesWorkload());
+
+  const BillingModel request_model = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  Usd request_total = 0.0;
+  for (const auto& o : result.requests) {
+    RequestRecord r;
+    r.exec_duration = o.reported_duration;
+    r.cpu_time = PyAesWorkload().cpu_time;
+    r.alloc_vcpus = cfg.vcpus;
+    r.alloc_mem_mb = cfg.mem_mb;
+    r.used_mem_mb = PyAesWorkload().memory_footprint;
+    r.init_duration = o.init_duration;
+    request_total += ComputeInvoice(request_model, r).total;
+  }
+  std::vector<InstanceSpan> spans;
+  for (const auto& sb : result.sandboxes) {
+    spans.push_back({sb.created_at, sb.destroyed_at});
+  }
+  const InstanceTimeBill instance_bill = BillInstanceTime(
+      InstanceTimeBillingModel{}, spans, cfg.vcpus, cfg.mem_mb, result.requests.size());
+  // 5 RPS x ~165 ms = ~83% busy: instance billing dodges 100 ms rounding and
+  // fees, so it is cheaper.
+  EXPECT_LT(instance_bill.total, request_total);
+}
+
+TEST(InstanceTime, SparseTrafficFavorsRequestBilling) {
+  PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+  cfg.autoscaler_enabled = false;
+  // Scale-down delay keeps the instance alive 900 s between rare requests.
+  PlatformSim sim(cfg, 2);
+  std::vector<MicroSecs> arrivals;
+  for (int i = 0; i < 10; ++i) {
+    arrivals.push_back(static_cast<MicroSecs>(i) * 600 * kSec);  // Every 10 min.
+  }
+  const auto result = sim.Run(arrivals, PyAesWorkload());
+
+  const BillingModel request_model = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  Usd request_total = 0.0;
+  for (const auto& o : result.requests) {
+    RequestRecord r;
+    r.exec_duration = o.reported_duration;
+    r.cpu_time = PyAesWorkload().cpu_time;
+    r.alloc_vcpus = cfg.vcpus;
+    r.alloc_mem_mb = cfg.mem_mb;
+    r.used_mem_mb = PyAesWorkload().memory_footprint;
+    r.init_duration = o.init_duration;
+    request_total += ComputeInvoice(request_model, r).total;
+  }
+  std::vector<InstanceSpan> spans;
+  for (const auto& sb : result.sandboxes) {
+    spans.push_back({sb.created_at, sb.destroyed_at});
+  }
+  const InstanceTimeBill instance_bill = BillInstanceTime(
+      InstanceTimeBillingModel{}, spans, cfg.vcpus, cfg.mem_mb, result.requests.size());
+  // Billed idle instance time dwarfs the tiny per-request bills.
+  EXPECT_GT(instance_bill.total, 10.0 * request_total);
+}
+
+}  // namespace
+}  // namespace faascost

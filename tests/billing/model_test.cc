@@ -1,0 +1,319 @@
+#include "src/billing/model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/billing/catalog.h"
+
+namespace faascost {
+namespace {
+
+// --- Rounding helpers ---
+
+TEST(RoundUpTime, ExactMultipleUnchanged) {
+  EXPECT_EQ(RoundUpTime(100'000, 1'000), 100'000);
+}
+
+TEST(RoundUpTime, RoundsUp) {
+  EXPECT_EQ(RoundUpTime(100'001, 1'000), 101'000);
+  EXPECT_EQ(RoundUpTime(1, 100'000), 100'000);
+}
+
+TEST(RoundUpTime, ZeroGranularityIdentity) {
+  EXPECT_EQ(RoundUpTime(12'345, 0), 12'345);
+}
+
+TEST(RoundUpTime, NegativeClampsToZero) { EXPECT_EQ(RoundUpTime(-5, 1'000), 0); }
+
+TEST(RoundUpDouble, Basic) {
+  EXPECT_DOUBLE_EQ(RoundUpDouble(130.0, 128.0), 256.0);
+  EXPECT_DOUBLE_EQ(RoundUpDouble(128.0, 128.0), 128.0);
+  EXPECT_NEAR(RoundUpDouble(0.07, 0.05), 0.1, 1e-12);
+}
+
+TEST(RoundUpDouble, ZeroGranularityIdentity) {
+  EXPECT_DOUBLE_EQ(RoundUpDouble(3.7, 0.0), 3.7);
+}
+
+class RoundUpPropertyTest : public ::testing::TestWithParam<MicroSecs> {};
+
+TEST_P(RoundUpPropertyTest, ResultIsMultipleAndNotLess) {
+  const MicroSecs g = GetParam();
+  for (MicroSecs v : {1LL, 37LL, 999LL, 1'000LL, 55'123LL, 99'999LL, 100'000LL}) {
+    const MicroSecs r = RoundUpTime(v, g);
+    EXPECT_GE(r, v);
+    EXPECT_EQ(r % g, 0);
+    EXPECT_LT(r - v, g);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, RoundUpPropertyTest,
+                         ::testing::Values(1, 10, 1'000, 100'000));
+
+// --- SnapAllocation ---
+
+TEST(SnapAllocation, AwsProportionalRaisesMemoryForCpu) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const SnappedAllocation a = SnapAllocation(aws, 1.0, 256.0);
+  EXPECT_DOUBLE_EQ(a.mem_mb, 1769.0);
+  EXPECT_NEAR(a.vcpus, 1.0, 1e-9);
+}
+
+TEST(SnapAllocation, AwsMemoryDominatesWhenLarger) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const SnappedAllocation a = SnapAllocation(aws, 0.5, 2'048.0);
+  EXPECT_DOUBLE_EQ(a.mem_mb, 2'048.0);
+  EXPECT_NEAR(a.vcpus, 2'048.0 / 1'769.0, 1e-9);
+}
+
+TEST(SnapAllocation, AwsMinimumMemory) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const SnappedAllocation a = SnapAllocation(aws, 0.01, 16.0);
+  EXPECT_DOUBLE_EQ(a.mem_mb, 128.0);
+}
+
+TEST(SnapAllocation, GcpIndependentKnobsWithMinCpu) {
+  const BillingModel gcp = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  // 512 MB requires at least 0.333 vCPUs on GCP (paper §2.2).
+  const SnappedAllocation a = SnapAllocation(gcp, 0.1, 512.0);
+  EXPECT_DOUBLE_EQ(a.mem_mb, 512.0);
+  EXPECT_NEAR(a.vcpus, 0.34, 1e-9);  // 0.333 rounded up to the 0.01 step.
+}
+
+TEST(SnapAllocation, GcpCpuStepRounding) {
+  const BillingModel gcp = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  const SnappedAllocation a = SnapAllocation(gcp, 0.513, 128.0);
+  EXPECT_NEAR(a.vcpus, 0.52, 1e-9);
+}
+
+TEST(SnapAllocation, AzureFixedSandbox) {
+  const BillingModel az = MakeBillingModel(Platform::kAzureConsumption);
+  const SnappedAllocation a = SnapAllocation(az, 4.0, 8'192.0);
+  EXPECT_DOUBLE_EQ(a.vcpus, 1.0);
+  EXPECT_DOUBLE_EQ(a.mem_mb, 1'536.0);
+}
+
+TEST(SnapAllocation, CloudflareFixedSandbox) {
+  const BillingModel cf = MakeBillingModel(Platform::kCloudflareWorkers);
+  const SnappedAllocation a = SnapAllocation(cf, 2.0, 1'024.0);
+  EXPECT_DOUBLE_EQ(a.vcpus, 1.0);
+  EXPECT_DOUBLE_EQ(a.mem_mb, 128.0);
+}
+
+TEST(SnapAllocation, HuaweiFixedComboCoversBothDemands) {
+  const BillingModel hw = MakeBillingModel(Platform::kHuaweiFunctionGraph);
+  // 0.4 vCPUs demand: the 512 MB combo offers only 0.3, so it moves up.
+  const SnappedAllocation a = SnapAllocation(hw, 0.4, 400.0);
+  EXPECT_DOUBLE_EQ(a.mem_mb, 1'024.0);
+  EXPECT_GE(a.vcpus, 0.4);
+}
+
+TEST(SnapAllocation, AlibabaSteps) {
+  const BillingModel ali = MakeBillingModel(Platform::kAlibabaFunctionCompute);
+  const SnappedAllocation a = SnapAllocation(ali, 0.52, 700.0);
+  EXPECT_NEAR(a.vcpus, 0.55, 1e-9);   // 0.05 vCPU steps.
+  EXPECT_DOUBLE_EQ(a.mem_mb, 704.0);  // 64 MB steps.
+}
+
+class SnapAllPlatformsTest : public ::testing::TestWithParam<Platform> {};
+
+TEST_P(SnapAllPlatformsTest, SnappedAllocationIsPositive) {
+  const BillingModel m = MakeBillingModel(GetParam());
+  for (double cpu : {0.1, 0.3, 0.5, 1.0, 2.0}) {
+    for (double mem : {128.0, 512.0, 2'048.0}) {
+      const SnappedAllocation a = SnapAllocation(m, cpu, mem);
+      EXPECT_GT(a.vcpus, 0.0) << m.platform;
+      EXPECT_GT(a.mem_mb, 0.0) << m.platform;
+    }
+  }
+}
+
+TEST_P(SnapAllPlatformsTest, NonFixedPlatformsNeverShrinkMemory) {
+  const BillingModel m = MakeBillingModel(GetParam());
+  if (m.cpu_knob == CpuKnob::kFixed) {
+    GTEST_SKIP() << "fixed sandbox size";
+  }
+  for (double mem : {128.0, 512.0, 1'024.0}) {
+    const SnappedAllocation a = SnapAllocation(m, 0.1, mem);
+    EXPECT_GE(a.mem_mb + 1e-9, mem) << m.platform;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, SnapAllPlatformsTest,
+                         ::testing::ValuesIn(AllPlatforms()));
+
+// --- BillableTimeOf ---
+
+RequestRecord MakeRequest(MicroSecs exec_ms, MicroSecs cpu_ms, MicroSecs init_ms = 0) {
+  RequestRecord r;
+  r.exec_duration = exec_ms * kMicrosPerMilli;
+  r.cpu_time = cpu_ms * kMicrosPerMilli;
+  r.init_duration = init_ms * kMicrosPerMilli;
+  r.cold_start = init_ms > 0;
+  r.alloc_vcpus = 1.0;
+  r.alloc_mem_mb = 1'769.0;
+  r.used_mem_mb = 500.0;
+  return r;
+}
+
+TEST(BillableTimeOf, ExecutionModelExcludesInit) {
+  BillingModel m;
+  m.billable_time = BillableTime::kExecution;
+  m.time_granularity = kMicrosPerMilli;
+  EXPECT_EQ(BillableTimeOf(m, MakeRequest(100, 50, 500)), 100 * kMicrosPerMilli);
+}
+
+TEST(BillableTimeOf, TurnaroundIncludesInit) {
+  BillingModel m;
+  m.billable_time = BillableTime::kTurnaround;
+  m.time_granularity = kMicrosPerMilli;
+  EXPECT_EQ(BillableTimeOf(m, MakeRequest(100, 50, 500)), 600 * kMicrosPerMilli);
+}
+
+TEST(BillableTimeOf, ConsumedCpuTime) {
+  BillingModel m;
+  m.billable_time = BillableTime::kConsumedCpuTime;
+  m.time_granularity = kMicrosPerMilli;
+  EXPECT_EQ(BillableTimeOf(m, MakeRequest(100, 50)), 50 * kMicrosPerMilli);
+}
+
+TEST(BillableTimeOf, MinimumCutoffApplies) {
+  BillingModel m;
+  m.billable_time = BillableTime::kExecution;
+  m.time_granularity = kMicrosPerMilli;
+  m.min_billable_time = 100 * kMicrosPerMilli;
+  EXPECT_EQ(BillableTimeOf(m, MakeRequest(7, 5)), 100 * kMicrosPerMilli);
+}
+
+TEST(BillableTimeOf, GranularityRounding) {
+  BillingModel m;
+  m.billable_time = BillableTime::kExecution;
+  m.time_granularity = 100 * kMicrosPerMilli;
+  EXPECT_EQ(BillableTimeOf(m, MakeRequest(101, 50)), 200 * kMicrosPerMilli);
+}
+
+// --- ComputeInvoice against paper-quoted numbers ---
+
+TEST(ComputeInvoice, AwsPerSecondPriceMatchesPaper) {
+  // Paper §2.2: an AWS Lambda function with 1769 MB costs $2.8792e-5/s.
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const Invoice inv = ComputeInvoice(aws, MakeRequest(1'000, 1'000));
+  EXPECT_NEAR(inv.resource_cost, 2.8792e-5, 2e-7);
+  EXPECT_DOUBLE_EQ(inv.invocation_cost, 2e-7);
+}
+
+TEST(ComputeInvoice, GcpPerSecondPriceMatchesPaper) {
+  // Paper §2.2: a GCP function with 1 vCPU and 1769 MB costs $2.8319e-5/s.
+  const BillingModel gcp = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  const Invoice inv = ComputeInvoice(gcp, MakeRequest(1'000, 1'000));
+  EXPECT_NEAR(inv.resource_cost, 2.8319e-5, 2e-7);
+}
+
+TEST(ComputeInvoice, AwsBillableVcpuSecondsReported) {
+  // Embedded CPU still reported as billable vCPU time (paper §2.3).
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  RequestRecord r = MakeRequest(2'000, 500);
+  r.alloc_vcpus = 0.5;
+  r.alloc_mem_mb = 884.0;
+  const Invoice inv = ComputeInvoice(aws, r);
+  // Snapped memory = max(884, 0.5*1769) = 884.5 -> 885 after 1 MB rounding.
+  EXPECT_NEAR(inv.billable_vcpu_seconds, 2.0 * (885.0 / 1'769.0), 1e-3);
+}
+
+TEST(ComputeInvoice, CloudflareBillsConsumedCpuOnly) {
+  const BillingModel cf = MakeBillingModel(Platform::kCloudflareWorkers);
+  const Invoice inv = ComputeInvoice(cf, MakeRequest(1'000, 60));
+  EXPECT_NEAR(inv.billable_vcpu_seconds, 0.060, 1e-9);
+  EXPECT_DOUBLE_EQ(inv.billable_gb_seconds, 0.0);
+  EXPECT_NEAR(inv.resource_cost, 0.060 * 2e-5, 1e-12);
+  EXPECT_DOUBLE_EQ(inv.invocation_cost, 3e-7);
+}
+
+TEST(ComputeInvoice, AzureConsumedMemoryRounding) {
+  const BillingModel az = MakeBillingModel(Platform::kAzureConsumption);
+  RequestRecord r = MakeRequest(1'000, 500);
+  r.used_mem_mb = 200.0;  // Rounded up to 256 MB.
+  const Invoice inv = ComputeInvoice(az, r);
+  EXPECT_NEAR(inv.billable_gb_seconds, 256.0 / 1024.0, 1e-9);
+}
+
+TEST(ComputeInvoice, AzureMinimumCutoffInflatesShortRequests) {
+  const BillingModel az = MakeBillingModel(Platform::kAzureConsumption);
+  RequestRecord r = MakeRequest(10, 5);
+  r.used_mem_mb = 100.0;
+  const Invoice inv = ComputeInvoice(az, r);
+  EXPECT_EQ(inv.billable_time, 100 * kMicrosPerMilli);
+}
+
+TEST(ComputeInvoice, TotalIsResourcePlusFee) {
+  for (Platform p : AllPlatforms()) {
+    const BillingModel m = MakeBillingModel(p);
+    const Invoice inv = ComputeInvoice(m, MakeRequest(150, 80, 300));
+    EXPECT_NEAR(inv.total, inv.resource_cost + inv.invocation_cost, 1e-15) << m.platform;
+    EXPECT_GE(inv.total, 0.0);
+  }
+}
+
+TEST(ComputeInvoice, ZeroDurationRequestStillPaysFee) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const Invoice inv = ComputeInvoice(aws, MakeRequest(0, 0));
+  EXPECT_DOUBLE_EQ(inv.invocation_cost, 2e-7);
+  EXPECT_GE(inv.total, 2e-7);
+}
+
+// --- Fee equivalents (paper Fig. 5-left) ---
+
+TEST(FeeEquivalent, Aws128MbIs96Ms) {
+  // Paper §2.5: the $2e-7 fee equals 96 ms of billable time at 128 MB.
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const SnappedAllocation alloc = SnapAllocation(aws, 0.0, 128.0);
+  EXPECT_NEAR(FeeEquivalentMillis(aws, alloc), 96.0, 1.0);
+}
+
+TEST(FeeEquivalent, GcpHalfCpuIs30Ms) {
+  // Paper §4.3: 0.5 vCPUs + 512 MB -> fee equivalent to 30.19 ms.
+  const BillingModel gcp = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  SnappedAllocation alloc;
+  alloc.vcpus = 0.5;
+  alloc.mem_mb = 512.0;
+  EXPECT_NEAR(FeeEquivalentMillis(gcp, alloc), 30.19, 0.1);
+}
+
+TEST(FeeEquivalent, ZeroFeePlatform) {
+  const BillingModel ibm = MakeBillingModel(Platform::kIbmCodeEngine);
+  const SnappedAllocation alloc = SnapAllocation(ibm, 0.5, 1'024.0);
+  EXPECT_DOUBLE_EQ(FeeEquivalentMillis(ibm, alloc), 0.0);
+}
+
+class InvoiceMonotonicityTest : public ::testing::TestWithParam<Platform> {};
+
+TEST_P(InvoiceMonotonicityTest, LongerRequestsNeverCheaper) {
+  const BillingModel m = MakeBillingModel(GetParam());
+  Usd prev = -1.0;
+  for (MicroSecs ms : {1LL, 10LL, 50LL, 100LL, 500LL, 2'000LL}) {
+    const Invoice inv = ComputeInvoice(m, MakeRequest(ms, ms / 2 + 1));
+    EXPECT_GE(inv.total, prev) << m.platform << " at " << ms << " ms";
+    prev = inv.total;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, InvoiceMonotonicityTest,
+                         ::testing::ValuesIn(AllPlatforms()));
+
+TEST(ResourceCostPerSecond, AwsEmbeddedUsesMemoryRate) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  SnappedAllocation alloc;
+  alloc.vcpus = 1.0;
+  alloc.mem_mb = 1'769.0;
+  EXPECT_NEAR(ResourceCostPerSecond(aws, alloc), 2.8792e-5, 2e-7);
+}
+
+TEST(ResourceCostPerSecond, GcpSumsCpuAndMemory) {
+  const BillingModel gcp = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  SnappedAllocation alloc;
+  alloc.vcpus = 0.5;
+  alloc.mem_mb = 512.0;
+  EXPECT_NEAR(ResourceCostPerSecond(gcp, alloc), 0.5 * 2.4e-5 + 0.5 * 2.5e-6, 1e-10);
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,123 @@
+// Cross-platform billing properties of the Eq. (1) engine: invariants that
+// must hold for every catalog entry regardless of its parameters.
+
+#include <gtest/gtest.h>
+
+#include "src/billing/catalog.h"
+#include "src/common/rng.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kMs = kMicrosPerMilli;
+
+RequestRecord RandomRequest(Rng& rng) {
+  RequestRecord r;
+  r.exec_duration = rng.UniformInt(1, 5'000) * kMs;
+  r.cpu_time = std::min<MicroSecs>(
+      r.exec_duration, rng.UniformInt(1, 5'000) * kMs / 2);
+  r.alloc_vcpus = rng.Uniform(0.05, 4.0);
+  r.alloc_mem_mb = rng.Uniform(128.0, 8'192.0);
+  r.used_mem_mb = rng.Uniform(8.0, r.alloc_mem_mb);
+  if (rng.Bernoulli(0.2)) {
+    r.cold_start = true;
+    r.init_duration = rng.UniformInt(50, 3'000) * kMs;
+  }
+  return r;
+}
+
+class BillingPropertyTest : public ::testing::TestWithParam<Platform> {};
+
+TEST_P(BillingPropertyTest, InvoiceComponentsNonNegativeAndConsistent) {
+  const BillingModel m = MakeBillingModel(GetParam());
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const RequestRecord r = RandomRequest(rng);
+    const Invoice inv = ComputeInvoice(m, r);
+    EXPECT_GE(inv.billable_time, 0);
+    EXPECT_GE(inv.billable_vcpu_seconds, 0.0);
+    EXPECT_GE(inv.billable_gb_seconds, 0.0);
+    EXPECT_GE(inv.resource_cost, 0.0);
+    EXPECT_NEAR(inv.total, inv.resource_cost + inv.invocation_cost, 1e-15);
+  }
+}
+
+TEST_P(BillingPropertyTest, BillableTimeAtLeastGranularityRounded) {
+  const BillingModel m = MakeBillingModel(GetParam());
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const RequestRecord r = RandomRequest(rng);
+    const Invoice inv = ComputeInvoice(m, r);
+    EXPECT_EQ(inv.billable_time % m.time_granularity, 0) << m.platform;
+    EXPECT_GE(inv.billable_time, m.min_billable_time) << m.platform;
+  }
+}
+
+TEST_P(BillingPropertyTest, CoarserTimeGranularityNeverCheaper) {
+  BillingModel fine = MakeBillingModel(GetParam());
+  BillingModel coarse = fine;
+  coarse.time_granularity *= 10;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const RequestRecord r = RandomRequest(rng);
+    EXPECT_GE(ComputeInvoice(coarse, r).total + 1e-15, ComputeInvoice(fine, r).total)
+        << fine.platform;
+  }
+}
+
+TEST_P(BillingPropertyTest, BiggerAllocationNeverCheaperOnAllocationBilling) {
+  const BillingModel m = MakeBillingModel(GetParam());
+  if (m.cpu_basis == ResourceBasis::kConsumed || m.mem_basis == ResourceBasis::kConsumed) {
+    GTEST_SKIP() << "consumption-based billing ignores the allocation";
+  }
+  if (m.cpu_knob == CpuKnob::kFixed) {
+    GTEST_SKIP() << "fixed sandbox size";
+  }
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    RequestRecord small = RandomRequest(rng);
+    small.alloc_vcpus = rng.Uniform(0.05, 1.0);
+    small.alloc_mem_mb = rng.Uniform(128.0, 2'048.0);
+    RequestRecord big = small;
+    big.alloc_vcpus *= 2.0;
+    big.alloc_mem_mb *= 2.0;
+    EXPECT_GE(ComputeInvoice(m, big).total + 1e-15, ComputeInvoice(m, small).total)
+        << m.platform;
+  }
+}
+
+TEST_P(BillingPropertyTest, SnappingIsIdempotent) {
+  const BillingModel m = MakeBillingModel(GetParam());
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double cpu = rng.Uniform(0.05, 4.0);
+    const MegaBytes mem = rng.Uniform(64.0, 8'192.0);
+    const SnappedAllocation once = SnapAllocation(m, cpu, mem);
+    const SnappedAllocation twice = SnapAllocation(m, once.vcpus, once.mem_mb);
+    EXPECT_NEAR(twice.vcpus, once.vcpus, 1e-9) << m.platform;
+    EXPECT_NEAR(twice.mem_mb, once.mem_mb, 1e-6) << m.platform;
+  }
+}
+
+TEST_P(BillingPropertyTest, DoublingWallTimeAtMostDoublesPlusGranule) {
+  const BillingModel m = MakeBillingModel(GetParam());
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    RequestRecord r = RandomRequest(rng);
+    r.init_duration = 0;
+    r.cold_start = false;
+    RequestRecord doubled = r;
+    doubled.exec_duration *= 2;
+    doubled.cpu_time = std::min(doubled.cpu_time * 2, doubled.exec_duration);
+    const Usd once = ComputeInvoice(m, r).resource_cost;
+    const Usd twice = ComputeInvoice(m, doubled).resource_cost;
+    // Sub-additivity of rounding: cost(2t) <= 2*cost(t) + epsilon.
+    EXPECT_LE(twice, 2.0 * once + 1e-12) << m.platform;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, BillingPropertyTest,
+                         ::testing::ValuesIn(AllPlatforms()));
+
+}  // namespace
+}  // namespace faascost

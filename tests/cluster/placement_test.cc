@@ -1,0 +1,187 @@
+// Tests for the placement/deployment-density model (paper §2.2).
+
+#include "src/cluster/placement.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace faascost {
+namespace {
+
+ServerSpec SmallServer() {
+  ServerSpec s;
+  s.vcpus = 4.0;
+  s.mem_mb = 16'384.0;  // 1:4 vCPU:GB, like the default.
+  return s;
+}
+
+TEST(ClusterPlacer, OpensServersOnDemand) {
+  ClusterPlacer placer(SmallServer(), PlacementPolicy::kFirstFit);
+  EXPECT_EQ(placer.server_count(), 0);
+  placer.Place({4.0, 1'024.0});  // Fills the CPU of one server.
+  EXPECT_EQ(placer.server_count(), 1);
+  placer.Place({1.0, 1'024.0});  // Needs a second server.
+  EXPECT_EQ(placer.server_count(), 2);
+}
+
+TEST(ClusterPlacer, CapacityNeverExceeded) {
+  ClusterPlacer placer(SmallServer(), PlacementPolicy::kFirstFit);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    placer.Place({rng.Uniform(0.1, 2.0), rng.Uniform(128.0, 4'096.0)});
+  }
+  // Utilizations are per-server averages and must stay within [0, 1].
+  EXPECT_LE(placer.CpuUtilization(), 1.0 + 1e-9);
+  EXPECT_LE(placer.MemUtilization(), 1.0 + 1e-9);
+  EXPECT_GT(placer.CpuUtilization(), 0.0);
+}
+
+TEST(ClusterPlacer, ReleaseRestoresCapacity) {
+  ClusterPlacer placer(SmallServer(), PlacementPolicy::kFirstFit);
+  const Placement p1 = placer.Place({4.0, 1'024.0});
+  EXPECT_EQ(placer.server_count(), 1);
+  placer.Release(p1);
+  EXPECT_EQ(placer.sandbox_count(), 0);
+  // The freed server is reused instead of opening a new one.
+  const Placement p2 = placer.Place({4.0, 1'024.0});
+  EXPECT_EQ(p2.server, p1.server);
+  EXPECT_EQ(placer.server_count(), 1);
+}
+
+TEST(ClusterPlacer, BestFitPacksTighterThanWorstFit) {
+  Rng rng(2);
+  std::vector<SandboxDemand> demands;
+  for (int i = 0; i < 2'000; ++i) {
+    demands.push_back({rng.Uniform(0.1, 1.5), rng.Uniform(128.0, 6'000.0)});
+  }
+  const DensityReport best = PackAndMeasure(demands, KnobPolicy::kUnconstrained,
+                                            PlacementPolicy::kBestFit, SmallServer());
+  const DensityReport worst = PackAndMeasure(demands, KnobPolicy::kUnconstrained,
+                                             PlacementPolicy::kWorstFit, SmallServer());
+  EXPECT_LE(best.servers, worst.servers);
+}
+
+TEST(ClusterPlacer, DensityCountsSandboxesPerActiveServer) {
+  ClusterPlacer placer(SmallServer(), PlacementPolicy::kFirstFit);
+  for (int i = 0; i < 8; ++i) {
+    placer.Place({0.5, 2'048.0});  // 8 fit exactly on one server (mem-bound).
+  }
+  EXPECT_EQ(placer.active_server_count(), 1);
+  EXPECT_DOUBLE_EQ(placer.DeploymentDensity(), 8.0);
+}
+
+TEST(ClusterPlacer, StrandedCpuWhenMemoryExhausted) {
+  ClusterPlacer placer(SmallServer(), PlacementPolicy::kFirstFit);
+  // Memory-heavy sandboxes: memory full at 15/16 GB, CPU barely used.
+  for (int i = 0; i < 15; ++i) {
+    placer.Place({0.1, 1'024.0});
+  }
+  EXPECT_GT(placer.StrandedCpuFraction(0.9), 0.5);
+  EXPECT_DOUBLE_EQ(placer.StrandedMemFraction(0.9), 0.0);
+}
+
+// --- Knob policies ---
+
+TEST(KnobPolicy, UnconstrainedIsIdentity) {
+  const SandboxDemand d = ApplyKnobPolicy(KnobPolicy::kUnconstrained, {0.37, 777.0});
+  EXPECT_DOUBLE_EQ(d.vcpus, 0.37);
+  EXPECT_DOUBLE_EQ(d.mem_mb, 777.0);
+}
+
+TEST(KnobPolicy, RatioBoundedLiftsCpuForMemoryHeavy) {
+  // 8 GB with 0.5 vCPUs violates 1:4 -> CPU lifted to 2.0.
+  const SandboxDemand d = ApplyKnobPolicy(KnobPolicy::kRatioBounded, {0.5, 8'192.0});
+  EXPECT_NEAR(d.vcpus, 2.0, 0.051);
+  EXPECT_GE(d.mem_mb, 8'192.0);
+}
+
+TEST(KnobPolicy, RatioBoundedLiftsMemoryForCpuHeavy) {
+  // 2 vCPUs with 512 MB violates 1:1 -> memory lifted to >= 2 GB.
+  const SandboxDemand d = ApplyKnobPolicy(KnobPolicy::kRatioBounded, {2.0, 512.0});
+  EXPECT_GE(d.mem_mb, 2'048.0);
+}
+
+TEST(KnobPolicy, ProportionalCouplesDimensions) {
+  const SandboxDemand d = ApplyKnobPolicy(KnobPolicy::kProportional, {1.0, 512.0});
+  EXPECT_NEAR(d.mem_mb, 1'769.0, 1.0);
+  EXPECT_NEAR(d.vcpus, 1.0, 1e-9);
+}
+
+TEST(KnobPolicy, FixedCombosSnapUp) {
+  const SandboxDemand d = ApplyKnobPolicy(KnobPolicy::kFixedCombos, {0.4, 400.0});
+  EXPECT_DOUBLE_EQ(d.vcpus, 0.5);
+  EXPECT_DOUBLE_EQ(d.mem_mb, 1'024.0);
+}
+
+TEST(KnobPolicy, NeverShrinksEitherDimension) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const SandboxDemand raw{rng.Uniform(0.05, 3.9), rng.Uniform(64.0, 8'000.0)};
+    for (KnobPolicy p : {KnobPolicy::kUnconstrained, KnobPolicy::kRatioBounded,
+                         KnobPolicy::kProportional, KnobPolicy::kFixedCombos}) {
+      const SandboxDemand d = ApplyKnobPolicy(p, raw);
+      EXPECT_GE(d.vcpus + 1e-9, raw.vcpus) << KnobPolicyName(p);
+      EXPECT_GE(d.mem_mb + 1e-6, raw.mem_mb) << KnobPolicyName(p);
+    }
+  }
+}
+
+// --- The paper's §2.2 claim ---
+
+TEST(DensityExperiment, UnbalancedDemandsFragmentServers) {
+  // Balanced population (close to the host's 1:4 vCPU:GB shape) vs an
+  // unbalanced one (memory hogs + CPU hogs): the unbalanced mix strands
+  // capacity and needs more servers for the same aggregate demand.
+  Rng rng(4);
+  std::vector<SandboxDemand> balanced;
+  std::vector<SandboxDemand> unbalanced;
+  for (int i = 0; i < 3'000; ++i) {
+    const double cpu = rng.Uniform(0.25, 1.0);
+    balanced.push_back({cpu, cpu * 4'096.0});
+    if (i % 2 == 0) {
+      unbalanced.push_back({cpu, cpu * 14'000.0});  // Memory-heavy.
+    } else {
+      unbalanced.push_back({cpu, cpu * 700.0});  // CPU-heavy.
+    }
+  }
+  const DensityReport b = PackAndMeasure(balanced, KnobPolicy::kUnconstrained,
+                                         PlacementPolicy::kBestFit);
+  const DensityReport u = PackAndMeasure(unbalanced, KnobPolicy::kUnconstrained,
+                                         PlacementPolicy::kBestFit);
+  // Same total CPU demand by construction; the unbalanced fleet is larger
+  // relative to its aggregate demand, i.e. worse bin utilization.
+  const double b_waste = 1.0 - (b.cpu_util + b.mem_util) / 2.0;
+  const double u_waste = 1.0 - (u.cpu_util + u.mem_util) / 2.0;
+  EXPECT_GT(u_waste, b_waste);
+}
+
+TEST(DensityExperiment, RatioConstraintMonetizesStrandedCapacity) {
+  // A one-sided (memory-heavy) population strands host CPU under free
+  // knobs. The Alibaba-style ratio band lifts the CPU allocation of those
+  // sandboxes: the host CPU is no longer stranded -- it is SOLD, whether or
+  // not the function uses it. This is both the provider's packing rationale
+  // (§2.2) and the user-side overprovisioning the paper laments in §2.3
+  // ("inflexible allocations force developers to overprovision one resource
+  // to satisfy another bottleneck").
+  Rng rng(5);
+  std::vector<SandboxDemand> demands;
+  for (int i = 0; i < 3'000; ++i) {
+    demands.push_back({rng.Uniform(0.05, 0.3), rng.Uniform(4'096.0, 12'288.0)});
+  }
+  const DensityReport free_knobs = PackAndMeasure(demands, KnobPolicy::kUnconstrained,
+                                                  PlacementPolicy::kBestFit);
+  const DensityReport bounded = PackAndMeasure(demands, KnobPolicy::kRatioBounded,
+                                               PlacementPolicy::kBestFit);
+  // Free knobs: memory exhausted while CPU sits stranded.
+  EXPECT_GT(free_knobs.stranded_cpu, 0.5);
+  // Ratio band: the formerly stranded CPU is allocated (billed) instead.
+  EXPECT_LT(bounded.stranded_cpu, free_knobs.stranded_cpu);
+  EXPECT_GT(bounded.allocated_cpu, free_knobs.allocated_cpu * 2.0);
+  // Complementary note: mixing CPU-heavy and memory-heavy tenants lets a
+  // bin-packer reach high utilization WITHOUT constraints, so the band is
+  // about monetization and placement simplicity, not raw packing.
+}
+
+}  // namespace
+}  // namespace faascost

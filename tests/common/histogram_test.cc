@@ -1,0 +1,92 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace faascost {
+namespace {
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsLandInRightBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);
+  h.Add(1.9);
+  h.Add(2.0);
+  h.Add(9.9);
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(4), 1);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-100.0);
+  h.Add(1000.0);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(4), 1);
+}
+
+TEST(Histogram, ModeMidpoint) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(4.5);
+  h.Add(4.6);
+  h.Add(1.0);
+  EXPECT_DOUBLE_EQ(h.ModeMidpoint(), 5.0);  // Bin [4,6) midpoint.
+}
+
+TEST(EmpiricalCdf, AtAndQuantile) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.At(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.At(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 4.0);
+}
+
+TEST(EmpiricalCdf, UnsortedInputIsSorted) {
+  EmpiricalCdf cdf({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.sorted().front(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.sorted().back(), 4.0);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  EmpiricalCdf cdf({5.0, 1.0, 9.0, 2.0, 7.0, 3.0});
+  const auto curve = cdf.Curve(10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LT(curve[i - 1].second, curve[i].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyBehaviour) {
+  EmpiricalCdf cdf(std::vector<double>{});
+  EXPECT_EQ(cdf.size(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.At(1.0), 0.0);
+  EXPECT_TRUE(cdf.Curve(5).empty());
+}
+
+TEST(EmpiricalCdf, AtIsNonDecreasing) {
+  EmpiricalCdf cdf({1.0, 1.0, 2.0, 5.0, 5.0, 5.0, 8.0});
+  double prev = 0.0;
+  for (double x = 0.0; x <= 10.0; x += 0.25) {
+    const double v = cdf.At(x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,262 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace faascost {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.Uniform(-3.5, 12.25);
+    EXPECT_GE(v, -3.5);
+    EXPECT_LT(v, 12.25);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20'000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo = saw_lo || v == 3;
+    saw_hi = saw_hi || v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(5, 5), 5);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(14);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(15);
+  RunningStats s;
+  for (int i = 0; i < 200'000; ++i) {
+    s.Add(rng.Normal());
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(16);
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) {
+    s.Add(rng.Normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LogNormalMean) {
+  // mean = exp(mu + sigma^2 / 2).
+  Rng rng(17);
+  RunningStats s;
+  const double mu = 1.0;
+  const double sigma = 0.5;
+  for (int i = 0; i < 200'000; ++i) {
+    s.Add(rng.LogNormal(mu, sigma));
+  }
+  EXPECT_NEAR(s.mean(), std::exp(mu + sigma * sigma / 2.0), 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(18);
+  RunningStats s;
+  for (int i = 0; i < 200'000; ++i) {
+    s.Add(rng.Exponential(4.0));
+  }
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(19);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(rng.Exponential(0.001), 0.0);
+  }
+}
+
+struct GammaCase {
+  double shape;
+  double scale;
+};
+
+class RngGammaTest : public ::testing::TestWithParam<GammaCase> {};
+
+TEST_P(RngGammaTest, MeanAndVariance) {
+  const auto [shape, scale] = GetParam();
+  Rng rng(21 + static_cast<uint64_t>(shape * 100));
+  RunningStats s;
+  for (int i = 0; i < 150'000; ++i) {
+    const double v = rng.Gamma(shape, scale);
+    EXPECT_GT(v, 0.0);
+    s.Add(v);
+  }
+  EXPECT_NEAR(s.mean(), shape * scale, 0.05 * shape * scale + 0.01);
+  EXPECT_NEAR(s.variance(), shape * scale * scale,
+              0.10 * shape * scale * scale + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RngGammaTest,
+                         ::testing::Values(GammaCase{0.5, 1.0}, GammaCase{1.0, 2.0},
+                                           GammaCase{2.5, 0.5}, GammaCase{9.0, 1.5}));
+
+struct BetaCase {
+  double a;
+  double b;
+};
+
+class RngBetaTest : public ::testing::TestWithParam<BetaCase> {};
+
+TEST_P(RngBetaTest, MeanMatchesAnalytic) {
+  const auto [a, b] = GetParam();
+  Rng rng(31);
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) {
+    const double v = rng.Beta(a, b);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    s.Add(v);
+  }
+  EXPECT_NEAR(s.mean(), a / (a + b), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RngBetaTest,
+                         ::testing::Values(BetaCase{1.0, 1.0}, BetaCase{2.0, 5.0},
+                                           BetaCase{0.5, 0.5}, BetaCase{5.0, 1.0}));
+
+class RngCorrelatedTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngCorrelatedTest, PairCorrelationMatchesRho) {
+  const double rho = GetParam();
+  Rng rng(41);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 100'000; ++i) {
+    const auto [x, y] = rng.CorrelatedNormals(rho);
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), rho, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, RngCorrelatedTest,
+                         ::testing::Values(0.0, 0.25, 0.44, 0.7, 0.95, -0.5));
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(55);
+  Rng child = parent.Fork();
+  // The child should not replay the parent's outputs.
+  Rng parent2(55);
+  parent2.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.NextU64() == parent.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(ZipfTable, SizeAndRange) {
+  ZipfTable table(100, 1.1);
+  EXPECT_EQ(table.size(), 100);
+  Rng rng(61);
+  for (int i = 0; i < 10'000; ++i) {
+    const int64_t v = table.Sample(rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+  }
+}
+
+TEST(ZipfTable, SkewsTowardLowRanks) {
+  ZipfTable table(1000, 1.2);
+  Rng rng(62);
+  int64_t rank1 = 0;
+  int64_t rank_high = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    const int64_t v = table.Sample(rng);
+    if (v == 1) {
+      ++rank1;
+    }
+    if (v > 500) {
+      ++rank_high;
+    }
+  }
+  EXPECT_GT(rank1, rank_high);
+}
+
+TEST(ZipfTable, UniformWhenExponentZero) {
+  ZipfTable table(10, 0.0);
+  Rng rng(63);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 100'000; ++i) {
+    ++counts[static_cast<size_t>(table.Sample(rng))];
+  }
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(counts[static_cast<size_t>(k)] / 100'000.0, 0.1, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace faascost

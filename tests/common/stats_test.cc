@@ -1,0 +1,151 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace faascost {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.Add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.min(), 4.5);
+  EXPECT_EQ(s.max(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(Percentile, MedianOfOdd) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 50), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  // Sorted: 10, 20; p50 -> 15 under linear interpolation.
+  EXPECT_DOUBLE_EQ(Percentile({20.0, 10.0}, 50), 15.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 9.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 5), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 95), 7.0);
+}
+
+class PercentileSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileSweepTest, UniformGridMatchesAnalytic) {
+  // Values 0..100 evenly: percentile p should be ~p.
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) {
+    v.push_back(static_cast<double>(i));
+  }
+  const double p = GetParam();
+  EXPECT_NEAR(Percentile(v, p), p, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PercentileSweepTest,
+                         ::testing::Values(0.0, 5.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0));
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, OrderedFields) {
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) {
+    v.push_back(static_cast<double>(i));
+  }
+  const Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean, 500.5);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 1000.0);
+  EXPECT_LE(s.p5, s.p25);
+  EXPECT_LE(s.p25, s.p50);
+  EXPECT_LE(s.p50, s.p75);
+  EXPECT_LE(s.p75, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_NEAR(s.p50, 500.5, 1.0);
+}
+
+TEST(PearsonCorrelation, PerfectPositive) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, PerfectNegative) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ZeroVarianceIsZero) {
+  const std::vector<double> x{1, 1, 1, 1};
+  const std::vector<double> y{1, 2, 3, 4};
+  EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(PearsonCorrelation, TooFewPointsIsZero) {
+  EXPECT_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({}, {}), 0.0);
+}
+
+TEST(Mean, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(FractionBelow, Basics) {
+  const std::vector<double> v{0.1, 0.4, 0.5, 0.6, 0.9};
+  EXPECT_DOUBLE_EQ(FractionBelow(v, 0.5), 0.4);       // Strictly below.
+  EXPECT_DOUBLE_EQ(FractionAtOrBelow(v, 0.5), 0.6);   // Inclusive.
+  EXPECT_EQ(FractionBelow({}, 0.5), 0.0);
+  EXPECT_EQ(FractionAtOrBelow({}, 0.5), 0.0);
+}
+
+TEST(FractionBelow, AllAboveOrBelow) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(FractionBelow(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(FractionBelow(v, 5.0), 1.0);
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/chart.h"
+#include "src/common/table.h"
+
+namespace faascost {
+namespace {
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable t({"Platform", "Price"});
+  t.AddRow({"AWS", "1.0"});
+  t.AddRow({"GCP", "2.0"});
+  const std::string s = t.Render();
+  EXPECT_NE(s.find("Platform"), std::string::npos);
+  EXPECT_NE(s.find("AWS"), std::string::npos);
+  EXPECT_NE(s.find("GCP"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, PadsToWidestCell) {
+  TextTable t({"A"});
+  t.AddRow({"longer-cell"});
+  const std::string s = t.Render();
+  // Header line must be as wide as the data line.
+  const size_t first_newline = s.find('\n');
+  const size_t header_line = s.find('\n', first_newline + 1);
+  EXPECT_NE(header_line, std::string::npos);
+}
+
+TEST(TextTable, HandlesShortRows) {
+  TextTable t({"A", "B", "C"});
+  t.AddRow({"only-one"});
+  EXPECT_NO_THROW({ t.Render(); });
+}
+
+TEST(TextTable, HandlesExtraColumnsInRow) {
+  TextTable t({"A"});
+  t.AddRow({"1", "2", "3"});
+  const std::string s = t.Render();
+  EXPECT_NE(s.find('3'), std::string::npos);
+}
+
+TEST(Format, Double) { EXPECT_EQ(FormatDouble(3.14159, 2), "3.14"); }
+
+TEST(Format, Sci) { EXPECT_EQ(FormatSci(2.3034e-5, 4), "2.3034e-05"); }
+
+TEST(Format, Percent) { EXPECT_EQ(FormatPercent(0.421, 1), "42.1%"); }
+
+TEST(AsciiChart, RendersSeries) {
+  AsciiChart chart(40, 10);
+  chart.SetTitle("test");
+  ChartSeries s;
+  s.label = "line";
+  s.marker = 'o';
+  for (int i = 0; i < 20; ++i) {
+    s.points.emplace_back(i, i * i);
+  }
+  chart.AddSeries(s);
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find("test"), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("line"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChart) {
+  AsciiChart chart(20, 5);
+  EXPECT_NE(chart.Render().find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, SkipsNonFinitePoints) {
+  AsciiChart chart(20, 5);
+  ChartSeries s;
+  s.points.emplace_back(0.0, 1.0);
+  s.points.emplace_back(1.0, std::numeric_limits<double>::infinity());
+  s.points.emplace_back(2.0, 2.0);
+  chart.AddSeries(s);
+  EXPECT_NO_THROW({ chart.Render(); });
+}
+
+TEST(AsciiChart, FlatSeriesDoesNotDivideByZero) {
+  AsciiChart chart(20, 5);
+  ChartSeries s;
+  s.points.emplace_back(1.0, 3.0);
+  s.points.emplace_back(2.0, 3.0);
+  chart.AddSeries(s);
+  EXPECT_NO_THROW({ chart.Render(); });
+}
+
+}  // namespace
+}  // namespace faascost

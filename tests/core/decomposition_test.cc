@@ -1,0 +1,144 @@
+#include "src/core/cost_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "src/billing/catalog.h"
+#include "src/platform/presets.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kSec = kMicrosPerSec;
+
+RequestOutcome MakeOutcome(MicroSecs duration_ms, bool cold = false,
+                           MicroSecs init_ms = 0) {
+  RequestOutcome o;
+  o.arrival = 0;
+  o.start_exec = init_ms * kMicrosPerMilli;
+  o.reported_duration = duration_ms * kMicrosPerMilli;
+  o.completion = o.start_exec + o.reported_duration;
+  o.e2e_latency = o.completion;
+  o.cold_start = cold;
+  o.init_duration = init_ms * kMicrosPerMilli;
+  o.sandbox_id = 0;
+  return o;
+}
+
+TEST(OutcomeToRecord, FieldsMapped) {
+  const PlatformSimConfig cfg = AwsLambdaPlatform(1.0, 1'769.0);
+  const WorkloadSpec wl = PyAesWorkload();
+  const RequestOutcome o = MakeOutcome(200, true, 400);
+  const RequestRecord r = OutcomeToRecord(o, cfg, wl);
+  EXPECT_EQ(r.exec_duration, 200 * kMicrosPerMilli);
+  EXPECT_EQ(r.cpu_time, wl.cpu_time);
+  EXPECT_DOUBLE_EQ(r.alloc_vcpus, 1.0);
+  EXPECT_DOUBLE_EQ(r.alloc_mem_mb, 1'769.0);
+  EXPECT_TRUE(r.cold_start);
+  EXPECT_EQ(r.init_duration, 400 * kMicrosPerMilli);
+}
+
+TEST(OutcomeToRecord, UsedMemoryCappedAtAllocation) {
+  PlatformSimConfig cfg = AwsLambdaPlatform(0.1, 128.0);
+  WorkloadSpec wl = PyAesWorkload();
+  wl.memory_footprint = 4'096.0;
+  const RequestRecord r = OutcomeToRecord(MakeOutcome(100), cfg, wl);
+  EXPECT_DOUBLE_EQ(r.used_mem_mb, 128.0);
+}
+
+TEST(Decompose, ComponentsSumToTotal) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const PlatformSimConfig cfg = AwsLambdaPlatform(1.0, 1'769.0);
+  const WorkloadSpec wl = PyAesWorkload();
+  std::vector<RequestOutcome> outcomes;
+  for (int i = 0; i < 50; ++i) {
+    outcomes.push_back(MakeOutcome(165, i == 0, i == 0 ? 400 : 0));
+  }
+  const CostBreakdown b = DecomposeCosts(aws, cfg, wl, outcomes);
+  const Usd sum = b.useful_work + b.utilization_gap + b.initialization +
+                  b.serving_overhead + b.contention + b.rounding + b.invocation_fees;
+  EXPECT_NEAR(sum, b.total, b.total * 0.02);
+  EXPECT_EQ(b.num_requests, 50u);
+}
+
+TEST(Decompose, FeesCountPerRequest) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const PlatformSimConfig cfg = AwsLambdaPlatform(1.0, 1'769.0);
+  const std::vector<RequestOutcome> outcomes(10, MakeOutcome(165));
+  const CostBreakdown b = DecomposeCosts(aws, cfg, PyAesWorkload(), outcomes);
+  EXPECT_NEAR(b.invocation_fees, 10 * 2e-7, 1e-12);
+}
+
+TEST(Decompose, ColdStartsAttributeInitCostUnderTurnaround) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);  // Turnaround.
+  const PlatformSimConfig cfg = AwsLambdaPlatform(1.0, 1'769.0);
+  const CostBreakdown warm =
+      DecomposeCosts(aws, cfg, PyAesWorkload(), {MakeOutcome(165)});
+  const CostBreakdown cold =
+      DecomposeCosts(aws, cfg, PyAesWorkload(), {MakeOutcome(165, true, 500)});
+  EXPECT_EQ(warm.initialization, 0.0);
+  EXPECT_GT(cold.initialization, 0.0);
+  EXPECT_GT(cold.total, warm.total);
+}
+
+TEST(Decompose, ExecutionBillingIgnoresInit) {
+  const BillingModel hw = MakeBillingModel(Platform::kHuaweiFunctionGraph);
+  PlatformSimConfig cfg = AwsLambdaPlatform(1.0, 2'048.0);
+  const CostBreakdown warm = DecomposeCosts(hw, cfg, PyAesWorkload(), {MakeOutcome(165)});
+  const CostBreakdown cold =
+      DecomposeCosts(hw, cfg, PyAesWorkload(), {MakeOutcome(165, true, 500)});
+  EXPECT_NEAR(cold.total, warm.total, warm.total * 0.01);
+}
+
+TEST(Decompose, ContentionShowsUpWhenDurationExceedsIdeal) {
+  const BillingModel gcp = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  const PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+  // 160 ms of CPU at 1 vCPU should take ~163 ms; 320 ms means contention.
+  const CostBreakdown contended =
+      DecomposeCosts(gcp, cfg, PyAesWorkload(), {MakeOutcome(320)});
+  const CostBreakdown clean =
+      DecomposeCosts(gcp, cfg, PyAesWorkload(), {MakeOutcome(165)});
+  EXPECT_GT(contended.contention, clean.contention);
+}
+
+TEST(Decompose, RoundingVisibleAtCoarseGranularity) {
+  const BillingModel gcp = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  const PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+  // 165 ms rounds to 200 ms under the 100 ms granularity.
+  const CostBreakdown b = DecomposeCosts(gcp, cfg, PyAesWorkload(), {MakeOutcome(165)});
+  EXPECT_GT(b.rounding, 0.0);
+}
+
+TEST(Decompose, CloudflareConsumptionPath) {
+  const BillingModel cf = MakeBillingModel(Platform::kCloudflareWorkers);
+  const PlatformSimConfig cfg = CloudflarePlatform();
+  WorkloadSpec wl = PyAesWorkload();
+  const CostBreakdown b = DecomposeCosts(cf, cfg, wl, {MakeOutcome(165)});
+  // Wall-clock components do not apply under CPU-time billing.
+  EXPECT_EQ(b.initialization, 0.0);
+  EXPECT_EQ(b.contention, 0.0);
+  EXPECT_EQ(b.serving_overhead, 0.0);
+  EXPECT_GT(b.useful_work, 0.0);
+  // Useful fraction is high: consumption billing tracks usage closely.
+  EXPECT_GT(b.UsefulFraction(), 0.5);
+}
+
+TEST(Decompose, UsefulFractionHigherOnConsumptionBilling) {
+  const PlatformSimConfig aws_cfg = AwsLambdaPlatform(1.0, 1'769.0);
+  const WorkloadSpec wl = PyAesWorkload();
+  const CostBreakdown aws = DecomposeCosts(MakeBillingModel(Platform::kAwsLambda),
+                                           aws_cfg, wl, {MakeOutcome(165)});
+  const CostBreakdown cf = DecomposeCosts(MakeBillingModel(Platform::kCloudflareWorkers),
+                                          CloudflarePlatform(), wl, {MakeOutcome(165)});
+  EXPECT_GT(cf.UsefulFraction(), aws.UsefulFraction());
+}
+
+TEST(Decompose, EmptyOutcomeList) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const CostBreakdown b =
+      DecomposeCosts(aws, AwsLambdaPlatform(1.0, 1'769.0), PyAesWorkload(), {});
+  EXPECT_EQ(b.total, 0.0);
+  EXPECT_EQ(b.UsefulFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace faascost

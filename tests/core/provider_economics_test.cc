@@ -1,0 +1,112 @@
+// Tests for the provider-economics analysis (paper §3.3: keep-alive holds
+// resources the provider pays for; KA behaviour shapes the cost).
+
+#include "src/core/provider_economics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/billing/catalog.h"
+#include "src/platform/presets.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kSec = kMicrosPerSec;
+
+PlatformSimResult RunSparse(PlatformSimConfig cfg, uint64_t seed) {
+  PlatformSim sim(std::move(cfg), seed);
+  std::vector<MicroSecs> arrivals;
+  for (int i = 0; i < 20; ++i) {
+    arrivals.push_back(static_cast<MicroSecs>(i) * 60 * kSec);
+  }
+  return sim.Run(arrivals, PyAesWorkload());
+}
+
+TEST(ProviderEconomics, RevenueMatchesUserBilling) {
+  const PlatformSimConfig cfg = AwsLambdaPlatform(1.0, 1'769.0);
+  const auto result = RunSparse(cfg, 1);
+  const auto econ = AnalyzeProviderEconomics(MakeBillingModel(Platform::kAwsLambda), cfg,
+                                             PyAesWorkload(), result);
+  EXPECT_GT(econ.revenue, 0.0);
+  EXPECT_GT(econ.provider_cost, 0.0);
+}
+
+TEST(ProviderEconomics, FrozenKaCheaperThanRunAsUsual) {
+  // Same traffic and KA duration; only the KA-phase resource behaviour
+  // differs (Table 2). Freezing deallocates CPU and memory.
+  PlatformSimConfig frozen = AwsLambdaPlatform(1.0, 1'769.0);
+  frozen.keepalive = MakeFixedKeepAlive(300 * kSec, KaResourceBehavior::kFreezeDeallocate);
+  PlatformSimConfig live = AwsLambdaPlatform(1.0, 1'769.0);
+  live.keepalive = MakeFixedKeepAlive(300 * kSec, KaResourceBehavior::kRunAsUsual);
+  const auto billing = MakeBillingModel(Platform::kAwsLambda);
+  const auto econ_frozen =
+      AnalyzeProviderEconomics(billing, frozen, PyAesWorkload(), RunSparse(frozen, 2));
+  const auto econ_live =
+      AnalyzeProviderEconomics(billing, live, PyAesWorkload(), RunSparse(live, 2));
+  EXPECT_LT(econ_frozen.provider_cost, econ_live.provider_cost);
+  EXPECT_NEAR(econ_frozen.revenue, econ_live.revenue, econ_live.revenue * 0.02);
+}
+
+TEST(ProviderEconomics, LongerKaCostsProviderMore) {
+  // Traffic gaps of 200 s so the KA values below straddle the idle window:
+  // 30 s and 120 s KAs reclaim mid-gap, 600 s keeps the sandbox warm.
+  const auto billing = MakeBillingModel(Platform::kAzureConsumption);
+  double prev_cost = -1.0;
+  for (MicroSecs ka : {30 * kSec, 120 * kSec, 600 * kSec}) {
+    PlatformSimConfig cfg = AzurePlatform();
+    cfg.autoscaler_enabled = false;
+    cfg.keepalive = MakeFixedKeepAlive(ka, KaResourceBehavior::kRunAsUsual);
+    PlatformSim sim(cfg, 3);
+    std::vector<MicroSecs> arrivals;
+    for (int i = 0; i < 15; ++i) {
+      arrivals.push_back(static_cast<MicroSecs>(i) * 200 * kSec);
+    }
+    const auto result = sim.Run(arrivals, PyAesWorkload());
+    const auto econ = AnalyzeProviderEconomics(billing, cfg, PyAesWorkload(), result);
+    EXPECT_GT(econ.provider_cost, prev_cost) << "KA " << ka;
+    prev_cost = econ.provider_cost;
+  }
+}
+
+TEST(ProviderEconomics, LongerKaReducesColdStarts) {
+  const auto billing = MakeBillingModel(Platform::kAzureConsumption);
+  PlatformSimConfig short_ka = AzurePlatform();
+  short_ka.autoscaler_enabled = false;
+  short_ka.keepalive = MakeFixedKeepAlive(10 * kSec, KaResourceBehavior::kRunAsUsual);
+  PlatformSimConfig long_ka = AzurePlatform();
+  long_ka.autoscaler_enabled = false;
+  long_ka.keepalive = MakeFixedKeepAlive(600 * kSec, KaResourceBehavior::kRunAsUsual);
+  const auto econ_short =
+      AnalyzeProviderEconomics(billing, short_ka, PyAesWorkload(), RunSparse(short_ka, 4));
+  const auto econ_long =
+      AnalyzeProviderEconomics(billing, long_ka, PyAesWorkload(), RunSparse(long_ka, 4));
+  EXPECT_GT(econ_short.cold_start_rate, econ_long.cold_start_rate);
+}
+
+TEST(ProviderEconomics, PhaseAccountingAddsUp) {
+  const PlatformSimConfig cfg = AwsLambdaPlatform(1.0, 1'769.0);
+  const auto result = RunSparse(cfg, 5);
+  const auto econ = AnalyzeProviderEconomics(MakeBillingModel(Platform::kAwsLambda), cfg,
+                                             PyAesWorkload(), result);
+  EXPECT_GT(econ.busy_seconds, 0.0);
+  EXPECT_GT(econ.idle_seconds, econ.busy_seconds);  // Sparse traffic: mostly KA.
+  EXPECT_NEAR(econ.init_seconds + econ.busy_seconds + econ.idle_seconds,
+              result.total_instance_seconds, 1.0);
+}
+
+TEST(ProviderEconomics, HardwareRatesAnchorToEc2Price) {
+  // 1 vCPU + 2 GB at the default rates ~ the paper's $9.4753e-6/s EC2 price.
+  const HardwareCostModel hw;
+  EXPECT_NEAR(hw.per_vcpu_second + hw.per_gb_second * 2.0, 9.4753e-6, 3e-7);
+}
+
+TEST(ProviderEconomics, MarginDefinition) {
+  const PlatformSimConfig cfg = AwsLambdaPlatform(1.0, 1'769.0);
+  const auto result = RunSparse(cfg, 6);
+  const auto econ = AnalyzeProviderEconomics(MakeBillingModel(Platform::kAwsLambda), cfg,
+                                             PyAesWorkload(), result);
+  EXPECT_NEAR(econ.margin, (econ.revenue - econ.provider_cost) / econ.revenue, 1e-12);
+}
+
+}  // namespace
+}  // namespace faascost

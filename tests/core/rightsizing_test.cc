@@ -1,0 +1,166 @@
+#include "src/core/rightsizing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/billing/catalog.h"
+
+namespace faascost {
+namespace {
+
+RightsizingConfig QuickConfig() {
+  RightsizingConfig c;
+  c.cpu_demand = 160 * kMicrosPerMilli;
+  c.latency_slo_ms = 1'000.0;
+  c.mem_min = 128.0;
+  c.mem_max = 1'769.0;
+  c.mem_step = 64.0;
+  c.samples_per_point = 25;
+  return c;
+}
+
+class RightsizingFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    result_ = new RightsizingResult(RightsizeAwsMemory(
+        QuickConfig(), MakeBillingModel(Platform::kAwsLambda), 31));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static RightsizingResult* result_;
+};
+
+RightsizingResult* RightsizingFixture::result_ = nullptr;
+
+TEST_F(RightsizingFixture, SweepCoversRange) {
+  EXPECT_GE(result_->points.size(), 20u);
+  EXPECT_DOUBLE_EQ(result_->points.front().mem_mb, 128.0);
+}
+
+TEST_F(RightsizingFixture, BestMeetsSlo) {
+  EXPECT_TRUE(result_->best.meets_slo);
+  EXPECT_LE(result_->best.mean_duration_ms, QuickConfig().latency_slo_ms);
+}
+
+TEST_F(RightsizingFixture, BestIsCheapestFeasible) {
+  for (const auto& pt : result_->points) {
+    if (pt.meets_slo) {
+      EXPECT_GE(pt.cost_per_invocation + 1e-15, result_->best.cost_per_invocation);
+    }
+  }
+}
+
+TEST_F(RightsizingFixture, QuantizationAwareNeverWorse) {
+  // Measured search can only improve on the reciprocal-model pick when
+  // evaluated at real costs.
+  EXPECT_GE(result_->savings_fraction, -1e-9);
+}
+
+TEST_F(RightsizingFixture, MeasuredDurationAtMostModeled) {
+  // Overallocation: the measured duration never exceeds reciprocal scaling
+  // by more than jitter.
+  for (const auto& pt : result_->points) {
+    EXPECT_LE(pt.mean_duration_ms, pt.modeled_duration_ms * 1.10)
+        << "mem " << pt.mem_mb;
+  }
+}
+
+TEST_F(RightsizingFixture, CostsPositive) {
+  for (const auto& pt : result_->points) {
+    EXPECT_GT(pt.cost_per_invocation, 0.0);
+    EXPECT_GT(pt.modeled_cost, 0.0);
+  }
+}
+
+TEST(Rightsizing, TightSloForcesLargerMemory) {
+  RightsizingConfig tight = QuickConfig();
+  tight.latency_slo_ms = 200.0;  // Must run near full speed.
+  const RightsizingResult r =
+      RightsizeAwsMemory(tight, MakeBillingModel(Platform::kAwsLambda), 33);
+  ASSERT_TRUE(r.best.meets_slo);
+  EXPECT_GE(r.best.mem_mb, 1'200.0);
+}
+
+TEST(Rightsizing, LooseSloModelPicksSmallestButMeasuredCanDiffer) {
+  // Under the reciprocal model, allocation-based cost is flat in memory, so
+  // a quantization-agnostic tool settles on the smallest feasible size. The
+  // measured optimum can sit elsewhere (at a quantization sweet spot) and is
+  // never more expensive.
+  RightsizingConfig loose = QuickConfig();
+  loose.latency_slo_ms = 10'000.0;
+  const RightsizingResult r =
+      RightsizeAwsMemory(loose, MakeBillingModel(Platform::kAwsLambda), 34);
+  ASSERT_TRUE(r.best.meets_slo);
+  EXPECT_LE(r.model_choice.mem_mb, 256.0);
+  EXPECT_LE(r.best.cost_per_invocation, r.model_choice.cost_per_invocation + 1e-15);
+}
+
+TEST(Rightsizing, VcpuFractionTracksMemory) {
+  const RightsizingResult r =
+      RightsizeAwsMemory(QuickConfig(), MakeBillingModel(Platform::kAwsLambda), 35);
+  for (const auto& pt : r.points) {
+    EXPECT_NEAR(pt.vcpu_fraction, pt.mem_mb / 1'769.0, 1e-9);
+  }
+}
+
+// --- GCP CPU-knob variant ---
+
+GcpRightsizingConfig QuickGcpConfig() {
+  GcpRightsizingConfig c;
+  c.cpu_demand = 160 * kMicrosPerMilli;
+  c.latency_slo_ms = 2'000.0;
+  c.vcpu_step = 0.04;
+  c.samples_per_point = 25;
+  return c;
+}
+
+TEST(GcpRightsizing, SweepCoversCpuRange) {
+  const RightsizingResult r = RightsizeGcpCpu(
+      QuickGcpConfig(), MakeBillingModel(Platform::kGcpCloudRunFunctions), 41);
+  EXPECT_GE(r.points.size(), 20u);
+  EXPECT_NEAR(r.points.front().vcpu_fraction, 0.08, 1e-9);
+  for (const auto& pt : r.points) {
+    EXPECT_DOUBLE_EQ(pt.mem_mb, 512.0);
+  }
+}
+
+TEST(GcpRightsizing, BestMeetsSloAndIsCheapestFeasible) {
+  const RightsizingResult r = RightsizeGcpCpu(
+      QuickGcpConfig(), MakeBillingModel(Platform::kGcpCloudRunFunctions), 42);
+  ASSERT_TRUE(r.best.meets_slo);
+  for (const auto& pt : r.points) {
+    if (pt.meets_slo) {
+      EXPECT_GE(pt.cost_per_invocation + 1e-15, r.best.cost_per_invocation);
+    }
+  }
+}
+
+TEST(GcpRightsizing, HundredMsRoundingCreatesCostPlateaus) {
+  // GCP bills in 100 ms increments, so the cost-vs-CPU curve is piecewise:
+  // distinct measured durations within the same 100 ms bucket cost the same
+  // per billable second modulo the CPU-allocation delta.
+  const RightsizingResult r = RightsizeGcpCpu(
+      QuickGcpConfig(), MakeBillingModel(Platform::kGcpCloudRunFunctions), 43);
+  int distinct_buckets = 0;
+  double prev_bucket = -1.0;
+  for (const auto& pt : r.points) {
+    const double bucket = std::ceil(pt.mean_duration_ms / 100.0);
+    if (bucket != prev_bucket) {
+      ++distinct_buckets;
+      prev_bucket = bucket;
+    }
+  }
+  EXPECT_GE(distinct_buckets, 4);  // The sweep crosses several 100 ms steps.
+}
+
+TEST(GcpRightsizing, QuantizationAwareNeverWorse) {
+  const RightsizingResult r = RightsizeGcpCpu(
+      QuickGcpConfig(), MakeBillingModel(Platform::kGcpCloudRunFunctions), 44);
+  EXPECT_GE(r.savings_fraction, -1e-9);
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,195 @@
+// End-to-end tests across the full stack: synthetic traces through the
+// billing engine, platform simulation through cost decomposition, and
+// scheduling simulation through billing exploits — the paper's top-down
+// chain (billing -> architecture -> OS scheduling) exercised in one piece.
+
+#include <gtest/gtest.h>
+
+#include "src/billing/analysis.h"
+#include "src/billing/catalog.h"
+#include "src/common/stats.h"
+#include "src/core/cost_decomposition.h"
+#include "src/core/exploits.h"
+#include "src/platform/presets.h"
+#include "src/sched/inference.h"
+#include "src/sched/overalloc.h"
+#include "src/trace/generator.h"
+#include "src/trace/summary.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kSec = kMicrosPerSec;
+
+// --- Trace -> billing (Fig. 2 pipeline) ---
+
+class TraceBillingFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TraceGenConfig cfg;
+    cfg.num_requests = 150'000;
+    cfg.num_functions = 1'500;
+    trace_ = new std::vector<RequestRecord>(TraceGenerator(cfg, 2024).Generate());
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+  static std::vector<RequestRecord>* trace_;
+};
+
+std::vector<RequestRecord>* TraceBillingFixture::trace_ = nullptr;
+
+TEST_F(TraceBillingFixture, CpuInflationBandsMatchPaperShape) {
+  // Paper Fig. 2: billable CPU inflation 1.02x (Cloudflare) to 3.99x (GCP).
+  const double cf = AnalyzeInflation(MakeBillingModel(Platform::kCloudflareWorkers),
+                                     *trace_).cpu_inflation;
+  const double gcp = AnalyzeInflation(MakeBillingModel(Platform::kGcpCloudRunFunctions),
+                                      *trace_).cpu_inflation;
+  EXPECT_NEAR(cf, 1.02, 0.05);
+  EXPECT_GT(gcp, 2.5);
+  EXPECT_LT(gcp, 8.0);
+}
+
+TEST_F(TraceBillingFixture, MemInflationOrdering) {
+  // Paper Fig. 2: Azure (consumed memory) lowest, GCP highest.
+  const double azure = AnalyzeInflation(MakeBillingModel(Platform::kAzureConsumption),
+                                        *trace_).mem_inflation;
+  const double aws =
+      AnalyzeInflation(MakeBillingModel(Platform::kAwsLambda), *trace_).mem_inflation;
+  const double gcp = AnalyzeInflation(MakeBillingModel(Platform::kGcpCloudRunFunctions),
+                                      *trace_).mem_inflation;
+  EXPECT_LT(azure, aws);
+  EXPECT_LT(aws, gcp);
+  EXPECT_GT(azure, 1.0);
+}
+
+TEST_F(TraceBillingFixture, EveryPlatformBillsAtLeastUsage) {
+  for (Platform p : AllPlatforms()) {
+    const InflationResult r = AnalyzeInflation(MakeBillingModel(p), *trace_);
+    EXPECT_GE(r.cpu_inflation, 0.99) << PlatformName(p);
+    if (r.mem_inflation > 0.0) {
+      EXPECT_GE(r.mem_inflation, 0.99) << PlatformName(p);
+    }
+  }
+}
+
+TEST_F(TraceBillingFixture, TotalBillOrderingStable) {
+  // Dollar totals differ across models but all are positive and finite.
+  for (Platform p : AllPlatforms()) {
+    const BillingModel m = MakeBillingModel(p);
+    Usd total = 0.0;
+    for (size_t i = 0; i < 5'000; ++i) {
+      total += ComputeInvoice(m, (*trace_)[i]).total;
+    }
+    EXPECT_GT(total, 0.0) << PlatformName(p);
+    EXPECT_LT(total, 10.0) << PlatformName(p);
+  }
+}
+
+// --- Platform -> decomposition ---
+
+TEST(PlatformToDecomposition, AwsSteadyTraffic) {
+  const PlatformSimConfig cfg = AwsLambdaPlatform(1.0, 1'769.0);
+  PlatformSim sim(cfg, 7);
+  const WorkloadSpec wl = PyAesWorkload();
+  const auto result = sim.Run(UniformArrivals(5.0, 60 * kSec), wl);
+  const CostBreakdown b = DecomposeCosts(MakeBillingModel(Platform::kAwsLambda), cfg, wl,
+                                         result.requests);
+  EXPECT_EQ(b.num_requests, result.requests.size());
+  EXPECT_GT(b.total, 0.0);
+  EXPECT_GT(b.UsefulFraction(), 0.3);   // CPU-bound at full core: mostly useful.
+  EXPECT_LT(b.UsefulFraction(), 1.0);
+  EXPECT_GT(b.invocation_fees, 0.0);
+}
+
+TEST(PlatformToDecomposition, MultiConcurrencyContentionCostsMoney) {
+  const PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+  const WorkloadSpec wl = PyAesWorkload();
+  const BillingModel gcp = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  PlatformSim light_sim(cfg, 8);
+  const auto light = light_sim.Run(UniformArrivals(1.0, 60 * kSec), wl);
+  PlatformSim heavy_sim(cfg, 9);
+  const auto heavy = heavy_sim.Run(UniformArrivals(15.0, 120 * kSec), wl);
+  const CostBreakdown bl = DecomposeCosts(gcp, cfg, wl, light.requests);
+  const CostBreakdown bh = DecomposeCosts(gcp, cfg, wl, heavy.requests);
+  // Per-request contention cost rises under load.
+  const double light_per_req = bl.contention / static_cast<double>(bl.num_requests);
+  const double heavy_per_req = bh.contention / static_cast<double>(bh.num_requests);
+  EXPECT_GT(heavy_per_req, light_per_req);
+}
+
+TEST(PlatformToDecomposition, MinimalFunctionDominatedByFeesAndRounding) {
+  // A near-empty function on GCP: 100 ms rounding plus the fee dwarf the
+  // useful work (paper §2.5).
+  const PlatformSimConfig cfg = GcpPlatform(1.0, 512.0);
+  PlatformSim sim(cfg, 10);
+  const WorkloadSpec wl = MinimalWorkload();
+  const auto result = sim.Run(UniformArrivals(2.0, 30 * kSec), wl);
+  const CostBreakdown b = DecomposeCosts(MakeBillingModel(Platform::kGcpCloudRunFunctions),
+                                         cfg, wl, result.requests);
+  EXPECT_GT(b.rounding + b.invocation_fees, 0.5 * b.total);
+  EXPECT_LT(b.UsefulFraction(), 0.1);
+}
+
+// --- Sched -> billing (the §4.3 implication chain) ---
+
+TEST(SchedToBilling, OverallocationReducesCapacityCost) {
+  // A function at a quantization sweet spot is billed for less wall time
+  // than reciprocal scaling predicts.
+  OverallocSweepConfig cfg;
+  cfg.samples_per_point = 30;
+  const auto pts = SweepOverallocation(cfg, {0.12, 1.0}, 99);
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const auto& small = pts.front();
+  RequestRecord measured;
+  measured.exec_duration = static_cast<MicroSecs>(small.mean_ms * 1'000.0);
+  measured.cpu_time = measured.exec_duration;
+  measured.alloc_vcpus = small.vcpu_fraction;
+  measured.alloc_mem_mb = small.vcpu_fraction * 1'769.0;
+  measured.used_mem_mb = measured.alloc_mem_mb;
+  RequestRecord modeled = measured;
+  modeled.exec_duration = static_cast<MicroSecs>(small.expected_mean_ms * 1'000.0);
+  const Usd real = ComputeInvoice(aws, measured).total;
+  const Usd predicted = ComputeInvoice(aws, modeled).total;
+  EXPECT_LE(real, predicted * 1.02);
+}
+
+TEST(SchedToBilling, InferredParametersFeedExploit) {
+  // Infer AWS-like scheduling parameters, then use them to size exploit
+  // bursts; the burst wall time stays near the burst CPU time.
+  const CpuBandwidthSim sim(AwsLambdaSched(512.0 / 1'769.0));
+  Rng rng(5);
+  std::vector<ThrottleProfile> profiles;
+  for (int i = 0; i < 30; ++i) {
+    profiles.push_back(ProfileOnce(sim, 5 * kSec, rng));
+  }
+  const InferredSchedParams params = InferSchedParams(profiles);
+  ASSERT_EQ(params.period_ms, 20.0);
+  IntermittentExecConfig exploit;
+  exploit.mem_mb = 512.0;
+  exploit.period = static_cast<MicroSecs>(params.period_ms * 1'000.0);
+  exploit.config_hz = params.config_hz;
+  exploit.samples = 5;
+  const IntermittentExecResult r = RunIntermittentExecExploit(
+      exploit, MakeBillingModel(Platform::kAwsLambda), 6);
+  EXPECT_GT(r.gb_seconds_reduction, 0.3);
+}
+
+// --- Full chain smoke: trace stats stay consistent with billing analysis ---
+
+TEST(FullChain, Fig3StatsAndFig5RoundingFromSameTrace) {
+  TraceGenConfig cfg;
+  cfg.num_requests = 100'000;
+  cfg.num_functions = 1'000;
+  const auto trace = TraceGenerator(cfg, 11).Generate();
+  const TraceStats stats = ComputeTraceStats(trace);
+  const RoundingResult rounding =
+      AnalyzeRounding(trace, 100 * kMicrosPerMilli, 0, 0.0);
+  // Rounding overhead is on the same order as the mean duration (paper §2.5).
+  EXPECT_GT(rounding.mean_rounded_up_time_ms, stats.mean_exec_ms * 0.5);
+  EXPECT_LT(rounding.mean_rounded_up_time_ms, stats.mean_exec_ms * 2.0);
+}
+
+}  // namespace
+}  // namespace faascost

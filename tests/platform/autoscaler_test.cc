@@ -1,0 +1,145 @@
+#include "src/platform/autoscaler.h"
+
+#include <gtest/gtest.h>
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kSec = kMicrosPerSec;
+
+AutoscalerConfig DefaultConfig() {
+  AutoscalerConfig c;
+  c.target_utilization = 0.6;
+  c.per_instance_capacity = 0.6;  // 1 vCPU at a 60% utilization target.
+  c.metric_window = 60 * kSec;
+  c.sample_interval = 1 * kSec;
+  c.eval_interval = 2 * kSec;
+  return c;
+}
+
+TEST(Autoscaler, EmptyWindowAveragesZero) {
+  WindowedAutoscaler a(DefaultConfig());
+  EXPECT_DOUBLE_EQ(a.WindowAverage(10 * kSec), 0.0);
+}
+
+TEST(Autoscaler, UnfilledWindowAveragesInZeros) {
+  WindowedAutoscaler a(DefaultConfig());
+  // 30 s of demand 1.0 in a 60 s window -> average 0.5.
+  for (int t = 1; t <= 30; ++t) {
+    a.AddSample(t * kSec, 1.0);
+  }
+  EXPECT_NEAR(a.WindowAverage(30 * kSec), 0.5, 0.02);
+}
+
+TEST(Autoscaler, FullWindowAveragesExactly) {
+  WindowedAutoscaler a(DefaultConfig());
+  for (int t = 1; t <= 60; ++t) {
+    a.AddSample(t * kSec, 0.8);
+  }
+  EXPECT_NEAR(a.WindowAverage(60 * kSec), 0.8, 0.02);
+}
+
+TEST(Autoscaler, OldSamplesEvicted) {
+  WindowedAutoscaler a(DefaultConfig());
+  for (int t = 1; t <= 60; ++t) {
+    a.AddSample(t * kSec, 1.0);
+  }
+  for (int t = 61; t <= 120; ++t) {
+    a.AddSample(t * kSec, 0.0);
+  }
+  EXPECT_NEAR(a.WindowAverage(120 * kSec), 0.0, 0.02);
+}
+
+TEST(Autoscaler, DesiredIsDemandOverCapacity) {
+  WindowedAutoscaler a(DefaultConfig());
+  // Steady demand of 2.4 vCPU-s/s at 0.6 capacity -> 4 instances (the
+  // paper's Fig. 6: 15 RPS x 160 ms CPU on 1 vCPU at the 60% target).
+  for (int t = 1; t <= 60; ++t) {
+    a.AddSample(t * kSec, 2.4);
+  }
+  EXPECT_EQ(a.DesiredInstances(60 * kSec), 4);
+}
+
+TEST(Autoscaler, ExactCapacityBoundaryDoesNotOvershoot) {
+  WindowedAutoscaler a(DefaultConfig());
+  for (int t = 1; t <= 120; ++t) {
+    a.AddSample(t * kSec, 1.8);  // Exactly 3 instances worth.
+  }
+  EXPECT_EQ(a.DesiredInstances(120 * kSec), 3);
+}
+
+TEST(Autoscaler, NeverBelowOne) {
+  WindowedAutoscaler a(DefaultConfig());
+  EXPECT_EQ(a.DesiredInstances(10 * kSec), 1);
+}
+
+TEST(Autoscaler, ClampedToMaxInstances) {
+  AutoscalerConfig cfg = DefaultConfig();
+  cfg.max_instances = 4;
+  WindowedAutoscaler a(cfg);
+  for (int t = 1; t <= 60; ++t) {
+    a.AddSample(t * kSec, 100.0);
+  }
+  EXPECT_EQ(a.DesiredInstances(60 * kSec), 4);
+}
+
+TEST(Autoscaler, ScaleUpDelayedByWindowPriming) {
+  // Paper Fig. 6-right: with a 60 s window, scale-out does not begin until
+  // the window average crosses the per-instance capacity, i.e. after
+  // ~36-40 s of sustained demand slightly above one instance.
+  WindowedAutoscaler a(DefaultConfig());
+  MicroSecs first_scale = -1;
+  for (int t = 1; t <= 120; ++t) {
+    a.AddSample(t * kSec, 1.0);  // Demand worth ~1.7 instances.
+    if (first_scale < 0 && a.DesiredInstances(t * kSec) > 1) {
+      first_scale = t * kSec;
+    }
+  }
+  ASSERT_GT(first_scale, 0);
+  EXPECT_GE(first_scale, 34 * kSec);
+  EXPECT_LE(first_scale, 44 * kSec);
+}
+
+TEST(Autoscaler, DesiredIndependentOfHistoryOnceWindowTurnsOver) {
+  WindowedAutoscaler a(DefaultConfig());
+  for (int t = 1; t <= 60; ++t) {
+    a.AddSample(t * kSec, 6.0);  // Burst worth 10 instances.
+  }
+  EXPECT_EQ(a.DesiredInstances(60 * kSec), 10);
+  for (int t = 61; t <= 120; ++t) {
+    a.AddSample(t * kSec, 0.6);  // Demand drops to 1 instance.
+  }
+  EXPECT_EQ(a.DesiredInstances(120 * kSec), 1);
+}
+
+TEST(Autoscaler, ZeroCapacityDefaultsToOne) {
+  AutoscalerConfig cfg = DefaultConfig();
+  cfg.per_instance_capacity = 0.0;
+  WindowedAutoscaler a(cfg);
+  a.AddSample(kSec, 100.0);
+  EXPECT_EQ(a.DesiredInstances(kSec), 1);
+}
+
+class AutoscalerWindowTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutoscalerWindowTest, ShorterWindowsScaleSooner) {
+  const int window_s = GetParam();
+  AutoscalerConfig cfg = DefaultConfig();
+  cfg.metric_window = window_s * kSec;
+  WindowedAutoscaler a(cfg);
+  MicroSecs first_scale = -1;
+  for (int t = 1; t <= 300; ++t) {
+    a.AddSample(t * kSec, 1.0);
+    if (first_scale < 0 && a.DesiredInstances(t * kSec) > 1) {
+      first_scale = t * kSec;
+    }
+  }
+  ASSERT_GT(first_scale, 0);
+  // Crossing happens at ~ window * capacity / demand.
+  EXPECT_NEAR(static_cast<double>(first_scale) / kSec, window_s * 0.6, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, AutoscalerWindowTest, ::testing::Values(10, 30, 60, 120));
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,134 @@
+#include "src/platform/keepalive.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/sched/bandwidth_sim.h"
+
+namespace faascost {
+namespace {
+
+TEST(KeepAlive, AwsWindowBetween300And360) {
+  const auto policy = MakeAwsKeepAlive();
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const MicroSecs d = policy->SampleDuration(rng, 1);
+    EXPECT_GE(d, 300LL * kMicrosPerSec);
+    EXPECT_LE(d, 360LL * kMicrosPerSec);
+  }
+}
+
+TEST(KeepAlive, AwsBehavior) {
+  const auto policy = MakeAwsKeepAlive();
+  EXPECT_EQ(policy->resource_behavior(), KaResourceBehavior::kFreezeDeallocate);
+  EXPECT_DOUBLE_EQ(policy->KaCpuShare(1.0), 0.0);  // Frozen: no CPU.
+  EXPECT_TRUE(policy->graceful_shutdown());        // Lambda Extensions.
+}
+
+TEST(KeepAlive, GcpWindowNear900) {
+  const auto policy = MakeGcpKeepAlive();
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const MicroSecs d = policy->SampleDuration(rng, 1);
+    EXPECT_GE(d, 850LL * kMicrosPerSec);
+    EXPECT_LE(d, 900LL * kMicrosPerSec);
+  }
+}
+
+TEST(KeepAlive, GcpScalesCpuToOneHundredth) {
+  const auto policy = MakeGcpKeepAlive();
+  EXPECT_EQ(policy->resource_behavior(), KaResourceBehavior::kScaleDownCpu);
+  // 0.01 vCPUs available regardless of allocation.
+  EXPECT_NEAR(policy->KaCpuShare(1.0) * 1.0, 0.01, 1e-9);
+  EXPECT_NEAR(policy->KaCpuShare(0.5) * 0.5, 0.01, 1e-9);
+  EXPECT_FALSE(policy->graceful_shutdown());  // Killed without SIGTERM.
+}
+
+TEST(KeepAlive, AzureOpportunisticWindow) {
+  const auto policy = MakeAzureKeepAlive();
+  Rng rng(3);
+  MicroSecs lo = kUnlimitedDemand;
+  MicroSecs hi = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    const MicroSecs d = policy->SampleDuration(rng, 1);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+    EXPECT_GE(d, 120LL * kMicrosPerSec);
+    EXPECT_LE(d, 360LL * kMicrosPerSec);
+  }
+  // The window actually varies (opportunistic), it is not a fixed value.
+  EXPECT_GT(hi - lo, 100LL * kMicrosPerSec);
+}
+
+TEST(KeepAlive, AzureExtendedWhenScaledOut) {
+  // Paper §3.3: ~740 s observed for a function scaled to 3 instances.
+  const auto policy = MakeAzureKeepAlive();
+  Rng rng(4);
+  MicroSecs hi = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    const MicroSecs d = policy->SampleDuration(rng, 3);
+    EXPECT_LE(d, 740LL * kMicrosPerSec);
+    hi = std::max(hi, d);
+  }
+  EXPECT_GT(hi, 600LL * kMicrosPerSec);
+}
+
+TEST(KeepAlive, AzureKeepsFullResources) {
+  const auto policy = MakeAzureKeepAlive();
+  EXPECT_EQ(policy->resource_behavior(), KaResourceBehavior::kRunAsUsual);
+  EXPECT_DOUBLE_EQ(policy->KaCpuShare(1.0), 1.0);
+}
+
+TEST(KeepAlive, CloudflareEffectivelyUnbounded) {
+  const auto policy = MakeCloudflareKeepAlive();
+  Rng rng(5);
+  EXPECT_GE(policy->SampleDuration(rng, 1), 3'600LL * kMicrosPerSec);
+  EXPECT_EQ(policy->resource_behavior(), KaResourceBehavior::kCodeCache);
+}
+
+TEST(KeepAlive, FixedPolicy) {
+  const auto policy =
+      MakeFixedKeepAlive(42LL * kMicrosPerSec, KaResourceBehavior::kRunAsUsual);
+  Rng rng(6);
+  EXPECT_EQ(policy->SampleDuration(rng, 1), 42LL * kMicrosPerSec);
+  EXPECT_EQ(policy->SampleDuration(rng, 10), 42LL * kMicrosPerSec);
+  EXPECT_DOUBLE_EQ(policy->KaCpuShare(1.0), 1.0);
+}
+
+TEST(KeepAlive, FixedPolicyNonRunBehaviorHasNoCpu) {
+  const auto policy =
+      MakeFixedKeepAlive(10LL * kMicrosPerSec, KaResourceBehavior::kFreezeDeallocate);
+  EXPECT_DOUBLE_EQ(policy->KaCpuShare(1.0), 0.0);
+}
+
+TEST(KeepAlive, BehaviorNamesDistinct) {
+  std::set<std::string> names;
+  for (auto b : {KaResourceBehavior::kFreezeDeallocate, KaResourceBehavior::kScaleDownCpu,
+                 KaResourceBehavior::kRunAsUsual, KaResourceBehavior::kCodeCache}) {
+    EXPECT_TRUE(names.insert(KaResourceBehaviorName(b)).second);
+  }
+}
+
+// Paper Fig. 9 ordering: GCP keeps sandboxes alive the longest.
+TEST(KeepAlive, GcpLongerThanAwsLongerThanAzureMinimum) {
+  Rng rng(7);
+  const auto aws = MakeAwsKeepAlive();
+  const auto gcp = MakeGcpKeepAlive();
+  const auto azure = MakeAzureKeepAlive();
+  double aws_mean = 0.0;
+  double gcp_mean = 0.0;
+  double azure_mean = 0.0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    aws_mean += static_cast<double>(aws->SampleDuration(rng, 1));
+    gcp_mean += static_cast<double>(gcp->SampleDuration(rng, 1));
+    azure_mean += static_cast<double>(azure->SampleDuration(rng, 1));
+  }
+  EXPECT_GT(gcp_mean, aws_mean);
+  EXPECT_GT(aws_mean, azure_mean);
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,304 @@
+#include "src/platform/platform_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/platform/presets.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kSec = kMicrosPerSec;
+constexpr MicroSecs kMs = kMicrosPerMilli;
+
+// --- Arrival generators ---
+
+TEST(Arrivals, UniformSpacingAndCount) {
+  const auto a = UniformArrivals(10.0, 2 * kSec);
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_EQ(a.front(), 0);
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_EQ(a[i] - a[i - 1], 100 * kMs);
+  }
+}
+
+TEST(Arrivals, UniformEmptyCases) {
+  EXPECT_TRUE(UniformArrivals(0.0, kSec).empty());
+  EXPECT_TRUE(UniformArrivals(10.0, 0).empty());
+}
+
+TEST(Arrivals, PoissonRate) {
+  Rng rng(1);
+  const auto a = PoissonArrivals(100.0, 60 * kSec, rng);
+  EXPECT_NEAR(static_cast<double>(a.size()), 6'000.0, 300.0);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+}
+
+// --- Single-concurrency model (AWS-like) ---
+
+TEST(PlatformSim, FirstRequestIsColdStart) {
+  PlatformSim sim(AwsLambdaPlatform(1.0, 1'769.0), 42);
+  const auto result = sim.Run({0}, PyAesWorkload());
+  ASSERT_EQ(result.requests.size(), 1u);
+  EXPECT_TRUE(result.requests[0].cold_start);
+  EXPECT_GT(result.requests[0].init_duration, 0);
+  EXPECT_EQ(result.cold_starts, 1);
+}
+
+TEST(PlatformSim, WarmReuseWithinKeepAlive) {
+  PlatformSim sim(AwsLambdaPlatform(1.0, 1'769.0), 43);
+  // Second request arrives 10 s after the first: well within 300+ s KA.
+  const auto result = sim.Run({0, 10 * kSec}, PyAesWorkload());
+  EXPECT_TRUE(result.requests[0].cold_start);
+  EXPECT_FALSE(result.requests[1].cold_start);
+  EXPECT_EQ(result.requests[0].sandbox_id, result.requests[1].sandbox_id);
+}
+
+TEST(PlatformSim, ColdAfterKeepAliveExpiry) {
+  PlatformSimConfig cfg = AwsLambdaPlatform(1.0, 1'769.0);
+  cfg.keepalive = MakeFixedKeepAlive(5 * kSec, KaResourceBehavior::kFreezeDeallocate);
+  PlatformSim sim(cfg, 44);
+  const auto result = sim.Run({0, 30 * kSec}, PyAesWorkload());
+  EXPECT_TRUE(result.requests[1].cold_start);
+  EXPECT_NE(result.requests[0].sandbox_id, result.requests[1].sandbox_id);
+}
+
+TEST(PlatformSim, SingleConcurrencyScalesOutPerRequest) {
+  // Two simultaneous requests -> two sandboxes, no queueing.
+  PlatformSim sim(AwsLambdaPlatform(1.0, 1'769.0), 45);
+  const auto result = sim.Run({0, 0}, PyAesWorkload());
+  EXPECT_NE(result.requests[0].sandbox_id, result.requests[1].sandbox_id);
+  EXPECT_EQ(result.cold_starts, 2);
+}
+
+TEST(PlatformSim, SingleConcurrencyDurationStableUnderLoad) {
+  // Paper Fig. 6-left: AWS maintains a stable execution time at all rates.
+  const WorkloadSpec wl = PyAesWorkload();
+  PlatformSim low(AwsLambdaPlatform(1.0, 1'769.0), 46);
+  const auto r_low = low.Run(UniformArrivals(1.0, 30 * kSec), wl);
+  PlatformSim high(AwsLambdaPlatform(1.0, 1'769.0), 47);
+  const auto r_high = high.Run(UniformArrivals(20.0, 30 * kSec), wl);
+  auto mean_duration = [](const PlatformSimResult& r) {
+    RunningStats s;
+    for (const auto& o : r.requests) {
+      s.Add(MicrosToMillis(o.reported_duration));
+    }
+    return s.mean();
+  };
+  const double low_ms = mean_duration(r_low);
+  const double high_ms = mean_duration(r_high);
+  EXPECT_NEAR(high_ms / low_ms, 1.0, 0.05);
+}
+
+TEST(PlatformSim, ReportedDurationExcludesInit) {
+  PlatformSim sim(AwsLambdaPlatform(1.0, 1'769.0), 48);
+  const auto result = sim.Run({0}, PyAesWorkload());
+  const auto& r = result.requests[0];
+  EXPECT_EQ(r.start_exec, r.init_duration);  // Processing begins after init.
+  EXPECT_EQ(r.e2e_latency, r.reported_duration + r.init_duration);
+}
+
+TEST(PlatformSim, FractionalVcpuSlowsExecution) {
+  PlatformSimConfig cfg = AwsLambdaPlatform(0.5, 884.0);
+  PlatformSim sim(cfg, 49);
+  const auto result = sim.Run({0}, PyAesWorkload());
+  // 160 ms CPU at 0.5 vCPUs -> ~320 ms execution.
+  EXPECT_NEAR(MicrosToMillis(result.requests[0].reported_duration), 320.0, 40.0);
+}
+
+// --- Multi-concurrency model (GCP-like) ---
+
+TEST(PlatformSim, MultiConcurrencySharesOneSandbox) {
+  PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+  cfg.autoscaler_enabled = false;  // Isolate the sharing behaviour.
+  PlatformSim sim(cfg, 50);
+  const auto result = sim.Run({0, 0}, PyAesWorkload());
+  // Both requests run in the same (single) sandbox.
+  EXPECT_EQ(result.requests[0].sandbox_id, result.requests[1].sandbox_id);
+}
+
+TEST(PlatformSim, ContentionDoublesDuration) {
+  // Two concurrent CPU-bound requests on 1 vCPU take ~2x each (paper §3.1).
+  PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+  cfg.autoscaler_enabled = false;
+  cfg.serving.jitter = 0.0;
+  PlatformSim solo_sim(cfg, 51);
+  const auto solo = solo_sim.Run({0}, PyAesWorkload());
+  PlatformSim pair_sim(cfg, 52);
+  const auto pair = pair_sim.Run({0, 0}, PyAesWorkload());
+  const double solo_ms = MicrosToMillis(solo.requests[0].reported_duration);
+  const double pair_ms = MicrosToMillis(pair.requests[1].reported_duration);
+  EXPECT_GT(pair_ms, solo_ms * 1.7);
+  EXPECT_LT(pair_ms, solo_ms * 2.5);
+}
+
+TEST(PlatformSim, ConcurrencyLimitQueuesExcessRequests) {
+  PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+  cfg.concurrency_limit = 2;
+  cfg.autoscaler_enabled = false;
+  cfg.max_instances = 1;
+  PlatformSim sim(cfg, 53);
+  const auto result = sim.Run({0, 0, 0, 0}, PyAesWorkload());
+  // All four complete, but the last two waited for capacity.
+  for (const auto& r : result.requests) {
+    EXPECT_GT(r.completion, 0);
+  }
+  EXPECT_GT(result.requests[3].e2e_latency, result.requests[0].e2e_latency);
+}
+
+TEST(PlatformSim, AutoscalerAddsInstancesUnderSustainedLoad) {
+  // Paper Fig. 6-right: 15 RPS of a 160 ms CPU function on 1 vCPU needs ~4
+  // instances at the 60% CPU target; scaling starts around 40 s.
+  PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+  PlatformSim sim(cfg, 54);
+  Rng arrival_rng(540);
+  const auto result =
+      sim.Run(PoissonArrivals(15.0, 300 * kSec, arrival_rng), PyAesWorkload());
+  int max_instances = 0;
+  MicroSecs first_scale = -1;
+  for (const auto& s : result.timeline) {
+    max_instances = std::max(max_instances, s.instances);
+    if (first_scale < 0 && s.instances > 1) {
+      first_scale = s.time;
+    }
+  }
+  EXPECT_GE(max_instances, 3);
+  // Transiently overshoots while draining the pre-scale backlog, then
+  // settles to ~4-5 (the steady level the paper reports).
+  EXPECT_LE(max_instances, 12);
+  const auto& last = result.timeline.back();
+  EXPECT_GE(last.ready_instances, 3);
+  EXPECT_LE(last.ready_instances, 6);
+  ASSERT_GT(first_scale, 0);
+  EXPECT_GE(first_scale, 25 * kSec);   // Not before the window climbs.
+  EXPECT_LE(first_scale, 70 * kSec);   // ~40 s in the paper.
+}
+
+TEST(PlatformSim, SteadyStateDurationElevatedUnderSharing) {
+  // Paper: steady-state duration at 15 RPS stays ~1.4x the 1 RPS baseline.
+  PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+  PlatformSim base_sim(cfg, 55);
+  Rng base_rng(550);
+  const auto base =
+      base_sim.Run(PoissonArrivals(1.0, 120 * kSec, base_rng), PyAesWorkload());
+  PlatformSim load_sim(cfg, 56);
+  Rng load_rng(560);
+  const auto load =
+      load_sim.Run(PoissonArrivals(15.0, 400 * kSec, load_rng), PyAesWorkload());
+  RunningStats base_ms;
+  for (const auto& r : base.requests) {
+    base_ms.Add(MicrosToMillis(r.reported_duration));
+  }
+  // Only steady-state (after 200 s) requests.
+  RunningStats load_ms;
+  for (const auto& r : load.requests) {
+    if (r.arrival > 200 * kSec) {
+      load_ms.Add(MicrosToMillis(r.reported_duration));
+    }
+  }
+  const double ratio = load_ms.mean() / base_ms.mean();
+  EXPECT_GT(ratio, 1.05);
+  EXPECT_LT(ratio, 2.5);
+}
+
+// --- Accounting ---
+
+TEST(PlatformSim, SandboxAccountingConsistent) {
+  PlatformSim sim(AwsLambdaPlatform(1.0, 1'769.0), 57);
+  const auto result = sim.Run(UniformArrivals(2.0, 10 * kSec), PyAesWorkload());
+  for (const auto& acc : result.sandboxes) {
+    EXPECT_GE(acc.destroyed_at, acc.created_at);
+    const MicroSecs lifespan = acc.destroyed_at - acc.created_at;
+    EXPECT_LE(acc.init_time + acc.busy_time + acc.idle_time, lifespan + 1'000);
+    EXPECT_GE(acc.busy_time, 0);
+  }
+  EXPECT_GT(result.total_instance_seconds, 0.0);
+}
+
+TEST(PlatformSim, AllRequestsComplete) {
+  PlatformSim sim(GcpPlatform(1.0, 1'024.0), 58);
+  const auto result = sim.Run(UniformArrivals(10.0, 30 * kSec), PyAesWorkload());
+  for (const auto& r : result.requests) {
+    EXPECT_GT(r.completion, r.arrival);
+    EXPECT_GE(r.reported_duration, 0);
+    EXPECT_GE(r.sandbox_id, 0);
+  }
+}
+
+TEST(PlatformSim, DeterministicForSeed) {
+  const auto arrivals = UniformArrivals(5.0, 20 * kSec);
+  PlatformSim a(AwsLambdaPlatform(1.0, 1'769.0), 99);
+  PlatformSim b(AwsLambdaPlatform(1.0, 1'769.0), 99);
+  const auto ra = a.Run(arrivals, PyAesWorkload());
+  const auto rb = b.Run(arrivals, PyAesWorkload());
+  ASSERT_EQ(ra.requests.size(), rb.requests.size());
+  for (size_t i = 0; i < ra.requests.size(); ++i) {
+    EXPECT_EQ(ra.requests[i].completion, rb.requests[i].completion);
+  }
+}
+
+// --- Cold-start probability (paper Fig. 9) ---
+
+TEST(ColdStartProbability, ZeroWellWithinKeepAlive) {
+  PlatformSimConfig cfg = AwsLambdaPlatform(1.0, 1'769.0);
+  const double p =
+      ColdStartProbability(cfg, MinimalWorkload(), 60 * kSec, 20, 7);
+  EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(ColdStartProbability, OneBeyondKeepAlive) {
+  PlatformSimConfig cfg = AwsLambdaPlatform(1.0, 1'769.0);
+  const double p =
+      ColdStartProbability(cfg, MinimalWorkload(), 400 * kSec, 20, 7);
+  EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(ColdStartProbability, PartialInsideUncertaintyWindow) {
+  // AWS KA is uniform 300-360 s: probing at 330 s is a coin flip.
+  PlatformSimConfig cfg = AwsLambdaPlatform(1.0, 1'769.0);
+  const double p =
+      ColdStartProbability(cfg, MinimalWorkload(), 330 * kSec, 60, 7);
+  EXPECT_GT(p, 0.2);
+  EXPECT_LT(p, 0.8);
+}
+
+TEST(ColdStartProbability, MonotoneInIdleTime) {
+  PlatformSimConfig cfg = AzurePlatform();
+  double prev = -1.0;
+  for (MicroSecs idle : {60 * kSec, 180 * kSec, 300 * kSec, 400 * kSec}) {
+    const double p = ColdStartProbability(cfg, MinimalWorkload(), idle, 40, 11);
+    EXPECT_GE(p, prev - 0.15);
+    prev = p;
+  }
+}
+
+// --- Preset sanity ---
+
+TEST(Presets, ConcurrencyModels) {
+  EXPECT_EQ(AwsLambdaPlatform(1.0, 1'769.0).concurrency,
+            ConcurrencyModel::kSingleConcurrency);
+  EXPECT_EQ(GcpPlatform(1.0, 1'024.0).concurrency, ConcurrencyModel::kMultiConcurrency);
+  EXPECT_EQ(CloudflarePlatform().concurrency, ConcurrencyModel::kSingleConcurrency);
+  EXPECT_EQ(AzurePlatform().concurrency, ConcurrencyModel::kMultiConcurrency);
+}
+
+TEST(Presets, GcpDefaultConcurrencyLimit) {
+  EXPECT_EQ(GcpPlatform(1.0, 1'024.0).concurrency_limit, 80);
+}
+
+TEST(Presets, ServingArchitectures) {
+  EXPECT_EQ(AwsLambdaPlatform(1.0, 1'769.0).serving.arch,
+            ServingArchitecture::kApiLongPolling);
+  EXPECT_EQ(GcpPlatform(1.0, 1'024.0).serving.arch, ServingArchitecture::kHttpServer);
+  EXPECT_EQ(CloudflarePlatform().serving.arch, ServingArchitecture::kCodeExecution);
+}
+
+TEST(Workloads, SpecsSane) {
+  EXPECT_EQ(PyAesWorkload().cpu_time, 160 * kMs);
+  EXPECT_LT(MinimalWorkload().cpu_time, kMs);
+  EXPECT_EQ(VideoProcessingWorkload().cpu_time, 10 * kSec);
+  EXPECT_EQ(ProfilerProbeWorkload(10 * kSec).cpu_time, 10 * kSec);
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,99 @@
+#include "src/platform/serving.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+
+namespace faascost {
+namespace {
+
+double MeanOverheadMs(const ServingOverheadModel& m, double vcpus, int n = 5'000) {
+  Rng rng(123);
+  RunningStats s;
+  for (int i = 0; i < n; ++i) {
+    s.Add(MicrosToMillis(m.Sample(vcpus, rng)));
+  }
+  return s.mean();
+}
+
+TEST(ServingOverhead, LongPollingNearPaperValue) {
+  // Paper Fig. 8: AWS long polling ~1.17 ms average.
+  EXPECT_NEAR(MeanOverheadMs(ApiLongPollingOverhead(), 1.0), 1.17, 0.25);
+}
+
+TEST(ServingOverhead, HttpServerAtFullCore) {
+  // Paper Fig. 8: GCP at 1 vCPU ~3 ms average.
+  const double v = MeanOverheadMs(HttpServerOverhead(), 1.0);
+  EXPECT_GT(v, 2.0);
+  EXPECT_LT(v, 4.5);
+}
+
+TEST(ServingOverhead, HttpServerLowAllocationNearPaperMax) {
+  // Paper Fig. 8: GCP at 0.08 vCPUs, up to ~5.93 ms average.
+  EXPECT_NEAR(MeanOverheadMs(HttpServerOverhead(), 0.08), 5.93, 1.0);
+}
+
+TEST(ServingOverhead, CodeExecutionNearZero) {
+  // Paper Fig. 8: Cloudflare below the 0.01 ms reporting precision.
+  EXPECT_LT(MeanOverheadMs(CodeExecutionOverhead(), 1.0), 0.02);
+}
+
+TEST(ServingOverhead, ArchitectureOrdering) {
+  // HTTP server > long polling > code/binary execution.
+  const double http = MeanOverheadMs(HttpServerOverhead(), 1.0);
+  const double poll = MeanOverheadMs(ApiLongPollingOverhead(), 1.0);
+  const double code = MeanOverheadMs(CodeExecutionOverhead(), 1.0);
+  EXPECT_GT(http, poll);
+  EXPECT_GT(poll, code);
+}
+
+TEST(ServingOverhead, LongPollingInsensitiveToAllocation) {
+  const double at_full = MeanOverheadMs(ApiLongPollingOverhead(), 1.0);
+  const double at_low = MeanOverheadMs(ApiLongPollingOverhead(), 0.1);
+  EXPECT_NEAR(at_full, at_low, 0.15);
+}
+
+class HttpPenaltyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HttpPenaltyTest, OverheadDecreasesWithAllocation) {
+  const double vcpus = GetParam();
+  const double here = MeanOverheadMs(HttpServerOverhead(), vcpus);
+  const double at_full = MeanOverheadMs(HttpServerOverhead(), 1.0);
+  EXPECT_GE(here, at_full - 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Allocations, HttpPenaltyTest,
+                         ::testing::Values(0.08, 0.2, 0.5, 0.8, 1.0));
+
+TEST(ServingOverhead, SampleNeverNegative) {
+  Rng rng(5);
+  for (const auto& m :
+       {ApiLongPollingOverhead(), HttpServerOverhead(), CodeExecutionOverhead()}) {
+    for (int i = 0; i < 1'000; ++i) {
+      EXPECT_GE(m.Sample(0.05, rng), 0);
+    }
+  }
+}
+
+TEST(ServingOverhead, JitterBounded) {
+  ServingOverheadModel m = ApiLongPollingOverhead();
+  m.jitter = 0.1;
+  Rng rng(6);
+  const double base = static_cast<double>(m.base + m.cpu_work);
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = static_cast<double>(m.Sample(1.0, rng));
+    EXPECT_GE(v, base * 0.89);
+    EXPECT_LE(v, base * 1.11);
+  }
+}
+
+TEST(ServingOverhead, ArchitectureNames) {
+  EXPECT_STREQ(ServingArchitectureName(ServingArchitecture::kApiLongPolling),
+               "runtime-API long polling");
+  EXPECT_STREQ(ServingArchitectureName(ServingArchitecture::kHttpServer), "HTTP server");
+  EXPECT_STREQ(ServingArchitectureName(ServingArchitecture::kCodeExecution),
+               "code/binary execution");
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,201 @@
+// Tests for the bandwidth-control simulator extensions: I/O-bound task
+// patterns (paper §4.2), multi-threaded task groups (multi-vCPU quotas), and
+// the CFS burst allowance.
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/sched/bandwidth_sim.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kMs = kMicrosPerMilli;
+constexpr MicroSecs kSec = kMicrosPerSec;
+
+// --- I/O-bound tasks ---
+
+TEST(IoBound, BlockingTimeDoesNotConsumeQuota) {
+  // 10 ms CPU in 1 ms bursts with 9 ms waits at a 0.5 quota: the CPU bursts
+  // fit comfortably within each period, so no throttling at all.
+  const SchedConfig c = MakeSchedConfig(20 * kMs, 0.5, 250);
+  const CpuBandwidthSim sim(c);
+  IoPattern io;
+  io.cpu_burst = 1 * kMs;
+  io.io_wait = 9 * kMs;
+  const TaskRunResult r = sim.RunIoBound(io, 10 * kMs, kUnlimitedDemand);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.throttles.empty());
+  EXPECT_EQ(r.cpu_obtained, 10 * kMs);
+  EXPECT_EQ(r.io_blocked, 9 * 9 * kMs);  // Nine waits between ten bursts.
+}
+
+TEST(IoBound, WallIncludesBlockingTime) {
+  const SchedConfig c = MakeSchedConfig(20 * kMs, 1.0, 250);
+  const CpuBandwidthSim sim(c);
+  IoPattern io;
+  io.cpu_burst = 2 * kMs;
+  io.io_wait = 3 * kMs;
+  const TaskRunResult r = sim.RunIoBound(io, 10 * kMs, kUnlimitedDemand);
+  EXPECT_TRUE(r.completed);
+  // 5 bursts of 2 ms + 4 waits of 3 ms = 22 ms.
+  EXPECT_EQ(r.wall_duration, 22 * kMs);
+}
+
+TEST(IoBound, FewerThrottlesThanCpuBound) {
+  // Paper §4.2: I/O-bound tasks consume less runtime and trigger fewer
+  // throttles than CPU-bound tasks of the same total CPU demand.
+  const SchedConfig c = MakeSchedConfig(20 * kMs, 0.1, 250);
+  const CpuBandwidthSim sim(c);
+  const MicroSecs demand = 40 * kMs;
+  const TaskRunResult cpu_bound = sim.Run(demand, 60 * kSec);
+  IoPattern io;
+  io.cpu_burst = 1 * kMs;
+  io.io_wait = 20 * kMs;  // Duty cycle ~ the 0.1 quota.
+  const TaskRunResult io_bound = sim.RunIoBound(io, demand, 60 * kSec);
+  EXPECT_TRUE(cpu_bound.completed);
+  EXPECT_TRUE(io_bound.completed);
+  EXPECT_LT(io_bound.throttles.size(), cpu_bound.throttles.size());
+}
+
+TEST(IoBound, OverrunOnWakeupCanStillThrottle) {
+  // Bursts larger than the quota accumulate debt; the wakeup after I/O can
+  // be throttled until a refill pays it back.
+  const SchedConfig c = MakeSchedConfig(20 * kMs, 0.05, 250);  // Quota 1 ms.
+  const CpuBandwidthSim sim(c);
+  IoPattern io;
+  io.cpu_burst = 6 * kMs;  // Far beyond the quota.
+  io.io_wait = 2 * kMs;
+  const TaskRunResult r = sim.RunIoBound(io, 30 * kMs, 60 * kSec);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.throttles.empty());
+}
+
+TEST(IoBound, ZeroPatternEqualsCpuBound) {
+  const SchedConfig c = MakeSchedConfig(20 * kMs, 0.3, 250);
+  const CpuBandwidthSim sim(c);
+  const TaskRunResult a = sim.Run(50 * kMs, kUnlimitedDemand, 1'000, 7'000);
+  const TaskRunResult b = sim.RunIoBound(IoPattern{}, 50 * kMs, kUnlimitedDemand, 1'000,
+                                         7'000);
+  EXPECT_EQ(a.wall_duration, b.wall_duration);
+  EXPECT_EQ(a.throttles.size(), b.throttles.size());
+}
+
+// --- Multi-threaded task groups ---
+
+TEST(MultiThread, TwoThreadsHalveUnthrottledWall) {
+  SchedConfig c = MakeSchedConfig(20 * kMs, 2.0, 250);  // 2 vCPU quota.
+  c.num_threads = 2;
+  const CpuBandwidthSim sim(c);
+  const TaskRunResult r = sim.Run(100 * kMs, kUnlimitedDemand);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.wall_duration, 50 * kMs);  // Two cores, no throttling.
+  EXPECT_EQ(r.cpu_obtained, 100 * kMs);
+}
+
+TEST(MultiThread, QuotaBelowParallelismThrottles) {
+  // 2 threads but a 1-vCPU quota: long-run CPU share converges to ~1 core.
+  SchedConfig c = MakeSchedConfig(20 * kMs, 1.0, 250);
+  c.num_threads = 2;
+  const CpuBandwidthSim sim(c);
+  const TaskRunResult r = sim.Run(kUnlimitedDemand, 30 * kSec);
+  const double share =
+      static_cast<double>(r.cpu_obtained) / static_cast<double>(r.wall_duration);
+  EXPECT_NEAR(share, 1.0, 0.15);
+  EXPECT_FALSE(r.throttles.empty());
+}
+
+class MultiThreadShareTest
+    : public ::testing::TestWithParam<std::pair<int, double>> {};
+
+TEST_P(MultiThreadShareTest, LongRunShareTracksQuota) {
+  const auto [threads, fraction] = GetParam();
+  SchedConfig c = MakeSchedConfig(20 * kMs, fraction, 250);
+  c.num_threads = threads;
+  const CpuBandwidthSim sim(c);
+  const TaskRunResult r = sim.Run(kUnlimitedDemand, 30 * kSec);
+  const double share =
+      static_cast<double>(r.cpu_obtained) / static_cast<double>(r.wall_duration);
+  const double expected = std::min(fraction, static_cast<double>(threads));
+  EXPECT_NEAR(share, expected, expected * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, MultiThreadShareTest,
+                         ::testing::Values(std::pair<int, double>{2, 0.5},
+                                           std::pair<int, double>{2, 1.5},
+                                           std::pair<int, double>{4, 2.0},
+                                           std::pair<int, double>{4, 6.0}));
+
+// --- CFS burst ---
+
+TEST(CfsBurst, BurstAbsorbsSpikeAfterIdle) {
+  // Quota 10 ms/period with a 10 ms burst allowance: after one idle period
+  // the pool holds 20 ms, so a 15 ms spike runs without throttling.
+  SchedConfig c = MakeSchedConfig(20 * kMs, 0.5, 250);
+  c.burst = 10 * kMs;
+  const CpuBandwidthSim sim(c);
+  // Start just after a refill that followed an idle period: phase so that
+  // one full refill happens before the task starts consuming... emulate by
+  // an I/O-bound prefix: idle (io) for one period, then burst.
+  IoPattern io;
+  io.cpu_burst = 15 * kMs;
+  io.io_wait = 20 * kMs;
+  const TaskRunResult with_burst = sim.RunIoBound(io, 30 * kMs, 10 * kSec, 0, 20 * kMs);
+  SchedConfig nb = c;
+  nb.burst = 0;
+  const CpuBandwidthSim no_burst(nb);
+  const TaskRunResult without = no_burst.RunIoBound(io, 30 * kMs, 10 * kSec, 0, 20 * kMs);
+  EXPECT_LE(with_burst.wall_duration, without.wall_duration);
+  EXPECT_LE(with_burst.throttles.size(), without.throttles.size());
+}
+
+TEST(CfsBurst, LongRunShareStillBounded) {
+  // Burst shifts quota across periods but does not raise the long-run rate.
+  SchedConfig c = MakeSchedConfig(20 * kMs, 0.25, 250);
+  c.burst = 20 * kMs;
+  const CpuBandwidthSim sim(c);
+  const TaskRunResult r = sim.Run(kUnlimitedDemand, 30 * kSec);
+  const double share =
+      static_cast<double>(r.cpu_obtained) / static_cast<double>(r.wall_duration);
+  EXPECT_NEAR(share, 0.25, 0.08);
+}
+
+TEST(CfsBurst, ZeroBurstUnchangedWorkedExample) {
+  // The paper's worked example must be unaffected by the burst refactor.
+  SchedConfig c;
+  c.period = 20 * kMs;
+  c.quota = static_cast<MicroSecs>(1.45 * kMs);
+  c.tick = 4 * kMs;
+  const CpuBandwidthSim sim(c);
+  const TaskRunResult r = sim.Run(kUnlimitedDemand, 150 * kMs);
+  ASSERT_GE(r.throttles.size(), 2u);
+  EXPECT_EQ(r.throttles[0].start, 4 * kMs);
+  EXPECT_EQ(r.throttles[0].duration, 36 * kMs);
+  EXPECT_EQ(r.throttles[1].start, 44 * kMs);
+  EXPECT_EQ(r.throttles[1].duration, 56 * kMs);
+}
+
+TEST(CfsBurst, BurstIncreasesShortTaskOverallocation) {
+  // A short task arriving after idle accumulation finishes faster with
+  // burst: the overallocation effect the paper attributes to quantization is
+  // amplified by burst capacity.
+  const MicroSecs demand = 30 * kMs;
+  SchedConfig c = MakeSchedConfig(20 * kMs, 0.4, 250);  // Quota 8 ms.
+  const CpuBandwidthSim plain(c);
+  c.burst = 8 * kMs;
+  const CpuBandwidthSim bursty(c);
+  Rng rng(5);
+  RunningStats plain_ms;
+  RunningStats bursty_ms;
+  for (int i = 0; i < 50; ++i) {
+    plain_ms.Add(MicrosToMillis(plain.RunWithRandomPhase(demand, 10 * kSec, rng).wall_duration));
+  }
+  for (int i = 0; i < 50; ++i) {
+    bursty_ms.Add(
+        MicrosToMillis(bursty.RunWithRandomPhase(demand, 10 * kSec, rng).wall_duration));
+  }
+  EXPECT_LE(bursty_ms.mean(), plain_ms.mean() + 1.0);
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,112 @@
+#include "src/sched/closed_form.h"
+
+#include <gtest/gtest.h>
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kMs = kMicrosPerMilli;
+
+TEST(ClosedForm, NoLimitWhenQuotaAtLeastPeriod) {
+  EXPECT_EQ(ClosedFormDuration(100 * kMs, 20 * kMs, 20 * kMs), 100 * kMs);
+  EXPECT_EQ(ClosedFormDuration(100 * kMs, 20 * kMs, 40 * kMs), 100 * kMs);
+}
+
+TEST(ClosedForm, ZeroDemand) { EXPECT_EQ(ClosedFormDuration(0, 20 * kMs, 10 * kMs), 0); }
+
+TEST(ClosedForm, SubQuotaTaskRunsUnthrottled) {
+  // T < Q: d = T (floor = 0, remainder = T).
+  EXPECT_EQ(ClosedFormDuration(5 * kMs, 20 * kMs, 10 * kMs), 5 * kMs);
+}
+
+TEST(ClosedForm, NonDivisibleCase) {
+  // T = 33.1 ms, Q = 10 ms, P = 20 ms: d = 3*20 + 3.1 = 63.1 ms.
+  EXPECT_EQ(ClosedFormDuration(33'100, 20 * kMs, 10 * kMs), 63'100);
+}
+
+TEST(ClosedForm, ExactMultipleCase) {
+  // T = 30 ms, Q = 10 ms, P = 20 ms: d = (3-1)*20 + 10 = 50 ms.
+  EXPECT_EQ(ClosedFormDuration(30 * kMs, 20 * kMs, 10 * kMs), 50 * kMs);
+}
+
+TEST(ClosedForm, ExactMultipleIsLimitOfNonDivisible) {
+  // Approaching the divisible point from below converges to the same value.
+  const MicroSecs at = ClosedFormDuration(30 * kMs, 20 * kMs, 10 * kMs);
+  const MicroSecs below = ClosedFormDuration(30 * kMs - 1, 20 * kMs, 10 * kMs);
+  EXPECT_EQ(below + 1, at);
+}
+
+struct Eq2Case {
+  MicroSecs demand;
+  MicroSecs period;
+  MicroSecs quota;
+  MicroSecs expected;
+};
+
+class ClosedFormCaseTest : public ::testing::TestWithParam<Eq2Case> {};
+
+TEST_P(ClosedFormCaseTest, MatchesHandComputation) {
+  const auto& c = GetParam();
+  EXPECT_EQ(ClosedFormDuration(c.demand, c.period, c.quota), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HandCases, ClosedFormCaseTest,
+    ::testing::Values(
+        // 33.1 ms demand across the paper's Fig. 11 period range, 0.5 vCPUs.
+        Eq2Case{33'100, 5 * kMs, 2'500, 13 * 5 * kMs + 600},
+        Eq2Case{33'100, 10 * kMs, 5 * kMs, 6 * 10 * kMs + 3'100},
+        Eq2Case{33'100, 20 * kMs, 10 * kMs, 3 * 20 * kMs + 3'100},
+        Eq2Case{33'100, 40 * kMs, 20 * kMs, 1 * 40 * kMs + 13'100},
+        Eq2Case{33'100, 80 * kMs, 40 * kMs, 33'100},  // Fits in one quota.
+        // Tiny quota.
+        Eq2Case{10 * kMs, 20 * kMs, 1 * kMs, 10 * 20 * kMs - 20 * kMs + 1 * kMs}));
+
+TEST(ClosedForm, MonotoneInDemand) {
+  MicroSecs prev = 0;
+  for (MicroSecs t = 1 * kMs; t <= 200 * kMs; t += 1 * kMs) {
+    const MicroSecs d = ClosedFormDuration(t, 20 * kMs, 7 * kMs);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(ClosedForm, ShorterPeriodsImproveProportionality) {
+  // Paper Fig. 11: shorter periods converge to ideal reciprocal scaling.
+  const MicroSecs demand = 33'100;
+  const double fraction = 0.3;
+  const double ideal = IdealDuration(demand, fraction);
+  double prev_err = 1e18;
+  for (MicroSecs period : {80 * kMs, 40 * kMs, 20 * kMs, 10 * kMs, 5 * kMs}) {
+    const MicroSecs quota =
+        static_cast<MicroSecs>(fraction * static_cast<double>(period));
+    const double d = static_cast<double>(ClosedFormDuration(demand, period, quota));
+    const double err = std::abs(d - ideal);
+    EXPECT_LE(err, prev_err + 1.0) << "period " << period;
+    prev_err = err;
+  }
+}
+
+TEST(ClosedForm, DurationNeverBelowIdeal) {
+  // Eq. (2) assumes exact accounting, so it can only throttle, never boost.
+  for (double frac : {0.1, 0.25, 0.5, 0.8}) {
+    for (MicroSecs demand : {5 * kMs, MicroSecs{33'100}, 160 * kMs}) {
+      const MicroSecs period = 20 * kMs;
+      const MicroSecs quota =
+          static_cast<MicroSecs>(frac * static_cast<double>(period));
+      const double d = static_cast<double>(ClosedFormDuration(demand, period, quota));
+      // d >= demand always (a task cannot run faster than wall clock).
+      EXPECT_GE(d, static_cast<double>(demand));
+    }
+  }
+}
+
+TEST(IdealDuration, ReciprocalScaling) {
+  EXPECT_DOUBLE_EQ(IdealDuration(100 * kMs, 0.5), 200.0 * kMs);
+  EXPECT_DOUBLE_EQ(IdealDuration(100 * kMs, 0.25), 400.0 * kMs);
+  EXPECT_DOUBLE_EQ(IdealDuration(100 * kMs, 1.0), 100.0 * kMs);
+  EXPECT_DOUBLE_EQ(IdealDuration(100 * kMs, 2.0), 100.0 * kMs);  // Single thread.
+}
+
+}  // namespace
+}  // namespace faascost

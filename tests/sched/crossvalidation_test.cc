@@ -1,0 +1,100 @@
+// Cross-validation between the three scheduling models: the closed form
+// (Eq. 2), the single-task event simulator, and the multi-tenant host
+// simulator must agree wherever their assumptions overlap.
+
+#include <gtest/gtest.h>
+
+#include "src/sched/closed_form.h"
+#include "src/sched/host_sim.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kMs = kMicrosPerMilli;
+constexpr MicroSecs kSec = kMicrosPerSec;
+
+struct Eq2Case {
+  MicroSecs demand_ms;
+  MicroSecs period_ms;
+  double fraction;
+};
+
+class Eq2SimEquivalence : public ::testing::TestWithParam<Eq2Case> {};
+
+TEST_P(Eq2SimEquivalence, NearExactAccountingMatchesClosedForm) {
+  // With an accounting tick far finer than the quota, the event simulator
+  // degenerates to the idealized Eq. (2) model.
+  const auto& c = GetParam();
+  SchedConfig sc;
+  sc.period = c.period_ms * kMs;
+  sc.quota = std::max<MicroSecs>(
+      1, static_cast<MicroSecs>(c.fraction * static_cast<double>(sc.period)));
+  sc.tick = 100;  // 0.1 ms: near-exact accounting.
+  sc.slice = sc.quota;  // One acquisition per period.
+  const CpuBandwidthSim sim(sc);
+  const MicroSecs demand = c.demand_ms * kMs;
+  const TaskRunResult r = sim.Run(demand, 3'600LL * kSec);
+  const MicroSecs ideal = ClosedFormDuration(demand, sc.period, sc.quota);
+  EXPECT_NEAR(static_cast<double>(r.wall_duration), static_cast<double>(ideal),
+              static_cast<double>(ideal) * 0.05 + 2'000.0)
+      << "demand " << c.demand_ms << " period " << c.period_ms << " f " << c.fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Eq2SimEquivalence,
+    ::testing::Values(Eq2Case{33, 20, 0.5}, Eq2Case{33, 100, 0.5}, Eq2Case{160, 20, 0.25},
+                      Eq2Case{160, 100, 0.3}, Eq2Case{58, 10, 0.72}, Eq2Case{500, 40, 0.1},
+                      Eq2Case{10, 20, 0.9}, Eq2Case{33, 5, 0.3}));
+
+struct ShareCase {
+  double fraction;
+  int cores;
+};
+
+class HostVsSingleTask : public ::testing::TestWithParam<ShareCase> {};
+
+TEST_P(HostVsSingleTask, LoneTenantShareMatchesBandwidthSim) {
+  const auto& c = GetParam();
+  // Host sim: a lone quota-limited tenant on an idle host.
+  HostSimConfig host_cfg;
+  host_cfg.cores = c.cores;
+  host_cfg.period = 100 * kMs;
+  host_cfg.tick = 1 * kMs;
+  host_cfg.duration = 30 * kSec;
+  const HostSimResult host =
+      SimulateHost(host_cfg, {{c.fraction, 1.0, 1.0}}, 7);
+
+  // Single-task sim: same quota and timer.
+  const SchedConfig sc = MakeSchedConfig(100 * kMs, c.fraction, 1'000);
+  const CpuBandwidthSim sim(sc);
+  const TaskRunResult r = sim.Run(kUnlimitedDemand, 30 * kSec);
+  const double single_share =
+      static_cast<double>(r.cpu_obtained) / static_cast<double>(r.wall_duration);
+
+  EXPECT_NEAR(host.tenants[0].cpu_share, single_share, 0.03)
+      << "fraction " << c.fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HostVsSingleTask,
+                         ::testing::Values(ShareCase{0.1, 1}, ShareCase{0.3, 1},
+                                           ShareCase{0.5, 2}, ShareCase{0.72, 1},
+                                           ShareCase{0.9, 4}));
+
+TEST(CrossValidation, ThrottleGapStructureSharedAcrossModels) {
+  // Both models produce throttle gaps that end at period boundaries for a
+  // lone quota-limited task.
+  HostSimConfig host_cfg;
+  host_cfg.cores = 1;
+  host_cfg.period = 100 * kMs;
+  host_cfg.tick = 1 * kMs;
+  host_cfg.duration = 10 * kSec;
+  const HostSimResult host = SimulateHost(host_cfg, {{0.4, 1.0, 1.0}}, 8);
+  ASSERT_FALSE(host.tenants[0].gaps.empty());
+  for (const auto& g : host.tenants[0].gaps) {
+    const MicroSecs end = g.start + g.duration;
+    EXPECT_EQ(end % (100 * kMs), 0) << "gap ending at " << end;
+  }
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,105 @@
+#include "src/sched/inference.h"
+
+#include <gtest/gtest.h>
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kMs = kMicrosPerMilli;
+
+TEST(MultipleMatchFraction, AllMultiples) {
+  EXPECT_DOUBLE_EQ(MultipleMatchFraction({20.0, 40.0, 60.0}, 20.0, 0.5), 1.0);
+}
+
+TEST(MultipleMatchFraction, WithTolerance) {
+  EXPECT_DOUBLE_EQ(MultipleMatchFraction({19.6, 40.3, 61.0}, 20.0, 1.5), 1.0);
+  EXPECT_DOUBLE_EQ(MultipleMatchFraction({19.6, 40.3, 55.0}, 20.0, 1.5), 2.0 / 3.0);
+}
+
+TEST(MultipleMatchFraction, EmptyOrInvalid) {
+  EXPECT_EQ(MultipleMatchFraction({}, 20.0, 1.0), 0.0);
+  EXPECT_EQ(MultipleMatchFraction({20.0}, 0.0, 1.0), 0.0);
+}
+
+TEST(MultipleMatchFraction, ZeroMultipleDoesNotCount) {
+  // A sample near zero is not a positive multiple.
+  EXPECT_DOUBLE_EQ(MultipleMatchFraction({0.1}, 20.0, 1.0), 0.0);
+}
+
+struct InferCase {
+  const char* name;
+  MicroSecs period;
+  int hz;
+  double fraction;
+  double expected_period_ms;
+  int expected_hz;
+  bool with_noise;
+};
+
+class InferenceTest : public ::testing::TestWithParam<InferCase> {};
+
+TEST_P(InferenceTest, RecoversPeriodAndTick) {
+  // The paper profiles each platform under several vCPU configurations; the
+  // mixed quotas break residue ambiguities (e.g. a single quota whose bursts
+  // happen to be multiples of a coarser candidate tick).
+  const auto& c = GetParam();
+  Rng rng(42);
+  std::vector<ThrottleProfile> profiles;
+  for (double scale : {0.7, 1.0, 1.3}) {
+    const double fraction = std::min(c.fraction * scale, 0.95);
+    SchedConfig sc = MakeSchedConfig(c.period, fraction, c.hz);
+    if (c.with_noise) {
+      sc.noise_mean_gap = 60 * kMs;
+    }
+    const CpuBandwidthSim sim(sc);
+    for (int i = 0; i < 20; ++i) {
+      profiles.push_back(ProfileOnce(sim, 5LL * kMicrosPerSec, rng));
+    }
+  }
+  const InferredSchedParams inferred = InferSchedParams(profiles);
+  EXPECT_DOUBLE_EQ(inferred.period_ms, c.expected_period_ms) << c.name;
+  EXPECT_EQ(inferred.config_hz, c.expected_hz) << c.name;
+  EXPECT_NEAR(inferred.quota_fraction, c.fraction, c.fraction * 0.5) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3Configs, InferenceTest,
+    ::testing::Values(
+        InferCase{"aws", 20 * kMs, 250, 0.072, 20.0, 250, false},
+        InferCase{"aws_mid", 20 * kMs, 250, 0.25, 20.0, 250, false},
+        InferCase{"ibm", 10 * kMs, 250, 0.25, 10.0, 250, false},
+        InferCase{"gcp", 100 * kMs, 1000, 0.3, 100.0, 1000, true},
+        InferCase{"gcp_clean", 100 * kMs, 1000, 0.5, 100.0, 1000, false}),
+    [](const ::testing::TestParamInfo<InferCase>& info) { return info.param.name; });
+
+TEST(Inference, EmptyProfiles) {
+  const InferredSchedParams p = InferSchedParams({});
+  EXPECT_EQ(p.period_ms, 0.0);
+  EXPECT_EQ(p.config_hz, 0);
+}
+
+TEST(Inference, UnthrottledProfileGivesNoPeriod) {
+  const CpuBandwidthSim sim(MakeSchedConfig(20 * kMs, 1.0, 250));
+  Rng rng(1);
+  std::vector<ThrottleProfile> profiles = {ProfileOnce(sim, 2LL * kMicrosPerSec, rng)};
+  const InferredSchedParams p = InferSchedParams(profiles);
+  EXPECT_EQ(p.period_ms, 0.0);
+  EXPECT_NEAR(p.quota_fraction, 1.0, 0.01);
+}
+
+TEST(Inference, NoiseGapsAreFilteredOut) {
+  // Pure noise without throttling must not produce a period match.
+  SchedConfig sc = MakeSchedConfig(100 * kMs, 1.0, 1000);
+  sc.noise_mean_gap = 30 * kMs;
+  const CpuBandwidthSim sim(sc);
+  Rng rng(2);
+  std::vector<ThrottleProfile> profiles;
+  for (int i = 0; i < 10; ++i) {
+    profiles.push_back(ProfileOnce(sim, 3LL * kMicrosPerSec, rng));
+  }
+  const InferredSchedParams p = InferSchedParams(profiles);
+  EXPECT_EQ(p.period_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,95 @@
+#include "src/sched/overalloc.h"
+
+#include <gtest/gtest.h>
+
+namespace faascost {
+namespace {
+
+OverallocSweepConfig SmallSweep() {
+  OverallocSweepConfig c;
+  c.samples_per_point = 40;
+  c.cpu_demand = 160 * kMicrosPerMilli;
+  return c;
+}
+
+TEST(OverallocSweep, FullAllocationRatioIsOne) {
+  const auto pts = SweepOverallocation(SmallSweep(), {0.25, 0.5, 1.0}, 11);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_NEAR(pts.back().overalloc_ratio, 1.0, 1e-9);
+  EXPECT_NEAR(pts.back().mean_ms, 160.0, 160.0 * 0.05);
+}
+
+TEST(OverallocSweep, EmpiricalNeverExceedsExpectedByMuch) {
+  // Paper Fig. 10: the empirical mean is consistently at or below the
+  // expected reciprocal-scaling line (functions get MORE CPU than paid for).
+  const std::vector<double> fracs = {0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0};
+  const auto pts = SweepOverallocation(SmallSweep(), fracs, 12);
+  for (const auto& p : pts) {
+    EXPECT_LE(p.mean_ms, p.expected_mean_ms * 1.08) << "frac " << p.vcpu_fraction;
+  }
+}
+
+TEST(OverallocSweep, OverallocationPresentAtSubCoreFractions) {
+  // The empirical mean sits below the expected reciprocal line across the
+  // sub-core range (paper Fig. 10); the benefit peaks mid-range where
+  // tick-quantized bursts and the final-period bonus are largest relative
+  // to the allocation.
+  const auto pts = SweepOverallocation(SmallSweep(), {0.40, 0.54, 1.0}, 13);
+  bool any = false;
+  for (const auto& p : pts) {
+    if (p.vcpu_fraction < 1.0 && p.overalloc_ratio > 1.02) {
+      any = true;
+    }
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(OverallocSweep, MeanDurationDecreasesWithAllocation) {
+  const std::vector<double> fracs = {0.1, 0.25, 0.5, 1.0};
+  const auto pts = SweepOverallocation(SmallSweep(), fracs, 14);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i].mean_ms, pts[i - 1].mean_ms * 1.02);
+  }
+}
+
+TEST(OverallocSweep, P5AtMostMean) {
+  const auto pts = SweepOverallocation(SmallSweep(), {0.2, 0.6, 1.0}, 15);
+  for (const auto& p : pts) {
+    EXPECT_LE(p.p5_ms, p.mean_ms + 1e-9);
+  }
+}
+
+TEST(OverallocSweep, SortsInputFractions) {
+  const auto pts = SweepOverallocation(SmallSweep(), {1.0, 0.1, 0.5}, 16);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_LT(pts[0].vcpu_fraction, pts[1].vcpu_fraction);
+  EXPECT_LT(pts[1].vcpu_fraction, pts[2].vcpu_fraction);
+}
+
+TEST(OverallocSweep, JumpStructureExists) {
+  // The duration curve is not smooth: between adjacent fine-grained
+  // allocations there are steps much larger than others (quantization
+  // jumps, Fig. 10).
+  OverallocSweepConfig c = SmallSweep();
+  c.samples_per_point = 60;
+  std::vector<double> fracs;
+  for (double f = 0.10; f <= 0.60; f += 0.01) {
+    fracs.push_back(f);
+  }
+  const auto pts = SweepOverallocation(c, fracs, 17);
+  std::vector<double> steps;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    steps.push_back(pts[i - 1].mean_ms - pts[i].mean_ms);
+  }
+  double max_step = 0.0;
+  double total = 0.0;
+  for (double s : steps) {
+    max_step = std::max(max_step, s);
+    total += std::max(0.0, s);
+  }
+  const double avg_step = total / static_cast<double>(steps.size());
+  EXPECT_GT(max_step, 3.0 * avg_step);  // Distinct jumps, not smooth decline.
+}
+
+}  // namespace
+}  // namespace faascost

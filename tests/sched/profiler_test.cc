@@ -1,0 +1,141 @@
+#include "src/sched/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kMs = kMicrosPerMilli;
+
+TEST(Profiler, DetectsThrottlesAboveThreshold) {
+  const SchedConfig c = MakeSchedConfig(20 * kMs, 0.072, 250);
+  const CpuBandwidthSim sim(c);
+  Rng rng(1);
+  const ThrottleProfile p = ProfileOnce(sim, 2LL * kMicrosPerSec, rng);
+  EXPECT_FALSE(p.throttle_log.empty());
+  for (const auto& ev : p.throttle_log) {
+    EXPECT_GT(ev.duration, kThrottleDetectThreshold);
+  }
+}
+
+TEST(Profiler, FullAllocationProducesNoThrottles) {
+  const SchedConfig c = MakeSchedConfig(20 * kMs, 1.0, 250);
+  const CpuBandwidthSim sim(c);
+  Rng rng(2);
+  const ThrottleProfile p = ProfileOnce(sim, 2LL * kMicrosPerSec, rng);
+  EXPECT_TRUE(p.throttle_log.empty());
+  EXPECT_NEAR(static_cast<double>(p.cpu_obtained),
+              static_cast<double>(p.exec_duration), 1'000.0);
+}
+
+TEST(Profiler, ExecDurationRespected) {
+  const SchedConfig c = MakeSchedConfig(20 * kMs, 0.3, 250);
+  const CpuBandwidthSim sim(c);
+  Rng rng(3);
+  const ThrottleProfile p = ProfileOnce(sim, 500 * kMs, rng);
+  EXPECT_LE(p.exec_duration, 500 * kMs);
+  EXPECT_GE(p.exec_duration, 450 * kMs);
+}
+
+TEST(Profiler, AccumulateProfileComputesDeltas) {
+  ThrottleProfile p;
+  p.throttle_log = {{10 * kMs, 5 * kMs}, {40 * kMs, 8 * kMs}, {80 * kMs, 2 * kMs}};
+  ThrottleStats stats;
+  AccumulateProfile(p, stats);
+  ASSERT_EQ(stats.durations_ms.size(), 3u);
+  ASSERT_EQ(stats.intervals_ms.size(), 2u);
+  ASSERT_EQ(stats.runtimes_ms.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.intervals_ms[0], 30.0);
+  EXPECT_DOUBLE_EQ(stats.intervals_ms[1], 40.0);
+  EXPECT_DOUBLE_EQ(stats.runtimes_ms[0], 25.0);  // 40 - (10 + 5).
+  EXPECT_DOUBLE_EQ(stats.runtimes_ms[1], 32.0);  // 80 - (40 + 8).
+}
+
+TEST(Profiler, SingleEventYieldsNoIntervals) {
+  ThrottleProfile p;
+  p.throttle_log = {{10 * kMs, 5 * kMs}};
+  ThrottleStats stats;
+  AccumulateProfile(p, stats);
+  EXPECT_EQ(stats.durations_ms.size(), 1u);
+  EXPECT_TRUE(stats.intervals_ms.empty());
+}
+
+TEST(Profiler, ProfileManyAggregatesAcrossInvocations) {
+  const SchedConfig c = MakeSchedConfig(20 * kMs, 0.1, 250);
+  const CpuBandwidthSim sim(c);
+  Rng rng(4);
+  const ThrottleStats stats = ProfileMany(sim, 1LL * kMicrosPerSec, 20, rng);
+  EXPECT_GT(stats.durations_ms.size(), 100u);
+  EXPECT_GT(stats.intervals_ms.size(), 100u);
+}
+
+TEST(Profiler, AwsLikeThrottleIntervalsAreMultiplesOfPeriod) {
+  // Paper Fig. 12(a): AWS Lambda throttle intervals are multiples of 20 ms.
+  const CpuBandwidthSim sim(AwsLambdaSched(0.072));
+  Rng rng(5);
+  const ThrottleStats stats = ProfileMany(sim, 5LL * kMicrosPerSec, 30, rng);
+  ASSERT_FALSE(stats.intervals_ms.empty());
+  // Throttle starts land on ticks while unthrottles land on refills, so
+  // intervals cluster at multiples of the period within one 4 ms tick.
+  size_t aligned = 0;
+  for (double iv : stats.intervals_ms) {
+    const double k = std::round(iv / 20.0);
+    if (k >= 1.0 && std::abs(iv - k * 20.0) <= 4.0) {
+      ++aligned;
+    }
+  }
+  EXPECT_GT(static_cast<double>(aligned) / static_cast<double>(stats.intervals_ms.size()),
+            0.95);
+}
+
+TEST(Profiler, IbmLikeThrottleIntervalsAreMultiplesOfTen) {
+  const CpuBandwidthSim sim(IbmSched(0.25));
+  Rng rng(6);
+  const ThrottleStats stats = ProfileMany(sim, 5LL * kMicrosPerSec, 30, rng);
+  ASSERT_FALSE(stats.intervals_ms.empty());
+  for (double iv : stats.intervals_ms) {
+    const double k = std::round(iv / 10.0);
+    EXPECT_NEAR(iv, k * 10.0, 4.0);  // Within a tick of a period multiple.
+  }
+}
+
+TEST(Profiler, GcpLikeProfileHasShortPreemptionGaps) {
+  // Paper §4.3: GCP shows 6.42-14.83% of throttle durations under 2 ms.
+  const CpuBandwidthSim sim(GcpSched(0.5));
+  Rng rng(7);
+  const ThrottleStats stats = ProfileMany(sim, 10LL * kMicrosPerSec, 30, rng);
+  ASSERT_FALSE(stats.durations_ms.empty());
+  size_t short_gaps = 0;
+  for (double d : stats.durations_ms) {
+    if (d < 2.0) {
+      ++short_gaps;
+    }
+  }
+  const double frac =
+      static_cast<double>(short_gaps) / static_cast<double>(stats.durations_ms.size());
+  EXPECT_GT(frac, 0.03);
+  EXPECT_LT(frac, 0.60);
+}
+
+TEST(Profiler, RuntimeBurstsQuantizedByTick) {
+  // Paper Fig. 12(b): obtained CPU time is quantized at coarse ticks.
+  const CpuBandwidthSim sim(AwsLambdaSched(0.072));
+  Rng rng(8);
+  const ThrottleStats stats = ProfileMany(sim, 5LL * kMicrosPerSec, 30, rng);
+  ASSERT_FALSE(stats.runtimes_ms.empty());
+  size_t tick_aligned = 0;
+  for (double rt : stats.runtimes_ms) {
+    const double k = std::round(rt / 4.0);
+    if (k >= 1.0 && std::abs(rt - k * 4.0) < 0.4) {
+      ++tick_aligned;
+    }
+  }
+  EXPECT_GT(static_cast<double>(tick_aligned) /
+                static_cast<double>(stats.runtimes_ms.size()),
+            0.9);
+}
+
+}  // namespace
+}  // namespace faascost

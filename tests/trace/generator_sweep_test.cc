@@ -1,0 +1,110 @@
+// Parameterized calibration sweeps for the synthetic trace generator: the
+// knobs the generator exposes must actually steer the produced statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/trace/generator.h"
+#include "src/trace/summary.h"
+
+namespace faascost {
+namespace {
+
+TraceGenConfig BaseConfig() {
+  TraceGenConfig cfg;
+  cfg.num_requests = 120'000;
+  cfg.num_functions = 1'500;
+  return cfg;
+}
+
+class CopulaRhoSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CopulaRhoSweep, MeasuredCorrelationTracksConfiguredRho) {
+  TraceGenConfig cfg = BaseConfig();
+  cfg.util_copula_rho = GetParam();
+  const auto trace = TraceGenerator(cfg, 11).Generate();
+  const TraceStats stats = ComputeTraceStats(trace);
+  // The Kumaraswamy transform attenuates the Gaussian-copula correlation
+  // slightly; track within a generous band.
+  EXPECT_NEAR(stats.util_pearson, GetParam(), 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, CopulaRhoSweep, ::testing::Values(0.0, 0.2, 0.44, 0.7));
+
+class ExecMeanSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExecMeanSweep, MeanDurationTracksTarget) {
+  TraceGenConfig cfg = BaseConfig();
+  cfg.exec_mean_ms = GetParam();
+  const auto trace = TraceGenerator(cfg, 12).Generate();
+  const TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_NEAR(stats.mean_exec_ms, GetParam(), GetParam() * 0.20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExecMeanSweep, ::testing::Values(10.0, 58.19, 250.0));
+
+class ColdFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ColdFractionSweep, ColdStartRateTracksConfig) {
+  TraceGenConfig cfg = BaseConfig();
+  cfg.cold_start_fraction = GetParam();
+  const auto trace = TraceGenerator(cfg, 13).Generate();
+  const TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_NEAR(stats.cold_start_fraction, GetParam(), GetParam() * 0.15 + 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, ColdFractionSweep,
+                         ::testing::Values(0.0, 0.005, 0.05, 0.2));
+
+class ZipfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSweep, HigherExponentConcentratesTraffic) {
+  TraceGenConfig cfg = BaseConfig();
+  cfg.zipf_exponent = GetParam();
+  const auto trace = TraceGenerator(cfg, 14).Generate();
+  // Share of traffic on the single most popular function.
+  std::map<int64_t, int64_t> counts;
+  for (const auto& r : trace) {
+    ++counts[r.function_id];
+  }
+  int64_t top = 0;
+  for (const auto& [fid, n] : counts) {
+    top = std::max(top, n);
+  }
+  const double top_share = static_cast<double>(top) / static_cast<double>(trace.size());
+  if (GetParam() <= 0.2) {
+    EXPECT_LT(top_share, 0.01);
+  } else if (GetParam() >= 1.2) {
+    EXPECT_GT(top_share, 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSweep, ::testing::Values(0.0, 0.8, 1.2));
+
+class AllocExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AllocExponentSweep, AllocDurationCorrelationTracksExponent) {
+  TraceGenConfig cfg = BaseConfig();
+  cfg.exec_alloc_exponent = GetParam();
+  const auto trace = TraceGenerator(cfg, 15).Generate();
+  // Correlate log duration with log vCPU allocation across requests.
+  std::vector<double> ln_exec;
+  std::vector<double> ln_vcpu;
+  for (const auto& r : trace) {
+    ln_exec.push_back(std::log(static_cast<double>(r.exec_duration)));
+    ln_vcpu.push_back(std::log(r.alloc_vcpus));
+  }
+  const double corr = PearsonCorrelation(ln_vcpu, ln_exec);
+  if (GetParam() == 0.0) {
+    EXPECT_NEAR(corr, 0.0, 0.05);
+  } else {
+    EXPECT_GT(corr, 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, AllocExponentSweep, ::testing::Values(0.0, 0.35, 0.7));
+
+}  // namespace
+}  // namespace faascost

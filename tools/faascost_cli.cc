@@ -1,0 +1,300 @@
+// faascost command-line tool: billing, auditing, rightsizing and trace
+// generation from the shell.
+//
+//   faascost bill      --platform aws --exec-ms 150 --cpu-ms 80 \
+//                      --vcpus 1 --mem-mb 1769 [--init-ms 400] [--used-mem-mb 300]
+//   faascost audit     [--trace file.csv] [--requests N] [--functions N]
+//   faascost rightsize --cpu-ms 160 --slo-ms 500 [--platform aws|gcp]
+//   faascost generate  --out file.csv [--requests N] [--functions N] [--seed S]
+//   faascost platforms
+//
+// Exit status: 0 on success, 1 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/billing/analysis.h"
+#include "src/billing/catalog.h"
+#include "src/common/table.h"
+#include "src/core/rightsizing.h"
+#include "src/trace/generator.h"
+#include "src/trace/io.h"
+
+namespace faascost {
+namespace {
+
+// Minimal --flag value parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+        values_[key.substr(2)] = argv[++i];
+      } else {
+        extra_.push_back(key);
+      }
+    }
+  }
+
+  std::optional<std::string> Get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto v = Get(key);
+    return v.has_value() ? std::atof(v->c_str()) : fallback;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto v = Get(key);
+    return v.has_value() ? std::atoll(v->c_str()) : fallback;
+  }
+
+  const std::vector<std::string>& extra() const { return extra_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> extra_;
+};
+
+std::optional<Platform> ParsePlatform(const std::string& name) {
+  static const std::map<std::string, Platform> kNames = {
+      {"aws", Platform::kAwsLambda},
+      {"gcp", Platform::kGcpCloudRunFunctions},
+      {"azure", Platform::kAzureConsumption},
+      {"azure-flex", Platform::kAzureFlexConsumption},
+      {"ibm", Platform::kIbmCodeEngine},
+      {"huawei", Platform::kHuaweiFunctionGraph},
+      {"alibaba", Platform::kAlibabaFunctionCompute},
+      {"oracle", Platform::kOracleFunctions},
+      {"vercel", Platform::kVercelFunctions},
+      {"cloudflare", Platform::kCloudflareWorkers},
+  };
+  const auto it = kNames.find(name);
+  if (it == kNames.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+int CmdPlatforms() {
+  TextTable t({"Short name", "Platform", "Billable time", "Fee"});
+  const std::pair<const char*, Platform> rows[] = {
+      {"aws", Platform::kAwsLambda},
+      {"gcp", Platform::kGcpCloudRunFunctions},
+      {"azure", Platform::kAzureConsumption},
+      {"azure-flex", Platform::kAzureFlexConsumption},
+      {"ibm", Platform::kIbmCodeEngine},
+      {"huawei", Platform::kHuaweiFunctionGraph},
+      {"alibaba", Platform::kAlibabaFunctionCompute},
+      {"oracle", Platform::kOracleFunctions},
+      {"vercel", Platform::kVercelFunctions},
+      {"cloudflare", Platform::kCloudflareWorkers},
+  };
+  for (const auto& [name, p] : rows) {
+    const BillingModel m = MakeBillingModel(p);
+    const char* time_kind = m.billable_time == BillableTime::kTurnaround ? "turnaround"
+                            : m.billable_time == BillableTime::kExecution
+                                ? "execution"
+                                : "consumed CPU";
+    t.AddRow({name, m.platform, time_kind,
+              m.invocation_fee > 0 ? FormatSci(m.invocation_fee, 1) : "none"});
+  }
+  std::printf("%s", t.Render().c_str());
+  return 0;
+}
+
+int CmdBill(const Flags& flags) {
+  const auto platform_name = flags.Get("platform");
+  if (!platform_name.has_value()) {
+    std::fprintf(stderr, "bill: --platform is required (see 'faascost platforms')\n");
+    return 1;
+  }
+  const auto platform = ParsePlatform(*platform_name);
+  if (!platform.has_value()) {
+    std::fprintf(stderr, "bill: unknown platform '%s'\n", platform_name->c_str());
+    return 1;
+  }
+  RequestRecord r;
+  r.exec_duration = MillisToMicros(flags.GetDouble("exec-ms", 100.0));
+  r.cpu_time = MillisToMicros(flags.GetDouble("cpu-ms", 50.0));
+  r.alloc_vcpus = flags.GetDouble("vcpus", 1.0);
+  r.alloc_mem_mb = flags.GetDouble("mem-mb", 1'024.0);
+  r.used_mem_mb = flags.GetDouble("used-mem-mb", r.alloc_mem_mb / 4.0);
+  r.init_duration = MillisToMicros(flags.GetDouble("init-ms", 0.0));
+  r.cold_start = r.init_duration > 0;
+
+  const BillingModel model = MakeBillingModel(*platform);
+  const SnappedAllocation alloc = SnapAllocation(model, r.alloc_vcpus, r.alloc_mem_mb);
+  const Invoice inv = ComputeInvoice(model, r);
+
+  std::printf("Platform: %s\n", model.platform.c_str());
+  std::printf("Snapped allocation:   %.3f vCPUs, %.0f MB\n", alloc.vcpus, alloc.mem_mb);
+  std::printf("Billable time:        %.3f ms\n", MicrosToMillis(inv.billable_time));
+  std::printf("Billable vCPU-time:   %.6f vCPU-s\n", inv.billable_vcpu_seconds);
+  std::printf("Billable memory:      %.6f GB-s\n", inv.billable_gb_seconds);
+  std::printf("Resource cost:        $%.4g\n", inv.resource_cost);
+  std::printf("Invocation fee:       $%.4g\n", inv.invocation_cost);
+  std::printf("Total:                $%.4g\n", inv.total);
+  std::printf("Per million requests: $%.2f\n", inv.total * 1e6);
+  return 0;
+}
+
+int CmdAudit(const Flags& flags) {
+  std::vector<RequestRecord> trace;
+  const auto path = flags.Get("trace");
+  if (path.has_value()) {
+    size_t skipped = 0;
+    trace = ReadTraceCsvFile(*path, &skipped);
+    if (trace.empty()) {
+      std::fprintf(stderr, "audit: no records read from %s\n", path->c_str());
+      return 1;
+    }
+    std::printf("Read %zu records (%zu skipped) from %s\n", trace.size(), skipped,
+                path->c_str());
+  } else {
+    TraceGenConfig cfg;
+    cfg.num_requests = flags.GetInt("requests", 200'000);
+    cfg.num_functions = flags.GetInt("functions", 1'000);
+    std::printf("Generating %lld synthetic requests...\n",
+                static_cast<long long>(cfg.num_requests));
+    trace = TraceGenerator(cfg, static_cast<uint64_t>(flags.GetInt("seed", 1))).Generate();
+  }
+
+  TextTable t({"Platform", "total $", "$ / 1k requests", "fees share", "CPU inflation",
+               "memory inflation"});
+  for (Platform p : AllPlatforms()) {
+    const BillingModel m = MakeBillingModel(p);
+    Usd resource = 0.0;
+    Usd fees = 0.0;
+    for (const auto& r : trace) {
+      const Invoice inv = ComputeInvoice(m, r);
+      resource += inv.resource_cost;
+      fees += inv.invocation_cost;
+    }
+    const InflationResult infl = AnalyzeInflation(m, trace);
+    const Usd total = resource + fees;
+    t.AddRow({m.platform, FormatDouble(total, 4),
+              FormatDouble(total / static_cast<double>(trace.size()) * 1'000.0, 6),
+              FormatPercent(total > 0 ? fees / total : 0, 1),
+              FormatDouble(infl.cpu_inflation, 2) + "x",
+              infl.mem_inflation > 0 ? FormatDouble(infl.mem_inflation, 2) + "x"
+                                     : std::string("-")});
+  }
+  std::printf("%s", t.Render().c_str());
+  return 0;
+}
+
+int CmdRightsize(const Flags& flags) {
+  const std::string platform = flags.Get("platform").value_or("aws");
+  const MicroSecs cpu_demand = MillisToMicros(flags.GetDouble("cpu-ms", 160.0));
+  const double slo_ms = flags.GetDouble("slo-ms", 1'000.0);
+  if (platform == "aws") {
+    RightsizingConfig cfg;
+    cfg.cpu_demand = cpu_demand;
+    cfg.latency_slo_ms = slo_ms;
+    const RightsizingResult r =
+        RightsizeAwsMemory(cfg, MakeBillingModel(Platform::kAwsLambda),
+                           static_cast<uint64_t>(flags.GetInt("seed", 1)));
+    std::printf("AWS Lambda, %.0f ms CPU, SLO %.0f ms:\n",
+                MicrosToMillis(cpu_demand), slo_ms);
+    std::printf("  recommended memory: %.0f MB (%.1f ms, $%.4g per invocation)\n",
+                r.best.mem_mb, r.best.mean_duration_ms, r.best.cost_per_invocation);
+    std::printf("  reciprocal-model pick: %.0f MB ($%.4g real)\n", r.model_choice.mem_mb,
+                r.model_choice.cost_per_invocation);
+    std::printf("  savings from quantization-awareness: %.2f%%\n",
+                r.savings_fraction * 100.0);
+    return 0;
+  }
+  if (platform == "gcp") {
+    GcpRightsizingConfig cfg;
+    cfg.cpu_demand = cpu_demand;
+    cfg.latency_slo_ms = slo_ms;
+    cfg.mem_mb = flags.GetDouble("mem-mb", 512.0);
+    const RightsizingResult r =
+        RightsizeGcpCpu(cfg, MakeBillingModel(Platform::kGcpCloudRunFunctions),
+                        static_cast<uint64_t>(flags.GetInt("seed", 1)));
+    std::printf("GCP, %.0f ms CPU at %.0f MB, SLO %.0f ms:\n",
+                MicrosToMillis(cpu_demand), cfg.mem_mb, slo_ms);
+    std::printf("  recommended CPU: %.2f vCPUs (%.1f ms, $%.4g per invocation)\n",
+                r.best.vcpu_fraction, r.best.mean_duration_ms, r.best.cost_per_invocation);
+    std::printf("  reciprocal-model pick: %.2f vCPUs ($%.4g real)\n",
+                r.model_choice.vcpu_fraction, r.model_choice.cost_per_invocation);
+    std::printf("  savings from quantization-awareness: %.2f%%\n",
+                r.savings_fraction * 100.0);
+    return 0;
+  }
+  std::fprintf(stderr, "rightsize: --platform must be aws or gcp\n");
+  return 1;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const auto out = flags.Get("out");
+  if (!out.has_value()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 1;
+  }
+  TraceGenConfig cfg;
+  cfg.num_requests = flags.GetInt("requests", 100'000);
+  cfg.num_functions = flags.GetInt("functions", 1'000);
+  TraceGenerator gen(cfg, static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  const auto trace = gen.Generate();
+  const size_t written = WriteTraceCsvFile(*out, trace);
+  if (written == 0) {
+    std::fprintf(stderr, "generate: could not write %s\n", out->c_str());
+    return 1;
+  }
+  std::printf("Wrote %zu records to %s\n", written, out->c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: faascost <command> [flags]\n"
+               "  platforms                            list supported platforms\n"
+               "  bill --platform P --exec-ms N ...    bill one request\n"
+               "  audit [--trace f.csv|--requests N]   cost a workload on all platforms\n"
+               "  rightsize --cpu-ms N --slo-ms N      quantization-aware rightsizing\n"
+               "  generate --out f.csv [--requests N]  write a synthetic trace\n");
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (cmd == "platforms") {
+    return CmdPlatforms();
+  }
+  if (cmd == "bill") {
+    return CmdBill(flags);
+  }
+  if (cmd == "audit") {
+    return CmdAudit(flags);
+  }
+  if (cmd == "rightsize") {
+    return CmdRightsize(flags);
+  }
+  if (cmd == "generate") {
+    return CmdGenerate(flags);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace faascost
+
+int main(int argc, char** argv) { return faascost::Main(argc, argv); }

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_autoscaler.dir/bench_ablation_autoscaler.cc.o"
+  "CMakeFiles/bench_ablation_autoscaler.dir/bench_ablation_autoscaler.cc.o.d"
+  "bench_ablation_autoscaler"
+  "bench_ablation_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coldstart_runtimes.dir/bench_coldstart_runtimes.cc.o"
+  "CMakeFiles/bench_coldstart_runtimes.dir/bench_coldstart_runtimes.cc.o.d"
+  "bench_coldstart_runtimes"
+  "bench_coldstart_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coldstart_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cotenancy.dir/bench_cotenancy.cc.o"
+  "CMakeFiles/bench_cotenancy.dir/bench_cotenancy.cc.o.d"
+  "bench_cotenancy"
+  "bench_cotenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cotenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

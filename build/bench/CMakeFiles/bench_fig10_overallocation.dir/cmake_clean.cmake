@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_overallocation.dir/bench_fig10_overallocation.cc.o"
+  "CMakeFiles/bench_fig10_overallocation.dir/bench_fig10_overallocation.cc.o.d"
+  "bench_fig10_overallocation"
+  "bench_fig10_overallocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_overallocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

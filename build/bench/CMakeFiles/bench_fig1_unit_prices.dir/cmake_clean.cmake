@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_unit_prices.dir/bench_fig1_unit_prices.cc.o"
+  "CMakeFiles/bench_fig1_unit_prices.dir/bench_fig1_unit_prices.cc.o.d"
+  "bench_fig1_unit_prices"
+  "bench_fig1_unit_prices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_unit_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

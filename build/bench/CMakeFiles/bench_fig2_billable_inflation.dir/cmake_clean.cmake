@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_billable_inflation.dir/bench_fig2_billable_inflation.cc.o"
+  "CMakeFiles/bench_fig2_billable_inflation.dir/bench_fig2_billable_inflation.cc.o.d"
+  "bench_fig2_billable_inflation"
+  "bench_fig2_billable_inflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_billable_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_coldstart_cost.cc" "bench/CMakeFiles/bench_fig4_coldstart_cost.dir/bench_fig4_coldstart_cost.cc.o" "gcc" "bench/CMakeFiles/bench_fig4_coldstart_cost.dir/bench_fig4_coldstart_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/faascost_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/faascost_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/faascost_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/faascost_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/billing/CMakeFiles/faascost_billing.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/faascost_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faascost_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

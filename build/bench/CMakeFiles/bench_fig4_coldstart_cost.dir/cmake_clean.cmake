@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_coldstart_cost.dir/bench_fig4_coldstart_cost.cc.o"
+  "CMakeFiles/bench_fig4_coldstart_cost.dir/bench_fig4_coldstart_cost.cc.o.d"
+  "bench_fig4_coldstart_cost"
+  "bench_fig4_coldstart_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_coldstart_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

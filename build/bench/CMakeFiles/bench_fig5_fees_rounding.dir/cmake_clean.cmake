@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fees_rounding.dir/bench_fig5_fees_rounding.cc.o"
+  "CMakeFiles/bench_fig5_fees_rounding.dir/bench_fig5_fees_rounding.cc.o.d"
+  "bench_fig5_fees_rounding"
+  "bench_fig5_fees_rounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fees_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_concurrency.dir/bench_fig6_concurrency.cc.o"
+  "CMakeFiles/bench_fig6_concurrency.dir/bench_fig6_concurrency.cc.o.d"
+  "bench_fig6_concurrency"
+  "bench_fig6_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

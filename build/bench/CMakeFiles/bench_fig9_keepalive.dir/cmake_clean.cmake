@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_keepalive.dir/bench_fig9_keepalive.cc.o"
+  "CMakeFiles/bench_fig9_keepalive.dir/bench_fig9_keepalive.cc.o.d"
+  "bench_fig9_keepalive"
+  "bench_fig9_keepalive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_keepalive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fleet_economics.dir/bench_fleet_economics.cc.o"
+  "CMakeFiles/bench_fleet_economics.dir/bench_fleet_economics.cc.o.d"
+  "bench_fleet_economics"
+  "bench_fleet_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fleet_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instance_billing.dir/bench_instance_billing.cc.o"
+  "CMakeFiles/bench_instance_billing.dir/bench_instance_billing.cc.o.d"
+  "bench_instance_billing"
+  "bench_instance_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instance_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

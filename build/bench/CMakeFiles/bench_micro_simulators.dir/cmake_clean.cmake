@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_simulators.dir/bench_micro_simulators.cc.o"
+  "CMakeFiles/bench_micro_simulators.dir/bench_micro_simulators.cc.o.d"
+  "bench_micro_simulators"
+  "bench_micro_simulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_simulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

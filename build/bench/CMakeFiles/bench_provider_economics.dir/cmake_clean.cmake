@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_provider_economics.dir/bench_provider_economics.cc.o"
+  "CMakeFiles/bench_provider_economics.dir/bench_provider_economics.cc.o.d"
+  "bench_provider_economics"
+  "bench_provider_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_provider_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

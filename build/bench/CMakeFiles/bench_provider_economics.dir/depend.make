@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_provider_economics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ka_behavior.dir/bench_table2_ka_behavior.cc.o"
+  "CMakeFiles/bench_table2_ka_behavior.dir/bench_table2_ka_behavior.cc.o.d"
+  "bench_table2_ka_behavior"
+  "bench_table2_ka_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ka_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_param_inference.dir/bench_table3_param_inference.cc.o"
+  "CMakeFiles/bench_table3_param_inference.dir/bench_table3_param_inference.cc.o.d"
+  "bench_table3_param_inference"
+  "bench_table3_param_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_param_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

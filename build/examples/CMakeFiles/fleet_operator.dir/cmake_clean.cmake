@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_operator.dir/fleet_operator.cpp.o"
+  "CMakeFiles/fleet_operator.dir/fleet_operator.cpp.o.d"
+  "fleet_operator"
+  "fleet_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

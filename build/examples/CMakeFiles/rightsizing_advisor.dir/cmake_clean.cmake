@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rightsizing_advisor.dir/rightsizing_advisor.cpp.o"
+  "CMakeFiles/rightsizing_advisor.dir/rightsizing_advisor.cpp.o.d"
+  "rightsizing_advisor"
+  "rightsizing_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rightsizing_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

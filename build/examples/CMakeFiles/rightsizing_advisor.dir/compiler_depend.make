@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rightsizing_advisor.
+# This may be replaced when dependencies are built.

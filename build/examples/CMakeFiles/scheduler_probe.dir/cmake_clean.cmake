@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_probe.dir/scheduler_probe.cpp.o"
+  "CMakeFiles/scheduler_probe.dir/scheduler_probe.cpp.o.d"
+  "scheduler_probe"
+  "scheduler_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/billing/analysis.cc" "src/billing/CMakeFiles/faascost_billing.dir/analysis.cc.o" "gcc" "src/billing/CMakeFiles/faascost_billing.dir/analysis.cc.o.d"
+  "/root/repo/src/billing/catalog.cc" "src/billing/CMakeFiles/faascost_billing.dir/catalog.cc.o" "gcc" "src/billing/CMakeFiles/faascost_billing.dir/catalog.cc.o.d"
+  "/root/repo/src/billing/instance_time.cc" "src/billing/CMakeFiles/faascost_billing.dir/instance_time.cc.o" "gcc" "src/billing/CMakeFiles/faascost_billing.dir/instance_time.cc.o.d"
+  "/root/repo/src/billing/model.cc" "src/billing/CMakeFiles/faascost_billing.dir/model.cc.o" "gcc" "src/billing/CMakeFiles/faascost_billing.dir/model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/faascost_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/faascost_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

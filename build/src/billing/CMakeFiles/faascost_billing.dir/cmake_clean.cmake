@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faascost_billing.dir/analysis.cc.o"
+  "CMakeFiles/faascost_billing.dir/analysis.cc.o.d"
+  "CMakeFiles/faascost_billing.dir/catalog.cc.o"
+  "CMakeFiles/faascost_billing.dir/catalog.cc.o.d"
+  "CMakeFiles/faascost_billing.dir/instance_time.cc.o"
+  "CMakeFiles/faascost_billing.dir/instance_time.cc.o.d"
+  "CMakeFiles/faascost_billing.dir/model.cc.o"
+  "CMakeFiles/faascost_billing.dir/model.cc.o.d"
+  "libfaascost_billing.a"
+  "libfaascost_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faascost_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

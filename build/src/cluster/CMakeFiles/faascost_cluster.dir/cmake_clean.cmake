@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faascost_cluster.dir/fleet_sim.cc.o"
+  "CMakeFiles/faascost_cluster.dir/fleet_sim.cc.o.d"
+  "CMakeFiles/faascost_cluster.dir/placement.cc.o"
+  "CMakeFiles/faascost_cluster.dir/placement.cc.o.d"
+  "libfaascost_cluster.a"
+  "libfaascost_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faascost_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfaascost_cluster.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faascost_common.dir/chart.cc.o"
+  "CMakeFiles/faascost_common.dir/chart.cc.o.d"
+  "CMakeFiles/faascost_common.dir/histogram.cc.o"
+  "CMakeFiles/faascost_common.dir/histogram.cc.o.d"
+  "CMakeFiles/faascost_common.dir/rng.cc.o"
+  "CMakeFiles/faascost_common.dir/rng.cc.o.d"
+  "CMakeFiles/faascost_common.dir/stats.cc.o"
+  "CMakeFiles/faascost_common.dir/stats.cc.o.d"
+  "CMakeFiles/faascost_common.dir/table.cc.o"
+  "CMakeFiles/faascost_common.dir/table.cc.o.d"
+  "libfaascost_common.a"
+  "libfaascost_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faascost_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faascost_core.dir/cost_decomposition.cc.o"
+  "CMakeFiles/faascost_core.dir/cost_decomposition.cc.o.d"
+  "CMakeFiles/faascost_core.dir/exploits.cc.o"
+  "CMakeFiles/faascost_core.dir/exploits.cc.o.d"
+  "CMakeFiles/faascost_core.dir/provider_economics.cc.o"
+  "CMakeFiles/faascost_core.dir/provider_economics.cc.o.d"
+  "CMakeFiles/faascost_core.dir/rightsizing.cc.o"
+  "CMakeFiles/faascost_core.dir/rightsizing.cc.o.d"
+  "libfaascost_core.a"
+  "libfaascost_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faascost_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/autoscaler.cc" "src/platform/CMakeFiles/faascost_platform.dir/autoscaler.cc.o" "gcc" "src/platform/CMakeFiles/faascost_platform.dir/autoscaler.cc.o.d"
+  "/root/repo/src/platform/coldstart.cc" "src/platform/CMakeFiles/faascost_platform.dir/coldstart.cc.o" "gcc" "src/platform/CMakeFiles/faascost_platform.dir/coldstart.cc.o.d"
+  "/root/repo/src/platform/keepalive.cc" "src/platform/CMakeFiles/faascost_platform.dir/keepalive.cc.o" "gcc" "src/platform/CMakeFiles/faascost_platform.dir/keepalive.cc.o.d"
+  "/root/repo/src/platform/platform_sim.cc" "src/platform/CMakeFiles/faascost_platform.dir/platform_sim.cc.o" "gcc" "src/platform/CMakeFiles/faascost_platform.dir/platform_sim.cc.o.d"
+  "/root/repo/src/platform/presets.cc" "src/platform/CMakeFiles/faascost_platform.dir/presets.cc.o" "gcc" "src/platform/CMakeFiles/faascost_platform.dir/presets.cc.o.d"
+  "/root/repo/src/platform/serving.cc" "src/platform/CMakeFiles/faascost_platform.dir/serving.cc.o" "gcc" "src/platform/CMakeFiles/faascost_platform.dir/serving.cc.o.d"
+  "/root/repo/src/platform/workload.cc" "src/platform/CMakeFiles/faascost_platform.dir/workload.cc.o" "gcc" "src/platform/CMakeFiles/faascost_platform.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/faascost_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/faascost_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faascost_platform.dir/autoscaler.cc.o"
+  "CMakeFiles/faascost_platform.dir/autoscaler.cc.o.d"
+  "CMakeFiles/faascost_platform.dir/coldstart.cc.o"
+  "CMakeFiles/faascost_platform.dir/coldstart.cc.o.d"
+  "CMakeFiles/faascost_platform.dir/keepalive.cc.o"
+  "CMakeFiles/faascost_platform.dir/keepalive.cc.o.d"
+  "CMakeFiles/faascost_platform.dir/platform_sim.cc.o"
+  "CMakeFiles/faascost_platform.dir/platform_sim.cc.o.d"
+  "CMakeFiles/faascost_platform.dir/presets.cc.o"
+  "CMakeFiles/faascost_platform.dir/presets.cc.o.d"
+  "CMakeFiles/faascost_platform.dir/serving.cc.o"
+  "CMakeFiles/faascost_platform.dir/serving.cc.o.d"
+  "CMakeFiles/faascost_platform.dir/workload.cc.o"
+  "CMakeFiles/faascost_platform.dir/workload.cc.o.d"
+  "libfaascost_platform.a"
+  "libfaascost_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faascost_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

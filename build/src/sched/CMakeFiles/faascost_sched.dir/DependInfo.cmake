@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bandwidth_sim.cc" "src/sched/CMakeFiles/faascost_sched.dir/bandwidth_sim.cc.o" "gcc" "src/sched/CMakeFiles/faascost_sched.dir/bandwidth_sim.cc.o.d"
+  "/root/repo/src/sched/closed_form.cc" "src/sched/CMakeFiles/faascost_sched.dir/closed_form.cc.o" "gcc" "src/sched/CMakeFiles/faascost_sched.dir/closed_form.cc.o.d"
+  "/root/repo/src/sched/config.cc" "src/sched/CMakeFiles/faascost_sched.dir/config.cc.o" "gcc" "src/sched/CMakeFiles/faascost_sched.dir/config.cc.o.d"
+  "/root/repo/src/sched/host_sim.cc" "src/sched/CMakeFiles/faascost_sched.dir/host_sim.cc.o" "gcc" "src/sched/CMakeFiles/faascost_sched.dir/host_sim.cc.o.d"
+  "/root/repo/src/sched/inference.cc" "src/sched/CMakeFiles/faascost_sched.dir/inference.cc.o" "gcc" "src/sched/CMakeFiles/faascost_sched.dir/inference.cc.o.d"
+  "/root/repo/src/sched/overalloc.cc" "src/sched/CMakeFiles/faascost_sched.dir/overalloc.cc.o" "gcc" "src/sched/CMakeFiles/faascost_sched.dir/overalloc.cc.o.d"
+  "/root/repo/src/sched/profiler.cc" "src/sched/CMakeFiles/faascost_sched.dir/profiler.cc.o" "gcc" "src/sched/CMakeFiles/faascost_sched.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/faascost_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

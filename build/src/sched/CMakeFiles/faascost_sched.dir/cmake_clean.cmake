@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faascost_sched.dir/bandwidth_sim.cc.o"
+  "CMakeFiles/faascost_sched.dir/bandwidth_sim.cc.o.d"
+  "CMakeFiles/faascost_sched.dir/closed_form.cc.o"
+  "CMakeFiles/faascost_sched.dir/closed_form.cc.o.d"
+  "CMakeFiles/faascost_sched.dir/config.cc.o"
+  "CMakeFiles/faascost_sched.dir/config.cc.o.d"
+  "CMakeFiles/faascost_sched.dir/host_sim.cc.o"
+  "CMakeFiles/faascost_sched.dir/host_sim.cc.o.d"
+  "CMakeFiles/faascost_sched.dir/inference.cc.o"
+  "CMakeFiles/faascost_sched.dir/inference.cc.o.d"
+  "CMakeFiles/faascost_sched.dir/overalloc.cc.o"
+  "CMakeFiles/faascost_sched.dir/overalloc.cc.o.d"
+  "CMakeFiles/faascost_sched.dir/profiler.cc.o"
+  "CMakeFiles/faascost_sched.dir/profiler.cc.o.d"
+  "libfaascost_sched.a"
+  "libfaascost_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faascost_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generator.cc" "src/trace/CMakeFiles/faascost_trace.dir/generator.cc.o" "gcc" "src/trace/CMakeFiles/faascost_trace.dir/generator.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/trace/CMakeFiles/faascost_trace.dir/io.cc.o" "gcc" "src/trace/CMakeFiles/faascost_trace.dir/io.cc.o.d"
+  "/root/repo/src/trace/summary.cc" "src/trace/CMakeFiles/faascost_trace.dir/summary.cc.o" "gcc" "src/trace/CMakeFiles/faascost_trace.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/faascost_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faascost_trace.dir/generator.cc.o"
+  "CMakeFiles/faascost_trace.dir/generator.cc.o.d"
+  "CMakeFiles/faascost_trace.dir/io.cc.o"
+  "CMakeFiles/faascost_trace.dir/io.cc.o.d"
+  "CMakeFiles/faascost_trace.dir/summary.cc.o"
+  "CMakeFiles/faascost_trace.dir/summary.cc.o.d"
+  "libfaascost_trace.a"
+  "libfaascost_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faascost_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

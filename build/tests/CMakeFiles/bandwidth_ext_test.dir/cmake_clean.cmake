@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_ext_test.dir/sched/bandwidth_ext_test.cc.o"
+  "CMakeFiles/bandwidth_ext_test.dir/sched/bandwidth_ext_test.cc.o.d"
+  "bandwidth_ext_test"
+  "bandwidth_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

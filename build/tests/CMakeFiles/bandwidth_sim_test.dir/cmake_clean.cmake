@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_sim_test.dir/sched/bandwidth_sim_test.cc.o"
+  "CMakeFiles/bandwidth_sim_test.dir/sched/bandwidth_sim_test.cc.o.d"
+  "bandwidth_sim_test"
+  "bandwidth_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

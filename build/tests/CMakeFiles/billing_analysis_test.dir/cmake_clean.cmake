@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billing_analysis_test.dir/billing/analysis_test.cc.o"
+  "CMakeFiles/billing_analysis_test.dir/billing/analysis_test.cc.o.d"
+  "billing_analysis_test"
+  "billing_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billing_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billing_catalog_test.dir/billing/catalog_test.cc.o"
+  "CMakeFiles/billing_catalog_test.dir/billing/catalog_test.cc.o.d"
+  "billing_catalog_test"
+  "billing_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billing_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billing_golden_test.dir/billing/golden_test.cc.o"
+  "CMakeFiles/billing_golden_test.dir/billing/golden_test.cc.o.d"
+  "billing_golden_test"
+  "billing_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billing_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billing_model_test.dir/billing/model_test.cc.o"
+  "CMakeFiles/billing_model_test.dir/billing/model_test.cc.o.d"
+  "billing_model_test"
+  "billing_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billing_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billing_property_test.dir/billing/property_test.cc.o"
+  "CMakeFiles/billing_property_test.dir/billing/property_test.cc.o.d"
+  "billing_property_test"
+  "billing_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billing_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coldstart_test.dir/platform/coldstart_test.cc.o"
+  "CMakeFiles/coldstart_test.dir/platform/coldstart_test.cc.o.d"
+  "coldstart_test"
+  "coldstart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldstart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

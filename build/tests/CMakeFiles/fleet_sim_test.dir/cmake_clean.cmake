@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_sim_test.dir/cluster/fleet_sim_test.cc.o"
+  "CMakeFiles/fleet_sim_test.dir/cluster/fleet_sim_test.cc.o.d"
+  "fleet_sim_test"
+  "fleet_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_sim_test.dir/sched/host_sim_test.cc.o"
+  "CMakeFiles/host_sim_test.dir/sched/host_sim_test.cc.o.d"
+  "host_sim_test"
+  "host_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

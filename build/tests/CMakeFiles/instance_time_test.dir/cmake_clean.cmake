@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_time_test.dir/billing/instance_time_test.cc.o"
+  "CMakeFiles/instance_time_test.dir/billing/instance_time_test.cc.o.d"
+  "instance_time_test"
+  "instance_time_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

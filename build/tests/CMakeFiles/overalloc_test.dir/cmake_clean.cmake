@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overalloc_test.dir/sched/overalloc_test.cc.o"
+  "CMakeFiles/overalloc_test.dir/sched/overalloc_test.cc.o.d"
+  "overalloc_test"
+  "overalloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overalloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_edge_test.dir/platform/platform_edge_test.cc.o"
+  "CMakeFiles/platform_edge_test.dir/platform/platform_edge_test.cc.o.d"
+  "platform_edge_test"
+  "platform_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_sim_test.dir/platform/platform_sim_test.cc.o"
+  "CMakeFiles/platform_sim_test.dir/platform/platform_sim_test.cc.o.d"
+  "platform_sim_test"
+  "platform_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

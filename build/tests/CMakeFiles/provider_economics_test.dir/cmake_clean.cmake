@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provider_economics_test.dir/core/provider_economics_test.cc.o"
+  "CMakeFiles/provider_economics_test.dir/core/provider_economics_test.cc.o.d"
+  "provider_economics_test"
+  "provider_economics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provider_economics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

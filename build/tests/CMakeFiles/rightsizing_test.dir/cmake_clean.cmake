@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rightsizing_test.dir/core/rightsizing_test.cc.o"
+  "CMakeFiles/rightsizing_test.dir/core/rightsizing_test.cc.o.d"
+  "rightsizing_test"
+  "rightsizing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rightsizing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

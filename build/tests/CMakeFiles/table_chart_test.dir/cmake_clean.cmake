@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_chart_test.dir/common/table_chart_test.cc.o"
+  "CMakeFiles/table_chart_test.dir/common/table_chart_test.cc.o.d"
+  "table_chart_test"
+  "table_chart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_chart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_sweep_test.dir/trace/generator_sweep_test.cc.o"
+  "CMakeFiles/trace_sweep_test.dir/trace/generator_sweep_test.cc.o.d"
+  "trace_sweep_test"
+  "trace_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faascost.dir/faascost_cli.cc.o"
+  "CMakeFiles/faascost.dir/faascost_cli.cc.o.d"
+  "faascost"
+  "faascost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faascost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,174 @@
+// Cost of failure: how much of a serverless bill is spent on invocations
+// that never succeed, and how client retries amplify it.
+//
+// Platforms bill failed attempts too — AWS bills crashed executions up to
+// the abort point and timed-out ones through the full limit, and the
+// per-invocation fee is charged regardless of outcome. On top of that, a
+// crash takes its sandbox down, so the retry pays a fresh cold start
+// (billed turnaround time on AWS). This bench sweeps the per-attempt
+// failure rate under fixed retry policies on both serving models and
+// reports the billable inflation: cost per *successful* request,
+// normalized to the zero-failure run.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/billing/catalog.h"
+#include "src/common/table.h"
+#include "src/platform/platform_sim.h"
+#include "src/platform/presets.h"
+#include "src/platform/workload.h"
+
+namespace faascost {
+namespace {
+
+struct RunStats {
+  double cost_per_success = 0.0;
+  Usd total = 0.0;
+  Usd failed_cost = 0.0;
+  int64_t successes = 0;
+  int64_t attempts = 0;
+  int cold_starts = 0;
+};
+
+RunStats RunOnce(PlatformSimConfig config, const BillingModel& billing, double rate,
+                 int max_attempts, uint64_t seed) {
+  config.faults.crash_prob = rate;
+  config.faults.init_failure_prob = rate / 4.0;
+  config.retry.max_attempts = max_attempts;
+  PlatformSim sim(config, seed);
+  const PlatformSimResult res =
+      sim.Run(UniformArrivals(4.0, 180 * kMicrosPerSec), PyAesWorkload());
+  RunStats out;
+  for (const auto& att : res.attempts) {
+    const Invoice inv =
+        ComputeInvoice(billing, BillableRecord(att, config.vcpus, config.mem_mb));
+    out.total += inv.total;
+    if (att.outcome != Outcome::kOk) {
+      out.failed_cost += inv.total;
+    }
+  }
+  out.successes = res.successes;
+  out.attempts = static_cast<int64_t>(res.attempts.size());
+  out.cold_starts = res.cold_starts;
+  if (out.successes > 0) {
+    out.cost_per_success = out.total / static_cast<double>(out.successes);
+  }
+  return out;
+}
+
+void SweepModel(const char* title, const PlatformSimConfig& base,
+                const BillingModel& billing, uint64_t seed) {
+  PrintHeader(title);
+  for (const int max_attempts : {1, 3}) {
+    std::printf("\nRetry policy: %d attempt(s)%s\n", max_attempts,
+                max_attempts > 1 ? " with exponential backoff + full jitter" : "");
+    TextTable table({"failure rate", "attempts", "ok", "cold starts", "billed $",
+                     "failed-$ share", "$/success", "inflation"});
+    double baseline = 0.0;
+    for (const double rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+      const RunStats s = RunOnce(base, billing, rate, max_attempts, seed);
+      if (rate == 0.0) {
+        baseline = s.cost_per_success;
+      }
+      const double inflation =
+          baseline > 0.0 && s.cost_per_success > 0.0 ? s.cost_per_success / baseline : 0.0;
+      table.AddRow({FormatPercent(rate, 0), FormatDouble(s.attempts, 0),
+                    FormatDouble(static_cast<double>(s.successes), 0),
+                    FormatDouble(s.cold_starts, 0), FormatDouble(s.total, 6),
+                    FormatPercent(s.total > 0 ? s.failed_cost / s.total : 0.0, 1),
+                    FormatSci(s.cost_per_success, 3),
+                    s.successes > 0 ? FormatDouble(inflation, 3) + "x"
+                                    : std::string("n/a")});
+    }
+    std::printf("%s", table.Render().c_str());
+  }
+}
+
+// Process death on a shared sandbox: when a crash kills every co-resident
+// request, retried batches die together and retries turn a moderate failure
+// rate into a storm of billed-but-failed attempts.
+void ProcessDeathTable() {
+  PrintHeader("Process death amplification (GCP multi-concurrency, crash kills sandbox)");
+  const BillingModel billing = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  TextTable table({"crash isolation", "retries", "attempts", "ok", "cold starts",
+                   "billed $", "failed-$ share"});
+  for (const bool kills : {false, true}) {
+    for (const int max_attempts : {1, 3}) {
+      PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+      cfg.faults.crash_kills_sandbox = kills;
+      const RunStats s = RunOnce(cfg, billing, /*rate=*/0.05, max_attempts, /*seed=*/22);
+      table.AddRow({kills ? "process death" : "request only",
+                    FormatDouble(max_attempts, 0), FormatDouble(s.attempts, 0),
+                    FormatDouble(static_cast<double>(s.successes), 0),
+                    FormatDouble(s.cold_starts, 0), FormatDouble(s.total, 6),
+                    FormatPercent(s.total > 0 ? s.failed_cost / s.total : 0.0, 1)});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+// What a single failed invocation is billed across the catalog: a crash at
+// 40% of a 200 ms execution, a timeout cut at a 1 s limit, and a 429.
+void FailureBillingTable() {
+  PrintHeader("What one failed invocation costs (1 vCPU / 1769 MB class)");
+  TextTable table({"Platform", "ok 200ms $", "crash@80ms $", "timeout@1s $", "429 $"});
+  for (Platform p : AllPlatforms()) {
+    const BillingModel m = MakeBillingModel(p);
+    RequestRecord ok;
+    ok.exec_duration = 200 * kMicrosPerMilli;
+    ok.cpu_time = 160 * kMicrosPerMilli;
+    ok.alloc_vcpus = 1.0;
+    ok.alloc_mem_mb = 1'769.0;
+    ok.used_mem_mb = 512.0;
+
+    RequestRecord crash = ok;
+    crash.outcome = Outcome::kCrash;
+    crash.exec_duration = 80 * kMicrosPerMilli;  // Crashed at 40%.
+    crash.cpu_time = 64 * kMicrosPerMilli;
+
+    RequestRecord timeout = ok;
+    timeout.outcome = Outcome::kTimeout;
+    timeout.exec_duration = 1'000 * kMicrosPerMilli;  // Ran through the limit.
+    timeout.cpu_time = 800 * kMicrosPerMilli;
+
+    RequestRecord rejected = ok;
+    rejected.outcome = Outcome::kRejected;
+    rejected.exec_duration = 0;
+    rejected.cpu_time = 0;
+
+    table.AddRow({m.platform, FormatSci(ComputeInvoice(m, ok).total, 3),
+                  FormatSci(ComputeInvoice(m, crash).total, 3),
+                  FormatSci(ComputeInvoice(m, timeout).total, 3),
+                  FormatSci(ComputeInvoice(m, rejected).total, 3)});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace faascost
+
+int main() {
+  using namespace faascost;
+  SweepModel("Cost of failure: AWS Lambda (single-concurrency, turnaround billing)",
+             AwsLambdaPlatform(1.0, 1'769.0), MakeBillingModel(Platform::kAwsLambda),
+             /*seed=*/21);
+  // For the multi-concurrency sweep, crashes abort only their own request;
+  // process death (a crash killing every co-resident request) is studied
+  // separately below, because with retries it compounds into a retry storm
+  // rather than a smooth per-rate trend.
+  PlatformSimConfig gcp = GcpPlatform(1.0, 1'024.0);
+  gcp.faults.crash_kills_sandbox = false;
+  SweepModel("Cost of failure: GCP Cloud Run functions (multi-concurrency)", gcp,
+             MakeBillingModel(Platform::kGcpCloudRunFunctions),
+             /*seed=*/22);
+  ProcessDeathTable();
+  FailureBillingTable();
+  std::printf(
+      "\nReading: 'inflation' is billed cost per successful request relative to\n"
+      "the zero-failure run. Retries recover availability but multiply billed\n"
+      "attempts; crashes also destroy sandboxes, so retried work re-pays cold\n"
+      "starts (billed as turnaround time on AWS/GCP/IBM).\n");
+  return 0;
+}

@@ -62,6 +62,13 @@ BillingModel MakeBillingModel(Platform p) {
       m.memory_step_mb = 1.0;
       m.min_memory_mb = 128.0;
       m.max_memory_mb = 10240.0;
+      // Failures: timeouts and crashes bill the duration actually run, and
+      // since August 2025 the INIT phase of failed initializations is billed
+      // too. Throttled (429) requests are free.
+      m.failure.bill_failed_duration = true;
+      m.failure.bill_init_failure = true;
+      m.failure.fee_on_failure = true;
+      m.failure.fee_on_rejection = false;
       break;
     }
     case Platform::kGcpCloudRunFunctions: {
@@ -107,6 +114,13 @@ BillingModel MakeBillingModel(Platform p) {
       m.cpu_knob = CpuKnob::kFixed;
       m.fixed_vcpus = 1.0;
       m.fixed_mem_mb = 1536.0;
+      // Failures: only completed executions accrue GB-s charges (consumed
+      // memory is metered at completion); the per-execution fee still counts
+      // every triggered execution.
+      m.failure.bill_failed_duration = false;
+      m.failure.bill_init_failure = false;
+      m.failure.fee_on_failure = true;
+      m.failure.fee_on_rejection = false;
       break;
     }
     case Platform::kAzureFlexConsumption: {

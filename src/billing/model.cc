@@ -114,8 +114,41 @@ MicroSecs BillableTimeOf(const BillingModel& model, const RequestRecord& request
   return std::max(t, model.min_billable_time);
 }
 
+namespace {
+
+// Whether the failure rules bill any resource time for this outcome.
+bool BillsResources(const FailureBillingRules& rules, Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk:
+      return true;
+    case Outcome::kCrash:
+    case Outcome::kTimeout:
+      return rules.bill_failed_duration;
+    case Outcome::kInitFailure:
+      return rules.bill_init_failure;
+    case Outcome::kRejected:
+      return false;  // Never admitted; nothing ran.
+    case Outcome::kRetriesExhausted:
+      // Request-level aggregate; bill like the underlying failed attempt.
+      return rules.bill_failed_duration;
+  }
+  return true;
+}
+
+}  // namespace
+
 Invoice ComputeInvoice(const BillingModel& model, const RequestRecord& request) {
   Invoice inv;
+  if (request.outcome == Outcome::kRejected) {
+    inv.invocation_cost = model.failure.fee_on_rejection ? model.invocation_fee : 0.0;
+    inv.total = inv.invocation_cost;
+    return inv;
+  }
+  if (!BillsResources(model.failure, request.outcome)) {
+    inv.invocation_cost = model.failure.fee_on_failure ? model.invocation_fee : 0.0;
+    inv.total = inv.invocation_cost;
+    return inv;
+  }
   const SnappedAllocation alloc =
       SnapAllocation(model, request.alloc_vcpus, request.alloc_mem_mb);
   inv.billable_time = BillableTimeOf(model, request);
@@ -148,7 +181,10 @@ Invoice ComputeInvoice(const BillingModel& model, const RequestRecord& request) 
     inv.resource_cost += model.price_per_gb_second * inv.billable_gb_seconds;
   }
 
-  inv.invocation_cost = model.invocation_fee;
+  inv.invocation_cost =
+      request.outcome == Outcome::kOk || model.failure.fee_on_failure
+          ? model.invocation_fee
+          : 0.0;
   inv.total = inv.resource_cost + inv.invocation_cost;
   return inv;
 }

@@ -42,6 +42,28 @@ enum class CpuKnob {
   kFixed,                 // Platform-fixed size (Azure Consumption, Cloudflare).
 };
 
+// How the platform bills invocations that do not succeed (paper's billing
+// audit extended to the failure path). The defaults describe the common
+// behavior: failed and timed-out executions are billed for their reported
+// duration, init failures are not billed, the per-invocation fee is charged
+// regardless of outcome, and 429 rejections are free.
+struct FailureBillingRules {
+  // Charge resource time for crashed/timed-out attempts (duration up to the
+  // crash point or through the timeout). When false the platform eats the
+  // resource cost of failures (Azure Consumption bills only completed
+  // executions).
+  bool bill_failed_duration = true;
+  // Charge the initialization time of a failed cold start. Only meaningful
+  // under BillableTime::kTurnaround, where init is part of billable time
+  // (AWS bills INIT_REPORT duration for runtime init failures).
+  bool bill_init_failure = false;
+  // Charge the invocation fee C_0 for failed (admitted) attempts.
+  bool fee_on_failure = true;
+  // Charge the invocation fee for overload rejections (429). Rejected
+  // attempts never consume resources, so this is their only possible cost.
+  bool fee_on_rejection = false;
+};
+
 struct BillingModel {
   std::string platform;
 
@@ -66,6 +88,8 @@ struct BillingModel {
   Usd price_per_gb_second = 0.0;
 
   Usd invocation_fee = 0.0;  // C_0.
+
+  FailureBillingRules failure;  // How non-success outcomes are priced.
 
   // --- Control-knob model (how trace allocations map onto this platform) ---
   CpuKnob cpu_knob = CpuKnob::kIndependent;
@@ -109,7 +133,10 @@ struct Invoice {
 
 // Bills one trace request under `model`. The trace allocation is snapped via
 // SnapAllocation; consumption-based components use the record's measured
-// usage.
+// usage. Non-kOk outcomes are priced by `model.failure`: rejections carry at
+// most the invocation fee, not-billed failures cost only the fee (if
+// charged), and billed failures run through the normal resource path on the
+// record's reported duration.
 Invoice ComputeInvoice(const BillingModel& model, const RequestRecord& request);
 
 // Rounds `value` up to a multiple of `granularity` (> 0); identity otherwise.

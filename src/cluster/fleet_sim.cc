@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <queue>
+#include <stdexcept>
 #include <unordered_map>
+
+#include "src/common/rng.h"
 
 namespace faascost {
 
@@ -12,6 +16,24 @@ namespace {
 struct LiveSandbox {
   MicroSecs available_at = 0;
   size_t span_index = 0;
+  bool dead = false;  // Destroyed by a crash; no reuse, no KA linger.
+};
+
+// One dispatch (initial or retry) waiting to be processed. Ordering by
+// (arrival, seq) with seq = trace index for initial attempts reproduces the
+// fault-free per-record iteration order exactly.
+struct PendingAttempt {
+  MicroSecs arrival = 0;
+  int64_t seq = 0;
+  size_t trace_idx = 0;
+  int attempt = 1;
+
+  bool operator>(const PendingAttempt& other) const {
+    if (arrival != other.arrival) {
+      return arrival > other.arrival;
+    }
+    return seq > other.seq;
+  }
 };
 
 Usd SpanRate(const SandboxSpan& span, const FleetSimConfig& cfg) {
@@ -28,56 +50,178 @@ RequestRecord Billed(const RequestRecord& r, bool cold, const FleetSimConfig& cf
 
 }  // namespace
 
+std::vector<std::string> FleetSimConfig::Validate() const {
+  std::vector<std::string> errors;
+  if (keepalive < 0) {
+    errors.push_back("keepalive must be >= 0, got " + std::to_string(keepalive));
+  }
+  if (init_duration < 0) {
+    errors.push_back("init_duration must be >= 0, got " + std::to_string(init_duration));
+  }
+  if (ka_cost_share < 0.0 || ka_cost_share > 1.0) {
+    errors.push_back("ka_cost_share must be in [0, 1], got " +
+                     std::to_string(ka_cost_share));
+  }
+  if (hardware_per_vcpu_second < 0.0 || hardware_per_gb_second < 0.0) {
+    errors.push_back("hardware rates must be >= 0");
+  }
+  if (failure_rate < 0.0 || failure_rate > 1.0) {
+    errors.push_back("failure_rate must be in [0, 1], got " +
+                     std::to_string(failure_rate));
+  }
+  if (max_exec_duration < 0) {
+    errors.push_back("max_exec_duration must be >= 0 (0 disables), got " +
+                     std::to_string(max_exec_duration));
+  }
+  for (const std::string& e : retry.Validate()) {
+    errors.push_back("retry: " + e);
+  }
+  return errors;
+}
+
 FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
                           const BillingModel& billing, const FleetSimConfig& config) {
+  {
+    const std::vector<std::string> errors = config.Validate();
+    if (!errors.empty()) {
+      std::string msg = "invalid FleetSimConfig";
+      for (const auto& e : errors) {
+        msg += "; " + e;
+      }
+      throw std::invalid_argument(msg);
+    }
+  }
   FleetResult result;
   result.requests = static_cast<int64_t>(trace.size());
+  // The fault stream is separate from everything else and only drawn from
+  // when a failure can actually fire, so a zero-fault config reproduces the
+  // fault-oblivious simulation exactly.
+  Rng fault_rng(config.fault_seed ^ 0x9e3779b97f4a7c15ULL);
 
-  // Per-function sandbox pools, fed in global arrival order.
+  std::priority_queue<PendingAttempt, std::vector<PendingAttempt>,
+                      std::greater<PendingAttempt>>
+      pending;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    assert(trace[i].exec_duration >= 0);
+    pending.push({trace[i].arrival, static_cast<int64_t>(i), i, 1});
+  }
+  int64_t next_seq = static_cast<int64_t>(trace.size());
+
+  // Per-function sandbox pools, fed in global (arrival, seq) order.
   std::unordered_map<int64_t, std::vector<LiveSandbox>> pools;
-  for (const auto& r : trace) {
-    assert(r.exec_duration >= 0);
+  while (!pending.empty()) {
+    const PendingAttempt at = pending.top();
+    pending.pop();
+    const RequestRecord& r = trace[at.trace_idx];
+    ++result.attempts;
+
+    // Sample this attempt's fate. Crashes abort at a uniform point of the
+    // execution; anything running past the platform timeout is cut there.
+    double p = config.failure_rate;
+    if (config.use_trace_failure_rates && r.failure_rate > 0.0) {
+      p = r.failure_rate;
+    }
+    Outcome oc = Outcome::kOk;
+    MicroSecs effective = r.exec_duration;
+    if (p > 0.0 && fault_rng.Bernoulli(p)) {
+      oc = Outcome::kCrash;
+      effective = std::max<MicroSecs>(
+          1, static_cast<MicroSecs>(static_cast<double>(r.exec_duration) *
+                                    (1.0 - fault_rng.NextDouble())));
+    }
+    if (config.max_exec_duration > 0 && effective > config.max_exec_duration) {
+      oc = Outcome::kTimeout;
+      effective = config.max_exec_duration;
+    }
+
     auto& pool = pools[r.function_id];
     // Reuse the most recently freed sandbox that is idle and unexpired.
     LiveSandbox* reuse = nullptr;
     for (auto& sb : pool) {
-      if (sb.available_at <= r.arrival &&
-          r.arrival - sb.available_at <= config.keepalive) {
+      if (!sb.dead && sb.available_at <= at.arrival &&
+          at.arrival - sb.available_at <= config.keepalive) {
         if (reuse == nullptr || sb.available_at > reuse->available_at) {
           reuse = &sb;
         }
       }
     }
+    bool cold = false;
+    MicroSecs end = 0;
     if (reuse != nullptr) {
       SandboxSpan& span = result.spans[reuse->span_index];
-      span.idle += r.arrival - reuse->available_at;
-      span.busy += r.exec_duration;
+      span.idle += at.arrival - reuse->available_at;
+      span.busy += effective;
       ++span.requests;
-      reuse->available_at = r.arrival + r.exec_duration;
-      result.revenue += ComputeInvoice(billing, Billed(r, false, config)).total;
-      result.fee_revenue += billing.invocation_fee;
+      end = at.arrival + effective;
+      reuse->available_at = end;
+      if (oc == Outcome::kCrash) {
+        // Process death: the sandbox dies with the request, no KA linger.
+        reuse->dead = true;
+        span.destroyed_at = end;
+      }
     } else {
+      cold = true;
       SandboxSpan span;
       span.function_id = r.function_id;
       span.vcpus = r.alloc_vcpus;
       span.mem_mb = r.alloc_mem_mb;
-      span.created_at = r.arrival;
-      span.busy = config.init_duration + r.exec_duration;
+      span.created_at = at.arrival;
+      span.busy = config.init_duration + effective;
       span.requests = 1;
-      result.spans.push_back(span);
+      end = at.arrival + config.init_duration + effective;
       LiveSandbox sb;
-      sb.available_at = r.arrival + config.init_duration + r.exec_duration;
-      sb.span_index = result.spans.size() - 1;
+      sb.available_at = end;
+      sb.span_index = result.spans.size();
+      if (oc == Outcome::kCrash) {
+        sb.dead = true;
+        span.destroyed_at = end;
+      }
+      result.spans.push_back(span);
       pool.push_back(sb);
       ++result.cold_starts;
-      result.revenue += ComputeInvoice(billing, Billed(r, true, config)).total;
-      result.fee_revenue += billing.invocation_fee;
+    }
+
+    // Bill the attempt under the platform's failure rules.
+    RequestRecord billed = Billed(r, cold, config);
+    billed.outcome = oc;
+    billed.attempt = at.attempt;
+    if (oc != Outcome::kOk) {
+      billed.exec_duration = effective;
+      billed.cpu_time = r.exec_duration > 0
+                            ? static_cast<MicroSecs>(
+                                  static_cast<double>(r.cpu_time) *
+                                  static_cast<double>(effective) /
+                                  static_cast<double>(r.exec_duration))
+                            : r.cpu_time;
+    }
+    const Invoice inv = ComputeInvoice(billing, billed);
+    result.revenue += inv.total;
+    result.fee_revenue += inv.invocation_cost;
+
+    if (oc != Outcome::kOk) {
+      ++result.failed_attempts;
+      if (oc == Outcome::kCrash) {
+        ++result.crash_attempts;
+      } else {
+        ++result.timeout_attempts;
+      }
+      if (at.attempt < config.retry.max_attempts) {
+        const MicroSecs delay = config.retry.BackoffDelay(at.attempt, fault_rng);
+        pending.push({end + delay, next_seq++, at.trace_idx, at.attempt + 1});
+        ++result.retries;
+      } else {
+        ++result.retries_exhausted;
+      }
     }
   }
 
-  // Close every sandbox: it lingers one keep-alive window past its last use.
+  // Close every surviving sandbox: it lingers one keep-alive window past its
+  // last use (crashed sandboxes were destroyed on the spot).
   for (auto& [fid, pool] : pools) {
     for (const auto& sb : pool) {
+      if (sb.dead) {
+        continue;
+      }
       SandboxSpan& span = result.spans[sb.span_index];
       span.idle += config.keepalive;
       span.destroyed_at = sb.available_at + config.keepalive;

@@ -14,10 +14,12 @@
 #define FAASCOST_CLUSTER_FLEET_SIM_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/billing/model.h"
 #include "src/cluster/placement.h"
+#include "src/platform/faults.h"
 #include "src/trace/record.h"
 
 namespace faascost {
@@ -33,6 +35,25 @@ struct FleetSimConfig {
   // Provider hardware rate for a fully-utilized (1 vCPU, 2 GB) unit.
   Usd hardware_per_vcpu_second = 7.68e-6;
   Usd hardware_per_gb_second = 8.53e-7;
+  // --- Failure injection (fleet-level model: crashes and timeouts) ---
+  // Global per-attempt crash probability. A crash aborts the request at a
+  // uniform point of its execution and destroys the sandbox, so the retry
+  // (and the function's next request) pays a fresh cold start.
+  double failure_rate = 0.0;
+  // Prefer the trace's per-function failure_rate field (when > 0) over the
+  // global rate, so trace-generator heterogeneity carries through.
+  bool use_trace_failure_rates = true;
+  // Platform-enforced execution timeout; requests running longer are aborted
+  // (and billed) at the limit. The sandbox survives a timeout. 0 disables.
+  MicroSecs max_exec_duration = 0;
+  // Client retries of failed attempts; retries re-enter the arrival stream
+  // after backoff and are billed like any other attempt.
+  RetryPolicy retry;
+  uint64_t fault_seed = 1234;  // Seed of the fault RNG stream.
+
+  // Human-readable config errors; empty when valid. SimulateFleet throws
+  // std::invalid_argument on a non-empty result.
+  std::vector<std::string> Validate() const;
 };
 
 // One sandbox's lifetime, for placement and cost accounting.
@@ -49,8 +70,15 @@ struct SandboxSpan {
 
 struct FleetResult {
   int64_t requests = 0;
+  int64_t attempts = 0;  // Dispatched attempts (== requests with no faults).
   int64_t cold_starts = 0;
   int64_t sandboxes = 0;
+  // Failure taxonomy over attempts (all zero in a fault-free run).
+  int64_t failed_attempts = 0;
+  int64_t crash_attempts = 0;
+  int64_t timeout_attempts = 0;
+  int64_t retries = 0;
+  int64_t retries_exhausted = 0;  // Requests whose every attempt failed.
   double sandbox_seconds = 0.0;  // Sum of sandbox lifetimes.
   double busy_seconds = 0.0;
   double idle_seconds = 0.0;
@@ -63,9 +91,11 @@ struct FleetResult {
 };
 
 // Simulates sandbox lifecycles for the whole trace (requests must be sorted
-// by arrival; they are grouped per function internally), bills every request
-// under `billing`, and packs the sandbox spans onto servers to find the
-// fleet's peak size.
+// by arrival; they are grouped per function internally), bills every attempt
+// under `billing` (including failed ones, per its failure rules), and packs
+// the sandbox spans onto servers to find the fleet's peak size. With fault
+// injection enabled, crashed attempts destroy their sandbox and client
+// retries re-enter the arrival stream after backoff.
 FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
                           const BillingModel& billing, const FleetSimConfig& config);
 

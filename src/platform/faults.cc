@@ -1,0 +1,91 @@
+#include "src/platform/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faascost {
+
+namespace {
+
+void CheckProbability(double p, const char* what, std::vector<std::string>* errors) {
+  if (p < 0.0 || p > 1.0 || std::isnan(p)) {
+    errors->push_back(std::string(what) + " must be in [0, 1], got " + std::to_string(p));
+  }
+}
+
+}  // namespace
+
+bool FaultModelConfig::AnyEnabled() const {
+  return init_failure_prob > 0.0 || crash_prob > 0.0 || max_exec_duration > 0 ||
+         reject_on_overload;
+}
+
+std::vector<std::string> FaultModelConfig::Validate() const {
+  std::vector<std::string> errors;
+  CheckProbability(init_failure_prob, "init_failure_prob", &errors);
+  CheckProbability(crash_prob, "crash_prob", &errors);
+  if (max_exec_duration < 0) {
+    errors.push_back("max_exec_duration must be >= 0 (0 disables), got " +
+                     std::to_string(max_exec_duration));
+  }
+  return errors;
+}
+
+MicroSecs RetryPolicy::BackoffDelay(int failed_attempt, Rng& rng) const {
+  double bound = static_cast<double>(backoff_base);
+  for (int i = 1; i < failed_attempt; ++i) {
+    bound *= backoff_multiplier;
+    if (bound >= static_cast<double>(backoff_cap)) {
+      break;
+    }
+  }
+  bound = std::min(bound, static_cast<double>(backoff_cap));
+  if (full_jitter) {
+    bound *= rng.NextDouble();
+  }
+  return std::max<MicroSecs>(1, static_cast<MicroSecs>(bound));
+}
+
+std::vector<std::string> RetryPolicy::Validate() const {
+  std::vector<std::string> errors;
+  if (max_attempts < 1) {
+    errors.push_back("max_attempts must be >= 1 (1 = no retries), got " +
+                     std::to_string(max_attempts));
+  }
+  if (backoff_base <= 0) {
+    errors.push_back("backoff_base must be > 0, got " + std::to_string(backoff_base));
+  }
+  if (backoff_multiplier < 1.0 || std::isnan(backoff_multiplier)) {
+    errors.push_back("backoff_multiplier must be >= 1, got " +
+                     std::to_string(backoff_multiplier));
+  }
+  if (backoff_cap < backoff_base) {
+    errors.push_back("backoff_cap must be >= backoff_base");
+  }
+  if (attempt_timeout < 0) {
+    errors.push_back("attempt_timeout must be >= 0 (0 disables), got " +
+                     std::to_string(attempt_timeout));
+  }
+  return errors;
+}
+
+FaultModel::FaultModel(FaultModelConfig config, uint64_t seed)
+    : config_(config), rng_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+bool FaultModel::SampleInitFailure() {
+  if (config_.init_failure_prob <= 0.0) {
+    return false;
+  }
+  return rng_.Bernoulli(config_.init_failure_prob);
+}
+
+bool FaultModel::SampleCrash() {
+  if (config_.crash_prob <= 0.0) {
+    return false;
+  }
+  return rng_.Bernoulli(config_.crash_prob);
+}
+
+double FaultModel::SampleCrashPoint() { return 1.0 - rng_.NextDouble(); }
+
+}  // namespace faascost

@@ -6,6 +6,7 @@
 #include <deque>
 #include <limits>
 #include <queue>
+#include <stdexcept>
 
 namespace faascost {
 
@@ -18,6 +19,9 @@ enum class EventType {
   kKaExpire,
   kScalerEval,
   kSample,
+  kRetryArrival,   // req_idx = original request index.
+  kExecTimeout,    // req_idx = attempt index (platform-enforced timeout).
+  kClientTimeout,  // req_idx = attempt index (client abandons the attempt).
 };
 
 struct Event {
@@ -32,8 +36,10 @@ struct Event {
 
 struct InFlightReq {
   int req_idx = -1;
+  int attempt_idx = -1;        // Index into PlatformSimResult::attempts.
   double remaining_cpu = 0.0;  // Microseconds of CPU at full-core speed.
   bool in_cpu_phase = false;
+  bool will_crash = false;  // remaining_cpu was truncated at the crash point.
   MicroSecs fixed_end = 0;  // End of the fixed (overhead + I/O) phase.
 };
 
@@ -41,10 +47,11 @@ struct SandboxState {
   int id = 0;
   bool dead = false;
   bool initializing = true;
+  bool init_failed = false;  // Fault-injected: init ends in failure.
   MicroSecs created_at = 0;
   MicroSecs ready_at = 0;
   std::vector<InFlightReq> inflight;
-  std::vector<int> pending_local;  // Requests waiting for this sandbox's init.
+  std::vector<int> pending_local;  // Attempts waiting for this sandbox's init.
   MicroSecs last_advance = 0;
   double rate = 0.0;  // Cached per-request CPU rate.
   uint64_t gen = 0;
@@ -57,18 +64,66 @@ struct SandboxState {
 
 }  // namespace
 
+std::vector<std::string> PlatformSimConfig::Validate() const {
+  std::vector<std::string> errors;
+  if (!(vcpus > 0.0)) {
+    errors.push_back("vcpus must be > 0, got " + std::to_string(vcpus));
+  }
+  if (!(mem_mb > 0.0)) {
+    errors.push_back("mem_mb must be > 0, got " + std::to_string(mem_mb));
+  }
+  if (concurrency_limit < 1) {
+    errors.push_back("concurrency_limit must be >= 1, got " +
+                     std::to_string(concurrency_limit));
+  }
+  if (max_instances < 1) {
+    errors.push_back("max_instances must be >= 1, got " + std::to_string(max_instances));
+  }
+  if (coldstart == nullptr && init_mean <= 0) {
+    errors.push_back("init_mean must be > 0 when no cold-start model is set");
+  }
+  if (init_jitter < 0.0 || init_jitter >= 1.0) {
+    errors.push_back("init_jitter must be in [0, 1), got " + std::to_string(init_jitter));
+  }
+  if (contention_coeff < 0.0) {
+    errors.push_back("contention_coeff must be >= 0");
+  }
+  if (contention_excess_cap < 0.0) {
+    errors.push_back("contention_excess_cap must be >= 0");
+  }
+  if (keepalive == nullptr) {
+    errors.push_back("a keepalive policy is required");
+  }
+  for (const std::string& e : faults.Validate()) {
+    errors.push_back("faults: " + e);
+  }
+  for (const std::string& e : retry.Validate()) {
+    errors.push_back("retry: " + e);
+  }
+  return errors;
+}
+
 PlatformSim::PlatformSim(PlatformSimConfig config, uint64_t seed)
     : config_(std::move(config)), seed_(seed) {
-  assert(config_.vcpus > 0.0);
-  assert(config_.concurrency_limit >= 1);
-  assert(config_.keepalive != nullptr);
+  const std::vector<std::string> errors = config_.Validate();
+  if (!errors.empty()) {
+    std::string msg = "invalid PlatformSimConfig";
+    for (const auto& e : errors) {
+      msg += "; " + e;
+    }
+    throw std::invalid_argument(msg);
+  }
 }
 
 PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
                                    const WorkloadSpec& workload) {
   PlatformSimResult result;
   result.requests.resize(arrivals.size());
+  result.attempts.reserve(arrivals.size());
   Rng rng(seed_);
+  // Faults draw from their own stream: a zero-fault run leaves the main
+  // stream — and therefore every result — identical to a fault-free build.
+  FaultModel faults(config_.faults, seed_);
   AutoscalerConfig scaler_config = config_.autoscaler;
   scaler_config.per_instance_capacity =
       config_.vcpus * config_.autoscaler.target_utilization;
@@ -77,12 +132,17 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
   std::vector<SandboxState> sandboxes;
-  std::deque<int> global_queue;  // Requests waiting for capacity (multi model).
-  size_t completed = 0;
+  std::deque<int> global_queue;  // Attempts waiting for capacity (multi model).
+  std::vector<int> next_attempt_no(arrivals.size(), 1);
+  std::vector<uint8_t> attempt_open;     // Server side not yet concluded.
+  std::vector<uint8_t> attempt_started;  // Admitted to a sandbox.
+  size_t terminal = 0;       // Requests with a terminal client outcome.
+  int64_t open_attempts = 0; // Dispatched attempts not yet concluded.
   MicroSecs now = 0;
   MicroSecs last_scale_action = std::numeric_limits<MicroSecs>::min() / 2;
   int64_t arrivals_since_sample = 0;
   MicroSecs last_completion = -1;  // For idle-interval feedback to the KA policy.
+  const bool multi = config_.concurrency == ConcurrencyModel::kMultiConcurrency;
 
   for (size_t i = 0; i < arrivals.size(); ++i) {
     assert(i == 0 || arrivals[i] >= arrivals[i - 1]);
@@ -96,6 +156,8 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
           {arrivals.front() + config_.autoscaler.eval_interval, EventType::kScalerEval});
     }
   }
+
+  auto done = [&] { return terminal == arrivals.size() && open_attempts == 0; };
 
   auto cpu_phase_count = [](const SandboxState& s) {
     int k = 0;
@@ -189,21 +251,12 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     return n;
   };
 
-  auto initializing_count = [&] {
-    int n = 0;
-    for (const auto& s : sandboxes) {
-      if (!s.dead && s.initializing) {
-        ++n;
-      }
-    }
-    return n;
-  };
-
   auto create_sandbox = [&]() -> SandboxState& {
     SandboxState s;
     s.id = static_cast<int>(sandboxes.size());
     s.created_at = now;
     s.last_advance = now;
+    s.init_failed = faults.SampleInitFailure();
     MicroSecs init = 0;
     if (config_.coldstart != nullptr) {
       init = config_.coldstart->Sample(rng).total;
@@ -220,17 +273,22 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     return ref;
   };
 
-  // Starts processing `req_idx` on a ready sandbox at `now`.
-  auto start_request = [&](SandboxState& s, int req_idx, bool cold) {
-    RequestOutcome& out = result.requests[static_cast<size_t>(req_idx)];
+  // Starts processing the attempt on a ready sandbox at `now`.
+  auto start_attempt = [&](SandboxState& s, int attempt_idx, bool cold) {
+    AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
+    RequestOutcome& out = result.requests[static_cast<size_t>(att.req_idx)];
+    attempt_started[static_cast<size_t>(attempt_idx)] = 1;
+    att.sandbox_id = s.id;
+    att.start_exec = now;
+    att.cold_start = cold;
+    att.init_duration = cold ? s.ready_at - s.created_at : 0;
     out.sandbox_id = s.id;
     out.start_exec = now;
     out.cold_start = cold;
-    if (cold) {
-      out.init_duration = s.ready_at - s.created_at;
-    }
+    out.init_duration = att.init_duration;
     InFlightReq r;
-    r.req_idx = req_idx;
+    r.req_idx = att.req_idx;
+    r.attempt_idx = attempt_idx;
     double cpu = static_cast<double>(workload.cpu_time);
     if (workload.cpu_jitter > 0.0) {
       cpu *= 1.0 + rng.Uniform(-workload.cpu_jitter, workload.cpu_jitter);
@@ -239,21 +297,99 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     const MicroSecs overhead = config_.serving.Sample(config_.vcpus, rng);
     r.fixed_end = now + overhead + workload.io_wait;
     r.in_cpu_phase = r.fixed_end <= now;
+    if (config_.faults.crash_prob > 0.0 && faults.SampleCrash()) {
+      // Crash point uniform over the attempt's CPU demand: the attempt fails
+      // once the truncated work finishes, billed up to that point.
+      r.will_crash = true;
+      r.remaining_cpu = std::max(1.0, r.remaining_cpu * faults.SampleCrashPoint());
+    }
     s.inflight.push_back(r);
     ++s.served;
     s.ka_deadline = -1;
+    if (config_.faults.max_exec_duration > 0) {
+      queue.push({now + config_.faults.max_exec_duration, EventType::kExecTimeout, s.id, 0,
+                  attempt_idx});
+    }
   };
 
-  // Completes one request; returns true if the sandbox became idle.
-  auto complete_request = [&](SandboxState& s, size_t pos) {
-    const int req_idx = s.inflight[pos].req_idx;
-    RequestOutcome& out = result.requests[static_cast<size_t>(req_idx)];
+  auto count_failure = [&](Outcome oc) {
+    ++result.failed_attempts;
+    switch (oc) {
+      case Outcome::kInitFailure:
+        ++result.init_failure_attempts;
+        break;
+      case Outcome::kCrash:
+        ++result.crash_attempts;
+        break;
+      case Outcome::kTimeout:
+        ++result.timeout_attempts;
+        break;
+      case Outcome::kRejected:
+        ++result.rejected_attempts;
+        break;
+      default:
+        break;
+    }
+  };
+
+  // Client-side resolution of a failed (or abandoned) attempt: schedule a
+  // retry, or conclude the request.
+  auto resolve_client = [&](int attempt_idx, Outcome oc) {
+    const AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
+    RequestOutcome& out = result.requests[static_cast<size_t>(att.req_idx)];
+    out.last_error = oc;
+    const bool retryable = oc != Outcome::kRejected || config_.retry.retry_rejected;
+    if (retryable && att.attempt < config_.retry.max_attempts) {
+      const MicroSecs delay = config_.retry.BackoffDelay(att.attempt, faults.rng());
+      queue.push({now + delay, EventType::kRetryArrival, -1, 0, att.req_idx});
+      return;
+    }
+    out.outcome = att.attempt > 1 ? Outcome::kRetriesExhausted : oc;
+    out.completion = now;
+    out.reported_duration = att.exec_duration;
+    out.e2e_latency = now - out.arrival;
+    out.sandbox_id = att.sandbox_id;
+    out.start_exec = att.start_exec;
+    out.cold_start = att.cold_start;
+    out.init_duration = att.init_duration;
+    ++terminal;
+  };
+
+  // Server-side failure of an attempt (caller has already detached it from
+  // any sandbox and set exec_duration for started attempts).
+  auto fail_attempt = [&](int attempt_idx, Outcome oc) {
+    AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
+    att.outcome = oc;
+    att.end = now;
+    attempt_open[static_cast<size_t>(attempt_idx)] = 0;
+    --open_attempts;
+    count_failure(oc);
+    if (!att.client_abandoned) {
+      resolve_client(attempt_idx, oc);
+    }
+  };
+
+  // Completes one attempt successfully; delivery only if the client is
+  // still waiting.
+  auto complete_attempt = [&](SandboxState& s, size_t pos) {
+    const InFlightReq req = s.inflight[pos];
+    s.inflight.erase(s.inflight.begin() + static_cast<int>(pos));
+    AttemptOutcome& att = result.attempts[static_cast<size_t>(req.attempt_idx)];
+    att.outcome = Outcome::kOk;
+    att.end = now;
+    att.exec_duration = now - att.start_exec;
+    attempt_open[static_cast<size_t>(req.attempt_idx)] = 0;
+    --open_attempts;
+    last_completion = std::max(last_completion, now);
+    if (att.client_abandoned) {
+      return;  // The response has no one left to deliver to.
+    }
+    RequestOutcome& out = result.requests[static_cast<size_t>(req.req_idx)];
+    out.outcome = Outcome::kOk;
     out.completion = now;
     out.reported_duration = now - out.start_exec;
     out.e2e_latency = now - out.arrival;
-    s.inflight.erase(s.inflight.begin() + static_cast<int>(pos));
-    ++completed;
-    last_completion = std::max(last_completion, now);
+    ++terminal;
   };
 
   auto enter_idle = [&](SandboxState& s) {
@@ -262,7 +398,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     queue.push({s.ka_deadline, EventType::kKaExpire, s.id, s.gen});
   };
 
-  // Pulls queued requests onto available capacity (multi-concurrency model).
+  // Pulls queued attempts onto available capacity (multi-concurrency model).
   auto pull_global_queue = [&] {
     while (!global_queue.empty()) {
       SandboxState* best = nullptr;
@@ -288,17 +424,34 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         return;
       }
       advance(*best);
-      const int req_idx = global_queue.front();
+      const int attempt_idx = global_queue.front();
       global_queue.pop_front();
       const bool cold = best->served == 0;
-      start_request(*best, req_idx, cold);
+      start_attempt(*best, attempt_idx, cold);
       best->rate = compute_rate(*best);
       schedule_next(*best);
     }
   };
 
-  auto handle_arrival = [&](int req_idx) {
-    if (config_.concurrency == ConcurrencyModel::kSingleConcurrency) {
+  // Creates an attempt record for `req_idx` and routes it to a sandbox, the
+  // global queue, or immediate rejection.
+  auto dispatch = [&](int req_idx) {
+    const int attempt_no = next_attempt_no[static_cast<size_t>(req_idx)]++;
+    AttemptOutcome att;
+    att.req_idx = req_idx;
+    att.attempt = attempt_no;
+    att.dispatched = now;
+    const int attempt_idx = static_cast<int>(result.attempts.size());
+    result.attempts.push_back(att);
+    attempt_open.push_back(1);
+    attempt_started.push_back(0);
+    ++open_attempts;
+    result.requests[static_cast<size_t>(req_idx)].attempts = attempt_no;
+    if (config_.retry.attempt_timeout > 0) {
+      queue.push(
+          {now + config_.retry.attempt_timeout, EventType::kClientTimeout, -1, 0, attempt_idx});
+    }
+    if (!multi) {
       // Reuse the most recently used warm idle sandbox, else cold start.
       SandboxState* best = nullptr;
       for (auto& s : sandboxes) {
@@ -314,19 +467,42 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       }
       if (best != nullptr) {
         advance(*best);
-        start_request(*best, req_idx, /*cold=*/false);
+        start_attempt(*best, attempt_idx, /*cold=*/false);
         best->rate = compute_rate(*best);
         // schedule_next bumps the generation, which also invalidates the
         // pending KA-expiry event of the previously idle sandbox.
         schedule_next(*best);
         return;
       }
+      if (config_.faults.reject_on_overload && alive_count() >= config_.max_instances) {
+        fail_attempt(attempt_idx, Outcome::kRejected);
+        return;
+      }
       SandboxState& fresh = create_sandbox();
-      fresh.pending_local.push_back(req_idx);
+      fresh.pending_local.push_back(attempt_idx);
+      result.attempts[static_cast<size_t>(attempt_idx)].sandbox_id = fresh.id;
       return;
     }
-    // Multi-concurrency: queue at the ingress and let the pull logic place it.
-    global_queue.push_back(req_idx);
+    // Multi-concurrency: 429 when the deployment is saturated — at the
+    // instance cap with no spare concurrency anywhere and nothing warming up.
+    if (config_.faults.reject_on_overload && alive_count() >= config_.max_instances) {
+      bool spare = false;
+      for (const auto& s : sandboxes) {
+        if (s.dead) {
+          continue;
+        }
+        if (s.initializing || static_cast<int>(s.inflight.size()) < config_.concurrency_limit) {
+          spare = true;
+          break;
+        }
+      }
+      if (!spare) {
+        fail_attempt(attempt_idx, Outcome::kRejected);
+        return;
+      }
+    }
+    // Queue at the ingress and let the pull logic place it.
+    global_queue.push_back(attempt_idx);
     pull_global_queue();
     if (!global_queue.empty() && alive_count() == 0) {
       // Scale from zero: start one instance immediately; any further
@@ -336,20 +512,22 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
   };
 
   while (!queue.empty()) {
-    if (completed == arrivals.size()) {
+    if (done()) {
       break;
     }
     const Event ev = queue.top();
     queue.pop();
     now = ev.time;
     switch (ev.type) {
-      case EventType::kArrival: {
+      case EventType::kArrival:
+      case EventType::kRetryArrival: {
         ++arrivals_since_sample;
-        // Idle-time feedback for predictive keep-alive (paper §3.3).
+        // Idle-time feedback for predictive keep-alive (paper §3.3); retry
+        // re-arrivals are arrivals from the platform's point of view too.
         if (last_completion >= 0 && now > last_completion) {
           config_.keepalive->ObserveIdleInterval(now - last_completion);
         }
-        handle_arrival(ev.req_idx);
+        dispatch(ev.req_idx);
         break;
       }
       case EventType::kInitDone: {
@@ -358,15 +536,42 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
           break;
         }
         advance(s);
-        s.initializing = false;
-        if (!s.pending_local.empty()) {
-          for (int req_idx : s.pending_local) {
-            start_request(s, req_idx, /*cold=*/true);
+        if (s.init_failed) {
+          // The sandbox never becomes ready; its waiting attempts fail after
+          // the (wasted, possibly billed) initialization time.
+          s.dead = true;
+          const MicroSecs init = s.ready_at - s.created_at;
+          for (int attempt_idx : s.pending_local) {
+            if (!attempt_open[static_cast<size_t>(attempt_idx)]) {
+              continue;  // Withdrawn by a client timeout.
+            }
+            AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
+            att.cold_start = true;
+            att.init_duration = init;
+            fail_attempt(attempt_idx, Outcome::kInitFailure);
           }
           s.pending_local.clear();
-          s.rate = compute_rate(s);
-          schedule_next(s);
-        } else if (config_.concurrency == ConcurrencyModel::kMultiConcurrency) {
+          if (multi && !global_queue.empty() && alive_count() == 0) {
+            create_sandbox();  // The platform provisions a replacement.
+          }
+          break;
+        }
+        s.initializing = false;
+        if (!s.pending_local.empty()) {
+          for (int attempt_idx : s.pending_local) {
+            if (!attempt_open[static_cast<size_t>(attempt_idx)]) {
+              continue;  // Withdrawn by a client timeout.
+            }
+            start_attempt(s, attempt_idx, /*cold=*/true);
+          }
+          s.pending_local.clear();
+          if (!s.inflight.empty()) {
+            s.rate = compute_rate(s);
+            schedule_next(s);
+          } else {
+            enter_idle(s);  // Every waiting client gave up during init.
+          }
+        } else if (multi) {
           pull_global_queue();
           if (s.inflight.empty()) {
             enter_idle(s);
@@ -388,20 +593,110 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
             r.in_cpu_phase = true;
           }
         }
+        bool crashed = false;
         for (size_t i = s.inflight.size(); i-- > 0;) {
           if (s.inflight[i].in_cpu_phase && s.inflight[i].remaining_cpu <= 0.5) {
-            complete_request(s, i);
+            if (s.inflight[i].will_crash) {
+              const int attempt_idx = s.inflight[i].attempt_idx;
+              s.inflight.erase(s.inflight.begin() + static_cast<int>(i));
+              AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
+              att.exec_duration = now - att.start_exec;
+              fail_attempt(attempt_idx, Outcome::kCrash);
+              crashed = true;
+            } else {
+              complete_attempt(s, i);
+            }
           }
+        }
+        if (crashed && config_.faults.crash_kills_sandbox) {
+          // Process death: co-resident in-flight requests die with it, and
+          // the next arrival pays a cold start.
+          for (const auto& r : s.inflight) {
+            AttemptOutcome& att = result.attempts[static_cast<size_t>(r.attempt_idx)];
+            att.exec_duration = now - att.start_exec;
+            fail_attempt(r.attempt_idx, Outcome::kCrash);
+          }
+          s.inflight.clear();
+          s.dead = true;
+          if (multi && !global_queue.empty() && alive_count() == 0) {
+            create_sandbox();
+          }
+          break;
         }
         s.rate = compute_rate(s);
         if (s.inflight.empty()) {
           enter_idle(s);
-          if (config_.concurrency == ConcurrencyModel::kMultiConcurrency) {
+          if (multi) {
             pull_global_queue();
           }
         } else {
           schedule_next(s);
         }
+        break;
+      }
+      case EventType::kExecTimeout: {
+        const int attempt_idx = ev.req_idx;
+        if (!attempt_open[static_cast<size_t>(attempt_idx)] ||
+            !attempt_started[static_cast<size_t>(attempt_idx)]) {
+          break;  // Already concluded (finished, crashed, or sandbox died).
+        }
+        AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
+        SandboxState& s = sandboxes[static_cast<size_t>(att.sandbox_id)];
+        size_t pos = s.inflight.size();
+        for (size_t i = 0; i < s.inflight.size(); ++i) {
+          if (s.inflight[i].attempt_idx == attempt_idx) {
+            pos = i;
+            break;
+          }
+        }
+        if (pos == s.inflight.size()) {
+          break;
+        }
+        advance(s);
+        s.inflight.erase(s.inflight.begin() + static_cast<int>(pos));
+        att.exec_duration = now - att.start_exec;  // Billed through the timeout.
+        fail_attempt(attempt_idx, Outcome::kTimeout);
+        s.rate = compute_rate(s);
+        if (s.inflight.empty()) {
+          enter_idle(s);
+          if (multi) {
+            pull_global_queue();
+          }
+        } else {
+          schedule_next(s);
+        }
+        break;
+      }
+      case EventType::kClientTimeout: {
+        const int attempt_idx = ev.req_idx;
+        if (!attempt_open[static_cast<size_t>(attempt_idx)]) {
+          break;  // The attempt concluded before the client gave up.
+        }
+        AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
+        if (att.client_abandoned) {
+          break;
+        }
+        att.client_abandoned = true;
+        if (!attempt_started[static_cast<size_t>(attempt_idx)]) {
+          // Never admitted: withdraw from whichever queue it waits in.
+          if (att.sandbox_id >= 0) {
+            auto& pending = sandboxes[static_cast<size_t>(att.sandbox_id)].pending_local;
+            pending.erase(std::remove(pending.begin(), pending.end(), attempt_idx),
+                          pending.end());
+          } else {
+            global_queue.erase(
+                std::remove(global_queue.begin(), global_queue.end(), attempt_idx),
+                global_queue.end());
+          }
+          att.outcome = Outcome::kTimeout;
+          att.end = now;
+          attempt_open[static_cast<size_t>(attempt_idx)] = 0;
+          --open_attempts;
+          count_failure(Outcome::kTimeout);
+        }
+        // Started attempts keep running (and billing) server-side; the
+        // client moves on either way.
+        resolve_client(attempt_idx, Outcome::kTimeout);
         break;
       }
       case EventType::kKaExpire: {
@@ -440,7 +735,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
           }
           last_scale_action = now;
         }
-        if (completed < arrivals.size()) {
+        if (!done()) {
           queue.push({now + config_.autoscaler.eval_interval, EventType::kScalerEval});
         }
         break;
@@ -480,7 +775,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
           scaler.AddSample(now, util_sum * config_.vcpus);
         }
         arrivals_since_sample = 0;
-        if (completed < arrivals.size()) {
+        if (!done()) {
           queue.push({now + config_.autoscaler.sample_interval, EventType::kSample});
         }
         break;
@@ -501,11 +796,18 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     result.total_instance_seconds += MicrosToSecs(acc.destroyed_at - acc.created_at);
     result.sandboxes.push_back(acc);
   }
-  for (const auto& r : result.requests) {
-    if (r.cold_start) {
+  for (const auto& a : result.attempts) {
+    if (a.cold_start) {
       ++result.cold_starts;
     }
   }
+  for (const auto& r : result.requests) {
+    if (r.outcome == Outcome::kOk) {
+      ++result.successes;
+    }
+  }
+  result.retries =
+      static_cast<int64_t>(result.attempts.size()) - static_cast<int64_t>(result.requests.size());
   return result;
 }
 
@@ -533,6 +835,22 @@ std::vector<MicroSecs> PoissonArrivals(double rps, MicroSecs duration, Rng& rng)
     t += rng.Exponential(rate_per_us);
   }
   return out;
+}
+
+RequestRecord BillableRecord(const AttemptOutcome& attempt, double alloc_vcpus,
+                             MegaBytes alloc_mem_mb) {
+  RequestRecord r;
+  r.arrival = attempt.dispatched;
+  r.exec_duration = attempt.exec_duration;
+  r.cpu_time = attempt.exec_duration;  // ~1 busy vCPU for the whole duration.
+  r.alloc_vcpus = alloc_vcpus;
+  r.alloc_mem_mb = alloc_mem_mb;
+  r.used_mem_mb = alloc_mem_mb;
+  r.cold_start = attempt.cold_start;
+  r.init_duration = attempt.init_duration;
+  r.outcome = attempt.outcome;
+  r.attempt = attempt.attempt;
+  return r;
 }
 
 double ColdStartProbability(const PlatformSimConfig& config, const WorkloadSpec& workload,

@@ -11,7 +11,10 @@
 //     sandbox share its vCPUs, with a configurable contention penalty for
 //     context switches and cache interference,
 //   - per-architecture serving overhead added to every request,
-//   - keep-alive policies that decide how long idle sandboxes survive.
+//   - keep-alive policies that decide how long idle sandboxes survive,
+//   - fault injection (init failures, mid-execution crashes, platform
+//     execution timeouts, overload rejections) and client retries with
+//     exponential backoff, so the billing cost of failure is measurable.
 
 #ifndef FAASCOST_PLATFORM_PLATFORM_SIM_H_
 #define FAASCOST_PLATFORM_PLATFORM_SIM_H_
@@ -24,9 +27,11 @@
 #include "src/common/units.h"
 #include "src/platform/autoscaler.h"
 #include "src/platform/coldstart.h"
+#include "src/platform/faults.h"
 #include "src/platform/keepalive.h"
 #include "src/platform/serving.h"
 #include "src/platform/workload.h"
+#include "src/trace/record.h"
 
 namespace faascost {
 
@@ -65,17 +70,52 @@ struct PlatformSimConfig {
   bool autoscaler_enabled = false;
   AutoscalerConfig autoscaler;
   int max_instances = 1000;
+  // Fault injection and client retries; the defaults are a fault-free world
+  // with no retries, which reproduces the failure-oblivious behavior exactly.
+  FaultModelConfig faults;
+  RetryPolicy retry;
+
+  // Human-readable config errors; empty when valid. PlatformSim's
+  // constructor throws std::invalid_argument on a non-empty result.
+  std::vector<std::string> Validate() const;
 };
 
+// Terminal per-request view: the fields describe the *final* attempt.
 struct RequestOutcome {
   MicroSecs arrival = 0;
   MicroSecs start_exec = 0;   // When the sandbox began processing.
-  MicroSecs completion = 0;
+  MicroSecs completion = 0;   // Success delivery or final-failure time.
   MicroSecs reported_duration = 0;  // Provider-reported execution duration.
   MicroSecs e2e_latency = 0;        // arrival -> completion (includes queue).
   bool cold_start = false;
   MicroSecs init_duration = 0;
   int sandbox_id = -1;
+  // Terminal outcome across the retry sequence: kOk, the single attempt's
+  // failure, or kRetriesExhausted when multiple attempts all failed.
+  Outcome outcome = Outcome::kOk;
+  Outcome last_error = Outcome::kOk;  // Failure mode of the last failed attempt.
+  int attempts = 1;                   // Client attempts dispatched.
+};
+
+// One platform-side invocation attempt — the auditable unit of billing.
+// Every attempt (including failed, rejected, and client-abandoned ones)
+// produces one record; use BillingModel failure rules to price it.
+struct AttemptOutcome {
+  int req_idx = -1;   // Index into PlatformSimResult::requests.
+  int attempt = 1;    // 1-based client attempt number.
+  Outcome outcome = Outcome::kOk;
+  MicroSecs dispatched = 0;  // Client send time (arrival or retry re-arrival).
+  MicroSecs start_exec = 0;  // When the sandbox began processing; 0 if never.
+  MicroSecs end = 0;         // Completion, failure, or withdrawal time.
+  // Provider-reported duration up to completion or abort (timeouts run
+  // through the full max_exec_duration; crashes stop at the crash point).
+  MicroSecs exec_duration = 0;
+  bool cold_start = false;
+  MicroSecs init_duration = 0;
+  int sandbox_id = -1;
+  // The client stopped waiting (attempt_timeout) before this attempt ended;
+  // the platform kept executing — and billing — it.
+  bool client_abandoned = false;
 };
 
 struct TimelineSample {
@@ -97,14 +137,24 @@ struct SandboxAccounting {
 
 struct PlatformSimResult {
   std::vector<RequestOutcome> requests;
+  std::vector<AttemptOutcome> attempts;  // One per dispatched attempt.
   std::vector<TimelineSample> timeline;
   std::vector<SandboxAccounting> sandboxes;
-  int cold_starts = 0;
+  int cold_starts = 0;  // Attempts that triggered a sandbox initialization.
   double total_instance_seconds = 0.0;
+  // Failure taxonomy over attempts (all zero in a fault-free run).
+  int64_t successes = 0;  // Requests with terminal Outcome::kOk.
+  int64_t failed_attempts = 0;
+  int64_t init_failure_attempts = 0;
+  int64_t crash_attempts = 0;
+  int64_t timeout_attempts = 0;
+  int64_t rejected_attempts = 0;
+  int64_t retries = 0;  // attempts.size() - requests.size().
 };
 
 class PlatformSim {
  public:
+  // Throws std::invalid_argument when `config.Validate()` reports errors.
   PlatformSim(PlatformSimConfig config, uint64_t seed);
 
   // Runs the arrival sequence (sorted ascending) of identical requests of
@@ -125,6 +175,13 @@ std::vector<MicroSecs> UniformArrivals(double rps, MicroSecs duration);
 
 // Poisson arrivals at rate `rps` over `duration`.
 std::vector<MicroSecs> PoissonArrivals(double rps, MicroSecs duration, Rng& rng);
+
+// Converts one attempt into a billable trace record under the sandbox's
+// allocation, so billing's failure rules can price it. Consumed CPU time is
+// approximated as one busy vCPU for the reported duration (exact tracking of
+// shared-CPU progress is not needed for the cost-of-failure analysis).
+RequestRecord BillableRecord(const AttemptOutcome& attempt, double alloc_vcpus,
+                             MegaBytes alloc_mem_mb);
 
 // Empirical cold-start probability at a given idle interval: repeatedly send
 // a warm-up request followed by a probe after `idle`; returns the fraction

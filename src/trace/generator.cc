@@ -71,6 +71,13 @@ TraceGenerator::TraceGenerator(TraceGenConfig config, uint64_t seed)
     const auto [zc, zm] = rng_.CorrelatedNormals(config_.util_copula_rho);
     fn.cpu_latent_shift = kFunctionLatentWeight * zc;
     fn.mem_latent_shift = kFunctionLatentWeight * zm;
+    if (config_.failure_rate_mean > 0.0) {
+      // Beta(alpha, beta) with mean m: beta = alpha * (1 - m) / m.
+      const double m = std::min(config_.failure_rate_mean, 0.999);
+      const double alpha = config_.failure_rate_alpha;
+      const double beta = alpha * (1.0 - m) / m;
+      fn.failure_rate = std::clamp(rng_.Beta(alpha, beta), 0.0, 1.0);
+    }
     functions_.push_back(fn);
   }
 }
@@ -95,6 +102,7 @@ RequestRecord TraceGenerator::MakeRequest(const FunctionProfile& fn, MicroSecs a
   r.cpu_time = std::max<MicroSecs>(
       1, static_cast<MicroSecs>(cpu_util * fn.vcpus * static_cast<double>(r.exec_duration)));
   r.used_mem_mb = mem_util * fn.mem_mb;
+  r.failure_rate = fn.failure_rate;
 
   if (rng.Bernoulli(config_.cold_start_fraction)) {
     r.cold_start = true;

@@ -85,6 +85,14 @@ struct TraceGenConfig {
   // sandbox serves after its cold start is 1 + floor(LogNormal(mu, sigma)).
   double lifecycle_ln_mu = 2.80;
   double lifecycle_ln_sigma = 1.80;
+
+  // Per-function failure rates: each function draws its per-attempt failure
+  // probability from Beta(alpha, beta) with beta set so the mean equals
+  // `failure_rate_mean` — most functions are healthy while a few fail often,
+  // matching the skew of production error rates. 0 disables (the default; no
+  // RNG draws happen, so existing traces are unchanged).
+  double failure_rate_mean = 0.0;
+  double failure_rate_alpha = 0.6;
 };
 
 // Static per-function characteristics drawn once.
@@ -96,6 +104,7 @@ struct FunctionProfile {
   // Function-level latent shifts for the utilization copula.
   double cpu_latent_shift = 0.0;
   double mem_latent_shift = 0.0;
+  double failure_rate = 0.0;  // Per-attempt failure probability.
 };
 
 class TraceGenerator {

@@ -13,6 +13,37 @@
 
 namespace faascost {
 
+// Terminal outcome of one invocation attempt (or, at the request level, of
+// the whole retry sequence). Platforms bill failed attempts too: AWS bills
+// duration up to the timeout, fees are charged regardless of outcome, and
+// client retries multiply both (see BillingModel::failure).
+enum class Outcome {
+  kOk = 0,
+  kInitFailure,       // The sandbox failed to initialize (cold-start error).
+  kCrash,             // The function crashed mid-execution.
+  kTimeout,           // Platform-enforced execution timeout, or client gave up.
+  kRejected,          // Overload rejection (HTTP 429): never admitted.
+  kRetriesExhausted,  // Request-level: every client attempt failed.
+};
+
+inline const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kInitFailure:
+      return "init_failure";
+    case Outcome::kCrash:
+      return "crash";
+    case Outcome::kTimeout:
+      return "timeout";
+    case Outcome::kRejected:
+      return "rejected";
+    case Outcome::kRetriesExhausted:
+      return "retries_exhausted";
+  }
+  return "unknown";
+}
+
 // One function invocation as recorded by the provider.
 struct RequestRecord {
   int64_t function_id = 0;
@@ -24,6 +55,12 @@ struct RequestRecord {
   MegaBytes used_mem_mb = 0.0;   // Average memory actually used.
   bool cold_start = false;
   MicroSecs init_duration = 0;  // Sandbox initialization time; 0 if warm.
+  // Failure semantics. For failed attempts, exec_duration is the duration up
+  // to the crash/abort point (timeouts run through the full limit), which is
+  // what failure-billing rules act on.
+  Outcome outcome = Outcome::kOk;
+  int attempt = 1;            // 1-based client attempt number.
+  double failure_rate = 0.0;  // Per-attempt failure probability of the function.
 
   // Fraction of the CPU allocation actually consumed over exec_duration.
   double CpuUtilization() const {

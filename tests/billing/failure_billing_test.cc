@@ -1,0 +1,168 @@
+// Golden tests for failure billing: hand-computed invoices for timed-out,
+// crashed, init-failed and rejected invocations on three platform presets
+// with different failure rules (AWS bills everything including failed init,
+// GCP bills failed duration, Azure Consumption bills completions only).
+
+#include <gtest/gtest.h>
+
+#include "src/billing/catalog.h"
+#include "src/billing/model.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kMs = kMicrosPerMilli;
+
+// 1 vCPU / 1769 MB function; 1769 MB = 1.7275390625 GB.
+RequestRecord BaseRequest() {
+  RequestRecord r;
+  r.exec_duration = 200 * kMs;
+  r.cpu_time = 160 * kMs;
+  r.alloc_vcpus = 1.0;
+  r.alloc_mem_mb = 1'769.0;
+  r.used_mem_mb = 512.0;
+  return r;
+}
+
+RequestRecord TimedOut() {
+  RequestRecord r = BaseRequest();
+  r.outcome = Outcome::kTimeout;
+  r.exec_duration = 1'000 * kMs;  // Ran through a 1 s limit.
+  r.cpu_time = 800 * kMs;
+  return r;
+}
+
+RequestRecord Crashed() {
+  RequestRecord r = BaseRequest();
+  r.outcome = Outcome::kCrash;
+  r.exec_duration = 80 * kMs;  // Crashed 40% in.
+  r.cpu_time = 64 * kMs;
+  return r;
+}
+
+RequestRecord InitFailed() {
+  RequestRecord r = BaseRequest();
+  r.outcome = Outcome::kInitFailure;
+  r.exec_duration = 0;
+  r.cpu_time = 0;
+  r.cold_start = true;
+  r.init_duration = 400 * kMs;  // The wasted initialization.
+  return r;
+}
+
+RequestRecord Rejected() {
+  RequestRecord r = BaseRequest();
+  r.outcome = Outcome::kRejected;
+  r.exec_duration = 0;
+  r.cpu_time = 0;
+  return r;
+}
+
+// --- AWS Lambda: turnaround billing, failed duration AND failed init are
+// billed, fee always charged, 429s free.
+// Rate: $1.66667e-5 per GB-s at 1.7275390625 GB; fee $2e-7.
+
+TEST(FailureBillingGolden, AwsTimeoutBilledThroughLimit) {
+  const BillingModel m = MakeBillingModel(Platform::kAwsLambda);
+  const Invoice inv = ComputeInvoice(m, TimedOut());
+  // 1.0 s x 1.7275390625 GB x 1.66667e-5 + 2e-7.
+  EXPECT_EQ(inv.billable_time, 1'000 * kMs);
+  EXPECT_NEAR(inv.total, 2.899237529297e-05, 1e-12);
+}
+
+TEST(FailureBillingGolden, AwsCrashBilledToCrashPoint) {
+  const BillingModel m = MakeBillingModel(Platform::kAwsLambda);
+  const Invoice inv = ComputeInvoice(m, Crashed());
+  // 0.08 s x 1.7275390625 GB x 1.66667e-5 + 2e-7.
+  EXPECT_EQ(inv.billable_time, 80 * kMs);
+  EXPECT_NEAR(inv.total, 2.503390023438e-06, 1e-12);
+}
+
+TEST(FailureBillingGolden, AwsInitFailureBillsInitDuration) {
+  const BillingModel m = MakeBillingModel(Platform::kAwsLambda);
+  ASSERT_TRUE(m.failure.bill_init_failure);
+  const Invoice inv = ComputeInvoice(m, InitFailed());
+  // Turnaround = 0 exec + 400 ms init: 0.4 s x 1.7275390625 GB x 1.66667e-5
+  // + 2e-7.
+  EXPECT_EQ(inv.billable_time, 400 * kMs);
+  EXPECT_NEAR(inv.total, 1.171695011719e-05, 1e-12);
+}
+
+TEST(FailureBillingGolden, AwsRejectionIsFree) {
+  const BillingModel m = MakeBillingModel(Platform::kAwsLambda);
+  const Invoice inv = ComputeInvoice(m, Rejected());
+  EXPECT_DOUBLE_EQ(inv.total, 0.0);
+  EXPECT_DOUBLE_EQ(inv.resource_cost, 0.0);
+  EXPECT_DOUBLE_EQ(inv.invocation_cost, 0.0);
+}
+
+// --- GCP: bills failed duration (100 ms granularity), but failed inits are
+// not billed; fee always charged.
+// Snapped: 1 vCPU (>= 0.583 floor at 1769 MB), 1769 MB = 1.7275390625 GB.
+// Rates: $2.4e-5 per vCPU-s, $2.5e-6 per GB-s; fee $4e-7.
+
+TEST(FailureBillingGolden, GcpTimeoutBilledThroughLimit) {
+  const BillingModel m = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  const Invoice inv = ComputeInvoice(m, TimedOut());
+  // 1.0 s x (2.4e-5 + 1.7275390625 x 2.5e-6) + 4e-7.
+  EXPECT_NEAR(inv.total, 2.871884765625e-05, 1e-12);
+}
+
+TEST(FailureBillingGolden, GcpCrashRoundsUpTo100ms) {
+  const BillingModel m = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  const Invoice inv = ComputeInvoice(m, Crashed());
+  // 80 ms rounds to 100 ms: 0.1 s x (2.4e-5 + 1.7275390625 x 2.5e-6) + 4e-7.
+  EXPECT_EQ(inv.billable_time, 100 * kMs);
+  EXPECT_NEAR(inv.total, 3.231884765625e-06, 1e-12);
+}
+
+TEST(FailureBillingGolden, GcpInitFailureCostsOnlyTheFee) {
+  const BillingModel m = MakeBillingModel(Platform::kGcpCloudRunFunctions);
+  ASSERT_FALSE(m.failure.bill_init_failure);
+  const Invoice inv = ComputeInvoice(m, InitFailed());
+  EXPECT_DOUBLE_EQ(inv.resource_cost, 0.0);
+  EXPECT_DOUBLE_EQ(inv.total, 4e-7);
+}
+
+// --- Azure Consumption: only completed executions accrue resource charges;
+// the per-execution fee ($2e-7) is still charged. 429s are free.
+
+TEST(FailureBillingGolden, AzureConsumptionSuccessBillsConsumedMemory) {
+  const BillingModel m = MakeBillingModel(Platform::kAzureConsumption);
+  const Invoice inv = ComputeInvoice(m, BaseRequest());
+  // 512 MB consumed (already a 128 MB multiple) = 0.5 GB x 0.2 s x 1.6e-5
+  // + 2e-7 fee.
+  EXPECT_NEAR(inv.total, 1.8e-06, 1e-12);
+}
+
+TEST(FailureBillingGolden, AzureConsumptionFailuresCostOnlyTheFee) {
+  const BillingModel m = MakeBillingModel(Platform::kAzureConsumption);
+  ASSERT_FALSE(m.failure.bill_failed_duration);
+  for (const RequestRecord& r : {TimedOut(), Crashed(), InitFailed()}) {
+    const Invoice inv = ComputeInvoice(m, r);
+    EXPECT_DOUBLE_EQ(inv.resource_cost, 0.0);
+    EXPECT_DOUBLE_EQ(inv.total, 2e-7);
+  }
+}
+
+TEST(FailureBillingGolden, AzureConsumptionRejectionIsFree) {
+  const BillingModel m = MakeBillingModel(Platform::kAzureConsumption);
+  EXPECT_DOUBLE_EQ(ComputeInvoice(m, Rejected()).total, 0.0);
+}
+
+// Failed attempts never cost more than the same invocation succeeding with
+// the same reported duration, on any catalog platform.
+TEST(FailureBillingProperty, FailureNeverOutbillsEquivalentSuccess) {
+  for (Platform p : AllPlatforms()) {
+    const BillingModel m = MakeBillingModel(p);
+    for (RequestRecord r : {TimedOut(), Crashed(), InitFailed(), Rejected()}) {
+      const Usd failed = ComputeInvoice(m, r).total;
+      r.outcome = Outcome::kOk;
+      const Usd ok = ComputeInvoice(m, r).total;
+      EXPECT_LE(failed, ok + 1e-15) << m.platform;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,168 @@
+// Fleet-level failure injection: zero-fault runs must reproduce the
+// fault-oblivious simulation exactly (goldens captured before this feature
+// existed), and enabled faults must behave deterministically with the
+// documented crash/timeout/retry semantics.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/billing/catalog.h"
+#include "src/cluster/fleet_sim.h"
+#include "src/trace/generator.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kSec = kMicrosPerSec;
+constexpr MicroSecs kMs = kMicrosPerMilli;
+
+std::vector<RequestRecord> SmallTrace() {
+  TraceGenConfig cfg;
+  cfg.num_requests = 20'000;
+  cfg.num_functions = 200;
+  cfg.window = 3'600LL * kSec;
+  return TraceGenerator(cfg, 7).Generate();
+}
+
+TEST(FleetConfigValidation, RejectsNonsense) {
+  FleetSimConfig cfg;
+  cfg.keepalive = -1;
+  cfg.ka_cost_share = 1.5;
+  cfg.failure_rate = -0.2;
+  cfg.retry.max_attempts = 0;
+  EXPECT_GE(cfg.Validate().size(), 4u);
+  EXPECT_THROW(SimulateFleet({}, MakeBillingModel(Platform::kAwsLambda), cfg),
+               std::invalid_argument);
+}
+
+// Golden values captured from the fleet simulator before fault injection
+// existed: the zero-fault heap-based scheduler must replay the original
+// per-record iteration order bit-for-bit.
+TEST(FleetZeroFaultBaseline, ReproducesPreFaultGoldens) {
+  const auto trace = SmallTrace();
+  const FleetSimConfig cfg;  // Faults disabled by default.
+  const FleetResult res =
+      SimulateFleet(trace, MakeBillingModel(Platform::kAwsLambda), cfg);
+  EXPECT_EQ(res.requests, 20'000);
+  EXPECT_EQ(res.attempts, 20'000);
+  EXPECT_EQ(res.cold_starts, 420);
+  EXPECT_EQ(res.sandboxes, 420);
+  EXPECT_NEAR(res.revenue, 0.061715137045, 1e-9);
+  EXPECT_NEAR(res.fee_revenue, 0.004, 1e-12);
+  EXPECT_NEAR(res.hardware_cost, 7.659170525324, 1e-9);
+  EXPECT_NEAR(res.busy_seconds, 1'372.909393, 1e-5);
+  EXPECT_NEAR(res.idle_seconds, 756'620.857790, 1e-5);
+  EXPECT_EQ(res.peak_servers, 4);
+  EXPECT_EQ(res.failed_attempts, 0);
+  EXPECT_EQ(res.retries, 0);
+  EXPECT_EQ(res.retries_exhausted, 0);
+}
+
+TEST(FleetFaults, DeterministicUnderSameSeed) {
+  const auto trace = SmallTrace();
+  FleetSimConfig cfg;
+  cfg.failure_rate = 0.10;
+  cfg.retry.max_attempts = 3;
+  const auto a = SimulateFleet(trace, MakeBillingModel(Platform::kAwsLambda), cfg);
+  const auto b = SimulateFleet(trace, MakeBillingModel(Platform::kAwsLambda), cfg);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.crash_attempts, b.crash_attempts);
+  EXPECT_EQ(a.cold_starts, b.cold_starts);
+  EXPECT_DOUBLE_EQ(a.revenue, b.revenue);
+  EXPECT_DOUBLE_EQ(a.hardware_cost, b.hardware_cost);
+}
+
+TEST(FleetFaults, CrashesDestroySandboxesAndSpawnRetries) {
+  const auto trace = SmallTrace();
+  FleetSimConfig base;
+  const auto clean = SimulateFleet(trace, MakeBillingModel(Platform::kAwsLambda), base);
+
+  FleetSimConfig cfg;
+  cfg.failure_rate = 0.10;
+  cfg.retry.max_attempts = 3;
+  const auto res = SimulateFleet(trace, MakeBillingModel(Platform::kAwsLambda), cfg);
+  // Observed crash rate tracks the configured per-attempt probability.
+  const double rate = static_cast<double>(res.crash_attempts) /
+                      static_cast<double>(res.attempts);
+  EXPECT_NEAR(rate, 0.10, 0.01);
+  EXPECT_EQ(res.retries,
+            res.failed_attempts - res.retries_exhausted);
+  EXPECT_EQ(res.attempts, res.requests + res.retries);
+  // Crashed sandboxes are gone; retries and successors re-pay cold starts.
+  EXPECT_GT(res.cold_starts, clean.cold_starts);
+  EXPECT_GT(res.sandboxes, clean.sandboxes);
+  // Every billed attempt (fee charged on failures too) raises fee revenue.
+  EXPECT_GT(res.fee_revenue, clean.fee_revenue);
+}
+
+TEST(FleetFaults, TimeoutCapsBilledDuration) {
+  const auto trace = SmallTrace();
+  FleetSimConfig cfg;
+  cfg.max_exec_duration = 50 * kMs;
+  const auto res = SimulateFleet(trace, MakeBillingModel(Platform::kAwsLambda), cfg);
+  EXPECT_GT(res.timeout_attempts, 0);
+  EXPECT_EQ(res.failed_attempts, res.timeout_attempts);
+  // Deterministic: exactly the requests whose duration exceeds the limit.
+  int64_t expect_timeouts = 0;
+  for (const auto& r : trace) {
+    if (r.exec_duration > cfg.max_exec_duration) {
+      ++expect_timeouts;
+    }
+  }
+  EXPECT_EQ(res.timeout_attempts, expect_timeouts);
+}
+
+TEST(FleetFaults, TraceFailureRatesCarryThrough) {
+  TraceGenConfig gen_cfg;
+  gen_cfg.num_requests = 20'000;
+  gen_cfg.num_functions = 200;
+  gen_cfg.window = 3'600LL * kSec;
+  gen_cfg.failure_rate_mean = 0.05;
+  TraceGenerator gen(gen_cfg, 7);
+  const auto trace = gen.Generate();
+  // The per-function Beta draw is skewed: most functions healthy, a few hot.
+  double mean_rate = 0.0;
+  int64_t failing_fns = 0;
+  for (const auto& fn : gen.functions()) {
+    mean_rate += fn.failure_rate;
+    if (fn.failure_rate > 0.2) {
+      ++failing_fns;
+    }
+  }
+  mean_rate /= 200.0;
+  EXPECT_NEAR(mean_rate, 0.05, 0.03);
+  EXPECT_GT(failing_fns, 0);
+  EXPECT_LT(failing_fns, 40);
+
+  FleetSimConfig cfg;  // use_trace_failure_rates defaults to true.
+  const auto res = SimulateFleet(trace, MakeBillingModel(Platform::kAwsLambda), cfg);
+  EXPECT_GT(res.crash_attempts, 0);
+  // Zeroing the trace rates restores the fault-free run.
+  auto scrubbed = trace;
+  for (auto& r : scrubbed) {
+    r.failure_rate = 0.0;
+  }
+  const auto clean = SimulateFleet(scrubbed, MakeBillingModel(Platform::kAwsLambda), cfg);
+  EXPECT_EQ(clean.failed_attempts, 0);
+}
+
+TEST(FleetFaults, FailuresLowerRevenuePerSuccessOnAzureButNotAws) {
+  // Azure Consumption does not bill failed durations, AWS does, so the same
+  // faulty workload yields a larger revenue drop on Azure than on AWS.
+  const auto trace = SmallTrace();
+  FleetSimConfig cfg;
+  cfg.failure_rate = 0.20;
+  const auto aws = SimulateFleet(trace, MakeBillingModel(Platform::kAwsLambda), cfg);
+  const auto aws_clean =
+      SimulateFleet(trace, MakeBillingModel(Platform::kAwsLambda), FleetSimConfig{});
+  const auto az = SimulateFleet(trace, MakeBillingModel(Platform::kAzureConsumption), cfg);
+  const auto az_clean =
+      SimulateFleet(trace, MakeBillingModel(Platform::kAzureConsumption), FleetSimConfig{});
+  const double aws_keep = aws.revenue / aws_clean.revenue;
+  const double az_keep = az.revenue / az_clean.revenue;
+  EXPECT_GT(aws_keep, az_keep);
+}
+
+}  // namespace
+}  // namespace faascost

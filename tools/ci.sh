@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a plain build and an ASan+UBSan build, each
+# followed by the full test suite. Run from anywhere; build trees live under
+# the repo root so they are covered by .gitignore.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== Tier 1: plain build =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+echo
+echo "== Tier 1: sanitized build (ASan + UBSan) =="
+cmake -B "$repo/build-asan" -S "$repo" -DFAASCOST_SANITIZE=ON
+cmake --build "$repo/build-asan" -j "$jobs"
+ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+
+echo
+echo "ci.sh: both tiers green."

@@ -6,6 +6,8 @@
 //   faascost audit     [--trace file.csv] [--requests N] [--functions N]
 //   faascost rightsize --cpu-ms 160 --slo-ms 500 [--platform aws|gcp]
 //   faascost generate  --out file.csv [--requests N] [--functions N] [--seed S]
+//   faascost failures  --platform aws --rate 0.05 --retries 3 [--rps N]
+//                      [--seconds N] [--timeout-ms N] [--seed S]
 //   faascost platforms
 //
 // Exit status: 0 on success, 1 on usage errors.
@@ -22,6 +24,9 @@
 #include "src/billing/catalog.h"
 #include "src/common/table.h"
 #include "src/core/rightsizing.h"
+#include "src/platform/platform_sim.h"
+#include "src/platform/presets.h"
+#include "src/platform/workload.h"
 #include "src/trace/generator.h"
 #include "src/trace/io.h"
 
@@ -258,6 +263,106 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
+// Cost-of-failure exploration on a simulated platform: run a steady request
+// stream with fault injection and client retries, then report the outcome
+// taxonomy and what the failures were billed.
+int CmdFailures(const Flags& flags) {
+  const std::string platform_name = flags.Get("platform").value_or("aws");
+  const auto platform = ParsePlatform(platform_name);
+  if (!platform.has_value()) {
+    std::fprintf(stderr, "failures: unknown platform '%s'\n", platform_name.c_str());
+    return 1;
+  }
+  PlatformSimConfig sim_config;
+  switch (*platform) {
+    case Platform::kAwsLambda:
+      sim_config = AwsLambdaPlatform(1.0, 1769.0);
+      break;
+    case Platform::kGcpCloudRunFunctions:
+      sim_config = GcpPlatform(1.0, 1024.0);
+      break;
+    case Platform::kAzureConsumption:
+      sim_config = AzurePlatform();
+      break;
+    case Platform::kCloudflareWorkers:
+      sim_config = CloudflarePlatform();
+      break;
+    case Platform::kIbmCodeEngine:
+      sim_config = IbmPlatform(1.0, 2048.0);
+      break;
+    default:
+      std::fprintf(stderr,
+                   "failures: no platform-sim preset for '%s' "
+                   "(use aws, gcp, azure, ibm or cloudflare)\n",
+                   platform_name.c_str());
+      return 1;
+  }
+
+  const double rate = flags.GetDouble("rate", 0.05);
+  if (rate < 0.0 || rate > 1.0) {
+    std::fprintf(stderr, "failures: --rate must be in [0, 1]\n");
+    return 1;
+  }
+  sim_config.faults.crash_prob = rate;
+  sim_config.faults.init_failure_prob = rate / 4.0;
+  sim_config.faults.max_exec_duration =
+      MillisToMicros(flags.GetDouble("timeout-ms", 0.0));
+  sim_config.retry.max_attempts = static_cast<int>(flags.GetInt("retries", 3));
+
+  // Surface config errors (bad --retries / --timeout-ms) as CLI messages
+  // instead of letting the PlatformSim constructor throw.
+  const std::vector<std::string> errors = sim_config.Validate();
+  if (!errors.empty()) {
+    for (const std::string& err : errors) {
+      std::fprintf(stderr, "failures: %s\n", err.c_str());
+    }
+    return 1;
+  }
+
+  const double rps = flags.GetDouble("rps", 5.0);
+  const MicroSecs seconds = flags.GetInt("seconds", 120);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  PlatformSim sim(sim_config, seed);
+  const PlatformSimResult res =
+      sim.Run(UniformArrivals(rps, seconds * kMicrosPerSec), PyAesWorkload());
+
+  const BillingModel billing = MakeBillingModel(*platform);
+  Usd total = 0.0;
+  Usd failed_cost = 0.0;
+  for (const auto& att : res.attempts) {
+    const Invoice inv =
+        ComputeInvoice(billing, BillableRecord(att, sim_config.vcpus, sim_config.mem_mb));
+    total += inv.total;
+    if (att.outcome != Outcome::kOk) {
+      failed_cost += inv.total;
+    }
+  }
+
+  std::printf("%s: %.1f rps for %llds, crash %.1f%%, init-failure %.2f%%, %d attempts max\n",
+              billing.platform.c_str(), rps, static_cast<long long>(seconds),
+              sim_config.faults.crash_prob * 100.0,
+              sim_config.faults.init_failure_prob * 100.0, sim_config.retry.max_attempts);
+  std::printf("Requests:             %zu (%lld ok, %lld failed terminally)\n",
+              res.requests.size(), static_cast<long long>(res.successes),
+              static_cast<long long>(static_cast<int64_t>(res.requests.size()) -
+                                     res.successes));
+  std::printf("Attempts:             %zu (%lld retries)\n", res.attempts.size(),
+              static_cast<long long>(res.retries));
+  std::printf("  crashes:            %lld\n", static_cast<long long>(res.crash_attempts));
+  std::printf("  init failures:      %lld\n",
+              static_cast<long long>(res.init_failure_attempts));
+  std::printf("  timeouts:           %lld\n", static_cast<long long>(res.timeout_attempts));
+  std::printf("  rejections:         %lld\n", static_cast<long long>(res.rejected_attempts));
+  std::printf("Cold starts:          %d\n", res.cold_starts);
+  std::printf("Billed total:         $%.6g ($%.4g on failed attempts, %.1f%%)\n", total,
+              failed_cost, total > 0 ? failed_cost / total * 100.0 : 0.0);
+  if (res.successes > 0) {
+    std::printf("Cost per success:     $%.6g\n",
+                total / static_cast<double>(res.successes));
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: faascost <command> [flags]\n"
@@ -265,7 +370,8 @@ int Usage() {
                "  bill --platform P --exec-ms N ...    bill one request\n"
                "  audit [--trace f.csv|--requests N]   cost a workload on all platforms\n"
                "  rightsize --cpu-ms N --slo-ms N      quantization-aware rightsizing\n"
-               "  generate --out f.csv [--requests N]  write a synthetic trace\n");
+               "  generate --out f.csv [--requests N]  write a synthetic trace\n"
+               "  failures --platform P --rate R       cost of failures and retries\n");
   return 1;
 }
 
@@ -289,6 +395,9 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "generate") {
     return CmdGenerate(flags);
+  }
+  if (cmd == "failures") {
+    return CmdFailures(flags);
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return Usage();

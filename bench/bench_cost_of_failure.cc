@@ -9,8 +9,13 @@
 // failure rate under fixed retry policies on both serving models and
 // reports the billable inflation: cost per *successful* request,
 // normalized to the zero-failure run.
+//
+// Pass --json for machine-readable output (one object with per-section
+// arrays) instead of the human tables.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -58,47 +63,96 @@ RunStats RunOnce(PlatformSimConfig config, const BillingModel& billing, double r
   return out;
 }
 
-void SweepModel(const char* title, const PlatformSimConfig& base,
-                const BillingModel& billing, uint64_t seed) {
-  PrintHeader(title);
+struct SweepRow {
+  std::string model;
+  int max_attempts = 1;
+  double rate = 0.0;
+  RunStats stats;
+  double inflation = 0.0;
+};
+
+std::vector<SweepRow> SweepModel(const char* title, const char* key,
+                                 const PlatformSimConfig& base, const BillingModel& billing,
+                                 uint64_t seed, bool json) {
+  std::vector<SweepRow> rows;
+  if (!json) {
+    PrintHeader(title);
+  }
   for (const int max_attempts : {1, 3}) {
-    std::printf("\nRetry policy: %d attempt(s)%s\n", max_attempts,
-                max_attempts > 1 ? " with exponential backoff + full jitter" : "");
     TextTable table({"failure rate", "attempts", "ok", "cold starts", "billed $",
                      "failed-$ share", "$/success", "inflation"});
     double baseline = 0.0;
     for (const double rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
-      const RunStats s = RunOnce(base, billing, rate, max_attempts, seed);
+      SweepRow row;
+      row.model = key;
+      row.max_attempts = max_attempts;
+      row.rate = rate;
+      row.stats = RunOnce(base, billing, rate, max_attempts, seed);
+      const RunStats& s = row.stats;
       if (rate == 0.0) {
         baseline = s.cost_per_success;
       }
-      const double inflation =
+      row.inflation =
           baseline > 0.0 && s.cost_per_success > 0.0 ? s.cost_per_success / baseline : 0.0;
+      rows.push_back(row);
       table.AddRow({FormatPercent(rate, 0), FormatDouble(s.attempts, 0),
                     FormatDouble(static_cast<double>(s.successes), 0),
                     FormatDouble(s.cold_starts, 0), FormatDouble(s.total, 6),
                     FormatPercent(s.total > 0 ? s.failed_cost / s.total : 0.0, 1),
                     FormatSci(s.cost_per_success, 3),
-                    s.successes > 0 ? FormatDouble(inflation, 3) + "x"
+                    s.successes > 0 ? FormatDouble(row.inflation, 3) + "x"
                                     : std::string("n/a")});
     }
-    std::printf("%s", table.Render().c_str());
+    if (!json) {
+      std::printf("\nRetry policy: %d attempt(s)%s\n", max_attempts,
+                  max_attempts > 1 ? " with exponential backoff + full jitter" : "");
+      std::printf("%s", table.Render().c_str());
+    }
+  }
+  return rows;
+}
+
+void PrintSweepJson(const std::vector<SweepRow>& rows, bool* first) {
+  for (const SweepRow& r : rows) {
+    std::printf("%s\n    {\"model\": \"%s\", \"max_attempts\": %d, \"failure_rate\": %g, "
+                "\"attempts\": %lld, \"successes\": %lld, \"cold_starts\": %d, "
+                "\"billed_usd\": %.9g, \"failed_usd\": %.9g, \"cost_per_success\": %.9g, "
+                "\"inflation\": %.6g}",
+                *first ? "" : ",", r.model.c_str(), r.max_attempts, r.rate,
+                static_cast<long long>(r.stats.attempts),
+                static_cast<long long>(r.stats.successes), r.stats.cold_starts,
+                r.stats.total, r.stats.failed_cost, r.stats.cost_per_success, r.inflation);
+    *first = false;
   }
 }
 
 // Process death on a shared sandbox: when a crash kills every co-resident
 // request, retried batches die together and retries turn a moderate failure
 // rate into a storm of billed-but-failed attempts.
-void ProcessDeathTable() {
-  PrintHeader("Process death amplification (GCP multi-concurrency, crash kills sandbox)");
+void ProcessDeathTable(bool json) {
   const BillingModel billing = MakeBillingModel(Platform::kGcpCloudRunFunctions);
   TextTable table({"crash isolation", "retries", "attempts", "ok", "cold starts",
                    "billed $", "failed-$ share"});
+  bool first = true;
+  if (json) {
+    std::printf(",\n  \"process_death\": [");
+  }
   for (const bool kills : {false, true}) {
     for (const int max_attempts : {1, 3}) {
       PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
       cfg.faults.crash_kills_sandbox = kills;
       const RunStats s = RunOnce(cfg, billing, /*rate=*/0.05, max_attempts, /*seed=*/22);
+      if (json) {
+        std::printf("%s\n    {\"crash_kills_sandbox\": %s, \"max_attempts\": %d, "
+                    "\"attempts\": %lld, \"successes\": %lld, \"cold_starts\": %d, "
+                    "\"billed_usd\": %.9g, \"failed_usd\": %.9g}",
+                    first ? "" : ",", kills ? "true" : "false", max_attempts,
+                    static_cast<long long>(s.attempts),
+                    static_cast<long long>(s.successes), s.cold_starts, s.total,
+                    s.failed_cost);
+        first = false;
+        continue;
+      }
       table.AddRow({kills ? "process death" : "request only",
                     FormatDouble(max_attempts, 0), FormatDouble(s.attempts, 0),
                     FormatDouble(static_cast<double>(s.successes), 0),
@@ -106,14 +160,22 @@ void ProcessDeathTable() {
                     FormatPercent(s.total > 0 ? s.failed_cost / s.total : 0.0, 1)});
     }
   }
+  if (json) {
+    std::printf("\n  ]");
+    return;
+  }
+  PrintHeader("Process death amplification (GCP multi-concurrency, crash kills sandbox)");
   std::printf("%s", table.Render().c_str());
 }
 
 // What a single failed invocation is billed across the catalog: a crash at
 // 40% of a 200 ms execution, a timeout cut at a 1 s limit, and a 429.
-void FailureBillingTable() {
-  PrintHeader("What one failed invocation costs (1 vCPU / 1769 MB class)");
+void FailureBillingTable(bool json) {
   TextTable table({"Platform", "ok 200ms $", "crash@80ms $", "timeout@1s $", "429 $"});
+  bool first = true;
+  if (json) {
+    std::printf(",\n  \"failure_billing\": [");
+  }
   for (Platform p : AllPlatforms()) {
     const BillingModel m = MakeBillingModel(p);
     RequestRecord ok;
@@ -138,33 +200,69 @@ void FailureBillingTable() {
     rejected.exec_duration = 0;
     rejected.cpu_time = 0;
 
+    if (json) {
+      std::printf("%s\n    {\"platform\": \"%s\", \"ok_usd\": %.9g, \"crash_usd\": %.9g, "
+                  "\"timeout_usd\": %.9g, \"rejected_usd\": %.9g}",
+                  first ? "" : ",", m.platform.c_str(), ComputeInvoice(m, ok).total,
+                  ComputeInvoice(m, crash).total, ComputeInvoice(m, timeout).total,
+                  ComputeInvoice(m, rejected).total);
+      first = false;
+      continue;
+    }
     table.AddRow({m.platform, FormatSci(ComputeInvoice(m, ok).total, 3),
                   FormatSci(ComputeInvoice(m, crash).total, 3),
                   FormatSci(ComputeInvoice(m, timeout).total, 3),
                   FormatSci(ComputeInvoice(m, rejected).total, 3)});
   }
+  if (json) {
+    std::printf("\n  ]");
+    return;
+  }
+  PrintHeader("What one failed invocation costs (1 vCPU / 1769 MB class)");
   std::printf("%s", table.Render().c_str());
 }
 
 }  // namespace
 }  // namespace faascost
 
-int main() {
+int main(int argc, char** argv) {
   using namespace faascost;
-  SweepModel("Cost of failure: AWS Lambda (single-concurrency, turnaround billing)",
-             AwsLambdaPlatform(1.0, 1'769.0), MakeBillingModel(Platform::kAwsLambda),
-             /*seed=*/21);
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    }
+  }
+  if (json) {
+    std::printf("{\n  \"sweeps\": [");
+  }
+  bool first = true;
+  const auto aws = SweepModel(
+      "Cost of failure: AWS Lambda (single-concurrency, turnaround billing)", "aws",
+      AwsLambdaPlatform(1.0, 1'769.0), MakeBillingModel(Platform::kAwsLambda),
+      /*seed=*/21, json);
   // For the multi-concurrency sweep, crashes abort only their own request;
   // process death (a crash killing every co-resident request) is studied
   // separately below, because with retries it compounds into a retry storm
   // rather than a smooth per-rate trend.
   PlatformSimConfig gcp = GcpPlatform(1.0, 1'024.0);
   gcp.faults.crash_kills_sandbox = false;
-  SweepModel("Cost of failure: GCP Cloud Run functions (multi-concurrency)", gcp,
-             MakeBillingModel(Platform::kGcpCloudRunFunctions),
-             /*seed=*/22);
-  ProcessDeathTable();
-  FailureBillingTable();
+  const auto gcp_rows = SweepModel("Cost of failure: GCP Cloud Run functions "
+                                   "(multi-concurrency)",
+                                   "gcp", gcp,
+                                   MakeBillingModel(Platform::kGcpCloudRunFunctions),
+                                   /*seed=*/22, json);
+  if (json) {
+    PrintSweepJson(aws, &first);
+    PrintSweepJson(gcp_rows, &first);
+    std::printf("\n  ]");
+  }
+  ProcessDeathTable(json);
+  FailureBillingTable(json);
+  if (json) {
+    std::printf("\n}\n");
+    return 0;
+  }
   std::printf(
       "\nReading: 'inflation' is billed cost per successful request relative to\n"
       "the zero-failure run. Retries recover availability but multiply billed\n"

@@ -131,6 +131,8 @@ bool BillsResources(const FailureBillingRules& rules, Outcome outcome) {
     case Outcome::kRetriesExhausted:
       // Request-level aggregate; bill like the underlying failed attempt.
       return rules.bill_failed_duration;
+    case Outcome::kCircuitOpen:
+      return false;  // Fast-failed client-side; never reached the platform.
   }
   return true;
 }
@@ -139,6 +141,9 @@ bool BillsResources(const FailureBillingRules& rules, Outcome outcome) {
 
 Invoice ComputeInvoice(const BillingModel& model, const RequestRecord& request) {
   Invoice inv;
+  if (request.outcome == Outcome::kCircuitOpen) {
+    return inv;  // Never sent: no fee, no resources, $0 by construction.
+  }
   if (request.outcome == Outcome::kRejected) {
     inv.invocation_cost = model.failure.fee_on_rejection ? model.invocation_fee : 0.0;
     inv.total = inv.invocation_cost;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
@@ -16,17 +17,23 @@ namespace {
 struct LiveSandbox {
   MicroSecs available_at = 0;
   size_t span_index = 0;
-  bool dead = false;  // Destroyed by a crash; no reuse, no KA linger.
+  bool dead = false;  // Destroyed by a crash or host loss; no reuse, no KA linger.
+  int host = -1;      // Fault domain (only set when host faults are enabled).
 };
 
 // One dispatch (initial or retry) waiting to be processed. Ordering by
 // (arrival, seq) with seq = trace index for initial attempts reproduces the
-// fault-free per-record iteration order exactly.
+// fault-free per-record iteration order exactly. An attempt parked in an
+// admission queue keeps its `ticket` as the re-queue seq so queue order stays
+// FIFO across wake-ups.
 struct PendingAttempt {
   MicroSecs arrival = 0;
   int64_t seq = 0;
   size_t trace_idx = 0;
   int attempt = 1;
+  bool queued = false;        // Waiting in a function's admission queue.
+  MicroSecs queued_since = 0;
+  int64_t ticket = -1;
 
   bool operator>(const PendingAttempt& other) const {
     if (arrival != other.arrival) {
@@ -76,6 +83,21 @@ std::vector<std::string> FleetSimConfig::Validate() const {
   for (const std::string& e : retry.Validate()) {
     errors.push_back("retry: " + e);
   }
+  for (const std::string& e : host_faults.Validate()) {
+    errors.push_back("host_faults: " + e);
+  }
+  for (const std::string& e : admission.Validate()) {
+    errors.push_back("admission: " + e);
+  }
+  if (max_sandboxes_per_function < 0) {
+    errors.push_back("max_sandboxes_per_function must be >= 0 (0 = unbounded), got " +
+                     std::to_string(max_sandboxes_per_function));
+  }
+  if (admission.enabled && max_sandboxes_per_function <= 0) {
+    errors.push_back(
+        "admission control needs max_sandboxes_per_function > 0: with an "
+        "unbounded sandbox pool there is no capacity limit to queue against");
+  }
   return errors;
 }
 
@@ -93,10 +115,17 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
   }
   FleetResult result;
   result.requests = static_cast<int64_t>(trace.size());
+  result.e2e_latency.assign(trace.size(), 0);
   // The fault stream is separate from everything else and only drawn from
   // when a failure can actually fire, so a zero-fault config reproduces the
-  // fault-oblivious simulation exactly.
-  Rng fault_rng(config.fault_seed ^ 0x9e3779b97f4a7c15ULL);
+  // fault-oblivious simulation exactly. Stream 0 is the legacy
+  // `seed ^ gamma` derivation, keeping pre-chaos goldens bit-identical.
+  Rng fault_rng(DeriveSeed(config.fault_seed, kFaultStream));
+  HostFaultModel host_faults(config.host_faults, config.fault_seed);
+  const bool hosts_on = config.host_faults.enabled();
+  const MicroSecs drain = config.host_faults.drain_deadline;
+  const bool breaker_on = config.retry.breaker_threshold > 0;
+  const int cap = config.max_sandboxes_per_function;
 
   std::priority_queue<PendingAttempt, std::vector<PendingAttempt>,
                       std::greater<PendingAttempt>>
@@ -109,10 +138,174 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
 
   // Per-function sandbox pools, fed in global (arrival, seq) order.
   std::unordered_map<int64_t, std::vector<LiveSandbox>> pools;
+  // Per-function admission queue occupancy and client circuit breakers.
+  std::unordered_map<int64_t, int> queue_waiting;
+  std::unordered_map<int64_t, CircuitBreaker> breakers;
+  auto breaker_for = [&](int64_t fid) -> CircuitBreaker& {
+    return breakers
+        .try_emplace(fid, config.retry.breaker_threshold, config.retry.breaker_cooldown)
+        .first->second;
+  };
+
+  // The client's terminal resolution of a request, success or surrender.
+  auto resolve_terminal = [&](const PendingAttempt& at, MicroSecs when, bool ok) {
+    result.e2e_latency[at.trace_idx] = when - trace[at.trace_idx].arrival;
+    if (ok) {
+      ++result.successes;
+    }
+  };
+
+  // A failed attempt: schedule the retry, or resolve the request if the
+  // outcome is not retryable / the budget is spent.
+  auto handle_failure = [&](const PendingAttempt& at, MicroSecs end, bool retryable) {
+    if (retryable && at.attempt < config.retry.max_attempts) {
+      const MicroSecs delay = config.retry.BackoffDelay(at.attempt, fault_rng);
+      pending.push({end + delay, next_seq++, at.trace_idx, at.attempt + 1});
+      ++result.retries;
+    } else {
+      ++result.retries_exhausted;
+      resolve_terminal(at, end, false);
+    }
+  };
+
+  // Bill an attempt that never reached a sandbox (shed, queue timeout,
+  // breaker fast-fail): no resources ran, only per-invocation fee rules can
+  // apply. kCircuitOpen is $0 by construction.
+  auto bill_unexecuted = [&](const PendingAttempt& at, Outcome oc) {
+    RequestRecord billed = trace[at.trace_idx];
+    billed.cold_start = false;
+    billed.init_duration = 0;
+    billed.exec_duration = 0;
+    billed.cpu_time = 0;
+    billed.outcome = oc;
+    billed.attempt = at.attempt;
+    const Invoice inv = ComputeInvoice(billing, billed);
+    result.revenue += inv.total;
+    result.fee_revenue += inv.invocation_cost;
+  };
+
   while (!pending.empty()) {
-    const PendingAttempt at = pending.top();
+    PendingAttempt at = pending.top();
     pending.pop();
     const RequestRecord& r = trace[at.trace_idx];
+
+    // Client circuit breaker: fast-fail without reaching the platform. Only
+    // fresh dispatches are gated; an attempt already parked in an admission
+    // queue is a continuation, not a new dispatch.
+    if (breaker_on && !at.queued &&
+        !breaker_for(r.function_id).AllowDispatch(at.arrival)) {
+      ++result.attempts;
+      ++result.failed_attempts;
+      ++result.circuit_open_attempts;
+      bill_unexecuted(at, Outcome::kCircuitOpen);
+      handle_failure(at, at.arrival, /*retryable=*/true);
+      continue;
+    }
+
+    auto& pool = pools[r.function_id];
+    // Sweep idle sandboxes for host deaths, then reuse the most recently
+    // freed idle unexpired survivor.
+    LiveSandbox* reuse = nullptr;
+    for (auto& sb : pool) {
+      if (sb.dead || sb.available_at > at.arrival) {
+        continue;
+      }
+      if (hosts_on && sb.host >= 0) {
+        const MicroSecs idle_upto =
+            std::min(at.arrival, sb.available_at + config.keepalive);
+        if (auto ev = host_faults.FirstFailureIn(sb.host, sb.available_at, idle_upto)) {
+          // Died while idle: a drain of an idle sandbox retires it at once.
+          SandboxSpan& span = result.spans[sb.span_index];
+          span.idle += ev->time - sb.available_at;
+          span.destroyed_at = ev->time;
+          sb.dead = true;
+          ++result.host_fault_sandbox_kills;
+          continue;
+        }
+      }
+      if (at.arrival - sb.available_at <= config.keepalive &&
+          (reuse == nullptr || sb.available_at > reuse->available_at)) {
+        reuse = &sb;
+      }
+    }
+
+    // Per-function sandbox cap: no warm sandbox and no room to scale out
+    // means queueing (admission control), shedding, or plain rejection.
+    if (reuse == nullptr && cap > 0) {
+      int busy = 0;
+      MicroSecs next_free = std::numeric_limits<MicroSecs>::max();
+      for (const auto& sb : pool) {
+        if (!sb.dead && sb.available_at > at.arrival) {
+          ++busy;
+          next_free = std::min(next_free, sb.available_at);
+        }
+      }
+      if (busy >= cap) {
+        if (!config.admission.enabled) {
+          // A cap without a queue is the classic 429 at capacity.
+          ++result.attempts;
+          ++result.failed_attempts;
+          ++result.rejected_attempts;
+          bill_unexecuted(at, Outcome::kRejected);
+          if (breaker_on) {
+            breaker_for(r.function_id).RecordFailure(at.arrival);
+          }
+          handle_failure(at, at.arrival, config.retry.retry_rejected);
+          continue;
+        }
+        int& waiting = queue_waiting[r.function_id];
+        if (!at.queued) {
+          if (waiting >= config.admission.queue_depth) {
+            // Full queue: shed the newcomer. The fleet model is tail-drop
+            // only; reject-oldest lives in the event-driven PlatformSim.
+            ++result.attempts;
+            ++result.failed_attempts;
+            ++result.rejected_attempts;
+            bill_unexecuted(at, Outcome::kRejected);
+            if (breaker_on) {
+              breaker_for(r.function_id).RecordFailure(at.arrival);
+            }
+            handle_failure(at, at.arrival, config.retry.retry_rejected);
+            continue;
+          }
+          ++waiting;
+          ++result.queued_attempts;
+          at.queued = true;
+          at.queued_since = at.arrival;
+          at.ticket = next_seq++;
+        }
+        const MicroSecs deadline = config.admission.queue_timeout > 0
+                                       ? at.queued_since + config.admission.queue_timeout
+                                       : std::numeric_limits<MicroSecs>::max();
+        if (next_free > deadline) {
+          // No sandbox frees before the queue timeout: fail at the deadline.
+          --waiting;
+          ++result.attempts;
+          ++result.failed_attempts;
+          ++result.queue_timeout_attempts;
+          result.queue_wait_seconds += MicrosToSecs(deadline - at.queued_since);
+          bill_unexecuted(at, Outcome::kTimeout);
+          if (breaker_on) {
+            breaker_for(r.function_id).RecordFailure(deadline);
+          }
+          handle_failure(at, deadline, /*retryable=*/true);
+          continue;
+        }
+        // Wait for the earliest sandbox to free. Re-queuing under the
+        // original ticket keeps the queue FIFO across wake-ups.
+        PendingAttempt parked = at;
+        parked.arrival = next_free;
+        parked.seq = at.ticket;
+        pending.push(parked);
+        continue;
+      }
+    }
+
+    // Dispatching now; leave the admission queue if we were parked in it.
+    if (at.queued) {
+      --queue_waiting[r.function_id];
+      result.queue_wait_seconds += MicrosToSecs(at.arrival - at.queued_since);
+    }
     ++result.attempts;
 
     // Sample this attempt's fate. Crashes abort at a uniform point of the
@@ -134,45 +327,66 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
       effective = config.max_exec_duration;
     }
 
-    auto& pool = pools[r.function_id];
-    // Reuse the most recently freed sandbox that is idle and unexpired.
-    LiveSandbox* reuse = nullptr;
-    for (auto& sb : pool) {
-      if (!sb.dead && sb.available_at <= at.arrival &&
-          at.arrival - sb.available_at <= config.keepalive) {
-        if (reuse == nullptr || sb.available_at > reuse->available_at) {
-          reuse = &sb;
+    const bool cold = (reuse == nullptr);
+    const MicroSecs init = cold ? config.init_duration : 0;
+    int host = -1;
+    if (hosts_on) {
+      host = cold ? host_faults.PickHost(at.arrival) : reuse->host;
+    }
+    const MicroSecs body_start = at.arrival + init;
+    MicroSecs end = body_start + effective;
+    MicroSecs init_billed = init;
+    bool host_kills_sandbox = false;
+    if (hosts_on && host >= 0) {
+      if (auto ev = host_faults.FirstFailureIn(host, at.arrival, end)) {
+        // The host goes away while we run. A graceful drain grants the
+        // deadline to finish; an abrupt crash (or a blown deadline) kills
+        // the attempt where the host died. Either way the sandbox is gone.
+        const MicroSecs kill = ev->graceful ? ev->time + drain : ev->time;
+        host_kills_sandbox = true;
+        ++result.host_fault_sandbox_kills;
+        if (kill < end) {
+          ++result.host_fault_attempt_kills;
+          end = kill;
+          if (kill < body_start) {
+            oc = Outcome::kInitFailure;  // Died before init completed.
+            init_billed = kill - at.arrival;
+            effective = 0;
+          } else {
+            oc = Outcome::kCrash;
+            effective = kill - body_start;
+          }
+        } else if (ev->graceful) {
+          ++result.drain_survivals;  // Finished inside the drain window.
         }
       }
     }
-    bool cold = false;
-    MicroSecs end = 0;
-    if (reuse != nullptr) {
+
+    if (!cold) {
       SandboxSpan& span = result.spans[reuse->span_index];
       span.idle += at.arrival - reuse->available_at;
       span.busy += effective;
       ++span.requests;
-      end = at.arrival + effective;
       reuse->available_at = end;
-      if (oc == Outcome::kCrash) {
-        // Process death: the sandbox dies with the request, no KA linger.
+      if (oc == Outcome::kCrash || host_kills_sandbox) {
+        // Process death or host loss: no KA linger.
         reuse->dead = true;
         span.destroyed_at = end;
       }
     } else {
-      cold = true;
       SandboxSpan span;
       span.function_id = r.function_id;
       span.vcpus = r.alloc_vcpus;
       span.mem_mb = r.alloc_mem_mb;
       span.created_at = at.arrival;
-      span.busy = config.init_duration + effective;
+      span.busy = init_billed + effective;
       span.requests = 1;
-      end = at.arrival + config.init_duration + effective;
+      span.host = host;
       LiveSandbox sb;
       sb.available_at = end;
       sb.span_index = result.spans.size();
-      if (oc == Outcome::kCrash) {
+      sb.host = host;
+      if (oc == Outcome::kCrash || oc == Outcome::kInitFailure || host_kills_sandbox) {
         sb.dead = true;
         span.destroyed_at = end;
       }
@@ -194,38 +408,59 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
                                   static_cast<double>(r.exec_duration))
                             : r.cpu_time;
     }
+    if (oc == Outcome::kInitFailure) {
+      billed.init_duration = init_billed;  // Only the partial init ran.
+    }
     const Invoice inv = ComputeInvoice(billing, billed);
     result.revenue += inv.total;
     result.fee_revenue += inv.invocation_cost;
 
-    if (oc != Outcome::kOk) {
+    if (oc == Outcome::kOk) {
+      if (breaker_on) {
+        breaker_for(r.function_id).RecordSuccess();
+      }
+      resolve_terminal(at, end, true);
+    } else {
       ++result.failed_attempts;
       if (oc == Outcome::kCrash) {
         ++result.crash_attempts;
-      } else {
+      } else if (oc == Outcome::kTimeout) {
         ++result.timeout_attempts;
-      }
-      if (at.attempt < config.retry.max_attempts) {
-        const MicroSecs delay = config.retry.BackoffDelay(at.attempt, fault_rng);
-        pending.push({end + delay, next_seq++, at.trace_idx, at.attempt + 1});
-        ++result.retries;
       } else {
-        ++result.retries_exhausted;
+        ++result.init_failure_attempts;
       }
+      if (breaker_on) {
+        breaker_for(r.function_id).RecordFailure(end);
+      }
+      handle_failure(at, end, /*retryable=*/true);
     }
   }
 
   // Close every surviving sandbox: it lingers one keep-alive window past its
-  // last use (crashed sandboxes were destroyed on the spot).
+  // last use (crashed sandboxes were destroyed on the spot), unless its host
+  // dies mid-linger first.
   for (auto& [fid, pool] : pools) {
     for (const auto& sb : pool) {
       if (sb.dead) {
         continue;
       }
       SandboxSpan& span = result.spans[sb.span_index];
+      if (hosts_on && sb.host >= 0) {
+        if (auto ev = host_faults.FirstFailureIn(sb.host, sb.available_at,
+                                                 sb.available_at + config.keepalive)) {
+          span.idle += ev->time - sb.available_at;
+          span.destroyed_at = ev->time;
+          ++result.host_fault_sandbox_kills;
+          continue;
+        }
+      }
       span.idle += config.keepalive;
       span.destroyed_at = sb.available_at + config.keepalive;
     }
+  }
+  for (const auto& [fid, cb] : breakers) {
+    (void)fid;
+    result.breaker_trips += cb.trips();
   }
 
   result.sandboxes = static_cast<int64_t>(result.spans.size());

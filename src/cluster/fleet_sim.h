@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/billing/model.h"
+#include "src/cluster/host_faults.h"
 #include "src/cluster/placement.h"
 #include "src/platform/faults.h"
 #include "src/trace/record.h"
@@ -50,6 +51,22 @@ struct FleetSimConfig {
   // after backoff and are billed like any other attempt.
   RetryPolicy retry;
   uint64_t fault_seed = 1234;  // Seed of the fault RNG stream.
+  // --- Fleet-level chaos (host failures, admission control) ---
+  // Seeded host fault domains: sandboxes are pinned to logical hosts and a
+  // host loss destroys every resident sandbox (in-flight work crashes, the
+  // survivors stampede into cold starts). Disabled by default; a disabled
+  // model consumes no randomness, so zero-chaos runs stay bit-identical.
+  HostFaultModelConfig host_faults;
+  // Per-function sandbox cap. 0 = unbounded (every concurrent arrival gets
+  // a sandbox, as in the fault-free model). Must be > 0 for admission
+  // control to have anything to queue against.
+  int max_sandboxes_per_function = 0;
+  // Bounded per-function admission queue, active only with a sandbox cap:
+  // arrivals beyond the cap wait for a warm sandbox instead of fanning out,
+  // shed at kRejected past queue_depth, and fail kTimeout past
+  // queue_timeout. The fleet model sheds newest-only (reject-oldest needs
+  // the event-driven PlatformSim queue).
+  AdmissionControlConfig admission;
 
   // Human-readable config errors; empty when valid. SimulateFleet throws
   // std::invalid_argument on a non-empty result.
@@ -66,6 +83,7 @@ struct SandboxSpan {
   MicroSecs busy = 0;   // init + execution time.
   MicroSecs idle = 0;   // Keep-alive time.
   int64_t requests = 0;
+  int host = -1;  // Fault domain (only set when host faults are enabled).
 };
 
 struct FleetResult {
@@ -76,9 +94,24 @@ struct FleetResult {
   // Failure taxonomy over attempts (all zero in a fault-free run).
   int64_t failed_attempts = 0;
   int64_t crash_attempts = 0;
-  int64_t timeout_attempts = 0;
+  int64_t timeout_attempts = 0;       // Execution timeouts (not queue waits).
+  int64_t init_failure_attempts = 0;  // Host died before init completed.
   int64_t retries = 0;
-  int64_t retries_exhausted = 0;  // Requests whose every attempt failed.
+  int64_t retries_exhausted = 0;  // Requests that terminally failed.
+  int64_t successes = 0;          // Requests whose final attempt succeeded.
+  // --- Chaos taxonomy (all zero without host faults / admission control) ---
+  int64_t rejected_attempts = 0;       // Shed by a full admission queue.
+  int64_t queue_timeout_attempts = 0;  // Waited past admission queue_timeout.
+  int64_t circuit_open_attempts = 0;   // Fast-failed by the client breaker.
+  int64_t breaker_trips = 0;           // Closed->open transitions, all functions.
+  int64_t queued_attempts = 0;         // Attempts that waited in a queue at all.
+  double queue_wait_seconds = 0.0;     // Total admission-queue wait.
+  int64_t host_fault_attempt_kills = 0;   // In-flight attempts killed by host loss.
+  int64_t host_fault_sandbox_kills = 0;   // Sandboxes destroyed by host loss.
+  int64_t drain_survivals = 0;  // Attempts finished inside a graceful drain window.
+  // Per original request: terminal resolution time minus trace arrival
+  // (queueing delay, retries and backoff included). Indexed like the trace.
+  std::vector<MicroSecs> e2e_latency;
   double sandbox_seconds = 0.0;  // Sum of sandbox lifetimes.
   double busy_seconds = 0.0;
   double idle_seconds = 0.0;

@@ -1,0 +1,120 @@
+// Fleet-level host failure model: seeded, deterministic host crashes with
+// MTTR-based replacement, optional correlated zone-wide outages, and a
+// graceful-drain fraction (planned host retirement).
+//
+// Hosts here are *fault domains*: every sandbox is pinned to one logical
+// host at creation, and a host failure takes every resident sandbox down
+// with it — in-flight requests fail (Outcome::kCrash / kInitFailure), idle
+// sandboxes vanish, and the function's next arrivals stampede into cold
+// starts. Capacity packing (`ClusterPlacer`) stays a separate concern; the
+// fault domains are the unit of correlated loss, not of bin-packing.
+//
+// Determinism contract: every host draws from its own RNG stream derived
+// with `DeriveSeed(seed, kHostStreamBase + host)`, and the zone-outage
+// stream from `DeriveSeed(seed, kHostFaultStream)`, so the failure schedule
+// is a pure function of (config, seed) regardless of query order. A
+// disabled model generates nothing and consumes no randomness, keeping
+// zero-chaos fleet runs bit-identical to the fault-free simulator.
+
+#ifndef FAASCOST_CLUSTER_HOST_FAULTS_H_
+#define FAASCOST_CLUSTER_HOST_FAULTS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace faascost {
+
+struct HostFaultModelConfig {
+  // Number of logical fault domains sandboxes are spread across. 0 disables
+  // host-failure modeling entirely (no streams are ever created).
+  int hosts = 0;
+  // Per-host mean time between crashes, exponential inter-arrivals. 0 = a
+  // host never crashes on its own.
+  double mtbf_seconds = 0.0;
+  // Mean time to repair: a failed host rejoins (as a fresh host) this long
+  // after each failure; new sandboxes avoid hosts that are down.
+  double mttr_seconds = 120.0;
+  // Hosts are striped round-robin across this many zones (host h lives in
+  // zone h % zones); a zone outage fails every host in the zone at once.
+  int zones = 1;
+  // Mean time between whole-zone outages across the fleet. 0 = never.
+  double zone_outage_mtbf_seconds = 0.0;
+  // Fraction of host failures that are graceful drains (planned
+  // replacement): resident sandboxes refuse new admissions and get
+  // `drain_deadline` to finish in-flight work before the host goes away.
+  // Zone outages are always abrupt (that is what makes them outages).
+  double graceful_fraction = 0.0;
+  // Drain budget for graceful host retirement.
+  MicroSecs drain_deadline = 10LL * kMicrosPerSec;
+
+  // True when the model can produce any failure event.
+  bool enabled() const {
+    return hosts > 0 && (mtbf_seconds > 0.0 || zone_outage_mtbf_seconds > 0.0);
+  }
+  // Human-readable config errors; empty when valid.
+  std::vector<std::string> Validate() const;
+};
+
+// One host-loss event as seen by a resident sandbox.
+struct HostFailureEvent {
+  MicroSecs time = 0;
+  bool graceful = false;  // Drain (deadline applies) vs abrupt crash.
+};
+
+// Deterministic, lazily generated host-failure schedule. All queries only
+// ever *read* forward in each stream and cache what they generate, so any
+// query order yields the same schedule.
+class HostFaultModel {
+ public:
+  HostFaultModel(const HostFaultModelConfig& config, uint64_t seed);
+
+  // Earliest failure of `host` (own crash or its zone's outage) in the
+  // half-open window (after, upto]; nullopt when the host survives it.
+  std::optional<HostFailureEvent> FirstFailureIn(int host, MicroSecs after,
+                                                 MicroSecs upto);
+
+  // Round-robin host choice for a new sandbox at `t`, skipping hosts that
+  // are down (within MTTR of a failure). Falls back to plain round-robin
+  // when every host is down.
+  int PickHost(MicroSecs t);
+
+  // Whether `host` is inside the repair window of a failure at `t`.
+  bool IsDown(int host, MicroSecs t);
+
+  const HostFaultModelConfig& config() const { return config_; }
+
+ private:
+  // Extends a host's own-crash schedule until it covers time `t`.
+  void ExtendHostSchedule(int host, MicroSecs t);
+  // Extends the zone-outage schedule until it covers time `t`.
+  void ExtendZoneSchedule(MicroSecs t);
+
+  struct HostStream {
+    Rng rng;
+    std::vector<HostFailureEvent> events;  // Sorted by time.
+    MicroSecs generated_until = 0;
+    explicit HostStream(uint64_t seed) : rng(seed) {}
+  };
+
+  struct ZoneOutage {
+    MicroSecs time = 0;
+    int zone = 0;
+  };
+
+  HostFaultModelConfig config_;
+  uint64_t seed_ = 0;
+  std::vector<HostStream> hosts_;
+  Rng zone_rng_;
+  std::vector<ZoneOutage> zone_outages_;  // Sorted by time.
+  MicroSecs zones_generated_until_ = 0;
+  int next_host_ = 0;  // Round-robin cursor for PickHost.
+};
+
+}  // namespace faascost
+
+#endif  // FAASCOST_CLUSTER_HOST_FAULTS_H_

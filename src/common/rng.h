@@ -17,6 +17,25 @@
 
 namespace faascost {
 
+// Golden-ratio increment used to decorrelate derived seeds (splitmix64's
+// gamma). Historically the fault streams seeded themselves with
+// `seed ^ kSeedGamma`; DeriveSeed generalizes that to numbered streams.
+inline constexpr uint64_t kSeedGamma = 0x9e3779b97f4a7c15ULL;
+
+// Derives the seed of an independent RNG stream from a base seed. Stream 0
+// reproduces the legacy `seed ^ kSeedGamma` derivation bit-for-bit (golden
+// outputs depend on it); distinct stream numbers give distinct seeds for the
+// same base seed, so concurrently-running fault streams can never collide.
+inline constexpr uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  return seed ^ (kSeedGamma * (stream + 1));
+}
+
+// Well-known stream numbers. Keep these unique across the codebase.
+inline constexpr uint64_t kFaultStream = 0;      // Request-level fault model.
+inline constexpr uint64_t kHostFaultStream = 1;  // Fleet host-failure model.
+// Host-fault per-host streams occupy [kHostStreamBase, kHostStreamBase + hosts).
+inline constexpr uint64_t kHostStreamBase = 16;
+
 class Rng {
  public:
   explicit Rng(uint64_t seed);

@@ -33,13 +33,18 @@ std::vector<std::string> FaultModelConfig::Validate() const {
 
 MicroSecs RetryPolicy::BackoffDelay(int failed_attempt, Rng& rng) const {
   double bound = static_cast<double>(backoff_base);
-  for (int i = 1; i < failed_attempt; ++i) {
+  // The exponent is clamped so a runaway attempt counter cannot push the
+  // bound to infinity, and the bound itself is clamped below the MicroSecs
+  // range so the final cast is always well-defined even for absurd caps.
+  const int exponent = std::min(failed_attempt - 1, kBackoffExponentCap);
+  for (int i = 0; i < exponent; ++i) {
     bound *= backoff_multiplier;
     if (bound >= static_cast<double>(backoff_cap)) {
       break;
     }
   }
-  bound = std::min(bound, static_cast<double>(backoff_cap));
+  constexpr double kMaxRepresentable = 9.0e18;  // < INT64_MAX, cast-safe.
+  bound = std::min({bound, static_cast<double>(backoff_cap), kMaxRepresentable});
   if (full_jitter) {
     bound *= rng.NextDouble();
   }
@@ -66,11 +71,90 @@ std::vector<std::string> RetryPolicy::Validate() const {
     errors.push_back("attempt_timeout must be >= 0 (0 disables), got " +
                      std::to_string(attempt_timeout));
   }
+  if (breaker_threshold < 0) {
+    errors.push_back("breaker_threshold must be >= 0 (0 disables), got " +
+                     std::to_string(breaker_threshold));
+  }
+  if (breaker_threshold > 0 && breaker_cooldown <= 0) {
+    errors.push_back("breaker_cooldown must be > 0 when the breaker is enabled, got " +
+                     std::to_string(breaker_cooldown));
+  }
+  return errors;
+}
+
+CircuitBreaker::CircuitBreaker(int threshold, MicroSecs cooldown)
+    : threshold_(threshold), cooldown_(cooldown) {}
+
+bool CircuitBreaker::AllowDispatch(MicroSecs now) {
+  if (threshold_ <= 0) {
+    return true;
+  }
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now < open_until_) {
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_inflight_ = true;
+      return true;  // The half-open probe.
+    case State::kHalfOpen:
+      if (!probe_inflight_) {
+        probe_inflight_ = true;
+        return true;
+      }
+      return false;  // One probe at a time.
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (threshold_ <= 0) {
+    return;
+  }
+  consecutive_failures_ = 0;
+  state_ = State::kClosed;
+  probe_inflight_ = false;
+}
+
+void CircuitBreaker::RecordFailure(MicroSecs now) {
+  if (threshold_ <= 0) {
+    return;
+  }
+  if (state_ == State::kHalfOpen) {
+    // The probe (or a straggler) failed: straight back to open.
+    state_ = State::kOpen;
+    open_until_ = now + cooldown_;
+    probe_inflight_ = false;
+    ++trips_;
+    return;
+  }
+  if (++consecutive_failures_ >= threshold_ && state_ == State::kClosed) {
+    state_ = State::kOpen;
+    open_until_ = now + cooldown_;
+    consecutive_failures_ = 0;
+    ++trips_;
+  }
+}
+
+std::vector<std::string> AdmissionControlConfig::Validate() const {
+  std::vector<std::string> errors;
+  if (enabled && queue_depth <= 0) {
+    errors.push_back(
+        "queue_depth must be > 0 when admission control is enabled (a zero-depth "
+        "queue admits nothing), got " +
+        std::to_string(queue_depth));
+  }
+  if (queue_timeout < 0) {
+    errors.push_back("queue_timeout must be >= 0 (0 = wait forever), got " +
+                     std::to_string(queue_timeout));
+  }
   return errors;
 }
 
 FaultModel::FaultModel(FaultModelConfig config, uint64_t seed)
-    : config_(config), rng_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+    : config_(config), rng_(DeriveSeed(seed, kFaultStream)) {}
 
 bool FaultModel::SampleInitFailure() {
   if (config_.init_failure_prob <= 0.0) {

@@ -56,11 +56,15 @@ struct FaultModelConfig {
   std::vector<std::string> Validate() const;
 };
 
-// Client-side retry policy: serial attempts with exponential backoff.
+// Client-side retry policy: serial attempts with exponential backoff, plus an
+// optional circuit breaker that fast-fails dispatches while the service is
+// known-bad (capping retry storms at the source).
 struct RetryPolicy {
   int max_attempts = 1;  // Total attempts including the first; 1 = no retry.
   // Backoff before attempt k+1: min(cap, base * multiplier^(k-1)), with full
-  // jitter (uniform in [0, that bound]) when `full_jitter` is set.
+  // jitter (uniform in [0, that bound]) when `full_jitter` is set. The
+  // exponent is clamped (kBackoffExponentCap) so absurd attempt counts can
+  // never overflow the computation; the cap is the max_backoff clamp.
   MicroSecs backoff_base = 100 * kMicrosPerMilli;
   double backoff_multiplier = 2.0;
   MicroSecs backoff_cap = 10LL * kMicrosPerSec;
@@ -72,10 +76,78 @@ struct RetryPolicy {
   // Whether 429 rejections are retried (they usually are, which is what
   // turns overload into retry storms).
   bool retry_rejected = true;
+  // --- Circuit breaker (client side) ---
+  // Trip after this many consecutive client-observed failures; while open,
+  // dispatches fail fast with Outcome::kCircuitOpen (never billed). After
+  // `breaker_cooldown` a single half-open probe is let through: success
+  // closes the breaker, failure re-opens it for another cooldown. 0 disables.
+  int breaker_threshold = 0;
+  MicroSecs breaker_cooldown = 30LL * kMicrosPerSec;
 
-  bool enabled() const { return max_attempts > 1 || attempt_timeout > 0; }
+  bool enabled() const {
+    return max_attempts > 1 || attempt_timeout > 0 || breaker_threshold > 0;
+  }
   // Backoff delay before attempt number `failed_attempt + 1`.
   MicroSecs BackoffDelay(int failed_attempt, Rng& rng) const;
+  // Human-readable config errors; empty when valid.
+  std::vector<std::string> Validate() const;
+};
+
+// Largest exponent applied in BackoffDelay: 2^62 microseconds is ~146k years,
+// far past any cap, so clamping here loses nothing while keeping the repeated
+// multiplication (and the MicroSecs cast) finite for any attempt count.
+inline constexpr int kBackoffExponentCap = 62;
+
+// Runtime state of the RetryPolicy circuit breaker. One instance represents
+// one client fleet's view of one function. Short-circuited dispatches do not
+// feed back into the state; only real outcomes do.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(int threshold, MicroSecs cooldown);
+
+  // Whether a dispatch at `now` may proceed. While open this returns false
+  // until the cooldown elapses, then admits exactly one half-open probe
+  // (subsequent calls return false until that probe's outcome is recorded).
+  bool AllowDispatch(MicroSecs now);
+  // Client-observed outcome of a dispatched (admitted) attempt.
+  void RecordSuccess();
+  void RecordFailure(MicroSecs now);
+
+  bool enabled() const { return threshold_ > 0; }
+  int64_t trips() const { return trips_; }
+
+ private:
+  enum class State { kClosed, kOpen, kHalfOpen };
+  int threshold_ = 0;
+  MicroSecs cooldown_ = 0;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  MicroSecs open_until_ = 0;
+  bool probe_inflight_ = false;
+  int64_t trips_ = 0;
+};
+
+// How a full admission queue sheds load.
+enum class ShedPolicy {
+  kRejectNewest,  // The incoming attempt is rejected (classic tail drop).
+  kRejectOldest,  // The head of the queue is rejected to admit the newcomer.
+};
+
+inline const char* ShedPolicyName(ShedPolicy p) {
+  return p == ShedPolicy::kRejectNewest ? "reject-newest" : "reject-oldest";
+}
+
+// Bounded admission queue in front of a function's sandboxes, replacing the
+// binary reject-everything-at-capacity coin (`reject_on_overload`) with
+// backpressure: at capacity, up to `queue_depth` attempts wait; beyond that
+// the shed policy picks a victim (Outcome::kRejected), and attempts that wait
+// longer than `queue_timeout` fail with Outcome::kTimeout.
+struct AdmissionControlConfig {
+  bool enabled = false;        // Off = the pre-chaos overload behavior.
+  int queue_depth = 0;         // Must be > 0 when enabled.
+  MicroSecs queue_timeout = 0; // 0 = queued attempts wait forever.
+  ShedPolicy shed = ShedPolicy::kRejectNewest;
+
   // Human-readable config errors; empty when valid.
   std::vector<std::string> Validate() const;
 };

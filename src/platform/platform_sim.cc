@@ -22,6 +22,8 @@ enum class EventType {
   kRetryArrival,   // req_idx = original request index.
   kExecTimeout,    // req_idx = attempt index (platform-enforced timeout).
   kClientTimeout,  // req_idx = attempt index (client abandons the attempt).
+  kQueueTimeout,   // req_idx = attempt index (admission queue wait expired).
+  kDrainDeadline,  // sandbox_id = draining sandbox whose budget is up.
 };
 
 struct Event {
@@ -47,6 +49,7 @@ struct SandboxState {
   int id = 0;
   bool dead = false;
   bool initializing = true;
+  bool draining = false;     // Refusing admissions; dies when inflight empties.
   bool init_failed = false;  // Fault-injected: init ends in failure.
   MicroSecs created_at = 0;
   MicroSecs ready_at = 0;
@@ -100,6 +103,13 @@ std::vector<std::string> PlatformSimConfig::Validate() const {
   for (const std::string& e : retry.Validate()) {
     errors.push_back("retry: " + e);
   }
+  for (const std::string& e : admission.Validate()) {
+    errors.push_back("admission: " + e);
+  }
+  if (drain_deadline < 0) {
+    errors.push_back("drain_deadline must be >= 0 (0 = drains kill at once), got " +
+                     std::to_string(drain_deadline));
+  }
   return errors;
 }
 
@@ -124,6 +134,9 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
   // Faults draw from their own stream: a zero-fault run leaves the main
   // stream — and therefore every result — identical to a fault-free build.
   FaultModel faults(config_.faults, seed_);
+  // One client fleet, one function: a single shared breaker. Disabled
+  // (threshold 0) it never gates, records, or trips.
+  CircuitBreaker breaker(config_.retry.breaker_threshold, config_.retry.breaker_cooldown);
   AutoscalerConfig scaler_config = config_.autoscaler;
   scaler_config.per_instance_capacity =
       config_.vcpus * config_.autoscaler.target_utilization;
@@ -234,7 +247,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
   auto ready_count = [&] {
     int n = 0;
     for (const auto& s : sandboxes) {
-      if (!s.dead && !s.initializing) {
+      if (!s.dead && !s.initializing && !s.draining) {
         ++n;
       }
     }
@@ -327,6 +340,9 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       case Outcome::kRejected:
         ++result.rejected_attempts;
         break;
+      case Outcome::kCircuitOpen:
+        ++result.circuit_open_attempts;
+        break;
       default:
         break;
     }
@@ -338,6 +354,11 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     const AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
     RequestOutcome& out = result.requests[static_cast<size_t>(att.req_idx)];
     out.last_error = oc;
+    if (breaker.enabled() && oc != Outcome::kCircuitOpen) {
+      // Real client-observed failures feed the breaker; its own
+      // short-circuits must not, or one trip would loop forever.
+      breaker.RecordFailure(now);
+    }
     const bool retryable = oc != Outcome::kRejected || config_.retry.retry_rejected;
     if (retryable && att.attempt < config_.retry.max_attempts) {
       const MicroSecs delay = config_.retry.BackoffDelay(att.attempt, faults.rng());
@@ -384,6 +405,9 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     if (att.client_abandoned) {
       return;  // The response has no one left to deliver to.
     }
+    if (breaker.enabled()) {
+      breaker.RecordSuccess();
+    }
     RequestOutcome& out = result.requests[static_cast<size_t>(req.req_idx)];
     out.outcome = Outcome::kOk;
     out.completion = now;
@@ -404,7 +428,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       SandboxState* best = nullptr;
       int eligible = 0;
       for (auto& s : sandboxes) {
-        if (s.dead || s.initializing) {
+        if (s.dead || s.initializing || s.draining) {
           continue;
         }
         if (static_cast<int>(s.inflight.size()) >= config_.concurrency_limit) {
@@ -433,6 +457,63 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     }
   };
 
+  // Sheds one attempt to make room in a full admission queue; returns false
+  // when the incoming attempt itself was the victim (reject-newest).
+  auto shed_for = [&](int attempt_idx) {
+    ++result.shed_attempts;
+    if (config_.admission.shed == ShedPolicy::kRejectNewest) {
+      fail_attempt(attempt_idx, Outcome::kRejected);
+      return false;
+    }
+    // Reject-oldest: the head of the queue has waited longest and is the
+    // most likely to time out anyway; fail it to admit the newcomer.
+    const int victim = global_queue.front();
+    global_queue.pop_front();
+    fail_attempt(victim, Outcome::kRejected);
+    return true;
+  };
+
+  // Single-concurrency admission pump: when capacity frees up (a sandbox
+  // goes idle or dies), admit waiting attempts — warm reuse first, then
+  // cold starts while under the instance cap. No-op unless the bounded
+  // admission queue is enabled, so default runs never touch it.
+  auto pump_admission = [&] {
+    if (!config_.admission.enabled || multi) {
+      return;
+    }
+    while (!global_queue.empty()) {
+      SandboxState* best = nullptr;
+      for (auto& s : sandboxes) {
+        if (s.dead || s.draining || s.initializing || !s.inflight.empty()) {
+          continue;
+        }
+        if (s.ka_deadline >= 0 && s.ka_deadline <= now) {
+          continue;
+        }
+        if (best == nullptr || s.ready_at > best->ready_at) {
+          best = &s;
+        }
+      }
+      const int attempt_idx = global_queue.front();
+      if (best != nullptr) {
+        global_queue.pop_front();
+        advance(*best);
+        start_attempt(*best, attempt_idx, /*cold=*/false);
+        best->rate = compute_rate(*best);
+        schedule_next(*best);
+        continue;
+      }
+      if (alive_count() < config_.max_instances) {
+        global_queue.pop_front();
+        SandboxState& fresh = create_sandbox();
+        fresh.pending_local.push_back(attempt_idx);
+        result.attempts[static_cast<size_t>(attempt_idx)].sandbox_id = fresh.id;
+        continue;
+      }
+      return;  // Still saturated; the queue keeps waiting.
+    }
+  };
+
   // Creates an attempt record for `req_idx` and routes it to a sandbox, the
   // global queue, or immediate rejection.
   auto dispatch = [&](int req_idx) {
@@ -447,6 +528,12 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     attempt_started.push_back(0);
     ++open_attempts;
     result.requests[static_cast<size_t>(req_idx)].attempts = attempt_no;
+    if (breaker.enabled() && !breaker.AllowDispatch(now)) {
+      // Fast-fail at the client: the attempt never reaches the platform and
+      // is never billed (and never starts a client-timeout clock).
+      fail_attempt(attempt_idx, Outcome::kCircuitOpen);
+      return;
+    }
     if (config_.retry.attempt_timeout > 0) {
       queue.push(
           {now + config_.retry.attempt_timeout, EventType::kClientTimeout, -1, 0, attempt_idx});
@@ -455,7 +542,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       // Reuse the most recently used warm idle sandbox, else cold start.
       SandboxState* best = nullptr;
       for (auto& s : sandboxes) {
-        if (s.dead || s.initializing || !s.inflight.empty()) {
+        if (s.dead || s.draining || s.initializing || !s.inflight.empty()) {
           continue;
         }
         if (s.ka_deadline >= 0 && s.ka_deadline <= now) {
@@ -472,6 +559,20 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         // schedule_next bumps the generation, which also invalidates the
         // pending KA-expiry event of the previously idle sandbox.
         schedule_next(*best);
+        return;
+      }
+      if (config_.admission.enabled && alive_count() >= config_.max_instances) {
+        // Saturated: wait in the bounded admission queue instead of either
+        // rejecting outright or scaling past the cap.
+        if (static_cast<int>(global_queue.size()) >= config_.admission.queue_depth &&
+            !shed_for(attempt_idx)) {
+          return;  // The newcomer was the shed victim.
+        }
+        global_queue.push_back(attempt_idx);
+        if (config_.admission.queue_timeout > 0) {
+          queue.push({now + config_.admission.queue_timeout, EventType::kQueueTimeout, -1,
+                      0, attempt_idx});
+        }
         return;
       }
       if (config_.faults.reject_on_overload && alive_count() >= config_.max_instances) {
@@ -501,7 +602,19 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         return;
       }
     }
-    // Queue at the ingress and let the pull logic place it.
+    // Queue at the ingress and let the pull logic place it. With admission
+    // control the ingress queue is bounded: past the depth the shed policy
+    // picks a victim, and waits are clocked against queue_timeout.
+    if (config_.admission.enabled) {
+      if (static_cast<int>(global_queue.size()) >= config_.admission.queue_depth &&
+          !shed_for(attempt_idx)) {
+        return;
+      }
+      if (config_.admission.queue_timeout > 0) {
+        queue.push({now + config_.admission.queue_timeout, EventType::kQueueTimeout, -1, 0,
+                    attempt_idx});
+      }
+    }
     global_queue.push_back(attempt_idx);
     pull_global_queue();
     if (!global_queue.empty() && alive_count() == 0) {
@@ -625,7 +738,11 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         }
         s.rate = compute_rate(s);
         if (s.inflight.empty()) {
-          enter_idle(s);
+          if (s.draining) {
+            s.dead = true;  // Drain complete: the instance retires cleanly.
+          } else {
+            enter_idle(s);
+          }
           if (multi) {
             pull_global_queue();
           }
@@ -658,7 +775,11 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         fail_attempt(attempt_idx, Outcome::kTimeout);
         s.rate = compute_rate(s);
         if (s.inflight.empty()) {
-          enter_idle(s);
+          if (s.draining) {
+            s.dead = true;
+          } else {
+            enter_idle(s);
+          }
           if (multi) {
             pull_global_queue();
           }
@@ -699,6 +820,45 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         resolve_client(attempt_idx, Outcome::kTimeout);
         break;
       }
+      case EventType::kQueueTimeout: {
+        const int attempt_idx = ev.req_idx;
+        if (!attempt_open[static_cast<size_t>(attempt_idx)] ||
+            attempt_started[static_cast<size_t>(attempt_idx)]) {
+          break;  // Admitted or already concluded while the clock ran.
+        }
+        if (result.attempts[static_cast<size_t>(attempt_idx)].sandbox_id >= 0) {
+          break;  // Admitted to a cold-starting sandbox: init wait, not queue wait.
+        }
+        const auto it = std::find(global_queue.begin(), global_queue.end(), attempt_idx);
+        if (it == global_queue.end()) {
+          break;
+        }
+        global_queue.erase(it);
+        ++result.queue_timeout_attempts;
+        fail_attempt(attempt_idx, Outcome::kTimeout);
+        break;
+      }
+      case EventType::kDrainDeadline: {
+        SandboxState& s = sandboxes[static_cast<size_t>(ev.sandbox_id)];
+        if (s.dead || !s.draining) {
+          break;
+        }
+        advance(s);
+        // The drain budget is spent: whatever is still running dies with
+        // the instance (the cost of degrading gracefully but not infinitely).
+        for (const auto& r : s.inflight) {
+          AttemptOutcome& att = result.attempts[static_cast<size_t>(r.attempt_idx)];
+          att.exec_duration = now - att.start_exec;
+          ++result.drain_killed_attempts;
+          fail_attempt(r.attempt_idx, Outcome::kCrash);
+        }
+        s.inflight.clear();
+        s.dead = true;
+        if (multi && !global_queue.empty() && alive_count() == 0) {
+          create_sandbox();
+        }
+        break;
+      }
       case EventType::kKaExpire: {
         SandboxState& s = sandboxes[static_cast<size_t>(ev.sandbox_id)];
         if (s.dead || ev.gen != s.gen || !s.inflight.empty() || s.initializing) {
@@ -727,10 +887,26 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
             if (to_remove <= 0) {
               break;
             }
-            if (!s.dead && !s.initializing && s.inflight.empty()) {
+            if (!s.dead && !s.initializing && !s.draining && s.inflight.empty()) {
               advance(s);
               s.dead = true;
               --to_remove;
+            }
+          }
+          if (config_.scaledown_drains_busy) {
+            // Graceful degradation: surplus busy instances stop taking new
+            // work and get drain_deadline to finish what they hold.
+            for (auto& s : sandboxes) {
+              if (to_remove <= 0) {
+                break;
+              }
+              if (!s.dead && !s.initializing && !s.draining && !s.inflight.empty()) {
+                advance(s);
+                s.draining = true;
+                ++result.drained_sandboxes;
+                queue.push({now + config_.drain_deadline, EventType::kDrainDeadline, s.id});
+                --to_remove;
+              }
             }
           }
           last_scale_action = now;
@@ -781,6 +957,9 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         break;
       }
     }
+    // Any event can free capacity (idle sandbox, death, KA expiry); admit
+    // waiting single-model attempts as soon as it does. No-op by default.
+    pump_admission();
   }
 
   // Finalize accounting; surviving sandboxes are closed at the last event.
@@ -808,6 +987,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
   }
   result.retries =
       static_cast<int64_t>(result.attempts.size()) - static_cast<int64_t>(result.requests.size());
+  result.breaker_trips = breaker.trips();
   return result;
 }
 

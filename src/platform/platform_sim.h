@@ -74,6 +74,20 @@ struct PlatformSimConfig {
   // with no retries, which reproduces the failure-oblivious behavior exactly.
   FaultModelConfig faults;
   RetryPolicy retry;
+  // Bounded admission queue at the ingress. When enabled it replaces the
+  // binary `faults.reject_on_overload` coin with backpressure: at
+  // `max_instances` with no warm capacity, attempts wait (up to queue_depth
+  // deep, up to queue_timeout long) and the shed policy picks the victim
+  // past the depth. Off by default: the pre-chaos overload behavior.
+  AdmissionControlConfig admission;
+  // Graceful degradation on scale-down: when set, surplus *busy* sandboxes
+  // are drained — they refuse new admissions, finish in-flight work, and
+  // anything still running `drain_deadline` later is killed (kCrash).
+  // Off by default: scale-down only ever reaps idle sandboxes (pre-chaos).
+  bool scaledown_drains_busy = false;
+  // Platform drain budget; presets carry per-provider values. Only consulted
+  // when a drain actually starts, so it never perturbs default runs.
+  MicroSecs drain_deadline = 0;
 
   // Human-readable config errors; empty when valid. PlatformSim's
   // constructor throws std::invalid_argument on a non-empty result.
@@ -150,6 +164,13 @@ struct PlatformSimResult {
   int64_t timeout_attempts = 0;
   int64_t rejected_attempts = 0;
   int64_t retries = 0;  // attempts.size() - requests.size().
+  // --- Chaos accounting (all zero with admission/breaker/drains off) ---
+  int64_t circuit_open_attempts = 0;  // Breaker fast-fails (never billed).
+  int64_t queue_timeout_attempts = 0; // Admission-queue waits past timeout.
+  int64_t shed_attempts = 0;          // Rejected by a full admission queue.
+  int64_t breaker_trips = 0;          // Closed->open transitions.
+  int64_t drained_sandboxes = 0;      // Busy sandboxes put into draining.
+  int64_t drain_killed_attempts = 0;  // In-flight work killed at the drain deadline.
 };
 
 class PlatformSim {

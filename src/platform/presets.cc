@@ -13,6 +13,8 @@ PlatformSimConfig AwsLambdaPlatform(double vcpus, MegaBytes mem_mb) {
   c.keepalive = MakeAwsKeepAlive();
   c.init_mean = 400 * kMicrosPerMilli;
   c.init_jitter = 0.30;
+  // Lambda gives extensions ~2 s to wrap up on environment shutdown.
+  c.drain_deadline = 2LL * kMicrosPerSec;
   return c;
 }
 
@@ -30,6 +32,8 @@ PlatformSimConfig GcpPlatform(double vcpus, MegaBytes mem_mb) {
   c.autoscaler_enabled = true;
   c.autoscaler.target_utilization = 0.6;  // 60% CPU utilization target.
   c.autoscaler.metric_window = 60LL * kMicrosPerSec;
+  // Cloud Run sends SIGTERM and allows ~10 s before SIGKILL.
+  c.drain_deadline = 10LL * kMicrosPerSec;
   return c;
 }
 
@@ -47,6 +51,8 @@ PlatformSimConfig AzurePlatform() {
   c.autoscaler_enabled = true;
   c.autoscaler.target_utilization = 0.7;
   c.autoscaler.metric_window = 30LL * kMicrosPerSec;
+  // Functions host drain on scale-in is generous (tens of seconds).
+  c.drain_deadline = 30LL * kMicrosPerSec;
   return c;
 }
 
@@ -61,6 +67,8 @@ PlatformSimConfig CloudflarePlatform() {
   c.keepalive = MakeCloudflareKeepAlive();
   c.init_mean = 5 * kMicrosPerMilli;  // Load + JIT, masked by TLS pre-warm.
   c.init_jitter = 0.40;
+  // Isolates are evicted near-instantly; in-flight work gets ~1 s.
+  c.drain_deadline = 1LL * kMicrosPerSec;
   return c;
 }
 
@@ -76,6 +84,8 @@ PlatformSimConfig IbmPlatform(double vcpus, MegaBytes mem_mb) {
   c.init_mean = 1'000 * kMicrosPerMilli;
   c.init_jitter = 0.30;
   c.autoscaler_enabled = true;
+  // Knative-style termination grace period.
+  c.drain_deadline = 10LL * kMicrosPerSec;
   return c;
 }
 

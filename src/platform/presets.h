@@ -1,6 +1,11 @@
 // Platform presets wiring concurrency model, serving architecture, keep-alive
 // policy and cold-start characteristics to match the paper's observations of
 // each provider (§3).
+//
+// Every preset also carries a per-provider `drain_deadline` (the grace period
+// in-flight work gets when an instance is retired). It is only consulted once
+// draining is switched on (`scaledown_drains_busy`, or fleet host faults), so
+// preset-based default runs are unaffected.
 
 #ifndef FAASCOST_PLATFORM_PRESETS_H_
 #define FAASCOST_PLATFORM_PRESETS_H_

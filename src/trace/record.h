@@ -24,6 +24,8 @@ enum class Outcome {
   kTimeout,           // Platform-enforced execution timeout, or client gave up.
   kRejected,          // Overload rejection (HTTP 429): never admitted.
   kRetriesExhausted,  // Request-level: every client attempt failed.
+  kCircuitOpen,       // Client circuit breaker fast-failed the dispatch;
+                      // the attempt never reached the platform (not billed).
 };
 
 inline const char* OutcomeName(Outcome o) {
@@ -40,6 +42,8 @@ inline const char* OutcomeName(Outcome o) {
       return "rejected";
     case Outcome::kRetriesExhausted:
       return "retries_exhausted";
+    case Outcome::kCircuitOpen:
+      return "circuit_open";
   }
   return "unknown";
 }

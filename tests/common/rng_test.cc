@@ -203,6 +203,35 @@ TEST_P(RngCorrelatedTest, PairCorrelationMatchesRho) {
 INSTANTIATE_TEST_SUITE_P(Rhos, RngCorrelatedTest,
                          ::testing::Values(0.0, 0.25, 0.44, 0.7, 0.95, -0.5));
 
+TEST(DeriveSeedTest, StreamZeroReproducesLegacyDerivation) {
+  // The pre-DeriveSeed fault streams seeded themselves with
+  // `seed ^ 0x9e3779b97f4a7c15`; golden simulator outputs depend on stream 0
+  // still producing exactly that value.
+  for (const uint64_t seed : {0ULL, 1ULL, 1234ULL, 0xdeadbeefULL}) {
+    EXPECT_EQ(DeriveSeed(seed, kFaultStream), seed ^ 0x9e3779b97f4a7c15ULL);
+  }
+}
+
+TEST(DeriveSeedTest, DistinctStreamsDistinctSeeds) {
+  const uint64_t seed = 42;
+  std::vector<uint64_t> seen;
+  for (uint64_t stream = 0; stream < 64; ++stream) {
+    const uint64_t derived = DeriveSeed(seed, stream);
+    for (const uint64_t prior : seen) {
+      EXPECT_NE(derived, prior) << "stream " << stream;
+    }
+    seen.push_back(derived);
+  }
+  // And the streams actually decorrelate the engines, not just the seeds.
+  Rng a(DeriveSeed(seed, 0));
+  Rng b(DeriveSeed(seed, 1));
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
 TEST(Rng, ForkProducesIndependentStream) {
   Rng parent(55);
   Rng child = parent.Fork();

@@ -1,0 +1,185 @@
+// Cross-config property sweep: invariants that must hold for every request
+// and every attempt regardless of which chaos knobs are turned — faults,
+// retries, execution timeouts, admission queues under overload, circuit
+// breakers, client abandonment, and busy-instance draining. No goldens here;
+// these are the structural guarantees the billing analysis leans on:
+//
+//   1. End-to-end latency covers the last attempt's execution: a client
+//      cannot observe a response faster than the work that produced it.
+//   2. Billed durations never exceed the attempt's turnaround: the platform
+//      cannot bill time that did not elapse between dispatch and resolution.
+//      (Client-abandoned attempts are the documented exception: the platform
+//      keeps executing — and billing — after the client walks away.)
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/platform/faults.h"
+#include "src/platform/platform_sim.h"
+#include "src/platform/presets.h"
+#include "src/platform/workload.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kSec = kMicrosPerSec;
+constexpr MicroSecs kMs = kMicrosPerMilli;
+
+struct SweepCase {
+  std::string name;
+  PlatformSimConfig cfg;
+  double rps = 20.0;
+  MicroSecs duration = 10 * kSec;
+  uint64_t seed = 5;
+};
+
+std::vector<SweepCase> BuildCases() {
+  std::vector<SweepCase> cases;
+
+  {
+    SweepCase c{"aws-default", AwsLambdaPlatform(1.0, 1'769.0)};
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"aws-faults-retries", AwsLambdaPlatform(1.0, 1'769.0)};
+    c.cfg.faults.crash_prob = 0.10;
+    c.cfg.faults.init_failure_prob = 0.05;
+    c.cfg.retry.max_attempts = 3;
+    c.seed = 6;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"aws-exec-timeout", AwsLambdaPlatform(1.0, 1'769.0)};
+    c.cfg.faults.max_exec_duration = 100 * kMs;  // PyAes needs ~160 ms.
+    c.cfg.retry.max_attempts = 2;
+    c.seed = 7;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"aws-overload-reject-newest", AwsLambdaPlatform(1.0, 1'769.0)};
+    c.cfg.max_instances = 2;
+    c.cfg.admission.enabled = true;
+    c.cfg.admission.queue_depth = 8;
+    c.cfg.admission.queue_timeout = 500 * kMs;
+    c.cfg.admission.shed = ShedPolicy::kRejectNewest;
+    c.cfg.retry.max_attempts = 2;
+    c.rps = 50.0;
+    c.seed = 8;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"aws-overload-reject-oldest-breaker", AwsLambdaPlatform(1.0, 1'769.0)};
+    c.cfg.max_instances = 2;
+    c.cfg.admission.enabled = true;
+    c.cfg.admission.queue_depth = 8;
+    c.cfg.admission.queue_timeout = 500 * kMs;
+    c.cfg.admission.shed = ShedPolicy::kRejectOldest;
+    c.cfg.faults.crash_prob = 0.20;
+    c.cfg.retry.max_attempts = 3;
+    c.cfg.retry.breaker_threshold = 2;
+    c.cfg.retry.breaker_cooldown = 3 * kSec;
+    c.rps = 50.0;
+    c.seed = 9;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"aws-client-abandonment", AwsLambdaPlatform(1.0, 1'769.0)};
+    c.cfg.retry.max_attempts = 3;
+    c.cfg.retry.attempt_timeout = 150 * kMs;
+    c.seed = 10;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"gcp-default", GcpPlatform(1.0, 1'024.0)};
+    c.rps = 30.0;
+    c.seed = 11;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"gcp-drains-busy", GcpPlatform(1.0, 1'024.0)};
+    c.cfg.scaledown_drains_busy = true;
+    c.cfg.drain_deadline = 500 * kMs;
+    c.cfg.faults.crash_prob = 0.05;
+    c.cfg.retry.max_attempts = 2;
+    c.rps = 30.0;
+    c.seed = 12;
+    cases.push_back(c);
+  }
+
+  return cases;
+}
+
+TEST(ChaosInvariants, LatencyCoversWorkAndBillingCoversOnlyTurnaround) {
+  for (const SweepCase& c : BuildCases()) {
+    SCOPED_TRACE(c.name);
+    PlatformSim sim(c.cfg, c.seed);
+    const PlatformSimResult res = sim.Run(UniformArrivals(c.rps, c.duration), PyAesWorkload());
+    ASSERT_FALSE(res.requests.empty());
+    ASSERT_FALSE(res.attempts.empty());
+
+    // Find each request's final attempt so per-request checks can honor the
+    // client-abandonment exception.
+    std::vector<const AttemptOutcome*> last_attempt(res.requests.size(), nullptr);
+    std::vector<int> attempt_counts(res.requests.size(), 0);
+    for (const AttemptOutcome& att : res.attempts) {
+      ASSERT_GE(att.req_idx, 0);
+      ASSERT_LT(static_cast<size_t>(att.req_idx), res.requests.size());
+      const auto idx = static_cast<size_t>(att.req_idx);
+      ++attempt_counts[idx];
+      if (last_attempt[idx] == nullptr || att.attempt > last_attempt[idx]->attempt) {
+        last_attempt[idx] = &att;
+      }
+    }
+
+    for (const AttemptOutcome& att : res.attempts) {
+      SCOPED_TRACE("attempt of request " + std::to_string(att.req_idx));
+      // Time flows forward: resolution never precedes dispatch, execution
+      // never precedes dispatch.
+      EXPECT_GE(att.end, att.dispatched);
+      if (att.start_exec > 0) {
+        EXPECT_GE(att.start_exec, att.dispatched);
+      }
+      // Billed durations (init + execution, the BillableRecord inputs) fit
+      // inside the dispatch->resolution turnaround — except when the client
+      // abandoned the attempt and the platform billed past the withdrawal.
+      if (!att.client_abandoned) {
+        EXPECT_LE(att.init_duration + att.exec_duration, att.end - att.dispatched);
+      }
+      // Fast-failed dispatches never touched a sandbox: nothing billable.
+      if (att.outcome == Outcome::kCircuitOpen) {
+        EXPECT_EQ(att.exec_duration, 0);
+        EXPECT_EQ(att.init_duration, 0);
+        EXPECT_EQ(att.sandbox_id, -1);
+      }
+    }
+
+    for (size_t i = 0; i < res.requests.size(); ++i) {
+      SCOPED_TRACE("request " + std::to_string(i));
+      const RequestOutcome& req = res.requests[i];
+      ASSERT_NE(last_attempt[i], nullptr);
+      EXPECT_EQ(req.attempts, attempt_counts[i]);
+      EXPECT_GE(req.completion, req.arrival);
+      EXPECT_EQ(req.e2e_latency, req.completion - req.arrival);
+      // The client-observed latency covers at least the final attempt's
+      // execution — unless the client stopped waiting for it.
+      if (!last_attempt[i]->client_abandoned) {
+        EXPECT_GE(req.e2e_latency, req.reported_duration);
+      }
+    }
+
+    // Aggregate bookkeeping stays consistent under every chaos mix.
+    int64_t ok = 0;
+    for (const RequestOutcome& req : res.requests) {
+      ok += req.outcome == Outcome::kOk ? 1 : 0;
+    }
+    EXPECT_EQ(res.successes, ok);
+    EXPECT_EQ(res.retries,
+              static_cast<int64_t>(res.attempts.size()) -
+                  static_cast<int64_t>(res.requests.size()));
+  }
+}
+
+}  // namespace
+}  // namespace faascost

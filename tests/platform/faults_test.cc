@@ -80,6 +80,28 @@ TEST(RetryPolicyBackoff, FullJitterStaysInBound) {
   }
 }
 
+TEST(RetryPolicyBackoff, HugeAttemptCountsDoNotOverflow) {
+  RetryPolicy retry;
+  retry.backoff_base = 100 * kMs;
+  retry.backoff_multiplier = 2.0;
+  retry.backoff_cap = 10 * kSec;
+  retry.full_jitter = false;
+  Rng rng(7);
+  // Exponents far past kBackoffExponentCap (and past what any double can
+  // represent exactly) must clamp to the cap instead of overflowing into
+  // negative or zero delays.
+  for (const int attempt : {63, 64, 100, 1'000, 1'000'000, INT32_MAX}) {
+    EXPECT_EQ(retry.BackoffDelay(attempt, rng), retry.backoff_cap) << attempt;
+  }
+  // Even with an absurd multiplier and no cap to hide behind, the delay is
+  // finite and positive.
+  retry.backoff_cap = 0x7fffffffffffffffLL;
+  for (const int attempt : {100, INT32_MAX}) {
+    const MicroSecs d = retry.BackoffDelay(attempt, rng);
+    EXPECT_GT(d, 0) << attempt;
+  }
+}
+
 // --- Zero-fault runs reproduce the pre-fault baseline exactly ---
 // Golden values captured from the simulator before fault injection existed;
 // the fault path must not perturb the RNG stream or the event sequence.

@@ -19,4 +19,15 @@ cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 
 echo
+echo "== Chaos suites, sanitized (focused re-run) =="
+ctest --test-dir "$repo/build-asan" -R 'chaos|host_faults|faults_test' \
+  --output-on-failure -j "$jobs"
+
+echo
+echo "== Failure benches: --json smoke =="
+"$repo/build/bench/bench_cost_of_failure" --json > /dev/null
+"$repo/build/bench/bench_cost_of_chaos" --json > /dev/null
+echo "both benches emitted JSON."
+
+echo
 echo "ci.sh: both tiers green."

@@ -8,10 +8,15 @@
 //   faascost generate  --out file.csv [--requests N] [--functions N] [--seed S]
 //   faascost failures  --platform aws --rate 0.05 --retries 3 [--rps N]
 //                      [--seconds N] [--timeout-ms N] [--seed S]
+//   faascost chaos     --platform aws --hosts 16 --mtbf-s 3600 [--mttr-s N]
+//                      [--zones N] [--zone-outage-mtbf-s N] [--graceful F]
+//                      [--breaker-threshold N] [--retries N] [--requests N]
+//                      [--functions N] [--seed S]
 //   faascost platforms
 //
 // Exit status: 0 on success, 1 on usage errors.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +27,7 @@
 
 #include "src/billing/analysis.h"
 #include "src/billing/catalog.h"
+#include "src/cluster/fleet_sim.h"
 #include "src/common/table.h"
 #include "src/core/rightsizing.h"
 #include "src/platform/platform_sim.h"
@@ -363,6 +369,110 @@ int CmdFailures(const Flags& flags) {
   return 0;
 }
 
+// Fleet-level chaos: run the same synthetic trace healthy and with host
+// fault injection, and report what the failures cost in availability, tail
+// latency and dollars per successful request.
+int CmdChaos(const Flags& flags) {
+  const std::string platform_name = flags.Get("platform").value_or("aws");
+  const auto platform = ParsePlatform(platform_name);
+  if (!platform.has_value()) {
+    std::fprintf(stderr, "chaos: unknown platform '%s'\n", platform_name.c_str());
+    return 1;
+  }
+
+  TraceGenConfig tcfg;
+  tcfg.num_requests = flags.GetInt("requests", 20'000);
+  tcfg.num_functions = flags.GetInt("functions", 200);
+  tcfg.window = flags.GetInt("seconds", 3'600) * kMicrosPerSec;
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  FleetSimConfig chaos;
+  chaos.fault_seed = seed;
+  chaos.retry.max_attempts = static_cast<int>(flags.GetInt("retries", 3));
+  chaos.retry.breaker_threshold =
+      static_cast<int>(flags.GetInt("breaker-threshold", 0));
+  chaos.host_faults.hosts = static_cast<int>(flags.GetInt("hosts", 16));
+  chaos.host_faults.mtbf_seconds = flags.GetDouble("mtbf-s", 3'600.0);
+  chaos.host_faults.mttr_seconds = flags.GetDouble("mttr-s", 120.0);
+  chaos.host_faults.zones = static_cast<int>(flags.GetInt("zones", 1));
+  chaos.host_faults.zone_outage_mtbf_seconds =
+      flags.GetDouble("zone-outage-mtbf-s", 0.0);
+  chaos.host_faults.graceful_fraction = flags.GetDouble("graceful", 0.3);
+
+  // Surface config errors (bad --mtbf-s / --graceful / ...) as CLI messages
+  // instead of letting SimulateFleet throw.
+  const std::vector<std::string> errors = chaos.Validate();
+  if (!errors.empty()) {
+    for (const std::string& err : errors) {
+      std::fprintf(stderr, "chaos: %s\n", err.c_str());
+    }
+    return 1;
+  }
+
+  FleetSimConfig healthy = chaos;
+  healthy.host_faults = HostFaultModelConfig{};
+  healthy.retry.breaker_threshold = 0;
+
+  const std::vector<RequestRecord> trace = TraceGenerator(tcfg, seed).Generate();
+  const BillingModel billing = MakeBillingModel(*platform);
+  const FleetResult base = SimulateFleet(trace, billing, healthy);
+  const FleetResult res = SimulateFleet(trace, billing, chaos);
+
+  const auto p99_ms = [](std::vector<MicroSecs> lat) {
+    if (lat.empty()) {
+      return 0.0;
+    }
+    std::sort(lat.begin(), lat.end());
+    const size_t idx = (lat.size() * 99 + 99) / 100 - 1;
+    return static_cast<double>(lat[std::min(idx, lat.size() - 1)]) /
+           static_cast<double>(kMicrosPerMilli);
+  };
+  const auto availability = [](const FleetResult& r) {
+    return r.requests > 0
+               ? static_cast<double>(r.successes) / static_cast<double>(r.requests)
+               : 0.0;
+  };
+  const auto cost_per_success = [](const FleetResult& r) {
+    return r.successes > 0 ? r.revenue / static_cast<double>(r.successes) : 0.0;
+  };
+
+  std::printf("%s: %lld requests / %lld functions over %llds, %d hosts, "
+              "MTBF %.0fs, MTTR %.0fs, %.0f%% graceful, %d attempts%s\n",
+              billing.platform.c_str(), static_cast<long long>(tcfg.num_requests),
+              static_cast<long long>(tcfg.num_functions),
+              static_cast<long long>(tcfg.window / kMicrosPerSec),
+              chaos.host_faults.hosts, chaos.host_faults.mtbf_seconds,
+              chaos.host_faults.mttr_seconds,
+              chaos.host_faults.graceful_fraction * 100.0, chaos.retry.max_attempts,
+              chaos.retry.breaker_threshold > 0 ? ", breaker on" : "");
+  TextTable t({"", "healthy", "chaos"});
+  t.AddRow({"availability", FormatPercent(availability(base), 3),
+            FormatPercent(availability(res), 3)});
+  t.AddRow({"p99 e2e ms", FormatDouble(p99_ms(base.e2e_latency), 1),
+            FormatDouble(p99_ms(res.e2e_latency), 1)});
+  t.AddRow({"$/success", FormatSci(cost_per_success(base), 3),
+            FormatSci(cost_per_success(res), 3)});
+  t.AddRow({"cold starts", FormatDouble(static_cast<double>(base.cold_starts), 0),
+            FormatDouble(static_cast<double>(res.cold_starts), 0)});
+  t.AddRow({"attempts", FormatDouble(static_cast<double>(base.attempts), 0),
+            FormatDouble(static_cast<double>(res.attempts), 0)});
+  t.AddRow({"attempt kills", "0",
+            FormatDouble(static_cast<double>(res.host_fault_attempt_kills), 0)});
+  t.AddRow({"sandbox kills", "0",
+            FormatDouble(static_cast<double>(res.host_fault_sandbox_kills), 0)});
+  t.AddRow({"drain survivals", "0",
+            FormatDouble(static_cast<double>(res.drain_survivals), 0)});
+  t.AddRow({"breaker trips", "0",
+            FormatDouble(static_cast<double>(res.breaker_trips), 0)});
+  std::printf("%s", t.Render().c_str());
+  const double base_cps = cost_per_success(base);
+  if (base_cps > 0.0 && res.successes > 0) {
+    std::printf("Cost of chaos: %+.2f%% per successful request\n",
+                (cost_per_success(res) / base_cps - 1.0) * 100.0);
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: faascost <command> [flags]\n"
@@ -371,7 +481,8 @@ int Usage() {
                "  audit [--trace f.csv|--requests N]   cost a workload on all platforms\n"
                "  rightsize --cpu-ms N --slo-ms N      quantization-aware rightsizing\n"
                "  generate --out f.csv [--requests N]  write a synthetic trace\n"
-               "  failures --platform P --rate R       cost of failures and retries\n");
+               "  failures --platform P --rate R       cost of failures and retries\n"
+               "  chaos --platform P --mtbf-s N        cost of fleet host failures\n");
   return 1;
 }
 
@@ -398,6 +509,9 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "failures") {
     return CmdFailures(flags);
+  }
+  if (cmd == "chaos") {
+    return CmdChaos(flags);
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return Usage();

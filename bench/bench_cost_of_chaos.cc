@@ -27,6 +27,7 @@
 #include "bench/bench_util.h"
 #include "src/billing/catalog.h"
 #include "src/cluster/fleet_sim.h"
+#include "src/common/json_writer.h"
 #include "src/common/table.h"
 #include "src/platform/platform_sim.h"
 #include "src/platform/presets.h"
@@ -258,39 +259,45 @@ int main(int argc, char** argv) {
   const auto fleet = FleetHostFaultSection(json);
   const auto overload = OverloadSection(json);
   if (json) {
-    std::printf("{\n  \"fleet_host_faults\": [");
-    bool first = true;
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("fleet_host_faults");
+    w.BeginArray();
     for (const FleetChaosRow& r : fleet) {
-      std::printf("%s\n    {\"scenario\": \"%s\", \"mtbf_seconds\": %g, \"breaker\": %s, "
-                  "\"availability\": %.9g, \"p99_e2e_ms\": %.9g, "
-                  "\"cost_per_success\": %.9g, \"cold_starts\": %lld, "
-                  "\"attempt_kills\": %lld, \"sandbox_kills\": %lld, "
-                  "\"drain_survivals\": %lld, \"breaker_trips\": %lld}",
-                  first ? "" : ",", r.label.c_str(), r.mtbf_seconds,
-                  r.breaker ? "true" : "false", r.availability, r.p99_ms,
-                  r.cost_per_success, static_cast<long long>(r.cold_starts),
-                  static_cast<long long>(r.attempt_kills),
-                  static_cast<long long>(r.sandbox_kills),
-                  static_cast<long long>(r.drain_survivals),
-                  static_cast<long long>(r.breaker_trips));
-      first = false;
+      w.BeginObject();
+      w.KV("scenario", r.label);
+      w.KV("mtbf_seconds", r.mtbf_seconds);
+      w.KV("breaker", r.breaker);
+      w.KV("availability", r.availability);
+      w.KV("p99_e2e_ms", r.p99_ms);
+      w.KV("cost_per_success", r.cost_per_success);
+      w.KV("cold_starts", r.cold_starts);
+      w.KV("attempt_kills", r.attempt_kills);
+      w.KV("sandbox_kills", r.sandbox_kills);
+      w.KV("drain_survivals", r.drain_survivals);
+      w.KV("breaker_trips", r.breaker_trips);
+      w.EndObject();
     }
-    std::printf("\n  ],\n  \"platform_overload\": [");
-    first = true;
+    w.EndArray();
+    w.Key("platform_overload");
+    w.BeginArray();
     for (const OverloadRow& r : overload) {
-      std::printf("%s\n    {\"scenario\": \"%s\", \"shed_policy\": \"%s\", \"breaker\": %s, "
-                  "\"availability\": %.9g, \"p99_e2e_ms\": %.9g, "
-                  "\"cost_per_success\": %.9g, \"shed\": %lld, \"queue_timeouts\": %lld, "
-                  "\"circuit_open\": %lld, \"breaker_trips\": %lld}",
-                  first ? "" : ",", r.label.c_str(), r.policy.c_str(),
-                  r.breaker ? "true" : "false", r.availability, r.p99_ms,
-                  r.cost_per_success, static_cast<long long>(r.shed),
-                  static_cast<long long>(r.queue_timeouts),
-                  static_cast<long long>(r.circuit_open),
-                  static_cast<long long>(r.breaker_trips));
-      first = false;
+      w.BeginObject();
+      w.KV("scenario", r.label);
+      w.KV("shed_policy", r.policy);
+      w.KV("breaker", r.breaker);
+      w.KV("availability", r.availability);
+      w.KV("p99_e2e_ms", r.p99_ms);
+      w.KV("cost_per_success", r.cost_per_success);
+      w.KV("shed", r.shed);
+      w.KV("queue_timeouts", r.queue_timeouts);
+      w.KV("circuit_open", r.circuit_open);
+      w.KV("breaker_trips", r.breaker_trips);
+      w.EndObject();
     }
-    std::printf("\n  ]\n}\n");
+    w.EndArray();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
     return 0;
   }
   std::printf(

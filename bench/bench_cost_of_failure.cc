@@ -20,6 +20,7 @@
 
 #include "bench/bench_util.h"
 #include "src/billing/catalog.h"
+#include "src/common/json_writer.h"
 #include "src/common/table.h"
 #include "src/platform/platform_sim.h"
 #include "src/platform/presets.h"
@@ -112,45 +113,46 @@ std::vector<SweepRow> SweepModel(const char* title, const char* key,
   return rows;
 }
 
-void PrintSweepJson(const std::vector<SweepRow>& rows, bool* first) {
+void WriteSweepJson(const std::vector<SweepRow>& rows, JsonWriter* w) {
   for (const SweepRow& r : rows) {
-    std::printf("%s\n    {\"model\": \"%s\", \"max_attempts\": %d, \"failure_rate\": %g, "
-                "\"attempts\": %lld, \"successes\": %lld, \"cold_starts\": %d, "
-                "\"billed_usd\": %.9g, \"failed_usd\": %.9g, \"cost_per_success\": %.9g, "
-                "\"inflation\": %.6g}",
-                *first ? "" : ",", r.model.c_str(), r.max_attempts, r.rate,
-                static_cast<long long>(r.stats.attempts),
-                static_cast<long long>(r.stats.successes), r.stats.cold_starts,
-                r.stats.total, r.stats.failed_cost, r.stats.cost_per_success, r.inflation);
-    *first = false;
+    w->BeginObject();
+    w->KV("model", r.model);
+    w->KV("max_attempts", r.max_attempts);
+    w->KV("failure_rate", r.rate);
+    w->KV("attempts", r.stats.attempts);
+    w->KV("successes", r.stats.successes);
+    w->KV("cold_starts", r.stats.cold_starts);
+    w->KV("billed_usd", r.stats.total);
+    w->KV("failed_usd", r.stats.failed_cost);
+    w->KV("cost_per_success", r.stats.cost_per_success);
+    w->KV("inflation", r.inflation);
+    w->EndObject();
   }
 }
 
 // Process death on a shared sandbox: when a crash kills every co-resident
 // request, retried batches die together and retries turn a moderate failure
-// rate into a storm of billed-but-failed attempts.
-void ProcessDeathTable(bool json) {
+// rate into a storm of billed-but-failed attempts. With `w` set, appends the
+// rows to the open "process_death" array instead of printing a table.
+void ProcessDeathTable(JsonWriter* w) {
   const BillingModel billing = MakeBillingModel(Platform::kGcpCloudRunFunctions);
   TextTable table({"crash isolation", "retries", "attempts", "ok", "cold starts",
                    "billed $", "failed-$ share"});
-  bool first = true;
-  if (json) {
-    std::printf(",\n  \"process_death\": [");
-  }
   for (const bool kills : {false, true}) {
     for (const int max_attempts : {1, 3}) {
       PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
       cfg.faults.crash_kills_sandbox = kills;
       const RunStats s = RunOnce(cfg, billing, /*rate=*/0.05, max_attempts, /*seed=*/22);
-      if (json) {
-        std::printf("%s\n    {\"crash_kills_sandbox\": %s, \"max_attempts\": %d, "
-                    "\"attempts\": %lld, \"successes\": %lld, \"cold_starts\": %d, "
-                    "\"billed_usd\": %.9g, \"failed_usd\": %.9g}",
-                    first ? "" : ",", kills ? "true" : "false", max_attempts,
-                    static_cast<long long>(s.attempts),
-                    static_cast<long long>(s.successes), s.cold_starts, s.total,
-                    s.failed_cost);
-        first = false;
+      if (w != nullptr) {
+        w->BeginObject();
+        w->KV("crash_kills_sandbox", kills);
+        w->KV("max_attempts", max_attempts);
+        w->KV("attempts", s.attempts);
+        w->KV("successes", s.successes);
+        w->KV("cold_starts", s.cold_starts);
+        w->KV("billed_usd", s.total);
+        w->KV("failed_usd", s.failed_cost);
+        w->EndObject();
         continue;
       }
       table.AddRow({kills ? "process death" : "request only",
@@ -160,8 +162,7 @@ void ProcessDeathTable(bool json) {
                     FormatPercent(s.total > 0 ? s.failed_cost / s.total : 0.0, 1)});
     }
   }
-  if (json) {
-    std::printf("\n  ]");
+  if (w != nullptr) {
     return;
   }
   PrintHeader("Process death amplification (GCP multi-concurrency, crash kills sandbox)");
@@ -170,12 +171,9 @@ void ProcessDeathTable(bool json) {
 
 // What a single failed invocation is billed across the catalog: a crash at
 // 40% of a 200 ms execution, a timeout cut at a 1 s limit, and a 429.
-void FailureBillingTable(bool json) {
+// With `w` set, appends to the open "failure_billing" array instead.
+void FailureBillingTable(JsonWriter* w) {
   TextTable table({"Platform", "ok 200ms $", "crash@80ms $", "timeout@1s $", "429 $"});
-  bool first = true;
-  if (json) {
-    std::printf(",\n  \"failure_billing\": [");
-  }
   for (Platform p : AllPlatforms()) {
     const BillingModel m = MakeBillingModel(p);
     RequestRecord ok;
@@ -200,13 +198,14 @@ void FailureBillingTable(bool json) {
     rejected.exec_duration = 0;
     rejected.cpu_time = 0;
 
-    if (json) {
-      std::printf("%s\n    {\"platform\": \"%s\", \"ok_usd\": %.9g, \"crash_usd\": %.9g, "
-                  "\"timeout_usd\": %.9g, \"rejected_usd\": %.9g}",
-                  first ? "" : ",", m.platform.c_str(), ComputeInvoice(m, ok).total,
-                  ComputeInvoice(m, crash).total, ComputeInvoice(m, timeout).total,
-                  ComputeInvoice(m, rejected).total);
-      first = false;
+    if (w != nullptr) {
+      w->BeginObject();
+      w->KV("platform", m.platform);
+      w->KV("ok_usd", ComputeInvoice(m, ok).total);
+      w->KV("crash_usd", ComputeInvoice(m, crash).total);
+      w->KV("timeout_usd", ComputeInvoice(m, timeout).total);
+      w->KV("rejected_usd", ComputeInvoice(m, rejected).total);
+      w->EndObject();
       continue;
     }
     table.AddRow({m.platform, FormatSci(ComputeInvoice(m, ok).total, 3),
@@ -214,8 +213,7 @@ void FailureBillingTable(bool json) {
                   FormatSci(ComputeInvoice(m, timeout).total, 3),
                   FormatSci(ComputeInvoice(m, rejected).total, 3)});
   }
-  if (json) {
-    std::printf("\n  ]");
+  if (w != nullptr) {
     return;
   }
   PrintHeader("What one failed invocation costs (1 vCPU / 1769 MB class)");
@@ -233,10 +231,6 @@ int main(int argc, char** argv) {
       json = true;
     }
   }
-  if (json) {
-    std::printf("{\n  \"sweeps\": [");
-  }
-  bool first = true;
   const auto aws = SweepModel(
       "Cost of failure: AWS Lambda (single-concurrency, turnaround billing)", "aws",
       AwsLambdaPlatform(1.0, 1'769.0), MakeBillingModel(Platform::kAwsLambda),
@@ -253,16 +247,27 @@ int main(int argc, char** argv) {
                                    MakeBillingModel(Platform::kGcpCloudRunFunctions),
                                    /*seed=*/22, json);
   if (json) {
-    PrintSweepJson(aws, &first);
-    PrintSweepJson(gcp_rows, &first);
-    std::printf("\n  ]");
-  }
-  ProcessDeathTable(json);
-  FailureBillingTable(json);
-  if (json) {
-    std::printf("\n}\n");
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("sweeps");
+    w.BeginArray();
+    WriteSweepJson(aws, &w);
+    WriteSweepJson(gcp_rows, &w);
+    w.EndArray();
+    w.Key("process_death");
+    w.BeginArray();
+    ProcessDeathTable(&w);
+    w.EndArray();
+    w.Key("failure_billing");
+    w.BeginArray();
+    FailureBillingTable(&w);
+    w.EndArray();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
     return 0;
   }
+  ProcessDeathTable(nullptr);
+  FailureBillingTable(nullptr);
   std::printf(
       "\nReading: 'inflation' is billed cost per successful request relative to\n"
       "the zero-failure run. Retries recover availability but multiply billed\n"

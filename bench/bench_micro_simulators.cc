@@ -6,6 +6,8 @@
 #include "src/billing/analysis.h"
 #include "src/billing/catalog.h"
 #include "src/cluster/fleet_sim.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/platform/presets.h"
 #include "src/sched/bandwidth_sim.h"
 #include "src/sched/host_sim.h"
@@ -82,6 +84,34 @@ void BM_PlatformSimThousandRequests(benchmark::State& state) {
 }
 BENCHMARK(BM_PlatformSimThousandRequests);
 
+// Same run with the span sink and metrics registry attached: the delta
+// against the untraced variant is the observability overhead (the PR's
+// budget for it is <10%).
+void BM_PlatformSimThousandRequestsTraced(benchmark::State& state) {
+  const WorkloadSpec wl = PyAesWorkload();
+  // The sinks live across iterations, as they do in a real `observe` run:
+  // what is measured is the steady-state emission cost, not allocator warmup.
+  SpanCollector spans;
+  MetricsRegistry metrics;
+  for (auto _ : state) {
+    state.PauseTiming();
+    spans.Clear();
+    metrics.Reset();
+    PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+    cfg.trace = &spans;
+    cfg.metrics = &metrics;
+    PlatformSim sim(cfg, 5);
+    Rng rng(6);
+    const auto arrivals = PoissonArrivals(10.0, 100LL * kMicrosPerSec, rng);
+    state.ResumeTiming();
+    const auto result = sim.Run(arrivals, wl);
+    benchmark::DoNotOptimize(result.requests.size());
+    benchmark::DoNotOptimize(spans.spans().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_PlatformSimThousandRequestsTraced);
+
 void BM_HostSimSecond(benchmark::State& state) {
   HostSimConfig cfg;
   cfg.cores = 4;
@@ -108,6 +138,37 @@ void BM_FleetSimDay(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FleetSimDay)->Arg(50'000);
+
+// Traced counterpart of BM_FleetSimDay (USD-tagged spans plus metrics
+// sampling), for the same overhead comparison. The sinks live across
+// iterations as in a real `observe` run, and the metrics cadence is 1 minute
+// — the standard resolution for day-scale monitoring; sampling a simulated
+// day at 1 Hz would produce 86 400 rows and measure the sampler, not the
+// instrumentation.
+void BM_FleetSimDayTraced(benchmark::State& state) {
+  TraceGenConfig cfg;
+  cfg.num_requests = state.range(0);
+  cfg.num_functions = 500;
+  const auto trace = TraceGenerator(cfg, 7).Generate();
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  SpanCollector spans;
+  MetricsRegistry metrics;
+  for (auto _ : state) {
+    state.PauseTiming();
+    spans.Clear();
+    metrics.Reset();
+    FleetSimConfig fleet_cfg;
+    fleet_cfg.trace_sink = &spans;
+    fleet_cfg.metrics = &metrics;
+    fleet_cfg.metrics_interval = 60 * kMicrosPerSec;
+    state.ResumeTiming();
+    const FleetResult r = SimulateFleet(trace, aws, fleet_cfg);
+    benchmark::DoNotOptimize(r.revenue);
+    benchmark::DoNotOptimize(spans.spans().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FleetSimDayTraced)->Arg(50'000);
 
 }  // namespace
 }  // namespace faascost

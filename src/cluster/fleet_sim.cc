@@ -98,6 +98,9 @@ std::vector<std::string> FleetSimConfig::Validate() const {
         "admission control needs max_sandboxes_per_function > 0: with an "
         "unbounded sandbox pool there is no capacity limit to queue against");
   }
+  if (metrics != nullptr && metrics_interval <= 0) {
+    errors.push_back("metrics_interval must be > 0 when a metrics registry is attached");
+  }
   return errors;
 }
 
@@ -147,6 +150,47 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
         .first->second;
   };
 
+  // --- Observability (no-ops when the hooks are null) ---
+  TraceSink* const sink = config.trace_sink;
+  MetricsRegistry* const metrics = config.metrics;
+  struct MetricIds {
+    int attempts = 0, failures = 0, cold = 0, retries = 0;
+    int queue_waiting = 0, revenue = 0, fees = 0;
+  };
+  MetricIds mid;
+  MicroSecs next_sample = 0;
+  int64_t waiting_now = 0;  // Attempts currently parked in admission queues.
+  if (metrics != nullptr) {
+    using K = MetricsRegistry::Kind;
+    mid.attempts = metrics->Define(K::kGauge, "fleet.attempts_total");
+    mid.failures = metrics->Define(K::kGauge, "fleet.failed_attempts_total");
+    mid.cold = metrics->Define(K::kGauge, "fleet.cold_starts_total");
+    mid.retries = metrics->Define(K::kGauge, "fleet.retries_total");
+    mid.queue_waiting = metrics->Define(K::kGauge, "fleet.queue_waiting");
+    mid.revenue = metrics->Define(K::kGauge, "fleet.revenue_usd");
+    mid.fees = metrics->Define(K::kGauge, "fleet.fee_revenue_usd");
+    if (!trace.empty()) {
+      next_sample = trace.front().arrival;
+    }
+  }
+  // Rows snapshot the running totals on every cadence boundary up to `t`.
+  auto sample_metrics_until = [&](MicroSecs t) {
+    if (metrics == nullptr) {
+      return;
+    }
+    while (t >= next_sample) {
+      metrics->Set(mid.attempts, static_cast<double>(result.attempts));
+      metrics->Set(mid.failures, static_cast<double>(result.failed_attempts));
+      metrics->Set(mid.cold, static_cast<double>(result.cold_starts));
+      metrics->Set(mid.retries, static_cast<double>(result.retries));
+      metrics->Set(mid.queue_waiting, static_cast<double>(waiting_now));
+      metrics->Set(mid.revenue, result.revenue);
+      metrics->Set(mid.fees, result.fee_revenue);
+      metrics->Sample(next_sample);
+      next_sample += config.metrics_interval;
+    }
+  };
+
   // The client's terminal resolution of a request, success or surrender.
   auto resolve_terminal = [&](const PendingAttempt& at, MicroSecs when, bool ok) {
     result.e2e_latency[at.trace_idx] = when - trace[at.trace_idx].arrival;
@@ -160,6 +204,17 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
   auto handle_failure = [&](const PendingAttempt& at, MicroSecs end, bool retryable) {
     if (retryable && at.attempt < config.retry.max_attempts) {
       const MicroSecs delay = config.retry.BackoffDelay(at.attempt, fault_rng);
+      if (sink != nullptr) {
+        Span sp;
+        sp.kind = SpanKind::kBackoff;
+        sp.group = kTrackGroupFleetFunction;
+        sp.track = trace[at.trace_idx].function_id;
+        sp.start = end;
+        sp.duration = delay;
+        sp.req_idx = static_cast<int32_t>(at.trace_idx);
+        sp.attempt = at.attempt;
+        sink->Record(sp);
+      }
       pending.push({end + delay, next_seq++, at.trace_idx, at.attempt + 1});
       ++result.retries;
     } else {
@@ -171,7 +226,7 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
   // Bill an attempt that never reached a sandbox (shed, queue timeout,
   // breaker fast-fail): no resources ran, only per-invocation fee rules can
   // apply. kCircuitOpen is $0 by construction.
-  auto bill_unexecuted = [&](const PendingAttempt& at, Outcome oc) {
+  auto bill_unexecuted = [&](const PendingAttempt& at, Outcome oc, MicroSecs end) {
     RequestRecord billed = trace[at.trace_idx];
     billed.cold_start = false;
     billed.init_duration = 0;
@@ -182,12 +237,28 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
     const Invoice inv = ComputeInvoice(billing, billed);
     result.revenue += inv.total;
     result.fee_revenue += inv.invocation_cost;
+    if (sink != nullptr) {
+      Span sp;
+      sp.kind = SpanKind::kQueueWait;
+      sp.group = kTrackGroupFleetFunction;
+      sp.track = trace[at.trace_idx].function_id;
+      sp.start = at.queued ? at.queued_since : at.arrival;
+      sp.duration = end - sp.start;
+      sp.req_idx = static_cast<int32_t>(at.trace_idx);
+      sp.attempt = at.attempt;
+      sp.status = OutcomeName(oc);
+      sp.terminal = true;
+      sp.billed_micros = inv.billable_time;
+      sp.billed_usd = inv.total;
+      sink->Record(sp);
+    }
   };
 
   while (!pending.empty()) {
     PendingAttempt at = pending.top();
     pending.pop();
     const RequestRecord& r = trace[at.trace_idx];
+    sample_metrics_until(at.arrival);
 
     // Client circuit breaker: fast-fail without reaching the platform. Only
     // fresh dispatches are gated; an attempt already parked in an admission
@@ -197,7 +268,7 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
       ++result.attempts;
       ++result.failed_attempts;
       ++result.circuit_open_attempts;
-      bill_unexecuted(at, Outcome::kCircuitOpen);
+      bill_unexecuted(at, Outcome::kCircuitOpen, at.arrival);
       handle_failure(at, at.arrival, /*retryable=*/true);
       continue;
     }
@@ -246,7 +317,7 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
           ++result.attempts;
           ++result.failed_attempts;
           ++result.rejected_attempts;
-          bill_unexecuted(at, Outcome::kRejected);
+          bill_unexecuted(at, Outcome::kRejected, at.arrival);
           if (breaker_on) {
             breaker_for(r.function_id).RecordFailure(at.arrival);
           }
@@ -261,7 +332,7 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
             ++result.attempts;
             ++result.failed_attempts;
             ++result.rejected_attempts;
-            bill_unexecuted(at, Outcome::kRejected);
+            bill_unexecuted(at, Outcome::kRejected, at.arrival);
             if (breaker_on) {
               breaker_for(r.function_id).RecordFailure(at.arrival);
             }
@@ -269,6 +340,7 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
             continue;
           }
           ++waiting;
+          ++waiting_now;
           ++result.queued_attempts;
           at.queued = true;
           at.queued_since = at.arrival;
@@ -280,11 +352,12 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
         if (next_free > deadline) {
           // No sandbox frees before the queue timeout: fail at the deadline.
           --waiting;
+          --waiting_now;
           ++result.attempts;
           ++result.failed_attempts;
           ++result.queue_timeout_attempts;
           result.queue_wait_seconds += MicrosToSecs(deadline - at.queued_since);
-          bill_unexecuted(at, Outcome::kTimeout);
+          bill_unexecuted(at, Outcome::kTimeout, deadline);
           if (breaker_on) {
             breaker_for(r.function_id).RecordFailure(deadline);
           }
@@ -304,7 +377,19 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
     // Dispatching now; leave the admission queue if we were parked in it.
     if (at.queued) {
       --queue_waiting[r.function_id];
+      --waiting_now;
       result.queue_wait_seconds += MicrosToSecs(at.arrival - at.queued_since);
+      if (sink != nullptr) {
+        Span sp;
+        sp.kind = SpanKind::kQueueWait;
+        sp.group = kTrackGroupFleetFunction;
+        sp.track = r.function_id;
+        sp.start = at.queued_since;
+        sp.duration = at.arrival - at.queued_since;
+        sp.req_idx = static_cast<int32_t>(at.trace_idx);
+        sp.attempt = at.attempt;
+        sink->Record(sp);
+      }
     }
     ++result.attempts;
 
@@ -415,6 +500,42 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
     result.revenue += inv.total;
     result.fee_revenue += inv.invocation_cost;
 
+    if (sink != nullptr) {
+      const size_t used_span = cold ? result.spans.size() - 1 : reuse->span_index;
+      if (cold && init_billed > 0) {
+        Span in;
+        in.kind = SpanKind::kInit;
+        in.group = kTrackGroupFleetSandbox;
+        in.track = static_cast<int64_t>(used_span);
+        in.start = at.arrival;
+        in.duration = init_billed;
+        in.req_idx = static_cast<int32_t>(at.trace_idx);
+        in.attempt = at.attempt;
+        in.sandbox_id = static_cast<int32_t>(used_span);
+        in.cold = true;
+        if (oc == Outcome::kInitFailure) {
+          in.status = OutcomeName(oc);
+        }
+        sink->Record(in);
+      }
+      Span ex;
+      ex.kind = SpanKind::kExec;
+      ex.group = kTrackGroupFleetFunction;
+      ex.track = r.function_id;
+      ex.start = at.arrival;
+      ex.duration = end - at.arrival;
+      ex.req_idx = static_cast<int32_t>(at.trace_idx);
+      ex.attempt = at.attempt;
+      ex.sandbox_id = static_cast<int32_t>(used_span);
+      ex.ref = static_cast<int64_t>(used_span);
+      ex.status = OutcomeName(oc);
+      ex.cold = cold;
+      ex.terminal = true;
+      ex.billed_micros = inv.billable_time;
+      ex.billed_usd = inv.total;
+      sink->Record(ex);
+    }
+
     if (oc == Outcome::kOk) {
       if (breaker_on) {
         breaker_for(r.function_id).RecordSuccess();
@@ -461,6 +582,23 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
   for (const auto& [fid, cb] : breakers) {
     (void)fid;
     result.breaker_trips += cb.trips();
+  }
+  if (sink != nullptr) {
+    for (size_t i = 0; i < result.spans.size(); ++i) {
+      const SandboxSpan& span = result.spans[i];
+      Span sp;
+      sp.kind = SpanKind::kSandboxLife;
+      sp.group = kTrackGroupFleetSandbox;
+      sp.track = static_cast<int64_t>(i);
+      sp.start = span.created_at;
+      sp.duration = span.destroyed_at - span.created_at;
+      sp.sandbox_id = static_cast<int32_t>(i);
+      sp.ref = static_cast<int64_t>(i);
+      sink->Record(sp);
+    }
+  }
+  if (metrics != nullptr) {
+    sample_metrics_until(next_sample);  // Final row with the closing totals.
   }
 
   result.sandboxes = static_cast<int64_t>(result.spans.size());

@@ -20,6 +20,8 @@
 #include "src/billing/model.h"
 #include "src/cluster/host_faults.h"
 #include "src/cluster/placement.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/platform/faults.h"
 #include "src/trace/record.h"
 
@@ -67,6 +69,17 @@ struct FleetSimConfig {
   // queue_timeout. The fleet model sheds newest-only (reject-oldest needs
   // the event-driven PlatformSim queue).
   AdmissionControlConfig admission;
+  // Observability hooks (non-owning; the caller keeps them alive through the
+  // simulation). Null by default: instrumentation is then one pointer test
+  // per attempt, draws no randomness, and results stay bit-identical.
+  // Spans land on kTrackGroupFleetFunction (tid = function id) and
+  // kTrackGroupFleetSandbox (tid = span index); every attempt's terminal
+  // span carries its invoice share, so span USD sums reproduce `revenue`.
+  TraceSink* trace_sink = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  // Metrics sampling cadence over trace time (used only when `metrics` is
+  // attached).
+  MicroSecs metrics_interval = kMicrosPerSec;
 
   // Human-readable config errors; empty when valid. SimulateFleet throws
   // std::invalid_argument on a non-empty result.

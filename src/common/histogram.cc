@@ -14,15 +14,22 @@ Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo) {
 }
 
 void Histogram::Add(double value) {
+  // NaN compares false against every threshold below, so it would survive
+  // the clamp and hit the size_t cast, which is UB for NaN. Count and drop.
+  if (std::isnan(value)) {
+    ++nan_count_;
+    return;
+  }
+  // Clamp in the double domain: casting +inf (or anything past the size_t
+  // range) is just as undefined as casting NaN.
   double idx = (value - lo_) / width_;
   if (idx < 0.0) {
     idx = 0.0;
   }
-  size_t bin = static_cast<size_t>(idx);
-  if (bin >= counts_.size()) {
-    bin = counts_.size() - 1;
+  if (idx >= static_cast<double>(counts_.size())) {
+    idx = static_cast<double>(counts_.size() - 1);
   }
-  ++counts_[bin];
+  ++counts_[static_cast<size_t>(idx)];
   ++total_;
 }
 
@@ -53,7 +60,9 @@ double EmpiricalCdf::At(double x) const {
 }
 
 double EmpiricalCdf::Quantile(double q) const {
-  assert(!sorted_.empty());
+  if (sorted_.empty()) {
+    return 0.0;
+  }
   assert(q > 0.0 && q <= 1.0);
   const double rank = q * static_cast<double>(sorted_.size());
   size_t idx = rank <= 1.0 ? 0 : static_cast<size_t>(std::ceil(rank)) - 1;

@@ -11,7 +11,8 @@
 namespace faascost {
 
 // Fixed-width-bin histogram over [lo, hi); values outside are clamped into the
-// first/last bin.
+// first/last bin. NaN values are dropped (tracked by nan_count()) rather than
+// binned — casting NaN to an index is undefined behaviour.
 class Histogram {
  public:
   Histogram(double lo, double hi, size_t bins);
@@ -21,6 +22,7 @@ class Histogram {
   size_t bin_count() const { return counts_.size(); }
   int64_t count(size_t bin) const { return counts_[bin]; }
   int64_t total() const { return total_; }
+  int64_t nan_count() const { return nan_count_; }
   double bin_lo(size_t bin) const;
   double bin_hi(size_t bin) const;
   // Midpoint of the bin with the highest count (ties -> lowest bin).
@@ -31,6 +33,7 @@ class Histogram {
   double width_;
   std::vector<int64_t> counts_;
   int64_t total_ = 0;
+  int64_t nan_count_ = 0;
 };
 
 // Empirical CDF built from a sample; supports evaluation and inverse.
@@ -41,6 +44,7 @@ class EmpiricalCdf {
   // P(X <= x).
   double At(double x) const;
   // Smallest sample value v with P(X <= v) >= q, q in (0, 1].
+  // Returns 0.0 when the CDF was built from an empty sample.
   double Quantile(double q) const;
 
   size_t size() const { return sorted_.size(); }

@@ -31,7 +31,9 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double PercentileOfSorted(const std::vector<double>& sorted, double pct) {
-  assert(!sorted.empty());
+  if (sorted.empty()) {
+    return 0.0;
+  }
   assert(pct >= 0.0 && pct <= 100.0);
   if (sorted.size() == 1) {
     return sorted.front();

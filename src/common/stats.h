@@ -50,10 +50,11 @@ struct Summary {
 // not modified. Returns a zeroed Summary for an empty input.
 Summary Summarize(const std::vector<double>& values);
 
-// Percentile in [0, 100] of `sorted` (must be ascending, non-empty).
+// Percentile in [0, 100] of `sorted` (must be ascending). Returns 0.0 for an
+// empty input so release builds cannot read out of bounds.
 double PercentileOfSorted(const std::vector<double>& sorted, double pct);
 
-// Convenience: sorts a copy and takes the percentile.
+// Convenience: sorts a copy and takes the percentile. 0.0 for empty input.
 double Percentile(std::vector<double> values, double pct);
 
 // Pearson correlation coefficient of two equal-length samples. Returns 0 when

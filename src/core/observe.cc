@@ -1,0 +1,35 @@
+#include "src/core/observe.h"
+
+namespace faascost {
+
+ProvenanceTotals TagPlatformSpanBilling(std::vector<Span>* spans,
+                                        const PlatformSimResult& result,
+                                        const PlatformSimConfig& config,
+                                        const BillingModel& billing) {
+  ProvenanceTotals totals;
+  std::vector<Invoice> invoices;
+  invoices.reserve(result.attempts.size());
+  for (const AttemptOutcome& att : result.attempts) {
+    const Invoice inv =
+        ComputeInvoice(billing, BillableRecord(att, config.vcpus, config.mem_mb));
+    totals.billed_usd += inv.total;
+    totals.billed_micros += inv.billable_time;
+    if (att.outcome != Outcome::kOk) {
+      totals.failed_usd += inv.total;
+    }
+    invoices.push_back(inv);
+  }
+  for (Span& sp : *spans) {
+    if (!sp.terminal || sp.group != kTrackGroupClient || sp.ref < 0 ||
+        sp.ref >= static_cast<int64_t>(invoices.size())) {
+      continue;
+    }
+    const Invoice& inv = invoices[static_cast<size_t>(sp.ref)];
+    sp.billed_micros = inv.billable_time;
+    sp.billed_usd = inv.total;
+    ++totals.tagged_spans;
+  }
+  return totals;
+}
+
+}  // namespace faascost

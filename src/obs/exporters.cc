@@ -1,0 +1,121 @@
+#include "src/obs/exporters.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include "src/common/json_writer.h"
+
+namespace faascost {
+
+namespace {
+
+// Sort order guaranteeing monotone ts per (pid, tid) track and parents before
+// equal-start children. stable_sort keeps emission order for exact ties.
+bool SpanBefore(const Span& a, const Span& b) {
+  if (a.group != b.group) {
+    return a.group < b.group;
+  }
+  if (a.track != b.track) {
+    return a.track < b.track;
+  }
+  if (a.start != b.start) {
+    return a.start < b.start;
+  }
+  return a.duration > b.duration;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<Span>& spans) {
+  std::vector<Span> sorted = spans;
+  std::stable_sort(sorted.begin(), sorted.end(), SpanBefore);
+
+  std::set<int> groups;
+  for (const Span& s : sorted) {
+    groups.insert(s.group);
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.Value("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const int group : groups) {
+    w.BeginObject();
+    w.KV("ph", "M");
+    w.KV("pid", static_cast<int64_t>(group));
+    w.KV("name", "process_name");
+    w.Key("args");
+    w.BeginObject();
+    w.KV("name", TrackGroupName(group));
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const Span& s : sorted) {
+    w.BeginObject();
+    w.KV("ph", "X");
+    w.KV("name", SpanKindName(s.kind));
+    w.KV("cat", TrackGroupName(s.group));
+    w.KV("pid", static_cast<int64_t>(s.group));
+    w.KV("tid", s.track);
+    w.KV("ts", s.start);
+    w.KV("dur", s.duration);
+    w.Key("args");
+    w.BeginObject();
+    if (s.req_idx >= 0) {
+      w.KV("req", static_cast<int64_t>(s.req_idx));
+      w.KV("attempt", static_cast<int64_t>(s.attempt));
+    }
+    if (s.sandbox_id >= 0) {
+      w.KV("sandbox", static_cast<int64_t>(s.sandbox_id));
+    }
+    if (s.status != nullptr && s.status[0] != '\0') {
+      w.KV("status", s.status);
+    }
+    if (s.cold) {
+      w.KV("cold", true);
+    }
+    if (s.terminal) {
+      w.KV("billed_us", s.billed_micros);
+      w.KV("billed_usd", s.billed_usd);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string MetricsJsonl(const MetricsRegistry& registry) {
+  std::string out;
+  const std::vector<std::string>& columns = registry.columns();
+  for (const MetricsRegistry::Row& row : registry.rows()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("time_us", row.time);
+    for (size_t i = 0; i < columns.size(); ++i) {
+      w.KV(columns[i], row.values[i]);
+    }
+    w.EndObject();
+    out += w.str();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int rc = std::fclose(f);
+  return written == content.size() && rc == 0;
+}
+
+}  // namespace faascost

@@ -1,0 +1,32 @@
+// Exporters: Chrome trace-event JSON (loads in Perfetto / chrome://tracing)
+// and JSONL metrics. Both are byte-deterministic functions of their inputs —
+// no wall-clock timestamps, no pointer values, shortest-round-trip doubles —
+// so the same seeded run always produces the same artifact bytes.
+
+#ifndef FAASCOST_OBS_EXPORTERS_H_
+#define FAASCOST_OBS_EXPORTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+
+namespace faascost {
+
+// Renders spans as a Chrome trace-event JSON document (object form, one "X"
+// complete event per span plus "M" metadata naming each track group).
+// Events are stably sorted by (group, track, start, longer-first) so `ts` is
+// monotone within every track and enclosing spans precede their children.
+std::string ChromeTraceJson(const std::vector<Span>& spans);
+
+// Renders the registry's sampled rows as JSONL: one JSON object per sample
+// with "time_us" plus every column in definition order.
+std::string MetricsJsonl(const MetricsRegistry& registry);
+
+// Writes `content` to `path`, truncating. Returns false on I/O failure.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_OBS_EXPORTERS_H_

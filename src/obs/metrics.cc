@@ -1,0 +1,80 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/stats.h"
+
+namespace faascost {
+
+int MetricsRegistry::Define(Kind kind, const std::string& name) {
+  Metric m;
+  m.kind = kind;
+  m.name = name;
+  m.first_column = columns_.size();
+  if (kind == Kind::kHistogram) {
+    columns_.push_back(name + ".count");
+    columns_.push_back(name + ".mean");
+    columns_.push_back(name + ".p95");
+    columns_.push_back(name + ".max");
+  } else {
+    columns_.push_back(name);
+  }
+  metrics_.push_back(std::move(m));
+  return static_cast<int>(metrics_.size()) - 1;
+}
+
+void MetricsRegistry::Add(int id, double delta) {
+  assert(metrics_[static_cast<size_t>(id)].kind == Kind::kCounter);
+  metrics_[static_cast<size_t>(id)].value += delta;
+}
+
+void MetricsRegistry::Set(int id, double value) {
+  assert(metrics_[static_cast<size_t>(id)].kind == Kind::kGauge);
+  metrics_[static_cast<size_t>(id)].value = value;
+}
+
+void MetricsRegistry::Observe(int id, double value) {
+  assert(metrics_[static_cast<size_t>(id)].kind == Kind::kHistogram);
+  metrics_[static_cast<size_t>(id)].window.push_back(value);
+}
+
+void MetricsRegistry::Sample(MicroSecs now) {
+  Row row;
+  row.time = now;
+  row.values.reserve(columns_.size());
+  for (Metric& m : metrics_) {
+    if (m.kind == Kind::kHistogram) {
+      RunningStats rs;
+      std::vector<double> sorted = m.window;
+      std::sort(sorted.begin(), sorted.end());
+      for (double v : sorted) {
+        rs.Add(v);
+      }
+      row.values.push_back(static_cast<double>(rs.count()));
+      row.values.push_back(rs.mean());
+      row.values.push_back(PercentileOfSorted(sorted, 95));
+      row.values.push_back(rs.max());
+      m.window.clear();
+    } else {
+      row.values.push_back(m.value);
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+void MetricsRegistry::Reset() {
+  metrics_.clear();
+  columns_.clear();
+  rows_.clear();
+}
+
+double MetricsRegistry::Value(int id) const {
+  const Metric& m = metrics_[static_cast<size_t>(id)];
+  if (m.kind == Kind::kHistogram) {
+    return static_cast<double>(m.window.size());
+  }
+  return m.value;
+}
+
+}  // namespace faascost

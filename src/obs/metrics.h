@@ -1,0 +1,77 @@
+// Metrics registry: counters, gauges, and windowed histograms sampled on a
+// fixed sim-time cadence into a time series.
+//
+// A simulator (or its driver) defines metrics up front, updates them as
+// events fire, and calls Sample(now) on its cadence; each Sample appends one
+// row snapshotting every metric. Counters and gauges snapshot their current
+// value; histograms summarize the observations since the previous sample
+// (count/mean/p95/max) and then clear the window. Like TraceSink, the
+// registry is attached via a raw pointer defaulting to null, so detached
+// runs pay one pointer test per site and stay bit-identical.
+
+#ifndef FAASCOST_OBS_METRICS_H_
+#define FAASCOST_OBS_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace faascost {
+
+class MetricsRegistry {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  // Registers a metric and returns its id. Names should be unique,
+  // dot-separated, snake_case (e.g. "platform.queue_depth").
+  int Define(Kind kind, const std::string& name);
+
+  // Counter: monotonically accumulates.
+  void Add(int id, double delta = 1.0);
+  // Gauge: last-write-wins.
+  void Set(int id, double value);
+  // Histogram: adds one observation to the current window.
+  void Observe(int id, double value);
+
+  // Appends a row at sim time `now` and resets histogram windows.
+  void Sample(MicroSecs now);
+
+  // Drops all definitions, values, and sampled rows (row capacity is kept).
+  // Simulators Define their metrics at the start of each run, so a
+  // long-lived registry must be Reset between runs to avoid duplicate
+  // columns.
+  void Reset();
+
+  struct Row {
+    MicroSecs time = 0;
+    std::vector<double> values;  // Parallel to columns().
+  };
+
+  // Flattened column names in definition order; a histogram named H expands
+  // to H.count, H.mean, H.p95, H.max.
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t metric_count() const { return metrics_.size(); }
+
+  // Current value of a counter or gauge (histograms: window size).
+  double Value(int id) const;
+
+ private:
+  struct Metric {
+    Kind kind = Kind::kGauge;
+    std::string name;
+    double value = 0.0;
+    std::vector<double> window;  // Histogram observations since last Sample.
+    size_t first_column = 0;
+  };
+
+  std::vector<Metric> metrics_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace faascost
+
+#endif  // FAASCOST_OBS_METRICS_H_

@@ -1,0 +1,45 @@
+#include "src/obs/span.h"
+
+namespace faascost {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kQueueWait:
+      return "queue_wait";
+    case SpanKind::kInit:
+      return "init";
+    case SpanKind::kServingOverhead:
+      return "serving_overhead";
+    case SpanKind::kExec:
+      return "exec";
+    case SpanKind::kBackoff:
+      return "backoff";
+    case SpanKind::kDrain:
+      return "drain";
+    case SpanKind::kSandboxLife:
+      return "sandbox_life";
+    case SpanKind::kThrottle:
+      return "throttle";
+    case SpanKind::kPreempt:
+      return "preempt";
+  }
+  return "unknown";
+}
+
+const char* TrackGroupName(int group) {
+  switch (group) {
+    case kTrackGroupClient:
+      return "platform.requests";
+    case kTrackGroupSandbox:
+      return "platform.sandboxes";
+    case kTrackGroupFleetFunction:
+      return "fleet.functions";
+    case kTrackGroupFleetSandbox:
+      return "fleet.sandboxes";
+    case kTrackGroupTenant:
+      return "sched.tenants";
+  }
+  return "unknown";
+}
+
+}  // namespace faascost

@@ -115,6 +115,9 @@ class CircuitBreaker {
 
   bool enabled() const { return threshold_ > 0; }
   int64_t trips() const { return trips_; }
+  // Last acted-upon state (transitions happen lazily inside AllowDispatch),
+  // exposed for the breaker-state gauge in the metrics registry.
+  bool open() const { return state_ == State::kOpen; }
 
  private:
   enum class State { kClosed, kOpen, kHalfOpen };

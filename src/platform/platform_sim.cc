@@ -53,6 +53,7 @@ struct SandboxState {
   bool init_failed = false;  // Fault-injected: init ends in failure.
   MicroSecs created_at = 0;
   MicroSecs ready_at = 0;
+  MicroSecs drain_started = 0;  // Meaningful only while draining.
   std::vector<InFlightReq> inflight;
   std::vector<int> pending_local;  // Attempts waiting for this sandbox's init.
   MicroSecs last_advance = 0;
@@ -171,6 +172,80 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
   }
 
   auto done = [&] { return terminal == arrivals.size() && open_attempts == 0; };
+
+  // --- Observability (no-ops when the hooks are null) ---
+  TraceSink* const trace = config_.trace;
+  MetricsRegistry* const metrics = config_.metrics;
+  struct MetricIds {
+    int instances = 0, ready = 0, inflight = 0, queue_depth = 0, utilization = 0;
+    int breaker_open = 0, attempts = 0, failures = 0, cold_starts = 0, retries = 0;
+    int queue_wait_ms = 0, e2e_ms = 0;
+  };
+  MetricIds mid;
+  if (metrics != nullptr) {
+    using K = MetricsRegistry::Kind;
+    mid.instances = metrics->Define(K::kGauge, "platform.instances");
+    mid.ready = metrics->Define(K::kGauge, "platform.warm_pool");
+    mid.inflight = metrics->Define(K::kGauge, "platform.inflight");
+    mid.queue_depth = metrics->Define(K::kGauge, "platform.queue_depth");
+    mid.utilization = metrics->Define(K::kGauge, "platform.avg_utilization");
+    mid.breaker_open = metrics->Define(K::kGauge, "platform.breaker_open");
+    mid.attempts = metrics->Define(K::kCounter, "platform.attempts_total");
+    mid.failures = metrics->Define(K::kCounter, "platform.failed_attempts_total");
+    mid.cold_starts = metrics->Define(K::kCounter, "platform.cold_starts_total");
+    mid.retries = metrics->Define(K::kCounter, "platform.retries_total");
+    mid.queue_wait_ms = metrics->Define(K::kHistogram, "platform.queue_wait_ms");
+    mid.e2e_ms = metrics->Define(K::kHistogram, "platform.e2e_latency_ms");
+  }
+
+  // One span on the request's client track. `term` marks the attempt's
+  // terminal span — the one the billing tagger attributes the invoice to.
+  auto emit_client_span = [&](SpanKind kind, MicroSecs start, MicroSecs duration,
+                              int attempt_idx, const char* status, bool term) {
+    const AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
+    Span sp;
+    sp.kind = kind;
+    sp.group = kTrackGroupClient;
+    sp.track = att.req_idx;
+    sp.start = start;
+    sp.duration = duration;
+    sp.req_idx = att.req_idx;
+    sp.attempt = att.attempt;
+    sp.sandbox_id = att.sandbox_id;
+    sp.ref = attempt_idx;
+    sp.status = status;
+    sp.cold = att.cold_start;
+    sp.terminal = term;
+    trace->Record(sp);
+  };
+
+  // Closes out a sandbox: emits its drain and lifetime spans, then marks it
+  // dead. Every death site funnels through here.
+  auto retire_sandbox = [&](SandboxState& s) {
+    s.dead = true;
+    if (trace == nullptr) {
+      return;
+    }
+    if (s.draining) {
+      Span d;
+      d.kind = SpanKind::kDrain;
+      d.group = kTrackGroupSandbox;
+      d.track = s.id;
+      d.start = s.drain_started;
+      d.duration = now - s.drain_started;
+      d.sandbox_id = s.id;
+      trace->Record(d);
+    }
+    Span sp;
+    sp.kind = SpanKind::kSandboxLife;
+    sp.group = kTrackGroupSandbox;
+    sp.track = s.id;
+    sp.start = s.created_at;
+    sp.duration = now - s.created_at;
+    sp.sandbox_id = s.id;
+    sp.status = s.init_failed ? OutcomeName(Outcome::kInitFailure) : "";
+    trace->Record(sp);
+  };
 
   auto cpu_phase_count = [](const SandboxState& s) {
     int k = 0;
@@ -299,6 +374,16 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     out.start_exec = now;
     out.cold_start = cold;
     out.init_duration = att.init_duration;
+    if (trace != nullptr && now > att.dispatched) {
+      emit_client_span(SpanKind::kQueueWait, att.dispatched, now - att.dispatched,
+                       attempt_idx, "", /*term=*/false);
+    }
+    if (metrics != nullptr) {
+      metrics->Observe(mid.queue_wait_ms, MicrosToMillis(now - att.dispatched));
+      if (cold) {
+        metrics->Add(mid.cold_starts);
+      }
+    }
     InFlightReq r;
     r.req_idx = att.req_idx;
     r.attempt_idx = attempt_idx;
@@ -310,6 +395,10 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     const MicroSecs overhead = config_.serving.Sample(config_.vcpus, rng);
     r.fixed_end = now + overhead + workload.io_wait;
     r.in_cpu_phase = r.fixed_end <= now;
+    if (trace != nullptr && overhead > 0) {
+      emit_client_span(SpanKind::kServingOverhead, now, overhead, attempt_idx, "",
+                       /*term=*/false);
+    }
     if (config_.faults.crash_prob > 0.0 && faults.SampleCrash()) {
       // Crash point uniform over the attempt's CPU demand: the attempt fails
       // once the truncated work finishes, billed up to that point.
@@ -362,6 +451,12 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     const bool retryable = oc != Outcome::kRejected || config_.retry.retry_rejected;
     if (retryable && att.attempt < config_.retry.max_attempts) {
       const MicroSecs delay = config_.retry.BackoffDelay(att.attempt, faults.rng());
+      if (trace != nullptr) {
+        emit_client_span(SpanKind::kBackoff, now, delay, attempt_idx, "", /*term=*/false);
+      }
+      if (metrics != nullptr) {
+        metrics->Add(mid.retries);
+      }
       queue.push({now + delay, EventType::kRetryArrival, -1, 0, att.req_idx});
       return;
     }
@@ -373,6 +468,9 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     out.start_exec = att.start_exec;
     out.cold_start = att.cold_start;
     out.init_duration = att.init_duration;
+    if (metrics != nullptr) {
+      metrics->Observe(mid.e2e_ms, MicrosToMillis(now - out.arrival));
+    }
     ++terminal;
   };
 
@@ -385,6 +483,20 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     attempt_open[static_cast<size_t>(attempt_idx)] = 0;
     --open_attempts;
     count_failure(oc);
+    if (trace != nullptr) {
+      // Started attempts get an exec span; never-admitted ones a terminal
+      // wait span from dispatch to the rejection/withdrawal.
+      if (attempt_started[static_cast<size_t>(attempt_idx)]) {
+        emit_client_span(SpanKind::kExec, att.start_exec, now - att.start_exec,
+                         attempt_idx, OutcomeName(oc), /*term=*/true);
+      } else {
+        emit_client_span(SpanKind::kQueueWait, att.dispatched, now - att.dispatched,
+                         attempt_idx, OutcomeName(oc), /*term=*/true);
+      }
+    }
+    if (metrics != nullptr) {
+      metrics->Add(mid.failures);
+    }
     if (!att.client_abandoned) {
       resolve_client(attempt_idx, oc);
     }
@@ -402,6 +514,10 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     attempt_open[static_cast<size_t>(req.attempt_idx)] = 0;
     --open_attempts;
     last_completion = std::max(last_completion, now);
+    if (trace != nullptr) {
+      emit_client_span(SpanKind::kExec, att.start_exec, now - att.start_exec,
+                       req.attempt_idx, OutcomeName(Outcome::kOk), /*term=*/true);
+    }
     if (att.client_abandoned) {
       return;  // The response has no one left to deliver to.
     }
@@ -413,6 +529,9 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     out.completion = now;
     out.reported_duration = now - out.start_exec;
     out.e2e_latency = now - out.arrival;
+    if (metrics != nullptr) {
+      metrics->Observe(mid.e2e_ms, MicrosToMillis(now - out.arrival));
+    }
     ++terminal;
   };
 
@@ -528,6 +647,9 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     attempt_started.push_back(0);
     ++open_attempts;
     result.requests[static_cast<size_t>(req_idx)].attempts = attempt_no;
+    if (metrics != nullptr) {
+      metrics->Add(mid.attempts);
+    }
     if (breaker.enabled() && !breaker.AllowDispatch(now)) {
       // Fast-fail at the client: the attempt never reaches the platform and
       // is never billed (and never starts a client-timeout clock).
@@ -649,10 +771,23 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
           break;
         }
         advance(s);
+        if (trace != nullptr) {
+          Span sp;
+          sp.kind = SpanKind::kInit;
+          sp.group = kTrackGroupSandbox;
+          sp.track = s.id;
+          sp.start = s.created_at;
+          sp.duration = now - s.created_at;
+          sp.sandbox_id = s.id;
+          sp.cold = true;
+          sp.status = s.init_failed ? OutcomeName(Outcome::kInitFailure)
+                                    : OutcomeName(Outcome::kOk);
+          trace->Record(sp);
+        }
         if (s.init_failed) {
           // The sandbox never becomes ready; its waiting attempts fail after
           // the (wasted, possibly billed) initialization time.
-          s.dead = true;
+          retire_sandbox(s);
           const MicroSecs init = s.ready_at - s.created_at;
           for (int attempt_idx : s.pending_local) {
             if (!attempt_open[static_cast<size_t>(attempt_idx)]) {
@@ -730,7 +865,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
             fail_attempt(r.attempt_idx, Outcome::kCrash);
           }
           s.inflight.clear();
-          s.dead = true;
+          retire_sandbox(s);
           if (multi && !global_queue.empty() && alive_count() == 0) {
             create_sandbox();
           }
@@ -739,7 +874,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         s.rate = compute_rate(s);
         if (s.inflight.empty()) {
           if (s.draining) {
-            s.dead = true;  // Drain complete: the instance retires cleanly.
+            retire_sandbox(s);  // Drain complete: the instance retires cleanly.
           } else {
             enter_idle(s);
           }
@@ -776,7 +911,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         s.rate = compute_rate(s);
         if (s.inflight.empty()) {
           if (s.draining) {
-            s.dead = true;
+            retire_sandbox(s);
           } else {
             enter_idle(s);
           }
@@ -814,6 +949,13 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
           attempt_open[static_cast<size_t>(attempt_idx)] = 0;
           --open_attempts;
           count_failure(Outcome::kTimeout);
+          if (trace != nullptr) {
+            emit_client_span(SpanKind::kQueueWait, att.dispatched, now - att.dispatched,
+                             attempt_idx, OutcomeName(Outcome::kTimeout), /*term=*/true);
+          }
+          if (metrics != nullptr) {
+            metrics->Add(mid.failures);
+          }
         }
         // Started attempts keep running (and billing) server-side; the
         // client moves on either way.
@@ -853,7 +995,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
           fail_attempt(r.attempt_idx, Outcome::kCrash);
         }
         s.inflight.clear();
-        s.dead = true;
+        retire_sandbox(s);
         if (multi && !global_queue.empty() && alive_count() == 0) {
           create_sandbox();
         }
@@ -865,7 +1007,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
           break;
         }
         advance(s);
-        s.dead = true;
+        retire_sandbox(s);
         break;
       }
       case EventType::kScalerEval: {
@@ -889,7 +1031,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
             }
             if (!s.dead && !s.initializing && !s.draining && s.inflight.empty()) {
               advance(s);
-              s.dead = true;
+              retire_sandbox(s);
               --to_remove;
             }
           }
@@ -903,6 +1045,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
               if (!s.dead && !s.initializing && !s.draining && !s.inflight.empty()) {
                 advance(s);
                 s.draining = true;
+                s.drain_started = now;
                 ++result.drained_sandboxes;
                 queue.push({now + config_.drain_deadline, EventType::kDrainDeadline, s.id});
                 --to_remove;
@@ -940,10 +1083,20 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
           }
           sample.busy_requests += static_cast<int>(s.inflight.size());
         }
+        const int inflight_only = sample.busy_requests;
         sample.busy_requests += static_cast<int>(global_queue.size());
         sample.ready_instances = ready;
         sample.avg_utilization = ready > 0 ? util_sum / ready : 0.0;
         result.timeline.push_back(sample);
+        if (metrics != nullptr) {
+          metrics->Set(mid.instances, sample.instances);
+          metrics->Set(mid.ready, ready);
+          metrics->Set(mid.inflight, inflight_only);
+          metrics->Set(mid.queue_depth, static_cast<double>(global_queue.size()));
+          metrics->Set(mid.utilization, sample.avg_utilization);
+          metrics->Set(mid.breaker_open, breaker.open() ? 1.0 : 0.0);
+          metrics->Sample(now);
+        }
         if (config_.autoscaler_enabled) {
           // Consumed-CPU metric (what a CPU-utilization target observes):
           // the sum of per-instance busy fractions times the allocation,
@@ -965,6 +1118,9 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
   // Finalize accounting; surviving sandboxes are closed at the last event.
   for (auto& s : sandboxes) {
     advance(s);
+    if (!s.dead) {
+      retire_sandbox(s);  // Emits the lifetime span for survivors.
+    }
     SandboxAccounting acc;
     acc.sandbox_id = s.id;
     acc.created_at = s.created_at;

@@ -25,6 +25,8 @@
 
 #include "src/common/rng.h"
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/platform/autoscaler.h"
 #include "src/platform/coldstart.h"
 #include "src/platform/faults.h"
@@ -88,6 +90,14 @@ struct PlatformSimConfig {
   // Platform drain budget; presets carry per-provider values. Only consulted
   // when a drain actually starts, so it never perturbs default runs.
   MicroSecs drain_deadline = 0;
+  // Observability hooks (non-owning; the caller keeps them alive through
+  // Run). Both default to null, where instrumentation reduces to a pointer
+  // test per event, draws no randomness, and leaves results bit-identical
+  // to an unhooked run. Spans land on kTrackGroupClient (per request) and
+  // kTrackGroupSandbox (per sandbox); metrics sample on the autoscaler's
+  // sample_interval cadence.
+  TraceSink* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
 
   // Human-readable config errors; empty when valid. PlatformSim's
   // constructor throws std::invalid_argument on a non-empty result.

@@ -269,4 +269,47 @@ TaskRunResult CpuBandwidthSim::RunWithRandomPhase(MicroSecs cpu_demand, MicroSec
   return RunImpl(IoPattern{}, cpu_demand, wall_limit, tick_phase, refill_phase, &rng);
 }
 
+void EmitTaskRunSpans(const TaskRunResult& result, MicroSecs start_time, int64_t track,
+                      TraceSink* sink) {
+  if (sink == nullptr) {
+    return;
+  }
+  Span exec;
+  exec.kind = SpanKind::kExec;
+  exec.group = kTrackGroupTenant;
+  exec.track = track;
+  exec.start = start_time;
+  exec.duration = result.wall_duration;
+  exec.status = result.completed ? "ok" : "cutoff";
+  sink->Record(exec);
+  for (const SuspensionEvent& t : result.throttles) {
+    Span sp;
+    sp.kind = SpanKind::kThrottle;
+    sp.group = kTrackGroupTenant;
+    sp.track = track;
+    sp.start = start_time + t.start;
+    sp.duration = t.duration;
+    sink->Record(sp);
+  }
+  // Gaps that exactly match a throttle are already covered above; the rest
+  // are co-tenant preemptions.
+  size_t ti = 0;
+  for (const SuspensionEvent& g : result.gaps) {
+    while (ti < result.throttles.size() && result.throttles[ti].start < g.start) {
+      ++ti;
+    }
+    if (ti < result.throttles.size() && result.throttles[ti].start == g.start &&
+        result.throttles[ti].duration == g.duration) {
+      continue;
+    }
+    Span sp;
+    sp.kind = SpanKind::kPreempt;
+    sp.group = kTrackGroupTenant;
+    sp.track = track;
+    sp.start = start_time + g.start;
+    sp.duration = g.duration;
+    sink->Record(sp);
+  }
+}
+
 }  // namespace faascost

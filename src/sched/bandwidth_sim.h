@@ -33,6 +33,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/units.h"
+#include "src/obs/span.h"
 #include "src/sched/config.h"
 
 namespace faascost {
@@ -94,6 +95,14 @@ class CpuBandwidthSim {
 
   SchedConfig config_;
 };
+
+// Converts a finished task run into spans on kTrackGroupTenant, tid `track`:
+// one kExec span covering the wall duration (status "ok"/"cutoff") plus one
+// kThrottle span per bandwidth throttle and one kPreempt span per remaining
+// gap (a gap that is not also a throttle). `start_time` anchors the run on
+// the trace clock. No-op when `sink` is null.
+void EmitTaskRunSpans(const TaskRunResult& result, MicroSecs start_time, int64_t track,
+                      TraceSink* sink);
 
 }  // namespace faascost
 

@@ -20,6 +20,7 @@ HostSimResult SimulateHost(const HostSimConfig& config,
     bool on_phase = true;  // Whether the task currently wants CPU.
     MicroSecs next_flip = 0;
     MicroSecs gap_start = -1;  // Start of the current runnable-but-off-CPU gap.
+    bool gap_throttled = false;  // Any tick of the current gap hit quota.
   };
 
   Rng rng(seed);
@@ -106,8 +107,10 @@ HostSimResult SimulateHost(const HostSimConfig& config,
       if (wanted && !ran[i]) {
         if (state[i].gap_start < 0) {
           state[i].gap_start = now;
+          state[i].gap_throttled = false;
         }
         if (state[i].pool <= 0) {
+          state[i].gap_throttled = true;
           ++tr.throttled_ticks;
         } else {
           ++tr.preempted_ticks;
@@ -116,6 +119,15 @@ HostSimResult SimulateHost(const HostSimConfig& config,
         const MicroSecs dur = now - state[i].gap_start;
         if (dur > kThrottleDetectThreshold) {
           tr.gaps.push_back({state[i].gap_start, dur});
+          if (config.trace != nullptr) {
+            Span sp;
+            sp.kind = state[i].gap_throttled ? SpanKind::kThrottle : SpanKind::kPreempt;
+            sp.group = kTrackGroupTenant;
+            sp.track = static_cast<int64_t>(i);
+            sp.start = state[i].gap_start;
+            sp.duration = dur;
+            config.trace->Record(sp);
+          }
         }
         state[i].gap_start = -1;
       } else if (!wanted) {

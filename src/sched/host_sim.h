@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/obs/span.h"
 #include "src/sched/bandwidth_sim.h"
 #include "src/sched/config.h"
 
@@ -37,6 +38,11 @@ struct HostSimConfig {
   MicroSecs duration = 10LL * kMicrosPerSec;
   // Mean on/off phase length for tenants with demand_fraction < 1.
   MicroSecs demand_phase = 50 * kMicrosPerMilli;
+  // Observability hook (non-owning, may be null). Each detected gap is also
+  // emitted as a kThrottle (quota exhausted at some point during the gap) or
+  // kPreempt span on kTrackGroupTenant, tid = tenant index. Null-sink runs
+  // are bit-identical to uninstrumented ones.
+  TraceSink* trace = nullptr;
 };
 
 struct TenantResult {

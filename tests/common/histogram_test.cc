@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 namespace faascost {
@@ -34,6 +36,29 @@ TEST(Histogram, OutOfRangeClamped) {
   h.Add(1000.0);
   EXPECT_EQ(h.count(0), 1);
   EXPECT_EQ(h.count(4), 1);
+}
+
+TEST(Histogram, NanIsDroppedAndCounted) {
+  // Regression: casting NaN to an index is UB; Add must drop it instead.
+  Histogram h(0.0, 10.0, 5);
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  h.Add(3.0);
+  h.Add(std::nan(""));
+  EXPECT_EQ(h.total(), 1);
+  EXPECT_EQ(h.nan_count(), 2);
+  for (size_t b = 0; b < h.bin_count(); ++b) {
+    EXPECT_GE(h.count(b), 0);
+  }
+  EXPECT_EQ(h.count(1), 1);
+}
+
+TEST(Histogram, InfinityStillClampsToEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(4), 1);
+  EXPECT_EQ(h.nan_count(), 0);
 }
 
 TEST(Histogram, ModeMidpoint) {
@@ -76,6 +101,9 @@ TEST(EmpiricalCdf, EmptyBehaviour) {
   EXPECT_EQ(cdf.size(), 0u);
   EXPECT_DOUBLE_EQ(cdf.At(1.0), 0.0);
   EXPECT_TRUE(cdf.Curve(5).empty());
+  // Quantile on an empty sample is defined as 0.0, not an OOB read.
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 0.0);
 }
 
 TEST(EmpiricalCdf, AtIsNonDecreasing) {

@@ -46,6 +46,19 @@ TEST(RunningStats, NegativeValues) {
   EXPECT_EQ(s.max(), 3.0);
 }
 
+TEST(Percentile, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({}, 100), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 95), 0.0);
+}
+
+TEST(Percentile, SingleElementSorted) {
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({7.0}, 100), 7.0);
+}
+
 TEST(Percentile, MedianOfOdd) {
   EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 50), 2.0);
 }

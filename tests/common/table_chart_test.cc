@@ -88,5 +88,77 @@ TEST(AsciiChart, FlatSeriesDoesNotDivideByZero) {
   EXPECT_NO_THROW({ chart.Render(); });
 }
 
+TEST(AsciiChart, EmptySeriesAddedIsNoData) {
+  // A series object with zero points is as empty as no series at all.
+  AsciiChart chart(20, 5);
+  chart.AddSeries(ChartSeries{"empty", 'e', {}});
+  EXPECT_NE(chart.Render().find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, SinglePointRenders) {
+  AsciiChart chart(20, 5);
+  ChartSeries s;
+  s.marker = '#';
+  s.points.emplace_back(5.0, 5.0);
+  chart.AddSeries(s);
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiChart, AllEqualPointsCollapseToOneSpot) {
+  AsciiChart chart(20, 5);
+  ChartSeries s;
+  s.marker = '=';
+  for (int i = 0; i < 8; ++i) {
+    s.points.emplace_back(2.0, 7.0);  // Zero range on both axes.
+  }
+  chart.AddSeries(s);
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find('='), std::string::npos);
+}
+
+TEST(AsciiChart, VeryWideMagnitudesStayRectangular) {
+  AsciiChart chart(30, 6);
+  ChartSeries s;
+  s.points.emplace_back(1e-12, 1e-12);
+  s.points.emplace_back(1e12, 1e12);
+  chart.AddSeries(s);
+  const std::string out = chart.Render();
+  ASSERT_FALSE(out.empty());
+  // Every plotted grid line has the same width: no row overflows when the
+  // axis labels are 13 characters wide.
+  size_t width = std::string::npos;
+  size_t pos = 0;
+  int grid_rows = 0;
+  while (pos < out.size()) {
+    const size_t eol = out.find('\n', pos);
+    const std::string line = out.substr(pos, eol - pos);
+    if (line.find('+') != std::string::npos) {
+      if (width == std::string::npos) {
+        width = line.size();
+      } else {
+        EXPECT_EQ(line.size(), width);
+      }
+      ++grid_rows;
+    }
+    pos = eol == std::string::npos ? out.size() : eol + 1;
+  }
+  EXPECT_GE(grid_rows, 2);
+}
+
+TEST(TextTable, EmptyTableRenders) {
+  TextTable t({"A", "B"});
+  EXPECT_NO_THROW({ t.Render(); });
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(TextTable, VeryWideNumberWidensColumn) {
+  TextTable t({"n"});
+  const std::string wide = FormatDouble(1.23456789e18, 0);
+  t.AddRow({wide});
+  const std::string s = t.Render();
+  EXPECT_NE(s.find(wide), std::string::npos);
+}
+
 }  // namespace
 }  // namespace faascost

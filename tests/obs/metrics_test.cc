@@ -1,0 +1,94 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace faascost {
+namespace {
+
+using Kind = MetricsRegistry::Kind;
+
+TEST(MetricsRegistry, CounterAccumulatesAcrossSamples) {
+  MetricsRegistry reg;
+  const int c = reg.Define(Kind::kCounter, "events_total");
+  reg.Add(c);
+  reg.Add(c, 2.0);
+  reg.Sample(1 * kMicrosPerSec);
+  reg.Add(c);
+  reg.Sample(2 * kMicrosPerSec);
+  ASSERT_EQ(reg.rows().size(), 2u);
+  EXPECT_DOUBLE_EQ(reg.rows()[0].values[0], 3.0);
+  EXPECT_DOUBLE_EQ(reg.rows()[1].values[0], 4.0);  // Not reset by Sample.
+  EXPECT_DOUBLE_EQ(reg.Value(c), 4.0);
+}
+
+TEST(MetricsRegistry, GaugeIsLastWriteWins) {
+  MetricsRegistry reg;
+  const int g = reg.Define(Kind::kGauge, "depth");
+  reg.Set(g, 5.0);
+  reg.Set(g, 2.0);
+  reg.Sample(0);
+  EXPECT_DOUBLE_EQ(reg.rows()[0].values[0], 2.0);
+}
+
+TEST(MetricsRegistry, HistogramSummarizesAndClearsWindow) {
+  MetricsRegistry reg;
+  const int h = reg.Define(Kind::kHistogram, "latency_ms");
+  reg.Observe(h, 10.0);
+  reg.Observe(h, 30.0);
+  reg.Sample(1);
+  reg.Sample(2);  // Window was cleared: count goes to zero.
+  ASSERT_EQ(reg.columns().size(), 4u);
+  EXPECT_EQ(reg.columns()[0], "latency_ms.count");
+  EXPECT_EQ(reg.columns()[1], "latency_ms.mean");
+  EXPECT_EQ(reg.columns()[2], "latency_ms.p95");
+  EXPECT_EQ(reg.columns()[3], "latency_ms.max");
+  EXPECT_DOUBLE_EQ(reg.rows()[0].values[0], 2.0);
+  EXPECT_DOUBLE_EQ(reg.rows()[0].values[1], 20.0);
+  EXPECT_DOUBLE_EQ(reg.rows()[0].values[3], 30.0);
+  EXPECT_DOUBLE_EQ(reg.rows()[1].values[0], 0.0);
+  EXPECT_DOUBLE_EQ(reg.rows()[1].values[1], 0.0);
+}
+
+TEST(MetricsRegistry, ColumnsFollowDefinitionOrder) {
+  MetricsRegistry reg;
+  reg.Define(Kind::kGauge, "a");
+  reg.Define(Kind::kHistogram, "h");
+  reg.Define(Kind::kCounter, "b");
+  ASSERT_EQ(reg.columns().size(), 6u);
+  EXPECT_EQ(reg.columns()[0], "a");
+  EXPECT_EQ(reg.columns()[1], "h.count");
+  EXPECT_EQ(reg.columns()[5], "b");
+  EXPECT_EQ(reg.metric_count(), 3u);
+}
+
+TEST(MetricsRegistry, ResetDropsDefinitionsAndRows) {
+  MetricsRegistry reg;
+  const int g = reg.Define(Kind::kGauge, "old");
+  reg.Set(g, 1.0);
+  reg.Sample(0);
+  reg.Reset();
+  EXPECT_EQ(reg.metric_count(), 0u);
+  EXPECT_TRUE(reg.columns().empty());
+  EXPECT_TRUE(reg.rows().empty());
+  // A fresh run can redefine from scratch without duplicate columns.
+  const int c = reg.Define(Kind::kCounter, "fresh");
+  EXPECT_EQ(c, 0);
+  reg.Add(c, 2.0);
+  reg.Sample(1);
+  ASSERT_EQ(reg.columns().size(), 1u);
+  EXPECT_EQ(reg.columns()[0], "fresh");
+  EXPECT_DOUBLE_EQ(reg.rows()[0].values[0], 2.0);
+}
+
+TEST(MetricsRegistry, RowsCarrySampleTime) {
+  MetricsRegistry reg;
+  reg.Define(Kind::kGauge, "x");
+  reg.Sample(7 * kMicrosPerSec);
+  ASSERT_EQ(reg.rows().size(), 1u);
+  EXPECT_EQ(reg.rows()[0].time, 7 * kMicrosPerSec);
+}
+
+}  // namespace
+}  // namespace faascost

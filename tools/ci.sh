@@ -25,9 +25,22 @@ ctest --test-dir "$repo/build-asan" -R 'chaos|host_faults|faults_test' \
 
 echo
 echo "== Failure benches: --json smoke =="
-"$repo/build/bench/bench_cost_of_failure" --json > /dev/null
-"$repo/build/bench/bench_cost_of_chaos" --json > /dev/null
-echo "both benches emitted JSON."
+"$repo/build/bench/bench_cost_of_failure" --json | python3 -m json.tool > /dev/null
+"$repo/build/bench/bench_cost_of_chaos" --json | python3 -m json.tool > /dev/null
+"$repo/build/tools/faascost" failures --json | python3 -m json.tool > /dev/null
+"$repo/build/tools/faascost" chaos --json | python3 -m json.tool > /dev/null
+echo "all four emitted valid JSON."
+
+echo
+echo "== Observe smoke: artifact validity and determinism =="
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+"$repo/build/tools/faascost" observe --out "$obs_tmp/a" --seed 42 > /dev/null
+"$repo/build/tools/faascost" observe --out "$obs_tmp/b" --seed 42 > /dev/null
+python3 -m json.tool "$obs_tmp/a/trace.json" > /dev/null
+cmp "$obs_tmp/a/trace.json" "$obs_tmp/b/trace.json"
+cmp "$obs_tmp/a/metrics.jsonl" "$obs_tmp/b/metrics.jsonl"
+echo "trace.json parses; repeated runs are byte-identical."
 
 echo
 echo "ci.sh: both tiers green."

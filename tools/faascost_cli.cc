@@ -1,7 +1,7 @@
 // faascost command-line tool: billing, auditing, rightsizing and trace
 // generation from the shell.
 //
-//   faascost bill      --platform aws --exec-ms 150 --cpu-ms 80 \
+//   faascost bill      --platform aws --exec-ms 150 --cpu-ms 80
 //                      --vcpus 1 --mem-mb 1769 [--init-ms 400] [--used-mem-mb 300]
 //   faascost audit     [--trace file.csv] [--requests N] [--functions N]
 //   faascost rightsize --cpu-ms 160 --slo-ms 500 [--platform aws|gcp]
@@ -12,7 +12,11 @@
 //                      [--zones N] [--zone-outage-mtbf-s N] [--graceful F]
 //                      [--breaker-threshold N] [--retries N] [--requests N]
 //                      [--functions N] [--seed S]
+//   faascost observe   --out DIR [--platform P] [--rps N] [--seconds N]
+//                      [--rate R] [--retries N] [--cotenants N] [--seed S]
 //   faascost platforms
+//
+// `failures` and `chaos` accept --json for machine-readable output.
 //
 // Exit status: 0 on success, 1 on usage errors.
 
@@ -20,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <string>
@@ -28,11 +33,18 @@
 #include "src/billing/analysis.h"
 #include "src/billing/catalog.h"
 #include "src/cluster/fleet_sim.h"
+#include "src/common/chart.h"
+#include "src/common/json_writer.h"
 #include "src/common/table.h"
+#include "src/core/observe.h"
 #include "src/core/rightsizing.h"
+#include "src/obs/exporters.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/platform/platform_sim.h"
 #include "src/platform/presets.h"
 #include "src/platform/workload.h"
+#include "src/sched/host_sim.h"
 #include "src/trace/generator.h"
 #include "src/trace/io.h"
 
@@ -44,11 +56,17 @@ class Flags {
  public:
   Flags(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+      const std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        extra_.push_back(key);
+        continue;
+      }
+      // A flag followed by another flag (or nothing) is boolean-valued:
+      // `--json --platform aws` must not swallow `--platform` as a value.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key.substr(2)] = argv[++i];
       } else {
-        extra_.push_back(key);
+        values_[key.substr(2)] = "true";
       }
     }
   }
@@ -59,6 +77,12 @@ class Flags {
       return std::nullopt;
     }
     return it->second;
+  }
+
+  // Present (bare `--flag` or with any value other than false/0).
+  bool GetBool(const std::string& key) const {
+    const auto v = Get(key);
+    return v.has_value() && *v != "false" && *v != "0";
   }
 
   double GetDouble(const std::string& key, double fallback) const {
@@ -269,6 +293,31 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
+// Platform-sim preset for the subset of platforms that have one; reports a
+// usage error under `cmd` otherwise.
+std::optional<PlatformSimConfig> SimPreset(Platform platform,
+                                           const std::string& platform_name,
+                                           const char* cmd) {
+  switch (platform) {
+    case Platform::kAwsLambda:
+      return AwsLambdaPlatform(1.0, 1769.0);
+    case Platform::kGcpCloudRunFunctions:
+      return GcpPlatform(1.0, 1024.0);
+    case Platform::kAzureConsumption:
+      return AzurePlatform();
+    case Platform::kCloudflareWorkers:
+      return CloudflarePlatform();
+    case Platform::kIbmCodeEngine:
+      return IbmPlatform(1.0, 2048.0);
+    default:
+      std::fprintf(stderr,
+                   "%s: no platform-sim preset for '%s' "
+                   "(use aws, gcp, azure, ibm or cloudflare)\n",
+                   cmd, platform_name.c_str());
+      return std::nullopt;
+  }
+}
+
 // Cost-of-failure exploration on a simulated platform: run a steady request
 // stream with fault injection and client retries, then report the outcome
 // taxonomy and what the failures were billed.
@@ -279,30 +328,11 @@ int CmdFailures(const Flags& flags) {
     std::fprintf(stderr, "failures: unknown platform '%s'\n", platform_name.c_str());
     return 1;
   }
-  PlatformSimConfig sim_config;
-  switch (*platform) {
-    case Platform::kAwsLambda:
-      sim_config = AwsLambdaPlatform(1.0, 1769.0);
-      break;
-    case Platform::kGcpCloudRunFunctions:
-      sim_config = GcpPlatform(1.0, 1024.0);
-      break;
-    case Platform::kAzureConsumption:
-      sim_config = AzurePlatform();
-      break;
-    case Platform::kCloudflareWorkers:
-      sim_config = CloudflarePlatform();
-      break;
-    case Platform::kIbmCodeEngine:
-      sim_config = IbmPlatform(1.0, 2048.0);
-      break;
-    default:
-      std::fprintf(stderr,
-                   "failures: no platform-sim preset for '%s' "
-                   "(use aws, gcp, azure, ibm or cloudflare)\n",
-                   platform_name.c_str());
-      return 1;
+  const auto preset = SimPreset(*platform, platform_name, "failures");
+  if (!preset.has_value()) {
+    return 1;
   }
+  PlatformSimConfig sim_config = *preset;
 
   const double rate = flags.GetDouble("rate", 0.05);
   if (rate < 0.0 || rate > 1.0) {
@@ -342,6 +372,34 @@ int CmdFailures(const Flags& flags) {
     if (att.outcome != Outcome::kOk) {
       failed_cost += inv.total;
     }
+  }
+
+  if (flags.GetBool("json")) {
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("platform", billing.platform);
+    w.KV("rps", rps);
+    w.KV("seconds", static_cast<int64_t>(seconds));
+    w.KV("crash_prob", sim_config.faults.crash_prob);
+    w.KV("init_failure_prob", sim_config.faults.init_failure_prob);
+    w.KV("max_attempts", sim_config.retry.max_attempts);
+    w.KV("seed", static_cast<int64_t>(seed));
+    w.KV("requests", static_cast<int64_t>(res.requests.size()));
+    w.KV("successes", res.successes);
+    w.KV("attempts", static_cast<int64_t>(res.attempts.size()));
+    w.KV("retries", res.retries);
+    w.KV("crashes", res.crash_attempts);
+    w.KV("init_failures", res.init_failure_attempts);
+    w.KV("timeouts", res.timeout_attempts);
+    w.KV("rejections", res.rejected_attempts);
+    w.KV("cold_starts", res.cold_starts);
+    w.KV("billed_usd", total);
+    w.KV("failed_usd", failed_cost);
+    w.KV("cost_per_success",
+         res.successes > 0 ? total / static_cast<double>(res.successes) : 0.0);
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
   }
 
   std::printf("%s: %.1f rps for %llds, crash %.1f%%, init-failure %.2f%%, %d attempts max\n",
@@ -436,6 +494,45 @@ int CmdChaos(const Flags& flags) {
     return r.successes > 0 ? r.revenue / static_cast<double>(r.successes) : 0.0;
   };
 
+  if (flags.GetBool("json")) {
+    JsonWriter w;
+    const auto scenario = [&](const char* key, const FleetResult& r) {
+      w.Key(key);
+      w.BeginObject();
+      w.KV("availability", availability(r));
+      w.KV("p99_e2e_ms", p99_ms(r.e2e_latency));
+      w.KV("cost_per_success", cost_per_success(r));
+      w.KV("revenue_usd", r.revenue);
+      w.KV("cold_starts", r.cold_starts);
+      w.KV("attempts", r.attempts);
+      w.KV("attempt_kills", r.host_fault_attempt_kills);
+      w.KV("sandbox_kills", r.host_fault_sandbox_kills);
+      w.KV("drain_survivals", r.drain_survivals);
+      w.KV("breaker_trips", r.breaker_trips);
+      w.EndObject();
+    };
+    w.BeginObject();
+    w.KV("platform", billing.platform);
+    w.KV("requests", tcfg.num_requests);
+    w.KV("functions", tcfg.num_functions);
+    w.KV("seconds", tcfg.window / kMicrosPerSec);
+    w.KV("hosts", chaos.host_faults.hosts);
+    w.KV("mtbf_seconds", chaos.host_faults.mtbf_seconds);
+    w.KV("mttr_seconds", chaos.host_faults.mttr_seconds);
+    w.KV("graceful_fraction", chaos.host_faults.graceful_fraction);
+    w.KV("max_attempts", chaos.retry.max_attempts);
+    w.KV("breaker", chaos.retry.breaker_threshold > 0);
+    w.KV("seed", static_cast<int64_t>(seed));
+    scenario("healthy", base);
+    scenario("chaos", res);
+    const double base_cps = cost_per_success(base);
+    w.KV("cost_of_chaos",
+         base_cps > 0.0 && res.successes > 0 ? cost_per_success(res) / base_cps - 1.0 : 0.0);
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
   std::printf("%s: %lld requests / %lld functions over %llds, %d hosts, "
               "MTBF %.0fs, MTTR %.0fs, %.0f%% graceful, %d attempts%s\n",
               billing.platform.c_str(), static_cast<long long>(tcfg.num_requests),
@@ -473,6 +570,180 @@ int CmdChaos(const Flags& flags) {
   return 0;
 }
 
+// Instrumented platform-sim run with machine-readable artifacts: writes
+// <out>/trace.json (Chrome trace-event JSON; load in Perfetto or
+// chrome://tracing) and <out>/metrics.jsonl (one sampled row per line), and
+// prints an ASCII cost-provenance summary. Deterministic: the same flags
+// always produce the same artifact bytes.
+int CmdObserve(const Flags& flags) {
+  const auto out = flags.Get("out");
+  if (!out.has_value()) {
+    std::fprintf(stderr, "observe: --out DIR is required\n");
+    return 1;
+  }
+  const std::string platform_name = flags.Get("platform").value_or("aws");
+  const auto platform = ParsePlatform(platform_name);
+  if (!platform.has_value()) {
+    std::fprintf(stderr, "observe: unknown platform '%s'\n", platform_name.c_str());
+    return 1;
+  }
+  const auto preset = SimPreset(*platform, platform_name, "observe");
+  if (!preset.has_value()) {
+    return 1;
+  }
+  PlatformSimConfig sim_config = *preset;
+
+  const double rate = flags.GetDouble("rate", 0.02);
+  if (rate < 0.0 || rate > 1.0) {
+    std::fprintf(stderr, "observe: --rate must be in [0, 1]\n");
+    return 1;
+  }
+  sim_config.faults.crash_prob = rate;
+  sim_config.faults.init_failure_prob = rate / 4.0;
+  sim_config.retry.max_attempts = static_cast<int>(flags.GetInt("retries", 3));
+  const std::vector<std::string> errors = sim_config.Validate();
+  if (!errors.empty()) {
+    for (const std::string& err : errors) {
+      std::fprintf(stderr, "observe: %s\n", err.c_str());
+    }
+    return 1;
+  }
+
+  const double rps = flags.GetDouble("rps", 5.0);
+  if (rps <= 0.0) {
+    std::fprintf(stderr, "observe: --rps must be > 0\n");
+    return 1;
+  }
+  const MicroSecs seconds = flags.GetInt("seconds", 60);
+  if (seconds <= 0) {
+    std::fprintf(stderr, "observe: --seconds must be > 0\n");
+    return 1;
+  }
+  const int cotenants_flag = static_cast<int>(flags.GetInt("cotenants", 0));
+  if (cotenants_flag < 0) {
+    std::fprintf(stderr, "observe: --cotenants must be >= 0\n");
+    return 1;
+  }
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  SpanCollector collector;
+  MetricsRegistry metrics;
+  sim_config.trace = &collector;
+  sim_config.metrics = &metrics;
+  PlatformSim sim(sim_config, seed);
+  const PlatformSimResult res =
+      sim.Run(UniformArrivals(rps, seconds * kMicrosPerSec), PyAesWorkload());
+
+  // Optional OS-scheduling layer: co-tenants contending on a shared host for
+  // the same window, emitting throttle/preempt spans onto sched.tenants
+  // tracks in the same trace.
+  const int cotenants = cotenants_flag;
+  if (cotenants > 0) {
+    HostSimConfig host;
+    host.duration = seconds * kMicrosPerSec;
+    host.trace = &collector;
+    std::vector<TenantSpec> tenants(static_cast<size_t>(cotenants));
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      tenants[i].quota_fraction = 0.5;
+      tenants[i].demand_fraction = i == 0 ? 1.0 : 0.7;
+    }
+    SimulateHost(host, tenants, seed);
+  }
+
+  // Attach billing provenance to the platform spans, then export.
+  const BillingModel billing = MakeBillingModel(*platform);
+  const ProvenanceTotals totals =
+      TagPlatformSpanBilling(collector.mutable_spans(), res, sim_config, billing);
+
+  std::error_code ec;
+  std::filesystem::create_directories(*out, ec);
+  if (ec) {
+    std::fprintf(stderr, "observe: cannot create %s: %s\n", out->c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  const std::string trace_path = *out + "/trace.json";
+  const std::string metrics_path = *out + "/metrics.jsonl";
+  if (!WriteTextFile(trace_path, ChromeTraceJson(collector.spans())) ||
+      !WriteTextFile(metrics_path, MetricsJsonl(metrics))) {
+    std::fprintf(stderr, "observe: cannot write artifacts under %s\n", out->c_str());
+    return 1;
+  }
+
+  // ASCII summary: where the run's time and dollars went, by span kind.
+  std::printf("%s: %.1f rps for %llds, crash %.1f%%, %d attempts max, seed %llu\n",
+              billing.platform.c_str(), rps, static_cast<long long>(seconds),
+              rate * 100.0, sim_config.retry.max_attempts,
+              static_cast<unsigned long long>(seed));
+  std::printf("Requests: %zu (%lld ok), attempts: %zu, cold starts: %d\n",
+              res.requests.size(), static_cast<long long>(res.successes),
+              res.attempts.size(), res.cold_starts);
+  std::printf("Billed: $%.9g total, $%.9g on failed attempts, across %lld tagged spans\n",
+              totals.billed_usd, totals.failed_usd,
+              static_cast<long long>(totals.tagged_spans));
+
+  constexpr SpanKind kKinds[] = {
+      SpanKind::kQueueWait, SpanKind::kInit,    SpanKind::kServingOverhead,
+      SpanKind::kExec,      SpanKind::kBackoff, SpanKind::kDrain,
+      SpanKind::kSandboxLife, SpanKind::kThrottle, SpanKind::kPreempt};
+  struct KindAgg {
+    int64_t count = 0;
+    MicroSecs total = 0;
+    Usd usd = 0.0;
+  };
+  KindAgg agg[sizeof(kKinds) / sizeof(kKinds[0])];
+  for (const Span& sp : collector.spans()) {
+    KindAgg& a = agg[static_cast<size_t>(sp.kind)];
+    ++a.count;
+    a.total += sp.duration;
+    a.usd += sp.billed_usd;
+  }
+  TextTable table({"span kind", "spans", "total ms", "billed $"});
+  for (const SpanKind kind : kKinds) {
+    const KindAgg& a = agg[static_cast<size_t>(kind)];
+    if (a.count == 0) {
+      continue;
+    }
+    table.AddRow({SpanKindName(kind), FormatDouble(static_cast<double>(a.count), 0),
+                  FormatDouble(MicrosToMillis(a.total), 1),
+                  a.usd != 0.0 ? FormatSci(a.usd, 3) : std::string("-")});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  // Warm pool and queue depth over time, from the sampled metrics.
+  const auto column = [&](const char* name) {
+    const auto& cols = metrics.columns();
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  const int warm_col = column("platform.warm_pool");
+  const int queue_col = column("platform.queue_depth");
+  if (!metrics.rows().empty() && warm_col >= 0 && queue_col >= 0) {
+    AsciiChart chart(72, 12);
+    chart.SetTitle("warm pool (w) and queue depth (q) over time");
+    chart.SetXLabel("sim time (s)");
+    chart.SetYLabel("sandboxes / requests");
+    ChartSeries warm{"warm pool", 'w', {}};
+    ChartSeries queue{"queue depth", 'q', {}};
+    for (const MetricsRegistry::Row& row : metrics.rows()) {
+      const double t = static_cast<double>(row.time) / static_cast<double>(kMicrosPerSec);
+      warm.points.push_back({t, row.values[static_cast<size_t>(warm_col)]});
+      queue.points.push_back({t, row.values[static_cast<size_t>(queue_col)]});
+    }
+    chart.AddSeries(std::move(warm));
+    chart.AddSeries(std::move(queue));
+    std::printf("%s", chart.Render().c_str());
+  }
+
+  std::printf("Wrote %s (%zu spans) and %s (%zu samples)\n", trace_path.c_str(),
+              collector.spans().size(), metrics_path.c_str(), metrics.rows().size());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: faascost <command> [flags]\n"
@@ -482,7 +753,9 @@ int Usage() {
                "  rightsize --cpu-ms N --slo-ms N      quantization-aware rightsizing\n"
                "  generate --out f.csv [--requests N]  write a synthetic trace\n"
                "  failures --platform P --rate R       cost of failures and retries\n"
-               "  chaos --platform P --mtbf-s N        cost of fleet host failures\n");
+               "  chaos --platform P --mtbf-s N        cost of fleet host failures\n"
+               "  observe --out DIR [--platform P]     trace one run (trace.json +\n"
+               "                                       metrics.jsonl + summary)\n");
   return 1;
 }
 
@@ -512,6 +785,9 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "chaos") {
     return CmdChaos(flags);
+  }
+  if (cmd == "observe") {
+    return CmdObserve(flags);
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return Usage();

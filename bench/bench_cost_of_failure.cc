@@ -83,6 +83,7 @@ std::vector<SweepRow> SweepModel(const char* title, const char* key,
     TextTable table({"failure rate", "attempts", "ok", "cold starts", "billed $",
                      "failed-$ share", "$/success", "inflation"});
     double baseline = 0.0;
+    bool have_baseline = false;
     for (const double rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
       SweepRow row;
       row.model = key;
@@ -90,8 +91,9 @@ std::vector<SweepRow> SweepModel(const char* title, const char* key,
       row.rate = rate;
       row.stats = RunOnce(base, billing, rate, max_attempts, seed);
       const RunStats& s = row.stats;
-      if (rate == 0.0) {
-        baseline = s.cost_per_success;
+      if (!have_baseline) {
+        baseline = s.cost_per_success;  // First sweep point is fault-free.
+        have_baseline = true;
       }
       row.inflation =
           baseline > 0.0 && s.cost_per_success > 0.0 ? s.cost_per_success / baseline : 0.0;

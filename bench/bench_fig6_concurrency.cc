@@ -39,6 +39,7 @@ int main() {
   TextTable table({"RPS", "AWS-like (single-conc) mean ms", "GCP-like (multi-conc) mean ms",
                    "GCP slowdown vs 1 RPS"});
   double gcp_base = 0.0;
+  bool have_gcp_base = false;
   double max_slowdown = 0.0;
   for (double rps : {1.0, 2.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0}) {
     Rng arrivals_rng(static_cast<uint64_t>(rps * 100));
@@ -49,8 +50,9 @@ int main() {
 
     PlatformSim gcp(GcpPlatform(1.0, 1'024.0), 2);
     const double gcp_ms = MeanReportedMs(gcp.Run(arrivals, wl));
-    if (gcp_base == 0.0) {
-      gcp_base = gcp_ms;
+    if (!have_gcp_base) {
+      gcp_base = gcp_ms;  // First sweep point (1 RPS) is the baseline.
+      have_gcp_base = true;
     }
     const double slowdown = gcp_ms / gcp_base;
     max_slowdown = std::max(max_slowdown, slowdown);

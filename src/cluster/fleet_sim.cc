@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "src/common/rng.h"
@@ -560,8 +561,16 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
   // Close every surviving sandbox: it lingers one keep-alive window past its
   // last use (crashed sandboxes were destroyed on the spot), unless its host
   // dies mid-linger first.
-  for (auto& [fid, pool] : pools) {
-    for (const auto& sb : pool) {
+  // Iterate pools in sorted key order: the hash-map order must never be
+  // observable, and this loop touches spans that feed serialized artifacts.
+  std::vector<int64_t> pool_fids;
+  pool_fids.reserve(pools.size());
+  for (const auto& [fid, pool] : pools) {
+    pool_fids.push_back(fid);
+  }
+  std::sort(pool_fids.begin(), pool_fids.end());
+  for (const int64_t fid : pool_fids) {
+    for (const auto& sb : pools[fid]) {
       if (sb.dead) {
         continue;
       }
@@ -579,9 +588,16 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
       span.destroyed_at = sb.available_at + config.keepalive;
     }
   }
+  // A commutative sum today, but iterate deterministically anyway so a
+  // future non-commutative use cannot silently inherit hash-map order.
+  std::vector<int64_t> breaker_fids;
+  breaker_fids.reserve(breakers.size());
   for (const auto& [fid, cb] : breakers) {
-    (void)fid;
-    result.breaker_trips += cb.trips();
+    breaker_fids.push_back(fid);
+  }
+  std::sort(breaker_fids.begin(), breaker_fids.end());
+  for (const int64_t fid : breaker_fids) {
+    result.breaker_trips += breakers.at(fid).trips();
   }
   if (sink != nullptr) {
     for (size_t i = 0; i < result.spans.size(); ++i) {
@@ -650,7 +666,12 @@ std::vector<EconomicsBucket> BucketEconomics(const FleetResult& result,
                                              const std::vector<RequestRecord>& trace,
                                              const BillingModel& billing,
                                              const FleetSimConfig& config, int buckets) {
-  assert(buckets > 0);
+  // Bucket counts arrive from CLI flags and bench parameters; validate in
+  // every build type (the default build defines NDEBUG).
+  if (buckets <= 0) {
+    throw std::invalid_argument("BucketEconomics: buckets must be > 0, got " +
+                                std::to_string(buckets));
+  }
   struct FnAgg {
     int64_t requests = 0;
     Usd revenue = 0.0;
@@ -693,8 +714,14 @@ std::vector<EconomicsBucket> BucketEconomics(const FleetResult& result,
   }
 
   std::vector<std::pair<int64_t, FnAgg>> sorted(per_fn.begin(), per_fn.end());
+  // Tie-break on function id: without it, functions with equal request
+  // counts would keep their unordered_map order, and the bucket boundaries
+  // (and the serialized economics table) would depend on the hash seed.
   std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
-    return a.second.requests > b.second.requests;
+    if (a.second.requests != b.second.requests) {
+      return a.second.requests > b.second.requests;
+    }
+    return a.first < b.first;
   });
 
   std::vector<EconomicsBucket> out(static_cast<size_t>(buckets));

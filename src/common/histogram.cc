@@ -1,14 +1,23 @@
 #include "src/common/histogram.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace faascost {
 
 Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo) {
-  assert(hi > lo);
-  assert(bins > 0);
+  // Explicit checks: histogram bounds come from experiment configs and CLI
+  // flags, so they must hold in release (NDEBUG) builds as well. The negated
+  // comparison also rejects NaN bounds.
+  if (!(hi > lo)) {
+    throw std::invalid_argument("Histogram: hi (" + std::to_string(hi) +
+                                ") must be > lo (" + std::to_string(lo) + ")");
+  }
+  if (bins == 0) {
+    throw std::invalid_argument("Histogram: bins must be > 0");
+  }
   width_ = (hi - lo) / static_cast<double>(bins);
   counts_.assign(bins, 0);
 }
@@ -63,7 +72,10 @@ double EmpiricalCdf::Quantile(double q) const {
   if (sorted_.empty()) {
     return 0.0;
   }
-  assert(q > 0.0 && q <= 1.0);
+  if (!(q > 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("EmpiricalCdf::Quantile: q must be in (0, 1], got " +
+                                std::to_string(q));
+  }
   const double rank = q * static_cast<double>(sorted_.size());
   size_t idx = rank <= 1.0 ? 0 : static_cast<size_t>(std::ceil(rank)) - 1;
   idx = std::min(idx, sorted_.size() - 1);

@@ -15,6 +15,8 @@ namespace faascost {
 // binned — casting NaN to an index is undefined behaviour.
 class Histogram {
  public:
+  // Throws std::invalid_argument unless hi > lo and bins > 0 (checked in
+  // release builds too: bounds come from experiment configs).
   Histogram(double lo, double hi, size_t bins);
 
   void Add(double value);
@@ -44,7 +46,8 @@ class EmpiricalCdf {
   // P(X <= x).
   double At(double x) const;
   // Smallest sample value v with P(X <= v) >= q, q in (0, 1].
-  // Returns 0.0 when the CDF was built from an empty sample.
+  // Returns 0.0 when the CDF was built from an empty sample; throws
+  // std::invalid_argument when q is outside (0, 1].
   double Quantile(double q) const;
 
   size_t size() const { return sorted_.size(); }

@@ -1,7 +1,8 @@
 #include "src/common/rng.h"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace faascost {
 
@@ -48,7 +49,12 @@ double Rng::NextDouble() {
 double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
-  assert(hi >= lo);
+  // Distribution parameters reach here from workload configs; reject bad
+  // ranges in release builds too instead of wrapping modulo garbage.
+  if (hi < lo) {
+    throw std::invalid_argument("Rng::UniformInt: hi (" + std::to_string(hi) +
+                                ") must be >= lo (" + std::to_string(lo) + ")");
+  }
   const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
   // Rejection-free modulo is fine here: span << 2^64 for all our uses.
   return lo + static_cast<int64_t>(NextU64() % span);
@@ -78,7 +84,10 @@ double Rng::Normal(double mean, double stddev) { return mean + stddev * Normal()
 double Rng::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
 
 double Rng::Exponential(double rate) {
-  assert(rate > 0.0);
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("Rng::Exponential: rate must be > 0, got " +
+                                std::to_string(rate));
+  }
   double u = NextDouble();
   while (u <= 1e-300) {
     u = NextDouble();
@@ -87,7 +96,11 @@ double Rng::Exponential(double rate) {
 }
 
 double Rng::Gamma(double shape, double scale) {
-  assert(shape > 0.0 && scale > 0.0);
+  if (!(shape > 0.0) || !(scale > 0.0)) {
+    throw std::invalid_argument("Rng::Gamma: shape and scale must be > 0, got shape=" +
+                                std::to_string(shape) + " scale=" +
+                                std::to_string(scale));
+  }
   if (shape < 1.0) {
     // Boost to shape+1 and correct with a power of a uniform.
     const double u = std::max(NextDouble(), 1e-300);
@@ -134,7 +147,9 @@ int64_t Rng::Zipf(int64_t n, double s) {
 Rng Rng::Fork() { return Rng(NextU64()); }
 
 ZipfTable::ZipfTable(int64_t n, double exponent) {
-  assert(n >= 1);
+  if (n < 1) {
+    throw std::invalid_argument("ZipfTable: n must be >= 1, got " + std::to_string(n));
+  }
   cdf_.resize(static_cast<size_t>(n));
   double acc = 0.0;
   for (int64_t k = 1; k <= n; ++k) {

@@ -49,7 +49,8 @@ class Rng {
   // Uniform double in [lo, hi).
   double Uniform(double lo, double hi);
 
-  // Uniform integer in [lo, hi] (inclusive).
+  // Uniform integer in [lo, hi] (inclusive). Throws std::invalid_argument
+  // when hi < lo.
   int64_t UniformInt(int64_t lo, int64_t hi);
 
   // Bernoulli trial with success probability p.
@@ -62,10 +63,12 @@ class Rng {
   // Lognormal with the given parameters of the underlying normal.
   double LogNormal(double mu, double sigma);
 
-  // Exponential with the given rate (lambda).
+  // Exponential with the given rate (lambda). Throws std::invalid_argument
+  // unless rate > 0.
   double Exponential(double rate);
 
-  // Gamma(shape, scale) via Marsaglia-Tsang; valid for shape > 0.
+  // Gamma(shape, scale) via Marsaglia-Tsang. Throws std::invalid_argument
+  // unless shape > 0 and scale > 0.
   double Gamma(double shape, double scale);
 
   // Beta(a, b) sampled as Gamma ratios.
@@ -92,6 +95,7 @@ class Rng {
 // Precomputed inverse-CDF table for Zipf draws; O(log n) per sample.
 class ZipfTable {
  public:
+  // Throws std::invalid_argument unless n >= 1.
   ZipfTable(int64_t n, double exponent);
 
   int64_t Sample(Rng& rng) const;

@@ -1,8 +1,9 @@
 #include "src/common/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace faascost {
 
@@ -34,7 +35,13 @@ double PercentileOfSorted(const std::vector<double>& sorted, double pct) {
   if (sorted.empty()) {
     return 0.0;
   }
-  assert(pct >= 0.0 && pct <= 100.0);
+  // Percentile requests come straight from CLI flags and report configs;
+  // out-of-range values would index out of bounds, so reject them in
+  // release builds too (the negated form also rejects NaN).
+  if (!(pct >= 0.0 && pct <= 100.0)) {
+    throw std::invalid_argument("PercentileOfSorted: pct must be in [0, 100], got " +
+                                std::to_string(pct));
+  }
   if (sorted.size() == 1) {
     return sorted.front();
   }
@@ -76,7 +83,11 @@ Summary Summarize(const std::vector<double>& values) {
 }
 
 double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
-  assert(x.size() == y.size());
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("PearsonCorrelation: series lengths differ (" +
+                                std::to_string(x.size()) + " vs " +
+                                std::to_string(y.size()) + ")");
+  }
   const size_t n = x.size();
   if (n < 2) {
     return 0.0;

@@ -51,14 +51,17 @@ struct Summary {
 Summary Summarize(const std::vector<double>& values);
 
 // Percentile in [0, 100] of `sorted` (must be ascending). Returns 0.0 for an
-// empty input so release builds cannot read out of bounds.
+// empty input so release builds cannot read out of bounds; throws
+// std::invalid_argument when pct is outside [0, 100] (checked under NDEBUG
+// too — percentile requests come from CLI flags).
 double PercentileOfSorted(const std::vector<double>& sorted, double pct);
 
 // Convenience: sorts a copy and takes the percentile. 0.0 for empty input.
 double Percentile(std::vector<double> values, double pct);
 
 // Pearson correlation coefficient of two equal-length samples. Returns 0 when
-// either sample has zero variance or fewer than two points.
+// either sample has zero variance or fewer than two points; throws
+// std::invalid_argument when the lengths differ.
 double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
 
 // Arithmetic mean; 0 for empty input.

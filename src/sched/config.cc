@@ -1,15 +1,28 @@
 #include "src/sched/config.h"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace faascost {
 
 SchedConfig MakeSchedConfig(MicroSecs period, double vcpu_fraction, int config_hz,
                             SchedulerKind kind) {
-  assert(period > 0);
-  assert(vcpu_fraction > 0.0);
-  assert(config_hz > 0);
+  // Explicit checks rather than assert: these parameters arrive from CLI
+  // flags and experiment configs, and must be rejected in release builds too.
+  if (period <= 0) {
+    throw std::invalid_argument("MakeSchedConfig: period must be > 0 us, got " +
+                                std::to_string(period));
+  }
+  if (!(vcpu_fraction > 0.0)) {
+    throw std::invalid_argument(
+        "MakeSchedConfig: vcpu_fraction must be > 0, got " +
+        std::to_string(vcpu_fraction));
+  }
+  if (config_hz <= 0) {
+    throw std::invalid_argument("MakeSchedConfig: config_hz must be > 0, got " +
+                                std::to_string(config_hz));
+  }
   SchedConfig c;
   c.period = period;
   c.quota = std::max<MicroSecs>(

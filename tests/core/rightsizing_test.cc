@@ -145,9 +145,9 @@ TEST(GcpRightsizing, HundredMsRoundingCreatesCostPlateaus) {
   const RightsizingResult r = RightsizeGcpCpu(
       QuickGcpConfig(), MakeBillingModel(Platform::kGcpCloudRunFunctions), 43);
   int distinct_buckets = 0;
-  double prev_bucket = -1.0;
+  int64_t prev_bucket = -1;
   for (const auto& pt : r.points) {
-    const double bucket = std::ceil(pt.mean_duration_ms / 100.0);
+    const int64_t bucket = static_cast<int64_t>(std::ceil(pt.mean_duration_ms / 100.0));
     if (bucket != prev_bucket) {
       ++distinct_buckets;
       prev_bucket = bucket;

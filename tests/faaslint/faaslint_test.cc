@@ -1,0 +1,434 @@
+// Tests for the faaslint lexer, rule engine, suppression machinery, and the
+// fixture corpus (golden-compared JSON findings). The fixture directory and
+// repo root are injected by CMake as FAASLINT_FIXTURE_DIR / FAASLINT_REPO_ROOT.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/faaslint/lexer.h"
+#include "tools/faaslint/rules.h"
+
+namespace faascost::faaslint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> Rules(const LintResult& r) {
+  std::vector<std::string> out;
+  out.reserve(r.findings.size());
+  for (const Finding& f : r.findings) {
+    out.push_back(f.rule);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer.
+
+TEST(Lexer, TokenizesIdentifiersNumbersAndPunct) {
+  const LexResult lex = Lex("int x = 1'000 + 0x1Fp3;");
+  ASSERT_EQ(lex.tokens.size(), 7u);
+  EXPECT_EQ(lex.tokens[0].text, "int");
+  EXPECT_EQ(lex.tokens[3].text, "1'000");
+  EXPECT_EQ(lex.tokens[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(lex.tokens[5].text, "0x1Fp3");
+  EXPECT_TRUE(IsFloatLiteral(lex.tokens[5]));   // Hex float exponent.
+  EXPECT_FALSE(IsFloatLiteral(lex.tokens[3]));  // Separated integer.
+}
+
+TEST(Lexer, StripsCommentsAndStrings) {
+  const LexResult lex = Lex(
+      "// time(nullptr) in a comment\n"
+      "/* mt19937 in a block */\n"
+      "const char* s = \"getenv(\\\"HOME\\\")\";\n");
+  for (const Token& t : lex.tokens) {
+    EXPECT_NE(t.text, "time");
+    EXPECT_NE(t.text, "mt19937");
+    EXPECT_NE(t.text, "getenv");
+  }
+}
+
+TEST(Lexer, TracksLineNumbersAndIncludes) {
+  const LexResult lex = Lex("#include <random>\n#include \"src/common/json_writer.h\"\nint y;\n");
+  ASSERT_EQ(lex.includes.size(), 2u);
+  EXPECT_EQ(lex.includes[0], "random");
+  EXPECT_EQ(lex.includes[1], "src/common/json_writer.h");
+  ASSERT_FALSE(lex.tokens.empty());
+  EXPECT_EQ(lex.tokens[0].line, 3);
+}
+
+TEST(Lexer, ParsesAllowMarkers) {
+  const LexResult lex = Lex("int a;  // faaslint:allow(R1, R5): reason\nint b;\n");
+  ASSERT_TRUE(lex.allows.count(1));
+  EXPECT_TRUE(lex.allows.at(1).count("R1"));
+  EXPECT_TRUE(lex.allows.at(1).count("R5"));
+  // The allow also covers the following line (comment-above style).
+  ASSERT_TRUE(lex.allows.count(2));
+  EXPECT_TRUE(lex.allows.at(2).count("R5"));
+}
+
+TEST(Lexer, RawStringsAreOpaque) {
+  const LexResult lex = Lex("auto s = R\"(time(nullptr) getenv)\";\n");
+  for (const Token& t : lex.tokens) {
+    EXPECT_NE(t.text, "getenv");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R1: banned nondeterminism sources.
+
+TEST(RuleR1, FlagsWallClockCalls) {
+  const LintResult r = LintSource("src/x.cc", "long t = time(nullptr);\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "R1");
+  EXPECT_EQ(r.findings[0].line, 1);
+}
+
+TEST(RuleR1, FlagsChronoClocksAndGetenv) {
+  const LintResult r = LintSource(
+      "src/x.cc",
+      "auto t = std::chrono::system_clock::now();\nauto e = getenv(\"X\");\n");
+  EXPECT_EQ(Rules(r), (std::vector<std::string>{"R1", "R1"}));
+}
+
+TEST(RuleR1, IgnoresMembersNamedLikeClocks) {
+  const LintResult r = LintSource(
+      "src/x.cc",
+      "struct C { long time() const { return 0; } };\n"
+      "long f(C& c, long ev_time) { return c.time() + ev_time; }\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(RuleR1, ReturnPositionIsACall) {
+  const LintResult r = LintSource("src/x.cc", "long f() { return time(nullptr); }\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "R1");
+}
+
+TEST(RuleR1, WallClockShimIsExempt) {
+  const std::string src = "long now_us() { return time(nullptr) * 1000000L; }\n";
+  EXPECT_TRUE(LintSource("src/common/wallclock.cc", src).findings.empty());
+  EXPECT_EQ(LintSource("src/obs/span.cc", src).findings.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// R2: RNG discipline.
+
+TEST(RuleR2, FlagsRawEnginesDistributionsAndInclude) {
+  const LintResult r = LintSource(
+      "src/platform/x.cc",
+      "#include <random>\n"
+      "double f() { std::mt19937 g(1); std::normal_distribution<double> d; return d(g); }\n");
+  EXPECT_EQ(Rules(r), (std::vector<std::string>{"R2", "R2", "R2"}));
+}
+
+TEST(RuleR2, RngImplementationIsExempt) {
+  const std::string src = "#include <random>\nstd::mt19937 g(1);\n";
+  EXPECT_TRUE(LintSource("src/common/rng.cc", src).findings.empty());
+  EXPECT_TRUE(LintSource("src/common/rng.h", src).findings.empty());
+  EXPECT_FALSE(LintSource("src/common/other.cc", src).findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R3: ordered-output discipline.
+
+constexpr const char* kUnorderedLoop =
+    "#include <unordered_map>\n"
+    "%s"
+    "void Emit(const std::unordered_map<int, int>& m) {\n"
+    "  for (const auto& [k, v] : m) { (void)k; (void)v; }\n"
+    "}\n";
+
+TEST(RuleR3, FlagsOnlyWhenSerializerIncluded) {
+  char with_header[512];
+  std::snprintf(with_header, sizeof(with_header), kUnorderedLoop,
+                "#include \"src/common/json_writer.h\"\n");
+  char without_header[512];
+  std::snprintf(without_header, sizeof(without_header), kUnorderedLoop, "");
+
+  const LintResult flagged = LintSource("src/obs/x.cc", with_header);
+  ASSERT_EQ(flagged.findings.size(), 1u);
+  EXPECT_EQ(flagged.findings[0].rule, "R3");
+  EXPECT_TRUE(LintSource("src/obs/x.cc", without_header).findings.empty());
+}
+
+TEST(RuleR3, OrderedMapIsFine) {
+  const LintResult r = LintSource(
+      "src/obs/x.cc",
+      "#include <map>\n"
+      "#include \"src/common/table.h\"\n"
+      "void Emit(const std::map<int, int>& m) {\n"
+      "  for (const auto& [k, v] : m) { (void)k; (void)v; }\n"
+      "}\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R4: assert hygiene.
+
+TEST(RuleR4, FlagsSideEffectsInAssert) {
+  const LintResult r = LintSource(
+      "src/x.cc",
+      "void f(int x) { assert(x = 1); assert(x++); assert(v.insert(x).second); }\n");
+  EXPECT_EQ(Rules(r), (std::vector<std::string>{"R4", "R4", "R4"}));
+}
+
+TEST(RuleR4, FlagsAnyAssertInParsePaths) {
+  const std::string src = "void f(long raw) { assert(raw > 0); }\n";
+  EXPECT_EQ(LintSource("src/sched/config.cc", src).findings.size(), 1u);
+  EXPECT_EQ(LintSource("tools/faascost_cli.cc", src).findings.size(), 1u);
+  EXPECT_TRUE(LintSource("src/sched/host_sim.cc", src).findings.empty());
+}
+
+TEST(RuleR4, PureAssertsOutsideParsePathsAreFine) {
+  const LintResult r = LintSource(
+      "src/x.cc", "void f(int x) { assert(x >= 0 && x < 10); assert(!done()); }\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R5: float equality.
+
+TEST(RuleR5, FlagsLiteralAndVariableCompares) {
+  const LintResult r = LintSource(
+      "src/x.cc",
+      "bool f(double a, double b) { return a == 1.0 || a != b; }\n");
+  EXPECT_EQ(Rules(r), (std::vector<std::string>{"R5", "R5"}));
+}
+
+TEST(RuleR5, FlagsNegativeLiteralCompare) {
+  const LintResult r =
+      LintSource("src/x.cc", "bool f(double v) { return v == -1.0; }\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "R5");
+}
+
+TEST(RuleR5, IntegerAndToleranceComparesAreFine) {
+  const LintResult r = LintSource(
+      "src/x.cc",
+      "bool f(long m, long n, double a, double b) {\n"
+      "  return m == n && (a - b < 1e-9) && a < b;\n"
+      "}\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppression: inline allows and the allowlist.
+
+TEST(Suppression, InlineAllowSilencesSameAndNextLine) {
+  const LintResult trailing = LintSource(
+      "src/x.cc",
+      "bool f(double v) { return v == 1.0; }  // faaslint:allow(R5): exact.\n");
+  EXPECT_TRUE(trailing.findings.empty());
+  EXPECT_EQ(trailing.suppressed, 1);
+
+  const LintResult above = LintSource(
+      "src/x.cc",
+      "// faaslint:allow(R5): exact by construction.\n"
+      "bool f(double v) { return v == 1.0; }\n");
+  EXPECT_TRUE(above.findings.empty());
+  EXPECT_EQ(above.suppressed, 1);
+}
+
+TEST(Suppression, AllowOnlySilencesTheNamedRule) {
+  const LintResult r = LintSource(
+      "src/x.cc",
+      "long f() { return time(nullptr); }  // faaslint:allow(R5): wrong rule.\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "R1");
+  EXPECT_EQ(r.suppressed, 0);
+}
+
+TEST(Allowlist, ParsesEntriesAndRejectsMissingJustification) {
+  std::vector<AllowlistEntry> entries;
+  std::string error;
+  EXPECT_TRUE(ParseAllowlist(
+      "# comment\n\nR5 bench/foo.cc exact sweep literals\n", &entries, &error));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rule, "R5");
+  EXPECT_EQ(entries[0].path, "bench/foo.cc");
+  EXPECT_EQ(entries[0].justification, "exact sweep literals");
+
+  entries.clear();
+  EXPECT_FALSE(ParseAllowlist("R5 bench/foo.cc\n", &entries, &error));
+  EXPECT_NE(error.find("justification"), std::string::npos);
+}
+
+TEST(Allowlist, MatchesExactAndSuffixPaths) {
+  std::vector<AllowlistEntry> entries{{"R5", "bench/foo.cc", "why"}};
+  EXPECT_TRUE(IsAllowlisted(entries, {"bench/foo.cc", 1, "R5", "m"}));
+  EXPECT_TRUE(IsAllowlisted(entries, {"repo/bench/foo.cc", 1, "R5", "m"}));
+  EXPECT_FALSE(IsAllowlisted(entries, {"bench/foo.cc", 1, "R1", "m"}));
+  EXPECT_FALSE(IsAllowlisted(entries, {"bench/bar.cc", 1, "R5", "m"}));
+}
+
+// ---------------------------------------------------------------------------
+// Fixture corpus: every rule has positive and negative fixtures, and the JSON
+// report is byte-compared against the checked-in golden file.
+
+class FixtureCorpus : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const fs::path dir(FAASLINT_FIXTURE_DIR);
+    std::vector<AllowlistEntry> allow;
+    std::string error;
+    ASSERT_TRUE(ParseAllowlist(ReadFileOrDie(dir / "allowlist.txt"), &allow, &error))
+        << error;
+
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.path().extension() == ".cc") {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+
+    results_ = new std::map<std::string, LintResult>();
+    all_findings_ = new std::vector<Finding>();
+    suppressed_ = 0;
+    for (const fs::path& f : files) {
+      LintResult r = LintSource(f.filename().string(), ReadFileOrDie(f));
+      suppressed_ += r.suppressed;
+      for (const Finding& finding : r.findings) {
+        if (IsAllowlisted(allow, finding)) {
+          ++suppressed_;
+        } else {
+          all_findings_->push_back(finding);
+        }
+      }
+      (*results_)[f.filename().string()] = std::move(r);
+    }
+    files_scanned_ = static_cast<int>(files.size());
+  }
+
+  static void TearDownTestSuite() {
+    delete results_;
+    delete all_findings_;
+    results_ = nullptr;
+    all_findings_ = nullptr;
+  }
+
+  static int CountRule(const std::string& file, const std::string& rule) {
+    const auto it = results_->find(file);
+    if (it == results_->end()) {
+      return -1;  // Fixture missing.
+    }
+    int n = 0;
+    for (const Finding& f : it->second.findings) {
+      n += f.rule == rule ? 1 : 0;
+    }
+    return n;
+  }
+
+  static std::map<std::string, LintResult>* results_;
+  static std::vector<Finding>* all_findings_;
+  static int suppressed_;
+  static int files_scanned_;
+};
+
+std::map<std::string, LintResult>* FixtureCorpus::results_ = nullptr;
+std::vector<Finding>* FixtureCorpus::all_findings_ = nullptr;
+int FixtureCorpus::suppressed_ = 0;
+int FixtureCorpus::files_scanned_ = 0;
+
+TEST_F(FixtureCorpus, EveryRuleHasPositiveAndNegativeFixtures) {
+  EXPECT_EQ(CountRule("r1_wallclock.cc", "R1"), 4);
+  EXPECT_EQ(CountRule("r1_negative.cc", "R1"), 0);
+  EXPECT_EQ(CountRule("r2_raw_random.cc", "R2"), 4);
+  EXPECT_EQ(CountRule("r2_negative.cc", "R2"), 0);
+  EXPECT_EQ(CountRule("r3_unordered_emit.cc", "R3"), 1);
+  EXPECT_EQ(CountRule("r3_negative.cc", "R3"), 0);
+  EXPECT_EQ(CountRule("r4_side_effects.cc", "R4"), 3);
+  EXPECT_EQ(CountRule("r4_parse_config.cc", "R4"), 1);
+  EXPECT_EQ(CountRule("r4_negative.cc", "R4"), 0);
+  EXPECT_EQ(CountRule("r5_float_compare.cc", "R5"), 2);
+  EXPECT_EQ(CountRule("r5_negative.cc", "R5"), 0);
+}
+
+TEST_F(FixtureCorpus, NegativeFixturesAreCompletelyClean) {
+  for (const char* file :
+       {"r1_negative.cc", "r2_negative.cc", "r3_negative.cc", "r4_negative.cc",
+        "r5_negative.cc"}) {
+    const auto it = results_->find(file);
+    ASSERT_NE(it, results_->end()) << file;
+    EXPECT_TRUE(it->second.findings.empty()) << file;
+  }
+}
+
+TEST_F(FixtureCorpus, SuppressionFixturesReportZeroFindings) {
+  EXPECT_TRUE(results_->at("suppressed_inline.cc").findings.empty());
+  EXPECT_EQ(results_->at("suppressed_inline.cc").suppressed, 2);
+  EXPECT_EQ(suppressed_, 3);  // 2 inline + 1 allowlisted.
+}
+
+TEST_F(FixtureCorpus, JsonReportMatchesGolden) {
+  const std::string json = FindingsToJson(*all_findings_, files_scanned_, suppressed_);
+  const std::string golden =
+      ReadFileOrDie(fs::path(FAASLINT_REPO_ROOT) / "tests/faaslint/golden_findings.json");
+  // The CLI appends a trailing newline after the JSON document.
+  EXPECT_EQ(json + "\n", golden);
+}
+
+// ---------------------------------------------------------------------------
+// The repo tree itself must lint clean (same walk the ctest binary entry and
+// ci.sh perform, in-process for a precise failure message).
+
+TEST(RepoTree, LintsClean) {
+  const fs::path root(FAASLINT_REPO_ROOT);
+  std::vector<AllowlistEntry> allow;
+  std::string error;
+  const fs::path allowlist = root / "tools/faaslint/allowlist.txt";
+  if (fs::exists(allowlist)) {
+    ASSERT_TRUE(ParseAllowlist(ReadFileOrDie(allowlist), &allow, &error)) << error;
+  }
+
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "tools", "bench", "tests", "examples"}) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) {
+      continue;
+    }
+    for (auto it = fs::recursive_directory_iterator(base);
+         it != fs::recursive_directory_iterator(); ++it) {
+      const std::string p = it->path().generic_string();
+      if (p.find("tests/faaslint/fixtures") != std::string::npos) {
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (it->is_regular_file() && (ext == ".cc" || ext == ".h" || ext == ".cpp")) {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GT(files.size(), 100u);  // Sanity: the walk found the real tree.
+
+  for (const fs::path& f : files) {
+    const std::string rel = fs::relative(f, root).generic_string();
+    const LintResult r = LintSource(rel, ReadFileOrDie(f));
+    for (const Finding& finding : r.findings) {
+      EXPECT_TRUE(IsAllowlisted(allow, finding))
+          << finding.file << ":" << finding.line << " [" << finding.rule << "] "
+          << finding.message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faascost::faaslint

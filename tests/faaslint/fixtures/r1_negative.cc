@@ -1,0 +1,18 @@
+// faaslint fixture: R1 negatives — simulated time and member functions that
+// merely share a banned name must not be flagged.
+#include <cstdint>
+
+struct Event {
+  int64_t time = 0;  // A data member named `time` is fine.
+};
+
+struct SimClock {
+  int64_t now = 0;
+  int64_t time() const { return now; }  // Member named time(): fine.
+};
+
+int64_t Advance(SimClock& clock_state, const Event& ev) {
+  // Member calls and field reads named like banned functions are not calls
+  // to the global wall clock.
+  return clock_state.time() + ev.time;
+}

@@ -1,0 +1,19 @@
+// faaslint fixture: R1 positives — wall-clock, environment, and locale reads.
+// This file is lint input only; it is never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+long WallClockNow() {
+  return static_cast<long>(time(nullptr));  // R1: time()
+}
+
+double ChronoNow() {
+  const auto t = std::chrono::system_clock::now();  // R1: system_clock
+  (void)std::chrono::steady_clock::now();           // R1: steady_clock
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+const char* ReadEnv() {
+  return std::getenv("FAASCOST_SEED");  // R1: getenv
+}

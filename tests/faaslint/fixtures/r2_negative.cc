@@ -1,0 +1,11 @@
+// faaslint fixture: R2 negative — randomness routed through the project Rng.
+#include <cstdint>
+
+namespace faascost {
+class Rng;
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream);
+}  // namespace faascost
+
+// Mentioning Rng, seeds, and streams is fine; only raw <random> machinery
+// trips the rule.
+uint64_t FaultStreamSeed(uint64_t base) { return faascost::DeriveSeed(base, 0); }

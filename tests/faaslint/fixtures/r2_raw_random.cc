@@ -1,0 +1,9 @@
+// faaslint fixture: R2 positives — raw <random> use outside src/common/rng.*.
+#include <random>  // R2: include <random>
+
+double SampleLatency() {
+  std::random_device rd;                                // R2: random_device
+  std::mt19937 engine(rd());                            // R2: mt19937
+  std::uniform_real_distribution<double> dist(0.0, 1.0);  // R2: *_distribution
+  return dist(engine);
+}

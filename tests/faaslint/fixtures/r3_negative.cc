@@ -1,0 +1,26 @@
+// faaslint fixture: R3 negatives — ordered iteration next to a serializer,
+// and unordered iteration in a TU that never serializes.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/json_writer.h"
+
+// std::map iterates in key order: fine even while serializing.
+std::string EmitSorted(const std::map<std::string, int64_t>& counters) {
+  faascost::JsonWriter w;
+  w.BeginObject();
+  for (const auto& [name, value] : counters) {
+    w.KV(name, value);
+  }
+  w.EndObject();
+  return w.str();
+}
+
+// Unordered lookup without iteration is fine too.
+int64_t Lookup(const std::unordered_map<std::string, int64_t>& counter_index,
+               const std::string& key) {
+  const auto it = counter_index.find(key);
+  return it == counter_index.end() ? 0 : it->second;
+}

@@ -1,0 +1,17 @@
+// faaslint fixture: R3 positive — ranged-for over an unordered container in
+// a translation unit that includes a serialization header.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/json_writer.h"
+
+std::string EmitCounters(const std::unordered_map<std::string, int64_t>& counters) {
+  faascost::JsonWriter w;
+  w.BeginObject();
+  for (const auto& [name, value] : counters) {  // R3: hash order -> artifact
+    w.KV(name, value);
+  }
+  w.EndObject();
+  return w.str();
+}

@@ -1,0 +1,10 @@
+// faaslint fixture: R4 negatives — side-effect-free asserts on internal
+// invariants, outside any parsing path.
+#include <cassert>
+#include <vector>
+
+int Checked(const std::vector<int>& xs, int i) {
+  assert(!xs.empty());                      // Pure read: fine.
+  assert(i >= 0 && i < static_cast<int>(xs.size()));  // Comparisons: fine.
+  return xs[static_cast<unsigned>(i)];
+}

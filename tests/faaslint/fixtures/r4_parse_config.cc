@@ -1,0 +1,14 @@
+// faaslint fixture: R4 positive — assert as the only validation in a parsing
+// path (the file name marks it as config parsing).
+#include <cassert>
+
+struct ParsedConfig {
+  long period = 0;
+};
+
+ParsedConfig ParsePeriod(long raw) {
+  assert(raw > 0);  // R4: compiles out under NDEBUG, bad input sails through
+  ParsedConfig c;
+  c.period = raw;
+  return c;
+}

@@ -1,0 +1,11 @@
+// faaslint fixture: R4 positives — asserts whose expressions vanish under
+// NDEBUG along with their side effects.
+#include <cassert>
+#include <set>
+
+int ConsumeToken(int* cursor, std::set<int>& seen, int token) {
+  assert((*cursor = token));        // R4: assignment inside assert
+  assert(++*cursor > 0);            // R4: increment inside assert
+  assert(seen.insert(token).second);  // R4: mutating call inside assert
+  return *cursor;
+}

@@ -1,0 +1,10 @@
+// faaslint fixture: R5 positives — exact floating-point equality.
+bool IsUnitPrice(double price) {
+  return price == 1.0;  // R5: literal compare
+}
+
+bool RatesDiffer(double rate_a, double rate_b) {
+  const double scaled_a = rate_a * 3600.0;
+  const double scaled_b = rate_b * 3600.0;
+  return scaled_a != scaled_b;  // R5: double-vs-double compare
+}

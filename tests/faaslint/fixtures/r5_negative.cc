@@ -1,0 +1,12 @@
+// faaslint fixture: R5 negatives — tolerance compares, ordering compares,
+// and integer equality are all fine.
+#include <cmath>
+#include <cstdint>
+
+bool NearlyEqual(double a, double b) {
+  return std::abs(a - b) < 1e-9;  // Tolerance compare: fine.
+}
+
+bool Before(double a, double b) { return a < b; }  // Ordering: fine.
+
+bool SameCount(int64_t m, int64_t n) { return m == n; }  // Integers: fine.

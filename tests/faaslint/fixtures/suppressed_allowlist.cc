@@ -1,0 +1,3 @@
+// faaslint fixture: allowlist suppression. The R5 violation below has no
+// inline marker; it is silenced by the entry in fixtures/allowlist.txt.
+bool LegacyExactCompare(double a, double b) { return a == b; }

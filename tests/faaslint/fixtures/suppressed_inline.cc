@@ -1,0 +1,9 @@
+// faaslint fixture: inline suppressions. Both violations below carry a
+// faaslint:allow marker, so this file must produce zero findings (and two
+// suppressed counts).
+bool ExactCut(double value) {
+  return value == 0.25;  // faaslint:allow(R5): quartile cut points are exact binary fractions.
+}
+
+// faaslint:allow(R5): sentinel is assigned from this literal, bitwise equal by construction.
+bool IsSentinel(double v) { return v == -1.0; }

@@ -1,19 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice: a plain build and an ASan+UBSan build, each
-# followed by the full test suite. Run from anywhere; build trees live under
-# the repo root so they are covered by .gitignore.
+# Tier-1 verification, twice: a warnings-as-errors build and a sanitized build,
+# each followed by the full test suite — then static analysis (faaslint,
+# clang-tidy when available) and determinism smoke checks. Run from anywhere;
+# build trees live under the repo root so they are covered by .gitignore.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== Tier 1: plain build =="
-cmake -B "$repo/build" -S "$repo"
+echo "== Tier 1: plain build (-Werror, -Wshadow -Wconversion on src/common) =="
+cmake -B "$repo/build" -S "$repo" -DFAASCOST_WERROR=ON
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
 echo
-echo "== Tier 1: sanitized build (ASan + UBSan) =="
+echo "== Tier 1: sanitized build (ASan + UBSan + float-divide-by-zero/cast-overflow) =="
 cmake -B "$repo/build-asan" -S "$repo" -DFAASCOST_SANITIZE=ON
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
@@ -22,6 +23,36 @@ echo
 echo "== Chaos suites, sanitized (focused re-run) =="
 ctest --test-dir "$repo/build-asan" -R 'chaos|host_faults|faults_test' \
   --output-on-failure -j "$jobs"
+
+echo
+echo "== faaslint: determinism rules over the repo tree =="
+"$repo/build/tools/faaslint/faaslint" --root "$repo" --json | python3 -m json.tool > /dev/null
+"$repo/build/tools/faaslint/faaslint" --root "$repo"
+
+echo
+echo "== faaslint: fixture corpus vs golden findings =="
+lint_tmp="$(mktemp -d)"
+# The fixtures intentionally violate every rule, so faaslint exits 1 here;
+# what must match exactly is the JSON report.
+set +e
+"$repo/build/tools/faaslint/faaslint" --json \
+  --relative-to "$repo/tests/faaslint/fixtures" \
+  --allowlist "$repo/tests/faaslint/fixtures/allowlist.txt" \
+  "$repo/tests/faaslint/fixtures" > "$lint_tmp/findings.json"
+lint_rc=$?
+set -e
+if [ "$lint_rc" -ne 1 ]; then
+  echo "faaslint: expected exit 1 on fixtures, got $lint_rc" >&2
+  exit 1
+fi
+python3 -m json.tool "$lint_tmp/findings.json" > /dev/null
+cmp "$lint_tmp/findings.json" "$repo/tests/faaslint/golden_findings.json"
+rm -rf "$lint_tmp"
+echo "fixture findings match tests/faaslint/golden_findings.json byte-for-byte."
+
+echo
+echo "== clang-tidy (skips gracefully when the binary is absent) =="
+cmake --build "$repo/build" --target lint-tidy
 
 echo
 echo "== Failure benches: --json smoke =="
@@ -43,4 +74,4 @@ cmp "$obs_tmp/a/metrics.jsonl" "$obs_tmp/b/metrics.jsonl"
 echo "trace.json parses; repeated runs are byte-identical."
 
 echo
-echo "ci.sh: both tiers green."
+echo "ci.sh: builds, tests, and lints green."

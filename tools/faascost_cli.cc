@@ -21,6 +21,8 @@
 // Exit status: 0 on success, 1 on usage errors.
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -85,14 +87,39 @@ class Flags {
     return v.has_value() && *v != "false" && *v != "0";
   }
 
+  // Numeric flags are parsed strictly (no atof/atoll: those report neither
+  // garbage nor overflow). A malformed value aborts with a usage error
+  // instead of silently running the experiment with 0.
   double GetDouble(const std::string& key, double fallback) const {
     const auto v = Get(key);
-    return v.has_value() ? std::atof(v->c_str()) : fallback;
+    if (!v.has_value()) {
+      return fallback;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "faascost: --%s expects a number, got '%s'\n",
+                   key.c_str(), v->c_str());
+      std::exit(1);
+    }
+    return parsed;
   }
 
   int64_t GetInt(const std::string& key, int64_t fallback) const {
     const auto v = Get(key);
-    return v.has_value() ? std::atoll(v->c_str()) : fallback;
+    if (!v.has_value()) {
+      return fallback;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "faascost: --%s expects an integer, got '%s'\n",
+                   key.c_str(), v->c_str());
+      std::exit(1);
+    }
+    return parsed;
   }
 
   const std::vector<std::string>& extra() const { return extra_; }
@@ -706,7 +733,7 @@ int CmdObserve(const Flags& flags) {
     }
     table.AddRow({SpanKindName(kind), FormatDouble(static_cast<double>(a.count), 0),
                   FormatDouble(MicrosToMillis(a.total), 1),
-                  a.usd != 0.0 ? FormatSci(a.usd, 3) : std::string("-")});
+                  std::abs(a.usd) > 0.0 ? FormatSci(a.usd, 3) : std::string("-")});
   }
   std::printf("%s", table.Render().c_str());
 

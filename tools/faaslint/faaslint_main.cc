@@ -1,0 +1,249 @@
+// faaslint: static analyzer for faascost's determinism invariants.
+//
+// Usage:
+//   faaslint [--root DIR] [--json] [--allowlist FILE] [--relative-to DIR]
+//            [paths...]
+//
+// With no paths, walks src/, tools/, bench/, tests/, and examples/ under
+// --root (default: cwd), skipping tests/faaslint/fixtures/ (those files are
+// intentional rule violations, linted separately by ci.sh against a golden
+// findings file). With explicit paths, lints exactly those files/directories.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/faaslint/rules.h"
+
+namespace faascost::faaslint {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kDefaultDirs[] = {"src", "tools", "bench", "tests",
+                                             "examples"};
+constexpr std::string_view kFixtureDir = "tests/faaslint/fixtures";
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+// Forward-slashed path form, so output is identical across platforms.
+std::string Slashed(const fs::path& p) { return p.generic_string(); }
+
+// Path of `p` relative to `base` when p lies under it; `p` unchanged otherwise.
+std::string RelativeTo(const fs::path& p, const fs::path& base) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, base, ec);
+  if (ec || rel.empty() || *rel.begin() == "..") {
+    return Slashed(p);
+  }
+  return Slashed(rel);
+}
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Collects lintable files under `p` (or `p` itself), sorted so findings are
+// emitted in a stable order regardless of directory iteration order.
+bool CollectFiles(const fs::path& p, bool skip_fixtures, std::vector<fs::path>* out) {
+  std::error_code ec;
+  if (fs::is_regular_file(p, ec)) {
+    out->push_back(p);
+    return true;
+  }
+  if (!fs::is_directory(p, ec)) {
+    std::fprintf(stderr, "faaslint: no such file or directory: %s\n",
+                 Slashed(p).c_str());
+    return false;
+  }
+  for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      std::fprintf(stderr, "faaslint: error walking %s: %s\n", Slashed(p).c_str(),
+                   ec.message().c_str());
+      return false;
+    }
+    const fs::path& entry = it->path();
+    if (it->is_directory()) {
+      const std::string name = entry.filename().string();
+      if (!name.empty() && name[0] == '.') {
+        it.disable_recursion_pending();  // .git and friends.
+      }
+      if (skip_fixtures && Slashed(entry).find(kFixtureDir) != std::string::npos) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (it->is_regular_file() && HasLintableExtension(entry)) {
+      if (skip_fixtures && Slashed(entry).find(kFixtureDir) != std::string::npos) {
+        continue;
+      }
+      out->push_back(entry);
+    }
+  }
+  std::sort(out->begin(), out->end());
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path relative_to;
+  std::string allowlist_path;
+  bool json = false;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "faaslint: %s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = need_value("--root");
+      if (v == nullptr) {
+        return 2;
+      }
+      root = v;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--allowlist") {
+      const char* v = need_value("--allowlist");
+      if (v == nullptr) {
+        return 2;
+      }
+      allowlist_path = v;
+    } else if (arg == "--relative-to") {
+      const char* v = need_value("--relative-to");
+      if (v == nullptr) {
+        return 2;
+      }
+      relative_to = v;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: faaslint [--root DIR] [--json] [--allowlist FILE] "
+                   "[--relative-to DIR] [paths...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "faaslint: unknown flag: %s\n", argv[i]);
+      return 2;
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+
+  // Tree mode lints the project directories and skips the fixture corpus;
+  // explicit paths lint exactly what was asked for.
+  const bool tree_mode = inputs.empty();
+  if (tree_mode) {
+    for (const std::string_view dir : kDefaultDirs) {
+      const fs::path p = root / dir;
+      std::error_code ec;
+      if (fs::is_directory(p, ec)) {
+        inputs.push_back(p);
+      }
+    }
+    if (inputs.empty()) {
+      std::fprintf(stderr, "faaslint: nothing to lint under %s\n",
+                   Slashed(root).c_str());
+      return 2;
+    }
+  }
+  if (relative_to.empty()) {
+    relative_to = root;
+  }
+
+  // Allowlist: explicit flag wins; tree mode falls back to the checked-in
+  // tools/faaslint/allowlist.txt when present.
+  std::vector<AllowlistEntry> allowlist;
+  if (allowlist_path.empty() && tree_mode) {
+    const fs::path def = root / "tools" / "faaslint" / "allowlist.txt";
+    std::error_code ec;
+    if (fs::is_regular_file(def, ec)) {
+      allowlist_path = Slashed(def);
+    }
+  }
+  if (!allowlist_path.empty()) {
+    std::string text;
+    if (!ReadFile(allowlist_path, &text)) {
+      std::fprintf(stderr, "faaslint: cannot read allowlist %s\n",
+                   allowlist_path.c_str());
+      return 2;
+    }
+    std::string error;
+    if (!ParseAllowlist(text, &allowlist, &error)) {
+      std::fprintf(stderr, "faaslint: %s: %s\n", allowlist_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& in : inputs) {
+    if (!CollectFiles(in, /*skip_fixtures=*/tree_mode, &files)) {
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  int suppressed = 0;
+  for (const fs::path& file : files) {
+    std::string source;
+    if (!ReadFile(file, &source)) {
+      std::fprintf(stderr, "faaslint: cannot read %s\n", Slashed(file).c_str());
+      return 2;
+    }
+    LintResult result = LintSource(RelativeTo(file, relative_to), source);
+    suppressed += result.suppressed;
+    for (Finding& f : result.findings) {
+      if (IsAllowlisted(allowlist, f)) {
+        ++suppressed;
+      } else {
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  // Files are visited in sorted order and per-file findings are pre-sorted,
+  // so the concatenation is already deterministic.
+
+  if (json) {
+    std::printf("%s\n",
+                FindingsToJson(findings, static_cast<int>(files.size()), suppressed)
+                    .c_str());
+  } else {
+    for (const Finding& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    std::printf("faaslint: %zu finding%s (%d suppressed) in %zu files\n",
+                findings.size(), findings.size() == 1 ? "" : "s", suppressed,
+                files.size());
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace faascost::faaslint
+
+int main(int argc, char** argv) { return faascost::faaslint::Run(argc, argv); }

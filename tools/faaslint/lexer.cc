@@ -1,0 +1,259 @@
+#include "tools/faaslint/lexer.h"
+
+#include <cctype>
+
+namespace faascost::faaslint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Multi-character punctuation, longest first so greedy matching works.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "==", "!=", "<=", ">=", "->", "++",
+    "--",  "+=",  "-=",  "*=",  "/=", "%=", "&=", "|=", "^=", "&&", "||",
+    "<<",  ">>",
+};
+
+// Records the rules named in a `faaslint:allow(R1, R2)` marker inside the
+// comment text, against `line` and the line after it.
+void ParseAllows(std::string_view comment, int line, LexResult* out) {
+  constexpr std::string_view kMarker = "faaslint:allow(";
+  size_t pos = comment.find(kMarker);
+  while (pos != std::string_view::npos) {
+    size_t i = pos + kMarker.size();
+    std::string rule;
+    for (; i < comment.size() && comment[i] != ')'; ++i) {
+      const char c = comment[i];
+      if (c == ',' || c == ' ' || c == '\t') {
+        if (!rule.empty()) {
+          out->allows[line].insert(rule);
+          out->allows[line + 1].insert(rule);
+          rule.clear();
+        }
+      } else {
+        rule.push_back(c);
+      }
+    }
+    if (!rule.empty()) {
+      out->allows[line].insert(rule);
+      out->allows[line + 1].insert(rule);
+    }
+    pos = comment.find(kMarker, i);
+  }
+}
+
+}  // namespace
+
+bool IsFloatLiteral(const Token& token) {
+  if (token.kind != TokenKind::kNumber) {
+    return false;
+  }
+  const std::string& t = token.text;
+  const bool hex = t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X');
+  if (t.find('.') != std::string::npos) {
+    return true;
+  }
+  if (hex) {
+    return t.find('p') != std::string::npos || t.find('P') != std::string::npos;
+  }
+  return t.find('e') != std::string::npos || t.find('E') != std::string::npos;
+}
+
+LexResult Lex(std::string_view s) {
+  LexResult out;
+  const size_t n = s.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // Only whitespace seen since the last newline.
+
+  const auto push = [&](TokenKind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = s[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: capture #include targets, skip the rest of the
+    // (possibly continued) logical line. Macro bodies are not linted.
+    if (c == '#' && at_line_start) {
+      size_t j = i + 1;
+      while (j < n && (s[j] == ' ' || s[j] == '\t')) {
+        ++j;
+      }
+      size_t k = j;
+      while (k < n && IsIdentChar(s[k])) {
+        ++k;
+      }
+      const bool is_include = s.substr(j, k - j) == "include";
+      // Find the end of the logical line, honoring backslash continuations.
+      size_t end = k;
+      while (end < n && (s[end] != '\n' || s[end - 1] == '\\')) {
+        if (s[end] == '\n') {
+          ++line;
+        }
+        ++end;
+      }
+      if (is_include) {
+        std::string_view body = s.substr(k, end - k);
+        const size_t open = body.find_first_of("<\"");
+        if (open != std::string_view::npos) {
+          const char close = body[open] == '<' ? '>' : '"';
+          const size_t stop = body.find(close, open + 1);
+          if (stop != std::string_view::npos) {
+            out.includes.emplace_back(body.substr(open + 1, stop - open - 1));
+          }
+        }
+      }
+      i = end;
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      size_t end = i + 2;
+      while (end < n && s[end] != '\n') {
+        ++end;
+      }
+      ParseAllows(s.substr(i + 2, end - i - 2), line, &out);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      const int start_line = line;
+      size_t end = i + 2;
+      while (end + 1 < n && !(s[end] == '*' && s[end + 1] == '/')) {
+        if (s[end] == '\n') {
+          ++line;
+        }
+        ++end;
+      }
+      ParseAllows(s.substr(i + 2, end - i - 2), start_line, &out);
+      if (line != start_line) {
+        ParseAllows(s.substr(i + 2, end - i - 2), line, &out);
+      }
+      i = end + 1 < n ? end + 2 : n;
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && s[j] != '(') {
+        delim.push_back(s[j]);
+        ++j;
+      }
+      const std::string closer = ")" + delim + "\"";
+      const size_t stop = s.find(closer, j);
+      const size_t end = stop == std::string_view::npos ? n : stop + closer.size();
+      for (size_t p = i; p < end; ++p) {
+        if (s[p] == '\n') {
+          ++line;
+        }
+      }
+      push(TokenKind::kString, std::string(s.substr(i, end - i)));
+      i = end;
+      continue;
+    }
+
+    // String and character literals. A ' that directly follows an identifier
+    // or number token never starts a char literal here because those paths
+    // consume their trailing separators/suffixes below.
+    if (c == '"' || c == '\'') {
+      size_t end = i + 1;
+      while (end < n && s[end] != c) {
+        if (s[end] == '\\' && end + 1 < n) {
+          ++end;
+        }
+        if (s[end] == '\n') {
+          ++line;
+        }
+        ++end;
+      }
+      end = end < n ? end + 1 : n;
+      push(TokenKind::kString, std::string(s.substr(i, end - i)));
+      i = end;
+      continue;
+    }
+
+    // Numbers, including digit separators (1'000) and exponents.
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(s[i + 1]))) {
+      const bool hex = c == '0' && i + 1 < n && (s[i + 1] == 'x' || s[i + 1] == 'X');
+      size_t j = i;
+      while (j < n) {
+        const char d = s[j];
+        if (IsIdentChar(d) || d == '.') {
+          ++j;
+          continue;
+        }
+        if (d == '\'' && j + 1 < n && IsIdentChar(s[j + 1])) {
+          ++j;  // Digit separator.
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i) {
+          const char prev = s[j - 1];
+          if ((!hex && (prev == 'e' || prev == 'E')) ||
+              (hex && (prev == 'p' || prev == 'P'))) {
+            ++j;  // Exponent sign.
+            continue;
+          }
+        }
+        break;
+      }
+      push(TokenKind::kNumber, std::string(s.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+
+    // Identifiers and keywords.
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(s[j])) {
+        ++j;
+      }
+      push(TokenKind::kIdentifier, std::string(s.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const std::string_view p : kPuncts) {
+      if (s.substr(i, p.size()) == p) {
+        push(TokenKind::kPunct, std::string(p));
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      push(TokenKind::kPunct, std::string(1, c));
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace faascost::faaslint

@@ -1,0 +1,55 @@
+// Lightweight C++ lexer for faaslint.
+//
+// This is not a full C++ front end: it tokenizes enough of the language for
+// the determinism rules in rules.h — identifiers, numbers (with digit
+// separators), string/char/raw-string literals, and multi-character
+// punctuation — while stripping comments and preprocessor directives. Two
+// side channels are captured along the way: `#include` targets (rule R3
+// needs to know which serialization headers a translation unit pulls in) and
+// `// faaslint:allow(RULE)` suppression comments (recorded against both the
+// comment's own line and the following line, so trailing and comment-above
+// styles both work).
+
+#ifndef FAASCOST_TOOLS_FAASLINT_LEXER_H_
+#define FAASCOST_TOOLS_FAASLINT_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faascost::faaslint {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,  // String and character literals (contents are opaque to rules).
+  kPunct,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  // Targets of #include directives, without the <> or "" delimiters.
+  std::vector<std::string> includes;
+  // line -> rules suppressed on that line via faaslint:allow(...) comments.
+  std::map<int, std::set<std::string>> allows;
+};
+
+// Tokenizes `source`. Never fails: unrecognized bytes are skipped, an
+// unterminated literal consumes the rest of the file.
+LexResult Lex(std::string_view source);
+
+// True when a number token spells a floating-point literal (has a decimal
+// point, a decimal exponent, or a hex-float exponent).
+bool IsFloatLiteral(const Token& token);
+
+}  // namespace faascost::faaslint
+
+#endif  // FAASCOST_TOOLS_FAASLINT_LEXER_H_

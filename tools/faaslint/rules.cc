@@ -1,0 +1,493 @@
+#include "tools/faaslint/rules.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "src/common/json_writer.h"
+#include "tools/faaslint/lexer.h"
+
+namespace faascost::faaslint {
+
+namespace {
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool Contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+// R1 exemption: the one place allowed to touch real clocks.
+bool IsWallClockShim(std::string_view path) {
+  return EndsWith(path, "common/wallclock.h") || EndsWith(path, "common/wallclock.cc");
+}
+
+// R2 exemption: the deterministic RNG implementation itself.
+bool IsRngImpl(std::string_view path) {
+  return EndsWith(path, "common/rng.h") || EndsWith(path, "common/rng.cc");
+}
+
+// R4: files that parse external input (config, CLI flags, presets, traces).
+// An assert here is typically the *only* validation and vanishes under
+// NDEBUG, so the rule bans assert in these files outright.
+bool IsParsePath(std::string_view path) {
+  const size_t slash = path.rfind('/');
+  const std::string_view base =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  return Contains(base, "config") || Contains(base, "cli") ||
+         Contains(base, "presets") || Contains(base, "parse");
+}
+
+// Wall-clock, environment, and locale reads (R1). `time`-like names are only
+// flagged as calls; bare identifiers would be too noisy (`ev.time`).
+const std::set<std::string, std::less<>> kBannedCalls = {
+    "rand",      "srand",    "time",      "clock",    "gettimeofday",
+    "localtime", "gmtime",   "asctime",   "strftime", "setlocale",
+    "mktime",    "timespec_get",
+};
+const std::set<std::string, std::less<>> kBannedIdentifiers = {
+    "system_clock", "steady_clock", "high_resolution_clock", "getenv",
+};
+
+// Raw <random> engines (R2). Distributions are matched by their
+// `_distribution` suffix instead of enumeration.
+const std::set<std::string, std::less<>> kRawRngNames = {
+    "mt19937",        "mt19937_64",     "minstd_rand",
+    "minstd_rand0",   "default_random_engine", "random_device",
+    "knuth_b",        "ranlux24",       "ranlux48",
+    "ranlux24_base",  "ranlux48_base",  "mersenne_twister_engine",
+    "linear_congruential_engine",       "subtract_with_carry_engine",
+};
+
+// Unordered container spellings (R3).
+const std::set<std::string, std::less<>> kUnorderedContainers = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset",
+};
+
+// Serialization headers whose inclusion makes iteration order artifact-
+// visible (R3).
+constexpr std::string_view kSerializationHeaders[] = {
+    "json_writer.h", "obs/exporters.h", "common/table.h", "common/chart.h",
+};
+
+// Calls that mutate state and therefore must not live inside assert (R4).
+// Includes the project's own RNG/accumulator mutators: losing an RNG draw
+// under NDEBUG would silently shift every downstream sample.
+const std::set<std::string, std::less<>> kMutatingCalls = {
+    "push_back", "pop_back", "emplace", "emplace_back", "insert",  "erase",
+    "clear",     "reset",    "release", "pop",          "push",    "Add",
+    "Record",    "NextU64",  "NextDouble", "Sample",    "Fork",    "Observe",
+};
+
+// Float-typed declarations tracked for R5. Usd and MegaBytes are project
+// aliases for double (src/common/units.h).
+const std::set<std::string, std::less<>> kFloatTypes = {
+    "double", "float", "Usd", "MegaBytes",
+};
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+
+class Linter {
+ public:
+  Linter(const std::string& path, const LexResult& lex)
+      : path_(path), lex_(lex), tokens_(lex.tokens) {}
+
+  LintResult Run() {
+    CollectDeclarations();
+    if (!IsWallClockShim(path_)) {
+      CheckR1();
+    }
+    if (!IsRngImpl(path_)) {
+      CheckR2();
+    }
+    CheckR3();
+    CheckR4();
+    CheckR5();
+    std::sort(result_.findings.begin(), result_.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                if (a.rule != b.rule) return a.rule < b.rule;
+                return a.message < b.message;
+              });
+    return std::move(result_);
+  }
+
+ private:
+  void Report(std::string rule, int line, std::string message) {
+    const auto it = lex_.allows.find(line);
+    if (it != lex_.allows.end() && it->second.count(rule) > 0) {
+      ++result_.suppressed;
+      return;
+    }
+    result_.findings.push_back(Finding{path_, line, std::move(rule), std::move(message)});
+  }
+
+  const Token* Prev(size_t i) const { return i > 0 ? &tokens_[i - 1] : nullptr; }
+  const Token* Next(size_t i) const {
+    return i + 1 < tokens_.size() ? &tokens_[i + 1] : nullptr;
+  }
+
+  // A banned function name only counts as a call to the global/std function:
+  // member access (`ev.time(...)`) and non-std qualification
+  // (`SimClock::time(...)`) are fine.
+  bool IsGlobalOrStdCall(size_t i) const {
+    const Token* next = Next(i);
+    if (next == nullptr || !IsPunct(*next, "(")) {
+      return false;
+    }
+    const Token* prev = Prev(i);
+    if (prev == nullptr) {
+      return true;
+    }
+    if (IsPunct(*prev, ".") || IsPunct(*prev, "->")) {
+      return false;
+    }
+    if (IsPunct(*prev, "::")) {
+      const Token* scope = i >= 2 ? &tokens_[i - 2] : nullptr;
+      return scope != nullptr && IsIdent(*scope) && scope->text == "std";
+    }
+    if (IsIdent(*prev)) {
+      // `int64_t time() const` declares a member; `return time(nullptr)`
+      // calls the libc function. Only expression-position keywords make the
+      // identifier-before-identifier case a call.
+      static const std::set<std::string, std::less<>> kExprKeywords = {
+          "return", "case", "else", "do", "co_return", "co_yield", "co_await",
+      };
+      return kExprKeywords.count(prev->text) > 0;
+    }
+    return true;
+  }
+
+  // Scans declarations once for R3 (unordered container variables) and R5
+  // (float-typed variables). Heuristic: `TYPE<args...>? name` followed by a
+  // declarator-ending token. Scope-insensitive by design — a false share
+  // across scopes is possible but benign for these rules.
+  void CollectDeclarations() {
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (!IsIdent(t)) {
+        continue;
+      }
+      const bool unordered = kUnorderedContainers.count(t.text) > 0;
+      const bool floaty = kFloatTypes.count(t.text) > 0;
+      if (!unordered && !floaty) {
+        continue;
+      }
+      size_t j = i + 1;
+      // Skip template arguments.
+      if (j < tokens_.size() && IsPunct(tokens_[j], "<")) {
+        int depth = 0;
+        for (; j < tokens_.size(); ++j) {
+          if (IsPunct(tokens_[j], "<")) {
+            ++depth;
+          } else if (IsPunct(tokens_[j], ">")) {
+            if (--depth == 0) {
+              ++j;
+              break;
+            }
+          } else if (IsPunct(tokens_[j], ">>")) {
+            depth -= 2;
+            if (depth <= 0) {
+              ++j;
+              break;
+            }
+          }
+        }
+      }
+      // Skip reference/pointer/const decoration.
+      while (j < tokens_.size() &&
+             (IsPunct(tokens_[j], "&") || IsPunct(tokens_[j], "*") ||
+              (IsIdent(tokens_[j]) && tokens_[j].text == "const"))) {
+        ++j;
+      }
+      if (j + 1 >= tokens_.size() || !IsIdent(tokens_[j])) {
+        continue;
+      }
+      const Token& name = tokens_[j];
+      const Token& after = tokens_[j + 1];
+      if (IsPunct(after, "=") || IsPunct(after, ";") || IsPunct(after, ",") ||
+          IsPunct(after, ")") || IsPunct(after, "{") || IsPunct(after, "[")) {
+        if (unordered) {
+          unordered_vars_.insert(name.text);
+        } else {
+          float_vars_.insert(name.text);
+        }
+      }
+    }
+  }
+
+  void CheckR1() {
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (!IsIdent(t)) {
+        continue;
+      }
+      if (kBannedIdentifiers.count(t.text) > 0) {
+        Report("R1", t.line,
+               "banned nondeterminism source '" + t.text +
+                   "': simulation code must not read wall clocks or the "
+                   "environment (allowlisted shim: src/common/wallclock.*)");
+      } else if (kBannedCalls.count(t.text) > 0 && IsGlobalOrStdCall(i)) {
+        Report("R1", t.line,
+               "call to banned nondeterminism source '" + t.text +
+                   "': wall-clock/locale reads break seeded reproducibility");
+      } else if (t.text == "locale" && i > 0 && IsPunct(tokens_[i - 1], "::") &&
+                 i >= 2 && tokens_[i - 2].text == "std") {
+        Report("R1", t.line,
+               "std::locale: locale-dependent formatting is banned; artifact "
+               "bytes must not depend on the host locale");
+      }
+    }
+  }
+
+  void CheckR2() {
+    for (const std::string& inc : lex_.includes) {
+      if (inc == "random") {
+        Report("R2", 1,
+               "#include <random> outside src/common/rng.*: draw from "
+               "Rng/DeriveSeed streams instead of raw std engines");
+        break;
+      }
+    }
+    for (const Token& t : tokens_) {
+      if (!IsIdent(t)) {
+        continue;
+      }
+      if (kRawRngNames.count(t.text) > 0 || EndsWith(t.text, "_distribution")) {
+        Report("R2", t.line,
+               "raw <random> use '" + t.text +
+                   "' outside src/common/rng.*: all simulation randomness "
+                   "must flow through Rng/DeriveSeed streams");
+      }
+    }
+  }
+
+  void CheckR3() {
+    bool serializes = false;
+    for (const std::string& inc : lex_.includes) {
+      for (const std::string_view h : kSerializationHeaders) {
+        if (EndsWith(inc, h)) {
+          serializes = true;
+        }
+      }
+    }
+    if (!serializes || unordered_vars_.empty()) {
+      return;
+    }
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (!IsIdent(tokens_[i]) || tokens_[i].text != "for" ||
+          !IsPunct(tokens_[i + 1], "(")) {
+        continue;
+      }
+      // Find the `:` of a ranged-for at parenthesis depth 1, then check the
+      // range expression for unordered container variables.
+      int depth = 0;
+      size_t colon = 0;
+      size_t close = 0;
+      for (size_t j = i + 1; j < tokens_.size(); ++j) {
+        if (IsPunct(tokens_[j], "(") || IsPunct(tokens_[j], "[") ||
+            IsPunct(tokens_[j], "{")) {
+          ++depth;
+        } else if (IsPunct(tokens_[j], ")") || IsPunct(tokens_[j], "]") ||
+                   IsPunct(tokens_[j], "}")) {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (depth == 1 && colon == 0 && IsPunct(tokens_[j], ":")) {
+          colon = j;
+        } else if (depth == 1 && IsPunct(tokens_[j], ";")) {
+          break;  // Classic three-clause for.
+        }
+      }
+      if (colon == 0 || close == 0) {
+        continue;
+      }
+      for (size_t j = colon + 1; j < close; ++j) {
+        if (IsIdent(tokens_[j]) && unordered_vars_.count(tokens_[j].text) > 0) {
+          Report("R3", tokens_[i].line,
+                 "ranged-for over unordered container '" + tokens_[j].text +
+                     "' in a translation unit that serializes output: "
+                     "iteration order leaks into artifacts; iterate keys in "
+                     "sorted order");
+          break;
+        }
+      }
+    }
+  }
+
+  void CheckR4() {
+    const bool parse_path = IsParsePath(path_);
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (!IsIdent(tokens_[i]) || tokens_[i].text != "assert" ||
+          !IsPunct(tokens_[i + 1], "(")) {
+        continue;
+      }
+      const int line = tokens_[i].line;
+      if (parse_path) {
+        Report("R4", line,
+               "assert in a parsing path: external-input validation compiles "
+               "out under NDEBUG; use an explicit check that throws or "
+               "returns an error");
+      }
+      int depth = 0;
+      for (size_t j = i + 1; j < tokens_.size(); ++j) {
+        if (IsPunct(tokens_[j], "(")) {
+          ++depth;
+        } else if (IsPunct(tokens_[j], ")")) {
+          if (--depth == 0) {
+            break;
+          }
+        } else if (IsPunct(tokens_[j], "=") || IsPunct(tokens_[j], "++") ||
+                   IsPunct(tokens_[j], "--")) {
+          Report("R4", line,
+                 "assert with side effect '" + tokens_[j].text +
+                     "': the expression vanishes under NDEBUG");
+        } else if (IsIdent(tokens_[j]) && kMutatingCalls.count(tokens_[j].text) > 0 &&
+                   j + 1 < tokens_.size() && IsPunct(tokens_[j + 1], "(")) {
+          Report("R4", line,
+                 "assert calls mutating function '" + tokens_[j].text +
+                     "': the call vanishes under NDEBUG");
+        }
+      }
+    }
+  }
+
+  void CheckR5() {
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (!IsPunct(t, "==") && !IsPunct(t, "!=")) {
+        continue;
+      }
+      const Token* prev = Prev(i);
+      const Token* next = Next(i);
+      // A signed literal (`x == -1.0`) lexes as sign + number.
+      if (next != nullptr && (IsPunct(*next, "-") || IsPunct(*next, "+")) &&
+          i + 2 < tokens_.size()) {
+        next = &tokens_[i + 2];
+      }
+      const auto is_literal = [](const Token* tok) {
+        return tok != nullptr && IsFloatLiteral(*tok);
+      };
+      const auto is_float_var = [&](const Token* tok) {
+        return tok != nullptr && IsIdent(*tok) && float_vars_.count(tok->text) > 0;
+      };
+      // Either operand a float literal, or both operands float-declared
+      // variables. Requiring both sides for the identifier case keeps the
+      // scope-insensitive declaration scan from flagging integer compares
+      // that happen to share a name with a double elsewhere in the file.
+      if (is_literal(prev) || is_literal(next) ||
+          (is_float_var(prev) && is_float_var(next))) {
+        Report("R5", t.line,
+               "floating-point '" + t.text +
+                   "' comparison: use an explicit tolerance, compare in the "
+                   "integer domain, or restructure around the sentinel");
+      }
+    }
+  }
+
+  const std::string& path_;
+  const LexResult& lex_;
+  const std::vector<Token>& tokens_;
+  std::set<std::string> unordered_vars_;
+  std::set<std::string> float_vars_;
+  LintResult result_;
+};
+
+}  // namespace
+
+LintResult LintSource(const std::string& display_path, std::string_view source) {
+  const LexResult lex = Lex(source);
+  return Linter(display_path, lex).Run();
+}
+
+bool ParseAllowlist(std::string_view text, std::vector<AllowlistEntry>* entries,
+                    std::string* error) {
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    // Trim.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    const size_t sp1 = line.find_first_of(" \t");
+    const size_t body = sp1 == std::string_view::npos
+                            ? std::string_view::npos
+                            : line.find_first_not_of(" \t", sp1);
+    const size_t sp2 =
+        body == std::string_view::npos ? std::string_view::npos : line.find_first_of(" \t", body);
+    const size_t just = sp2 == std::string_view::npos
+                            ? std::string_view::npos
+                            : line.find_first_not_of(" \t", sp2);
+    if (just == std::string_view::npos) {
+      if (error != nullptr) {
+        *error = "allowlist line " + std::to_string(line_no) +
+                 ": expected `RULE PATH JUSTIFICATION...` (justification is "
+                 "mandatory)";
+      }
+      return false;
+    }
+    AllowlistEntry e;
+    e.rule = std::string(line.substr(0, sp1));
+    e.path = std::string(line.substr(body, sp2 - body));
+    e.justification = std::string(line.substr(just));
+    entries->push_back(std::move(e));
+  }
+  return true;
+}
+
+bool IsAllowlisted(const std::vector<AllowlistEntry>& entries, const Finding& finding) {
+  for (const AllowlistEntry& e : entries) {
+    if (e.rule != finding.rule) {
+      continue;
+    }
+    if (finding.file == e.path || EndsWith(finding.file, "/" + e.path)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings, int files_scanned,
+                           int suppressed) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("files_scanned", files_scanned);
+  w.KV("suppressed", suppressed);
+  w.KV("finding_count", static_cast<int64_t>(findings.size()));
+  w.Key("findings");
+  w.BeginArray();
+  for (const Finding& f : findings) {
+    w.BeginObject();
+    w.KV("file", f.file);
+    w.KV("line", f.line);
+    w.KV("rule", f.rule);
+    w.KV("message", f.message);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace faascost::faaslint

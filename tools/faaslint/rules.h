@@ -1,0 +1,75 @@
+// faaslint rule engine: the project's determinism and safety invariants as
+// named, suppressible source-level checks.
+//
+// Rule catalog (see DESIGN.md "Determinism invariants & static checks"):
+//   R1  banned nondeterminism sources: wall clocks, std::rand, getenv,
+//       locale-dependent formatting. Exempt: an allowlisted wall-clock shim
+//       (src/common/wallclock.*, reserved for real-time-facing tooling).
+//   R2  RNG discipline: raw <random> engines/distributions outside
+//       src/common/rng.* — all simulation randomness flows through
+//       Rng/DeriveSeed streams.
+//   R3  ordered-output discipline: ranged-for over an unordered container in
+//       a translation unit that includes a serialization header
+//       (json_writer.h, obs/exporters.h, common/table.h, common/chart.h);
+//       iteration order would leak into artifacts.
+//   R4  assert hygiene: asserts with side effects anywhere, and any assert in
+//       a parsing path (config/CLI/presets) where it would be the validation
+//       of external input yet compile out under NDEBUG.
+//   R5  floating-point ==/!= comparisons (against float literals or
+//       variables declared double/float/Usd/MegaBytes in the same file).
+//
+// Suppression: a `// faaslint:allow(R3)` comment on the finding's line or the
+// line above, or an entry in tools/faaslint/allowlist.txt (rule + path +
+// mandatory justification).
+
+#ifndef FAASCOST_TOOLS_FAASLINT_RULES_H_
+#define FAASCOST_TOOLS_FAASLINT_RULES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faascost::faaslint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;  // Sorted by (file, line, rule, message).
+  int suppressed = 0;             // Findings silenced by inline allows.
+};
+
+// Lints one translation unit. `display_path` is used both for path-sensitive
+// rules (R1 shim / R2 rng.* / R4 parse-path exemptions key off it) and as the
+// `file` of every finding; pass a root-relative path for stable output.
+LintResult LintSource(const std::string& display_path, std::string_view source);
+
+// One allowlist entry: suppress `rule` findings in the file whose
+// root-relative path equals (or ends with a "/"-separated suffix of) `path`.
+struct AllowlistEntry {
+  std::string rule;
+  std::string path;
+  std::string justification;
+};
+
+// Parses allowlist text. Lines are `RULE PATH JUSTIFICATION...`; blank lines
+// and `#` comments are skipped. Returns false and sets `error` on a
+// malformed line (a justification is mandatory).
+bool ParseAllowlist(std::string_view text, std::vector<AllowlistEntry>* entries,
+                    std::string* error);
+
+// True when `entries` suppresses `finding`.
+bool IsAllowlisted(const std::vector<AllowlistEntry>& entries, const Finding& finding);
+
+// Deterministic JSON report (via common/JsonWriter):
+// {"files_scanned":N,"suppressed":N,"findings":[{file,line,rule,message}...]}.
+std::string FindingsToJson(const std::vector<Finding>& findings, int files_scanned,
+                           int suppressed);
+
+}  // namespace faascost::faaslint
+
+#endif  // FAASCOST_TOOLS_FAASLINT_RULES_H_

@@ -6,6 +6,7 @@
 #include "src/billing/analysis.h"
 #include "src/billing/catalog.h"
 #include "src/cluster/fleet_sim.h"
+#include "src/integrity/integrity.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/platform/presets.h"
@@ -112,6 +113,27 @@ void BM_PlatformSimThousandRequestsTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_PlatformSimThousandRequestsTraced);
 
+// Audited counterpart: full-level runtime invariant auditor at the default
+// scan cadence. The delta against the detached variant is the integrity
+// overhead (budgeted <10% in CI, see tools/ci.sh).
+void BM_PlatformSimThousandRequestsAudited(benchmark::State& state) {
+  const WorkloadSpec wl = PyAesWorkload();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Auditor auditor(AuditLevel::kFull);
+    PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+    cfg.auditor = &auditor;
+    PlatformSim sim(cfg, 5);
+    Rng rng(6);
+    const auto arrivals = PoissonArrivals(10.0, 100LL * kMicrosPerSec, rng);
+    state.ResumeTiming();
+    const auto result = sim.Run(arrivals, wl);
+    benchmark::DoNotOptimize(result.requests.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_PlatformSimThousandRequestsAudited);
+
 void BM_HostSimSecond(benchmark::State& state) {
   HostSimConfig cfg;
   cfg.cores = 4;
@@ -169,6 +191,27 @@ void BM_FleetSimDayTraced(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FleetSimDayTraced)->Arg(50'000);
+
+// Audited counterpart of BM_FleetSimDay, for the integrity-overhead budget.
+void BM_FleetSimDayAudited(benchmark::State& state) {
+  TraceGenConfig cfg;
+  cfg.num_requests = state.range(0);
+  cfg.num_functions = 500;
+  const auto trace = TraceGenerator(cfg, 7).Generate();
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Auditor auditor(AuditLevel::kFull);
+    FleetSimConfig fleet_cfg;
+    fleet_cfg.auditor = &auditor;
+    state.ResumeTiming();
+    const FleetResult r = SimulateFleet(trace, aws, fleet_cfg);
+    benchmark::DoNotOptimize(r.revenue);
+    benchmark::DoNotOptimize(auditor.checks_run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FleetSimDayAudited)->Arg(50'000);
 
 }  // namespace
 }  // namespace faascost

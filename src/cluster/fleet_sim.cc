@@ -7,8 +7,11 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "src/common/rng.h"
+#include "src/integrity/archive.h"
+#include "src/integrity/digest.h"
 
 namespace faascost {
 
@@ -32,7 +35,7 @@ struct PendingAttempt {
   int64_t seq = 0;
   size_t trace_idx = 0;
   int attempt = 1;
-  bool queued = false;        // Waiting in a function's admission queue.
+  bool queued = false;  // Waiting in a function's admission queue.
   MicroSecs queued_since = 0;
   int64_t ticket = -1;
 
@@ -42,6 +45,20 @@ struct PendingAttempt {
     }
     return seq > other.seq;
   }
+};
+
+// priority_queue with the protected underlying container exposed: checkpoints
+// serialize the heap array verbatim, so a restored queue pops in exactly the
+// original order, tie-breaking included.
+struct AttemptQueue : std::priority_queue<PendingAttempt, std::vector<PendingAttempt>,
+                                          std::greater<PendingAttempt>> {
+  std::vector<PendingAttempt>& raw() { return c; }
+  const std::vector<PendingAttempt>& raw() const { return c; }
+};
+
+struct MetricIds {
+  int attempts = 0, failures = 0, cold = 0, retries = 0;
+  int queue_waiting = 0, revenue = 0, fees = 0;
 };
 
 Usd SpanRate(const SandboxSpan& span, const FleetSimConfig& cfg) {
@@ -54,6 +71,45 @@ RequestRecord Billed(const RequestRecord& r, bool cold, const FleetSimConfig& cf
   out.cold_start = cold;
   out.init_duration = cold ? cfg.init_duration : 0;
   return out;
+}
+
+uint64_t HashFleetConfig(const FleetSimConfig& c) {
+  StateDigest d;
+  d.MixLabel("fleet-config-v1");
+  d.MixI64(c.keepalive);
+  d.MixI64(c.init_duration);
+  d.MixDouble(c.ka_cost_share);
+  d.MixDouble(c.server.vcpus);
+  d.MixDouble(c.server.mem_mb);
+  d.MixI64(static_cast<int64_t>(c.placement));
+  d.MixDouble(c.hardware_per_vcpu_second);
+  d.MixDouble(c.hardware_per_gb_second);
+  d.MixDouble(c.failure_rate);
+  d.MixBool(c.use_trace_failure_rates);
+  d.MixI64(c.max_exec_duration);
+  d.MixI64(c.retry.max_attempts);
+  d.MixI64(c.retry.backoff_base);
+  d.MixDouble(c.retry.backoff_multiplier);
+  d.MixI64(c.retry.backoff_cap);
+  d.MixBool(c.retry.full_jitter);
+  d.MixI64(c.retry.attempt_timeout);
+  d.MixBool(c.retry.retry_rejected);
+  d.MixI64(c.retry.breaker_threshold);
+  d.MixI64(c.retry.breaker_cooldown);
+  d.MixU64(c.fault_seed);
+  d.MixI64(c.host_faults.hosts);
+  d.MixDouble(c.host_faults.mtbf_seconds);
+  d.MixDouble(c.host_faults.mttr_seconds);
+  d.MixI64(c.host_faults.zones);
+  d.MixDouble(c.host_faults.zone_outage_mtbf_seconds);
+  d.MixDouble(c.host_faults.graceful_fraction);
+  d.MixI64(c.host_faults.drain_deadline);
+  d.MixI64(c.max_sandboxes_per_function);
+  d.MixBool(c.admission.enabled);
+  d.MixI64(c.admission.queue_depth);
+  d.MixI64(c.admission.queue_timeout);
+  d.MixI64(static_cast<int64_t>(c.admission.shed));
+  return d.value();
 }
 
 }  // namespace
@@ -105,77 +161,78 @@ std::vector<std::string> FleetSimConfig::Validate() const {
   return errors;
 }
 
-FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
-                          const BillingModel& billing, const FleetSimConfig& config) {
-  {
-    const std::vector<std::string> errors = config.Validate();
-    if (!errors.empty()) {
-      std::string msg = "invalid FleetSimConfig";
-      for (const auto& e : errors) {
-        msg += "; " + e;
-      }
-      throw std::invalid_argument(msg);
-    }
-  }
+struct FleetEngine::Impl {
+  FleetSimConfig config;
+  const std::vector<RequestRecord>* trace = nullptr;
+  // Copied, not pointed to: billing models are small value structs and
+  // callers routinely pass `MakeBillingModel(...)` temporaries that would
+  // dangle by the time StepOne() invoices an attempt.
+  BillingModel billing;
+
   FleetResult result;
-  result.requests = static_cast<int64_t>(trace.size());
-  result.e2e_latency.assign(trace.size(), 0);
   // The fault stream is separate from everything else and only drawn from
   // when a failure can actually fire, so a zero-fault config reproduces the
   // fault-oblivious simulation exactly. Stream 0 is the legacy
   // `seed ^ gamma` derivation, keeping pre-chaos goldens bit-identical.
-  Rng fault_rng(DeriveSeed(config.fault_seed, kFaultStream));
-  HostFaultModel host_faults(config.host_faults, config.fault_seed);
-  const bool hosts_on = config.host_faults.enabled();
-  const MicroSecs drain = config.host_faults.drain_deadline;
-  const bool breaker_on = config.retry.breaker_threshold > 0;
-  const int cap = config.max_sandboxes_per_function;
+  Rng fault_rng;
+  HostFaultModel host_faults;
+  bool hosts_on = false;
+  MicroSecs drain = 0;
+  bool breaker_on = false;
+  int cap = 0;
 
-  std::priority_queue<PendingAttempt, std::vector<PendingAttempt>,
-                      std::greater<PendingAttempt>>
-      pending;
-  for (size_t i = 0; i < trace.size(); ++i) {
-    assert(trace[i].exec_duration >= 0);
-    pending.push({trace[i].arrival, static_cast<int64_t>(i), i, 1});
-  }
-  int64_t next_seq = static_cast<int64_t>(trace.size());
-
+  AttemptQueue pending;
+  int64_t next_seq = 0;
   // Per-function sandbox pools, fed in global (arrival, seq) order.
   std::unordered_map<int64_t, std::vector<LiveSandbox>> pools;
   // Per-function admission queue occupancy and client circuit breakers.
   std::unordered_map<int64_t, int> queue_waiting;
   std::unordered_map<int64_t, CircuitBreaker> breakers;
-  auto breaker_for = [&](int64_t fid) -> CircuitBreaker& {
-    return breakers
-        .try_emplace(fid, config.retry.breaker_threshold, config.retry.breaker_cooldown)
-        .first->second;
-  };
 
-  // --- Observability (no-ops when the hooks are null) ---
-  TraceSink* const sink = config.trace_sink;
-  MetricsRegistry* const metrics = config.metrics;
-  struct MetricIds {
-    int attempts = 0, failures = 0, cold = 0, retries = 0;
-    int queue_waiting = 0, revenue = 0, fees = 0;
-  };
+  // --- Observability and integrity hooks (no-ops when null) ---
+  TraceSink* sink = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  Auditor* auditor = nullptr;
   MetricIds mid;
   MicroSecs next_sample = 0;
   int64_t waiting_now = 0;  // Attempts currently parked in admission queues.
-  if (metrics != nullptr) {
-    using K = MetricsRegistry::Kind;
-    mid.attempts = metrics->Define(K::kGauge, "fleet.attempts_total");
-    mid.failures = metrics->Define(K::kGauge, "fleet.failed_attempts_total");
-    mid.cold = metrics->Define(K::kGauge, "fleet.cold_starts_total");
-    mid.retries = metrics->Define(K::kGauge, "fleet.retries_total");
-    mid.queue_waiting = metrics->Define(K::kGauge, "fleet.queue_waiting");
-    mid.revenue = metrics->Define(K::kGauge, "fleet.revenue_usd");
-    mid.fees = metrics->Define(K::kGauge, "fleet.fee_revenue_usd");
-    if (!trace.empty()) {
-      next_sample = trace.front().arrival;
+
+  MicroSecs now = 0;  // Arrival time of the last processed attempt.
+  int64_t attempts_processed = 0;
+  bool started = false;
+  bool finished = false;
+
+  explicit Impl(FleetSimConfig cfg)
+      : config(std::move(cfg)),
+        fault_rng(DeriveSeed(config.fault_seed, kFaultStream)),
+        host_faults(config.host_faults, config.fault_seed),
+        hosts_on(config.host_faults.enabled()),
+        drain(config.host_faults.drain_deadline),
+        breaker_on(config.retry.breaker_threshold > 0),
+        cap(config.max_sandboxes_per_function),
+        sink(config.trace_sink),
+        metrics(config.metrics),
+        auditor(config.auditor) {
+    if (metrics != nullptr) {
+      using K = MetricsRegistry::Kind;
+      mid.attempts = metrics->Define(K::kGauge, "fleet.attempts_total");
+      mid.failures = metrics->Define(K::kGauge, "fleet.failed_attempts_total");
+      mid.cold = metrics->Define(K::kGauge, "fleet.cold_starts_total");
+      mid.retries = metrics->Define(K::kGauge, "fleet.retries_total");
+      mid.queue_waiting = metrics->Define(K::kGauge, "fleet.queue_waiting");
+      mid.revenue = metrics->Define(K::kGauge, "fleet.revenue_usd");
+      mid.fees = metrics->Define(K::kGauge, "fleet.fee_revenue_usd");
     }
   }
+
+  CircuitBreaker& BreakerFor(int64_t fid) {
+    return breakers
+        .try_emplace(fid, config.retry.breaker_threshold, config.retry.breaker_cooldown)
+        .first->second;
+  }
+
   // Rows snapshot the running totals on every cadence boundary up to `t`.
-  auto sample_metrics_until = [&](MicroSecs t) {
+  void SampleMetricsUntil(MicroSecs t) {
     if (metrics == nullptr) {
       return;
     }
@@ -190,26 +247,26 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
       metrics->Sample(next_sample);
       next_sample += config.metrics_interval;
     }
-  };
+  }
 
   // The client's terminal resolution of a request, success or surrender.
-  auto resolve_terminal = [&](const PendingAttempt& at, MicroSecs when, bool ok) {
-    result.e2e_latency[at.trace_idx] = when - trace[at.trace_idx].arrival;
+  void ResolveTerminal(const PendingAttempt& at, MicroSecs when, bool ok) {
+    result.e2e_latency[at.trace_idx] = when - (*trace)[at.trace_idx].arrival;
     if (ok) {
       ++result.successes;
     }
-  };
+  }
 
   // A failed attempt: schedule the retry, or resolve the request if the
   // outcome is not retryable / the budget is spent.
-  auto handle_failure = [&](const PendingAttempt& at, MicroSecs end, bool retryable) {
+  void HandleFailure(const PendingAttempt& at, MicroSecs end, bool retryable) {
     if (retryable && at.attempt < config.retry.max_attempts) {
       const MicroSecs delay = config.retry.BackoffDelay(at.attempt, fault_rng);
       if (sink != nullptr) {
         Span sp;
         sp.kind = SpanKind::kBackoff;
         sp.group = kTrackGroupFleetFunction;
-        sp.track = trace[at.trace_idx].function_id;
+        sp.track = (*trace)[at.trace_idx].function_id;
         sp.start = end;
         sp.duration = delay;
         sp.req_idx = static_cast<int32_t>(at.trace_idx);
@@ -220,15 +277,15 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
       ++result.retries;
     } else {
       ++result.retries_exhausted;
-      resolve_terminal(at, end, false);
+      ResolveTerminal(at, end, false);
     }
-  };
+  }
 
   // Bill an attempt that never reached a sandbox (shed, queue timeout,
   // breaker fast-fail): no resources ran, only per-invocation fee rules can
   // apply. kCircuitOpen is $0 by construction.
-  auto bill_unexecuted = [&](const PendingAttempt& at, Outcome oc, MicroSecs end) {
-    RequestRecord billed = trace[at.trace_idx];
+  void BillUnexecuted(const PendingAttempt& at, Outcome oc, MicroSecs end) {
+    RequestRecord billed = (*trace)[at.trace_idx];
     billed.cold_start = false;
     billed.init_duration = 0;
     billed.exec_duration = 0;
@@ -242,7 +299,7 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
       Span sp;
       sp.kind = SpanKind::kQueueWait;
       sp.group = kTrackGroupFleetFunction;
-      sp.track = trace[at.trace_idx].function_id;
+      sp.track = (*trace)[at.trace_idx].function_id;
       sp.start = at.queued ? at.queued_since : at.arrival;
       sp.duration = end - sp.start;
       sp.req_idx = static_cast<int32_t>(at.trace_idx);
@@ -253,25 +310,119 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
       sp.billed_usd = inv.total;
       sink->Record(sp);
     }
-  };
+  }
 
-  while (!pending.empty()) {
+  // O(state) invariant scan (AuditLevel::kFull, cadence-gated over processed
+  // attempts). See DESIGN.md §9 for the invariant catalog.
+  void AuditScan() {
+    auditor->NoteScan();
+    // Request conservation: every request is resolved (success or exhausted)
+    // or has exactly one live attempt chain in the pending queue.
+    auditor->CheckLazy(
+        static_cast<int64_t>(pending.size()) ==
+            result.requests - result.successes - result.retries_exhausted,
+        "fleet.request_conservation", now, config.fault_seed,
+        [] { return "pending"; },
+        [&] {
+          return "pending=" + std::to_string(pending.size()) + " requests=" +
+                 std::to_string(result.requests) + " successes=" +
+                 std::to_string(result.successes) + " exhausted=" +
+                 std::to_string(result.retries_exhausted);
+        });
+    // Admission-queue accounting: the global waiting counter, the sum of
+    // per-function occupancies, and the queued flags in the pending heap all
+    // agree.
+    int64_t per_fn = 0;
+    for (const auto& [fid, n] : queue_waiting) {
+      auditor->CheckLazy(n >= 0, "fleet.queue_occupancy_nonnegative", now,
+                         config.fault_seed,
+                         [&] { return "function " + std::to_string(fid); },
+                         [&] { return std::to_string(n); });
+      per_fn += n;
+    }
+    int64_t flagged = 0;
+    for (const PendingAttempt& at : pending.raw()) {
+      if (at.queued) {
+        ++flagged;
+      }
+    }
+    auditor->CheckLazy(per_fn == waiting_now && flagged == waiting_now,
+                       "fleet.queue_accounting", now, config.fault_seed,
+                       [] { return "admission queues"; },
+                       [&] {
+                         return "per_fn=" + std::to_string(per_fn) + " flagged=" +
+                                std::to_string(flagged) + " counter=" +
+                                std::to_string(waiting_now);
+                       });
+    // Capacity accounting: one sandbox span per cold start, ever.
+    auditor->CheckLazy(
+        result.cold_starts == static_cast<int64_t>(result.spans.size()),
+        "fleet.capacity_accounting", now, config.fault_seed,
+        [] { return "spans"; },
+        [&] {
+          return "cold_starts=" + std::to_string(result.cold_starts) +
+                 " spans=" + std::to_string(result.spans.size());
+        });
+    // Failure taxonomy partitions the failed-attempt count.
+    const int64_t taxonomy = result.crash_attempts + result.timeout_attempts +
+                             result.init_failure_attempts + result.rejected_attempts +
+                             result.queue_timeout_attempts +
+                             result.circuit_open_attempts;
+    auditor->CheckLazy(taxonomy == result.failed_attempts,
+                       "fleet.failure_taxonomy", now, config.fault_seed,
+                       [] { return "counters"; },
+                       [&] {
+                         return "taxonomy=" + std::to_string(taxonomy) +
+                                " failed=" + std::to_string(result.failed_attempts);
+                       });
+    // Billed-time conservation: no span accrues negative busy or idle time.
+    for (const SandboxSpan& span : result.spans) {
+      auditor->CheckLazy(span.busy >= 0 && span.idle >= 0,
+                         "fleet.span_time_accounting", now, config.fault_seed,
+                         [&] {
+                           return "function " + std::to_string(span.function_id);
+                         },
+                         [&] {
+                           return "busy=" + std::to_string(span.busy) +
+                                  " idle=" + std::to_string(span.idle);
+                         });
+    }
+    // USD conservation: the fee component never exceeds the total invoiced.
+    auditor->CheckLazy(result.fee_revenue <= result.revenue + 1e-9,
+                       "fleet.usd_conservation", now, config.fault_seed,
+                       [] { return "revenue"; },
+                       [&] {
+                         return "fees=" + std::to_string(result.fee_revenue) +
+                                " total=" + std::to_string(result.revenue);
+                       });
+  }
+
+  void StepOne() {
     PendingAttempt at = pending.top();
     pending.pop();
-    const RequestRecord& r = trace[at.trace_idx];
-    sample_metrics_until(at.arrival);
+    if (auditor != nullptr && auditor->basic()) {
+      auditor->CheckLazy(at.arrival >= now, "fleet.monotone_event_time", now,
+                         config.fault_seed, [] { return "pending queue"; },
+                         [&] {
+                           return "attempt at t=" + std::to_string(at.arrival) +
+                                  " after t=" + std::to_string(now);
+                         });
+    }
+    now = at.arrival;
+    ++attempts_processed;
+    const RequestRecord& r = (*trace)[at.trace_idx];
+    SampleMetricsUntil(at.arrival);
 
     // Client circuit breaker: fast-fail without reaching the platform. Only
     // fresh dispatches are gated; an attempt already parked in an admission
     // queue is a continuation, not a new dispatch.
-    if (breaker_on && !at.queued &&
-        !breaker_for(r.function_id).AllowDispatch(at.arrival)) {
+    if (breaker_on && !at.queued && !BreakerFor(r.function_id).AllowDispatch(at.arrival)) {
       ++result.attempts;
       ++result.failed_attempts;
       ++result.circuit_open_attempts;
-      bill_unexecuted(at, Outcome::kCircuitOpen, at.arrival);
-      handle_failure(at, at.arrival, /*retryable=*/true);
-      continue;
+      BillUnexecuted(at, Outcome::kCircuitOpen, at.arrival);
+      HandleFailure(at, at.arrival, /*retryable=*/true);
+      return;
     }
 
     auto& pool = pools[r.function_id];
@@ -318,12 +469,12 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
           ++result.attempts;
           ++result.failed_attempts;
           ++result.rejected_attempts;
-          bill_unexecuted(at, Outcome::kRejected, at.arrival);
+          BillUnexecuted(at, Outcome::kRejected, at.arrival);
           if (breaker_on) {
-            breaker_for(r.function_id).RecordFailure(at.arrival);
+            BreakerFor(r.function_id).RecordFailure(at.arrival);
           }
-          handle_failure(at, at.arrival, config.retry.retry_rejected);
-          continue;
+          HandleFailure(at, at.arrival, config.retry.retry_rejected);
+          return;
         }
         int& waiting = queue_waiting[r.function_id];
         if (!at.queued) {
@@ -333,12 +484,12 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
             ++result.attempts;
             ++result.failed_attempts;
             ++result.rejected_attempts;
-            bill_unexecuted(at, Outcome::kRejected, at.arrival);
+            BillUnexecuted(at, Outcome::kRejected, at.arrival);
             if (breaker_on) {
-              breaker_for(r.function_id).RecordFailure(at.arrival);
+              BreakerFor(r.function_id).RecordFailure(at.arrival);
             }
-            handle_failure(at, at.arrival, config.retry.retry_rejected);
-            continue;
+            HandleFailure(at, at.arrival, config.retry.retry_rejected);
+            return;
           }
           ++waiting;
           ++waiting_now;
@@ -358,12 +509,12 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
           ++result.failed_attempts;
           ++result.queue_timeout_attempts;
           result.queue_wait_seconds += MicrosToSecs(deadline - at.queued_since);
-          bill_unexecuted(at, Outcome::kTimeout, deadline);
+          BillUnexecuted(at, Outcome::kTimeout, deadline);
           if (breaker_on) {
-            breaker_for(r.function_id).RecordFailure(deadline);
+            BreakerFor(r.function_id).RecordFailure(deadline);
           }
-          handle_failure(at, deadline, /*retryable=*/true);
-          continue;
+          HandleFailure(at, deadline, /*retryable=*/true);
+          return;
         }
         // Wait for the earliest sandbox to free. Re-queuing under the
         // original ticket keeps the queue FIFO across wake-ups.
@@ -371,7 +522,7 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
         parked.arrival = next_free;
         parked.seq = at.ticket;
         pending.push(parked);
-        continue;
+        return;
       }
     }
 
@@ -488,10 +639,9 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
     if (oc != Outcome::kOk) {
       billed.exec_duration = effective;
       billed.cpu_time = r.exec_duration > 0
-                            ? static_cast<MicroSecs>(
-                                  static_cast<double>(r.cpu_time) *
-                                  static_cast<double>(effective) /
-                                  static_cast<double>(r.exec_duration))
+                            ? static_cast<MicroSecs>(static_cast<double>(r.cpu_time) *
+                                                     static_cast<double>(effective) /
+                                                     static_cast<double>(r.exec_duration))
                             : r.cpu_time;
     }
     if (oc == Outcome::kInitFailure) {
@@ -539,9 +689,9 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
 
     if (oc == Outcome::kOk) {
       if (breaker_on) {
-        breaker_for(r.function_id).RecordSuccess();
+        BreakerFor(r.function_id).RecordSuccess();
       }
-      resolve_terminal(at, end, true);
+      ResolveTerminal(at, end, true);
     } else {
       ++result.failed_attempts;
       if (oc == Outcome::kCrash) {
@@ -552,11 +702,290 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
         ++result.init_failure_attempts;
       }
       if (breaker_on) {
-        breaker_for(r.function_id).RecordFailure(end);
+        BreakerFor(r.function_id).RecordFailure(end);
       }
-      handle_failure(at, end, /*retryable=*/true);
+      HandleFailure(at, end, /*retryable=*/true);
+    }
+
+    if (auditor != nullptr && auditor->ScanDue(attempts_processed)) {
+      AuditScan();
     }
   }
+
+  // The complete mutable state, walked once for save, load, and digest (see
+  // src/integrity/archive.h). The trace and billing model are inputs, not
+  // state; maps are archived in sorted-key order so the walk is canonical.
+  template <typename Ar>
+  void Archive(Ar& ar) {
+    ar.Field("now", now);
+    ar.Field("next_seq", next_seq);
+    ar.Field("waiting_now", waiting_now);
+    ar.Field("next_sample", next_sample);
+    ar.Field("attempts_processed", attempts_processed);
+    int next_host = host_faults.next_host();
+    ar.Field("next_host", next_host);
+    if constexpr (Ar::kLoading) {
+      host_faults.set_next_host(next_host);
+    }
+    ArchiveRng(ar, "fault_rng", fault_rng);
+
+    {
+      std::vector<PendingAttempt>& heap = pending.raw();
+      const size_t n = ar.BeginArray("pending", heap.size());
+      if constexpr (Ar::kLoading) {
+        heap.resize(n);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        PendingAttempt& at = heap[i];
+        ar.BeginElem();
+        ar.Field("t", at.arrival);
+        ar.Field("seq", at.seq);
+        uint64_t idx = at.trace_idx;
+        ar.Field("idx", idx);
+        if constexpr (Ar::kLoading) {
+          at.trace_idx = static_cast<size_t>(idx);
+        }
+        ar.Field("attempt", at.attempt);
+        ar.Field("queued", at.queued);
+        ar.Field("queued_since", at.queued_since);
+        ar.Field("ticket", at.ticket);
+        ar.EndElem();
+      }
+      ar.EndArray();
+    }
+
+    {
+      std::vector<std::pair<int64_t, std::vector<LiveSandbox>>> sorted;
+      if constexpr (!Ar::kLoading) {
+        sorted.assign(pools.begin(), pools.end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+      }
+      const size_t n = ar.BeginArray("pools", sorted.size());
+      if constexpr (Ar::kLoading) {
+        sorted.resize(n);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        ar.BeginElem();
+        ar.Field("fid", sorted[i].first);
+        std::vector<LiveSandbox>& pool = sorted[i].second;
+        const size_t m = ar.BeginArray("sandboxes", pool.size());
+        if constexpr (Ar::kLoading) {
+          pool.resize(m);
+        }
+        for (size_t j = 0; j < m; ++j) {
+          LiveSandbox& sb = pool[j];
+          ar.BeginElem();
+          ar.Field("available_at", sb.available_at);
+          uint64_t span_index = sb.span_index;
+          ar.Field("span", span_index);
+          if constexpr (Ar::kLoading) {
+            sb.span_index = static_cast<size_t>(span_index);
+          }
+          ar.Field("dead", sb.dead);
+          ar.Field("host", sb.host);
+          ar.EndElem();
+        }
+        ar.EndArray();
+        ar.EndElem();
+      }
+      ar.EndArray();
+      if constexpr (Ar::kLoading) {
+        pools.clear();
+        for (auto& [fid, pool] : sorted) {
+          pools.emplace(fid, std::move(pool));
+        }
+      }
+    }
+
+    {
+      std::vector<std::pair<int64_t, int>> sorted;
+      if constexpr (!Ar::kLoading) {
+        sorted.assign(queue_waiting.begin(), queue_waiting.end());
+        std::sort(sorted.begin(), sorted.end());
+      }
+      const size_t n = ar.BeginArray("queue_waiting", sorted.size());
+      if constexpr (Ar::kLoading) {
+        sorted.resize(n);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        ar.BeginElem();
+        ar.Field("fid", sorted[i].first);
+        ar.Field("n", sorted[i].second);
+        ar.EndElem();
+      }
+      ar.EndArray();
+      if constexpr (Ar::kLoading) {
+        queue_waiting.clear();
+        queue_waiting.insert(sorted.begin(), sorted.end());
+      }
+    }
+
+    {
+      std::vector<std::pair<int64_t, CircuitBreakerState>> sorted;
+      if constexpr (!Ar::kLoading) {
+        sorted.reserve(breakers.size());
+        for (const auto& [fid, cb] : breakers) {
+          sorted.emplace_back(fid, cb.SaveState());
+        }
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+      }
+      const size_t n = ar.BeginArray("breakers", sorted.size());
+      if constexpr (Ar::kLoading) {
+        sorted.resize(n);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        ar.BeginElem();
+        ar.Field("fid", sorted[i].first);
+        CircuitBreakerState& st = sorted[i].second;
+        ar.Field("state", st.state);
+        ar.Field("consecutive_failures", st.consecutive_failures);
+        ar.Field("open_until", st.open_until);
+        ar.Field("probe_inflight", st.probe_inflight);
+        ar.Field("trips", st.trips);
+        ar.EndElem();
+      }
+      ar.EndArray();
+      if constexpr (Ar::kLoading) {
+        breakers.clear();
+        for (const auto& [fid, st] : sorted) {
+          BreakerFor(fid).LoadState(st);
+        }
+      }
+    }
+
+    ar.Begin("counters");
+    ar.Field("requests", result.requests);
+    ar.Field("attempts", result.attempts);
+    ar.Field("cold_starts", result.cold_starts);
+    ar.Field("failed_attempts", result.failed_attempts);
+    ar.Field("crash_attempts", result.crash_attempts);
+    ar.Field("timeout_attempts", result.timeout_attempts);
+    ar.Field("init_failure_attempts", result.init_failure_attempts);
+    ar.Field("retries", result.retries);
+    ar.Field("retries_exhausted", result.retries_exhausted);
+    ar.Field("successes", result.successes);
+    ar.Field("rejected_attempts", result.rejected_attempts);
+    ar.Field("queue_timeout_attempts", result.queue_timeout_attempts);
+    ar.Field("circuit_open_attempts", result.circuit_open_attempts);
+    ar.Field("queued_attempts", result.queued_attempts);
+    ar.Field("queue_wait_seconds", result.queue_wait_seconds);
+    ar.Field("host_fault_attempt_kills", result.host_fault_attempt_kills);
+    ar.Field("host_fault_sandbox_kills", result.host_fault_sandbox_kills);
+    ar.Field("drain_survivals", result.drain_survivals);
+    ar.Field("revenue", result.revenue);
+    ar.Field("fee_revenue", result.fee_revenue);
+    ar.End();
+
+    {
+      std::vector<int64_t> e2e(result.e2e_latency.begin(), result.e2e_latency.end());
+      ar.I64Vec("e2e_latency", e2e);
+      if constexpr (Ar::kLoading) {
+        result.e2e_latency.assign(e2e.begin(), e2e.end());
+      }
+    }
+
+    {
+      const size_t n = ar.BeginArray("spans", result.spans.size());
+      if constexpr (Ar::kLoading) {
+        result.spans.resize(n);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        SandboxSpan& span = result.spans[i];
+        ar.BeginElem();
+        ar.Field("fid", span.function_id);
+        ar.Field("vcpus", span.vcpus);
+        ar.Field("mem_mb", span.mem_mb);
+        ar.Field("created_at", span.created_at);
+        ar.Field("destroyed_at", span.destroyed_at);
+        ar.Field("busy", span.busy);
+        ar.Field("idle", span.idle);
+        ar.Field("requests", span.requests);
+        ar.Field("host", span.host);
+        ar.EndElem();
+      }
+      ar.EndArray();
+    }
+  }
+};
+
+FleetEngine::FleetEngine(FleetSimConfig config) {
+  const std::vector<std::string> errors = config.Validate();
+  if (!errors.empty()) {
+    std::string msg = "invalid FleetSimConfig";
+    for (const auto& e : errors) {
+      msg += "; " + e;
+    }
+    throw std::invalid_argument(msg);
+  }
+  impl_ = std::make_unique<Impl>(std::move(config));
+}
+
+FleetEngine::~FleetEngine() = default;
+FleetEngine::FleetEngine(FleetEngine&&) noexcept = default;
+FleetEngine& FleetEngine::operator=(FleetEngine&&) noexcept = default;
+
+void FleetEngine::Start(const std::vector<RequestRecord>& trace,
+                        const BillingModel& billing) {
+  Impl& im = *impl_;
+  if (im.started) {
+    throw std::logic_error("FleetEngine::Start called twice");
+  }
+  im.started = true;
+  im.trace = &trace;
+  im.billing = billing;
+  im.result.requests = static_cast<int64_t>(trace.size());
+  im.result.e2e_latency.assign(trace.size(), 0);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    assert(trace[i].exec_duration >= 0);
+    im.pending.push({trace[i].arrival, static_cast<int64_t>(i), i, 1});
+  }
+  im.next_seq = static_cast<int64_t>(trace.size());
+  if (im.metrics != nullptr && !trace.empty()) {
+    im.next_sample = trace.front().arrival;
+  }
+}
+
+void FleetEngine::Resume(const std::vector<RequestRecord>& trace,
+                         const BillingModel& billing, const JsonValue& state) {
+  Impl& im = *impl_;
+  if (im.started) {
+    throw std::logic_error("FleetEngine::Resume on a started engine");
+  }
+  im.started = true;
+  im.trace = &trace;
+  im.billing = billing;
+  Loader ar(&state);
+  im.Archive(ar);
+}
+
+void FleetEngine::AdvanceUntil(MicroSecs t) {
+  Impl& im = *impl_;
+  while (!im.pending.empty() && im.pending.top().arrival <= t) {
+    im.StepOne();
+  }
+}
+
+void FleetEngine::RunToEnd() {
+  Impl& im = *impl_;
+  while (!im.pending.empty()) {
+    im.StepOne();
+  }
+}
+
+bool FleetEngine::done() const { return impl_->pending.empty(); }
+
+MicroSecs FleetEngine::now() const { return impl_->now; }
+
+FleetResult FleetEngine::Finish() {
+  Impl& im = *impl_;
+  if (im.finished) {
+    throw std::logic_error("FleetEngine::Finish called twice");
+  }
+  im.finished = true;
+  FleetResult& result = im.result;
+  const FleetSimConfig& config = im.config;
 
   // Close every surviving sandbox: it lingers one keep-alive window past its
   // last use (crashed sandboxes were destroyed on the spot), unless its host
@@ -564,20 +993,20 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
   // Iterate pools in sorted key order: the hash-map order must never be
   // observable, and this loop touches spans that feed serialized artifacts.
   std::vector<int64_t> pool_fids;
-  pool_fids.reserve(pools.size());
-  for (const auto& [fid, pool] : pools) {
+  pool_fids.reserve(im.pools.size());
+  for (const auto& [fid, pool] : im.pools) {
     pool_fids.push_back(fid);
   }
   std::sort(pool_fids.begin(), pool_fids.end());
   for (const int64_t fid : pool_fids) {
-    for (const auto& sb : pools[fid]) {
+    for (const auto& sb : im.pools[fid]) {
       if (sb.dead) {
         continue;
       }
       SandboxSpan& span = result.spans[sb.span_index];
-      if (hosts_on && sb.host >= 0) {
-        if (auto ev = host_faults.FirstFailureIn(sb.host, sb.available_at,
-                                                 sb.available_at + config.keepalive)) {
+      if (im.hosts_on && sb.host >= 0) {
+        if (auto ev = im.host_faults.FirstFailureIn(
+                sb.host, sb.available_at, sb.available_at + config.keepalive)) {
           span.idle += ev->time - sb.available_at;
           span.destroyed_at = ev->time;
           ++result.host_fault_sandbox_kills;
@@ -591,15 +1020,15 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
   // A commutative sum today, but iterate deterministically anyway so a
   // future non-commutative use cannot silently inherit hash-map order.
   std::vector<int64_t> breaker_fids;
-  breaker_fids.reserve(breakers.size());
-  for (const auto& [fid, cb] : breakers) {
+  breaker_fids.reserve(im.breakers.size());
+  for (const auto& [fid, cb] : im.breakers) {
     breaker_fids.push_back(fid);
   }
   std::sort(breaker_fids.begin(), breaker_fids.end());
   for (const int64_t fid : breaker_fids) {
-    result.breaker_trips += breakers.at(fid).trips();
+    result.breaker_trips += im.breakers.at(fid).trips();
   }
-  if (sink != nullptr) {
+  if (im.sink != nullptr) {
     for (size_t i = 0; i < result.spans.size(); ++i) {
       const SandboxSpan& span = result.spans[i];
       Span sp;
@@ -610,11 +1039,11 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
       sp.duration = span.destroyed_at - span.created_at;
       sp.sandbox_id = static_cast<int32_t>(i);
       sp.ref = static_cast<int64_t>(i);
-      sink->Record(sp);
+      im.sink->Record(sp);
     }
   }
-  if (metrics != nullptr) {
-    sample_metrics_until(next_sample);  // Final row with the closing totals.
+  if (im.metrics != nullptr) {
+    im.SampleMetricsUntil(im.next_sample);  // Final row with the closing totals.
   }
 
   result.sandboxes = static_cast<int64_t>(result.spans.size());
@@ -659,7 +1088,53 @@ FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
       placer.Release(tickets[ev.span]);
     }
   }
-  return result;
+  return std::move(result);
+}
+
+void FleetEngine::SaveState(JsonWriter& w) {
+  Saver ar(&w);
+  w.BeginObject();
+  impl_->Archive(ar);
+  w.EndObject();
+}
+
+uint64_t FleetEngine::Digest() {
+  StateDigest d;
+  d.MixLabel("fleet-state-v1");
+  Digester ar(&d);
+  impl_->Archive(ar);
+  return d.value();
+}
+
+uint64_t FleetEngine::ConfigHash() const { return HashFleetConfig(impl_->config); }
+
+uint64_t FleetEngine::DigestTrace(const std::vector<RequestRecord>& trace) {
+  StateDigest d;
+  d.MixLabel("fleet-trace-v1");
+  d.MixU64(trace.size());
+  for (const RequestRecord& r : trace) {
+    d.MixI64(r.function_id);
+    d.MixI64(r.arrival);
+    d.MixI64(r.exec_duration);
+    d.MixI64(r.cpu_time);
+    d.MixDouble(r.alloc_vcpus);
+    d.MixDouble(r.alloc_mem_mb);
+    d.MixDouble(r.used_mem_mb);
+    d.MixBool(r.cold_start);
+    d.MixI64(r.init_duration);
+    d.MixI64(static_cast<int64_t>(r.outcome));
+    d.MixI64(r.attempt);
+    d.MixDouble(r.failure_rate);
+  }
+  return d.value();
+}
+
+FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
+                          const BillingModel& billing, const FleetSimConfig& config) {
+  FleetEngine engine(config);
+  engine.Start(trace, billing);
+  engine.RunToEnd();
+  return engine.Finish();
 }
 
 std::vector<EconomicsBucket> BucketEconomics(const FleetResult& result,

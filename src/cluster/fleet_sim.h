@@ -14,12 +14,16 @@
 #define FAASCOST_CLUSTER_FLEET_SIM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/billing/model.h"
 #include "src/cluster/host_faults.h"
 #include "src/cluster/placement.h"
+#include "src/common/json_reader.h"
+#include "src/common/json_writer.h"
+#include "src/integrity/integrity.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/platform/faults.h"
@@ -80,6 +84,9 @@ struct FleetSimConfig {
   // Metrics sampling cadence over trace time (used only when `metrics` is
   // attached).
   MicroSecs metrics_interval = kMicrosPerSec;
+  // Runtime invariant auditor (non-owning; null = detached, zero overhead
+  // beyond one pointer test per attempt). See src/integrity/integrity.h.
+  Auditor* auditor = nullptr;
 
   // Human-readable config errors; empty when valid. SimulateFleet throws
   // std::invalid_argument on a non-empty result.
@@ -144,6 +151,57 @@ struct FleetResult {
 // retries re-enter the arrival stream after backoff.
 FleetResult SimulateFleet(const std::vector<RequestRecord>& trace,
                           const BillingModel& billing, const FleetSimConfig& config);
+
+// Stepwise fleet simulation with checkpoint/resume support. The trace and
+// billing model are external inputs: they are NOT serialized into
+// checkpoints — `InputDigest()` goes into the checkpoint header and a resume
+// must present the identical trace. The trace must outlive the engine (held
+// by pointer); the billing model is copied. `SimulateFleet` is the one-shot
+// wrapper:
+//
+//   FleetEngine e(config);
+//   e.Start(trace, billing);          // or e.Resume(trace, billing, state)
+//   e.RunToEnd();                     // or e.AdvanceUntil(t) in slices
+//   FleetResult r = e.Finish();
+//
+// Running the engine to completion in one shot or across any save/restore
+// boundary yields bit-identical results (tested; see DESIGN.md §9).
+class FleetEngine {
+ public:
+  explicit FleetEngine(FleetSimConfig config);
+  ~FleetEngine();
+  FleetEngine(FleetEngine&&) noexcept;
+  FleetEngine& operator=(FleetEngine&&) noexcept;
+
+  // Seeds the attempt queue from the trace. Call exactly one of Start/Resume.
+  void Start(const std::vector<RequestRecord>& trace, const BillingModel& billing);
+  // Restores mutable state from a checkpoint's "state" blob; the caller must
+  // pass the same trace and billing model the checkpoint was taken under.
+  void Resume(const std::vector<RequestRecord>& trace, const BillingModel& billing,
+              const JsonValue& state);
+
+  // Processes every pending attempt with arrival <= t.
+  void AdvanceUntil(MicroSecs t);
+  void RunToEnd();
+  bool done() const;
+  MicroSecs now() const;  // Arrival time of the last processed attempt.
+
+  // Closing accounting (sandbox linger, hardware cost, placement packing).
+  // Call once, after RunToEnd.
+  FleetResult Finish();
+
+  // Serializes the complete mutable state as one JSON object.
+  void SaveState(JsonWriter& w);
+  // Canonical FNV-1a digest over the same state walk SaveState uses.
+  uint64_t Digest();
+  uint64_t ConfigHash() const;
+  // Digest over the input trace, recorded in checkpoint headers.
+  static uint64_t DigestTrace(const std::vector<RequestRecord>& trace);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 // Revenue/cost split by function-popularity decile: functions sorted by
 // request count, bucketed into `buckets` groups of equal function count.

@@ -88,6 +88,12 @@ class HostFaultModel {
 
   const HostFaultModelConfig& config() const { return config_; }
 
+  // Checkpoint support. The failure schedules are pure functions of
+  // (config, seed) and regenerate lazily after a restore; the round-robin
+  // placement cursor is the model's only order-dependent state.
+  int next_host() const { return next_host_; }
+  void set_next_host(int h) { next_host_ = h; }
+
  private:
   // Extends a host's own-crash schedule until it covers time `t`.
   void ExtendHostSchedule(int host, MicroSecs t);

@@ -1,0 +1,86 @@
+#include "src/common/fileio.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace faascost {
+
+namespace {
+
+[[noreturn]] void FailErrno(const std::string& step, const std::string& path) {
+  throw std::runtime_error(step + " failed for '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+void WriteFileAtomic(const std::string& path, std::string_view content) {
+  // The temp file must live in the same directory as the target: rename(2)
+  // is only atomic within one filesystem.
+  const std::string tmp_path = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    FailErrno("open", tmp_path);
+  }
+  size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      errno = saved;
+      FailErrno("write", tmp_path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    errno = saved;
+    FailErrno("fsync", tmp_path);
+  }
+  if (::close(fd) != 0) {
+    const int saved = errno;
+    ::unlink(tmp_path.c_str());
+    errno = saved;
+    FailErrno("close", tmp_path);
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp_path.c_str());
+    errno = saved;
+    FailErrno("rename", path);
+  }
+}
+
+std::string ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    FailErrno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  if (std::ferror(f) != 0) {
+    std::fclose(f);
+    throw std::runtime_error("read failed for '" + path + "'");
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace faascost

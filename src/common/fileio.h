@@ -1,0 +1,29 @@
+// Crash-safe artifact I/O.
+//
+// Every artifact faascost writes (traces, metrics, checkpoints, run
+// manifests) goes through WriteFileAtomic: the content lands in a temporary
+// file in the destination directory, is flushed to disk, and is then renamed
+// over the target. Readers therefore never observe a half-written artifact —
+// a crash mid-write leaves either the old file or no file, plus at worst a
+// stray `.tmp` sibling.
+
+#ifndef FAASCOST_COMMON_FILEIO_H_
+#define FAASCOST_COMMON_FILEIO_H_
+
+#include <string>
+#include <string_view>
+
+namespace faascost {
+
+// Writes `content` to `path` atomically (temp file + fsync + rename).
+// Throws std::runtime_error describing the failing step and errno on error;
+// on failure the temporary file is removed and `path` is left untouched.
+void WriteFileAtomic(const std::string& path, std::string_view content);
+
+// Reads the whole file into a string. Throws std::runtime_error when the
+// file cannot be opened or read.
+std::string ReadFileToString(const std::string& path);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_COMMON_FILEIO_H_

@@ -1,0 +1,421 @@
+#include "src/common/json_reader.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace faascost {
+
+bool JsonValue::GetBool() const {
+  if (kind_ != Kind::kBool) {
+    throw std::runtime_error("JsonValue: not a bool");
+  }
+  return bool_;
+}
+
+int64_t JsonValue::GetInt64() const {
+  if (kind_ != Kind::kInt) {
+    throw std::runtime_error("JsonValue: not an integer");
+  }
+  if (negative_) {
+    // INT64_MIN's magnitude is representable: 2^63.
+    if (magnitude_ > static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1ULL) {
+      throw std::runtime_error("JsonValue: integer underflows int64");
+    }
+    return static_cast<int64_t>(~magnitude_ + 1ULL);  // Two's-complement negate.
+  }
+  if (magnitude_ > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    throw std::runtime_error("JsonValue: integer overflows int64");
+  }
+  return static_cast<int64_t>(magnitude_);
+}
+
+uint64_t JsonValue::GetUint64() const {
+  if (kind_ != Kind::kInt) {
+    throw std::runtime_error("JsonValue: not an integer");
+  }
+  if (negative_ && magnitude_ != 0) {
+    throw std::runtime_error("JsonValue: negative integer where uint64 expected");
+  }
+  return magnitude_;
+}
+
+double JsonValue::GetDouble() const {
+  if (kind_ == Kind::kDouble) {
+    return double_;
+  }
+  if (kind_ == Kind::kInt) {
+    const double mag = static_cast<double>(magnitude_);
+    return negative_ ? -mag : mag;
+  }
+  throw std::runtime_error("JsonValue: not a number");
+}
+
+const std::string& JsonValue::GetString() const {
+  if (kind_ != Kind::kString) {
+    throw std::runtime_error("JsonValue: not a string");
+  }
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::GetArray() const {
+  if (kind_ != Kind::kArray) {
+    throw std::runtime_error("JsonValue: not an array");
+  }
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::GetObject() const {
+  if (kind_ != Kind::kObject) {
+    throw std::runtime_error("JsonValue: not an object");
+  }
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::At(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("JsonValue: missing key '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+JsonValue JsonValue::MakeNull() { return JsonValue(); }
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeInt(uint64_t magnitude, bool negative) {
+  JsonValue out;
+  out.kind_ = Kind::kInt;
+  out.magnitude_ = magnitude;
+  // Keep the sign even at magnitude 0: "-0" is how the writer serializes the
+  // double -0.0, and GetDouble must restore that exact bit pattern for
+  // checkpoint round-trips. GetInt64/GetUint64 still treat -0 as plain 0.
+  out.negative_ = negative;
+  return out;
+}
+
+JsonValue JsonValue::MakeDouble(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kDouble;
+  out.double_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.array_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::MakeObject(std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.object_ = std::move(members);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    SkipWs();
+    JsonValue v = ParseValue(0);
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  // Containers deeper than this indicate a malformed (or adversarial) input,
+  // not a real checkpoint; bail out before the recursion can blow the stack.
+  static constexpr int kMaxDepth = 200;
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw JsonParseError(message, pos_);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool Consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return false;
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      Fail("nesting too deep");
+    }
+    switch (Peek()) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"':
+        return JsonValue::MakeString(ParseString());
+      case 't':
+        if (!Consume("true")) {
+          Fail("invalid literal");
+        }
+        return JsonValue::MakeBool(true);
+      case 'f':
+        if (!Consume("false")) {
+          Fail("invalid literal");
+        }
+        return JsonValue::MakeBool(false);
+      case 'n':
+        if (!Consume("null")) {
+          Fail("invalid literal");
+        }
+        return JsonValue::MakeNull();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject(int depth) {
+    Expect('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return JsonValue::MakeObject(std::move(members));
+    }
+    while (true) {
+      SkipWs();
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      SkipWs();
+      members.emplace_back(std::move(key), ParseValue(depth + 1));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return JsonValue::MakeObject(std::move(members));
+    }
+  }
+
+  JsonValue ParseArray(int depth) {
+    Expect('[');
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return JsonValue::MakeArray(std::move(items));
+    }
+    while (true) {
+      SkipWs();
+      items.push_back(ParseValue(depth + 1));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return JsonValue::MakeArray(std::move(items));
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          const uint32_t code = ParseHex4();
+          AppendUtf8(&out, code);
+          break;
+        }
+        default:
+          Fail("invalid escape");
+      }
+    }
+  }
+
+  uint32_t ParseHex4() {
+    uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) {
+        Fail("truncated \\u escape");
+      }
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        Fail("invalid \\u escape");
+      }
+    }
+    return code;
+  }
+
+  // BMP-only UTF-8 encoding; the writer only ever \u-escapes control
+  // characters, so surrogate pairs are not produced by our own documents.
+  static void AppendUtf8(std::string* out, uint32_t code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const size_t start = pos_;
+    bool negative = false;
+    if (Peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (Peek() < '0' || Peek() > '9') {
+      Fail("invalid number");
+    }
+    bool integral = true;
+    bool overflow = false;
+    uint64_t magnitude = 0;
+    while (Peek() >= '0' && Peek() <= '9') {
+      const uint64_t digit = static_cast<uint64_t>(Peek() - '0');
+      if (magnitude > (std::numeric_limits<uint64_t>::max() - digit) / 10ULL) {
+        overflow = true;
+      } else {
+        magnitude = magnitude * 10ULL + digit;
+      }
+      ++pos_;
+    }
+    if (Peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (Peek() < '0' || Peek() > '9') {
+        Fail("invalid fraction");
+      }
+      while (Peek() >= '0' && Peek() <= '9') {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      integral = false;
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      if (Peek() < '0' || Peek() > '9') {
+        Fail("invalid exponent");
+      }
+      while (Peek() >= '0' && Peek() <= '9') {
+        ++pos_;
+      }
+    }
+    if (integral && !overflow) {
+      return JsonValue::MakeInt(magnitude, negative);
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      Fail("invalid number");
+    }
+    // Out-of-range doubles saturate to +/-inf; the writer never emits them
+    // (non-finite values serialize as null), so reject on read too.
+    if (errno == ERANGE && (parsed > 1.0 || parsed < -1.0)) {
+      Fail("number out of double range");
+    }
+    return JsonValue::MakeDouble(parsed);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue ParseJson(std::string_view text) { return Parser(text).ParseDocument(); }
+
+}  // namespace faascost

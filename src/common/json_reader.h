@@ -1,0 +1,92 @@
+// Minimal recursive-descent JSON parser, the read-side counterpart of
+// JsonWriter. It exists so checkpoints and artifacts written through the
+// deterministic writer can be loaded back without an external dependency.
+//
+// Faithfulness guarantees the checkpoint layer relies on:
+//   - Integers are kept exact: any number written without '.', 'e' or 'E'
+//     parses into a uint64_t magnitude plus sign, covering the full uint64
+//     range (JsonWriter::Value(uint64_t) round-trips bit-for-bit).
+//   - Doubles parse via strtod; combined with the writer's shortest
+//     round-trip formatting, double values round-trip bit-for-bit too.
+//
+// Errors throw JsonParseError with a byte offset; there is no partial-parse
+// recovery. The parser accepts exactly the JSON subset the writer emits
+// (plus insignificant whitespace); it does not accept comments or trailing
+// commas.
+
+#ifndef FAASCOST_COMMON_JSON_READER_H_
+#define FAASCOST_COMMON_JSON_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace faascost {
+
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& message, size_t offset)
+      : std::runtime_error(message + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  size_t offset() const { return offset_; }
+
+ private:
+  size_t offset_ = 0;
+};
+
+// One parsed JSON value. Object members preserve document order.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kInt || kind_ == Kind::kDouble; }
+
+  // Typed accessors; each throws JsonParseError-free std::runtime_error when
+  // the value has the wrong kind or an integer conversion would overflow.
+  bool GetBool() const;
+  int64_t GetInt64() const;
+  uint64_t GetUint64() const;   // Requires a non-negative integer.
+  double GetDouble() const;     // Accepts both kInt and kDouble.
+  const std::string& GetString() const;
+  const std::vector<JsonValue>& GetArray() const;
+  const std::vector<std::pair<std::string, JsonValue>>& GetObject() const;
+
+  // Object member lookup; null when `key` is absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+  // Find + throw std::runtime_error naming the key when absent.
+  const JsonValue& At(std::string_view key) const;
+
+  // --- Construction (used by the parser; tests may build values directly) ---
+  static JsonValue MakeNull();
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeInt(uint64_t magnitude, bool negative);
+  static JsonValue MakeDouble(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  bool negative_ = false;     // Sign of kInt values.
+  uint64_t magnitude_ = 0;    // Magnitude of kInt values.
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+// Parses one JSON document (surrounding whitespace allowed; trailing garbage
+// rejected). Throws JsonParseError on malformed input.
+JsonValue ParseJson(std::string_view text);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_COMMON_JSON_READER_H_

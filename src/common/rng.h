@@ -36,9 +36,24 @@ inline constexpr uint64_t kHostFaultStream = 1;  // Fleet host-failure model.
 // Host-fault per-host streams occupy [kHostStreamBase, kHostStreamBase + hosts).
 inline constexpr uint64_t kHostStreamBase = 16;
 
+// Full serializable position of one Rng stream: the xoshiro256** engine
+// words plus the Box-Muller spare. Restoring a saved state resumes the
+// stream bit-exactly, which is what checkpoint/resume and the integrity
+// digests rely on. The spare normal is carried as its IEEE-754 bit pattern
+// so a save/load round trip through text formats cannot perturb it.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  uint64_t spare_normal_bits = 0;
+  bool has_spare_normal = false;
+};
+
 class Rng {
  public:
   explicit Rng(uint64_t seed);
+
+  // Snapshot / restore of the full stream position (see RngState).
+  RngState SaveState() const;
+  void LoadState(const RngState& state);
 
   // Raw 64-bit output of the underlying engine.
   uint64_t NextU64();

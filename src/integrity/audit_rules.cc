@@ -1,0 +1,235 @@
+#include "src/integrity/audit_rules.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace faascost {
+
+namespace {
+
+// Relative tolerance for USD reconciliation. The reference and the audited
+// totals are computed by different call sites, so exact bit-equality is only
+// guaranteed when summation order matches; a run artifact may also round on
+// serialization. One part per billion is far below any real billing delta.
+bool UsdClose(Usd a, Usd b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= 1e-9 * scale;
+}
+
+std::string UsdPair(Usd got, Usd want) {
+  return "got=" + std::to_string(got) + " want=" + std::to_string(want);
+}
+
+}  // namespace
+
+Usd RecomputePlatformTotalUsd(const PlatformSimResult& result,
+                              const PlatformSimConfig& config,
+                              const BillingModel& billing) {
+  Usd total = 0.0;
+  for (const AttemptOutcome& att : result.attempts) {
+    total +=
+        ComputeInvoice(billing, BillableRecord(att, config.vcpus, config.mem_mb)).total;
+  }
+  return total;
+}
+
+void AuditPlatformRun(const PlatformSimResult& result, const PlatformSimConfig& config,
+                      uint64_t seed, Auditor& auditor, const BillingModel* billing,
+                      Usd expected_total_usd) {
+  const MicroSecs end = result.timeline.empty() ? 0 : result.timeline.back().time;
+
+  // Failure taxonomy partitions the failed-attempt count (queue timeouts are
+  // a sub-category of timeouts, not a sibling).
+  const int64_t taxonomy = result.init_failure_attempts + result.crash_attempts +
+                           result.timeout_attempts + result.rejected_attempts +
+                           result.circuit_open_attempts;
+  auditor.Check(taxonomy == result.failed_attempts, "platform.failure_taxonomy", end,
+                seed, "counters",
+                "taxonomy=" + std::to_string(taxonomy) +
+                    " failed=" + std::to_string(result.failed_attempts));
+  auditor.Check(result.queue_timeout_attempts <= result.timeout_attempts,
+                "platform.failure_taxonomy", end, seed, "counters",
+                "queue_timeouts=" + std::to_string(result.queue_timeout_attempts) +
+                    " exceed timeouts=" + std::to_string(result.timeout_attempts));
+
+  // Attempt conservation: every attempt beyond the first per request is a
+  // retry.
+  const int64_t extra = static_cast<int64_t>(result.attempts.size()) -
+                        static_cast<int64_t>(result.requests.size());
+  auditor.Check(extra == result.retries, "platform.attempt_conservation", end, seed,
+                "attempts",
+                "attempts=" + std::to_string(result.attempts.size()) +
+                    " requests=" + std::to_string(result.requests.size()) +
+                    " retries=" + std::to_string(result.retries));
+
+  // Request conservation: every request reached a terminal outcome, and the
+  // derived aggregates match a recount.
+  int64_t ok = 0;
+  for (size_t i = 0; i < result.requests.size(); ++i) {
+    const RequestOutcome& r = result.requests[i];
+    auditor.Check(r.attempts >= 1, "platform.request_conservation", end, seed,
+                  "request " + std::to_string(i),
+                  "terminated with attempts=" + std::to_string(r.attempts));
+    auditor.Check(
+        r.completion >= r.arrival && r.e2e_latency == r.completion - r.arrival,
+        "platform.request_conservation", end, seed, "request " + std::to_string(i),
+        "arrival=" + std::to_string(r.arrival) +
+            " completion=" + std::to_string(r.completion) +
+            " e2e=" + std::to_string(r.e2e_latency));
+    if (r.outcome == Outcome::kOk) {
+      ++ok;
+    }
+  }
+  auditor.Check(ok == result.successes, "platform.request_conservation", end, seed,
+                "requests",
+                "recounted successes=" + std::to_string(ok) +
+                    " recorded=" + std::to_string(result.successes));
+  int64_t cold = 0;
+  for (const AttemptOutcome& att : result.attempts) {
+    if (att.cold_start) {
+      ++cold;
+    }
+  }
+  auditor.Check(cold == result.cold_starts, "platform.request_conservation", end, seed,
+                "attempts",
+                "recounted cold starts=" + std::to_string(cold) +
+                    " recorded=" + std::to_string(result.cold_starts));
+
+  // Billed-usec conservation: in the single-concurrency model a sandbox is
+  // busy exactly while one attempt executes, so total sandbox busy time must
+  // equal total attempt execution time. With concurrent execution the busy
+  // wall-clock is a union of overlapping windows, so it can only be smaller.
+  MicroSecs busy = 0;
+  for (const SandboxAccounting& s : result.sandboxes) {
+    auditor.Check(s.busy_time >= 0 && s.idle_time >= 0 && s.init_time >= 0,
+                  "platform.sandbox_time_accounting", end, seed,
+                  "sandbox " + std::to_string(s.sandbox_id),
+                  "init=" + std::to_string(s.init_time) +
+                      " busy=" + std::to_string(s.busy_time) +
+                      " idle=" + std::to_string(s.idle_time));
+    auditor.Check(
+        s.init_time + s.busy_time + s.idle_time <= s.destroyed_at - s.created_at,
+        "platform.sandbox_time_accounting", end, seed,
+        "sandbox " + std::to_string(s.sandbox_id),
+        "accounted=" + std::to_string(s.init_time + s.busy_time + s.idle_time) +
+            " lifetime=" + std::to_string(s.destroyed_at - s.created_at));
+    busy += s.busy_time;
+  }
+  MicroSecs exec = 0;
+  for (const AttemptOutcome& att : result.attempts) {
+    auditor.Check(att.exec_duration >= 0, "platform.billed_time_conservation", end,
+                  seed, "attempt of request " + std::to_string(att.req_idx),
+                  "exec_duration=" + std::to_string(att.exec_duration));
+    exec += att.exec_duration;
+  }
+  const bool multi = config.concurrency == ConcurrencyModel::kMultiConcurrency;
+  auditor.Check(multi ? busy <= exec : busy == exec,
+                "platform.billed_time_conservation", end, seed, "sandboxes",
+                "sandbox busy=" + std::to_string(busy) + " attempt exec=" +
+                    std::to_string(exec) + (multi ? " (concurrent: busy <= exec)" : ""));
+
+  // Monotone timeline.
+  for (size_t i = 1; i < result.timeline.size(); ++i) {
+    auditor.Check(result.timeline[i].time > result.timeline[i - 1].time,
+                  "platform.monotone_timeline", end, seed,
+                  "sample " + std::to_string(i),
+                  std::to_string(result.timeline[i].time) + " after " +
+                      std::to_string(result.timeline[i - 1].time));
+  }
+
+  // USD reconciliation against the independent billing recomputation.
+  if (billing != nullptr) {
+    const Usd recomputed = RecomputePlatformTotalUsd(result, config, *billing);
+    auditor.Check(UsdClose(expected_total_usd, recomputed),
+                  "platform.usd_reconciliation", end, seed, "billing",
+                  UsdPair(expected_total_usd, recomputed));
+  }
+}
+
+void AuditFleetRun(const FleetResult& result, const FleetSimConfig& config,
+                   Auditor& auditor) {
+  const uint64_t seed = config.fault_seed;
+  MicroSecs end = 0;
+  for (const SandboxSpan& span : result.spans) {
+    end = std::max(end, span.destroyed_at);
+  }
+
+  // Failure taxonomy partitions the failed-attempt count.
+  const int64_t taxonomy = result.crash_attempts + result.timeout_attempts +
+                           result.init_failure_attempts + result.rejected_attempts +
+                           result.queue_timeout_attempts + result.circuit_open_attempts;
+  auditor.Check(taxonomy == result.failed_attempts, "fleet.failure_taxonomy", end, seed,
+                "counters",
+                "taxonomy=" + std::to_string(taxonomy) +
+                    " failed=" + std::to_string(result.failed_attempts));
+
+  // Attempt and request conservation.
+  auditor.Check(result.attempts == result.requests + result.retries,
+                "fleet.attempt_conservation", end, seed, "counters",
+                "attempts=" + std::to_string(result.attempts) +
+                    " requests=" + std::to_string(result.requests) +
+                    " retries=" + std::to_string(result.retries));
+  auditor.Check(result.successes + result.retries_exhausted == result.requests,
+                "fleet.request_conservation", end, seed, "counters",
+                "successes=" + std::to_string(result.successes) +
+                    " exhausted=" + std::to_string(result.retries_exhausted) +
+                    " requests=" + std::to_string(result.requests));
+  auditor.Check(static_cast<int64_t>(result.e2e_latency.size()) == result.requests,
+                "fleet.request_conservation", end, seed, "e2e_latency",
+                std::to_string(result.e2e_latency.size()) + " entries for " +
+                    std::to_string(result.requests) + " requests");
+  auditor.Check(result.sandboxes == static_cast<int64_t>(result.spans.size()) &&
+                    result.cold_starts == result.sandboxes,
+                "fleet.capacity_accounting", end, seed, "spans",
+                "sandboxes=" + std::to_string(result.sandboxes) +
+                    " spans=" + std::to_string(result.spans.size()) +
+                    " cold_starts=" + std::to_string(result.cold_starts));
+
+  // Per-span time accounting: a sandbox's lifetime is exactly its busy time
+  // (init + execution) plus its idle (keep-alive) time.
+  double sandbox_seconds = 0.0, busy_seconds = 0.0, idle_seconds = 0.0;
+  Usd hardware = 0.0;
+  for (size_t i = 0; i < result.spans.size(); ++i) {
+    const SandboxSpan& span = result.spans[i];
+    auditor.Check(
+        span.busy >= 0 && span.idle >= 0 && span.destroyed_at >= span.created_at,
+        "fleet.span_time_accounting", end, seed, "span " + std::to_string(i),
+        "busy=" + std::to_string(span.busy) + " idle=" + std::to_string(span.idle) +
+            " lifetime=" + std::to_string(span.destroyed_at - span.created_at));
+    auditor.Check(span.busy + span.idle == span.destroyed_at - span.created_at,
+                  "fleet.span_time_accounting", end, seed, "span " + std::to_string(i),
+                  "busy+idle=" + std::to_string(span.busy + span.idle) + " lifetime=" +
+                      std::to_string(span.destroyed_at - span.created_at));
+    sandbox_seconds += MicrosToSecs(span.destroyed_at - span.created_at);
+    busy_seconds += MicrosToSecs(span.busy);
+    idle_seconds += MicrosToSecs(span.idle);
+    const Usd rate = config.hardware_per_vcpu_second * span.vcpus +
+                     config.hardware_per_gb_second * MbToGb(span.mem_mb);
+    hardware += rate * MicrosToSecs(span.busy) +
+                rate * config.ka_cost_share * MicrosToSecs(span.idle);
+  }
+
+  // USD reconciliation: the aggregate cost figures must match an independent
+  // recomputation from the per-span records they claim to summarize.
+  auditor.Check(UsdClose(result.hardware_cost, hardware), "fleet.usd_reconciliation",
+                end, seed, "hardware_cost", UsdPair(result.hardware_cost, hardware));
+  auditor.Check(UsdClose(result.sandbox_seconds, sandbox_seconds) &&
+                    UsdClose(result.busy_seconds, busy_seconds) &&
+                    UsdClose(result.idle_seconds, idle_seconds),
+                "fleet.usd_reconciliation", end, seed, "span aggregates",
+                "sandbox_s " + UsdPair(result.sandbox_seconds, sandbox_seconds) +
+                    "; busy_s " + UsdPair(result.busy_seconds, busy_seconds) +
+                    "; idle_s " + UsdPair(result.idle_seconds, idle_seconds));
+  auditor.Check(result.fee_revenue <= result.revenue + 1e-9, "fleet.usd_conservation",
+                end, seed, "revenue",
+                "fees=" + std::to_string(result.fee_revenue) +
+                    " total=" + std::to_string(result.revenue));
+  if (result.revenue > 0.0) {
+    const double margin = (result.revenue - result.hardware_cost) / result.revenue;
+    auditor.Check(UsdClose(result.margin, margin), "fleet.usd_reconciliation", end,
+                  seed, "margin", UsdPair(result.margin, margin));
+  }
+}
+
+}  // namespace faascost

@@ -1,0 +1,106 @@
+// Canonical state digests.
+//
+// A StateDigest is a streaming FNV-1a/64 hash over a canonical byte encoding
+// of simulator state. Two runs that reach the same logical state — same
+// queues, same sandbox pool, same RNG stream positions, same accumulated
+// cost — produce the same digest, bit for bit, regardless of which process
+// or checkpoint path got them there. The digest is the contract behind
+// checkpoint/resume equivalence: `run-to-T2` and `run-to-T1 + resume-to-T2`
+// must agree on it, and tests golden it for fixed seeds.
+//
+// Canonicalization rules (see DESIGN.md §9):
+//   - Scalars mix with an explicit width: u64/i64 as 8 little-endian bytes,
+//     doubles as their IEEE-754 bit pattern, bools as one byte, strings as
+//     length-prefixed bytes. This removes formatting ambiguity entirely.
+//   - Order-sensitive where order is state: event-queue heap arrays, FIFO
+//     admission queues, and deque contents mix in container order, because
+//     that order determines future behavior.
+//   - Order-insensitive where order is incidental: collections keyed by id
+//     (per-function pools, per-key breakers) either iterate in sorted-key
+//     order before mixing, or combine per-item sub-digests through
+//     UnorderedDigest, whose commutative fold ignores iteration order.
+
+#ifndef FAASCOST_INTEGRITY_DIGEST_H_
+#define FAASCOST_INTEGRITY_DIGEST_H_
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace faascost {
+
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+// Streaming, order-sensitive FNV-1a/64 accumulator.
+class StateDigest {
+ public:
+  void MixByte(uint8_t b) {
+    h_ ^= b;
+    h_ *= kFnvPrime;
+  }
+
+  void MixU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      MixByte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void MixI64(int64_t v) { MixU64(static_cast<uint64_t>(v)); }
+
+  // Doubles hash by bit pattern: -0.0 != +0.0, and every NaN payload is
+  // distinct. Digest equality therefore implies bit-identical doubles.
+  void MixDouble(double v) { MixU64(std::bit_cast<uint64_t>(v)); }
+
+  void MixBool(bool v) { MixByte(v ? 1 : 0); }
+
+  // Length-prefixed so "ab"+"c" and "a"+"bc" cannot collide.
+  void MixStr(std::string_view s) {
+    MixU64(s.size());
+    for (const char c : s) {
+      MixByte(static_cast<uint8_t>(c));
+    }
+  }
+
+  // Domain-separation label for a named section of state.
+  void MixLabel(std::string_view label) { MixStr(label); }
+
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = kFnvOffsetBasis;
+};
+
+// Commutative combiner for collections whose iteration order is incidental
+// (e.g. unordered_map buckets). Each item is hashed into its own StateDigest
+// and Added here; the fold (sum + xor of a mixed form) is order-insensitive
+// but still sensitive to multiplicity and to every item bit.
+class UnorderedDigest {
+ public:
+  void Add(uint64_t item_digest) {
+    sum_ += item_digest;
+    // Bijective mix before xor so items differing only in low bits still
+    // disturb the whole word.
+    uint64_t z = item_digest + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    xored_ ^= z ^ (z >> 31);
+    ++count_;
+  }
+
+  // Folds the combined value into an order-sensitive parent digest.
+  void FinishInto(StateDigest* parent) const {
+    parent->MixU64(count_);
+    parent->MixU64(sum_);
+    parent->MixU64(xored_);
+  }
+
+ private:
+  uint64_t sum_ = 0;
+  uint64_t xored_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace faascost
+
+#endif  // FAASCOST_INTEGRITY_DIGEST_H_

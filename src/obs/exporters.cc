@@ -1,11 +1,12 @@
 #include "src/obs/exporters.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstring>
 #include <set>
+#include <stdexcept>
 #include <utility>
 
+#include "src/common/fileio.h"
 #include "src/common/json_writer.h"
 
 namespace faascost {
@@ -109,13 +110,13 @@ std::string MetricsJsonl(const MetricsRegistry& registry) {
 }
 
 bool WriteTextFile(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
+  // Crash-safe: readers of run artifacts never see a half-written file.
+  try {
+    WriteFileAtomic(path, content);
+  } catch (const std::runtime_error&) {
     return false;
   }
-  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  const int rc = std::fclose(f);
-  return written == content.size() && rc == 0;
+  return true;
 }
 
 }  // namespace faascost

@@ -17,6 +17,7 @@
 #define FAASCOST_PLATFORM_AUTOSCALER_H_
 
 #include <deque>
+#include <utility>
 
 #include "src/common/units.h"
 
@@ -51,6 +52,15 @@ class WindowedAutoscaler {
   int DesiredInstances(MicroSecs now) const;
 
   const AutoscalerConfig& config() const { return config_; }
+
+  // Checkpoint support: the sample window is the autoscaler's only mutable
+  // state. Restoring it resumes scaling decisions bit-exactly.
+  const std::deque<std::pair<MicroSecs, double>>& samples() const {
+    return samples_;
+  }
+  void RestoreSamples(std::deque<std::pair<MicroSecs, double>> samples) {
+    samples_ = std::move(samples);
+  }
 
  private:
   AutoscalerConfig config_;

@@ -98,12 +98,27 @@ struct RetryPolicy {
 // multiplication (and the MicroSecs cast) finite for any attempt count.
 inline constexpr int kBackoffExponentCap = 62;
 
+// Serializable snapshot of a CircuitBreaker (checkpoint/resume support).
+// `state` carries the State enum as an int to keep the struct a plain POD.
+struct CircuitBreakerState {
+  int state = 0;
+  int consecutive_failures = 0;
+  MicroSecs open_until = 0;
+  bool probe_inflight = false;
+  int64_t trips = 0;
+};
+
 // Runtime state of the RetryPolicy circuit breaker. One instance represents
 // one client fleet's view of one function. Short-circuited dispatches do not
 // feed back into the state; only real outcomes do.
 class CircuitBreaker {
  public:
   CircuitBreaker(int threshold, MicroSecs cooldown);
+
+  // Snapshot / restore for checkpointing. Thresholds come from config and
+  // are not part of the snapshot.
+  CircuitBreakerState SaveState() const;
+  void LoadState(const CircuitBreakerState& st);
 
   // Whether a dispatch at `now` may proceed. While open this returns false
   // until the cooldown elapses, then admits exactly one half-open probe

@@ -1,6 +1,7 @@
 #include "src/platform/keepalive.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace faascost {
 
@@ -161,6 +162,24 @@ MicroSecs HistogramPrewarmPolicy::SampleDuration(Rng& rng,
     return learned;
   }
   return rng.UniformInt(config_.fallback_min, config_.fallback_max);
+}
+
+void HistogramPrewarmPolicy::SaveState(std::vector<int64_t>* out) const {
+  out->clear();
+  out->reserve(bins_.size() + 1);
+  out->push_back(observations_);
+  out->insert(out->end(), bins_.begin(), bins_.end());
+}
+
+void HistogramPrewarmPolicy::LoadState(const std::vector<int64_t>& state) {
+  if (state.empty() || state.size() != bins_.size() + 1) {
+    throw std::invalid_argument(
+        "HistogramPrewarmPolicy::LoadState: expected " +
+        std::to_string(bins_.size() + 1) + " values, got " +
+        std::to_string(state.size()));
+  }
+  observations_ = state[0];
+  std::copy(state.begin() + 1, state.end(), bins_.begin());
 }
 
 std::unique_ptr<KeepAlivePolicy> MakeHistogramPrewarm(HistogramPrewarmConfig config) {

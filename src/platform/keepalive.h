@@ -53,6 +53,12 @@ class KeepAlivePolicy {
   virtual bool graceful_shutdown() const = 0;
 
   virtual std::string name() const = 0;
+
+  // Checkpoint support: policies with learned state (idle-time histograms)
+  // serialize it into a flat int64 vector; stateless policies keep the
+  // defaults (empty save, no-op load).
+  virtual void SaveState(std::vector<int64_t>* out) const { out->clear(); }
+  virtual void LoadState(const std::vector<int64_t>& /*state*/) {}
 };
 
 // AWS Lambda: freeze/resume with a fixed KA window of 300-360 s; graceful
@@ -113,6 +119,10 @@ class HistogramPrewarmPolicy final : public KeepAlivePolicy {
   int64_t observations() const { return observations_; }
   // The idle duration covered at the configured quantile; 0 until trained.
   MicroSecs LearnedWindow() const;
+
+  // Flat layout: [observations, bin0, bin1, ...].
+  void SaveState(std::vector<int64_t>* out) const override;
+  void LoadState(const std::vector<int64_t>& state) override;
 
  private:
   HistogramPrewarmConfig config_;

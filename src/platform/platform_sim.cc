@@ -8,6 +8,9 @@
 #include <queue>
 #include <stdexcept>
 
+#include "src/integrity/archive.h"
+#include "src/integrity/digest.h"
+
 namespace faascost {
 
 namespace {
@@ -65,6 +68,123 @@ struct SandboxState {
   MicroSecs idle_time = 0;
   MicroSecs busy_snapshot = 0;  // busy_time at the previous metric sample.
 };
+
+// priority_queue with the protected underlying container exposed, so
+// checkpoints serialize the heap array verbatim: a restored queue pops in
+// exactly the original order, tie-breaking included.
+struct EventQueue
+    : std::priority_queue<Event, std::vector<Event>, std::greater<Event>> {
+  std::vector<Event>& raw() { return c; }
+  const std::vector<Event>& raw() const { return c; }
+};
+
+struct MetricIds {
+  int instances = 0, ready = 0, inflight = 0, queue_depth = 0, utilization = 0;
+  int breaker_open = 0, attempts = 0, failures = 0, cold_starts = 0, retries = 0;
+  int queue_wait_ms = 0, e2e_ms = 0;
+};
+
+// --- Shared archive helpers (save / load / digest through one walker) ---
+
+template <typename Ar>
+void ArchiveBreaker(Ar& ar, std::string_view key, CircuitBreaker& breaker) {
+  CircuitBreakerState st = breaker.SaveState();
+  ar.Begin(key);
+  ar.Field("state", st.state);
+  ar.Field("consecutive_failures", st.consecutive_failures);
+  ar.Field("open_until", st.open_until);
+  ar.Field("probe_inflight", st.probe_inflight);
+  ar.Field("trips", st.trips);
+  ar.End();
+  if constexpr (Ar::kLoading) {
+    breaker.LoadState(st);
+  }
+}
+
+template <typename Ar>
+void ArchiveScaler(Ar& ar, std::string_view key, WindowedAutoscaler& scaler) {
+  std::deque<std::pair<MicroSecs, double>> samples = scaler.samples();
+  const size_t n = ar.BeginArray(key, samples.size());
+  if constexpr (Ar::kLoading) {
+    samples.resize(n);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ar.BeginElem();
+    ar.Field("t", samples[i].first);
+    ar.Field("d", samples[i].second);
+    ar.EndElem();
+  }
+  ar.EndArray();
+  if constexpr (Ar::kLoading) {
+    scaler.RestoreSamples(std::move(samples));
+  }
+}
+
+template <typename Ar>
+void ArchiveKeepAlive(Ar& ar, std::string_view key, KeepAlivePolicy& policy) {
+  std::vector<int64_t> st;
+  policy.SaveState(&st);
+  ar.I64Vec(key, st);
+  if constexpr (Ar::kLoading) {
+    policy.LoadState(st);
+  }
+}
+
+uint64_t HashPlatformConfig(const PlatformSimConfig& c, uint64_t seed) {
+  StateDigest d;
+  d.MixLabel("platform-config-v1");
+  d.MixU64(seed);
+  d.MixStr(c.name);
+  d.MixI64(static_cast<int64_t>(c.concurrency));
+  d.MixI64(c.concurrency_limit);
+  d.MixI64(static_cast<int64_t>(c.routing));
+  d.MixDouble(c.vcpus);
+  d.MixDouble(c.mem_mb);
+  d.MixI64(c.init_mean);
+  d.MixDouble(c.init_jitter);
+  d.MixBool(c.coldstart != nullptr);
+  d.MixDouble(c.contention_coeff);
+  d.MixDouble(c.contention_excess_cap);
+  d.MixBool(c.autoscaler_enabled);
+  d.MixDouble(c.autoscaler.target_utilization);
+  d.MixI64(c.autoscaler.metric_window);
+  d.MixI64(c.autoscaler.sample_interval);
+  d.MixI64(c.autoscaler.eval_interval);
+  d.MixI64(c.autoscaler.action_cooldown);
+  d.MixI64(c.autoscaler.max_instances);
+  d.MixI64(c.max_instances);
+  d.MixDouble(c.faults.init_failure_prob);
+  d.MixDouble(c.faults.crash_prob);
+  d.MixBool(c.faults.crash_kills_sandbox);
+  d.MixI64(c.faults.max_exec_duration);
+  d.MixBool(c.faults.reject_on_overload);
+  d.MixI64(c.retry.max_attempts);
+  d.MixI64(c.retry.backoff_base);
+  d.MixDouble(c.retry.backoff_multiplier);
+  d.MixI64(c.retry.backoff_cap);
+  d.MixBool(c.retry.full_jitter);
+  d.MixI64(c.retry.attempt_timeout);
+  d.MixBool(c.retry.retry_rejected);
+  d.MixI64(c.retry.breaker_threshold);
+  d.MixI64(c.retry.breaker_cooldown);
+  d.MixBool(c.admission.enabled);
+  d.MixI64(c.admission.queue_depth);
+  d.MixI64(c.admission.queue_timeout);
+  d.MixI64(static_cast<int64_t>(c.admission.shed));
+  d.MixBool(c.scaledown_drains_busy);
+  d.MixI64(c.drain_deadline);
+  d.MixStr(c.keepalive != nullptr ? c.keepalive->name() : "");
+  return d.value();
+}
+
+AutoscalerConfig MakeScalerConfig(const PlatformSimConfig& config) {
+  AutoscalerConfig scaler_config = config.autoscaler;
+  scaler_config.per_instance_capacity =
+      config.vcpus * config.autoscaler.target_utilization;
+  scaler_config.max_instances =
+      std::min(scaler_config.max_instances, config.max_instances);
+  return scaler_config;
+}
 
 }  // namespace
 
@@ -126,82 +246,80 @@ PlatformSim::PlatformSim(PlatformSimConfig config, uint64_t seed)
   }
 }
 
-PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
-                                   const WorkloadSpec& workload) {
+struct PlatformEngine::Impl {
+  PlatformSimConfig config;
+  uint64_t seed;
+  WorkloadSpec workload;
+
   PlatformSimResult result;
-  result.requests.resize(arrivals.size());
-  result.attempts.reserve(arrivals.size());
-  Rng rng(seed_);
+  Rng rng;
   // Faults draw from their own stream: a zero-fault run leaves the main
   // stream — and therefore every result — identical to a fault-free build.
-  FaultModel faults(config_.faults, seed_);
+  FaultModel faults;
   // One client fleet, one function: a single shared breaker. Disabled
   // (threshold 0) it never gates, records, or trips.
-  CircuitBreaker breaker(config_.retry.breaker_threshold, config_.retry.breaker_cooldown);
-  AutoscalerConfig scaler_config = config_.autoscaler;
-  scaler_config.per_instance_capacity =
-      config_.vcpus * config_.autoscaler.target_utilization;
-  scaler_config.max_instances = std::min(scaler_config.max_instances, config_.max_instances);
-  WindowedAutoscaler scaler(scaler_config);
+  CircuitBreaker breaker;
+  AutoscalerConfig scaler_config;
+  WindowedAutoscaler scaler;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  EventQueue queue;
   std::vector<SandboxState> sandboxes;
   std::deque<int> global_queue;  // Attempts waiting for capacity (multi model).
-  std::vector<int> next_attempt_no(arrivals.size(), 1);
+  std::vector<int> next_attempt_no;
   std::vector<uint8_t> attempt_open;     // Server side not yet concluded.
   std::vector<uint8_t> attempt_started;  // Admitted to a sandbox.
-  size_t terminal = 0;       // Requests with a terminal client outcome.
-  int64_t open_attempts = 0; // Dispatched attempts not yet concluded.
+  size_t terminal = 0;        // Requests with a terminal client outcome.
+  int64_t open_attempts = 0;  // Dispatched attempts not yet concluded.
   MicroSecs now = 0;
   MicroSecs last_scale_action = std::numeric_limits<MicroSecs>::min() / 2;
   int64_t arrivals_since_sample = 0;
   MicroSecs last_completion = -1;  // For idle-interval feedback to the KA policy.
-  const bool multi = config_.concurrency == ConcurrencyModel::kMultiConcurrency;
+  int64_t events_processed = 0;
+  bool multi = false;
+  bool started = false;
+  bool finished = false;
 
-  for (size_t i = 0; i < arrivals.size(); ++i) {
-    assert(i == 0 || arrivals[i] >= arrivals[i - 1]);
-    queue.push({arrivals[i], EventType::kArrival, -1, 0, static_cast<int>(i)});
-    result.requests[i].arrival = arrivals[i];
-  }
-  if (!arrivals.empty()) {
-    queue.push({arrivals.front() + config_.autoscaler.sample_interval, EventType::kSample});
-    if (config_.autoscaler_enabled) {
-      queue.push(
-          {arrivals.front() + config_.autoscaler.eval_interval, EventType::kScalerEval});
+  // --- Observability and integrity hooks (no-ops when null) ---
+  TraceSink* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  Auditor* auditor = nullptr;
+  MetricIds mid;
+
+  Impl(PlatformSimConfig cfg, uint64_t sd)
+      : config(std::move(cfg)),
+        seed(sd),
+        rng(sd),
+        faults(config.faults, sd),
+        breaker(config.retry.breaker_threshold, config.retry.breaker_cooldown),
+        scaler_config(MakeScalerConfig(config)),
+        scaler(scaler_config),
+        multi(config.concurrency == ConcurrencyModel::kMultiConcurrency),
+        trace(config.trace),
+        metrics(config.metrics),
+        auditor(config.auditor) {
+    if (metrics != nullptr) {
+      using K = MetricsRegistry::Kind;
+      mid.instances = metrics->Define(K::kGauge, "platform.instances");
+      mid.ready = metrics->Define(K::kGauge, "platform.warm_pool");
+      mid.inflight = metrics->Define(K::kGauge, "platform.inflight");
+      mid.queue_depth = metrics->Define(K::kGauge, "platform.queue_depth");
+      mid.utilization = metrics->Define(K::kGauge, "platform.avg_utilization");
+      mid.breaker_open = metrics->Define(K::kGauge, "platform.breaker_open");
+      mid.attempts = metrics->Define(K::kCounter, "platform.attempts_total");
+      mid.failures = metrics->Define(K::kCounter, "platform.failed_attempts_total");
+      mid.cold_starts = metrics->Define(K::kCounter, "platform.cold_starts_total");
+      mid.retries = metrics->Define(K::kCounter, "platform.retries_total");
+      mid.queue_wait_ms = metrics->Define(K::kHistogram, "platform.queue_wait_ms");
+      mid.e2e_ms = metrics->Define(K::kHistogram, "platform.e2e_latency_ms");
     }
   }
 
-  auto done = [&] { return terminal == arrivals.size() && open_attempts == 0; };
-
-  // --- Observability (no-ops when the hooks are null) ---
-  TraceSink* const trace = config_.trace;
-  MetricsRegistry* const metrics = config_.metrics;
-  struct MetricIds {
-    int instances = 0, ready = 0, inflight = 0, queue_depth = 0, utilization = 0;
-    int breaker_open = 0, attempts = 0, failures = 0, cold_starts = 0, retries = 0;
-    int queue_wait_ms = 0, e2e_ms = 0;
-  };
-  MetricIds mid;
-  if (metrics != nullptr) {
-    using K = MetricsRegistry::Kind;
-    mid.instances = metrics->Define(K::kGauge, "platform.instances");
-    mid.ready = metrics->Define(K::kGauge, "platform.warm_pool");
-    mid.inflight = metrics->Define(K::kGauge, "platform.inflight");
-    mid.queue_depth = metrics->Define(K::kGauge, "platform.queue_depth");
-    mid.utilization = metrics->Define(K::kGauge, "platform.avg_utilization");
-    mid.breaker_open = metrics->Define(K::kGauge, "platform.breaker_open");
-    mid.attempts = metrics->Define(K::kCounter, "platform.attempts_total");
-    mid.failures = metrics->Define(K::kCounter, "platform.failed_attempts_total");
-    mid.cold_starts = metrics->Define(K::kCounter, "platform.cold_starts_total");
-    mid.retries = metrics->Define(K::kCounter, "platform.retries_total");
-    mid.queue_wait_ms = metrics->Define(K::kHistogram, "platform.queue_wait_ms");
-    mid.e2e_ms = metrics->Define(K::kHistogram, "platform.e2e_latency_ms");
-  }
+  bool Done() const { return terminal == result.requests.size() && open_attempts == 0; }
 
   // One span on the request's client track. `term` marks the attempt's
   // terminal span — the one the billing tagger attributes the invoice to.
-  auto emit_client_span = [&](SpanKind kind, MicroSecs start, MicroSecs duration,
-                              int attempt_idx, const char* status, bool term) {
+  void EmitClientSpan(SpanKind kind, MicroSecs start, MicroSecs duration,
+                      int attempt_idx, const char* status, bool term) {
     const AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
     Span sp;
     sp.kind = kind;
@@ -217,11 +335,11 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     sp.cold = att.cold_start;
     sp.terminal = term;
     trace->Record(sp);
-  };
+  }
 
   // Closes out a sandbox: emits its drain and lifetime spans, then marks it
   // dead. Every death site funnels through here.
-  auto retire_sandbox = [&](SandboxState& s) {
+  void RetireSandbox(SandboxState& s) {
     s.dead = true;
     if (trace == nullptr) {
       return;
@@ -245,9 +363,9 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     sp.sandbox_id = s.id;
     sp.status = s.init_failed ? OutcomeName(Outcome::kInitFailure) : "";
     trace->Record(sp);
-  };
+  }
 
-  auto cpu_phase_count = [](const SandboxState& s) {
+  static int CpuPhaseCount(const SandboxState& s) {
     int k = 0;
     for (const auto& r : s.inflight) {
       if (r.in_cpu_phase) {
@@ -255,23 +373,23 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       }
     }
     return k;
-  };
+  }
 
-  auto compute_rate = [&](const SandboxState& s) {
-    const int k = cpu_phase_count(s);
+  double ComputeRate(const SandboxState& s) const {
+    const int k = CpuPhaseCount(s);
     if (k == 0) {
       return 0.0;
     }
-    double rate = std::min(1.0, config_.vcpus / static_cast<double>(k));
-    const double excess = std::min(static_cast<double>(k) - config_.vcpus,
-                                   config_.contention_excess_cap);
+    double rate = std::min(1.0, config.vcpus / static_cast<double>(k));
+    const double excess = std::min(static_cast<double>(k) - config.vcpus,
+                                   config.contention_excess_cap);
     if (excess > 0.0) {
-      rate /= 1.0 + config_.contention_coeff * excess;
+      rate /= 1.0 + config.contention_coeff * excess;
     }
     return rate;
-  };
+  }
 
-  auto advance = [&](SandboxState& s) {
+  void Advance(SandboxState& s) {
     const MicroSecs dt = now - s.last_advance;
     if (dt <= 0) {
       return;
@@ -291,9 +409,9 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       }
     }
     s.last_advance = now;
-  };
+  }
 
-  auto schedule_next = [&](SandboxState& s) {
+  void ScheduleNext(SandboxState& s) {
     if (s.dead || s.initializing || s.inflight.empty()) {
       return;
     }
@@ -317,9 +435,9 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       ++s.gen;
       queue.push({next, EventType::kSandboxNext, s.id, s.gen});
     }
-  };
+  }
 
-  auto ready_count = [&] {
+  int ReadyCount() const {
     int n = 0;
     for (const auto& s : sandboxes) {
       if (!s.dead && !s.initializing && !s.draining) {
@@ -327,9 +445,9 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       }
     }
     return n;
-  };
+  }
 
-  auto alive_count = [&] {
+  int AliveCount() const {
     int n = 0;
     for (const auto& s : sandboxes) {
       if (!s.dead) {
@@ -337,32 +455,32 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       }
     }
     return n;
-  };
+  }
 
-  auto create_sandbox = [&]() -> SandboxState& {
+  SandboxState& CreateSandbox() {
     SandboxState s;
     s.id = static_cast<int>(sandboxes.size());
     s.created_at = now;
     s.last_advance = now;
     s.init_failed = faults.SampleInitFailure();
     MicroSecs init = 0;
-    if (config_.coldstart != nullptr) {
-      init = config_.coldstart->Sample(rng).total;
+    if (config.coldstart != nullptr) {
+      init = config.coldstart->Sample(rng).total;
     } else {
-      const double jitter = rng.Uniform(-config_.init_jitter, config_.init_jitter);
+      const double jitter = rng.Uniform(-config.init_jitter, config.init_jitter);
       init = std::max<MicroSecs>(
           1,
-          static_cast<MicroSecs>(static_cast<double>(config_.init_mean) * (1.0 + jitter)));
+          static_cast<MicroSecs>(static_cast<double>(config.init_mean) * (1.0 + jitter)));
     }
     s.ready_at = now + init;
     sandboxes.push_back(std::move(s));
     SandboxState& ref = sandboxes.back();
     queue.push({ref.ready_at, EventType::kInitDone, ref.id, ref.gen});
     return ref;
-  };
+  }
 
   // Starts processing the attempt on a ready sandbox at `now`.
-  auto start_attempt = [&](SandboxState& s, int attempt_idx, bool cold) {
+  void StartAttempt(SandboxState& s, int attempt_idx, bool cold) {
     AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
     RequestOutcome& out = result.requests[static_cast<size_t>(att.req_idx)];
     attempt_started[static_cast<size_t>(attempt_idx)] = 1;
@@ -375,8 +493,8 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     out.cold_start = cold;
     out.init_duration = att.init_duration;
     if (trace != nullptr && now > att.dispatched) {
-      emit_client_span(SpanKind::kQueueWait, att.dispatched, now - att.dispatched,
-                       attempt_idx, "", /*term=*/false);
+      EmitClientSpan(SpanKind::kQueueWait, att.dispatched, now - att.dispatched,
+                     attempt_idx, "", /*term=*/false);
     }
     if (metrics != nullptr) {
       metrics->Observe(mid.queue_wait_ms, MicrosToMillis(now - att.dispatched));
@@ -392,14 +510,14 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       cpu *= 1.0 + rng.Uniform(-workload.cpu_jitter, workload.cpu_jitter);
     }
     r.remaining_cpu = std::max(1.0, cpu);
-    const MicroSecs overhead = config_.serving.Sample(config_.vcpus, rng);
+    const MicroSecs overhead = config.serving.Sample(config.vcpus, rng);
     r.fixed_end = now + overhead + workload.io_wait;
     r.in_cpu_phase = r.fixed_end <= now;
     if (trace != nullptr && overhead > 0) {
-      emit_client_span(SpanKind::kServingOverhead, now, overhead, attempt_idx, "",
-                       /*term=*/false);
+      EmitClientSpan(SpanKind::kServingOverhead, now, overhead, attempt_idx, "",
+                     /*term=*/false);
     }
-    if (config_.faults.crash_prob > 0.0 && faults.SampleCrash()) {
+    if (config.faults.crash_prob > 0.0 && faults.SampleCrash()) {
       // Crash point uniform over the attempt's CPU demand: the attempt fails
       // once the truncated work finishes, billed up to that point.
       r.will_crash = true;
@@ -408,13 +526,13 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     s.inflight.push_back(r);
     ++s.served;
     s.ka_deadline = -1;
-    if (config_.faults.max_exec_duration > 0) {
-      queue.push({now + config_.faults.max_exec_duration, EventType::kExecTimeout, s.id, 0,
+    if (config.faults.max_exec_duration > 0) {
+      queue.push({now + config.faults.max_exec_duration, EventType::kExecTimeout, s.id, 0,
                   attempt_idx});
     }
-  };
+  }
 
-  auto count_failure = [&](Outcome oc) {
+  void CountFailure(Outcome oc) {
     ++result.failed_attempts;
     switch (oc) {
       case Outcome::kInitFailure:
@@ -435,11 +553,11 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       default:
         break;
     }
-  };
+  }
 
   // Client-side resolution of a failed (or abandoned) attempt: schedule a
   // retry, or conclude the request.
-  auto resolve_client = [&](int attempt_idx, Outcome oc) {
+  void ResolveClient(int attempt_idx, Outcome oc) {
     const AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
     RequestOutcome& out = result.requests[static_cast<size_t>(att.req_idx)];
     out.last_error = oc;
@@ -448,11 +566,11 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       // short-circuits must not, or one trip would loop forever.
       breaker.RecordFailure(now);
     }
-    const bool retryable = oc != Outcome::kRejected || config_.retry.retry_rejected;
-    if (retryable && att.attempt < config_.retry.max_attempts) {
-      const MicroSecs delay = config_.retry.BackoffDelay(att.attempt, faults.rng());
+    const bool retryable = oc != Outcome::kRejected || config.retry.retry_rejected;
+    if (retryable && att.attempt < config.retry.max_attempts) {
+      const MicroSecs delay = config.retry.BackoffDelay(att.attempt, faults.rng());
       if (trace != nullptr) {
-        emit_client_span(SpanKind::kBackoff, now, delay, attempt_idx, "", /*term=*/false);
+        EmitClientSpan(SpanKind::kBackoff, now, delay, attempt_idx, "", /*term=*/false);
       }
       if (metrics != nullptr) {
         metrics->Add(mid.retries);
@@ -472,39 +590,39 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       metrics->Observe(mid.e2e_ms, MicrosToMillis(now - out.arrival));
     }
     ++terminal;
-  };
+  }
 
   // Server-side failure of an attempt (caller has already detached it from
   // any sandbox and set exec_duration for started attempts).
-  auto fail_attempt = [&](int attempt_idx, Outcome oc) {
+  void FailAttempt(int attempt_idx, Outcome oc) {
     AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
     att.outcome = oc;
     att.end = now;
     attempt_open[static_cast<size_t>(attempt_idx)] = 0;
     --open_attempts;
-    count_failure(oc);
+    CountFailure(oc);
     if (trace != nullptr) {
       // Started attempts get an exec span; never-admitted ones a terminal
       // wait span from dispatch to the rejection/withdrawal.
       if (attempt_started[static_cast<size_t>(attempt_idx)]) {
-        emit_client_span(SpanKind::kExec, att.start_exec, now - att.start_exec,
-                         attempt_idx, OutcomeName(oc), /*term=*/true);
+        EmitClientSpan(SpanKind::kExec, att.start_exec, now - att.start_exec,
+                       attempt_idx, OutcomeName(oc), /*term=*/true);
       } else {
-        emit_client_span(SpanKind::kQueueWait, att.dispatched, now - att.dispatched,
-                         attempt_idx, OutcomeName(oc), /*term=*/true);
+        EmitClientSpan(SpanKind::kQueueWait, att.dispatched, now - att.dispatched,
+                       attempt_idx, OutcomeName(oc), /*term=*/true);
       }
     }
     if (metrics != nullptr) {
       metrics->Add(mid.failures);
     }
     if (!att.client_abandoned) {
-      resolve_client(attempt_idx, oc);
+      ResolveClient(attempt_idx, oc);
     }
-  };
+  }
 
   // Completes one attempt successfully; delivery only if the client is
   // still waiting.
-  auto complete_attempt = [&](SandboxState& s, size_t pos) {
+  void CompleteAttempt(SandboxState& s, size_t pos) {
     const InFlightReq req = s.inflight[pos];
     s.inflight.erase(s.inflight.begin() + static_cast<int>(pos));
     AttemptOutcome& att = result.attempts[static_cast<size_t>(req.attempt_idx)];
@@ -515,8 +633,8 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     --open_attempts;
     last_completion = std::max(last_completion, now);
     if (trace != nullptr) {
-      emit_client_span(SpanKind::kExec, att.start_exec, now - att.start_exec,
-                       req.attempt_idx, OutcomeName(Outcome::kOk), /*term=*/true);
+      EmitClientSpan(SpanKind::kExec, att.start_exec, now - att.start_exec,
+                     req.attempt_idx, OutcomeName(Outcome::kOk), /*term=*/true);
     }
     if (att.client_abandoned) {
       return;  // The response has no one left to deliver to.
@@ -533,16 +651,16 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       metrics->Observe(mid.e2e_ms, MicrosToMillis(now - out.arrival));
     }
     ++terminal;
-  };
+  }
 
-  auto enter_idle = [&](SandboxState& s) {
-    s.ka_deadline = now + config_.keepalive->SampleDuration(rng, ready_count());
+  void EnterIdle(SandboxState& s) {
+    s.ka_deadline = now + config.keepalive->SampleDuration(rng, ReadyCount());
     ++s.gen;
     queue.push({s.ka_deadline, EventType::kKaExpire, s.id, s.gen});
-  };
+  }
 
   // Pulls queued attempts onto available capacity (multi-concurrency model).
-  auto pull_global_queue = [&] {
+  void PullGlobalQueue() {
     while (!global_queue.empty()) {
       SandboxState* best = nullptr;
       int eligible = 0;
@@ -550,11 +668,11 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         if (s.dead || s.initializing || s.draining) {
           continue;
         }
-        if (static_cast<int>(s.inflight.size()) >= config_.concurrency_limit) {
+        if (static_cast<int>(s.inflight.size()) >= config.concurrency_limit) {
           continue;
         }
         ++eligible;
-        if (config_.routing == RoutingPolicy::kRandom) {
+        if (config.routing == RoutingPolicy::kRandom) {
           // Reservoir pick: uniform among eligible sandboxes.
           if (rng.UniformInt(1, eligible) == 1) {
             best = &s;
@@ -566,38 +684,38 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       if (best == nullptr) {
         return;
       }
-      advance(*best);
+      Advance(*best);
       const int attempt_idx = global_queue.front();
       global_queue.pop_front();
       const bool cold = best->served == 0;
-      start_attempt(*best, attempt_idx, cold);
-      best->rate = compute_rate(*best);
-      schedule_next(*best);
+      StartAttempt(*best, attempt_idx, cold);
+      best->rate = ComputeRate(*best);
+      ScheduleNext(*best);
     }
-  };
+  }
 
   // Sheds one attempt to make room in a full admission queue; returns false
   // when the incoming attempt itself was the victim (reject-newest).
-  auto shed_for = [&](int attempt_idx) {
+  bool ShedFor(int attempt_idx) {
     ++result.shed_attempts;
-    if (config_.admission.shed == ShedPolicy::kRejectNewest) {
-      fail_attempt(attempt_idx, Outcome::kRejected);
+    if (config.admission.shed == ShedPolicy::kRejectNewest) {
+      FailAttempt(attempt_idx, Outcome::kRejected);
       return false;
     }
     // Reject-oldest: the head of the queue has waited longest and is the
     // most likely to time out anyway; fail it to admit the newcomer.
     const int victim = global_queue.front();
     global_queue.pop_front();
-    fail_attempt(victim, Outcome::kRejected);
+    FailAttempt(victim, Outcome::kRejected);
     return true;
-  };
+  }
 
   // Single-concurrency admission pump: when capacity frees up (a sandbox
   // goes idle or dies), admit waiting attempts — warm reuse first, then
   // cold starts while under the instance cap. No-op unless the bounded
   // admission queue is enabled, so default runs never touch it.
-  auto pump_admission = [&] {
-    if (!config_.admission.enabled || multi) {
+  void PumpAdmission() {
+    if (!config.admission.enabled || multi) {
       return;
     }
     while (!global_queue.empty()) {
@@ -616,26 +734,26 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
       const int attempt_idx = global_queue.front();
       if (best != nullptr) {
         global_queue.pop_front();
-        advance(*best);
-        start_attempt(*best, attempt_idx, /*cold=*/false);
-        best->rate = compute_rate(*best);
-        schedule_next(*best);
+        Advance(*best);
+        StartAttempt(*best, attempt_idx, /*cold=*/false);
+        best->rate = ComputeRate(*best);
+        ScheduleNext(*best);
         continue;
       }
-      if (alive_count() < config_.max_instances) {
+      if (AliveCount() < config.max_instances) {
         global_queue.pop_front();
-        SandboxState& fresh = create_sandbox();
+        SandboxState& fresh = CreateSandbox();
         fresh.pending_local.push_back(attempt_idx);
         result.attempts[static_cast<size_t>(attempt_idx)].sandbox_id = fresh.id;
         continue;
       }
       return;  // Still saturated; the queue keeps waiting.
     }
-  };
+  }
 
   // Creates an attempt record for `req_idx` and routes it to a sandbox, the
   // global queue, or immediate rejection.
-  auto dispatch = [&](int req_idx) {
+  void Dispatch(int req_idx) {
     const int attempt_no = next_attempt_no[static_cast<size_t>(req_idx)]++;
     AttemptOutcome att;
     att.req_idx = req_idx;
@@ -653,12 +771,12 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
     if (breaker.enabled() && !breaker.AllowDispatch(now)) {
       // Fast-fail at the client: the attempt never reaches the platform and
       // is never billed (and never starts a client-timeout clock).
-      fail_attempt(attempt_idx, Outcome::kCircuitOpen);
+      FailAttempt(attempt_idx, Outcome::kCircuitOpen);
       return;
     }
-    if (config_.retry.attempt_timeout > 0) {
+    if (config.retry.attempt_timeout > 0) {
       queue.push(
-          {now + config_.retry.attempt_timeout, EventType::kClientTimeout, -1, 0, attempt_idx});
+          {now + config.retry.attempt_timeout, EventType::kClientTimeout, -1, 0, attempt_idx});
     }
     if (!multi) {
       // Reuse the most recently used warm idle sandbox, else cold start.
@@ -675,84 +793,201 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         }
       }
       if (best != nullptr) {
-        advance(*best);
-        start_attempt(*best, attempt_idx, /*cold=*/false);
-        best->rate = compute_rate(*best);
-        // schedule_next bumps the generation, which also invalidates the
+        Advance(*best);
+        StartAttempt(*best, attempt_idx, /*cold=*/false);
+        best->rate = ComputeRate(*best);
+        // ScheduleNext bumps the generation, which also invalidates the
         // pending KA-expiry event of the previously idle sandbox.
-        schedule_next(*best);
+        ScheduleNext(*best);
         return;
       }
-      if (config_.admission.enabled && alive_count() >= config_.max_instances) {
+      if (config.admission.enabled && AliveCount() >= config.max_instances) {
         // Saturated: wait in the bounded admission queue instead of either
         // rejecting outright or scaling past the cap.
-        if (static_cast<int>(global_queue.size()) >= config_.admission.queue_depth &&
-            !shed_for(attempt_idx)) {
+        if (static_cast<int>(global_queue.size()) >= config.admission.queue_depth &&
+            !ShedFor(attempt_idx)) {
           return;  // The newcomer was the shed victim.
         }
         global_queue.push_back(attempt_idx);
-        if (config_.admission.queue_timeout > 0) {
-          queue.push({now + config_.admission.queue_timeout, EventType::kQueueTimeout, -1,
+        if (config.admission.queue_timeout > 0) {
+          queue.push({now + config.admission.queue_timeout, EventType::kQueueTimeout, -1,
                       0, attempt_idx});
         }
         return;
       }
-      if (config_.faults.reject_on_overload && alive_count() >= config_.max_instances) {
-        fail_attempt(attempt_idx, Outcome::kRejected);
+      if (config.faults.reject_on_overload && AliveCount() >= config.max_instances) {
+        FailAttempt(attempt_idx, Outcome::kRejected);
         return;
       }
-      SandboxState& fresh = create_sandbox();
+      SandboxState& fresh = CreateSandbox();
       fresh.pending_local.push_back(attempt_idx);
       result.attempts[static_cast<size_t>(attempt_idx)].sandbox_id = fresh.id;
       return;
     }
     // Multi-concurrency: 429 when the deployment is saturated — at the
     // instance cap with no spare concurrency anywhere and nothing warming up.
-    if (config_.faults.reject_on_overload && alive_count() >= config_.max_instances) {
+    if (config.faults.reject_on_overload && AliveCount() >= config.max_instances) {
       bool spare = false;
       for (const auto& s : sandboxes) {
         if (s.dead) {
           continue;
         }
-        if (s.initializing || static_cast<int>(s.inflight.size()) < config_.concurrency_limit) {
+        if (s.initializing || static_cast<int>(s.inflight.size()) < config.concurrency_limit) {
           spare = true;
           break;
         }
       }
       if (!spare) {
-        fail_attempt(attempt_idx, Outcome::kRejected);
+        FailAttempt(attempt_idx, Outcome::kRejected);
         return;
       }
     }
     // Queue at the ingress and let the pull logic place it. With admission
     // control the ingress queue is bounded: past the depth the shed policy
     // picks a victim, and waits are clocked against queue_timeout.
-    if (config_.admission.enabled) {
-      if (static_cast<int>(global_queue.size()) >= config_.admission.queue_depth &&
-          !shed_for(attempt_idx)) {
+    if (config.admission.enabled) {
+      if (static_cast<int>(global_queue.size()) >= config.admission.queue_depth &&
+          !ShedFor(attempt_idx)) {
         return;
       }
-      if (config_.admission.queue_timeout > 0) {
-        queue.push({now + config_.admission.queue_timeout, EventType::kQueueTimeout, -1, 0,
+      if (config.admission.queue_timeout > 0) {
+        queue.push({now + config.admission.queue_timeout, EventType::kQueueTimeout, -1, 0,
                     attempt_idx});
       }
     }
     global_queue.push_back(attempt_idx);
-    pull_global_queue();
-    if (!global_queue.empty() && alive_count() == 0) {
+    PullGlobalQueue();
+    if (!global_queue.empty() && AliveCount() == 0) {
       // Scale from zero: start one instance immediately; any further
       // scale-out is metric-driven and therefore lags demand (paper §3.1).
-      create_sandbox();
+      CreateSandbox();
     }
-  };
+  }
 
-  while (!queue.empty()) {
-    if (done()) {
-      break;
+  // O(state) invariant scan (AuditLevel::kFull, cadence-gated). Walks every
+  // attempt, queue entry, and sandbox; see DESIGN.md §9 for the catalog.
+  void AuditScan() {
+    auditor->NoteScan();
+    // Request conservation: admitted == concluded + in-flight, expressed as
+    // "the number of open attempt flags equals the open-attempt counter".
+    int64_t open_flags = 0;
+    for (const uint8_t open : attempt_open) {
+      open_flags += open;
     }
+    auditor->CheckLazy(open_flags == open_attempts, "platform.open_attempts", now,
+                       seed, [] { return "attempts"; },
+                       [&] {
+                         return "flagged=" + std::to_string(open_flags) +
+                                " counter=" + std::to_string(open_attempts);
+                       });
+    // Every open attempt is accounted for in exactly one waiting place:
+    // running in a sandbox, parked in the global admission queue, or pending
+    // a cold start.
+    int64_t inflight_total = 0;
+    int64_t pending_total = 0;
+    for (const auto& s : sandboxes) {
+      inflight_total += static_cast<int64_t>(s.inflight.size());
+      pending_total += static_cast<int64_t>(s.pending_local.size());
+      for (const auto& r : s.inflight) {
+        auditor->CheckLazy(attempt_open[static_cast<size_t>(r.attempt_idx)] == 1 &&
+                               attempt_started[static_cast<size_t>(r.attempt_idx)] == 1,
+                           "platform.inflight_attempt_state", now, seed,
+                           [&] { return "sandbox " + std::to_string(s.id); },
+                           [&] {
+                             return "attempt " + std::to_string(r.attempt_idx) +
+                                    " resident but not open+started";
+                           });
+      }
+      for (const int a : s.pending_local) {
+        auditor->CheckLazy(attempt_open[static_cast<size_t>(a)] == 1 &&
+                               attempt_started[static_cast<size_t>(a)] == 0,
+                           "platform.pending_attempt_state", now, seed,
+                           [&] { return "sandbox " + std::to_string(s.id); },
+                           [&] {
+                             return "attempt " + std::to_string(a) +
+                                    " pending but not open";
+                           });
+      }
+    }
+    for (const int a : global_queue) {
+      auditor->CheckLazy(attempt_open[static_cast<size_t>(a)] == 1 &&
+                             attempt_started[static_cast<size_t>(a)] == 0,
+                         "platform.queued_attempt_state", now, seed,
+                         [] { return "global queue"; },
+                         [&] {
+                           return "attempt " + std::to_string(a) +
+                                  " queued but not open";
+                         });
+    }
+    auditor->CheckLazy(
+        open_attempts == inflight_total + static_cast<int64_t>(global_queue.size()) +
+                             pending_total,
+        "platform.request_conservation", now, seed, [] { return "attempts"; },
+        [&] {
+          return "open=" + std::to_string(open_attempts) + " inflight=" +
+                 std::to_string(inflight_total) + " queued=" +
+                 std::to_string(global_queue.size()) + " pending=" +
+                 std::to_string(pending_total);
+        });
+    // Capacity accounting: every sandbox is in exactly one of
+    // dead / initializing / draining / busy / idle.
+    int64_t dead = 0, initializing = 0, draining = 0, busy = 0, idle = 0;
+    for (const auto& s : sandboxes) {
+      if (s.dead) {
+        ++dead;
+      } else if (s.initializing) {
+        ++initializing;
+      } else if (s.draining) {
+        ++draining;
+      } else if (!s.inflight.empty()) {
+        ++busy;
+      } else {
+        ++idle;
+      }
+      // Time accounting: once ready, every elapsed microsecond up to the
+      // sandbox's accounting horizon is either busy or idle.
+      if (!s.dead && !s.initializing) {
+        auditor->CheckLazy(s.busy_time + s.idle_time == s.last_advance - s.ready_at,
+                           "platform.sandbox_time_accounting", now, seed,
+                           [&] { return "sandbox " + std::to_string(s.id); },
+                           [&] {
+                             return "busy=" + std::to_string(s.busy_time) +
+                                    " idle=" + std::to_string(s.idle_time) +
+                                    " horizon=" +
+                                    std::to_string(s.last_advance - s.ready_at);
+                           });
+      }
+      auditor->CheckLazy(s.last_advance <= now, "platform.sandbox_clock", now,
+                         seed,
+                         [&] { return "sandbox " + std::to_string(s.id); },
+                         [&] {
+                           return "last_advance=" + std::to_string(s.last_advance);
+                         });
+    }
+    auditor->CheckLazy(
+        dead + initializing + draining + busy + idle ==
+            static_cast<int64_t>(sandboxes.size()),
+        "platform.capacity_accounting", now, seed, [] { return "fleet"; },
+        [&] {
+          return "categories sum to " +
+                 std::to_string(dead + initializing + draining + busy + idle) +
+                 " of " + std::to_string(sandboxes.size());
+        });
+  }
+
+  void StepOne() {
     const Event ev = queue.top();
     queue.pop();
+    if (auditor != nullptr && auditor->basic()) {
+      auditor->CheckLazy(ev.time >= now, "platform.monotone_event_time", now,
+                         seed, [] { return "event queue"; },
+                         [&] {
+                           return "event at t=" + std::to_string(ev.time) +
+                                  " after t=" + std::to_string(now);
+                         });
+    }
     now = ev.time;
+    ++events_processed;
     switch (ev.type) {
       case EventType::kArrival:
       case EventType::kRetryArrival: {
@@ -760,9 +995,9 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         // Idle-time feedback for predictive keep-alive (paper §3.3); retry
         // re-arrivals are arrivals from the platform's point of view too.
         if (last_completion >= 0 && now > last_completion) {
-          config_.keepalive->ObserveIdleInterval(now - last_completion);
+          config.keepalive->ObserveIdleInterval(now - last_completion);
         }
-        dispatch(ev.req_idx);
+        Dispatch(ev.req_idx);
         break;
       }
       case EventType::kInitDone: {
@@ -770,7 +1005,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         if (s.dead || !s.initializing) {
           break;
         }
-        advance(s);
+        Advance(s);
         if (trace != nullptr) {
           Span sp;
           sp.kind = SpanKind::kInit;
@@ -787,7 +1022,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         if (s.init_failed) {
           // The sandbox never becomes ready; its waiting attempts fail after
           // the (wasted, possibly billed) initialization time.
-          retire_sandbox(s);
+          RetireSandbox(s);
           const MicroSecs init = s.ready_at - s.created_at;
           for (int attempt_idx : s.pending_local) {
             if (!attempt_open[static_cast<size_t>(attempt_idx)]) {
@@ -796,11 +1031,11 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
             AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
             att.cold_start = true;
             att.init_duration = init;
-            fail_attempt(attempt_idx, Outcome::kInitFailure);
+            FailAttempt(attempt_idx, Outcome::kInitFailure);
           }
           s.pending_local.clear();
-          if (multi && !global_queue.empty() && alive_count() == 0) {
-            create_sandbox();  // The platform provisions a replacement.
+          if (multi && !global_queue.empty() && AliveCount() == 0) {
+            CreateSandbox();  // The platform provisions a replacement.
           }
           break;
         }
@@ -810,22 +1045,22 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
             if (!attempt_open[static_cast<size_t>(attempt_idx)]) {
               continue;  // Withdrawn by a client timeout.
             }
-            start_attempt(s, attempt_idx, /*cold=*/true);
+            StartAttempt(s, attempt_idx, /*cold=*/true);
           }
           s.pending_local.clear();
           if (!s.inflight.empty()) {
-            s.rate = compute_rate(s);
-            schedule_next(s);
+            s.rate = ComputeRate(s);
+            ScheduleNext(s);
           } else {
-            enter_idle(s);  // Every waiting client gave up during init.
+            EnterIdle(s);  // Every waiting client gave up during init.
           }
         } else if (multi) {
-          pull_global_queue();
+          PullGlobalQueue();
           if (s.inflight.empty()) {
-            enter_idle(s);
+            EnterIdle(s);
           }
         } else if (s.inflight.empty()) {
-          enter_idle(s);
+          EnterIdle(s);
         }
         break;
       }
@@ -834,7 +1069,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         if (s.dead || ev.gen != s.gen) {
           break;
         }
-        advance(s);
+        Advance(s);
         // Fixed-phase transitions first, then completions.
         for (auto& r : s.inflight) {
           if (!r.in_cpu_phase && r.fixed_end <= now) {
@@ -849,40 +1084,40 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
               s.inflight.erase(s.inflight.begin() + static_cast<int>(i));
               AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
               att.exec_duration = now - att.start_exec;
-              fail_attempt(attempt_idx, Outcome::kCrash);
+              FailAttempt(attempt_idx, Outcome::kCrash);
               crashed = true;
             } else {
-              complete_attempt(s, i);
+              CompleteAttempt(s, i);
             }
           }
         }
-        if (crashed && config_.faults.crash_kills_sandbox) {
+        if (crashed && config.faults.crash_kills_sandbox) {
           // Process death: co-resident in-flight requests die with it, and
           // the next arrival pays a cold start.
           for (const auto& r : s.inflight) {
             AttemptOutcome& att = result.attempts[static_cast<size_t>(r.attempt_idx)];
             att.exec_duration = now - att.start_exec;
-            fail_attempt(r.attempt_idx, Outcome::kCrash);
+            FailAttempt(r.attempt_idx, Outcome::kCrash);
           }
           s.inflight.clear();
-          retire_sandbox(s);
-          if (multi && !global_queue.empty() && alive_count() == 0) {
-            create_sandbox();
+          RetireSandbox(s);
+          if (multi && !global_queue.empty() && AliveCount() == 0) {
+            CreateSandbox();
           }
           break;
         }
-        s.rate = compute_rate(s);
+        s.rate = ComputeRate(s);
         if (s.inflight.empty()) {
           if (s.draining) {
-            retire_sandbox(s);  // Drain complete: the instance retires cleanly.
+            RetireSandbox(s);  // Drain complete: the instance retires cleanly.
           } else {
-            enter_idle(s);
+            EnterIdle(s);
           }
           if (multi) {
-            pull_global_queue();
+            PullGlobalQueue();
           }
         } else {
-          schedule_next(s);
+          ScheduleNext(s);
         }
         break;
       }
@@ -904,22 +1139,22 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         if (pos == s.inflight.size()) {
           break;
         }
-        advance(s);
+        Advance(s);
         s.inflight.erase(s.inflight.begin() + static_cast<int>(pos));
         att.exec_duration = now - att.start_exec;  // Billed through the timeout.
-        fail_attempt(attempt_idx, Outcome::kTimeout);
-        s.rate = compute_rate(s);
+        FailAttempt(attempt_idx, Outcome::kTimeout);
+        s.rate = ComputeRate(s);
         if (s.inflight.empty()) {
           if (s.draining) {
-            retire_sandbox(s);
+            RetireSandbox(s);
           } else {
-            enter_idle(s);
+            EnterIdle(s);
           }
           if (multi) {
-            pull_global_queue();
+            PullGlobalQueue();
           }
         } else {
-          schedule_next(s);
+          ScheduleNext(s);
         }
         break;
       }
@@ -948,10 +1183,10 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
           att.end = now;
           attempt_open[static_cast<size_t>(attempt_idx)] = 0;
           --open_attempts;
-          count_failure(Outcome::kTimeout);
+          CountFailure(Outcome::kTimeout);
           if (trace != nullptr) {
-            emit_client_span(SpanKind::kQueueWait, att.dispatched, now - att.dispatched,
-                             attempt_idx, OutcomeName(Outcome::kTimeout), /*term=*/true);
+            EmitClientSpan(SpanKind::kQueueWait, att.dispatched, now - att.dispatched,
+                           attempt_idx, OutcomeName(Outcome::kTimeout), /*term=*/true);
           }
           if (metrics != nullptr) {
             metrics->Add(mid.failures);
@@ -959,7 +1194,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         }
         // Started attempts keep running (and billing) server-side; the
         // client moves on either way.
-        resolve_client(attempt_idx, Outcome::kTimeout);
+        ResolveClient(attempt_idx, Outcome::kTimeout);
         break;
       }
       case EventType::kQueueTimeout: {
@@ -977,7 +1212,7 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         }
         global_queue.erase(it);
         ++result.queue_timeout_attempts;
-        fail_attempt(attempt_idx, Outcome::kTimeout);
+        FailAttempt(attempt_idx, Outcome::kTimeout);
         break;
       }
       case EventType::kDrainDeadline: {
@@ -985,19 +1220,19 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         if (s.dead || !s.draining) {
           break;
         }
-        advance(s);
+        Advance(s);
         // The drain budget is spent: whatever is still running dies with
         // the instance (the cost of degrading gracefully but not infinitely).
         for (const auto& r : s.inflight) {
           AttemptOutcome& att = result.attempts[static_cast<size_t>(r.attempt_idx)];
           att.exec_duration = now - att.start_exec;
           ++result.drain_killed_attempts;
-          fail_attempt(r.attempt_idx, Outcome::kCrash);
+          FailAttempt(r.attempt_idx, Outcome::kCrash);
         }
         s.inflight.clear();
-        retire_sandbox(s);
-        if (multi && !global_queue.empty() && alive_count() == 0) {
-          create_sandbox();
+        RetireSandbox(s);
+        if (multi && !global_queue.empty() && AliveCount() == 0) {
+          CreateSandbox();
         }
         break;
       }
@@ -1006,20 +1241,20 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
         if (s.dead || ev.gen != s.gen || !s.inflight.empty() || s.initializing) {
           break;
         }
-        advance(s);
-        retire_sandbox(s);
+        Advance(s);
+        RetireSandbox(s);
         break;
       }
       case EventType::kScalerEval: {
-        const int ready = ready_count();
+        const int ready = ReadyCount();
         const int desired = scaler.DesiredInstances(now);
-        const int alive = alive_count();
+        const int alive = AliveCount();
         const bool cooled_down =
             now - last_scale_action >= scaler_config.action_cooldown;
         if (desired > alive && cooled_down) {
-          const int target = std::min(desired, config_.max_instances);
+          const int target = std::min(desired, config.max_instances);
           for (int i = alive; i < target; ++i) {
-            create_sandbox();
+            CreateSandbox();
           }
           last_scale_action = now;
         } else if (desired < ready && global_queue.empty() && cooled_down) {
@@ -1030,12 +1265,12 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
               break;
             }
             if (!s.dead && !s.initializing && !s.draining && s.inflight.empty()) {
-              advance(s);
-              retire_sandbox(s);
+              Advance(s);
+              RetireSandbox(s);
               --to_remove;
             }
           }
-          if (config_.scaledown_drains_busy) {
+          if (config.scaledown_drains_busy) {
             // Graceful degradation: surplus busy instances stop taking new
             // work and get drain_deadline to finish what they hold.
             for (auto& s : sandboxes) {
@@ -1043,19 +1278,19 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
                 break;
               }
               if (!s.dead && !s.initializing && !s.draining && !s.inflight.empty()) {
-                advance(s);
+                Advance(s);
                 s.draining = true;
                 s.drain_started = now;
                 ++result.drained_sandboxes;
-                queue.push({now + config_.drain_deadline, EventType::kDrainDeadline, s.id});
+                queue.push({now + config.drain_deadline, EventType::kDrainDeadline, s.id});
                 --to_remove;
               }
             }
           }
           last_scale_action = now;
         }
-        if (!done()) {
-          queue.push({now + config_.autoscaler.eval_interval, EventType::kScalerEval});
+        if (!Done()) {
+          queue.push({now + config.autoscaler.eval_interval, EventType::kScalerEval});
         }
         break;
       }
@@ -1074,10 +1309,10 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
             // Utilization = busy-time fraction over the last sample interval
             // (what a CPU-usage metric reports), not the instantaneous
             // in-flight indicator.
-            advance(s);
+            Advance(s);
             const double busy_frac =
                 static_cast<double>(s.busy_time - s.busy_snapshot) /
-                static_cast<double>(config_.autoscaler.sample_interval);
+                static_cast<double>(config.autoscaler.sample_interval);
             s.busy_snapshot = s.busy_time;
             util_sum += std::clamp(busy_frac, 0.0, 1.0);
           }
@@ -1097,35 +1332,362 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
           metrics->Set(mid.breaker_open, breaker.open() ? 1.0 : 0.0);
           metrics->Sample(now);
         }
-        if (config_.autoscaler_enabled) {
+        if (config.autoscaler_enabled) {
           // Consumed-CPU metric (what a CPU-utilization target observes):
           // the sum of per-instance busy fractions times the allocation,
           // physically capped at the deployed capacity.
-          scaler.AddSample(now, util_sum * config_.vcpus);
+          scaler.AddSample(now, util_sum * config.vcpus);
         }
         arrivals_since_sample = 0;
-        if (!done()) {
-          queue.push({now + config_.autoscaler.sample_interval, EventType::kSample});
+        if (!Done()) {
+          queue.push({now + config.autoscaler.sample_interval, EventType::kSample});
         }
         break;
       }
     }
     // Any event can free capacity (idle sandbox, death, KA expiry); admit
     // waiting single-model attempts as soon as it does. No-op by default.
-    pump_admission();
+    PumpAdmission();
+    if (auditor != nullptr) {
+      if (auditor->basic()) {
+        auditor->CheckLazy(open_attempts >= 0,
+                           "platform.open_attempts_nonnegative", now, seed,
+                           [] { return "attempts"; },
+                           [&] { return std::to_string(open_attempts); });
+        auditor->CheckLazy(terminal <= result.requests.size(),
+                           "platform.terminal_bound", now, seed,
+                           [] { return "requests"; },
+                           [&] {
+                             return std::to_string(terminal) + " of " +
+                                    std::to_string(result.requests.size());
+                           });
+      }
+      if (auditor->ScanDue(events_processed)) {
+        AuditScan();
+      }
+    }
   }
 
+  // The complete mutable state, walked once for save, load, and digest (see
+  // src/integrity/archive.h). Every field a resumed run reads must be here.
+  template <typename Ar>
+  void Archive(Ar& ar) {
+    ar.Field("now", now);
+    uint64_t term = terminal;
+    ar.Field("terminal", term);
+    if constexpr (Ar::kLoading) {
+      terminal = static_cast<size_t>(term);
+    }
+    ar.Field("open_attempts", open_attempts);
+    ar.Field("last_scale_action", last_scale_action);
+    ar.Field("arrivals_since_sample", arrivals_since_sample);
+    ar.Field("last_completion", last_completion);
+    ar.Field("events_processed", events_processed);
+
+    ar.Begin("workload");
+    ar.Field("name", workload.name);
+    ar.Field("cpu_time", workload.cpu_time);
+    ar.Field("io_wait", workload.io_wait);
+    ar.Field("memory_footprint", workload.memory_footprint);
+    ar.Field("cpu_jitter", workload.cpu_jitter);
+    ar.End();
+
+    ArchiveRng(ar, "rng", rng);
+    ArchiveRng(ar, "fault_rng", faults.rng());
+    ArchiveBreaker(ar, "breaker", breaker);
+    ArchiveScaler(ar, "scaler_samples", scaler);
+    ArchiveKeepAlive(ar, "keepalive", *config.keepalive);
+
+    {
+      std::vector<Event>& events = queue.raw();
+      const size_t n = ar.BeginArray("events", events.size());
+      if constexpr (Ar::kLoading) {
+        events.resize(n);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        ar.BeginElem();
+        Event& e = events[i];
+        ar.Field("t", e.time);
+        int type = static_cast<int>(e.type);
+        ar.Field("k", type);
+        if constexpr (Ar::kLoading) {
+          e.type = static_cast<EventType>(type);
+        }
+        ar.Field("sb", e.sandbox_id);
+        ar.Field("g", e.gen);
+        ar.Field("r", e.req_idx);
+        ar.EndElem();
+      }
+      ar.EndArray();
+    }
+
+    {
+      std::vector<int64_t> gq(global_queue.begin(), global_queue.end());
+      ar.I64Vec("global_queue", gq);
+      if constexpr (Ar::kLoading) {
+        global_queue.clear();
+        for (const int64_t v : gq) {
+          global_queue.push_back(static_cast<int>(v));
+        }
+      }
+    }
+    {
+      std::vector<int64_t> nums(next_attempt_no.begin(), next_attempt_no.end());
+      ar.I64Vec("next_attempt_no", nums);
+      if constexpr (Ar::kLoading) {
+        next_attempt_no.clear();
+        for (const int64_t v : nums) {
+          next_attempt_no.push_back(static_cast<int>(v));
+        }
+      }
+    }
+    {
+      std::vector<int64_t> flags(attempt_open.begin(), attempt_open.end());
+      ar.I64Vec("attempt_open", flags);
+      if constexpr (Ar::kLoading) {
+        attempt_open.clear();
+        for (const int64_t v : flags) {
+          attempt_open.push_back(static_cast<uint8_t>(v));
+        }
+      }
+    }
+    {
+      std::vector<int64_t> flags(attempt_started.begin(), attempt_started.end());
+      ar.I64Vec("attempt_started", flags);
+      if constexpr (Ar::kLoading) {
+        attempt_started.clear();
+        for (const int64_t v : flags) {
+          attempt_started.push_back(static_cast<uint8_t>(v));
+        }
+      }
+    }
+
+    {
+      const size_t n = ar.BeginArray("sandboxes", sandboxes.size());
+      if constexpr (Ar::kLoading) {
+        sandboxes.resize(n);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        SandboxState& s = sandboxes[i];
+        ar.BeginElem();
+        ar.Field("id", s.id);
+        ar.Field("dead", s.dead);
+        ar.Field("initializing", s.initializing);
+        ar.Field("draining", s.draining);
+        ar.Field("init_failed", s.init_failed);
+        ar.Field("created_at", s.created_at);
+        ar.Field("ready_at", s.ready_at);
+        ar.Field("drain_started", s.drain_started);
+        ar.Field("last_advance", s.last_advance);
+        ar.Field("rate", s.rate);
+        ar.Field("gen", s.gen);
+        ar.Field("ka_deadline", s.ka_deadline);
+        ar.Field("served", s.served);
+        ar.Field("busy_time", s.busy_time);
+        ar.Field("idle_time", s.idle_time);
+        ar.Field("busy_snapshot", s.busy_snapshot);
+        {
+          const size_t m = ar.BeginArray("inflight", s.inflight.size());
+          if constexpr (Ar::kLoading) {
+            s.inflight.resize(m);
+          }
+          for (size_t j = 0; j < m; ++j) {
+            InFlightReq& r = s.inflight[j];
+            ar.BeginElem();
+            ar.Field("req_idx", r.req_idx);
+            ar.Field("attempt_idx", r.attempt_idx);
+            ar.Field("remaining_cpu", r.remaining_cpu);
+            ar.Field("in_cpu_phase", r.in_cpu_phase);
+            ar.Field("will_crash", r.will_crash);
+            ar.Field("fixed_end", r.fixed_end);
+            ar.EndElem();
+          }
+          ar.EndArray();
+        }
+        {
+          std::vector<int64_t> pend(s.pending_local.begin(), s.pending_local.end());
+          ar.I64Vec("pending_local", pend);
+          if constexpr (Ar::kLoading) {
+            s.pending_local.clear();
+            for (const int64_t v : pend) {
+              s.pending_local.push_back(static_cast<int>(v));
+            }
+          }
+        }
+        ar.EndElem();
+      }
+      ar.EndArray();
+    }
+
+    {
+      const size_t n = ar.BeginArray("requests", result.requests.size());
+      if constexpr (Ar::kLoading) {
+        result.requests.resize(n);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        RequestOutcome& r = result.requests[i];
+        ar.BeginElem();
+        ar.Field("arrival", r.arrival);
+        ar.Field("start_exec", r.start_exec);
+        ar.Field("completion", r.completion);
+        ar.Field("reported_duration", r.reported_duration);
+        ar.Field("e2e_latency", r.e2e_latency);
+        ar.Field("cold_start", r.cold_start);
+        ar.Field("init_duration", r.init_duration);
+        ar.Field("sandbox_id", r.sandbox_id);
+        int outcome = static_cast<int>(r.outcome);
+        int last_error = static_cast<int>(r.last_error);
+        ar.Field("outcome", outcome);
+        ar.Field("last_error", last_error);
+        if constexpr (Ar::kLoading) {
+          r.outcome = static_cast<Outcome>(outcome);
+          r.last_error = static_cast<Outcome>(last_error);
+        }
+        ar.Field("attempts", r.attempts);
+        ar.EndElem();
+      }
+      ar.EndArray();
+    }
+
+    {
+      const size_t n = ar.BeginArray("attempts", result.attempts.size());
+      if constexpr (Ar::kLoading) {
+        result.attempts.resize(n);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        AttemptOutcome& a = result.attempts[i];
+        ar.BeginElem();
+        ar.Field("req_idx", a.req_idx);
+        ar.Field("attempt", a.attempt);
+        int outcome = static_cast<int>(a.outcome);
+        ar.Field("outcome", outcome);
+        if constexpr (Ar::kLoading) {
+          a.outcome = static_cast<Outcome>(outcome);
+        }
+        ar.Field("dispatched", a.dispatched);
+        ar.Field("start_exec", a.start_exec);
+        ar.Field("end", a.end);
+        ar.Field("exec_duration", a.exec_duration);
+        ar.Field("cold_start", a.cold_start);
+        ar.Field("init_duration", a.init_duration);
+        ar.Field("sandbox_id", a.sandbox_id);
+        ar.Field("client_abandoned", a.client_abandoned);
+        ar.EndElem();
+      }
+      ar.EndArray();
+    }
+
+    {
+      const size_t n = ar.BeginArray("timeline", result.timeline.size());
+      if constexpr (Ar::kLoading) {
+        result.timeline.resize(n);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        TimelineSample& s = result.timeline[i];
+        ar.BeginElem();
+        ar.Field("time", s.time);
+        ar.Field("instances", s.instances);
+        ar.Field("ready_instances", s.ready_instances);
+        ar.Field("busy_requests", s.busy_requests);
+        ar.Field("avg_utilization", s.avg_utilization);
+        ar.EndElem();
+      }
+      ar.EndArray();
+    }
+
+    ar.Begin("counters");
+    ar.Field("failed_attempts", result.failed_attempts);
+    ar.Field("init_failure_attempts", result.init_failure_attempts);
+    ar.Field("crash_attempts", result.crash_attempts);
+    ar.Field("timeout_attempts", result.timeout_attempts);
+    ar.Field("rejected_attempts", result.rejected_attempts);
+    ar.Field("circuit_open_attempts", result.circuit_open_attempts);
+    ar.Field("queue_timeout_attempts", result.queue_timeout_attempts);
+    ar.Field("shed_attempts", result.shed_attempts);
+    ar.Field("drained_sandboxes", result.drained_sandboxes);
+    ar.Field("drain_killed_attempts", result.drain_killed_attempts);
+    ar.End();
+  }
+};
+
+PlatformEngine::PlatformEngine(PlatformSimConfig config, uint64_t seed) {
+  const std::vector<std::string> errors = config.Validate();
+  if (!errors.empty()) {
+    std::string msg = "invalid PlatformSimConfig";
+    for (const auto& e : errors) {
+      msg += "; " + e;
+    }
+    throw std::invalid_argument(msg);
+  }
+  impl_ = std::make_unique<Impl>(std::move(config), seed);
+}
+
+PlatformEngine::~PlatformEngine() = default;
+PlatformEngine::PlatformEngine(PlatformEngine&&) noexcept = default;
+PlatformEngine& PlatformEngine::operator=(PlatformEngine&&) noexcept = default;
+
+void PlatformEngine::Start(const std::vector<MicroSecs>& arrivals,
+                           const WorkloadSpec& workload) {
+  Impl& im = *impl_;
+  if (im.started) {
+    throw std::logic_error("PlatformEngine::Start called twice");
+  }
+  im.started = true;
+  im.workload = workload;
+  im.result.requests.resize(arrivals.size());
+  im.result.attempts.reserve(arrivals.size());
+  im.next_attempt_no.assign(arrivals.size(), 1);
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    assert(i == 0 || arrivals[i] >= arrivals[i - 1]);
+    im.queue.push({arrivals[i], EventType::kArrival, -1, 0, static_cast<int>(i)});
+    im.result.requests[i].arrival = arrivals[i];
+  }
+  if (!arrivals.empty()) {
+    im.queue.push(
+        {arrivals.front() + im.config.autoscaler.sample_interval, EventType::kSample});
+    if (im.config.autoscaler_enabled) {
+      im.queue.push({arrivals.front() + im.config.autoscaler.eval_interval,
+                     EventType::kScalerEval});
+    }
+  }
+}
+
+void PlatformEngine::AdvanceUntil(MicroSecs t) {
+  Impl& im = *impl_;
+  while (!im.queue.empty() && !im.Done() && im.queue.top().time <= t) {
+    im.StepOne();
+  }
+}
+
+void PlatformEngine::RunToEnd() {
+  Impl& im = *impl_;
+  while (!im.queue.empty() && !im.Done()) {
+    im.StepOne();
+  }
+}
+
+bool PlatformEngine::done() const { return impl_->Done(); }
+
+MicroSecs PlatformEngine::now() const { return impl_->now; }
+
+PlatformSimResult PlatformEngine::Finish() {
+  Impl& im = *impl_;
+  if (im.finished) {
+    throw std::logic_error("PlatformEngine::Finish called twice");
+  }
+  im.finished = true;
+  PlatformSimResult& result = im.result;
   // Finalize accounting; surviving sandboxes are closed at the last event.
-  for (auto& s : sandboxes) {
-    advance(s);
+  for (auto& s : im.sandboxes) {
+    im.Advance(s);
     if (!s.dead) {
-      retire_sandbox(s);  // Emits the lifetime span for survivors.
+      im.RetireSandbox(s);  // Emits the lifetime span for survivors.
     }
     SandboxAccounting acc;
     acc.sandbox_id = s.id;
     acc.created_at = s.created_at;
-    acc.destroyed_at = now;
-    acc.init_time = std::min(s.ready_at, now) - s.created_at;
+    acc.destroyed_at = im.now;
+    acc.init_time = std::min(s.ready_at, im.now) - s.created_at;
     acc.busy_time = s.busy_time;
     acc.idle_time = s.idle_time;
     result.total_instance_seconds += MicrosToSecs(acc.destroyed_at - acc.created_at);
@@ -1143,8 +1705,49 @@ PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
   }
   result.retries =
       static_cast<int64_t>(result.attempts.size()) - static_cast<int64_t>(result.requests.size());
-  result.breaker_trips = breaker.trips();
-  return result;
+  result.breaker_trips = im.breaker.trips();
+  return std::move(result);
+}
+
+void PlatformEngine::SaveState(JsonWriter& w) {
+  Saver ar(&w);
+  w.BeginObject();
+  impl_->Archive(ar);
+  w.EndObject();
+}
+
+void PlatformEngine::LoadState(const JsonValue& state) {
+  Impl& im = *impl_;
+  if (im.started) {
+    throw std::logic_error("PlatformEngine::LoadState on a started engine");
+  }
+  im.started = true;
+  Loader ar(&state);
+  im.Archive(ar);
+}
+
+uint64_t PlatformEngine::Digest() {
+  StateDigest d;
+  d.MixLabel("platform-state-v1");
+  Digester ar(&d);
+  impl_->Archive(ar);
+  return d.value();
+}
+
+uint64_t PlatformEngine::ConfigHash() const {
+  return HashPlatformConfig(impl_->config, impl_->seed);
+}
+
+const PlatformSimConfig& PlatformEngine::config() const { return impl_->config; }
+
+uint64_t PlatformEngine::seed() const { return impl_->seed; }
+
+PlatformSimResult PlatformSim::Run(const std::vector<MicroSecs>& arrivals,
+                                   const WorkloadSpec& workload) {
+  PlatformEngine engine(config_, seed_);
+  engine.Start(arrivals, workload);
+  engine.RunToEnd();
+  return engine.Finish();
 }
 
 std::vector<MicroSecs> UniformArrivals(double rps, MicroSecs duration) {

@@ -23,8 +23,11 @@
 #include <string>
 #include <vector>
 
+#include "src/common/json_reader.h"
+#include "src/common/json_writer.h"
 #include "src/common/rng.h"
 #include "src/common/units.h"
+#include "src/integrity/integrity.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/platform/autoscaler.h"
@@ -98,6 +101,12 @@ struct PlatformSimConfig {
   // sample_interval cadence.
   TraceSink* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
+  // Runtime invariant auditor (non-owning, same null-sink contract as the
+  // observability hooks): null reduces every check to one pointer test and
+  // leaves results bit-identical. Attached, it verifies conservation laws
+  // over live simulator state and throws IntegrityViolation on the first
+  // inconsistency (see src/integrity and DESIGN.md §9).
+  Auditor* auditor = nullptr;
 
   // Human-readable config errors; empty when valid. PlatformSim's
   // constructor throws std::invalid_argument on a non-empty result.
@@ -181,6 +190,59 @@ struct PlatformSimResult {
   int64_t breaker_trips = 0;          // Closed->open transitions.
   int64_t drained_sandboxes = 0;      // Busy sandboxes put into draining.
   int64_t drain_killed_attempts = 0;  // In-flight work killed at the drain deadline.
+};
+
+// Stepwise simulator core: the same discrete-event machine PlatformSim::Run
+// drives, exposed as an explicit engine so runs can be paused, digested,
+// checkpointed, and resumed. `run-to-T2` and `run-to-T1 + checkpoint +
+// resume-to-T2` produce bit-identical state (and therefore equal Digest()
+// values) because SaveState/LoadState/Digest all walk the complete mutable
+// state — event queue included, heap array verbatim — through one shared
+// archive template.
+class PlatformEngine {
+ public:
+  // Throws std::invalid_argument when `config.Validate()` reports errors.
+  PlatformEngine(PlatformSimConfig config, uint64_t seed);
+  ~PlatformEngine();
+  PlatformEngine(PlatformEngine&&) noexcept;
+  PlatformEngine& operator=(PlatformEngine&&) noexcept;
+
+  // Seeds the event queue from the arrival trace (sorted ascending). Call
+  // exactly once on a fresh engine; resumed engines LoadState instead.
+  void Start(const std::vector<MicroSecs>& arrivals, const WorkloadSpec& workload);
+
+  // Processes every event with time <= t (deterministic boundary: event
+  // ordering is by time with stable heap tie-breaking).
+  void AdvanceUntil(MicroSecs t);
+  void RunToEnd();
+
+  // All requests terminal and no attempt open.
+  bool done() const;
+  // Time of the last processed event.
+  MicroSecs now() const;
+
+  // Finalizes sandbox accounting and derived counters and returns the
+  // result. Call once, after RunToEnd (or at any stopping point).
+  PlatformSimResult Finish();
+
+  // Writes the complete mutable state as one JSON object (checkpoint
+  // "state" blob).
+  void SaveState(JsonWriter& w);
+  // Restores state saved by SaveState into a freshly constructed engine
+  // with an identical config and seed. Replaces Start.
+  void LoadState(const JsonValue& state);
+  // Canonical digest over the same state SaveState covers.
+  uint64_t Digest();
+  // Digest of the effective configuration + seed, stored in checkpoint
+  // headers to reject resumes under a different setup.
+  uint64_t ConfigHash() const;
+
+  const PlatformSimConfig& config() const;
+  uint64_t seed() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 class PlatformSim {

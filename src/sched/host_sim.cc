@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "src/common/rng.h"
 #include "src/sched/profiler.h"
@@ -56,12 +57,42 @@ HostSimResult SimulateHost(const HostSimConfig& config,
   std::vector<size_t> runnable;
   runnable.reserve(n);
 
+  Auditor* const auditor = config.auditor;
   for (MicroSecs now = 0; now < config.duration; now += config.tick) {
     // Quota refills at period boundaries.
     if (now % config.period == 0 && now > 0) {
       for (size_t i = 0; i < n; ++i) {
         state[i].pool = static_cast<int64_t>(tenants[i].quota_fraction *
                                              static_cast<double>(config.period));
+      }
+      if (auditor != nullptr && auditor->full()) {
+        // Core-time conservation at every refill boundary: the CPU handed to
+        // tenants is exactly the busy core time, and each tenant's runnable
+        // time partitions into obtained + throttled + preempted ticks.
+        auditor->NoteScan();
+        MicroSecs obtained = 0;
+        for (size_t i = 0; i < n; ++i) {
+          const TenantResult& tr = result.tenants[i];
+          obtained += tr.cpu_obtained;
+          const MicroSecs gap_ticks =
+              (tr.throttled_ticks + tr.preempted_ticks) * config.tick;
+          auditor->CheckLazy(tr.runnable_time == tr.cpu_obtained + gap_ticks,
+                             "host.tenant_time_accounting", now, seed,
+                             [&] { return "tenant " + std::to_string(i); },
+                             [&] {
+                               return "runnable=" + std::to_string(tr.runnable_time) +
+                                      " obtained=" + std::to_string(tr.cpu_obtained) +
+                                      " gaps=" + std::to_string(gap_ticks);
+                             });
+        }
+        auditor->CheckLazy(obtained == busy_core_ticks * config.tick,
+                           "host.core_conservation", now, seed,
+                           [] { return "host"; },
+                           [&] {
+                             return "tenant_cpu=" + std::to_string(obtained) +
+                                    " busy_core_time=" +
+                                    std::to_string(busy_core_ticks * config.tick);
+                           });
       }
     }
     // Demand phase flips.
@@ -86,6 +117,15 @@ HostSimResult SimulateHost(const HostSimConfig& config,
     const size_t running = std::min<size_t>(runnable.size(),
                                             static_cast<size_t>(config.cores));
     busy_core_ticks += static_cast<int64_t>(running);
+    if (auditor != nullptr && auditor->basic()) {
+      auditor->CheckLazy(running <= static_cast<size_t>(config.cores),
+                         "host.dispatch_width", now, seed,
+                         [] { return "host"; },
+                         [&] {
+                           return std::to_string(running) + " tasks on " +
+                                  std::to_string(config.cores) + " cores";
+                         });
+    }
 
     std::vector<bool> ran(n, false);
     for (size_t k = 0; k < running; ++k) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/integrity/integrity.h"
 #include "src/obs/span.h"
 #include "src/sched/bandwidth_sim.h"
 #include "src/sched/config.h"
@@ -43,6 +44,11 @@ struct HostSimConfig {
   // kPreempt span on kTrackGroupTenant, tid = tenant index. Null-sink runs
   // are bit-identical to uninstrumented ones.
   TraceSink* trace = nullptr;
+  // Runtime invariant auditor (non-owning, may be null). Basic level checks
+  // dispatch-width bounds per tick; full level additionally verifies
+  // core-time conservation (sum of tenant CPU == busy core ticks) and the
+  // per-tenant gap taxonomy at every quota-period boundary.
+  Auditor* auditor = nullptr;
 };
 
 struct TenantResult {

@@ -4,7 +4,10 @@
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <string_view>
+
+#include "src/common/fileio.h"
 
 namespace faascost {
 
@@ -75,11 +78,16 @@ size_t WriteTraceCsv(std::ostream& out, const std::vector<RequestRecord>& record
 
 size_t WriteTraceCsvFile(const std::string& path,
                          const std::vector<RequestRecord>& records) {
-  std::ofstream out(path);
-  if (!out) {
+  // Render in memory, then land the bytes atomically so a crash mid-write
+  // cannot leave a truncated trace behind.
+  std::ostringstream out;
+  const size_t n = WriteTraceCsv(out, records);
+  try {
+    WriteFileAtomic(path, out.str());
+  } catch (const std::runtime_error&) {
     return 0;
   }
-  return WriteTraceCsv(out, records);
+  return n;
 }
 
 std::vector<RequestRecord> ReadTraceCsv(std::istream& in, size_t* skipped) {

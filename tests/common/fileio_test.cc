@@ -1,0 +1,64 @@
+// Crash-safe artifact I/O: write-to-temp-then-rename semantics.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "src/common/fileio.h"
+
+namespace faascost {
+namespace {
+
+std::string TempPath(const char* name) { return testing::TempDir() + "/" + name; }
+
+TEST(FileIo, WriteThenReadRoundTrips) {
+  const std::string path = TempPath("faascost_fileio_roundtrip.txt");
+  const std::string content = std::string("line one\nline two\0with a NUL\n", 29);
+  WriteFileAtomic(path, content);
+  EXPECT_EQ(ReadFileToString(path), content);
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, OverwriteReplacesWholeFile) {
+  const std::string path = TempPath("faascost_fileio_overwrite.txt");
+  WriteFileAtomic(path, "a much longer first version of the file");
+  WriteFileAtomic(path, "short");
+  EXPECT_EQ(ReadFileToString(path), "short");
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, EmptyContentMakesEmptyFile) {
+  const std::string path = TempPath("faascost_fileio_empty.txt");
+  WriteFileAtomic(path, "");
+  EXPECT_EQ(ReadFileToString(path), "");
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, NoTempSiblingLeftBehind) {
+  const std::string dir = TempPath("faascost_fileio_dir");
+  std::filesystem::create_directories(dir);
+  WriteFileAtomic(dir + "/artifact.json", "{}");
+  size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u) << "temporary file leaked next to the artifact";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileIo, WriteToMissingDirectoryThrows) {
+  EXPECT_THROW(WriteFileAtomic(TempPath("faascost_no_such_dir/x.txt"), "x"),
+               std::runtime_error);
+}
+
+TEST(FileIo, ReadMissingFileThrows) {
+  EXPECT_THROW(ReadFileToString(TempPath("faascost_fileio_missing.txt")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace faascost

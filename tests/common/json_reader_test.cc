@@ -1,0 +1,110 @@
+// JSON reader: the read-side counterpart of JsonWriter. The checkpoint layer
+// depends on exact round-trips — full-range integers and bit-identical
+// doubles — so those guarantees are pinned here alongside ordinary parse and
+// error behavior.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/common/json_reader.h"
+#include "src/common/json_writer.h"
+
+namespace faascost {
+namespace {
+
+TEST(JsonReader, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null").is_null());
+  EXPECT_TRUE(ParseJson("true").GetBool());
+  EXPECT_FALSE(ParseJson("false").GetBool());
+  EXPECT_EQ(ParseJson("42").GetInt64(), 42);
+  EXPECT_EQ(ParseJson("-7").GetInt64(), -7);
+  EXPECT_DOUBLE_EQ(ParseJson("2.5").GetDouble(), 2.5);
+  EXPECT_EQ(ParseJson("\"hi\\n\\\"there\\\"\"").GetString(), "hi\n\"there\"");
+}
+
+TEST(JsonReader, FullRangeIntegersRoundTrip) {
+  const uint64_t big = std::numeric_limits<uint64_t>::max();
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("u", big);
+  w.KV("i", std::numeric_limits<int64_t>::min());
+  w.EndObject();
+  const JsonValue v = ParseJson(w.str());
+  EXPECT_EQ(v.At("u").GetUint64(), big);
+  EXPECT_EQ(v.At("i").GetInt64(), std::numeric_limits<int64_t>::min());
+  // A uint64 magnitude above int64 range must refuse the int64 accessor.
+  EXPECT_THROW(v.At("u").GetInt64(), std::runtime_error);
+  // And a negative value must refuse the uint64 accessor.
+  EXPECT_THROW(v.At("i").GetUint64(), std::runtime_error);
+}
+
+TEST(JsonReader, DoublesRoundTripBitForBit) {
+  const double values[] = {0.1, -0.0, 1e-300, 12345.678901234567,
+                           std::numeric_limits<double>::max()};
+  for (const double d : values) {
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("d", d);
+    w.EndObject();
+    const double back = ParseJson(w.str()).At("d").GetDouble();
+    EXPECT_EQ(std::bit_cast<uint64_t>(back), std::bit_cast<uint64_t>(d)) << d;
+  }
+}
+
+TEST(JsonReader, ObjectsPreserveOrderAndNestedStructure) {
+  const JsonValue v = ParseJson(R"({"b":1,"a":[1,2,{"c":true}],"z":{"k":"v"}})");
+  const auto& members = v.GetObject();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "b");
+  EXPECT_EQ(members[1].first, "a");
+  const auto& arr = v.At("a").GetArray();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[2].At("c").GetBool());
+  EXPECT_EQ(v.At("z").At("k").GetString(), "v");
+}
+
+TEST(JsonReader, FindAndAtOnMissingKeys) {
+  const JsonValue v = ParseJson(R"({"present":1})");
+  EXPECT_EQ(v.Find("absent"), nullptr);
+  EXPECT_THROW(v.At("absent"), std::runtime_error);
+}
+
+TEST(JsonReader, MalformedInputThrowsWithOffset) {
+  const char* bad[] = {"", "{", "[1,", "{\"k\":}", "tru", "1 2", "{\"k\" 1}",
+                       "[1,2,]"};
+  for (const char* text : bad) {
+    EXPECT_THROW(ParseJson(text), JsonParseError) << "input: " << text;
+  }
+  try {
+    ParseJson("[1, nope]");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_GT(e.offset(), 0u);
+  }
+}
+
+TEST(JsonReader, WriterOutputAlwaysParses) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("nested");
+  w.BeginArray();
+  w.Value("str with \"quotes\" and \\ and \n");
+  w.Value(int64_t{-1});
+  w.Value(0.25);
+  w.Null();
+  w.EndArray();
+  w.KV("flag", true);
+  w.EndObject();
+  const JsonValue v = ParseJson(w.str());
+  EXPECT_EQ(v.At("nested").GetArray().size(), 4u);
+  EXPECT_EQ(v.At("nested").GetArray()[0].GetString(),
+            "str with \"quotes\" and \\ and \n");
+  EXPECT_TRUE(v.At("flag").GetBool());
+}
+
+}  // namespace
+}  // namespace faascost

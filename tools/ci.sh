@@ -74,4 +74,60 @@ cmp "$obs_tmp/a/metrics.jsonl" "$obs_tmp/b/metrics.jsonl"
 echo "trace.json parses; repeated runs are byte-identical."
 
 echo
+echo "== Integrity: resume equivalence (straight digest == checkpoint+resume) =="
+digest_of() {
+  python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["state_digest"])' "$1"
+}
+for seed in 1 2 3; do
+  "$repo/build/tools/faascost" audit --sim platform --audit-level full \
+    --seconds 20 --seed "$seed" --json > "$obs_tmp/p_straight.json"
+  "$repo/build/tools/faascost" audit --sim platform --audit-level full \
+    --seconds 20 --seed "$seed" \
+    --checkpoint "$obs_tmp/p_cp.json" --checkpoint-every 7 --json > /dev/null
+  "$repo/build/tools/faascost" audit --sim platform --audit-level full \
+    --seed "$seed" --resume "$obs_tmp/p_cp.json" --json > "$obs_tmp/p_resumed.json"
+  digest_of "$obs_tmp/p_straight.json" > "$obs_tmp/p_a"
+  digest_of "$obs_tmp/p_resumed.json" > "$obs_tmp/p_b"
+  cmp "$obs_tmp/p_a" "$obs_tmp/p_b"
+
+  "$repo/build/tools/faascost" audit --sim fleet --audit-level full \
+    --requests 3000 --functions 50 --seconds 300 --seed "$seed" --json \
+    > "$obs_tmp/f_straight.json"
+  "$repo/build/tools/faascost" audit --sim fleet --audit-level full \
+    --requests 3000 --functions 50 --seconds 300 --seed "$seed" \
+    --checkpoint "$obs_tmp/f_cp.json" --checkpoint-every 60 --json > /dev/null
+  "$repo/build/tools/faascost" audit --sim fleet --audit-level full \
+    --requests 3000 --functions 50 --seconds 300 --seed "$seed" \
+    --resume "$obs_tmp/f_cp.json" --json > "$obs_tmp/f_resumed.json"
+  digest_of "$obs_tmp/f_straight.json" > "$obs_tmp/f_a"
+  digest_of "$obs_tmp/f_resumed.json" > "$obs_tmp/f_b"
+  cmp "$obs_tmp/f_a" "$obs_tmp/f_b"
+done
+echo "platform and fleet digests identical across seeds 1-3."
+
+# A malformed checkpoint must be the dedicated artifact-error exit (3), not a
+# crash or a silent fresh run.
+echo "not a checkpoint" > "$obs_tmp/garbage.json"
+set +e
+"$repo/build/tools/faascost" audit --sim platform \
+  --resume "$obs_tmp/garbage.json" > /dev/null 2>&1
+audit_rc=$?
+set -e
+if [ "$audit_rc" -ne 3 ]; then
+  echo "audit: expected exit 3 on a malformed checkpoint, got $audit_rc" >&2
+  exit 1
+fi
+echo "malformed checkpoint rejected with exit 3."
+
+echo
+echo "== Micro-bench: BENCH_micro.json + integrity-overhead budget (<10%) =="
+"$repo/build/bench/bench_micro_simulators" \
+  --benchmark_filter='BM_PlatformSimThousandRequests|BM_HostSimSecond|BM_FleetSimDay' \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+  --benchmark_format=json > "$obs_tmp/micro.json"
+python3 "$repo/tools/make_bench_micro.py" \
+  "$obs_tmp/micro.json" "$repo/BENCH_micro.json"
+python3 -m json.tool "$repo/BENCH_micro.json" > /dev/null
+
+echo
 echo "ci.sh: builds, tests, and lints green."

@@ -3,7 +3,10 @@
 //
 //   faascost bill      --platform aws --exec-ms 150 --cpu-ms 80
 //                      --vcpus 1 --mem-mb 1769 [--init-ms 400] [--used-mem-mb 300]
-//   faascost audit     [--trace file.csv] [--requests N] [--functions N]
+//   faascost cost      [--trace file.csv] [--requests N] [--functions N]
+//   faascost audit     --sim platform|fleet [--audit-level off|basic|full]
+//                      [--checkpoint f.json --checkpoint-every N|--checkpoint-at N]
+//                      [--resume f.json] [--seed S] [--json]
 //   faascost rightsize --cpu-ms 160 --slo-ms 500 [--platform aws|gcp]
 //   faascost generate  --out file.csv [--requests N] [--functions N] [--seed S]
 //   faascost failures  --platform aws --rate 0.05 --retries 3 [--rps N]
@@ -16,9 +19,11 @@
 //                      [--rate R] [--retries N] [--cotenants N] [--seed S]
 //   faascost platforms
 //
-// `failures` and `chaos` accept --json for machine-readable output.
+// `failures`, `chaos` and `audit` accept --json for machine-readable output.
 //
-// Exit status: 0 on success, 1 on usage errors.
+// Exit status: 0 on success, 1 on usage errors, 2 when an integrity
+// invariant fails mid-run (IntegrityViolation), 3 on a malformed or
+// mismatched checkpoint / unparseable artifact (CheckpointError).
 
 #include <algorithm>
 #include <cerrno>
@@ -40,6 +45,9 @@
 #include "src/common/table.h"
 #include "src/core/observe.h"
 #include "src/core/rightsizing.h"
+#include "src/integrity/audit_rules.h"
+#include "src/integrity/checkpoint.h"
+#include "src/integrity/integrity.h"
 #include "src/obs/exporters.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
@@ -212,14 +220,14 @@ int CmdBill(const Flags& flags) {
   return 0;
 }
 
-int CmdAudit(const Flags& flags) {
+int CmdCost(const Flags& flags) {
   std::vector<RequestRecord> trace;
   const auto path = flags.Get("trace");
   if (path.has_value()) {
     size_t skipped = 0;
     trace = ReadTraceCsvFile(*path, &skipped);
     if (trace.empty()) {
-      std::fprintf(stderr, "audit: no records read from %s\n", path->c_str());
+      std::fprintf(stderr, "cost: no records read from %s\n", path->c_str());
       return 1;
     }
     std::printf("Read %zu records (%zu skipped) from %s\n", trace.size(), skipped,
@@ -771,12 +779,352 @@ int CmdObserve(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// `faascost audit`: integrity-audited simulation runs with deterministic
+// checkpoint/resume. The scenario is rebuilt from the same flags on both the
+// checkpointing run and the resuming run; the checkpoint's config_hash and
+// input_digest reject a resume under a different setup.
+
+std::string DigestHex(uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+struct CheckpointPlan {
+  std::string path;
+  MicroSecs at = 0;     // One-shot checkpoint at this sim time.
+  MicroSecs every = 0;  // Rolling checkpoint (atomic overwrite) each interval.
+};
+
+// Parses --checkpoint/--checkpoint-at/--checkpoint-every; nullopt + usage
+// error when the combination is inconsistent.
+std::optional<CheckpointPlan> ParseCheckpointPlan(const Flags& flags, bool* bad) {
+  *bad = false;
+  const auto path = flags.Get("checkpoint");
+  const int64_t at_s = flags.GetInt("checkpoint-at", 0);
+  const int64_t every_s = flags.GetInt("checkpoint-every", 0);
+  if (!path.has_value()) {
+    if (at_s > 0 || every_s > 0) {
+      std::fprintf(stderr, "audit: --checkpoint-at/--checkpoint-every need --checkpoint\n");
+      *bad = true;
+    }
+    return std::nullopt;
+  }
+  if ((at_s > 0) == (every_s > 0)) {
+    std::fprintf(stderr,
+                 "audit: --checkpoint needs exactly one of --checkpoint-at N or "
+                 "--checkpoint-every N (seconds)\n");
+    *bad = true;
+    return std::nullopt;
+  }
+  return CheckpointPlan{*path, at_s * kMicrosPerSec, every_s * kMicrosPerSec};
+}
+
+// Verifies a loaded checkpoint belongs to this scenario before any state is
+// restored; throws CheckpointError (CLI exit 3) otherwise.
+void RequireCheckpointMatch(const LoadedCheckpoint& cp, const std::string& sim,
+                            uint64_t config_hash, uint64_t input_digest) {
+  if (cp.header.sim != sim) {
+    throw CheckpointError("checkpoint is for sim '" + cp.header.sim +
+                          "', this run is '" + sim + "'");
+  }
+  if (cp.header.config_hash != config_hash) {
+    throw CheckpointError(
+        "checkpoint config_hash " + DigestHex(cp.header.config_hash) +
+        " does not match this scenario (" + DigestHex(config_hash) +
+        "); rerun with the flags the checkpoint was taken under");
+  }
+  if (cp.header.input_digest != input_digest) {
+    throw CheckpointError("checkpoint input_digest " +
+                          DigestHex(cp.header.input_digest) +
+                          " does not match the regenerated input trace (" +
+                          DigestHex(input_digest) + ")");
+  }
+}
+
+// Drives an engine (PlatformEngine or FleetEngine: Start/Resume handled by
+// the caller) to completion, writing checkpoints per `plan` along the way,
+// and returns the end-of-run state digest.
+template <typename Engine>
+uint64_t RunAudited(Engine& engine, const std::optional<CheckpointPlan>& plan,
+                    const std::string& sim, uint64_t seed, uint64_t input_digest) {
+  const auto write_checkpoint = [&]() {
+    CheckpointHeader header;
+    header.sim = sim;
+    header.seed = seed;
+    header.config_hash = engine.ConfigHash();
+    header.input_digest = input_digest;
+    header.sim_time_us = engine.now();
+    header.state_digest = engine.Digest();
+    WriteCheckpoint(plan->path, header, [&](JsonWriter& w) { engine.SaveState(w); });
+  };
+  if (plan.has_value()) {
+    const MicroSecs step = plan->every > 0 ? plan->every : plan->at;
+    for (MicroSecs t = engine.now() + step; !engine.done(); t += plan->every) {
+      engine.AdvanceUntil(t);
+      if (!engine.done()) {
+        write_checkpoint();
+      }
+      if (plan->every == 0) {
+        break;  // One-shot --checkpoint-at.
+      }
+    }
+  }
+  engine.RunToEnd();
+  return engine.Digest();
+}
+
+// Shared result line for both sims.
+void PrintAuditSummary(bool json, const std::string& sim, const std::string& platform,
+                       uint64_t seed, AuditLevel level, const Auditor& auditor,
+                       MicroSecs end_time, uint64_t digest, int64_t requests,
+                       int64_t successes, int64_t attempts, Usd total_usd,
+                       bool resumed) {
+  if (json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("sim", sim);
+    w.KV("platform", platform);
+    w.KV("seed", static_cast<int64_t>(seed));
+    w.KV("audit_level", AuditLevelName(level));
+    w.KV("resumed", resumed);
+    w.KV("checks_run", auditor.checks_run());
+    w.KV("scans_run", auditor.scans_run());
+    w.KV("end_time_us", end_time);
+    w.KV("state_digest", DigestHex(digest));
+    w.KV("requests", requests);
+    w.KV("successes", successes);
+    w.KV("attempts", attempts);
+    w.KV("billed_usd", total_usd);
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return;
+  }
+  std::printf("%s%s on %s, seed %llu, audit level %s: %lld checks, %lld scans, "
+              "0 violations\n",
+              sim.c_str(), resumed ? " (resumed)" : "", platform.c_str(),
+              static_cast<unsigned long long>(seed), AuditLevelName(level),
+              static_cast<long long>(auditor.checks_run()),
+              static_cast<long long>(auditor.scans_run()));
+  std::printf("Requests: %lld (%lld ok), attempts: %lld, billed $%.6g\n",
+              static_cast<long long>(requests), static_cast<long long>(successes),
+              static_cast<long long>(attempts), total_usd);
+  std::printf("State digest: %s at t=%lldus\n", DigestHex(digest).c_str(),
+              static_cast<long long>(end_time));
+}
+
+int AuditPlatformSim(const Flags& flags, AuditLevel level) {
+  const std::string platform_name = flags.Get("platform").value_or("aws");
+  const auto platform = ParsePlatform(platform_name);
+  if (!platform.has_value()) {
+    std::fprintf(stderr, "audit: unknown platform '%s'\n", platform_name.c_str());
+    return 1;
+  }
+  const auto preset = SimPreset(*platform, platform_name, "audit");
+  if (!preset.has_value()) {
+    return 1;
+  }
+  PlatformSimConfig sim_config = *preset;
+  const double rate = flags.GetDouble("rate", 0.05);
+  if (rate < 0.0 || rate > 1.0) {
+    std::fprintf(stderr, "audit: --rate must be in [0, 1]\n");
+    return 1;
+  }
+  sim_config.faults.crash_prob = rate;
+  sim_config.faults.init_failure_prob = rate / 4.0;
+  sim_config.retry.max_attempts = static_cast<int>(flags.GetInt("retries", 3));
+  const std::vector<std::string> errors = sim_config.Validate();
+  if (!errors.empty()) {
+    for (const std::string& err : errors) {
+      std::fprintf(stderr, "audit: %s\n", err.c_str());
+    }
+    return 1;
+  }
+
+  bool bad_plan = false;
+  const auto plan = ParseCheckpointPlan(flags, &bad_plan);
+  if (bad_plan) {
+    return 1;
+  }
+  const double rps = flags.GetDouble("rps", 5.0);
+  const MicroSecs seconds = flags.GetInt("seconds", 120);
+  if (rps <= 0.0 || seconds <= 0) {
+    std::fprintf(stderr, "audit: --rps and --seconds must be positive\n");
+    return 1;
+  }
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  const int64_t scan_cadence = flags.GetInt("scan-cadence", 8192);
+  if (scan_cadence < 0) {
+    std::fprintf(stderr, "audit: --scan-cadence must be >= 0 (0 disables scans)\n");
+    return 1;
+  }
+  Auditor auditor(level, scan_cadence);
+  if (level != AuditLevel::kOff) {
+    sim_config.auditor = &auditor;
+  }
+
+  // The platform checkpoint is self-contained (future arrivals live in the
+  // serialized event queue), so there is no external input digest.
+  PlatformEngine engine(sim_config, seed);
+  const auto resume = flags.Get("resume");
+  if (resume.has_value()) {
+    const LoadedCheckpoint cp = LoadCheckpoint(*resume);
+    RequireCheckpointMatch(cp, "platform", engine.ConfigHash(), /*input_digest=*/0);
+    engine.LoadState(cp.state());
+    const uint64_t restored = engine.Digest();
+    if (restored != cp.header.state_digest) {
+      throw CheckpointError("state digest after restore is " + DigestHex(restored) +
+                            ", checkpoint recorded " +
+                            DigestHex(cp.header.state_digest));
+    }
+  } else {
+    engine.Start(UniformArrivals(rps, seconds * kMicrosPerSec), PyAesWorkload());
+  }
+
+  const uint64_t digest = RunAudited(engine, plan, "platform", seed, 0);
+  const MicroSecs end_time = engine.now();
+  const PlatformSimResult res = engine.Finish();
+
+  const BillingModel billing = MakeBillingModel(*platform);
+  Usd total = 0.0;
+  for (const auto& att : res.attempts) {
+    total += ComputeInvoice(billing,
+                            BillableRecord(att, sim_config.vcpus, sim_config.mem_mb))
+                 .total;
+  }
+  if (level == AuditLevel::kFull) {
+    AuditPlatformRun(res, sim_config, seed, auditor, &billing, total);
+  } else if (level == AuditLevel::kBasic) {
+    AuditPlatformRun(res, sim_config, seed, auditor);
+  }
+
+  PrintAuditSummary(flags.GetBool("json"), "platform", billing.platform, seed, level,
+                    auditor, end_time, digest,
+                    static_cast<int64_t>(res.requests.size()), res.successes,
+                    static_cast<int64_t>(res.attempts.size()), total,
+                    resume.has_value());
+  return 0;
+}
+
+int AuditFleetSim(const Flags& flags, AuditLevel level) {
+  const std::string platform_name = flags.Get("platform").value_or("aws");
+  const auto platform = ParsePlatform(platform_name);
+  if (!platform.has_value()) {
+    std::fprintf(stderr, "audit: unknown platform '%s'\n", platform_name.c_str());
+    return 1;
+  }
+
+  TraceGenConfig tcfg;
+  tcfg.num_requests = flags.GetInt("requests", 20'000);
+  tcfg.num_functions = flags.GetInt("functions", 200);
+  tcfg.window = flags.GetInt("seconds", 3'600) * kMicrosPerSec;
+  if (tcfg.num_requests <= 0 || tcfg.num_functions <= 0 || tcfg.window <= 0) {
+    std::fprintf(stderr,
+                 "audit: --requests, --functions and --seconds must be positive\n");
+    return 1;
+  }
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  FleetSimConfig fcfg;
+  fcfg.fault_seed = seed;
+  fcfg.retry.max_attempts = static_cast<int>(flags.GetInt("retries", 3));
+  fcfg.retry.breaker_threshold = static_cast<int>(flags.GetInt("breaker-threshold", 0));
+  fcfg.host_faults.hosts = static_cast<int>(flags.GetInt("hosts", 16));
+  fcfg.host_faults.mtbf_seconds = flags.GetDouble("mtbf-s", 3'600.0);
+  fcfg.host_faults.mttr_seconds = flags.GetDouble("mttr-s", 120.0);
+  fcfg.host_faults.graceful_fraction = flags.GetDouble("graceful", 0.3);
+  const std::vector<std::string> errors = fcfg.Validate();
+  if (!errors.empty()) {
+    for (const std::string& err : errors) {
+      std::fprintf(stderr, "audit: %s\n", err.c_str());
+    }
+    return 1;
+  }
+
+  bool bad_plan = false;
+  const auto plan = ParseCheckpointPlan(flags, &bad_plan);
+  if (bad_plan) {
+    return 1;
+  }
+
+  const int64_t scan_cadence = flags.GetInt("scan-cadence", 8192);
+  if (scan_cadence < 0) {
+    std::fprintf(stderr, "audit: --scan-cadence must be >= 0 (0 disables scans)\n");
+    return 1;
+  }
+  Auditor auditor(level, scan_cadence);
+  if (level != AuditLevel::kOff) {
+    fcfg.auditor = &auditor;
+  }
+
+  // The fleet checkpoint does not embed the request trace; it is regenerated
+  // from the same flags and guarded by input_digest.
+  const std::vector<RequestRecord> trace = TraceGenerator(tcfg, seed).Generate();
+  const BillingModel billing = MakeBillingModel(*platform);
+  const uint64_t input_digest = FleetEngine::DigestTrace(trace);
+
+  FleetEngine engine(fcfg);
+  const auto resume = flags.Get("resume");
+  if (resume.has_value()) {
+    const LoadedCheckpoint cp = LoadCheckpoint(*resume);
+    RequireCheckpointMatch(cp, "fleet", engine.ConfigHash(), input_digest);
+    engine.Resume(trace, billing, cp.state());
+    const uint64_t restored = engine.Digest();
+    if (restored != cp.header.state_digest) {
+      throw CheckpointError("state digest after restore is " + DigestHex(restored) +
+                            ", checkpoint recorded " +
+                            DigestHex(cp.header.state_digest));
+    }
+  } else {
+    engine.Start(trace, billing);
+  }
+
+  const uint64_t digest = RunAudited(engine, plan, "fleet", seed, input_digest);
+  const MicroSecs end_time = engine.now();
+  const FleetResult res = engine.Finish();
+  if (level != AuditLevel::kOff) {
+    AuditFleetRun(res, fcfg, auditor);
+  }
+
+  PrintAuditSummary(flags.GetBool("json"), "fleet", billing.platform, seed, level,
+                    auditor, end_time, digest, res.requests, res.successes,
+                    res.attempts, res.revenue, resume.has_value());
+  return 0;
+}
+
+int CmdAuditIntegrity(const Flags& flags) {
+  const std::string sim = flags.Get("sim").value_or("platform");
+  AuditLevel level = AuditLevel::kFull;
+  const std::string level_name = flags.Get("audit-level").value_or("full");
+  try {
+    level = ParseAuditLevel(level_name);
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "audit: --audit-level must be off, basic or full, got '%s'\n",
+                 level_name.c_str());
+    return 1;
+  }
+  if (sim == "platform") {
+    return AuditPlatformSim(flags, level);
+  }
+  if (sim == "fleet") {
+    return AuditFleetSim(flags, level);
+  }
+  std::fprintf(stderr, "audit: --sim must be platform or fleet, got '%s'\n",
+               sim.c_str());
+  return 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: faascost <command> [flags]\n"
                "  platforms                            list supported platforms\n"
                "  bill --platform P --exec-ms N ...    bill one request\n"
-               "  audit [--trace f.csv|--requests N]   cost a workload on all platforms\n"
+               "  cost [--trace f.csv|--requests N]    cost a workload on all platforms\n"
+               "  audit --sim platform|fleet           integrity-audited run with\n"
+               "        [--audit-level L] [--checkpoint f.json --checkpoint-every N]\n"
+               "        [--resume f.json]              deterministic checkpoint/resume\n"
                "  rightsize --cpu-ms N --slo-ms N      quantization-aware rightsizing\n"
                "  generate --out f.csv [--requests N]  write a synthetic trace\n"
                "  failures --platform P --rate R       cost of failures and retries\n"
@@ -786,20 +1134,18 @@ int Usage() {
   return 1;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) {
-    return Usage();
-  }
-  const std::string cmd = argv[1];
-  const Flags flags(argc, argv, 2);
+int Dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "platforms") {
     return CmdPlatforms();
   }
   if (cmd == "bill") {
     return CmdBill(flags);
   }
+  if (cmd == "cost") {
+    return CmdCost(flags);
+  }
   if (cmd == "audit") {
-    return CmdAudit(flags);
+    return CmdAuditIntegrity(flags);
   }
   if (cmd == "rightsize") {
     return CmdRightsize(flags);
@@ -818,6 +1164,35 @@ int Main(int argc, char** argv) {
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv, 2);
+  // Distinct exit codes so scripts (and CI) can tell a simulator-integrity
+  // failure from a bad input artifact without parsing stderr.
+  try {
+    return Dispatch(cmd, flags);
+  } catch (const IntegrityViolation& e) {
+    std::fprintf(stderr, "faascost: integrity violation: %s\n", e.what());
+    return 2;
+  } catch (const CheckpointError& e) {
+    std::fprintf(stderr, "faascost: checkpoint error: %s\n", e.what());
+    return 3;
+  } catch (const JsonParseError& e) {
+    std::fprintf(stderr, "faascost: unparseable artifact: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    // Bad flag values surface as library exceptions (std::invalid_argument
+    // from config validation, std::length_error from a negative count);
+    // the CLI contract is a one-line stderr message and exit 1, never an
+    // uncaught-exception abort.
+    std::fprintf(stderr, "%s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
 }
 
 }  // namespace

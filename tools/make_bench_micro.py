@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Condense google-benchmark JSON into BENCH_micro.json and gate overhead.
+
+Reads the aggregate output of `bench_micro_simulators --benchmark_repetitions=N
+--benchmark_report_aggregates_only=true --benchmark_format=json`, keeps the
+median row per benchmark (events/sec where the bench reports items, ns/request
+otherwise), and writes the ROADMAP perf-trajectory artifact. Fails (exit 1)
+when an audited simulator run is more than BUDGET_PCT slower than its detached
+counterpart — the integrity layer's overhead contract, mirroring the obs
+layer's traced-vs-untraced budget.
+
+Usage: make_bench_micro.py <google-benchmark.json> <BENCH_micro.json>
+"""
+
+import json
+import sys
+
+BUDGET_PCT = 10.0
+# (label, detached benchmark, audited benchmark) — medians are compared.
+OVERHEAD_PAIRS = [
+    ("platform", "BM_PlatformSimThousandRequests", "BM_PlatformSimThousandRequestsAudited"),
+    ("fleet", "BM_FleetSimDay/50000", "BM_FleetSimDayAudited/50000"),
+]
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    with open(sys.argv[1]) as f:
+        raw = json.load(f)
+
+    medians = {}
+    for row in raw.get("benchmarks", []):
+        if row.get("aggregate_name") != "median":
+            continue
+        name = row["run_name"]
+        entry = {"ns_per_iter": row["real_time"]}
+        ips = row.get("items_per_second")
+        if ips:
+            entry["items_per_second"] = ips
+            entry["ns_per_item"] = 1e9 / ips
+        medians[name] = entry
+
+    if not medians:
+        print("make_bench_micro: no median aggregates in input", file=sys.stderr)
+        return 1
+
+    overhead = {"budget_pct": BUDGET_PCT}
+    failed = False
+    for label, detached, audited in OVERHEAD_PAIRS:
+        if detached not in medians or audited not in medians:
+            print(f"make_bench_micro: missing pair for {label}", file=sys.stderr)
+            failed = True
+            continue
+        base = medians[detached]["items_per_second"]
+        with_audit = medians[audited]["items_per_second"]
+        pct = (base / with_audit - 1.0) * 100.0
+        overhead[label + "_pct"] = round(pct, 2)
+        status = "OK" if pct <= BUDGET_PCT else "OVER BUDGET"
+        print(f"  {label}: audited {pct:+.1f}% vs detached ({status})")
+        if pct > BUDGET_PCT:
+            failed = True
+
+    with open(sys.argv[2], "w") as f:
+        json.dump({
+            "generator": "bench_micro_simulators (median of repetitions)",
+            "context": raw.get("context", {}),
+            "benchmarks": medians,
+            "integrity_overhead": overhead,
+        }, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    if failed:
+        print("make_bench_micro: integrity overhead exceeds the "
+              f"{BUDGET_PCT:.0f}% budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -131,7 +131,7 @@ std::vector<FleetChaosRow> FleetHostFaultSection(bool json) {
                                : 0.0;
       table.AddRow({r.label, FormatPercent(r.availability, 3), FormatDouble(r.p99_ms, 1),
                     FormatSci(r.cost_per_success, 3),
-                    (delta >= 0 ? "+" : "") + FormatPercent(delta, 2),
+                    FormatSignedPercent(delta, 2),
                     FormatDouble(static_cast<double>(r.cold_starts), 0),
                     FormatDouble(static_cast<double>(r.attempt_kills), 0),
                     FormatDouble(static_cast<double>(r.sandbox_kills), 0),
@@ -234,7 +234,7 @@ std::vector<OverloadRow> OverloadSection(bool json) {
                                : 0.0;
       table.AddRow({r.label, FormatPercent(r.availability, 3), FormatDouble(r.p99_ms, 1),
                     FormatSci(r.cost_per_success, 3),
-                    (delta >= 0 ? "+" : "") + FormatPercent(delta, 2),
+                    FormatSignedPercent(delta, 2),
                     FormatDouble(static_cast<double>(r.shed), 0),
                     FormatDouble(static_cast<double>(r.queue_timeouts), 0),
                     FormatDouble(static_cast<double>(r.circuit_open), 0),

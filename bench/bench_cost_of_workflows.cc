@@ -1,0 +1,424 @@
+// Cost of workflows: what DAG orchestration adds on top of single-call
+// billing, and what each resilience policy costs or saves.
+//
+// A workflow multiplies every single-call pathology by its depth and then
+// adds failure modes of its own: a mid-chain failure bills every upstream
+// hop, a retry at hop k re-pays hops 1..k-1's sunk cost, the orchestrator
+// charges per state transition (AWS Step Functions: $25 per million —
+// dwarfing the invocation fee), hedged requests double-bill when the
+// cancellation loses the race, quorum joins leave straggler branches
+// running on the meter, and dead-lettered async hops pay for every redrive
+// plus the DLQ storage ops. This bench measures four of those effects:
+//
+//   1. Depth compounding — cost per successful workflow vs chain length,
+//      against N independent un-orchestrated calls.
+//   2. Failure x retry sweep on a 5-hop chain — billed waste share.
+//   3. Deadline budgets vs naive per-hop timeouts at the same total budget —
+//      propagated budgets fail fast (unbilled) instead of billing a timeout
+//      at every hop boundary.
+//   4. Hedging — tail-latency reduction bought with hedge-loser dollars.
+//
+// Pass --json for machine-readable output (one object with per-section
+// arrays) instead of the human tables.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/billing/catalog.h"
+#include "src/billing/model.h"
+#include "src/common/json_writer.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/workflow/dag.h"
+#include "src/workflow/policy.h"
+#include "src/workflow/workflow_sim.h"
+
+namespace faascost {
+namespace {
+
+constexpr int64_t kWorkflows = 400;
+constexpr uint64_t kSeed = 31;
+
+struct WfStats {
+  double cost_per_success = 0.0;
+  Usd total = 0.0;
+  Usd wasted = 0.0;
+  Usd hedge_losers_usd = 0.0;
+  int64_t successes = 0;
+  int64_t failed = 0;
+  int64_t attempts = 0;
+  int64_t fail_fast = 0;
+  int64_t hedge_wins = 0;
+  int64_t hedge_losers = 0;
+  MicroSecs p50 = 0;
+  MicroSecs p99 = 0;
+};
+
+WfStats Summarize(const WorkflowSimResult& res) {
+  WfStats out;
+  out.total = res.usd_total;
+  out.wasted = res.usd_wasted;
+  out.hedge_losers_usd = res.usd_hedge_losers;
+  out.successes = res.counters.workflows_succeeded;
+  out.failed = res.counters.workflows_failed;
+  out.attempts = static_cast<int64_t>(res.attempts.size());
+  out.fail_fast = res.counters.fail_fast;
+  out.hedge_wins = res.counters.hedge_wins;
+  out.hedge_losers = res.counters.hedge_losers;
+  if (out.successes > 0) {
+    out.cost_per_success = res.usd_total / static_cast<double>(out.successes);
+  }
+  std::vector<MicroSecs> lat;
+  lat.reserve(res.workflows.size());
+  for (const WorkflowRow& row : res.workflows) {
+    if (row.outcome == Outcome::kOk) {
+      lat.push_back(row.end - row.arrival);
+    }
+  }
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    out.p50 = lat[lat.size() / 2];
+    out.p99 = lat[(lat.size() * 99) / 100];
+  }
+  return out;
+}
+
+// A `length`-hop chain run. `priced` toggles orchestration fees: with it off
+// the run models N direct invocations glued client-side (the single-call
+// baseline); with it on, the orchestrator bills every state transition.
+WfStats RunChain(int length, double rate, int max_attempts, bool priced,
+                 const WorkflowPolicy& extra, uint64_t seed) {
+  WorkflowSimConfig cfg;
+  HopSpec proto;
+  cfg.dags.push_back(MakeChainDag("chain", length, proto));
+  cfg.workflows = kWorkflows;
+  cfg.wps = 4.0;
+  cfg.failure_rate = rate;
+  cfg.init_failure_rate = rate / 4.0;
+  cfg.policy = extra;
+  cfg.policy.retry.max_attempts = max_attempts;
+  if (priced) {
+    cfg.pricing = MakeWorkflowPricing(Platform::kAwsLambda);
+  }
+  const BillingModel billing = MakeBillingModel(Platform::kAwsLambda);
+  return Summarize(SimulateWorkflows(cfg, billing, seed));
+}
+
+struct DepthRow {
+  int length = 1;
+  WfStats stats;
+  double vs_single = 0.0;      // cost/success over one bare call.
+  double amplification = 0.0;  // cost/success over `length` bare calls.
+};
+
+// Section 1: chain depth. The baseline is one un-orchestrated invocation
+// (same function, same retry policy, no transition fees); an L-hop
+// orchestrated chain should cost more than L of those because transition
+// fees and upstream re-billing compound with depth.
+std::vector<DepthRow> DepthTable(bool json) {
+  const double rate = 0.05;
+  const int max_attempts = 3;
+  const WfStats single =
+      RunChain(1, rate, max_attempts, /*priced=*/false, WorkflowPolicy(), kSeed);
+  std::vector<DepthRow> rows;
+  TextTable table({"hops", "attempts", "ok", "billed $", "wasted share",
+                   "$/success", "x single call", "x (hops * single)"});
+  for (const int length : {1, 2, 3, 5, 8}) {
+    DepthRow row;
+    row.length = length;
+    row.stats = RunChain(length, rate, max_attempts, /*priced=*/true,
+                         WorkflowPolicy(), kSeed);
+    if (single.cost_per_success > 0.0 && row.stats.cost_per_success > 0.0) {
+      row.vs_single = row.stats.cost_per_success / single.cost_per_success;
+      row.amplification = row.vs_single / static_cast<double>(length);
+    }
+    rows.push_back(row);
+    const WfStats& s = row.stats;
+    table.AddRow({FormatDouble(length, 0), FormatDouble(s.attempts, 0),
+                  FormatDouble(static_cast<double>(s.successes), 0),
+                  FormatDouble(s.total, 6),
+                  FormatPercent(s.total > 0 ? s.wasted / s.total : 0.0, 1),
+                  FormatSci(s.cost_per_success, 3), FormatDouble(row.vs_single, 2) + "x",
+                  FormatDouble(row.amplification, 3) + "x"});
+  }
+  if (!json) {
+    PrintHeader("Depth compounding: chain length vs one bare invocation "
+                "(AWS, 5% failures, 3 attempts)");
+    std::printf("single bare call: $%.3g per success (no orchestration fees)\n",
+                single.cost_per_success);
+    std::printf("%s", table.Render().c_str());
+  }
+  return rows;
+}
+
+struct SweepRow {
+  double rate = 0.0;
+  int max_attempts = 1;
+  WfStats stats;
+  double inflation = 0.0;
+};
+
+// Section 2: failure rate x retry budget on a fixed 5-hop chain. Inflation is
+// cost per successful workflow over the zero-failure run with the same retry
+// policy — isolating how much retries at hop k re-pay the upstream hops.
+std::vector<SweepRow> FailureSweep(bool json) {
+  std::vector<SweepRow> rows;
+  for (const int max_attempts : {1, 3}) {
+    TextTable table({"failure rate", "attempts", "ok", "billed $", "wasted share",
+                     "$/success", "inflation"});
+    double baseline = 0.0;
+    bool have_baseline = false;
+    for (const double rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+      SweepRow row;
+      row.rate = rate;
+      row.max_attempts = max_attempts;
+      row.stats =
+          RunChain(5, rate, max_attempts, /*priced=*/true, WorkflowPolicy(), kSeed);
+      if (!have_baseline) {
+        baseline = row.stats.cost_per_success;  // First point is fault-free.
+        have_baseline = true;
+      }
+      row.inflation = baseline > 0.0 && row.stats.cost_per_success > 0.0
+                          ? row.stats.cost_per_success / baseline
+                          : 0.0;
+      rows.push_back(row);
+      const WfStats& s = row.stats;
+      table.AddRow({FormatPercent(rate, 0), FormatDouble(s.attempts, 0),
+                    FormatDouble(static_cast<double>(s.successes), 0),
+                    FormatDouble(s.total, 6),
+                    FormatPercent(s.total > 0 ? s.wasted / s.total : 0.0, 1),
+                    s.successes > 0 ? FormatSci(s.cost_per_success, 3)
+                                    : std::string("n/a"),
+                    s.successes > 0 ? FormatDouble(row.inflation, 3) + "x"
+                                    : std::string("n/a")});
+    }
+    if (!json) {
+      std::printf("\nRetry policy: %d attempt(s) per hop\n", max_attempts);
+      std::printf("%s", table.Render().c_str());
+    }
+  }
+  return rows;
+}
+
+struct DeadlineRow {
+  std::string variant;
+  MicroSecs budget = 0;
+  WfStats stats;
+};
+
+// Section 3: the same total latency budget spent two ways on a 5-hop chain
+// with heavy-tailed executions (cv = 1.0). "naive" slices it into per-hop
+// timeouts (budget/5 each): a tail-case hop runs to its slice and bills the
+// full cut, the retry re-bills it, and unspent slack from fast hops is
+// thrown away. "budget" propagates the remaining end-to-end deadline: a
+// slow hop may spend slack the fast hops left behind, and once the budget
+// is exhausted the remaining hops fail fast without ever reaching the
+// platform (unbilled by policy design).
+std::vector<DeadlineRow> DeadlineTable(bool json) {
+  const double rate = 0.02;
+  const int hops = 5;
+  std::vector<DeadlineRow> rows;
+  TextTable table({"variant", "budget ms", "ok", "fail-fast", "billed $",
+                   "wasted $", "wasted share", "$/success"});
+  for (const MicroSecs budget_ms : {1000, 1500, 2500}) {
+    for (const bool propagated : {false, true}) {
+      DeadlineRow row;
+      row.variant = propagated ? "budget" : "naive";
+      row.budget = budget_ms * kMicrosPerMilli;
+      WorkflowSimConfig cfg;
+      HopSpec proto;
+      proto.exec_cv = 1.0;
+      if (!propagated) {
+        proto.timeout = row.budget / hops;
+      }
+      cfg.dags.push_back(MakeChainDag("chain", hops, proto));
+      cfg.workflows = kWorkflows;
+      cfg.wps = 4.0;
+      cfg.failure_rate = rate;
+      cfg.init_failure_rate = rate / 4.0;
+      cfg.policy.retry.max_attempts = 3;
+      if (propagated) {
+        cfg.policy.deadline.deadline = row.budget;
+        cfg.policy.deadline.propagate = true;
+      }
+      cfg.pricing = MakeWorkflowPricing(Platform::kAwsLambda);
+      row.stats =
+          Summarize(SimulateWorkflows(cfg, MakeBillingModel(Platform::kAwsLambda), kSeed));
+      rows.push_back(row);
+      const WfStats& s = row.stats;
+      table.AddRow({row.variant, FormatDouble(static_cast<double>(budget_ms), 0),
+                    FormatDouble(static_cast<double>(s.successes), 0),
+                    FormatDouble(static_cast<double>(s.fail_fast), 0),
+                    FormatDouble(s.total, 6), FormatDouble(s.wasted, 6),
+                    FormatPercent(s.total > 0 ? s.wasted / s.total : 0.0, 1),
+                    s.successes > 0 ? FormatSci(s.cost_per_success, 3)
+                                    : std::string("n/a")});
+    }
+  }
+  if (!json) {
+    PrintHeader("Deadline budgets vs naive per-hop timeouts (5-hop chain, "
+                "cv=1.0, 2% failures)");
+    std::printf("%s", table.Render().c_str());
+  }
+  return rows;
+}
+
+struct HedgeRow {
+  MicroSecs init_mean = 0;
+  MicroSecs hedge_after = 0;
+  WfStats stats;
+  int64_t cold_starts = 0;
+};
+
+// Section 4: hedged requests on a high-variance 3-hop chain, in two
+// cold-start regimes. With cheap inits, hedging buys tail latency with
+// hedge-loser dollars — the classic trade. With 400 ms cold inits the same
+// policy backfires: a cold start alone exceeds the hedge threshold, so the
+// engine hedges cold starts, the hedges themselves cold-start, and each
+// cancellation destroys a warm sandbox — inflating the tail it was meant to
+// cut along with the bill.
+std::vector<HedgeRow> HedgeTable(bool json) {
+  std::vector<HedgeRow> rows;
+  for (const MicroSecs init_ms : {50, 400}) {
+    TextTable table({"hedge after ms", "cold starts", "p50 ms", "p99 ms",
+                     "hedge wins", "losers", "loser $", "billed $"});
+    for (const MicroSecs hedge_ms : {0, 200, 400}) {
+      HedgeRow row;
+      row.init_mean = init_ms * kMicrosPerMilli;
+      row.hedge_after = hedge_ms * kMicrosPerMilli;
+      WorkflowSimConfig cfg;
+      HopSpec proto;
+      proto.exec_cv = 1.0;  // Heavy tail: hedging has something to cut.
+      cfg.dags.push_back(MakeChainDag("chain", 3, proto));
+      cfg.workflows = kWorkflows;
+      cfg.wps = 4.0;
+      cfg.failure_rate = 0.02;
+      cfg.init_failure_rate = 0.005;
+      cfg.init_mean = row.init_mean;
+      cfg.policy.retry.max_attempts = 3;
+      cfg.policy.hedge.hedge_after = row.hedge_after;
+      cfg.pricing = MakeWorkflowPricing(Platform::kAwsLambda);
+      WorkflowSimResult res =
+          SimulateWorkflows(cfg, MakeBillingModel(Platform::kAwsLambda), kSeed);
+      row.stats = Summarize(res);
+      row.cold_starts = res.counters.cold_starts;
+      rows.push_back(row);
+      const WfStats& s = row.stats;
+      table.AddRow({FormatDouble(static_cast<double>(hedge_ms), 0),
+                    FormatDouble(static_cast<double>(row.cold_starts), 0),
+                    FormatDouble(static_cast<double>(s.p50) / kMicrosPerMilli, 0),
+                    FormatDouble(static_cast<double>(s.p99) / kMicrosPerMilli, 0),
+                    FormatDouble(static_cast<double>(s.hedge_wins), 0),
+                    FormatDouble(static_cast<double>(s.hedge_losers), 0),
+                    FormatDouble(s.hedge_losers_usd, 6), FormatDouble(s.total, 6)});
+    }
+    if (!json) {
+      if (init_ms == 50) {
+        PrintHeader("Hedged requests: tail latency bought with hedge-loser "
+                    "dollars (3-hop chain, cv=1.0)");
+      }
+      std::printf("\nCold init: %lld ms %s\n", static_cast<long long>(init_ms),
+                  init_ms >= 400 ? "(cold start alone crosses the hedge threshold)"
+                                 : "");
+      std::printf("%s", table.Render().c_str());
+    }
+  }
+  return rows;
+}
+
+void WriteStatsJson(const WfStats& s, JsonWriter* w) {
+  w->KV("attempts", s.attempts);
+  w->KV("successes", s.successes);
+  w->KV("failed", s.failed);
+  w->KV("billed_usd", s.total);
+  w->KV("wasted_usd", s.wasted);
+  w->KV("cost_per_success", s.cost_per_success);
+}
+
+}  // namespace
+}  // namespace faascost
+
+int main(int argc, char** argv) {
+  using namespace faascost;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    }
+  }
+  const auto depth = DepthTable(json);
+  if (!json) {
+    PrintHeader("Failure x retry budget on a 5-hop chain (AWS)");
+  }
+  const auto sweep = FailureSweep(json);
+  const auto deadline = DeadlineTable(json);
+  const auto hedge = HedgeTable(json);
+  if (json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("depth");
+    w.BeginArray();
+    for (const DepthRow& r : depth) {
+      w.BeginObject();
+      w.KV("hops", r.length);
+      w.KV("vs_single_call", r.vs_single);
+      w.KV("amplification", r.amplification);
+      WriteStatsJson(r.stats, &w);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("failure_sweep");
+    w.BeginArray();
+    for (const SweepRow& r : sweep) {
+      w.BeginObject();
+      w.KV("failure_rate", r.rate);
+      w.KV("max_attempts", r.max_attempts);
+      w.KV("inflation", r.inflation);
+      WriteStatsJson(r.stats, &w);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("deadline");
+    w.BeginArray();
+    for (const DeadlineRow& r : deadline) {
+      w.BeginObject();
+      w.KV("variant", r.variant);
+      w.KV("budget_ms", r.budget / kMicrosPerMilli);
+      w.KV("fail_fast", r.stats.fail_fast);
+      WriteStatsJson(r.stats, &w);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("hedge");
+    w.BeginArray();
+    for (const HedgeRow& r : hedge) {
+      w.BeginObject();
+      w.KV("init_ms", r.init_mean / kMicrosPerMilli);
+      w.KV("cold_starts", r.cold_starts);
+      w.KV("hedge_after_ms", r.hedge_after / kMicrosPerMilli);
+      w.KV("p50_ms", r.stats.p50 / kMicrosPerMilli);
+      w.KV("p99_ms", r.stats.p99 / kMicrosPerMilli);
+      w.KV("hedge_wins", r.stats.hedge_wins);
+      w.KV("hedge_losers", r.stats.hedge_losers);
+      w.KV("hedge_loser_usd", r.stats.hedge_losers_usd);
+      WriteStatsJson(r.stats, &w);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf(
+      "\nReading: orchestration multiplies single-call costs by depth and then\n"
+      "some — transition fees dominate short invocations, and a retry at hop k\n"
+      "re-pays every upstream hop. Propagated deadline budgets convert billed\n"
+      "per-hop timeouts into unbilled fail-fasts; hedging trades hedge-loser\n"
+      "dollars for tail latency — unless cold starts cross the hedge threshold,\n"
+      "in which case the hedges cold-start too and the policy inflates both.\n");
+  return 0;
+}

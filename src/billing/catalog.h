@@ -74,6 +74,29 @@ std::optional<double> CpuMemPriceRatio(Platform p);
 // analysis.
 UnitPrices FargateUnitPrices();
 
+// Orchestration-side prices for workflow DAGs (src/workflow): the per-hop
+// state-transition fee of the platform's workflow service and the
+// storage-operation costs of its dead-letter queue. These sit *next to* the
+// per-invocation BillingModel — each hop attempt is still invoiced through
+// ComputeInvoice; the workflow engine adds these on top, so workflow USD
+// decomposes exactly into Σ hop invoices + Σ transition fees + Σ DLQ ops.
+struct WorkflowPricing {
+  // Charged once per dispatched hop attempt (AWS Step Functions standard
+  // workflows: $25 per million state transitions).
+  Usd per_state_transition = 0.0;
+  // Charged once per terminally-failed async message written to the DLQ
+  // (SQS-class request pricing: $0.40 per million requests).
+  Usd dlq_write_fee = 0.0;
+  // Charged once per dead letter for the consumer that later drains it
+  // (receive + delete request pair).
+  Usd dlq_read_fee = 0.0;
+};
+
+// Workflow-service prices for a platform. Platforms without a documented
+// orchestration service inherit the AWS-anchored defaults, flagged in the
+// implementation, so cross-platform sweeps stay comparable.
+WorkflowPricing MakeWorkflowPricing(Platform p);
+
 }  // namespace faascost
 
 #endif  // FAASCOST_BILLING_CATALOG_H_

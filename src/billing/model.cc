@@ -133,6 +133,16 @@ bool BillsResources(const FailureBillingRules& rules, Outcome outcome) {
       return rules.bill_failed_duration;
     case Outcome::kCircuitOpen:
       return false;  // Fast-failed client-side; never reached the platform.
+    case Outcome::kUpstreamFailed:
+      return false;  // Skipped hop; never dispatched.
+    case Outcome::kHedgeLoser:
+      // The duplicate ran (and consumed resources) until cancellation landed;
+      // platforms bill aborted executions like any other failed duration.
+      return rules.bill_failed_duration;
+    case Outcome::kDeadLettered:
+      // The final redrive executed and failed; the DLQ storage operation is
+      // priced separately (WorkflowPricing), not through the invoice.
+      return rules.bill_failed_duration;
   }
   return true;
 }
@@ -141,7 +151,8 @@ bool BillsResources(const FailureBillingRules& rules, Outcome outcome) {
 
 Invoice ComputeInvoice(const BillingModel& model, const RequestRecord& request) {
   Invoice inv;
-  if (request.outcome == Outcome::kCircuitOpen) {
+  if (request.outcome == Outcome::kCircuitOpen ||
+      request.outcome == Outcome::kUpstreamFailed) {
     return inv;  // Never sent: no fee, no resources, $0 by construction.
   }
   if (request.outcome == Outcome::kRejected) {

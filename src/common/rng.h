@@ -35,6 +35,11 @@ inline constexpr uint64_t kFaultStream = 0;      // Request-level fault model.
 inline constexpr uint64_t kHostFaultStream = 1;  // Fleet host-failure model.
 // Host-fault per-host streams occupy [kHostStreamBase, kHostStreamBase + hosts).
 inline constexpr uint64_t kHostStreamBase = 16;
+// Workflow-engine per-instance streams occupy
+// [kWorkflowStreamBase, kWorkflowStreamBase + workflows). Each workflow's
+// seed is further split per (hop, attempt), so every draw is a pure function
+// of (base seed, workflow, hop, attempt) independent of event interleaving.
+inline constexpr uint64_t kWorkflowStreamBase = 1'048'576;
 
 // Full serializable position of one Rng stream: the xoshiro256** engine
 // words plus the Box-Muller spare. Restoring a saved state resumes the

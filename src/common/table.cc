@@ -69,4 +69,10 @@ std::string FormatPercent(double fraction, int precision) {
   return buf;
 }
 
+std::string FormatSignedPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
 }  // namespace faascost

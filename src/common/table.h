@@ -30,6 +30,7 @@ class TextTable {
 std::string FormatDouble(double v, int precision);
 std::string FormatSci(double v, int precision);  // e.g. "2.30e-05"
 std::string FormatPercent(double fraction, int precision);
+std::string FormatSignedPercent(double fraction, int precision);  // "+1.25%"
 
 }  // namespace faascost
 

@@ -232,4 +232,156 @@ void AuditFleetRun(const FleetResult& result, const FleetSimConfig& config,
   }
 }
 
+Usd RecomputeWorkflowTotalUsd(const WorkflowSimResult& result,
+                              const WorkflowSimConfig& config,
+                              const BillingModel& billing) {
+  Usd total = 0.0;
+  for (const HopAttempt& att : result.attempts) {
+    if (!att.platform_dispatched) {
+      continue;
+    }
+    const HopSpec& spec =
+        config.dags[static_cast<size_t>(att.dag)].hops[static_cast<size_t>(att.hop)];
+    total += ComputeInvoice(billing, BillableRecord(att.attempt, spec.vcpus, spec.mem_mb))
+                 .total;
+  }
+  total += config.pricing.per_state_transition *
+           static_cast<double>(result.counters.dispatched_attempts);
+  total += (config.pricing.dlq_write_fee + config.pricing.dlq_read_fee) *
+           static_cast<double>(result.counters.dead_letters);
+  return total;
+}
+
+void AuditWorkflowRun(const WorkflowSimResult& result, const WorkflowSimConfig& config,
+                      uint64_t seed, Auditor& auditor, const BillingModel& billing) {
+  const MicroSecs end = result.makespan;
+
+  // Per-attempt invariants: unbilled-by-construction rows carry exactly $0,
+  // billed rows match an independent re-pricing, and timelines are monotone.
+  int64_t dispatched = 0, circuit_open = 0, upstream = 0, fail_fast = 0, dead = 0,
+          hedge_losers = 0, cold = 0;
+  for (size_t i = 0; i < result.attempts.size(); ++i) {
+    const HopAttempt& att = result.attempts[i];
+    const std::string entity = "attempt " + std::to_string(i);
+    const Outcome oc = att.attempt.outcome;
+    auditor.Check(att.attempt.end >= att.attempt.dispatched &&
+                      att.attempt.exec_duration >= 0 && att.attempt.init_duration >= 0,
+                  "workflow.monotone_attempt_time", end, seed, entity,
+                  "dispatched=" + std::to_string(att.attempt.dispatched) +
+                      " end=" + std::to_string(att.attempt.end));
+    const bool never_billed =
+        oc == Outcome::kCircuitOpen || oc == Outcome::kUpstreamFailed || att.fail_fast;
+    auditor.Check(never_billed == !att.platform_dispatched, "workflow.never_billed",
+                  end, seed, entity,
+                  std::string("outcome=") + OutcomeName(oc) +
+                      " fail_fast=" + std::to_string(att.fail_fast) +
+                      " dispatched=" + std::to_string(att.platform_dispatched));
+    if (!att.platform_dispatched) {
+      auditor.Check(!(std::fabs(att.usd) > 0.0) && att.attempt.exec_duration == 0,
+                    "workflow.never_billed", end, seed, entity,
+                    "undispatched row carries usd=" + std::to_string(att.usd));
+    } else {
+      ++dispatched;
+      const HopSpec& spec =
+          config.dags[static_cast<size_t>(att.dag)].hops[static_cast<size_t>(att.hop)];
+      const Usd want =
+          ComputeInvoice(billing, BillableRecord(att.attempt, spec.vcpus, spec.mem_mb))
+              .total;
+      auditor.Check(UsdClose(att.usd, want), "workflow.usd_reconciliation", end, seed,
+                    entity, UsdPair(att.usd, want));
+    }
+    if (oc == Outcome::kCircuitOpen) ++circuit_open;
+    if (oc == Outcome::kUpstreamFailed) ++upstream;
+    if (oc == Outcome::kDeadLettered) ++dead;
+    if (oc == Outcome::kHedgeLoser) ++hedge_losers;
+    if (att.fail_fast) ++fail_fast;
+    if (att.attempt.cold_start) ++cold;
+  }
+  auditor.Check(dispatched == result.counters.dispatched_attempts &&
+                    circuit_open == result.counters.circuit_open &&
+                    upstream == result.counters.upstream_skipped &&
+                    fail_fast == result.counters.fail_fast &&
+                    dead == result.counters.dead_letters &&
+                    hedge_losers == result.counters.hedge_losers &&
+                    cold == result.counters.cold_starts,
+                "workflow.attempt_conservation", end, seed, "counters",
+                "recounted dispatched=" + std::to_string(dispatched) +
+                    " circuit_open=" + std::to_string(circuit_open) +
+                    " upstream=" + std::to_string(upstream) +
+                    " fail_fast=" + std::to_string(fail_fast) +
+                    " dead=" + std::to_string(dead) +
+                    " hedge_losers=" + std::to_string(hedge_losers) +
+                    " cold=" + std::to_string(cold));
+
+  // Workflow-outcome partition and per-workflow USD conservation: every
+  // instance terminated, and its USD is exactly the sum of its attempts'
+  // invoices plus its transition and DLQ fee shares.
+  int64_t ok = 0, failed = 0, degraded = 0;
+  std::vector<Usd> wf_usd(result.workflows.size(), 0.0);
+  std::vector<int64_t> wf_transitions(result.workflows.size(), 0);
+  std::vector<int64_t> wf_dead(result.workflows.size(), 0);
+  for (const HopAttempt& att : result.attempts) {
+    const size_t w = static_cast<size_t>(att.wf);
+    wf_usd[w] += att.usd;
+    if (att.platform_dispatched) ++wf_transitions[w];
+    if (att.attempt.outcome == Outcome::kDeadLettered) ++wf_dead[w];
+  }
+  const Usd fee_dlq = config.pricing.dlq_write_fee + config.pricing.dlq_read_fee;
+  for (size_t i = 0; i < result.workflows.size(); ++i) {
+    const WorkflowRow& row = result.workflows[i];
+    auditor.Check(row.end >= row.arrival, "workflow.monotone_attempt_time", end, seed,
+                  "wf " + std::to_string(i),
+                  "arrival=" + std::to_string(row.arrival) +
+                      " end=" + std::to_string(row.end));
+    const Usd want = wf_usd[i] +
+                     config.pricing.per_state_transition *
+                         static_cast<double>(wf_transitions[i]) +
+                     fee_dlq * static_cast<double>(wf_dead[i]);
+    auditor.Check(UsdClose(row.usd, want), "workflow.usd_conservation", end, seed,
+                  "wf " + std::to_string(i), UsdPair(row.usd, want));
+    if (row.outcome == Outcome::kOk) {
+      ++ok;
+      if (row.degraded) ++degraded;
+    } else {
+      ++failed;
+    }
+  }
+  auditor.Check(ok == result.counters.workflows_succeeded &&
+                    failed == result.counters.workflows_failed &&
+                    degraded == result.counters.degraded_successes &&
+                    ok + failed == result.counters.workflows_started,
+                "workflow.outcome_partition", end, seed, "counters",
+                "recounted ok=" + std::to_string(ok) + " failed=" +
+                    std::to_string(failed) + " degraded=" + std::to_string(degraded) +
+                    " started=" + std::to_string(result.counters.workflows_started));
+
+  // Run-level USD conservation: the decomposition adds up, the workflow rows
+  // add up to the run total, and the total matches an independent billing
+  // recomputation (hedge losers and dead letters included).
+  Usd attempts_usd = 0.0;
+  for (const HopAttempt& att : result.attempts) {
+    attempts_usd += att.usd;
+  }
+  auditor.Check(UsdClose(attempts_usd, result.usd_attempts),
+                "workflow.usd_conservation", end, seed, "usd_attempts",
+                UsdPair(result.usd_attempts, attempts_usd));
+  auditor.Check(UsdClose(result.usd_total,
+                         result.usd_attempts + result.usd_transitions + result.usd_dlq),
+                "workflow.usd_conservation", end, seed, "usd_total",
+                UsdPair(result.usd_total,
+                        result.usd_attempts + result.usd_transitions + result.usd_dlq));
+  Usd rows_usd = 0.0;
+  for (const WorkflowRow& row : result.workflows) {
+    rows_usd += row.usd;
+  }
+  auditor.Check(UsdClose(rows_usd, result.usd_total), "workflow.usd_conservation", end,
+                seed, "workflow rows", UsdPair(rows_usd, result.usd_total));
+  auditor.Check(UsdClose(result.usd_useful + result.usd_wasted, result.usd_total),
+                "workflow.usd_conservation", end, seed, "waste decomposition",
+                UsdPair(result.usd_useful + result.usd_wasted, result.usd_total));
+  const Usd recomputed = RecomputeWorkflowTotalUsd(result, config, billing);
+  auditor.Check(UsdClose(result.usd_total, recomputed), "workflow.usd_reconciliation",
+                end, seed, "billing", UsdPair(result.usd_total, recomputed));
+}
+
 }  // namespace faascost

@@ -22,6 +22,8 @@ const char* SpanKindName(SpanKind kind) {
       return "throttle";
     case SpanKind::kPreempt:
       return "preempt";
+    case SpanKind::kWorkflow:
+      return "workflow";
   }
   return "unknown";
 }
@@ -38,6 +40,8 @@ const char* TrackGroupName(int group) {
       return "fleet.sandboxes";
     case kTrackGroupTenant:
       return "sched.tenants";
+    case kTrackGroupWorkflow:
+      return "workflow.instances";
   }
   return "unknown";
 }

@@ -29,6 +29,7 @@ enum class SpanKind {
   kSandboxLife,      // Sandbox creation to death (or end of run).
   kThrottle,         // Tenant frozen by the CPU bandwidth controller.
   kPreempt,          // Tenant runnable but preempted by co-tenants.
+  kWorkflow,         // Workflow instance, first dispatch to terminal outcome.
 };
 
 const char* SpanKindName(SpanKind kind);
@@ -40,6 +41,9 @@ inline constexpr int kTrackGroupSandbox = 2;        // PlatformSim, per sandbox.
 inline constexpr int kTrackGroupFleetFunction = 3;  // FleetSim, per function.
 inline constexpr int kTrackGroupFleetSandbox = 4;   // FleetSim, per sandbox.
 inline constexpr int kTrackGroupTenant = 5;         // HostSim, per tenant.
+// WorkflowSim: hop spans share their workflow's tid, so they render nested
+// under the kWorkflow root span in the Chrome trace.
+inline constexpr int kTrackGroupWorkflow = 6;       // WorkflowSim, per workflow.
 
 const char* TrackGroupName(int group);
 

@@ -7,6 +7,8 @@
 #define FAASCOST_TRACE_RECORD_H_
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "src/common/units.h"
@@ -26,6 +28,21 @@ enum class Outcome {
   kRetriesExhausted,  // Request-level: every client attempt failed.
   kCircuitOpen,       // Client circuit breaker fast-failed the dispatch;
                       // the attempt never reached the platform (not billed).
+  kUpstreamFailed,    // Workflow hop skipped because an upstream hop failed
+                      // terminally; never dispatched (not billed).
+  kHedgeLoser,        // Speculative duplicate that lost the hedge race; billed
+                      // for the duration it ran before cancellation landed.
+  kDeadLettered,      // Async hop exhausted platform-side redrives; the final
+                      // attempt is billed and the message is DLQ-priced.
+};
+
+// Every Outcome value, in enum order. Kept adjacent to the enum so adding a
+// value without extending the table is caught by the round-trip test.
+inline constexpr Outcome kAllOutcomes[] = {
+    Outcome::kOk,          Outcome::kInitFailure,      Outcome::kCrash,
+    Outcome::kTimeout,     Outcome::kRejected,         Outcome::kRetriesExhausted,
+    Outcome::kCircuitOpen, Outcome::kUpstreamFailed,   Outcome::kHedgeLoser,
+    Outcome::kDeadLettered,
 };
 
 inline const char* OutcomeName(Outcome o) {
@@ -44,8 +61,27 @@ inline const char* OutcomeName(Outcome o) {
       return "retries_exhausted";
     case Outcome::kCircuitOpen:
       return "circuit_open";
+    case Outcome::kUpstreamFailed:
+      return "upstream_failed";
+    case Outcome::kHedgeLoser:
+      return "hedge_loser";
+    case Outcome::kDeadLettered:
+      return "dead_lettered";
   }
   return "unknown";
+}
+
+// Inverse of OutcomeName: parses the serialized outcome token of a JSONL/CSV
+// artifact back into the enum, so checkpointed workflow state and exported
+// attempt records can be re-ingested. Returns nullopt for unknown tokens
+// (including "unknown" itself, which no valid Outcome serializes to).
+inline std::optional<Outcome> OutcomeFromName(std::string_view name) {
+  for (const Outcome o : kAllOutcomes) {
+    if (name == OutcomeName(o)) {
+      return o;
+    }
+  }
+  return std::nullopt;
 }
 
 // One function invocation as recorded by the provider.

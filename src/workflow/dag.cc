@@ -1,0 +1,205 @@
+#include "src/workflow/dag.h"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace faascost {
+
+int WorkflowDag::AddHop(HopSpec hop) {
+  hops.push_back(std::move(hop));
+  children.emplace_back();
+  parents.emplace_back();
+  return static_cast<int>(hops.size()) - 1;
+}
+
+void WorkflowDag::AddEdge(int from, int to) {
+  const int n = static_cast<int>(hops.size());
+  if (from >= 0 && from < n) {
+    children[static_cast<size_t>(from)].push_back(to);
+  }
+  if (to >= 0 && to < n) {
+    parents[static_cast<size_t>(to)].push_back(from);
+  }
+}
+
+std::vector<int> WorkflowDag::Sources() const {
+  std::vector<int> out;
+  for (size_t h = 0; h < hops.size(); ++h) {
+    if (parents[h].empty()) {
+      out.push_back(static_cast<int>(h));
+    }
+  }
+  return out;
+}
+
+std::vector<int> WorkflowDag::Sinks() const {
+  std::vector<int> out;
+  for (size_t h = 0; h < hops.size(); ++h) {
+    if (children[h].empty()) {
+      out.push_back(static_cast<int>(h));
+    }
+  }
+  return out;
+}
+
+std::vector<int> WorkflowDag::TopoOrder() const {
+  const size_t n = hops.size();
+  std::vector<int> indegree(n, 0);
+  for (size_t h = 0; h < n; ++h) {
+    for (const int c : children[h]) {
+      if (c >= 0 && static_cast<size_t>(c) < n) {
+        ++indegree[static_cast<size_t>(c)];
+      }
+    }
+  }
+  // Min-heap on hop index: the order is a pure function of the DAG, not of
+  // insertion order, so validation messages and traversals stay stable.
+  std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+  for (size_t h = 0; h < n; ++h) {
+    if (indegree[h] == 0) {
+      ready.push(static_cast<int>(h));
+    }
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const int h = ready.top();
+    ready.pop();
+    order.push_back(h);
+    for (const int c : children[static_cast<size_t>(h)]) {
+      if (c < 0 || static_cast<size_t>(c) >= n) {
+        continue;
+      }
+      if (--indegree[static_cast<size_t>(c)] == 0) {
+        ready.push(c);
+      }
+    }
+  }
+  if (order.size() != n) {
+    return {};  // Cycle.
+  }
+  return order;
+}
+
+std::vector<std::string> WorkflowDag::Validate() const {
+  std::vector<std::string> errors;
+  const int n = static_cast<int>(hops.size());
+  if (n == 0) {
+    errors.push_back("dag '" + name + "': has no hops");
+    return errors;
+  }
+  for (int h = 0; h < n; ++h) {
+    const HopSpec& hop = hops[static_cast<size_t>(h)];
+    const std::string where = "dag '" + name + "' hop " + std::to_string(h);
+    if (hop.exec_mean <= 0) {
+      errors.push_back(where + ": exec_mean must be positive");
+    }
+    if (hop.exec_cv < 0.0) {
+      errors.push_back(where + ": exec_cv must be non-negative");
+    }
+    if (hop.cpu_fraction < 0.0 || hop.cpu_fraction > 1.0) {
+      errors.push_back(where + ": cpu_fraction must be in [0, 1]");
+    }
+    if (hop.vcpus <= 0.0) {
+      errors.push_back(where + ": vcpus must be positive");
+    }
+    if (hop.mem_mb <= 0.0) {
+      errors.push_back(where + ": mem_mb must be positive");
+    }
+    if (hop.timeout < 0) {
+      errors.push_back(where + ": timeout must be non-negative");
+    }
+    if (hop.failure_rate > 1.0) {
+      errors.push_back(where + ": failure_rate must be <= 1");
+    }
+    const int fan_in = static_cast<int>(parents[static_cast<size_t>(h)].size());
+    if (hop.quorum < 0 || hop.quorum > fan_in) {
+      errors.push_back(where + ": quorum " + std::to_string(hop.quorum) +
+                       " out of range for fan-in " + std::to_string(fan_in));
+    }
+    if (hop.zone < 0) {
+      errors.push_back(where + ": zone must be non-negative");
+    }
+    for (const int c : children[static_cast<size_t>(h)]) {
+      if (c < 0 || c >= n) {
+        errors.push_back(where + ": edge to out-of-range hop " + std::to_string(c));
+      } else if (c == h) {
+        errors.push_back(where + ": self-edge");
+      }
+    }
+  }
+  if (errors.empty() && TopoOrder().empty()) {
+    errors.push_back("dag '" + name + "': contains a cycle");
+  }
+  return errors;
+}
+
+WorkflowDag MakeChainDag(const std::string& name, int length, const HopSpec& proto,
+                         bool spread_zones) {
+  WorkflowDag dag;
+  dag.name = name;
+  for (int i = 0; i < length; ++i) {
+    HopSpec hop = proto;
+    hop.name = name + ".h" + std::to_string(i);
+    if (spread_zones) {
+      hop.zone = proto.zone + i;
+    }
+    dag.AddHop(std::move(hop));
+    if (i > 0) {
+      dag.AddEdge(i - 1, i);
+    }
+  }
+  return dag;
+}
+
+WorkflowDag MakeFanOutDag(const std::string& name, int width, int quorum,
+                          const HopSpec& proto) {
+  WorkflowDag dag;
+  dag.name = name;
+  HopSpec source = proto;
+  source.name = name + ".src";
+  const int src = dag.AddHop(std::move(source));
+  for (int i = 0; i < width; ++i) {
+    HopSpec branch = proto;
+    branch.name = name + ".b" + std::to_string(i);
+    branch.zone = proto.zone + i;
+    const int b = dag.AddHop(std::move(branch));
+    dag.AddEdge(src, b);
+  }
+  HopSpec join = proto;
+  join.name = name + ".join";
+  join.quorum = quorum;
+  const int j = dag.AddHop(std::move(join));
+  for (int i = 0; i < width; ++i) {
+    dag.AddEdge(src + 1 + i, j);
+  }
+  return dag;
+}
+
+WorkflowDag MakeMapReduceDag(const std::string& name, int mappers, const HopSpec& proto) {
+  WorkflowDag dag;
+  dag.name = name;
+  HopSpec split = proto;
+  split.name = name + ".split";
+  const int s = dag.AddHop(std::move(split));
+  for (int i = 0; i < mappers; ++i) {
+    HopSpec map = proto;
+    map.name = name + ".map" + std::to_string(i);
+    map.zone = proto.zone + i;
+    const int m = dag.AddHop(std::move(map));
+    dag.AddEdge(s, m);
+  }
+  HopSpec reduce = proto;
+  reduce.name = name + ".reduce";
+  // Shuffle cost: the reduce hop reads every mapper's output.
+  reduce.exec_mean = proto.exec_mean + (proto.exec_mean / 4) * mappers;
+  const int r = dag.AddHop(std::move(reduce));
+  for (int i = 0; i < mappers; ++i) {
+    dag.AddEdge(s + 1 + i, r);
+  }
+  return dag;
+}
+
+}  // namespace faascost

@@ -1,0 +1,96 @@
+// Workflow DAG model: one request triggers a graph of function invocations
+// with data dependencies (SeBS-style application archetypes; ROADMAP
+// "Scenario diversity"). A WorkflowDag is a static template — hops are the
+// *functions* of the application, shared by every workflow instance, so
+// chained invocations interact with cold starts and keep-alive exactly the
+// way single calls cannot: instance N's hop warms the sandbox instance N+1
+// reuses, and a mid-chain failure bills every upstream hop.
+//
+// The builders produce the three archetypes the workflow bench sweeps:
+// linear chains (web/API pipelines), fan-out/fan-in (parallel batch with an
+// optional quorum join), and map-reduce (split -> mappers -> reduce).
+
+#ifndef FAASCOST_WORKFLOW_DAG_H_
+#define FAASCOST_WORKFLOW_DAG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace faascost {
+
+// One node of the DAG: a deployed function plus its invocation profile.
+struct HopSpec {
+  std::string name;
+  // Wall-clock execution time model: lognormal with this mean and
+  // coefficient of variation (sigma/mean of the distribution itself).
+  MicroSecs exec_mean = 80 * kMicrosPerMilli;
+  double exec_cv = 0.25;
+  // Fraction of the execution spent on-CPU (the rest is I/O wait); consumed
+  // CPU time on the billable record is exec * cpu_fraction * vcpus.
+  double cpu_fraction = 0.8;
+  double vcpus = 1.0;
+  MegaBytes mem_mb = 1024.0;
+  // Per-hop platform execution timeout (the "naive" policy knob); 0 = none.
+  // Under a propagated deadline budget the effective timeout additionally
+  // shrinks to the workflow's remaining budget.
+  MicroSecs timeout = 0;
+  // Per-attempt failure probability override; < 0 uses the engine-wide rate.
+  double failure_rate = -1.0;
+  // Async hop: on failure the *provider* re-drives it (AsyncRedrivePolicy)
+  // and terminal failures are dead-lettered; client retries and hedging do
+  // not apply.
+  bool async = false;
+  // For join nodes (>1 parent): dispatch once this many parents succeeded
+  // (degraded fan-in); 0 = require every parent. Parents that are still
+  // running when the join fires become billed stragglers.
+  int quorum = 0;
+  // Zone pinning for chaos scenarios (taken modulo the engine's zone count).
+  int zone = 0;
+};
+
+// A directed acyclic graph of hops. Edges point downstream (from producer to
+// consumer); hops with no parents are sources (dispatched at workflow
+// arrival), hops with no children are sinks (the workflow succeeds when all
+// sinks succeed).
+struct WorkflowDag {
+  std::string name;
+  std::vector<HopSpec> hops;
+  std::vector<std::vector<int>> children;  // children[h] = downstream hops.
+  std::vector<std::vector<int>> parents;   // parents[h] = upstream hops.
+
+  // Appends a hop and returns its index; keeps the adjacency arrays sized.
+  int AddHop(HopSpec hop);
+  // Adds the edge from -> to. Indices must already exist (Validate checks).
+  void AddEdge(int from, int to);
+
+  std::vector<int> Sources() const;
+  std::vector<int> Sinks() const;
+
+  // Topological order (Kahn, smallest-index-first: deterministic); empty
+  // when the graph has a cycle.
+  std::vector<int> TopoOrder() const;
+
+  // Human-readable config errors (bad indices, cycles, quorum out of range,
+  // non-positive execution model); empty when valid.
+  std::vector<std::string> Validate() const;
+};
+
+// Linear chain of `length` hops cloned from `proto` (hop i named
+// "<name>.h<i>", zone = proto.zone + i when spread_zones).
+WorkflowDag MakeChainDag(const std::string& name, int length, const HopSpec& proto,
+                         bool spread_zones = false);
+
+// Fan-out/fan-in: one source, `width` parallel branches, one join sink with
+// the given quorum (0 = wait for every branch).
+WorkflowDag MakeFanOutDag(const std::string& name, int width, int quorum,
+                          const HopSpec& proto);
+
+// Map-reduce: a splitter, `mappers` parallel map hops, and a reduce join
+// whose execution scales with the mapper count (shuffle cost).
+WorkflowDag MakeMapReduceDag(const std::string& name, int mappers, const HopSpec& proto);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_WORKFLOW_DAG_H_

@@ -1,0 +1,65 @@
+#include "src/workflow/policy.h"
+
+#include <string>
+#include <vector>
+
+namespace faascost {
+
+std::vector<std::string> DeadlineBudgetPolicy::Validate() const {
+  std::vector<std::string> errors;
+  if (deadline < 0) {
+    errors.push_back("deadline.deadline must be non-negative");
+  }
+  return errors;
+}
+
+std::vector<std::string> HedgePolicy::Validate() const {
+  std::vector<std::string> errors;
+  if (hedge_after < 0) {
+    errors.push_back("hedge.hedge_after must be non-negative");
+  }
+  if (cancel_latency < 0) {
+    errors.push_back("hedge.cancel_latency must be non-negative");
+  }
+  return errors;
+}
+
+std::vector<std::string> AsyncRedrivePolicy::Validate() const {
+  std::vector<std::string> errors;
+  if (max_redrives < 0) {
+    errors.push_back("redrive.max_redrives must be non-negative");
+  }
+  if (redrive_delay < 0) {
+    errors.push_back("redrive.redrive_delay must be non-negative");
+  }
+  return errors;
+}
+
+std::vector<std::string> WorkflowPolicy::Validate() const {
+  std::vector<std::string> errors = retry.Validate();
+  for (const auto& e : deadline.Validate()) {
+    errors.push_back(e);
+  }
+  for (const auto& e : hedge.Validate()) {
+    errors.push_back(e);
+  }
+  for (const auto& e : redrive.Validate()) {
+    errors.push_back(e);
+  }
+  // Worst case per hop: every client attempt plus one hedge each, or the
+  // initial async delivery plus every redrive. Keep both well inside the
+  // per-hop RNG stream window.
+  const int sync_worst = retry.max_attempts * (hedge.enabled() ? 2 : 1);
+  const int async_worst = 1 + redrive.max_redrives;
+  if (sync_worst > kMaxAttemptsPerHop / 2) {
+    errors.push_back("policy: max_attempts x hedging exceeds " +
+                     std::to_string(kMaxAttemptsPerHop / 2) + " attempts per hop");
+  }
+  if (async_worst > kMaxAttemptsPerHop / 2) {
+    errors.push_back("policy: max_redrives exceeds " +
+                     std::to_string(kMaxAttemptsPerHop / 2 - 1) + " redrives per hop");
+  }
+  return errors;
+}
+
+}  // namespace faascost

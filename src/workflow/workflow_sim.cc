@@ -1,0 +1,967 @@
+#include "src/workflow/workflow_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace faascost {
+
+std::vector<std::string> ZonalOutageSpec::Validate() const {
+  std::vector<std::string> errors;
+  if (zone < 0) {
+    errors.push_back("outage.zone must be non-negative");
+  }
+  if (start < 0) {
+    errors.push_back("outage.start must be non-negative");
+  }
+  if (duration <= 0) {
+    errors.push_back("outage.duration must be positive");
+  }
+  return errors;
+}
+
+std::vector<std::string> WorkflowSimConfig::Validate() const {
+  std::vector<std::string> errors;
+  if (workflows < 0) {
+    errors.push_back("workflows must be non-negative");
+  }
+  if (workflows > 0 && dags.empty()) {
+    errors.push_back("workflows > 0 requires at least one dag");
+  }
+  for (const WorkflowDag& dag : dags) {
+    for (const auto& e : dag.Validate()) {
+      errors.push_back(e);
+    }
+  }
+  if (!(wps > 0.0)) {
+    errors.push_back("wps must be positive");
+  }
+  if (keepalive < 0) {
+    errors.push_back("keepalive must be non-negative");
+  }
+  if (init_mean <= 0) {
+    errors.push_back("init_mean must be positive");
+  }
+  if (init_jitter < 0.0 || init_jitter > 1.0) {
+    errors.push_back("init_jitter must be in [0, 1]");
+  }
+  if (failure_rate < 0.0 || failure_rate > 1.0) {
+    errors.push_back("failure_rate must be in [0, 1]");
+  }
+  if (init_failure_rate < 0.0 || init_failure_rate > 1.0) {
+    errors.push_back("init_failure_rate must be in [0, 1]");
+  }
+  if (zones < 1) {
+    errors.push_back("zones must be >= 1");
+  }
+  for (const ZonalOutageSpec& o : outages) {
+    for (const auto& e : o.Validate()) {
+      errors.push_back(e);
+    }
+  }
+  for (const auto& e : policy.Validate()) {
+    errors.push_back(e);
+  }
+  if (pricing.per_state_transition < 0.0 || pricing.dlq_write_fee < 0.0 ||
+      pricing.dlq_read_fee < 0.0) {
+    errors.push_back("pricing fees must be non-negative");
+  }
+  return errors;
+}
+
+namespace {
+
+enum class EvKind { kOutageStart, kArrival, kDispatch, kComplete, kHedgeFire };
+
+// kDispatch flavors.
+constexpr int kFlavorClient = 0;   // First attempt or client retry.
+constexpr int kFlavorRedrive = 1;  // Platform-side async redrive.
+
+struct Event {
+  MicroSecs time = 0;
+  int64_t seq = 0;
+  EvKind kind = EvKind::kArrival;
+  int64_t wf = -1;
+  int hop = -1;
+  int64_t idx = -1;  // Attempt row (kComplete/kHedgeFire) or outage index.
+  int flavor = kFlavorClient;
+};
+
+// Min-heap on (time, seq): ties resolve in scheduling order, so runs are
+// bit-reproducible regardless of heap internals.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+struct Sandbox {
+  MicroSecs free_at = 0;
+};
+
+// One deployed function (a (dag, hop) pair), shared across every workflow
+// instance of that dag: warm pool + the client fleet's circuit breaker.
+struct FunctionState {
+  std::vector<Sandbox> warm;
+  CircuitBreaker breaker{0, 0};
+  bool breaker_open_last = false;
+};
+
+struct HopState {
+  int succeeded_parents = 0;
+  int terminal_parents = 0;
+  bool dispatched = false;
+  bool resolved = false;
+  bool success = false;
+  // The quorum join this hop feeds already fired: the current attempt runs
+  // to completion (billed), but no further retries/redrives are spent.
+  bool straggler = false;
+  int total_attempts = 0;   // RNG-ordinal counter (client + hedge + redrive).
+  int client_attempts = 0;  // Sync client attempts, incl. kCircuitOpen rows.
+  int redrives = 0;
+  std::vector<int64_t> open;  // Open attempt rows, ascending.
+};
+
+struct WfState {
+  MicroSecs arrival = 0;
+  int dag = 0;
+  std::vector<HopState> hops;
+  int pending_sinks = 0;
+  int failed_sinks = 0;
+  bool done = false;
+  bool degraded = false;
+  // Outcome of the first non-straggler hop that failed terminally.
+  Outcome root_cause = Outcome::kOk;
+  Outcome outcome = Outcome::kOk;
+  MicroSecs end = 0;
+  Usd usd_attempts = 0.0;
+  int64_t transitions = 0;
+  int64_t dead_letters = 0;
+};
+
+// Engine-private per-attempt bookkeeping, parallel to result.attempts.
+struct AttemptExtra {
+  bool closed = false;
+  int zone = 0;
+  bool survives = false;  // Sandbox outlives the attempt (kOk / mid-exec timeout).
+  MicroSecs backoff = 0;  // Pre-drawn client retry backoff.
+};
+
+class Engine {
+ public:
+  Engine(const WorkflowSimConfig& cfg, const BillingModel& billing, uint64_t seed)
+      : cfg_(cfg), billing_(billing), seed_(seed) {}
+
+  WorkflowSimResult Run();
+
+ private:
+  const WorkflowDag& Dag(int d) const { return cfg_.dags[static_cast<size_t>(d)]; }
+  const HopSpec& Spec(int d, int h) const {
+    return Dag(d).hops[static_cast<size_t>(h)];
+  }
+  int ZoneOf(const HopSpec& spec) const { return spec.zone % cfg_.zones; }
+
+  uint64_t AttemptSeed(int64_t wf, int hop, int ordinal) const {
+    const uint64_t wf_seed =
+        DeriveSeed(seed_, kWorkflowStreamBase + static_cast<uint64_t>(wf));
+    return DeriveSeed(wf_seed, static_cast<uint64_t>(hop) * kMaxAttemptsPerHop +
+                                   static_cast<uint64_t>(ordinal));
+  }
+
+  void Schedule(Event e) {
+    e.seq = next_seq_++;
+    events_.push(e);
+  }
+
+  bool InOutage(int zone, MicroSecs t) const {
+    for (const ZonalOutageSpec& o : cfg_.outages) {
+      if (o.zone % cfg_.zones == zone && t >= o.start && t < o.start + o.duration) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  MicroSecs SampleInit(Rng& rng) const {
+    if (cfg_.init_jitter > 0.0) {
+      const double f = rng.Uniform(1.0 - cfg_.init_jitter, 1.0 + cfg_.init_jitter);
+      return std::max<MicroSecs>(
+          1, static_cast<MicroSecs>(static_cast<double>(cfg_.init_mean) * f));
+    }
+    return cfg_.init_mean;
+  }
+
+  MicroSecs SampleExec(const HopSpec& spec, Rng& rng) const {
+    if (!(spec.exec_cv > 0.0)) {
+      return std::max<MicroSecs>(1, spec.exec_mean);
+    }
+    const double mean = static_cast<double>(spec.exec_mean);
+    const double sigma2 = std::log1p(spec.exec_cv * spec.exec_cv);
+    const double mu = std::log(mean) - sigma2 / 2.0;
+    const double x = rng.LogNormal(mu, std::sqrt(sigma2));
+    return std::max<MicroSecs>(1, static_cast<MicroSecs>(x));
+  }
+
+  // Removes (if present) an expired-keepalive prune + MRU acquire. Returns
+  // true when a warm sandbox was taken.
+  bool AcquireWarm(FunctionState& fs, MicroSecs t) {
+    std::vector<Sandbox>& w = fs.warm;
+    w.erase(std::remove_if(w.begin(), w.end(),
+                           [&](const Sandbox& s) { return s.free_at + cfg_.keepalive < t; }),
+            w.end());
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(w.size()); ++i) {
+      if (w[static_cast<size_t>(i)].free_at <= t &&
+          (best < 0 || w[static_cast<size_t>(i)].free_at > w[static_cast<size_t>(best)].free_at)) {
+        best = i;
+      }
+    }
+    if (best < 0) {
+      return false;
+    }
+    w.erase(w.begin() + best);
+    return true;
+  }
+
+  void NoteBreaker(int d, int h) {
+    FunctionState& fs = functions_[static_cast<size_t>(d)][static_cast<size_t>(h)];
+    const bool open = fs.breaker.open();
+    if (open != fs.breaker_open_last) {
+      fs.breaker_open_last = open;
+      res_.breaker_transitions.push_back({now_, d, h, open});
+    }
+  }
+
+  int64_t NewRow(int64_t wf, int hop, Outcome outcome, bool hedge, bool redrive) {
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    HopState& hs = ws.hops[static_cast<size_t>(hop)];
+    if (hs.total_attempts >= kMaxAttemptsPerHop) {
+      throw IntegrityViolation("workflow.attempt_stream_overflow", now_, seed_,
+                               "wf " + std::to_string(wf) + " hop " + std::to_string(hop),
+                               "per-hop attempt ordinal exceeded kMaxAttemptsPerHop");
+    }
+    HopAttempt row;
+    row.wf = wf;
+    row.dag = ws.dag;
+    row.hop = hop;
+    row.attempt.req_idx = hop;
+    row.attempt.attempt = ++hs.total_attempts;  // 1-based ordinal.
+    row.attempt.outcome = outcome;
+    row.hedge = hedge;
+    row.provider_redrive = redrive;
+    res_.attempts.push_back(row);
+    extras_.emplace_back();
+    return static_cast<int64_t>(res_.attempts.size()) - 1;
+  }
+
+  void EmitAttemptSpans(int64_t idx) {
+    if (cfg_.trace == nullptr) {
+      return;
+    }
+    const HopAttempt& row = res_.attempts[static_cast<size_t>(idx)];
+    if (row.attempt.cold_start && row.attempt.init_duration > 0) {
+      Span s;
+      s.kind = SpanKind::kInit;
+      s.group = kTrackGroupWorkflow;
+      s.track = row.wf;
+      s.start = row.attempt.dispatched;
+      s.duration = row.attempt.init_duration;
+      s.req_idx = row.hop;
+      s.attempt = row.attempt.attempt;
+      s.ref = idx;
+      s.cold = true;
+      cfg_.trace->Record(s);
+    }
+    Span s;
+    s.kind = SpanKind::kExec;
+    s.group = kTrackGroupWorkflow;
+    s.track = row.wf;
+    s.start = row.attempt.dispatched + row.attempt.init_duration;
+    s.duration = row.attempt.exec_duration;
+    s.req_idx = row.hop;
+    s.attempt = row.attempt.attempt;
+    s.ref = idx;
+    s.status = OutcomeName(row.attempt.outcome);
+    s.terminal = true;
+    s.billed_micros = row.attempt.exec_duration;
+    s.billed_usd = row.usd;
+    cfg_.trace->Record(s);
+  }
+
+  void EmitBackoffSpan(int64_t wf, int hop, int attempt, MicroSecs delay) {
+    if (cfg_.trace == nullptr) {
+      return;
+    }
+    Span s;
+    s.kind = SpanKind::kBackoff;
+    s.group = kTrackGroupWorkflow;
+    s.track = wf;
+    s.start = now_;
+    s.duration = delay;
+    s.req_idx = hop;
+    s.attempt = attempt;
+    cfg_.trace->Record(s);
+  }
+
+  // Bills the row, books its USD, returns the sandbox, emits spans. Every
+  // attempt row passes through here exactly once.
+  void CloseRow(int64_t idx) {
+    AttemptExtra& ex = extras_[static_cast<size_t>(idx)];
+    if (ex.closed) {
+      throw IntegrityViolation("workflow.double_close", now_, seed_,
+                               "attempt " + std::to_string(idx), "row closed twice");
+    }
+    ex.closed = true;
+    HopAttempt& row = res_.attempts[static_cast<size_t>(idx)];
+    WfState& ws = wfs_[static_cast<size_t>(row.wf)];
+    const HopSpec& spec = Spec(row.dag, row.hop);
+    if (row.platform_dispatched) {
+      row.usd =
+          ComputeInvoice(billing_, BillableRecord(row.attempt, spec.vcpus, spec.mem_mb))
+              .total;
+    }
+    ws.usd_attempts += row.usd;
+    res_.usd_attempts += row.usd;
+    if (row.attempt.outcome == Outcome::kHedgeLoser) {
+      res_.usd_hedge_losers += row.usd;
+    }
+    HopState& hs = ws.hops[static_cast<size_t>(row.hop)];
+    if (hs.straggler) {
+      row.straggler = true;
+      ++res_.counters.stragglers;
+      res_.usd_stragglers += row.usd;
+    }
+    if (row.platform_dispatched && ex.survives) {
+      functions_[static_cast<size_t>(row.dag)][static_cast<size_t>(row.hop)].warm.push_back(
+          {row.attempt.end});
+    }
+    EmitAttemptSpans(idx);
+  }
+
+  void RemoveOpen(HopState& hs, int64_t idx) {
+    hs.open.erase(std::remove(hs.open.begin(), hs.open.end(), idx), hs.open.end());
+  }
+
+  // Truncates an in-flight row at `t` (hedge cancel or outage kill).
+  static void TruncateRow(HopAttempt& row, MicroSecs t) {
+    row.attempt.end = t;
+    const MicroSecs since_dispatch = t - row.attempt.dispatched;
+    if (since_dispatch <= row.attempt.init_duration) {
+      row.attempt.init_duration = since_dispatch;
+      row.attempt.exec_duration = 0;
+      row.attempt.start_exec = 0;
+    } else {
+      row.attempt.exec_duration = since_dispatch - row.attempt.init_duration;
+    }
+  }
+
+  void OnArrival(int64_t wf) {
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    ws.arrival = now_;
+    ws.dag = static_cast<int>(wf % static_cast<int64_t>(cfg_.dags.size()));
+    const WorkflowDag& dag = Dag(ws.dag);
+    ws.hops.resize(dag.hops.size());
+    ws.pending_sinks = static_cast<int>(dag.Sinks().size());
+    ++res_.counters.workflows_started;
+    for (const int src : dag.Sources()) {
+      ws.hops[static_cast<size_t>(src)].dispatched = true;
+      DispatchAttempt(wf, src, /*hedge=*/false, /*redrive=*/false);
+    }
+  }
+
+  void DispatchAttempt(int64_t wf, int hop, bool hedge, bool redrive) {
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    HopState& hs = ws.hops[static_cast<size_t>(hop)];
+    const HopSpec& spec = Spec(ws.dag, hop);
+    if (!hedge && !redrive && !spec.async) {
+      ++hs.client_attempts;
+    }
+
+    // Deadline fast-fail: with a propagated budget, a hop that cannot fit is
+    // never handed to the platform — the row exists (taxonomy + audit) but
+    // is unbilled by construction.
+    const DeadlineBudgetPolicy& dl = cfg_.policy.deadline;
+    if (!hedge && dl.enabled() && dl.propagate && now_ >= ws.arrival + dl.deadline) {
+      const int64_t idx = NewRow(wf, hop, Outcome::kTimeout, hedge, redrive);
+      HopAttempt& row = res_.attempts[static_cast<size_t>(idx)];
+      row.fail_fast = true;
+      row.attempt.dispatched = now_;
+      row.attempt.end = now_;
+      CloseRow(idx);
+      ++res_.counters.fail_fast;
+      ResolveHopFailure(wf, hop, Outcome::kTimeout);
+      return;
+    }
+
+    FunctionState& fs = functions_[static_cast<size_t>(ws.dag)][static_cast<size_t>(hop)];
+
+    // Circuit breaker guards sync client dispatches (hedges ride on an
+    // admitted primary; redrives are platform-side).
+    if (!spec.async && !hedge && fs.breaker.enabled()) {
+      const bool allowed = fs.breaker.AllowDispatch(now_);
+      NoteBreaker(ws.dag, hop);
+      if (!allowed) {
+        const int ordinal = hs.total_attempts;
+        const int64_t idx = NewRow(wf, hop, Outcome::kCircuitOpen, hedge, redrive);
+        HopAttempt& row = res_.attempts[static_cast<size_t>(idx)];
+        row.attempt.dispatched = now_;
+        row.attempt.end = now_;
+        CloseRow(idx);
+        ++res_.counters.circuit_open;
+        Rng rng(AttemptSeed(wf, hop, ordinal));
+        FailClientAttempt(wf, hop, Outcome::kCircuitOpen,
+                          cfg_.policy.retry.BackoffDelay(hs.client_attempts, rng));
+        return;
+      }
+    }
+
+    const int ordinal = hs.total_attempts;
+    const int64_t idx = NewRow(wf, hop, Outcome::kOk, hedge, redrive);
+    HopAttempt& row = res_.attempts[static_cast<size_t>(idx)];
+    AttemptExtra& ex = extras_[static_cast<size_t>(idx)];
+    row.platform_dispatched = true;
+    ++res_.counters.dispatched_attempts;
+    ++ws.transitions;
+
+    Rng rng(AttemptSeed(wf, hop, ordinal));
+    const int zone = ZoneOf(spec);
+    ex.zone = zone;
+    const bool outage_now = InOutage(zone, now_);
+
+    bool cold = true;
+    if (!outage_now && AcquireWarm(fs, now_)) {
+      cold = false;
+    }
+    MicroSecs init = 0;
+    if (cold) {
+      init = SampleInit(rng);
+      ++res_.counters.cold_starts;
+    }
+    const bool init_fail =
+        cold && (outage_now ||
+                 (cfg_.init_failure_rate > 0.0 && rng.Bernoulli(cfg_.init_failure_rate)));
+
+    const MicroSecs exec = SampleExec(spec, rng);
+    const double p_fail = spec.failure_rate >= 0.0 ? spec.failure_rate : cfg_.failure_rate;
+    const bool crash = !init_fail && p_fail > 0.0 && rng.Bernoulli(p_fail);
+    MicroSecs run = exec;
+    if (crash) {
+      const double u = 1.0 - rng.NextDouble();  // (0, 1].
+      run = std::max<MicroSecs>(1, static_cast<MicroSecs>(static_cast<double>(exec) * u));
+    }
+    // Pre-draw the client retry backoff so the failure path needs no RNG.
+    ex.backoff = cfg_.policy.retry.BackoffDelay(hs.client_attempts, rng);
+
+    Outcome outcome = Outcome::kOk;
+    MicroSecs init_run = init;
+    MicroSecs cut = run;
+    if (init_fail) {
+      outcome = Outcome::kInitFailure;
+      cut = 0;
+    } else {
+      if (crash) {
+        outcome = Outcome::kCrash;
+      }
+      // Per-hop platform timeout bounds the execution portion; the earliest
+      // of {crash, timeout, natural end} wins.
+      if (spec.timeout > 0 && cut >= spec.timeout) {
+        cut = spec.timeout;
+        outcome = Outcome::kTimeout;
+      }
+      // Propagated deadline budget bounds wall-clock from dispatch.
+      if (dl.enabled() && dl.propagate) {
+        const MicroSecs remaining = ws.arrival + dl.deadline - now_;
+        if (init_run + cut > remaining) {
+          outcome = Outcome::kTimeout;
+          if (remaining <= init_run) {
+            init_run = remaining;
+            cut = 0;
+          } else {
+            cut = remaining - init_run;
+          }
+        }
+      }
+    }
+
+    row.attempt.outcome = outcome;
+    row.attempt.dispatched = now_;
+    row.attempt.cold_start = cold;
+    row.attempt.init_duration = init_run;
+    row.attempt.exec_duration = cut;
+    row.attempt.start_exec = cut > 0 ? now_ + init_run : 0;
+    row.attempt.end = now_ + init_run + cut;
+    // A sandbox survives a completed execution or a mid-execution timeout;
+    // init failures, crashes, and aborts during init destroy it.
+    ex.survives = outcome == Outcome::kOk ||
+                  (outcome == Outcome::kTimeout && cut > 0 && init_run >= init);
+
+    hs.open.push_back(idx);
+    Schedule({row.attempt.end, 0, EvKind::kComplete, wf, hop, idx, kFlavorClient});
+    if (!spec.async && !hedge && cfg_.policy.hedge.enabled() &&
+        row.attempt.end > now_ + cfg_.policy.hedge.hedge_after) {
+      Schedule({now_ + cfg_.policy.hedge.hedge_after, 0, EvKind::kHedgeFire, wf, hop, idx,
+                kFlavorClient});
+    }
+  }
+
+  // Rewrites a failed async delivery that has exhausted its redrives to
+  // kDeadLettered. Must run before the row is billed.
+  bool MaybeDeadLetter(int64_t wf, int hop, int64_t idx) {
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    HopState& hs = ws.hops[static_cast<size_t>(hop)];
+    const HopSpec& spec = Spec(ws.dag, hop);
+    if (!spec.async || hs.straggler || hs.resolved) {
+      return false;
+    }
+    if (hs.redrives < cfg_.policy.redrive.max_redrives) {
+      return false;
+    }
+    res_.attempts[static_cast<size_t>(idx)].attempt.outcome = Outcome::kDeadLettered;
+    return true;
+  }
+
+  // Common continuation after a dispatched attempt failed (natural
+  // completion or outage kill). The row must already be truncated to its
+  // final shape but not yet closed.
+  void OnAttemptFailed(int64_t wf, int hop, int64_t idx) {
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    HopState& hs = ws.hops[static_cast<size_t>(hop)];
+    const HopSpec& spec = Spec(ws.dag, hop);
+    const bool dead_letter = MaybeDeadLetter(wf, hop, idx);
+    CloseRow(idx);
+    RemoveOpen(hs, idx);
+    const HopAttempt& row = res_.attempts[static_cast<size_t>(idx)];
+
+    FunctionState& fs = functions_[static_cast<size_t>(ws.dag)][static_cast<size_t>(hop)];
+    if (!spec.async && fs.breaker.enabled()) {
+      fs.breaker.RecordFailure(now_);
+      NoteBreaker(ws.dag, hop);
+    }
+
+    if (hs.resolved) {
+      return;
+    }
+    if (hs.straggler) {
+      // No further money is spent once the join has fired.
+      if (hs.open.empty()) {
+        ResolveHopFailure(wf, hop, row.attempt.outcome);
+      }
+      return;
+    }
+    if (dead_letter) {
+      ++res_.counters.dead_letters;
+      ++ws.dead_letters;
+      ResolveHopFailure(wf, hop, Outcome::kDeadLettered);
+      return;
+    }
+    if (spec.async) {
+      ++hs.redrives;
+      ++res_.counters.provider_redrives;
+      Schedule({now_ + cfg_.policy.redrive.redrive_delay, 0, EvKind::kDispatch, wf, hop, -1,
+                kFlavorRedrive});
+      return;
+    }
+    if (!hs.open.empty()) {
+      return;  // A hedge twin is still in flight; it may yet win.
+    }
+    FailClientAttempt(wf, hop, row.attempt.outcome, extras_[static_cast<size_t>(idx)].backoff);
+  }
+
+  // All sync attempts for this client try have failed: retry or give up.
+  void FailClientAttempt(int64_t wf, int hop, Outcome last, MicroSecs backoff) {
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    HopState& hs = ws.hops[static_cast<size_t>(hop)];
+    if (!hs.straggler && hs.client_attempts < cfg_.policy.retry.max_attempts) {
+      ++res_.counters.client_retries;
+      EmitBackoffSpan(wf, hop, hs.client_attempts, backoff);
+      Schedule({now_ + backoff, 0, EvKind::kDispatch, wf, hop, -1, kFlavorClient});
+      return;
+    }
+    ResolveHopFailure(wf, hop,
+                      cfg_.policy.retry.max_attempts > 1 ? Outcome::kRetriesExhausted : last);
+  }
+
+  void OnComplete(int64_t wf, int hop, int64_t idx) {
+    if (extras_[static_cast<size_t>(idx)].closed) {
+      return;  // Truncated earlier (hedge cancel / outage kill).
+    }
+    HopAttempt& row = res_.attempts[static_cast<size_t>(idx)];
+    if (row.attempt.outcome == Outcome::kHedgeLoser) {
+      // Lost the race but finished before the cancel landed: bills in full,
+      // no further state-machine effect (the hop already resolved).
+      CloseRow(idx);
+      return;
+    }
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    HopState& hs = ws.hops[static_cast<size_t>(hop)];
+    if (row.attempt.outcome != Outcome::kOk) {
+      OnAttemptFailed(wf, hop, idx);
+      return;
+    }
+    CloseRow(idx);
+    RemoveOpen(hs, idx);
+    const HopSpec& spec = Spec(ws.dag, hop);
+    FunctionState& fs = functions_[static_cast<size_t>(ws.dag)][static_cast<size_t>(hop)];
+    if (!spec.async && fs.breaker.enabled()) {
+      fs.breaker.RecordSuccess();
+      NoteBreaker(ws.dag, hop);
+    }
+    if (hs.resolved) {
+      return;
+    }
+    if (row.hedge) {
+      ++res_.counters.hedge_wins;
+    }
+    ResolveHopSuccess(wf, hop);
+  }
+
+  void ResolveHopSuccess(int64_t wf, int hop) {
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    HopState& hs = ws.hops[static_cast<size_t>(hop)];
+    const WorkflowDag& dag = Dag(ws.dag);
+    hs.resolved = true;
+    hs.success = true;
+    // Cancel the losing side of a hedge race.
+    if (!hs.open.empty()) {
+      std::vector<int64_t> open = hs.open;
+      hs.open.clear();
+      std::sort(open.begin(), open.end());
+      const MicroSecs cancel_t = now_ + cfg_.policy.hedge.cancel_latency;
+      for (const int64_t o : open) {
+        HopAttempt& loser = res_.attempts[static_cast<size_t>(o)];
+        loser.attempt.outcome = Outcome::kHedgeLoser;
+        ++res_.counters.hedge_losers;
+        if (loser.attempt.end > cancel_t) {
+          TruncateRow(loser, cancel_t);
+          extras_[static_cast<size_t>(o)].survives = false;
+          CloseRow(o);
+        }
+        // else: it finishes first and bills in full at its own completion.
+      }
+    }
+    if (dag.children[static_cast<size_t>(hop)].empty()) {
+      SinkResolved(wf, /*sink_success=*/true);
+    }
+    for (const int c : dag.children[static_cast<size_t>(hop)]) {
+      HopState& cs = ws.hops[static_cast<size_t>(c)];
+      ++cs.succeeded_parents;
+      ++cs.terminal_parents;
+      CheckReadiness(wf, c);
+    }
+  }
+
+  void ResolveHopFailure(int64_t wf, int hop, Outcome oc) {
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    HopState& hs = ws.hops[static_cast<size_t>(hop)];
+    const WorkflowDag& dag = Dag(ws.dag);
+    const bool was_straggler = hs.straggler;
+    hs.resolved = true;
+    hs.success = false;
+    if (!was_straggler && ws.root_cause == Outcome::kOk) {
+      ws.root_cause = oc;
+    }
+    if (dag.children[static_cast<size_t>(hop)].empty()) {
+      SinkResolved(wf, /*sink_success=*/false);
+    }
+    for (const int c : dag.children[static_cast<size_t>(hop)]) {
+      ++ws.hops[static_cast<size_t>(c)].terminal_parents;
+      CheckReadiness(wf, c);
+    }
+  }
+
+  void CheckReadiness(int64_t wf, int c) {
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    HopState& cs = ws.hops[static_cast<size_t>(c)];
+    if (cs.dispatched || cs.resolved) {
+      return;
+    }
+    const WorkflowDag& dag = Dag(ws.dag);
+    const HopSpec& cspec = Spec(ws.dag, c);
+    const int n = static_cast<int>(dag.parents[static_cast<size_t>(c)].size());
+    const int req = cspec.quorum > 0 ? cspec.quorum : n;
+    if (cs.succeeded_parents >= req) {
+      cs.dispatched = true;
+      if (cs.succeeded_parents < n) {
+        // Quorum fired before every parent finished: the workflow proceeds
+        // degraded; parents still running become billed stragglers.
+        ws.degraded = true;
+        for (const int p : dag.parents[static_cast<size_t>(c)]) {
+          HopState& ps = ws.hops[static_cast<size_t>(p)];
+          if (ps.dispatched && !ps.resolved && !ps.straggler) {
+            ps.straggler = true;
+          }
+        }
+      }
+      DispatchAttempt(wf, c, /*hedge=*/false, /*redrive=*/false);
+      return;
+    }
+    if (cs.succeeded_parents + (n - cs.terminal_parents) < req) {
+      // The quorum can no longer be met: skip the hop, unbilled.
+      cs.dispatched = true;
+      const int64_t idx = NewRow(wf, c, Outcome::kUpstreamFailed, false, false);
+      HopAttempt& row = res_.attempts[static_cast<size_t>(idx)];
+      row.attempt.dispatched = now_;
+      row.attempt.end = now_;
+      CloseRow(idx);
+      ++res_.counters.upstream_skipped;
+      ResolveHopFailure(wf, c, Outcome::kUpstreamFailed);
+    }
+  }
+
+  void SinkResolved(int64_t wf, bool sink_success) {
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    if (!sink_success) {
+      ++ws.failed_sinks;
+    }
+    if (--ws.pending_sinks > 0) {
+      return;
+    }
+    ws.done = true;
+    ws.end = now_;
+    const DeadlineBudgetPolicy& dl = cfg_.policy.deadline;
+    if (ws.failed_sinks > 0) {
+      ws.outcome =
+          ws.root_cause != Outcome::kOk ? ws.root_cause : Outcome::kUpstreamFailed;
+    } else if (dl.enabled() && ws.end > ws.arrival + dl.deadline) {
+      ws.outcome = Outcome::kTimeout;  // Completed, but past the deadline.
+    } else {
+      ws.outcome = Outcome::kOk;
+    }
+  }
+
+  void OnHedgeFire(int64_t wf, int hop, int64_t idx) {
+    if (extras_[static_cast<size_t>(idx)].closed) {
+      return;  // The primary already resolved.
+    }
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    HopState& hs = ws.hops[static_cast<size_t>(hop)];
+    if (hs.resolved || ws.done) {
+      return;
+    }
+    // One live hedge per primary: fire only when the triggering attempt is
+    // the lone open one.
+    if (hs.open.size() != 1 || hs.open.front() != idx) {
+      return;
+    }
+    ++res_.counters.hedges;
+    DispatchAttempt(wf, hop, /*hedge=*/true, /*redrive=*/false);
+  }
+
+  void OnDispatchEvent(int64_t wf, int hop, int flavor) {
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    HopState& hs = ws.hops[static_cast<size_t>(hop)];
+    if (hs.resolved) {
+      return;
+    }
+    if (hs.straggler) {
+      // A retry/redrive scheduled before the join fired: spend nothing more.
+      ResolveHopFailure(wf, hop, Outcome::kRetriesExhausted);
+      return;
+    }
+    DispatchAttempt(wf, hop, /*hedge=*/false, /*redrive=*/flavor == kFlavorRedrive);
+  }
+
+  void OnOutageStart(int64_t outage_idx) {
+    const ZonalOutageSpec& o = cfg_.outages[static_cast<size_t>(outage_idx)];
+    const int zone = o.zone % cfg_.zones;
+    // Warm capacity in the zone dies.
+    for (size_t d = 0; d < functions_.size(); ++d) {
+      for (size_t h = 0; h < functions_[d].size(); ++h) {
+        if (ZoneOf(Dag(static_cast<int>(d)).hops[h]) == zone) {
+          functions_[d][h].warm.clear();
+        }
+      }
+    }
+    // In-flight attempts in the zone crash at the outage boundary, billed to
+    // the crash point.
+    const int64_t n = static_cast<int64_t>(res_.attempts.size());
+    for (int64_t i = 0; i < n; ++i) {
+      AttemptExtra& ex = extras_[static_cast<size_t>(i)];
+      if (ex.closed || ex.zone != zone) {
+        continue;
+      }
+      HopAttempt& row = res_.attempts[static_cast<size_t>(i)];
+      if (!row.platform_dispatched || row.attempt.end < now_) {
+        continue;
+      }
+      row.outage_killed = true;
+      ++res_.counters.outage_killed;
+      ex.survives = false;
+      if (row.attempt.outcome == Outcome::kHedgeLoser) {
+        // Already lost its race; just stop the meter at the outage.
+        TruncateRow(row, now_);
+        CloseRow(i);
+        continue;
+      }
+      row.attempt.outcome = Outcome::kCrash;
+      TruncateRow(row, now_);
+      OnAttemptFailed(row.wf, row.hop, i);
+    }
+  }
+
+  const WorkflowSimConfig& cfg_;
+  const BillingModel& billing_;
+  uint64_t seed_;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  int64_t next_seq_ = 0;
+  MicroSecs now_ = 0;
+  int64_t events_processed_ = 0;
+
+  std::vector<std::vector<FunctionState>> functions_;  // [dag][hop].
+  std::vector<WfState> wfs_;
+  std::vector<AttemptExtra> extras_;
+  WorkflowSimResult res_;
+};
+
+WorkflowSimResult Engine::Run() {
+  // Shared per-function state.
+  functions_.resize(cfg_.dags.size());
+  for (size_t d = 0; d < cfg_.dags.size(); ++d) {
+    functions_[d].resize(cfg_.dags[d].hops.size());
+    for (size_t h = 0; h < functions_[d].size(); ++h) {
+      functions_[d][h].breaker = CircuitBreaker(cfg_.policy.retry.breaker_threshold,
+                                                cfg_.policy.retry.breaker_cooldown);
+    }
+  }
+  wfs_.resize(static_cast<size_t>(cfg_.workflows));
+
+  for (size_t i = 0; i < cfg_.outages.size(); ++i) {
+    Schedule({cfg_.outages[i].start, 0, EvKind::kOutageStart, -1, -1,
+              static_cast<int64_t>(i), kFlavorClient});
+  }
+  for (int64_t i = 0; i < cfg_.workflows; ++i) {
+    const MicroSecs t = static_cast<MicroSecs>(
+        std::llround(static_cast<double>(i) * static_cast<double>(kMicrosPerSec) / cfg_.wps));
+    Schedule({t, 0, EvKind::kArrival, i, -1, -1, kFlavorClient});
+  }
+
+  Auditor* aud = cfg_.auditor;
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    if (aud != nullptr && aud->basic()) {
+      aud->CheckLazy(
+          ev.time >= now_, "workflow.monotone_event_time", ev.time, seed_,
+          [&] { return "event seq " + std::to_string(ev.seq); },
+          [&] { return "event time regressed below " + std::to_string(now_); });
+    }
+    now_ = ev.time;
+    ++events_processed_;
+    if (aud != nullptr && aud->ScanDue(events_processed_)) {
+      aud->NoteScan();
+      for (size_t i = 0; i < extras_.size(); ++i) {
+        const HopAttempt& row = res_.attempts[i];
+        aud->CheckLazy(
+            extras_[i].closed || row.attempt.end >= now_, "workflow.open_attempt_in_past",
+            now_, seed_, [&] { return "attempt " + std::to_string(i); },
+            [&] { return "open row ends at " + std::to_string(row.attempt.end); });
+      }
+    }
+    switch (ev.kind) {
+      case EvKind::kOutageStart:
+        OnOutageStart(ev.idx);
+        break;
+      case EvKind::kArrival:
+        OnArrival(ev.wf);
+        break;
+      case EvKind::kDispatch:
+        OnDispatchEvent(ev.wf, ev.hop, ev.flavor);
+        break;
+      case EvKind::kComplete:
+        OnComplete(ev.wf, ev.hop, ev.idx);
+        break;
+      case EvKind::kHedgeFire:
+        OnHedgeFire(ev.wf, ev.hop, ev.idx);
+        break;
+    }
+    res_.makespan = std::max(res_.makespan, now_);
+  }
+
+  // Finalize: per-workflow rows, fee line items, waste decomposition.
+  const Usd fee_t = cfg_.pricing.per_state_transition;
+  const Usd fee_dlq = cfg_.pricing.dlq_write_fee + cfg_.pricing.dlq_read_fee;
+  res_.workflows.reserve(wfs_.size());
+  for (size_t i = 0; i < wfs_.size(); ++i) {
+    WfState& ws = wfs_[i];
+    if (aud != nullptr && aud->basic()) {
+      aud->CheckLazy(
+          ws.done, "workflow.unterminated", now_, seed_,
+          [&] { return "wf " + std::to_string(i); },
+          [&] { return std::string("event queue drained with unresolved sinks"); });
+    }
+    WorkflowRow row;
+    row.wf = static_cast<int64_t>(i);
+    row.dag = ws.dag;
+    row.outcome = ws.outcome;
+    row.degraded = ws.degraded;
+    row.arrival = ws.arrival;
+    row.end = ws.end;
+    row.usd = ws.usd_attempts + fee_t * static_cast<double>(ws.transitions) +
+              fee_dlq * static_cast<double>(ws.dead_letters);
+    res_.usd_transitions += fee_t * static_cast<double>(ws.transitions);
+    res_.usd_dlq += fee_dlq * static_cast<double>(ws.dead_letters);
+    if (ws.outcome == Outcome::kOk) {
+      ++res_.counters.workflows_succeeded;
+      if (ws.degraded) {
+        ++res_.counters.degraded_successes;
+      }
+    } else {
+      ++res_.counters.workflows_failed;
+    }
+    res_.workflows.push_back(row);
+    if (cfg_.trace != nullptr) {
+      Span s;
+      s.kind = SpanKind::kWorkflow;
+      s.group = kTrackGroupWorkflow;
+      s.track = static_cast<int64_t>(i);
+      s.start = ws.arrival;
+      s.duration = ws.end - ws.arrival;
+      s.status = OutcomeName(ws.outcome);
+      s.terminal = true;
+      s.billed_usd = row.usd;
+      cfg_.trace->Record(s);
+    }
+  }
+  res_.usd_total = res_.usd_attempts + res_.usd_transitions + res_.usd_dlq;
+  for (const HopAttempt& att : res_.attempts) {
+    if (res_.workflows[static_cast<size_t>(att.wf)].outcome == Outcome::kOk &&
+        att.attempt.outcome == Outcome::kOk && !att.straggler) {
+      res_.usd_useful += att.usd + fee_t;
+    }
+  }
+  res_.usd_wasted = res_.usd_total - res_.usd_useful;
+  for (const auto& dag_fns : functions_) {
+    for (const FunctionState& fs : dag_fns) {
+      res_.counters.breaker_trips += fs.breaker.trips();
+    }
+  }
+  return res_;
+}
+
+}  // namespace
+
+WorkflowSimResult SimulateWorkflows(const WorkflowSimConfig& config,
+                                    const BillingModel& billing, uint64_t seed) {
+  const std::vector<std::string> errors = config.Validate();
+  if (!errors.empty()) {
+    std::string joined = "invalid WorkflowSimConfig:";
+    for (const auto& e : errors) {
+      joined += "\n  " + e;
+    }
+    throw std::invalid_argument(joined);
+  }
+  Engine engine(config, billing, seed);
+  return engine.Run();
+}
+
+}  // namespace faascost

@@ -1,0 +1,57 @@
+// Exhaustive round-trip of the Outcome <-> name mapping. OutcomeFromName is
+// the parse side of every JSONL/CSV artifact reader, so the two directions
+// must stay inverse as outcomes are added; iterating kAllOutcomes means a new
+// enumerator missing from either table fails here instead of silently
+// parsing as nullopt in the readers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/trace/record.h"
+
+namespace faascost {
+namespace {
+
+TEST(OutcomeRoundTrip, EveryOutcomeSurvivesNameAndBack) {
+  for (const Outcome o : kAllOutcomes) {
+    const char* name = OutcomeName(o);
+    ASSERT_NE(name, nullptr);
+    const auto parsed = OutcomeFromName(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, o) << name;
+  }
+}
+
+TEST(OutcomeRoundTrip, NamesAreUniqueAndNeverTheUnknownSentinel) {
+  std::set<std::string> seen;
+  for (const Outcome o : kAllOutcomes) {
+    const std::string name = OutcomeName(o);
+    EXPECT_NE(name, "unknown") << "a real outcome must not serialize to the "
+                                  "fallback token";
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name: " << name;
+  }
+  EXPECT_EQ(seen.size(), std::size(kAllOutcomes));
+}
+
+TEST(OutcomeRoundTrip, UnknownTokensParseToNullopt) {
+  EXPECT_FALSE(OutcomeFromName("").has_value());
+  EXPECT_FALSE(OutcomeFromName("unknown").has_value());
+  EXPECT_FALSE(OutcomeFromName("OK").has_value());  // Case-sensitive.
+  EXPECT_FALSE(OutcomeFromName("ok ").has_value());
+  EXPECT_FALSE(OutcomeFromName("hedge-loser").has_value());
+}
+
+// The workflow outcomes added for the DAG engine are part of the taxonomy and
+// must parse like the originals.
+TEST(OutcomeRoundTrip, WorkflowOutcomesAreInTheTaxonomy) {
+  EXPECT_EQ(OutcomeFromName(OutcomeName(Outcome::kUpstreamFailed)),
+            Outcome::kUpstreamFailed);
+  EXPECT_EQ(OutcomeFromName(OutcomeName(Outcome::kHedgeLoser)), Outcome::kHedgeLoser);
+  EXPECT_EQ(OutcomeFromName(OutcomeName(Outcome::kDeadLettered)),
+            Outcome::kDeadLettered);
+}
+
+}  // namespace
+}  // namespace faascost

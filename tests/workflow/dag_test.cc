@@ -1,0 +1,135 @@
+// WorkflowDag structure: builders, topological order, and Validate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/workflow/dag.h"
+
+namespace faascost {
+namespace {
+
+TEST(WorkflowDag, ChainBuilderWiresALine) {
+  const WorkflowDag dag = MakeChainDag("c", 4, HopSpec{});
+  ASSERT_EQ(dag.hops.size(), 4u);
+  EXPECT_TRUE(dag.Validate().empty());
+  EXPECT_EQ(dag.Sources(), std::vector<int>({0}));
+  EXPECT_EQ(dag.Sinks(), std::vector<int>({3}));
+  for (int h = 0; h + 1 < 4; ++h) {
+    ASSERT_EQ(dag.children[static_cast<size_t>(h)].size(), 1u);
+    EXPECT_EQ(dag.children[static_cast<size_t>(h)][0], h + 1);
+  }
+  EXPECT_EQ(dag.hops[0].name, "c.h0");
+  EXPECT_EQ(dag.hops[3].name, "c.h3");
+  EXPECT_EQ(dag.TopoOrder(), std::vector<int>({0, 1, 2, 3}));
+}
+
+TEST(WorkflowDag, ChainSpreadZonesPinsHopsRoundRobin) {
+  HopSpec proto;
+  proto.zone = 1;
+  const WorkflowDag dag = MakeChainDag("c", 3, proto, /*spread_zones=*/true);
+  EXPECT_EQ(dag.hops[0].zone, 1);
+  EXPECT_EQ(dag.hops[1].zone, 2);
+  EXPECT_EQ(dag.hops[2].zone, 3);
+}
+
+TEST(WorkflowDag, FanOutBuilderWiresSourceBranchesJoin) {
+  const WorkflowDag dag = MakeFanOutDag("f", 5, 3, HopSpec{});
+  ASSERT_EQ(dag.hops.size(), 7u);  // src + 5 branches + join.
+  EXPECT_TRUE(dag.Validate().empty());
+  EXPECT_EQ(dag.Sources(), std::vector<int>({0}));
+  const std::vector<int> sinks = dag.Sinks();
+  ASSERT_EQ(sinks.size(), 1u);
+  const int join = sinks[0];
+  EXPECT_EQ(dag.parents[static_cast<size_t>(join)].size(), 5u);
+  EXPECT_EQ(dag.hops[static_cast<size_t>(join)].quorum, 3);
+  EXPECT_EQ(dag.children[0].size(), 5u);
+}
+
+TEST(WorkflowDag, MapReduceReduceCostScalesWithMappers) {
+  HopSpec proto;
+  const WorkflowDag small = MakeMapReduceDag("m", 2, proto);
+  const WorkflowDag big = MakeMapReduceDag("m", 8, proto);
+  EXPECT_TRUE(small.Validate().empty());
+  EXPECT_TRUE(big.Validate().empty());
+  const MicroSecs small_reduce = small.hops.back().exec_mean;
+  const MicroSecs big_reduce = big.hops.back().exec_mean;
+  EXPECT_GT(big_reduce, small_reduce);  // Shuffle grows with fan-in.
+  EXPECT_GT(small_reduce, proto.exec_mean);
+}
+
+TEST(WorkflowDag, TopoOrderIsDeterministicSmallestFirst) {
+  // Diamond with an extra cross edge; Kahn with a min-heap must always yield
+  // the same order.
+  WorkflowDag dag;
+  dag.name = "d";
+  for (int i = 0; i < 4; ++i) {
+    HopSpec h;
+    h.name = "h";
+    h.name += std::to_string(i);
+    dag.AddHop(h);
+  }
+  dag.AddEdge(0, 1);
+  dag.AddEdge(0, 2);
+  dag.AddEdge(1, 3);
+  dag.AddEdge(2, 3);
+  EXPECT_EQ(dag.TopoOrder(), std::vector<int>({0, 1, 2, 3}));
+  EXPECT_TRUE(dag.Validate().empty());
+}
+
+TEST(WorkflowDag, CycleYieldsEmptyTopoOrderAndValidationError) {
+  WorkflowDag dag;
+  dag.name = "cyc";
+  for (int i = 0; i < 3; ++i) {
+    HopSpec h;
+    h.name = "h";
+    h.name += std::to_string(i);
+    dag.AddHop(h);
+  }
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 2);
+  dag.AddEdge(2, 0);
+  EXPECT_TRUE(dag.TopoOrder().empty());
+  const auto errors = dag.Validate();
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST(WorkflowDag, ValidateCatchesBadHopSpecs) {
+  WorkflowDag dag = MakeChainDag("c", 2, HopSpec{});
+  dag.hops[0].exec_mean = 0;
+  EXPECT_FALSE(dag.Validate().empty());
+
+  dag = MakeChainDag("c", 2, HopSpec{});
+  dag.hops[1].cpu_fraction = 1.5;
+  EXPECT_FALSE(dag.Validate().empty());
+
+  dag = MakeChainDag("c", 2, HopSpec{});
+  dag.hops[0].failure_rate = 1.5;
+  EXPECT_FALSE(dag.Validate().empty());
+
+  dag = MakeChainDag("c", 2, HopSpec{});
+  dag.hops[1].vcpus = 0.0;
+  EXPECT_FALSE(dag.Validate().empty());
+}
+
+TEST(WorkflowDag, ValidateCatchesQuorumLargerThanFanIn) {
+  WorkflowDag dag = MakeFanOutDag("f", 3, 0, HopSpec{});
+  const int join = dag.Sinks()[0];
+  dag.hops[static_cast<size_t>(join)].quorum = 4;  // Only 3 parents.
+  EXPECT_FALSE(dag.Validate().empty());
+}
+
+TEST(WorkflowDag, ValidateCatchesSelfEdge) {
+  WorkflowDag dag;
+  dag.name = "s";
+  HopSpec h;
+  h.name = "h0";
+  dag.AddHop(h);
+  dag.AddEdge(0, 0);
+  EXPECT_FALSE(dag.Validate().empty());
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,118 @@
+// Property tests over ≥20 seeds for the retry/breaker layer under zonal
+// chaos: circuit-open short-circuits are never billed, and per-function
+// breaker transitions are monotone in time and strictly alternating
+// open/closed (a breaker cannot trip while already open).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "src/billing/catalog.h"
+#include "src/billing/model.h"
+#include "src/common/units.h"
+#include "src/workflow/dag.h"
+#include "src/workflow/workflow_sim.h"
+
+namespace faascost {
+namespace {
+
+constexpr uint64_t kSeeds = 24;
+
+WorkflowSimConfig ChaosConfig() {
+  WorkflowSimConfig cfg;
+  HopSpec proto;
+  cfg.dags.push_back(MakeChainDag("c", 4, proto, /*spread_zones=*/true));
+  cfg.workflows = 80;
+  cfg.wps = 4.0;
+  cfg.failure_rate = 0.08;
+  cfg.init_failure_rate = 0.02;
+  cfg.zones = 3;
+  ZonalOutageSpec outage;
+  outage.zone = 1;
+  outage.start = 5 * kMicrosPerSec;
+  outage.duration = 8 * kMicrosPerSec;
+  cfg.outages.push_back(outage);
+  cfg.policy.retry.max_attempts = 3;
+  cfg.policy.retry.breaker_threshold = 3;
+  cfg.policy.retry.breaker_cooldown = 2 * kMicrosPerSec;
+  cfg.pricing = MakeWorkflowPricing(Platform::kAwsLambda);
+  return cfg;
+}
+
+TEST(RetryChaosProperty, CircuitOpenAttemptsAreNeverBilled) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  int64_t total_open = 0;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const WorkflowSimResult res = SimulateWorkflows(ChaosConfig(), aws, seed);
+    int64_t open_rows = 0;
+    for (const HopAttempt& att : res.attempts) {
+      if (att.attempt.outcome == Outcome::kCircuitOpen) {
+        ++open_rows;
+        EXPECT_FALSE(att.platform_dispatched) << "seed " << seed;
+        EXPECT_EQ(att.usd, 0.0) << "seed " << seed;
+        EXPECT_EQ(att.attempt.exec_duration, 0) << "seed " << seed;
+      }
+    }
+    EXPECT_EQ(open_rows, res.counters.circuit_open) << "seed " << seed;
+    total_open += open_rows;
+  }
+  // The outage must actually exercise the breaker somewhere in the sweep,
+  // otherwise the property above is vacuous.
+  EXPECT_GT(total_open, 0);
+}
+
+TEST(RetryChaosProperty, BreakerTransitionsAreMonotoneAndAlternating) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  int64_t total_trips = 0;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const WorkflowSimResult res = SimulateWorkflows(ChaosConfig(), aws, seed);
+    // Transitions are emitted in event order: globally monotone in time.
+    for (size_t i = 1; i < res.breaker_transitions.size(); ++i) {
+      EXPECT_GE(res.breaker_transitions[i].time, res.breaker_transitions[i - 1].time)
+          << "seed " << seed;
+    }
+    // Per function (dag, hop): strictly alternating, starting with an open
+    // (breakers start closed), and trip count matches the counter.
+    std::map<std::pair<int, int>, bool> state;  // Last observed open flag.
+    int64_t opens = 0;
+    for (const BreakerTransition& t : res.breaker_transitions) {
+      const auto key = std::make_pair(t.dag, t.hop);
+      const auto it = state.find(key);
+      if (it == state.end()) {
+        EXPECT_TRUE(t.open) << "seed " << seed
+                            << ": first transition must be closed -> open";
+      } else {
+        EXPECT_NE(it->second, t.open)
+            << "seed " << seed << ": duplicate " << (t.open ? "open" : "close");
+      }
+      state[key] = t.open;
+      if (t.open) {
+        ++opens;
+      }
+    }
+    EXPECT_EQ(opens, res.counters.breaker_trips) << "seed " << seed;
+    total_trips += opens;
+  }
+  EXPECT_GT(total_trips, 0);
+}
+
+// Chaos must not break conservation: every seed's totals decompose exactly.
+TEST(RetryChaosProperty, UsdDecompositionHoldsUnderChaos) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const WorkflowSimResult res = SimulateWorkflows(ChaosConfig(), aws, seed);
+    EXPECT_NEAR(res.usd_total, res.usd_attempts + res.usd_transitions + res.usd_dlq,
+                1e-9)
+        << "seed " << seed;
+    EXPECT_NEAR(res.usd_total, res.usd_useful + res.usd_wasted, 1e-9)
+        << "seed " << seed;
+    EXPECT_EQ(res.counters.workflows_succeeded + res.counters.workflows_failed,
+              res.counters.workflows_started)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,167 @@
+// Workflow USD-conservation audit: clean runs (including a ≥20-seed chaos
+// sweep) pass at full level, and corrupting any single field of the public
+// result fires the matching invariant. Follows the audit_rules_test idiom:
+// one corruption per test, exact invariant name asserted.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/billing/catalog.h"
+#include "src/billing/model.h"
+#include "src/common/units.h"
+#include "src/integrity/audit_rules.h"
+#include "src/integrity/integrity.h"
+#include "src/workflow/dag.h"
+#include "src/workflow/workflow_sim.h"
+
+namespace faascost {
+namespace {
+
+constexpr uint64_t kSeed = 3;
+
+WorkflowSimConfig ChaosConfig() {
+  WorkflowSimConfig cfg;
+  HopSpec proto;
+  cfg.dags.push_back(MakeChainDag("c", 4, proto, /*spread_zones=*/true));
+  cfg.dags.push_back(MakeFanOutDag("f", 4, 3, proto));
+  cfg.workflows = 60;
+  cfg.wps = 4.0;
+  cfg.failure_rate = 0.08;
+  cfg.init_failure_rate = 0.02;
+  cfg.zones = 3;
+  ZonalOutageSpec outage;
+  outage.zone = 1;
+  outage.start = 4 * kMicrosPerSec;
+  outage.duration = 6 * kMicrosPerSec;
+  cfg.outages.push_back(outage);
+  cfg.policy.retry.max_attempts = 3;
+  cfg.policy.retry.breaker_threshold = 4;
+  cfg.policy.hedge.hedge_after = 600 * kMicrosPerMilli;
+  cfg.pricing = MakeWorkflowPricing(Platform::kAwsLambda);
+  return cfg;
+}
+
+WorkflowSimResult RunChaos(uint64_t seed = kSeed) {
+  return SimulateWorkflows(ChaosConfig(), MakeBillingModel(Platform::kAwsLambda), seed);
+}
+
+template <typename Fn>
+void ExpectViolation(const std::string& invariant, Fn&& audit) {
+  try {
+    audit();
+    FAIL() << "expected IntegrityViolation " << invariant << ", none thrown";
+  } catch (const IntegrityViolation& e) {
+    EXPECT_EQ(e.invariant(), invariant) << e.what();
+  }
+}
+
+void Audit(const WorkflowSimResult& res, uint64_t seed = kSeed) {
+  Auditor auditor(AuditLevel::kFull);
+  AuditWorkflowRun(res, ChaosConfig(), seed, auditor,
+                   MakeBillingModel(Platform::kAwsLambda));
+}
+
+// The acceptance sweep: the full-level workflow audit passes on ≥20 chaos
+// seeds, with both in-run and end-of-run auditors attached.
+TEST(WorkflowAudit, CleanChaosSweepPassesTwentySeeds) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  for (uint64_t seed = 1; seed <= 22; ++seed) {
+    WorkflowSimConfig cfg = ChaosConfig();
+    Auditor in_run(AuditLevel::kFull);
+    cfg.auditor = &in_run;
+    const WorkflowSimResult res = SimulateWorkflows(cfg, aws, seed);
+    EXPECT_GT(in_run.checks_run(), 0);
+    Auditor post(AuditLevel::kFull);
+    AuditWorkflowRun(res, cfg, seed, post, aws);
+    EXPECT_GT(post.checks_run(), 0) << "seed " << seed;
+  }
+}
+
+TEST(WorkflowAudit, InflatedAttemptUsdFiresReconciliation) {
+  WorkflowSimResult res = RunChaos();
+  for (HopAttempt& att : res.attempts) {
+    if (att.platform_dispatched) {
+      att.usd += 1.0;
+      break;
+    }
+  }
+  ExpectViolation("workflow.usd_reconciliation", [&] { Audit(res); });
+}
+
+TEST(WorkflowAudit, BilledCircuitOpenFiresNeverBilled) {
+  WorkflowSimResult res = RunChaos();
+  bool corrupted = false;
+  for (HopAttempt& att : res.attempts) {
+    if (att.attempt.outcome == Outcome::kCircuitOpen) {
+      att.platform_dispatched = true;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "chaos run produced no circuit-open rows";
+  ExpectViolation("workflow.never_billed", [&] { Audit(res); });
+}
+
+TEST(WorkflowAudit, UsdOnUndispatchedRowFiresNeverBilled) {
+  WorkflowSimResult res = RunChaos();
+  bool corrupted = false;
+  for (HopAttempt& att : res.attempts) {
+    if (!att.platform_dispatched) {
+      att.usd = 0.001;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "chaos run produced no undispatched rows";
+  ExpectViolation("workflow.never_billed", [&] { Audit(res); });
+}
+
+TEST(WorkflowAudit, DroppedCounterFiresAttemptConservation) {
+  WorkflowSimResult res = RunChaos();
+  res.counters.dispatched_attempts -= 1;
+  ExpectViolation("workflow.attempt_conservation", [&] { Audit(res); });
+}
+
+TEST(WorkflowAudit, InflatedWorkflowRowFiresUsdConservation) {
+  WorkflowSimResult res = RunChaos();
+  ASSERT_FALSE(res.workflows.empty());
+  res.workflows[0].usd += 0.01;
+  ExpectViolation("workflow.usd_conservation", [&] { Audit(res); });
+}
+
+TEST(WorkflowAudit, MiscountedSuccessesFiresOutcomePartition) {
+  WorkflowSimResult res = RunChaos();
+  res.counters.workflows_succeeded += 1;
+  ExpectViolation("workflow.outcome_partition", [&] { Audit(res); });
+}
+
+TEST(WorkflowAudit, BackwardsAttemptTimeFiresMonotoneCheck) {
+  WorkflowSimResult res = RunChaos();
+  bool corrupted = false;
+  for (HopAttempt& att : res.attempts) {
+    if (att.platform_dispatched && att.attempt.dispatched > 0) {
+      att.attempt.end = att.attempt.dispatched - 1;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  ExpectViolation("workflow.monotone_attempt_time", [&] { Audit(res); });
+}
+
+TEST(WorkflowAudit, InflatedRunTotalFiresUsdConservation) {
+  WorkflowSimResult res = RunChaos();
+  res.usd_total += 0.5;
+  ExpectViolation("workflow.usd_conservation", [&] { Audit(res); });
+}
+
+TEST(WorkflowAudit, WasteDecompositionFires) {
+  WorkflowSimResult res = RunChaos();
+  res.usd_wasted += 0.25;
+  ExpectViolation("workflow.usd_conservation", [&] { Audit(res); });
+}
+
+}  // namespace
+}  // namespace faascost

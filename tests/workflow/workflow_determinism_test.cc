@@ -1,0 +1,161 @@
+// Determinism contract of the workflow engine: identical (config, seed) runs
+// are bit-for-bit identical, attaching observers does not perturb results,
+// and the zero-workflow config consumes no randomness.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/billing/catalog.h"
+#include "src/billing/model.h"
+#include "src/integrity/integrity.h"
+#include "src/obs/span.h"
+#include "src/workflow/dag.h"
+#include "src/workflow/workflow_sim.h"
+
+namespace faascost {
+namespace {
+
+WorkflowSimConfig ChaoticConfig() {
+  WorkflowSimConfig cfg;
+  HopSpec proto;
+  proto.exec_cv = 1.0;
+  cfg.dags.push_back(MakeChainDag("c", 5, proto, /*spread_zones=*/true));
+  cfg.dags.push_back(MakeFanOutDag("f", 4, 3, proto));
+  cfg.workflows = 60;
+  cfg.wps = 4.0;
+  cfg.failure_rate = 0.1;
+  cfg.init_failure_rate = 0.02;
+  cfg.zones = 3;
+  ZonalOutageSpec outage;
+  outage.zone = 1;
+  outage.start = 4 * kMicrosPerSec;
+  outage.duration = 6 * kMicrosPerSec;
+  cfg.outages.push_back(outage);
+  cfg.policy.retry.max_attempts = 3;
+  cfg.policy.retry.breaker_threshold = 4;
+  cfg.policy.hedge.hedge_after = 600 * kMicrosPerMilli;
+  cfg.policy.deadline.deadline = 30 * kMicrosPerSec;
+  cfg.pricing = MakeWorkflowPricing(Platform::kAwsLambda);
+  return cfg;
+}
+
+// Exact, field-by-field equality — float comparisons are intentionally
+// bitwise here, because the contract is bit-for-bit reproducibility, not
+// approximate agreement.
+void ExpectIdentical(const WorkflowSimResult& a, const WorkflowSimResult& b) {
+  ASSERT_EQ(a.attempts.size(), b.attempts.size());
+  for (size_t i = 0; i < a.attempts.size(); ++i) {
+    const HopAttempt& x = a.attempts[i];
+    const HopAttempt& y = b.attempts[i];
+    EXPECT_EQ(x.wf, y.wf);
+    EXPECT_EQ(x.dag, y.dag);
+    EXPECT_EQ(x.hop, y.hop);
+    EXPECT_EQ(x.attempt.outcome, y.attempt.outcome);
+    EXPECT_EQ(x.attempt.attempt, y.attempt.attempt);
+    EXPECT_EQ(x.attempt.start_exec, y.attempt.start_exec);
+    EXPECT_EQ(x.attempt.end, y.attempt.end);
+    EXPECT_EQ(x.attempt.exec_duration, y.attempt.exec_duration);
+    EXPECT_EQ(x.attempt.init_duration, y.attempt.init_duration);
+    EXPECT_EQ(x.attempt.cold_start, y.attempt.cold_start);
+    EXPECT_EQ(x.hedge, y.hedge);
+    EXPECT_EQ(x.provider_redrive, y.provider_redrive);
+    EXPECT_EQ(x.fail_fast, y.fail_fast);
+    EXPECT_EQ(x.straggler, y.straggler);
+    EXPECT_EQ(x.outage_killed, y.outage_killed);
+    EXPECT_EQ(x.platform_dispatched, y.platform_dispatched);
+    EXPECT_EQ(x.usd, y.usd);
+  }
+  ASSERT_EQ(a.workflows.size(), b.workflows.size());
+  for (size_t i = 0; i < a.workflows.size(); ++i) {
+    EXPECT_EQ(a.workflows[i].outcome, b.workflows[i].outcome);
+    EXPECT_EQ(a.workflows[i].degraded, b.workflows[i].degraded);
+    EXPECT_EQ(a.workflows[i].end, b.workflows[i].end);
+    EXPECT_EQ(a.workflows[i].usd, b.workflows[i].usd);
+  }
+  ASSERT_EQ(a.breaker_transitions.size(), b.breaker_transitions.size());
+  for (size_t i = 0; i < a.breaker_transitions.size(); ++i) {
+    EXPECT_EQ(a.breaker_transitions[i].time, b.breaker_transitions[i].time);
+    EXPECT_EQ(a.breaker_transitions[i].open, b.breaker_transitions[i].open);
+  }
+  EXPECT_EQ(a.counters.dispatched_attempts, b.counters.dispatched_attempts);
+  EXPECT_EQ(a.counters.client_retries, b.counters.client_retries);
+  EXPECT_EQ(a.counters.hedges, b.counters.hedges);
+  EXPECT_EQ(a.counters.breaker_trips, b.counters.breaker_trips);
+  EXPECT_EQ(a.counters.outage_killed, b.counters.outage_killed);
+  EXPECT_EQ(a.usd_total, b.usd_total);
+  EXPECT_EQ(a.usd_useful, b.usd_useful);
+  EXPECT_EQ(a.usd_wasted, b.usd_wasted);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(WorkflowDeterminism, SameSeedIsBitIdentical) {
+  const WorkflowSimConfig cfg = ChaoticConfig();
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const WorkflowSimResult a = SimulateWorkflows(cfg, aws, 42);
+  const WorkflowSimResult b = SimulateWorkflows(cfg, aws, 42);
+  ExpectIdentical(a, b);
+}
+
+TEST(WorkflowDeterminism, DifferentSeedsDiverge) {
+  const WorkflowSimConfig cfg = ChaoticConfig();
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const WorkflowSimResult a = SimulateWorkflows(cfg, aws, 42);
+  const WorkflowSimResult b = SimulateWorkflows(cfg, aws, 43);
+  EXPECT_NE(a.usd_total, b.usd_total);
+}
+
+// The null-sink contract: attaching a span collector and an auditor must not
+// change a single bit of the result.
+TEST(WorkflowDeterminism, ObserversDoNotPerturbTheRun) {
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const WorkflowSimResult detached = SimulateWorkflows(ChaoticConfig(), aws, 77);
+
+  WorkflowSimConfig observed = ChaoticConfig();
+  SpanCollector spans;
+  Auditor auditor(AuditLevel::kFull);
+  observed.trace = &spans;
+  observed.auditor = &auditor;
+  const WorkflowSimResult attached = SimulateWorkflows(observed, aws, 77);
+
+  ExpectIdentical(detached, attached);
+  EXPECT_FALSE(spans.spans().empty());
+  EXPECT_GT(auditor.checks_run(), 0);
+}
+
+TEST(WorkflowDeterminism, ZeroWorkflowRunsAreIdenticalAcrossSeeds) {
+  // A run with no workflow instances draws nothing: any seed produces the
+  // same (empty) result.
+  WorkflowSimConfig cfg;
+  cfg.dags.push_back(MakeChainDag("c", 3, HopSpec{}));
+  cfg.workflows = 0;
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const WorkflowSimResult a = SimulateWorkflows(cfg, aws, 1);
+  const WorkflowSimResult b = SimulateWorkflows(cfg, aws, 999);
+  ExpectIdentical(a, b);
+  EXPECT_TRUE(a.attempts.empty());
+}
+
+// Workflow spans nest hop attempts under their workflow root and the billed
+// USD tagged on spans reconciles with the run total.
+TEST(WorkflowDeterminism, SpanUsdReconcilesWithRunTotal) {
+  WorkflowSimConfig cfg = ChaoticConfig();
+  SpanCollector spans;
+  cfg.trace = &spans;
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  const WorkflowSimResult res = SimulateWorkflows(cfg, aws, 101);
+
+  Usd span_usd = 0.0;
+  int64_t workflow_roots = 0;
+  for (const Span& s : spans.spans()) {
+    if (s.kind == SpanKind::kWorkflow) {
+      ++workflow_roots;
+      span_usd += s.billed_usd;
+    }
+  }
+  EXPECT_EQ(workflow_roots, cfg.workflows);
+  EXPECT_NEAR(span_usd, res.usd_total, 1e-9);
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,282 @@
+// Workflow engine semantics: billing reconciliation against independent
+// invoices, and the resilience policies' billing contracts — deadline
+// fail-fasts and upstream skips are never billed, hedge losers and quorum
+// stragglers always are, and dead-lettered async hops pay for every redrive
+// plus the DLQ ops.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "src/billing/catalog.h"
+#include "src/billing/model.h"
+#include "src/common/units.h"
+#include "src/workflow/dag.h"
+#include "src/workflow/policy.h"
+#include "src/workflow/workflow_sim.h"
+
+namespace faascost {
+namespace {
+
+constexpr double kUsdTol = 1e-9;
+
+BillingModel Aws() { return MakeBillingModel(Platform::kAwsLambda); }
+
+WorkflowSimConfig BaseConfig(WorkflowDag dag, int64_t workflows) {
+  WorkflowSimConfig cfg;
+  cfg.dags.push_back(std::move(dag));
+  cfg.workflows = workflows;
+  cfg.wps = 5.0;
+  return cfg;
+}
+
+TEST(WorkflowSim, RejectsInvalidConfig) {
+  WorkflowSimConfig cfg;  // No DAGs.
+  cfg.workflows = 10;
+  EXPECT_THROW(SimulateWorkflows(cfg, Aws(), 1), std::invalid_argument);
+
+  WorkflowDag cyc;
+  HopSpec h;
+  h.name = "h0";
+  cyc.name = "cyc";
+  cyc.AddHop(h);
+  h.name = "h1";
+  cyc.AddHop(h);
+  cyc.AddEdge(0, 1);
+  cyc.AddEdge(1, 0);
+  WorkflowSimConfig bad = BaseConfig(cyc, 10);
+  EXPECT_THROW(SimulateWorkflows(bad, Aws(), 1), std::invalid_argument);
+}
+
+TEST(WorkflowSim, ZeroWorkflowsProducesEmptyZeroCostResult) {
+  WorkflowSimConfig cfg = BaseConfig(MakeChainDag("c", 3, HopSpec{}), 0);
+  cfg.pricing = MakeWorkflowPricing(Platform::kAwsLambda);
+  const WorkflowSimResult res = SimulateWorkflows(cfg, Aws(), 7);
+  EXPECT_TRUE(res.attempts.empty());
+  EXPECT_TRUE(res.workflows.empty());
+  EXPECT_EQ(res.counters.dispatched_attempts, 0);
+  EXPECT_EQ(res.usd_total, 0.0);
+  EXPECT_EQ(res.makespan, 0);
+}
+
+// The engine's own totals must equal an independent re-pricing of every
+// attempt it emitted, plus the orchestration fees from the counters.
+TEST(WorkflowSim, UsdDecompositionMatchesIndependentInvoices) {
+  WorkflowSimConfig cfg = BaseConfig(MakeChainDag("c", 3, HopSpec{}), 50);
+  cfg.failure_rate = 0.1;
+  cfg.init_failure_rate = 0.025;
+  cfg.policy.retry.max_attempts = 3;
+  cfg.pricing = MakeWorkflowPricing(Platform::kAwsLambda);
+  const BillingModel billing = Aws();
+  const WorkflowSimResult res = SimulateWorkflows(cfg, billing, 11);
+
+  Usd attempts_usd = 0.0;
+  for (const HopAttempt& att : res.attempts) {
+    const HopSpec& spec = cfg.dags[0].hops[static_cast<size_t>(att.hop)];
+    const Usd independent =
+        att.platform_dispatched
+            ? ComputeInvoice(billing, BillableRecord(att.attempt, spec.vcpus, spec.mem_mb))
+                  .total
+            : 0.0;
+    EXPECT_NEAR(att.usd, independent, kUsdTol);
+    attempts_usd += att.usd;
+  }
+  EXPECT_NEAR(res.usd_attempts, attempts_usd, kUsdTol);
+  EXPECT_NEAR(res.usd_transitions,
+              cfg.pricing.per_state_transition *
+                  static_cast<double>(res.counters.dispatched_attempts),
+              kUsdTol);
+  EXPECT_NEAR(res.usd_total, res.usd_attempts + res.usd_transitions + res.usd_dlq,
+              kUsdTol);
+  EXPECT_NEAR(res.usd_total, res.usd_useful + res.usd_wasted, kUsdTol);
+
+  // Per-workflow rows partition the run total.
+  Usd row_usd = 0.0;
+  for (const WorkflowRow& row : res.workflows) {
+    row_usd += row.usd;
+  }
+  EXPECT_NEAR(row_usd, res.usd_total, kUsdTol);
+}
+
+TEST(WorkflowSim, FaultFreeChainSucceedsWithOneAttemptPerHop) {
+  WorkflowSimConfig cfg = BaseConfig(MakeChainDag("c", 4, HopSpec{}), 25);
+  const WorkflowSimResult res = SimulateWorkflows(cfg, Aws(), 3);
+  EXPECT_EQ(res.counters.workflows_succeeded, 25);
+  EXPECT_EQ(res.counters.workflows_failed, 0);
+  EXPECT_EQ(res.counters.dispatched_attempts, 25 * 4);
+  EXPECT_EQ(res.counters.client_retries, 0);
+  EXPECT_EQ(static_cast<int64_t>(res.attempts.size()), 25 * 4);
+  EXPECT_NEAR(res.usd_wasted, 0.0, kUsdTol);
+  for (const WorkflowRow& row : res.workflows) {
+    EXPECT_EQ(row.outcome, Outcome::kOk);
+    EXPECT_GT(row.end, row.arrival);
+  }
+}
+
+// A hop that always fails strands its descendants: they are recorded as
+// kUpstreamFailed and never reach the platform, so they carry exactly $0.
+TEST(WorkflowSim, UpstreamFailureSkipsDescendantsUnbilled) {
+  WorkflowDag dag = MakeChainDag("c", 4, HopSpec{});
+  dag.hops[1].failure_rate = 1.0;
+  WorkflowSimConfig cfg = BaseConfig(dag, 20);
+  cfg.policy.retry.max_attempts = 2;
+  const WorkflowSimResult res = SimulateWorkflows(cfg, Aws(), 5);
+
+  EXPECT_EQ(res.counters.workflows_succeeded, 0);
+  EXPECT_EQ(res.counters.workflows_failed, 20);
+  EXPECT_EQ(res.counters.upstream_skipped, 20 * 2);  // Hops 2 and 3.
+  int64_t upstream_rows = 0;
+  for (const HopAttempt& att : res.attempts) {
+    if (att.attempt.outcome == Outcome::kUpstreamFailed) {
+      ++upstream_rows;
+      EXPECT_FALSE(att.platform_dispatched);
+      EXPECT_EQ(att.usd, 0.0);
+      EXPECT_GE(att.hop, 2);
+    }
+  }
+  EXPECT_EQ(upstream_rows, 20 * 2);
+  for (const WorkflowRow& row : res.workflows) {
+    EXPECT_EQ(row.outcome, Outcome::kRetriesExhausted);  // Root cause, hop 1.
+  }
+  // Everything billed was wasted: no workflow succeeded.
+  EXPECT_NEAR(res.usd_useful, 0.0, kUsdTol);
+  EXPECT_NEAR(res.usd_wasted, res.usd_total, kUsdTol);
+}
+
+// A deadline far below the cold-start floor: the first hop dispatches and is
+// truncated at the budget; retries and later hops fail fast, unbilled.
+TEST(WorkflowSim, DeadlineBudgetFailsFastUnbilled) {
+  WorkflowSimConfig cfg = BaseConfig(MakeChainDag("c", 3, HopSpec{}), 20);
+  cfg.policy.retry.max_attempts = 3;
+  cfg.policy.deadline.deadline = 100 * kMicrosPerMilli;
+  cfg.policy.deadline.propagate = true;
+  const WorkflowSimResult res = SimulateWorkflows(cfg, Aws(), 13);
+
+  EXPECT_EQ(res.counters.workflows_succeeded, 0);
+  EXPECT_EQ(res.counters.workflows_failed, 20);
+  EXPECT_GE(res.counters.fail_fast, 20);  // At least the first hop's retry.
+  int64_t fail_fast_rows = 0;
+  for (const HopAttempt& att : res.attempts) {
+    if (att.fail_fast) {
+      ++fail_fast_rows;
+      EXPECT_FALSE(att.platform_dispatched);
+      EXPECT_EQ(att.usd, 0.0);
+      EXPECT_EQ(att.attempt.outcome, Outcome::kTimeout);
+    }
+  }
+  EXPECT_EQ(fail_fast_rows, res.counters.fail_fast);
+  for (const WorkflowRow& row : res.workflows) {
+    EXPECT_EQ(row.outcome, Outcome::kTimeout);
+  }
+}
+
+// Hedging on a deterministic 500 ms hop with a 100 ms trigger: every first
+// attempt spawns a hedge, every race bills exactly one loser.
+TEST(WorkflowSim, HedgeRacesBillExactlyOneLoserEach) {
+  HopSpec proto;
+  proto.exec_mean = 500 * kMicrosPerMilli;
+  proto.exec_cv = 0.0;
+  WorkflowSimConfig cfg = BaseConfig(MakeChainDag("c", 1, proto), 15);
+  cfg.policy.hedge.hedge_after = 100 * kMicrosPerMilli;
+  const WorkflowSimResult res = SimulateWorkflows(cfg, Aws(), 17);
+
+  EXPECT_EQ(res.counters.workflows_succeeded, 15);
+  EXPECT_EQ(res.counters.hedges, 15);
+  EXPECT_EQ(res.counters.hedge_losers, 15);
+  EXPECT_GT(res.usd_hedge_losers, 0.0);
+  int64_t loser_rows = 0;
+  for (const HopAttempt& att : res.attempts) {
+    if (att.attempt.outcome == Outcome::kHedgeLoser) {
+      ++loser_rows;
+      EXPECT_TRUE(att.platform_dispatched);
+      EXPECT_GT(att.usd, 0.0);  // The double-billing the catalog warns about.
+    }
+  }
+  EXPECT_EQ(loser_rows, 15);
+  EXPECT_EQ(res.counters.hedge_wins + (res.counters.hedges - res.counters.hedge_wins),
+            res.counters.hedges);
+}
+
+// An async hop that always crashes: the provider redrives it max_redrives
+// times, then dead-letters it. Every attempt bills, plus the DLQ ops.
+TEST(WorkflowSim, AsyncTerminalFailureIsDeadLetteredAndPriced) {
+  HopSpec proto;
+  proto.async = true;
+  WorkflowDag dag = MakeChainDag("c", 1, proto);
+  dag.hops[0].failure_rate = 1.0;
+  WorkflowSimConfig cfg = BaseConfig(dag, 10);
+  cfg.policy.retry.max_attempts = 3;  // Must not apply to async hops.
+  cfg.policy.redrive.max_redrives = 2;
+  cfg.pricing = MakeWorkflowPricing(Platform::kAwsLambda);
+  const WorkflowSimResult res = SimulateWorkflows(cfg, Aws(), 19);
+
+  EXPECT_EQ(res.counters.workflows_failed, 10);
+  EXPECT_EQ(res.counters.dead_letters, 10);
+  EXPECT_EQ(res.counters.provider_redrives, 10 * 2);
+  EXPECT_EQ(res.counters.client_retries, 0);
+  EXPECT_EQ(static_cast<int64_t>(res.attempts.size()), 10 * 3);
+  EXPECT_NEAR(res.usd_dlq,
+              10.0 * (cfg.pricing.dlq_write_fee + cfg.pricing.dlq_read_fee), kUsdTol);
+  int64_t dead_rows = 0;
+  for (const HopAttempt& att : res.attempts) {
+    EXPECT_TRUE(att.platform_dispatched);  // Redrives all reached the platform.
+    if (att.attempt.outcome == Outcome::kDeadLettered) {
+      ++dead_rows;
+      EXPECT_GT(att.usd, 0.0);  // The final attempt still bills to the crash.
+    }
+  }
+  EXPECT_EQ(dead_rows, 10);
+  for (const WorkflowRow& row : res.workflows) {
+    EXPECT_EQ(row.outcome, Outcome::kDeadLettered);
+  }
+}
+
+// Quorum-2 join over two fast and two slow branches: the join fires on the
+// fast pair, the run is a degraded success, and the slow pair keep running —
+// and billing — as stragglers.
+TEST(WorkflowSim, QuorumJoinFiresEarlyAndBillsStragglers) {
+  WorkflowDag dag = MakeFanOutDag("f", 4, 2, HopSpec{});
+  // Branches are hops 1..4 (source 0, join 5).
+  dag.hops[3].exec_mean = 10 * kMicrosPerSec;
+  dag.hops[4].exec_mean = 10 * kMicrosPerSec;
+  dag.hops[3].exec_cv = 0.0;
+  dag.hops[4].exec_cv = 0.0;
+  WorkflowSimConfig cfg = BaseConfig(dag, 10);
+  const WorkflowSimResult res = SimulateWorkflows(cfg, Aws(), 23);
+
+  EXPECT_EQ(res.counters.workflows_succeeded, 10);
+  EXPECT_EQ(res.counters.degraded_successes, 10);
+  EXPECT_EQ(res.counters.stragglers, 10 * 2);
+  EXPECT_GT(res.usd_stragglers, 0.0);
+  for (const WorkflowRow& row : res.workflows) {
+    EXPECT_EQ(row.outcome, Outcome::kOk);
+    EXPECT_TRUE(row.degraded);
+    // The workflow ended at the join, not when the stragglers finished.
+    EXPECT_LT(row.end - row.arrival, 10 * kMicrosPerSec);
+  }
+  // Straggler executions still count toward the run makespan.
+  EXPECT_GT(res.makespan, 10 * kMicrosPerSec);
+  // Straggler spend is waste even though every workflow succeeded.
+  EXPECT_GT(res.usd_wasted, 0.0);
+}
+
+// Stragglers that *fail* after the join fired must not flip the workflow
+// outcome: quorum already satisfied the join.
+TEST(WorkflowSim, FailedStragglerDoesNotFailTheWorkflow) {
+  WorkflowDag dag = MakeFanOutDag("f", 3, 1, HopSpec{});
+  dag.hops[2].exec_mean = 5 * kMicrosPerSec;
+  dag.hops[2].failure_rate = 1.0;  // Slow and doomed.
+  dag.hops[3].exec_mean = 5 * kMicrosPerSec;
+  WorkflowSimConfig cfg = BaseConfig(dag, 8);
+  cfg.policy.retry.max_attempts = 1;
+  const WorkflowSimResult res = SimulateWorkflows(cfg, Aws(), 29);
+  EXPECT_EQ(res.counters.workflows_succeeded, 8);
+  EXPECT_EQ(res.counters.degraded_successes, 8);
+  for (const WorkflowRow& row : res.workflows) {
+    EXPECT_EQ(row.outcome, Outcome::kOk);
+  }
+}
+
+}  // namespace
+}  // namespace faascost

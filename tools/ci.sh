@@ -58,9 +58,47 @@ echo
 echo "== Failure benches: --json smoke =="
 "$repo/build/bench/bench_cost_of_failure" --json | python3 -m json.tool > /dev/null
 "$repo/build/bench/bench_cost_of_chaos" --json | python3 -m json.tool > /dev/null
+"$repo/build/bench/bench_cost_of_workflows" --json | python3 -m json.tool > /dev/null
 "$repo/build/tools/faascost" failures --json | python3 -m json.tool > /dev/null
 "$repo/build/tools/faascost" chaos --json | python3 -m json.tool > /dev/null
-echo "all four emitted valid JSON."
+echo "all five emitted valid JSON."
+
+echo
+echo "== Workflow engine: determinism smoke + JSON schema sanity =="
+wf_tmp="$(mktemp -d)"
+wf_args=(workflows --archetype fanout --hops 6 --quorum 4 --workflows 120
+         --rate 0.08 --retries 3 --zones 3 --outage-zone 1 --outage-start-s 5
+         --outage-seconds 10 --hedge-ms 600 --audit-level full --seed 7 --json)
+"$repo/build/tools/faascost" "${wf_args[@]}" > "$wf_tmp/wf_a.json"
+"$repo/build/tools/faascost" "${wf_args[@]}" > "$wf_tmp/wf_b.json"
+cmp "$wf_tmp/wf_a.json" "$wf_tmp/wf_b.json"
+python3 - "$wf_tmp/wf_a.json" <<'PYEOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+required = ["platform", "archetype", "seed", "succeeded", "failed",
+            "dispatched_attempts", "hedges", "hedge_losers", "dead_letters",
+            "circuit_open", "breaker_trips", "usd_attempts", "usd_transitions",
+            "usd_dlq", "usd_total", "usd_useful", "usd_wasted",
+            "cost_per_successful_workflow", "audit_checks"]
+missing = [k for k in required if k not in d]
+assert not missing, f"faascost workflows --json missing keys: {missing}"
+assert abs(d["usd_total"] - (d["usd_attempts"] + d["usd_transitions"] + d["usd_dlq"])) < 1e-9
+assert abs(d["usd_total"] - (d["usd_useful"] + d["usd_wasted"])) < 1e-9
+PYEOF
+# Zero-DAG runs consume no randomness: any two seeds agree on every field
+# except the echoed seed itself, and carry exactly $0.
+"$repo/build/tools/faascost" workflows --workflows 0 --seed 1 --json > "$wf_tmp/wf_z1.json"
+"$repo/build/tools/faascost" workflows --workflows 0 --seed 999 --json > "$wf_tmp/wf_z2.json"
+python3 - "$wf_tmp/wf_z1.json" "$wf_tmp/wf_z2.json" <<'PYEOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+a.pop("seed"), b.pop("seed")
+assert a == b, "zero-DAG runs differ beyond the echoed seed"
+assert a["usd_total"] == 0 and a["dispatched_attempts"] == 0
+PYEOF
+rm -rf "$wf_tmp"
+echo "same-seed runs byte-identical; zero-DAG runs seed-independent and \$0."
 
 echo
 echo "== Observe smoke: artifact validity and determinism =="
@@ -123,7 +161,7 @@ echo
 echo "== Micro-bench: BENCH_micro.json + integrity-overhead budget (<10%) =="
 "$repo/build/bench/bench_micro_simulators" \
   --benchmark_filter='BM_PlatformSimThousandRequests|BM_HostSimSecond|BM_FleetSimDay' \
-  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+  --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "$obs_tmp/micro.json"
 python3 "$repo/tools/make_bench_micro.py" \
   "$obs_tmp/micro.json" "$repo/BENCH_micro.json"

@@ -17,9 +17,17 @@
 //                      [--functions N] [--seed S]
 //   faascost observe   --out DIR [--platform P] [--rps N] [--seconds N]
 //                      [--rate R] [--retries N] [--cotenants N] [--seed S]
+//   faascost workflows --archetype chain|fanout|mapreduce [--hops N]
+//                      [--workflows N] [--wps R] [--rate R] [--retries N]
+//                      [--timeout-ms N] [--deadline-ms N] [--no-propagate]
+//                      [--hedge-ms N] [--async --async-redrives N] [--quorum K]
+//                      [--zones N --outage-zone Z --outage-start-s S
+//                       --outage-seconds N] [--breaker-threshold N]
+//                      [--platform P] [--audit-level L] [--seed S] [--json]
 //   faascost platforms
 //
-// `failures`, `chaos` and `audit` accept --json for machine-readable output.
+// `failures`, `chaos`, `workflows` and `audit` accept --json for
+// machine-readable output.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 when an integrity
 // invariant fails mid-run (IntegrityViolation), 3 on a malformed or
@@ -57,6 +65,9 @@
 #include "src/sched/host_sim.h"
 #include "src/trace/generator.h"
 #include "src/trace/io.h"
+#include "src/workflow/dag.h"
+#include "src/workflow/policy.h"
+#include "src/workflow/workflow_sim.h"
 
 namespace faascost {
 namespace {
@@ -1094,6 +1105,194 @@ int AuditFleetSim(const Flags& flags, AuditLevel level) {
   return 0;
 }
 
+// Workflow engine: cost of chains / fan-outs / map-reduces under resilience
+// policies (retries, deadline budgets, hedging, async redrives + DLQ, quorum
+// joins), optionally with a zonal outage mid-run.
+int CmdWorkflows(const Flags& flags) {
+  const std::string platform_name = flags.Get("platform").value_or("aws");
+  const auto platform = ParsePlatform(platform_name);
+  if (!platform.has_value()) {
+    std::fprintf(stderr, "workflows: unknown platform '%s'\n", platform_name.c_str());
+    return 1;
+  }
+
+  const std::string archetype = flags.Get("archetype").value_or("chain");
+  const int hops = static_cast<int>(flags.GetInt("hops", 5));
+  if (hops < 1) {
+    std::fprintf(stderr, "workflows: --hops must be >= 1\n");
+    return 1;
+  }
+  const int quorum = static_cast<int>(flags.GetInt("quorum", 0));
+
+  WorkflowSimConfig cfg;
+  cfg.workflows = flags.GetInt("workflows", 200);
+  cfg.wps = flags.GetDouble("wps", 2.0);
+  cfg.zones = static_cast<int>(flags.GetInt("zones", 1));
+  cfg.failure_rate = flags.GetDouble("rate", 0.0);
+  cfg.init_failure_rate = flags.GetDouble("init-fail-rate", cfg.failure_rate / 4.0);
+  cfg.pricing = MakeWorkflowPricing(*platform);
+
+  HopSpec proto;
+  proto.exec_mean = MillisToMicros(flags.GetDouble("exec-ms", 80.0));
+  proto.timeout = MillisToMicros(flags.GetDouble("timeout-ms", 0.0));
+  proto.async = flags.GetBool("async");
+  if (archetype == "chain") {
+    cfg.dags.push_back(MakeChainDag("chain", hops, proto, cfg.zones > 1));
+  } else if (archetype == "fanout") {
+    cfg.dags.push_back(MakeFanOutDag("fanout", hops, quorum, proto));
+  } else if (archetype == "mapreduce") {
+    cfg.dags.push_back(MakeMapReduceDag("mapreduce", hops, proto));
+  } else {
+    std::fprintf(stderr,
+                 "workflows: --archetype must be chain, fanout or mapreduce, got '%s'\n",
+                 archetype.c_str());
+    return 1;
+  }
+
+  cfg.policy.retry.max_attempts = static_cast<int>(flags.GetInt("retries", 3));
+  cfg.policy.retry.breaker_threshold =
+      static_cast<int>(flags.GetInt("breaker-threshold", 0));
+  cfg.policy.deadline.deadline = MillisToMicros(flags.GetDouble("deadline-ms", 0.0));
+  cfg.policy.deadline.propagate = !flags.GetBool("no-propagate");
+  cfg.policy.hedge.hedge_after = MillisToMicros(flags.GetDouble("hedge-ms", 0.0));
+  cfg.policy.redrive.max_redrives = static_cast<int>(flags.GetInt("async-redrives", 2));
+
+  if (flags.Get("outage-zone").has_value()) {
+    ZonalOutageSpec outage;
+    outage.zone = static_cast<int>(flags.GetInt("outage-zone", 0));
+    outage.start = SecsToMicros(flags.GetDouble("outage-start-s", 10.0));
+    outage.duration = SecsToMicros(flags.GetDouble("outage-seconds", 30.0));
+    cfg.outages.push_back(outage);
+  }
+
+  AuditLevel level = AuditLevel::kOff;
+  const std::string level_name = flags.Get("audit-level").value_or("off");
+  try {
+    level = ParseAuditLevel(level_name);
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr,
+                 "workflows: --audit-level must be off, basic or full, got '%s'\n",
+                 level_name.c_str());
+    return 1;
+  }
+  Auditor auditor(level);
+  if (level != AuditLevel::kOff) {
+    cfg.auditor = &auditor;
+  }
+
+  const std::vector<std::string> errors = cfg.Validate();
+  if (!errors.empty()) {
+    for (const std::string& err : errors) {
+      std::fprintf(stderr, "workflows: %s\n", err.c_str());
+    }
+    return 1;
+  }
+
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const BillingModel billing = MakeBillingModel(*platform);
+  const WorkflowSimResult res = SimulateWorkflows(cfg, billing, seed);
+  if (level != AuditLevel::kOff) {
+    AuditWorkflowRun(res, cfg, seed, auditor, billing);
+  }
+
+  const WorkflowCounters& c = res.counters;
+  const double per_success =
+      c.workflows_succeeded > 0
+          ? res.usd_total / static_cast<double>(c.workflows_succeeded)
+          : 0.0;
+
+  if (flags.GetBool("json")) {
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("platform", billing.platform);
+    w.KV("archetype", archetype);
+    w.KV("hops", static_cast<int64_t>(hops));
+    w.KV("workflows", cfg.workflows);
+    w.KV("seed", static_cast<int64_t>(seed));
+    w.KV("failure_rate", cfg.failure_rate);
+    w.KV("max_attempts", cfg.policy.retry.max_attempts);
+    w.KV("deadline_ms", MicrosToMillis(cfg.policy.deadline.deadline));
+    w.KV("deadline_propagates", cfg.policy.deadline.propagate);
+    w.KV("hedge_ms", MicrosToMillis(cfg.policy.hedge.hedge_after));
+    w.KV("succeeded", c.workflows_succeeded);
+    w.KV("failed", c.workflows_failed);
+    w.KV("degraded_successes", c.degraded_successes);
+    w.KV("attempts", static_cast<int64_t>(res.attempts.size()));
+    w.KV("dispatched_attempts", c.dispatched_attempts);
+    w.KV("client_retries", c.client_retries);
+    w.KV("hedges", c.hedges);
+    w.KV("hedge_wins", c.hedge_wins);
+    w.KV("hedge_losers", c.hedge_losers);
+    w.KV("provider_redrives", c.provider_redrives);
+    w.KV("dead_letters", c.dead_letters);
+    w.KV("upstream_skipped", c.upstream_skipped);
+    w.KV("fail_fast", c.fail_fast);
+    w.KV("circuit_open", c.circuit_open);
+    w.KV("breaker_trips", c.breaker_trips);
+    w.KV("cold_starts", c.cold_starts);
+    w.KV("outage_killed", c.outage_killed);
+    w.KV("stragglers", c.stragglers);
+    w.KV("usd_attempts", res.usd_attempts);
+    w.KV("usd_transitions", res.usd_transitions);
+    w.KV("usd_dlq", res.usd_dlq);
+    w.KV("usd_total", res.usd_total);
+    w.KV("usd_useful", res.usd_useful);
+    w.KV("usd_wasted", res.usd_wasted);
+    w.KV("usd_hedge_losers", res.usd_hedge_losers);
+    w.KV("usd_stragglers", res.usd_stragglers);
+    w.KV("cost_per_successful_workflow", per_success);
+    if (level != AuditLevel::kOff) {
+      w.KV("audit_level", AuditLevelName(level));
+      w.KV("audit_checks", auditor.checks_run());
+    }
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
+  std::printf("%s %s x%lld hops=%d: %lld ok (%lld degraded), %lld failed\n",
+              billing.platform.c_str(), archetype.c_str(),
+              static_cast<long long>(cfg.workflows), hops,
+              static_cast<long long>(c.workflows_succeeded),
+              static_cast<long long>(c.degraded_successes),
+              static_cast<long long>(c.workflows_failed));
+  std::printf("Attempts:             %zu (%lld dispatched, %lld retries, %lld hedges,"
+              " %lld redrives)\n",
+              res.attempts.size(), static_cast<long long>(c.dispatched_attempts),
+              static_cast<long long>(c.client_retries),
+              static_cast<long long>(c.hedges),
+              static_cast<long long>(c.provider_redrives));
+  std::printf("  hedge losers:       %lld   dead letters: %lld   stragglers: %lld\n",
+              static_cast<long long>(c.hedge_losers),
+              static_cast<long long>(c.dead_letters),
+              static_cast<long long>(c.stragglers));
+  std::printf("  unbilled rows:      %lld circuit-open, %lld upstream-skipped,"
+              " %lld fail-fast\n",
+              static_cast<long long>(c.circuit_open),
+              static_cast<long long>(c.upstream_skipped),
+              static_cast<long long>(c.fail_fast));
+  std::printf("Cold starts:          %lld   outage kills: %lld   breaker trips: %lld\n",
+              static_cast<long long>(c.cold_starts),
+              static_cast<long long>(c.outage_killed),
+              static_cast<long long>(c.breaker_trips));
+  std::printf("Billed total:         $%.6g (invocations $%.6g + transitions $%.6g"
+              " + DLQ $%.6g)\n",
+              res.usd_total, res.usd_attempts, res.usd_transitions, res.usd_dlq);
+  std::printf("Wasted:               $%.6g (%.1f%%; hedge losers $%.4g,"
+              " stragglers $%.4g)\n",
+              res.usd_wasted,
+              res.usd_total > 0.0 ? res.usd_wasted / res.usd_total * 100.0 : 0.0,
+              res.usd_hedge_losers, res.usd_stragglers);
+  if (c.workflows_succeeded > 0) {
+    std::printf("Cost per success:     $%.6g\n", per_success);
+  }
+  if (level != AuditLevel::kOff) {
+    std::printf("Audit:                %s, %lld checks, ok\n", AuditLevelName(level),
+                static_cast<long long>(auditor.checks_run()));
+  }
+  return 0;
+}
+
 int CmdAuditIntegrity(const Flags& flags) {
   const std::string sim = flags.Get("sim").value_or("platform");
   AuditLevel level = AuditLevel::kFull;
@@ -1130,7 +1329,10 @@ int Usage() {
                "  failures --platform P --rate R       cost of failures and retries\n"
                "  chaos --platform P --mtbf-s N        cost of fleet host failures\n"
                "  observe --out DIR [--platform P]     trace one run (trace.json +\n"
-               "                                       metrics.jsonl + summary)\n");
+               "                                       metrics.jsonl + summary)\n"
+               "  workflows --archetype A --hops N     cost of workflow DAGs under\n"
+               "        [--rate R --retries N --deadline-ms N --hedge-ms N\n"
+               "         --async --quorum K --audit-level L]  resilience policies\n");
   return 1;
 }
 
@@ -1161,6 +1363,9 @@ int Dispatch(const std::string& cmd, const Flags& flags) {
   }
   if (cmd == "observe") {
     return CmdObserve(flags);
+  }
+  if (cmd == "workflows") {
+    return CmdWorkflows(flags);
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return Usage();

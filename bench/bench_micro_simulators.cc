@@ -7,8 +7,10 @@
 #include "src/billing/catalog.h"
 #include "src/cluster/fleet_sim.h"
 #include "src/integrity/integrity.h"
+#include "src/obs/engine_profiler.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
+#include "src/obs/timeseries.h"
 #include "src/platform/presets.h"
 #include "src/sched/bandwidth_sim.h"
 #include "src/sched/host_sim.h"
@@ -137,6 +139,30 @@ void BM_PlatformSimThousandRequestsAudited(benchmark::State& state) {
 }
 BENCHMARK(BM_PlatformSimThousandRequestsAudited);
 
+// Monitored counterpart: windowed TimeSeries plus the engine flight recorder
+// attached, as `faascost monitor` runs them. The delta against the detached
+// variant is the telemetry overhead, gated under the same <10% budget as the
+// traced and audited pairs (tools/make_bench_micro.py). The series and
+// profiler are rebuilt per iteration, like the Auditor above: both are a
+// handful of small vectors, and a fresh instance is what a monitor run sees.
+void BM_PlatformSimThousandRequestsMonitored(benchmark::State& state) {
+  const WorkloadSpec wl = PyAesWorkload();
+  const auto arrivals = PlatformArrivals();
+  for (auto _ : state) {
+    TimeSeries series(60 * kMicrosPerSec);
+    EngineProfiler profiler;
+    PlatformSimConfig cfg = GcpPlatform(1.0, 1'024.0);
+    cfg.timeseries = &series;
+    cfg.profiler = &profiler;
+    PlatformSim sim(cfg, 5);
+    const auto result = sim.Run(arrivals, wl);
+    benchmark::DoNotOptimize(result.requests.size());
+    benchmark::DoNotOptimize(series.window_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_PlatformSimThousandRequestsMonitored);
+
 void BM_HostSimSecond(benchmark::State& state) {
   HostSimConfig cfg;
   cfg.cores = 4;
@@ -211,6 +237,27 @@ void BM_FleetSimDayAudited(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FleetSimDayAudited)->Arg(50'000);
+
+// Monitored counterpart of BM_FleetSimDay, for the telemetry-overhead budget.
+void BM_FleetSimDayMonitored(benchmark::State& state) {
+  TraceGenConfig cfg;
+  cfg.num_requests = state.range(0);
+  cfg.num_functions = 500;
+  const auto trace = TraceGenerator(cfg, 7).Generate();
+  const BillingModel aws = MakeBillingModel(Platform::kAwsLambda);
+  for (auto _ : state) {
+    TimeSeries series(60 * kMicrosPerSec);
+    EngineProfiler profiler;
+    FleetSimConfig fleet_cfg;
+    fleet_cfg.timeseries = &series;
+    fleet_cfg.profiler = &profiler;
+    const FleetResult r = SimulateFleet(trace, aws, fleet_cfg);
+    benchmark::DoNotOptimize(r.revenue);
+    benchmark::DoNotOptimize(series.window_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FleetSimDayMonitored)->Arg(50'000);
 
 // Workflow-engine throughput: 200 five-hop chains with retries and 5%
 // faults, the bench_cost_of_workflows working set. Items are hop executions.

@@ -192,6 +192,8 @@ struct FleetEngine::Impl {
   // --- Observability and integrity hooks (no-ops when null) ---
   TraceSink* sink = nullptr;
   MetricsRegistry* metrics = nullptr;
+  TimeSeries* ts = nullptr;
+  EngineProfiler* prof = nullptr;
   Auditor* auditor = nullptr;
   MetricIds mid;
   MicroSecs next_sample = 0;
@@ -212,7 +214,12 @@ struct FleetEngine::Impl {
         cap(config.max_sandboxes_per_function),
         sink(config.trace_sink),
         metrics(config.metrics),
+        ts(config.timeseries),
+        prof(config.profiler),
         auditor(config.auditor) {
+    if (prof != nullptr) {
+      prof->RegisterEventType(0, "attempt");
+    }
     if (metrics != nullptr) {
       using K = MetricsRegistry::Kind;
       mid.attempts = metrics->Define(K::kGauge, "fleet.attempts_total");
@@ -255,6 +262,9 @@ struct FleetEngine::Impl {
     if (ok) {
       ++result.successes;
     }
+    if (ts != nullptr) {
+      ts->RecordCompletion(when, ok, when - (*trace)[at.trace_idx].arrival);
+    }
   }
 
   // A failed attempt: schedule the retry, or resolve the request if the
@@ -275,6 +285,9 @@ struct FleetEngine::Impl {
       }
       pending.push({end + delay, next_seq++, at.trace_idx, at.attempt + 1});
       ++result.retries;
+      if (ts != nullptr) {
+        ts->RecordRetry(end);
+      }
     } else {
       ++result.retries_exhausted;
       ResolveTerminal(at, end, false);
@@ -295,6 +308,12 @@ struct FleetEngine::Impl {
     const Invoice inv = ComputeInvoice(billing, billed);
     result.revenue += inv.total;
     result.fee_revenue += inv.invocation_cost;
+    // Billed recording is co-located with the terminal span's pricing (same
+    // value, same end time, same order) so ReconcileBilledUsd is bitwise.
+    if (ts != nullptr) {
+      ts->RecordBilled(end, inv.total);
+      ts->RecordWaste(end, WasteKind::kFailedAttempt, inv.total);
+    }
     if (sink != nullptr) {
       Span sp;
       sp.kind = SpanKind::kQueueWait;
@@ -410,6 +429,13 @@ struct FleetEngine::Impl {
     }
     now = at.arrival;
     ++attempts_processed;
+    if (prof != nullptr) {
+      prof->CountEvent(0, at.arrival, pending.size());
+    }
+    if (ts != nullptr) {
+      ts->RecordArrival(at.arrival);
+      ts->RecordQueueDepth(at.arrival, waiting_now);
+    }
     const RequestRecord& r = (*trace)[at.trace_idx];
     SampleMetricsUntil(at.arrival);
 
@@ -650,6 +676,24 @@ struct FleetEngine::Impl {
     const Invoice inv = ComputeInvoice(billing, billed);
     result.revenue += inv.total;
     result.fee_revenue += inv.invocation_cost;
+    if (ts != nullptr) {
+      ts->RecordDispatch(at.arrival, cold);
+      ts->RecordExecution(at.arrival, end);
+      // Same value / end time / order as the terminal span below: bitwise
+      // reconciliation depends on it.
+      ts->RecordBilled(end, inv.total);
+      if (oc != Outcome::kOk) {
+        ts->RecordWaste(end, WasteKind::kFailedAttempt, inv.total);
+      } else if (cold && init_billed + effective > 0) {
+        // Cold-start surcharge attribution: the init share of the attempt's
+        // occupied time, priced at the attempt's average rate. A heuristic
+        // (billing models differ on whether init bills), but a deterministic
+        // one.
+        ts->RecordWaste(end, WasteKind::kColdInit,
+                        inv.total * (static_cast<double>(init_billed) /
+                                     static_cast<double>(init_billed + effective)));
+      }
+    }
 
     if (sink != nullptr) {
       const size_t used_span = cold ? result.spans.size() - 1 : reuse->span_index;
@@ -1044,6 +1088,10 @@ FleetResult FleetEngine::Finish() {
   }
   if (im.metrics != nullptr) {
     im.SampleMetricsUntil(im.next_sample);  // Final row with the closing totals.
+  }
+  if (im.prof != nullptr) {
+    im.prof->AddRngDraws(im.fault_rng.draw_count());
+    im.prof->AddRngDraws(im.host_faults.TotalRngDraws());
   }
 
   result.sandboxes = static_cast<int64_t>(result.spans.size());

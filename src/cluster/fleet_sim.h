@@ -24,8 +24,10 @@
 #include "src/common/json_reader.h"
 #include "src/common/json_writer.h"
 #include "src/integrity/integrity.h"
+#include "src/obs/engine_profiler.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
+#include "src/obs/timeseries.h"
 #include "src/platform/faults.h"
 #include "src/trace/record.h"
 
@@ -84,6 +86,14 @@ struct FleetSimConfig {
   // Metrics sampling cadence over trace time (used only when `metrics` is
   // attached).
   MicroSecs metrics_interval = kMicrosPerSec;
+  // Sim-time windowed telemetry (same null-sink contract). Billed-USD
+  // recording is co-located with terminal-span pricing, so the series'
+  // per-window sums reconcile bitwise against span totals
+  // (ReconcileBilledUsd in src/obs/timeseries.h).
+  TimeSeries* timeseries = nullptr;
+  // Engine flight recorder: per-attempt event counts, pending-queue depth
+  // samples, and fault-RNG draw totals (src/obs/engine_profiler.h).
+  EngineProfiler* profiler = nullptr;
   // Runtime invariant auditor (non-owning; null = detached, zero overhead
   // beyond one pointer test per attempt). See src/integrity/integrity.h.
   Auditor* auditor = nullptr;

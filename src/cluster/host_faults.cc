@@ -190,4 +190,12 @@ int HostFaultModel::PickHost(MicroSecs t) {
   return h;
 }
 
+uint64_t HostFaultModel::TotalRngDraws() const {
+  uint64_t draws = zone_rng_.draw_count();
+  for (const HostStream& hs : hosts_) {
+    draws += hs.rng.draw_count();
+  }
+  return draws;
+}
+
 }  // namespace faascost

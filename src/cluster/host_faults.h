@@ -88,6 +88,10 @@ class HostFaultModel {
 
   const HostFaultModelConfig& config() const { return config_; }
 
+  // Total draws across the zone stream and every host stream, for engine
+  // flight-recorder accounting (telemetry only, not checkpointed state).
+  uint64_t TotalRngDraws() const;
+
   // Checkpoint support. The failure schedules are pure functions of
   // (config, seed) and regenerate lazily after a restore; the round-robin
   // placement cursor is the model's only order-dependent state.

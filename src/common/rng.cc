@@ -45,10 +45,12 @@ void Rng::LoadState(const RngState& state) {
   }
   std::memcpy(&spare_normal_, &state.spare_normal_bits, sizeof(spare_normal_));
   has_spare_normal_ = state.has_spare_normal;
+  draw_count_ = 0;
 }
 
 uint64_t Rng::NextU64() {
   // xoshiro256** step.
+  ++draw_count_;
   const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;
   state_[2] ^= state_[0];

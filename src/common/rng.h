@@ -63,6 +63,12 @@ class Rng {
   // Raw 64-bit output of the underlying engine.
   uint64_t NextU64();
 
+  // Engine steps taken since construction (or LoadState, which resets it).
+  // Telemetry only — the engine flight recorder reports it — so it is
+  // deliberately NOT part of RngState: restoring a checkpoint resumes the
+  // stream bit-exactly while the profiler starts counting afresh.
+  uint64_t draw_count() const { return draw_count_; }
+
   // Uniform double in [0, 1).
   double NextDouble();
 
@@ -108,6 +114,7 @@ class Rng {
 
  private:
   uint64_t state_[4];
+  uint64_t draw_count_ = 0;
   double spare_normal_ = 0.0;
   bool has_spare_normal_ = false;
 };

@@ -1,0 +1,13 @@
+#include "src/common/wallclock.h"
+
+#include <chrono>
+
+namespace faascost {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace faascost

@@ -1,0 +1,26 @@
+// The repo's single sanctioned wall-clock read.
+//
+// Simulation results must be pure functions of (config, seed): faaslint rule
+// R1 bans every nondeterminism source (std::chrono clocks, time(), getenv,
+// ...) across the tree, with exactly this file exempted. Anything that
+// legitimately needs real elapsed time — today that is the engine flight
+// recorder's per-phase timings, which describe how long the *host* took, not
+// anything about the simulated world — must route through MonotonicNanos() so
+// the exemption stays one grep away from its every consumer. Wall-clock
+// readings must never feed simulation state, RNG seeding, or any
+// byte-compared artifact.
+
+#ifndef FAASCOST_COMMON_WALLCLOCK_H_
+#define FAASCOST_COMMON_WALLCLOCK_H_
+
+#include <cstdint>
+
+namespace faascost {
+
+// Monotonic host time in nanoseconds from an arbitrary epoch. Differences are
+// meaningful; absolute values are not.
+int64_t MonotonicNanos();
+
+}  // namespace faascost
+
+#endif  // FAASCOST_COMMON_WALLCLOCK_H_

@@ -109,6 +109,51 @@ std::string MetricsJsonl(const MetricsRegistry& registry) {
   return out;
 }
 
+std::string TimeSeriesJsonl(const TimeSeries& series) {
+  std::string out;
+  const MicroSecs width = series.window();
+  for (size_t i = 0; i < series.window_count(); ++i) {
+    const WindowStats& win = series.window_at(i);
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("window", static_cast<int64_t>(i));
+    w.KV("start_us", static_cast<MicroSecs>(i) * width);
+    w.KV("end_us", static_cast<MicroSecs>(i + 1) * width);
+    w.KV("arrivals", win.arrivals);
+    w.KV("dispatches", win.dispatches);
+    w.KV("cold_starts", win.cold_starts);
+    w.KV("completions", win.completions);
+    w.KV("failures", win.failures);
+    w.KV("retries", win.retries);
+    w.KV("cold_start_rate",
+         win.dispatches > 0 ? static_cast<double>(win.cold_starts) /
+                                  static_cast<double>(win.dispatches)
+                            : 0.0);
+    w.KV("p50_ms", win.latency_us.Quantile(0.50) / 1'000.0);
+    w.KV("p95_ms", win.latency_us.Quantile(0.95) / 1'000.0);
+    w.KV("p99_ms", win.latency_us.Quantile(0.99) / 1'000.0);
+    w.KV("latency_samples", win.latency_us.count());
+    w.KV("latency_rejected", win.latency_us.rejected());
+    w.KV("billed_usd", win.billed_usd);
+    w.KV("waste_usd_total", win.WasteTotal());
+    for (int k = 0; k < kWasteKindCount; ++k) {
+      w.KV(std::string("waste_usd_") + WasteKindName(static_cast<WasteKind>(k)),
+           win.waste_usd[k]);
+    }
+    w.KV("queue_depth_max", win.queue_depth_max);
+    w.KV("avg_concurrency",
+         static_cast<double>(win.busy_micros) / static_cast<double>(width));
+    for (size_t obj = 0; obj < series.objective_count(); ++obj) {
+      w.KV("good_within_" + std::to_string(series.objective_at(obj) / 1'000) + "ms",
+           win.good[obj]);
+    }
+    w.EndObject();
+    out += w.str();
+    out.push_back('\n');
+  }
+  return out;
+}
+
 bool WriteTextFile(const std::string& path, const std::string& content) {
   // Crash-safe: readers of run artifacts never see a half-written file.
   try {

@@ -11,6 +11,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
+#include "src/obs/timeseries.h"
 
 namespace faascost {
 
@@ -23,6 +24,13 @@ std::string ChromeTraceJson(const std::vector<Span>& spans);
 // Renders the registry's sampled rows as JSONL: one JSON object per sample
 // with "time_us" plus every column in definition order.
 std::string MetricsJsonl(const MetricsRegistry& registry);
+
+// Renders the tumbling-window time series as JSONL: one JSON object per
+// window in index order, with rates, latency quantiles (p50/p95/p99 ms),
+// billed USD (shortest-round-trip double, so the bytes re-parse to the
+// bit-exact per-window sum), waste USD by category, queue depth, and average
+// live concurrency. Byte-deterministic for a deterministic run.
+std::string TimeSeriesJsonl(const TimeSeries& series);
 
 // Writes `content` to `path`, truncating. Returns false on I/O failure.
 bool WriteTextFile(const std::string& path, const std::string& content);

@@ -1,0 +1,77 @@
+// Declarative SLOs with multi-window burn-rate alerting over the sim-time
+// series, following the SRE-workbook recipe: a latency objective plus an
+// error budget (1 - target), alerting only when BOTH a fast and a slow
+// trailing window burn the budget faster than their thresholds. The fast
+// window makes the alert responsive to flash crowds; the slow window keeps a
+// single bad window from paging.
+//
+// Evaluation is post-run over a finalized TimeSeries, so alerts are a pure
+// function of (windows, spec): deterministic, sim-time-stamped, and
+// replayable. Each alert carries the triggering window's billed USD, taken
+// bitwise from the time series — the same column ReconcileBilledUsd checks
+// against span totals — so "what did the incident cost" reconciles
+// bit-for-bit with the run's provenance spans.
+
+#ifndef FAASCOST_OBS_SLO_H_
+#define FAASCOST_OBS_SLO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/obs/timeseries.h"
+
+namespace faascost {
+
+struct SloSpec {
+  std::string name = "latency";
+  // Index returned by TimeSeries::AddLatencyObjective — the per-window
+  // good-event counter this SLO reads (exact counts, not quantile estimates).
+  int objective_id = 0;
+  // Success target over completions, e.g. 0.999 = 99.9% of completions are
+  // ok and within the latency objective.
+  double target = 0.999;
+  // Trailing window lengths, in multiples of the series' tumbling window.
+  int fast_windows = 1;
+  int slow_windows = 12;
+  // Burn-rate thresholds: budget consumption speed relative to the rate that
+  // spends exactly the whole budget over the SLO period (SRE workbook
+  // defaults: 14.4x pages within hours, 6x within a day).
+  double fast_burn = 14.4;
+  double slow_burn = 6.0;
+
+  // Human-readable spec errors; empty when valid.
+  std::vector<std::string> Validate() const;
+};
+
+// One transition of the alert state machine, stamped with the sim time of
+// the window edge that caused it.
+struct SloAlert {
+  std::string slo;
+  MicroSecs time = 0;   // End of the triggering/resolving window.
+  bool firing = false;  // true = fire transition, false = resolve.
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  // Billed USD of the triggering window, bitwise from the time series.
+  Usd window_billed_usd = 0.0;
+  int64_t window_index = 0;
+};
+
+// Burn rate of the trailing `count` windows ending at `last` (inclusive):
+// (bad completions / completions) / (1 - target). Windows with no
+// completions burn nothing. Pure function of the finalized series.
+double BurnRate(const TimeSeries& series, const SloSpec& spec, size_t last,
+                int count);
+
+// Walks every finalized window in order and returns the fire/resolve
+// transitions. Throws std::invalid_argument when the spec fails Validate()
+// or names an objective the series does not have.
+std::vector<SloAlert> EvaluateSlo(const TimeSeries& series, const SloSpec& spec);
+
+// JSONL export (one alert object per line), byte-deterministic via
+// JsonWriter.
+std::string SloAlertsJsonl(const std::vector<SloAlert>& alerts);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_OBS_SLO_H_

@@ -282,6 +282,8 @@ struct PlatformEngine::Impl {
   // --- Observability and integrity hooks (no-ops when null) ---
   TraceSink* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
+  TimeSeries* ts = nullptr;
+  EngineProfiler* prof = nullptr;
   Auditor* auditor = nullptr;
   MetricIds mid;
 
@@ -296,7 +298,28 @@ struct PlatformEngine::Impl {
         multi(config.concurrency == ConcurrencyModel::kMultiConcurrency),
         trace(config.trace),
         metrics(config.metrics),
+        ts(config.timeseries),
+        prof(config.profiler),
         auditor(config.auditor) {
+    if (prof != nullptr) {
+      // Keep in EventType declaration order.
+      prof->RegisterEventType(static_cast<int>(EventType::kArrival), "arrival");
+      prof->RegisterEventType(static_cast<int>(EventType::kInitDone), "init_done");
+      prof->RegisterEventType(static_cast<int>(EventType::kSandboxNext), "sandbox_next");
+      prof->RegisterEventType(static_cast<int>(EventType::kKaExpire), "ka_expire");
+      prof->RegisterEventType(static_cast<int>(EventType::kScalerEval), "scaler_eval");
+      prof->RegisterEventType(static_cast<int>(EventType::kSample), "sample");
+      prof->RegisterEventType(static_cast<int>(EventType::kRetryArrival),
+                              "retry_arrival");
+      prof->RegisterEventType(static_cast<int>(EventType::kExecTimeout),
+                              "exec_timeout");
+      prof->RegisterEventType(static_cast<int>(EventType::kClientTimeout),
+                              "client_timeout");
+      prof->RegisterEventType(static_cast<int>(EventType::kQueueTimeout),
+                              "queue_timeout");
+      prof->RegisterEventType(static_cast<int>(EventType::kDrainDeadline),
+                              "drain_deadline");
+    }
     if (metrics != nullptr) {
       using K = MetricsRegistry::Kind;
       mid.instances = metrics->Define(K::kGauge, "platform.instances");
@@ -502,6 +525,9 @@ struct PlatformEngine::Impl {
         metrics->Add(mid.cold_starts);
       }
     }
+    if (ts != nullptr) {
+      ts->RecordDispatch(now, cold);
+    }
     InFlightReq r;
     r.req_idx = att.req_idx;
     r.attempt_idx = attempt_idx;
@@ -575,6 +601,9 @@ struct PlatformEngine::Impl {
       if (metrics != nullptr) {
         metrics->Add(mid.retries);
       }
+      if (ts != nullptr) {
+        ts->RecordRetry(now);
+      }
       queue.push({now + delay, EventType::kRetryArrival, -1, 0, att.req_idx});
       return;
     }
@@ -588,6 +617,9 @@ struct PlatformEngine::Impl {
     out.init_duration = att.init_duration;
     if (metrics != nullptr) {
       metrics->Observe(mid.e2e_ms, MicrosToMillis(now - out.arrival));
+    }
+    if (ts != nullptr) {
+      ts->RecordCompletion(now, /*ok=*/false, now - out.arrival);
     }
     ++terminal;
   }
@@ -615,6 +647,10 @@ struct PlatformEngine::Impl {
     if (metrics != nullptr) {
       metrics->Add(mid.failures);
     }
+    if (ts != nullptr && attempt_started[static_cast<size_t>(attempt_idx)] &&
+        now > att.start_exec) {
+      ts->RecordExecution(att.start_exec, now);
+    }
     if (!att.client_abandoned) {
       ResolveClient(attempt_idx, oc);
     }
@@ -636,6 +672,9 @@ struct PlatformEngine::Impl {
       EmitClientSpan(SpanKind::kExec, att.start_exec, now - att.start_exec,
                      req.attempt_idx, OutcomeName(Outcome::kOk), /*term=*/true);
     }
+    if (ts != nullptr && now > att.start_exec) {
+      ts->RecordExecution(att.start_exec, now);
+    }
     if (att.client_abandoned) {
       return;  // The response has no one left to deliver to.
     }
@@ -649,6 +688,9 @@ struct PlatformEngine::Impl {
     out.e2e_latency = now - out.arrival;
     if (metrics != nullptr) {
       metrics->Observe(mid.e2e_ms, MicrosToMillis(now - out.arrival));
+    }
+    if (ts != nullptr) {
+      ts->RecordCompletion(now, /*ok=*/true, now - out.arrival);
     }
     ++terminal;
   }
@@ -988,10 +1030,17 @@ struct PlatformEngine::Impl {
     }
     now = ev.time;
     ++events_processed;
+    if (prof != nullptr) {
+      prof->CountEvent(static_cast<int>(ev.type), now,
+                       queue.size() + 1);  // +1: `ev` was just popped.
+    }
     switch (ev.type) {
       case EventType::kArrival:
       case EventType::kRetryArrival: {
         ++arrivals_since_sample;
+        if (ts != nullptr) {
+          ts->RecordArrival(now);
+        }
         // Idle-time feedback for predictive keep-alive (paper §3.3); retry
         // re-arrivals are arrivals from the platform's point of view too.
         if (last_completion >= 0 && now > last_completion) {
@@ -1331,6 +1380,9 @@ struct PlatformEngine::Impl {
           metrics->Set(mid.utilization, sample.avg_utilization);
           metrics->Set(mid.breaker_open, breaker.open() ? 1.0 : 0.0);
           metrics->Sample(now);
+        }
+        if (ts != nullptr) {
+          ts->RecordQueueDepth(now, static_cast<int64_t>(global_queue.size()));
         }
         if (config.autoscaler_enabled) {
           // Consumed-CPU metric (what a CPU-utilization target observes):
@@ -1706,6 +1758,10 @@ PlatformSimResult PlatformEngine::Finish() {
   result.retries =
       static_cast<int64_t>(result.attempts.size()) - static_cast<int64_t>(result.requests.size());
   result.breaker_trips = im.breaker.trips();
+  if (im.prof != nullptr) {
+    im.prof->AddRngDraws(im.rng.draw_count());
+    im.prof->AddRngDraws(im.faults.rng().draw_count());
+  }
   return std::move(result);
 }
 

@@ -28,8 +28,10 @@
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/integrity/integrity.h"
+#include "src/obs/engine_profiler.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
+#include "src/obs/timeseries.h"
 #include "src/platform/autoscaler.h"
 #include "src/platform/coldstart.h"
 #include "src/platform/faults.h"
@@ -101,6 +103,13 @@ struct PlatformSimConfig {
   // sample_interval cadence.
   TraceSink* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
+  // Sim-time windowed telemetry (same null-sink contract). PlatformSim
+  // prices spans post-run (core/observe.h TagPlatformSpanBilling), so billed
+  // USD enters the series via IngestBilledSpans, not inline.
+  TimeSeries* timeseries = nullptr;
+  // Engine flight recorder: per-type event counts, event-queue depth
+  // samples, and RNG draw totals (src/obs/engine_profiler.h).
+  EngineProfiler* profiler = nullptr;
   // Runtime invariant auditor (non-owning, same null-sink contract as the
   // observability hooks): null reduces every check to one pointer test and
   // leaves results bit-identical. Attached, it verifies conservation laws

@@ -344,6 +344,28 @@ class Engine {
       functions_[static_cast<size_t>(row.dag)][static_cast<size_t>(row.hop)].warm.push_back(
           {row.attempt.end});
     }
+    if (cfg_.timeseries != nullptr) {
+      // Same value and timestamp the terminal span carries (start + duration),
+      // in the same per-row order — keeps ReconcileBilledUsd bitwise.
+      const MicroSecs span_end = row.attempt.dispatched + row.attempt.init_duration +
+                                 row.attempt.exec_duration;
+      cfg_.timeseries->RecordBilled(span_end, row.usd);
+      if (row.attempt.exec_duration > 0) {
+        cfg_.timeseries->RecordExecution(span_end - row.attempt.exec_duration, span_end);
+      }
+      if (row.usd > 0.0) {
+        // Disjoint categories, first match wins (see WasteKind).
+        if (row.attempt.outcome == Outcome::kHedgeLoser) {
+          cfg_.timeseries->RecordWaste(span_end, WasteKind::kHedgeLoser, row.usd);
+        } else if (row.straggler) {
+          cfg_.timeseries->RecordWaste(span_end, WasteKind::kStraggler, row.usd);
+        } else if (row.attempt.outcome == Outcome::kDeadLettered) {
+          cfg_.timeseries->RecordWaste(span_end, WasteKind::kDeadLetter, row.usd);
+        } else if (row.attempt.outcome != Outcome::kOk) {
+          cfg_.timeseries->RecordWaste(span_end, WasteKind::kFailedAttempt, row.usd);
+        }
+      }
+    }
     EmitAttemptSpans(idx);
   }
 
@@ -372,6 +394,9 @@ class Engine {
     ws.hops.resize(dag.hops.size());
     ws.pending_sinks = static_cast<int>(dag.Sinks().size());
     ++res_.counters.workflows_started;
+    if (cfg_.timeseries != nullptr) {
+      cfg_.timeseries->RecordArrival(now_);
+    }
     for (const int src : dag.Sources()) {
       ws.hops[static_cast<size_t>(src)].dispatched = true;
       DispatchAttempt(wf, src, /*hedge=*/false, /*redrive=*/false);
@@ -445,6 +470,9 @@ class Engine {
     if (cold) {
       init = SampleInit(rng);
       ++res_.counters.cold_starts;
+    }
+    if (cfg_.timeseries != nullptr) {
+      cfg_.timeseries->RecordDispatch(now_, cold);
     }
     const bool init_fail =
         cold && (outage_now ||
@@ -582,6 +610,9 @@ class Engine {
     HopState& hs = ws.hops[static_cast<size_t>(hop)];
     if (!hs.straggler && hs.client_attempts < cfg_.policy.retry.max_attempts) {
       ++res_.counters.client_retries;
+      if (cfg_.timeseries != nullptr) {
+        cfg_.timeseries->RecordRetry(now_);
+      }
       EmitBackoffSpan(wf, hop, hs.client_attempts, backoff);
       Schedule({now_ + backoff, 0, EvKind::kDispatch, wf, hop, -1, kFlavorClient});
       return;
@@ -735,6 +766,10 @@ class Engine {
       ws.outcome = Outcome::kTimeout;  // Completed, but past the deadline.
     } else {
       ws.outcome = Outcome::kOk;
+    }
+    if (cfg_.timeseries != nullptr) {
+      cfg_.timeseries->RecordCompletion(ws.end, ws.outcome == Outcome::kOk,
+                                        ws.end - ws.arrival);
     }
   }
 

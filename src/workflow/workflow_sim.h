@@ -77,10 +77,16 @@ struct WorkflowSimConfig {
   // billing comes from the BillingModel passed to SimulateWorkflows.
   WorkflowPricing pricing;
 
-  // Null-sink hooks: with both detached the run is bit-identical to an
+  // Null-sink hooks: with all detached the run is bit-identical to an
   // unobserved one.
   TraceSink* trace = nullptr;
   Auditor* auditor = nullptr;
+  // Sim-time windowed telemetry (src/obs/timeseries.h). Billed USD is
+  // recorded in CloseRow — the single point every priced attempt passes
+  // through — at the attempt's terminal-span end time, so the series
+  // reconciles bitwise against span totals. Waste categories follow
+  // DESIGN.md §10: hedge losers, stragglers, dead letters, failed attempts.
+  TimeSeries* timeseries = nullptr;
 
   std::vector<std::string> Validate() const;
 };

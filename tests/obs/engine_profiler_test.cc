@@ -1,0 +1,96 @@
+#include "src/obs/engine_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace faascost {
+namespace {
+
+TEST(EngineProfilerTest, CountsEventsByTypeWithBackfilledNames) {
+  EngineProfiler prof;
+  prof.RegisterEventType(0, "arrival");
+  prof.RegisterEventType(2, "sample");
+  prof.CountEvent(0, 10, 3);
+  prof.CountEvent(0, 20, 5);
+  prof.CountEvent(1, 30, 2);  // Unregistered: renders as "event_1".
+  prof.CountEvent(2, 40, 1);
+  EXPECT_EQ(prof.events_total(), 4);
+  EXPECT_EQ(prof.EventsOfType(0), 2);
+  EXPECT_EQ(prof.EventsOfType(1), 1);
+  EXPECT_EQ(prof.EventsOfType(2), 1);
+  EXPECT_EQ(prof.EventsOfType(99), 0);
+  ASSERT_EQ(prof.type_names().size(), 3u);
+  EXPECT_EQ(prof.type_names()[0], "arrival");
+  EXPECT_EQ(prof.type_names()[1], "event_1");
+  EXPECT_EQ(prof.type_names()[2], "sample");
+  EXPECT_EQ(prof.queue_depth_peak(), 5);
+}
+
+TEST(EngineProfilerTest, SamplesQueueDepthOnTheConfiguredCadence) {
+  EngineProfiler prof(/*queue_sample_every=*/3);
+  for (int i = 1; i <= 10; ++i) {
+    prof.CountEvent(0, i * 100, static_cast<size_t>(i));
+  }
+  // One sample per 3 events: at events 3, 6, 9.
+  ASSERT_EQ(prof.queue_samples().size(), 3u);
+  EXPECT_EQ(prof.queue_samples()[0].time, 300);
+  EXPECT_EQ(prof.queue_samples()[0].depth, 3);
+  EXPECT_EQ(prof.queue_samples()[2].time, 900);
+  EXPECT_EQ(prof.queue_samples()[2].depth, 9);
+  EXPECT_EQ(prof.queue_depth_peak(), 10);
+}
+
+TEST(EngineProfilerTest, ThrowsOnBadConstructionOrType) {
+  EXPECT_THROW(EngineProfiler(0), std::invalid_argument);
+  EXPECT_THROW(EngineProfiler(-4), std::invalid_argument);
+  EngineProfiler prof;
+  EXPECT_THROW(prof.RegisterEventType(-1, "bad"), std::invalid_argument);
+  prof.CountEvent(-1, 0, 0);  // Negative type at count time is ignored.
+  EXPECT_EQ(prof.events_total(), 0);
+}
+
+TEST(EngineProfilerTest, RngDrawAccountingAccumulates) {
+  EngineProfiler prof;
+  prof.AddRngDraws(10);
+  prof.AddRngDraws(32);
+  EXPECT_EQ(prof.rng_draws(), 42u);
+}
+
+TEST(EngineProfilerTest, PhasesNestAndAutoClose) {
+  EngineProfiler prof;
+  prof.EndPhase();  // No open phase: ignored.
+  EXPECT_TRUE(prof.phases().empty());
+  prof.BeginPhase("setup");
+  prof.BeginPhase("run");  // Auto-closes "setup".
+  prof.EndPhase();
+  ASSERT_EQ(prof.phases().size(), 2u);
+  EXPECT_EQ(prof.phases()[0].name, "setup");
+  EXPECT_EQ(prof.phases()[1].name, "run");
+  EXPECT_GE(prof.phases()[0].wall_nanos, 0);
+  EXPECT_GE(prof.phases()[1].wall_nanos, 0);
+}
+
+TEST(EngineProfilerTest, ChromeTraceJsonCarriesTheDeterministicSummary) {
+  EngineProfiler prof(/*queue_sample_every=*/1);
+  prof.RegisterEventType(0, "arrival");
+  prof.CountEvent(0, 1'000, 7);
+  prof.AddRngDraws(5);
+  const std::string json = prof.ChromeTraceJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"eventsTotal\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"arrival\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rngDraws\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"queueDepthPeak\":7"), std::string::npos);
+  // Counter sample at sim ts with the depth payload.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":7"), std::string::npos);
+  // The sim-side content is deterministic: identical exports with no phases.
+  EXPECT_EQ(json, prof.ChromeTraceJson());
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,165 @@
+#include "src/obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/obs/timeseries.h"
+
+namespace faascost {
+namespace {
+
+bool BitEqual(double a, double b) {
+  uint64_t ua = 0;
+  uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+// Builds a series where window i has `total` completions of which `bad[i]`
+// miss the 100us objective.
+TimeSeries SeriesWithBadCounts(const std::vector<int>& bad, int total) {
+  TimeSeries series(1'000);
+  series.AddLatencyObjective(100);
+  for (size_t i = 0; i < bad.size(); ++i) {
+    const MicroSecs t = static_cast<MicroSecs>(i) * 1'000 + 1;
+    for (int k = 0; k < total; ++k) {
+      const bool is_bad = k < bad[i];
+      series.RecordCompletion(t, /*ok=*/true, is_bad ? 500 : 50);
+    }
+  }
+  return series;
+}
+
+TEST(SloSpecTest, ValidateCatchesBadSpecs) {
+  SloSpec ok;
+  EXPECT_TRUE(ok.Validate().empty());
+  SloSpec bad_target = ok;
+  bad_target.target = 1.0;
+  EXPECT_FALSE(bad_target.Validate().empty());
+  SloSpec inverted = ok;
+  inverted.fast_windows = 20;
+  inverted.slow_windows = 4;
+  EXPECT_FALSE(inverted.Validate().empty());
+  SloSpec zero_burn = ok;
+  zero_burn.fast_burn = 0.0;
+  EXPECT_FALSE(zero_burn.Validate().empty());
+}
+
+TEST(SloTest, BurnRateMatchesHandComputation) {
+  // target 0.9 -> budget 0.1. 20 bad of 100 -> bad_fraction 0.2 -> burn 2x.
+  SloSpec spec;
+  spec.target = 0.9;
+  const TimeSeries series = SeriesWithBadCounts({20}, 100);
+  EXPECT_DOUBLE_EQ(BurnRate(series, spec, 0, 1), 2.0);
+  // Empty trailing range burns nothing.
+  const TimeSeries quiet = SeriesWithBadCounts({0}, 0);
+  EXPECT_DOUBLE_EQ(BurnRate(quiet, spec, 0, 1), 0.0);
+}
+
+TEST(SloTest, BurnRateAveragesOverTrailingWindows) {
+  SloSpec spec;
+  spec.target = 0.9;
+  // Windows: 40/100 bad then 0/100 bad. Trailing-2 at window 1: 40 bad of
+  // 200 -> 0.2 / 0.1 = 2x.
+  const TimeSeries series = SeriesWithBadCounts({40, 0}, 100);
+  EXPECT_DOUBLE_EQ(BurnRate(series, spec, 1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(BurnRate(series, spec, 1, 1), 0.0);
+}
+
+TEST(SloTest, FiresOnlyWhenBothWindowsBurn) {
+  SloSpec spec;
+  spec.target = 0.9;          // Budget 0.1.
+  spec.fast_windows = 1;
+  spec.slow_windows = 2;
+  spec.fast_burn = 3.0;
+  spec.slow_burn = 2.0;
+  // Window 0: 50% bad -> fast 5x, slow(2w incl. missing) 5x -> fire.
+  // Window 1: clean -> fast 0, resolve.
+  const TimeSeries series = SeriesWithBadCounts({50, 0}, 100);
+  const std::vector<SloAlert> alerts = EvaluateSlo(series, spec);
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_TRUE(alerts[0].firing);
+  EXPECT_EQ(alerts[0].window_index, 0);
+  EXPECT_EQ(alerts[0].time, 1'000);
+  EXPECT_FALSE(alerts[1].firing);
+  EXPECT_EQ(alerts[1].window_index, 1);
+  EXPECT_EQ(alerts[1].time, 2'000);
+}
+
+TEST(SloTest, SlowWindowSuppressesASingleBadFastWindow) {
+  SloSpec spec;
+  spec.target = 0.9;
+  spec.fast_windows = 1;
+  spec.slow_windows = 4;
+  spec.fast_burn = 3.0;
+  spec.slow_burn = 3.0;
+  // Three clean windows then one 50%-bad window: fast burns 5x but the
+  // trailing-4 average is 12.5% bad -> 1.25x < 3x, so nothing fires.
+  const TimeSeries series = SeriesWithBadCounts({0, 0, 0, 50}, 100);
+  EXPECT_TRUE(EvaluateSlo(series, spec).empty());
+}
+
+TEST(SloTest, NoDuplicateTransitionsWhileConditionHolds) {
+  SloSpec spec;
+  spec.target = 0.9;
+  spec.fast_windows = 1;
+  spec.slow_windows = 1;
+  spec.fast_burn = 2.0;
+  spec.slow_burn = 2.0;
+  const TimeSeries series = SeriesWithBadCounts({50, 50, 50}, 100);
+  const std::vector<SloAlert> alerts = EvaluateSlo(series, spec);
+  ASSERT_EQ(alerts.size(), 1u);  // One fire, never resolves.
+  EXPECT_TRUE(alerts[0].firing);
+}
+
+TEST(SloTest, AlertCarriesTheWindowsBilledUsdBitwise) {
+  TimeSeries series(1'000);
+  series.AddLatencyObjective(100);
+  const Usd usd = 1.23456789e-7;
+  series.RecordCompletion(10, /*ok=*/true, 500);  // 100% bad.
+  series.RecordBilled(10, usd);
+  SloSpec spec;
+  spec.target = 0.9;
+  spec.fast_windows = 1;
+  spec.slow_windows = 1;
+  spec.fast_burn = 2.0;
+  spec.slow_burn = 2.0;
+  const std::vector<SloAlert> alerts = EvaluateSlo(series, spec);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_TRUE(BitEqual(alerts[0].window_billed_usd, series.window_at(0).billed_usd));
+}
+
+TEST(SloTest, EvaluateThrowsOnInvalidSpecOrMissingObjective) {
+  const TimeSeries series = SeriesWithBadCounts({0}, 10);
+  SloSpec bad;
+  bad.target = 2.0;
+  EXPECT_THROW(EvaluateSlo(series, bad), std::invalid_argument);
+  SloSpec missing;
+  missing.objective_id = 7;
+  EXPECT_THROW(EvaluateSlo(series, missing), std::invalid_argument);
+}
+
+TEST(SloTest, JsonlExportIsDeterministicAndWellFormed) {
+  SloSpec spec;
+  spec.target = 0.9;
+  spec.fast_windows = 1;
+  spec.slow_windows = 1;
+  spec.fast_burn = 2.0;
+  spec.slow_burn = 2.0;
+  const TimeSeries series = SeriesWithBadCounts({50, 0}, 100);
+  const std::vector<SloAlert> alerts = EvaluateSlo(series, spec);
+  const std::string a = SloAlertsJsonl(alerts);
+  const std::string b = SloAlertsJsonl(alerts);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"state\":\"firing\""), std::string::npos);
+  EXPECT_NE(a.find("\"state\":\"resolved\""), std::string::npos);
+  EXPECT_EQ(a[a.size() - 1], '\n');
+}
+
+}  // namespace
+}  // namespace faascost

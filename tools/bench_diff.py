@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_micro.json artifacts and gate on regressions.
+
+Prints a per-benchmark delta table (ns/item where the bench reports items,
+ns/iter otherwise; positive delta = candidate slower) and exits 1 when any
+benchmark regressed past the threshold. Benchmarks present on only one side
+are listed but never gate — a new bench is not a regression.
+
+Usage: bench_diff.py <baseline BENCH_micro.json> <candidate BENCH_micro.json>
+                     [--threshold-pct N]   (default 15)
+"""
+
+import argparse
+import json
+import sys
+
+
+def metric_of(entry):
+    """(value, unit) for the comparable metric of one benchmark row."""
+    if "ns_per_item" in entry:
+        return entry["ns_per_item"], "ns/item"
+    return entry["ns_per_iter"], "ns/iter"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold-pct", type=float, default=15.0,
+                        help="fail when a benchmark slows by more than this")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f).get("benchmarks", {})
+    with open(args.candidate) as f:
+        cand = json.load(f).get("benchmarks", {})
+    if not base or not cand:
+        print("bench_diff: one of the inputs has no benchmarks", file=sys.stderr)
+        return 1
+
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    name_w = max([len(n) for n in shared] + [9])
+    print(f"{'benchmark':<{name_w}}  {'baseline':>12}  {'candidate':>12}  "
+          f"{'delta':>8}  unit")
+    regressed = []
+    for name in shared:
+        b, unit = metric_of(base[name])
+        c, _ = metric_of(cand[name])
+        pct = (c / b - 1.0) * 100.0
+        mark = ""
+        if pct > args.threshold_pct:
+            regressed.append((name, pct))
+            mark = "  << REGRESSION"
+        print(f"{name:<{name_w}}  {b:>12.1f}  {c:>12.1f}  {pct:>+7.1f}%  {unit}{mark}")
+    for name in only_base:
+        print(f"{name:<{name_w}}  (removed in candidate)")
+    for name in only_cand:
+        print(f"{name:<{name_w}}  (new in candidate)")
+
+    if regressed:
+        print(f"bench_diff: {len(regressed)} benchmark(s) regressed past "
+              f"{args.threshold_pct:.0f}%: "
+              + ", ".join(f"{n} ({p:+.1f}%)" for n, p in regressed),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -112,6 +112,38 @@ cmp "$obs_tmp/a/metrics.jsonl" "$obs_tmp/b/metrics.jsonl"
 echo "trace.json parses; repeated runs are byte-identical."
 
 echo
+echo "== Monitor smoke: windowed telemetry determinism + schema sanity =="
+# Two seeds, each run twice: the JSONL exports must be byte-identical across
+# repeats (profile.json is wall-clock-bearing and exempt — parse-checked only).
+for seed in 7 11; do
+  "$repo/build/tools/faascost" monitor --out "$obs_tmp/mon_a$seed" \
+    --seed "$seed" --requests 6000 --seconds 1200 > /dev/null
+  "$repo/build/tools/faascost" monitor --out "$obs_tmp/mon_b$seed" \
+    --seed "$seed" --requests 6000 --seconds 1200 > /dev/null
+  cmp "$obs_tmp/mon_a$seed/timeseries.jsonl" "$obs_tmp/mon_b$seed/timeseries.jsonl"
+  cmp "$obs_tmp/mon_a$seed/alerts.jsonl" "$obs_tmp/mon_b$seed/alerts.jsonl"
+done
+python3 - "$obs_tmp/mon_a7/timeseries.jsonl" <<'PYEOF'
+import json, sys
+required = ["window", "start_us", "end_us", "arrivals", "dispatches",
+            "cold_starts", "completions", "failures", "retries",
+            "cold_start_rate", "p50_ms", "p95_ms", "p99_ms", "billed_usd",
+            "waste_usd_total", "queue_depth_max", "avg_concurrency"]
+rows = [json.loads(line) for line in open(sys.argv[1])]
+assert rows, "timeseries.jsonl is empty"
+for row in rows:
+    missing = [k for k in required if k not in row]
+    assert not missing, f"timeseries.jsonl missing keys: {missing}"
+assert [r["window"] for r in rows] == sorted(r["window"] for r in rows)
+PYEOF
+# The profiler path still runs and its trace parses, but is excluded from the
+# byte-compares above (phase timings are wall-clock).
+"$repo/build/tools/faascost" monitor --out "$obs_tmp/mon_prof" \
+  --seed 7 --requests 6000 --seconds 1200 --profile-engine > /dev/null
+python3 -m json.tool "$obs_tmp/mon_prof/profile.json" > /dev/null
+echo "monitor exports byte-identical across repeats; schema and profile OK."
+
+echo
 echo "== Integrity: resume equivalence (straight digest == checkpoint+resume) =="
 digest_of() {
   python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["state_digest"])' "$1"
@@ -158,7 +190,10 @@ fi
 echo "malformed checkpoint rejected with exit 3."
 
 echo
-echo "== Micro-bench: BENCH_micro.json + integrity-overhead budget (<10%) =="
+echo "== Micro-bench: BENCH_micro.json + instrumented-overhead budget (<10%) =="
+if [ -f "$repo/BENCH_micro.json" ]; then
+  cp "$repo/BENCH_micro.json" "$obs_tmp/micro_prev.json"
+fi
 "$repo/build/bench/bench_micro_simulators" \
   --benchmark_filter='BM_PlatformSimThousandRequests|BM_HostSimSecond|BM_FleetSimDay' \
   --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
@@ -166,6 +201,31 @@ echo "== Micro-bench: BENCH_micro.json + integrity-overhead budget (<10%) =="
 python3 "$repo/tools/make_bench_micro.py" \
   "$obs_tmp/micro.json" "$repo/BENCH_micro.json"
 python3 -m json.tool "$repo/BENCH_micro.json" > /dev/null
+# Delta vs the previous artifact. CI boxes vary, so the gate here is loose
+# (50%) — catches a catastrophic slowdown, not jitter; tighter comparisons
+# are for like-for-like machines via `tools/bench_diff.py --threshold-pct`.
+if [ -f "$obs_tmp/micro_prev.json" ]; then
+  python3 "$repo/tools/bench_diff.py" --threshold-pct 50 \
+    "$obs_tmp/micro_prev.json" "$repo/BENCH_micro.json"
+fi
+# Append this run to the perf trajectory (one compact JSONL row per CI run).
+python3 - "$repo/BENCH_micro.json" "$repo/BENCH_history.jsonl" <<'PYEOF'
+import datetime, json, sys
+doc = json.load(open(sys.argv[1]))
+row = {
+    "date": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "host": doc.get("context", {}).get("host_name", ""),
+    "benchmarks": {
+        name: entry.get("ns_per_item", entry.get("ns_per_iter"))
+        for name, entry in doc.get("benchmarks", {}).items()
+    },
+    "integrity_overhead": doc.get("integrity_overhead", {}),
+}
+with open(sys.argv[2], "a") as f:
+    f.write(json.dumps(row, sort_keys=True) + "\n")
+PYEOF
+echo "appended run to BENCH_history.jsonl."
 
 echo
 echo "ci.sh: builds, tests, and lints green."

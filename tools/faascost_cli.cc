@@ -17,6 +17,14 @@
 //                      [--functions N] [--seed S]
 //   faascost observe   --out DIR [--platform P] [--rps N] [--seconds N]
 //                      [--rate R] [--retries N] [--cotenants N] [--seed S]
+//   faascost monitor   --out DIR [--sim fleet|platform] [--window SECONDS]
+//                      [--slo MS --slo-target F] [--fast-windows N]
+//                      [--slow-windows N] [--fast-burn X] [--slow-burn X]
+//                      [--profile-engine] [--platform P] [--seed S]
+//                      (fleet: [--requests N] [--functions N] [--seconds N]
+//                       [--hosts N] [--mtbf-s N] [--mttr-s N] [--graceful F]
+//                       [--retries N]; platform: [--rps N] [--seconds N]
+//                       [--rate R] [--retries N])
 //   faascost workflows --archetype chain|fanout|mapreduce [--hops N]
 //                      [--workflows N] [--wps R] [--rate R] [--retries N]
 //                      [--timeout-ms N] [--deadline-ms N] [--no-propagate]
@@ -56,9 +64,12 @@
 #include "src/integrity/audit_rules.h"
 #include "src/integrity/checkpoint.h"
 #include "src/integrity/integrity.h"
+#include "src/obs/engine_profiler.h"
 #include "src/obs/exporters.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/obs/span.h"
+#include "src/obs/timeseries.h"
 #include "src/platform/platform_sim.h"
 #include "src/platform/presets.h"
 #include "src/platform/workload.h"
@@ -790,6 +801,283 @@ int CmdObserve(const Flags& flags) {
   return 0;
 }
 
+// Windowed sim-time telemetry over a monitored run: tumbling-window
+// time-series JSONL, SLO burn-rate alerts, and (optionally) an engine
+// flight-recorder profile, plus an ASCII dashboard. timeseries.jsonl and
+// alerts.jsonl are byte-deterministic for a given flag set; profile.json
+// contains host wall-clock phase timings and is intentionally not (CI
+// byte-compares must exclude it). The billed-USD column is reconciled
+// bit-for-bit against the run's terminal-span totals before anything is
+// written; a mismatch is an integrity failure (exit 2).
+int CmdMonitor(const Flags& flags) {
+  const auto out = flags.Get("out");
+  if (!out.has_value()) {
+    std::fprintf(stderr, "monitor: --out DIR is required\n");
+    return 1;
+  }
+  const std::string sim_name = flags.Get("sim").value_or("fleet");
+  if (sim_name != "fleet" && sim_name != "platform") {
+    std::fprintf(stderr, "monitor: --sim must be fleet or platform, got '%s'\n",
+                 sim_name.c_str());
+    return 1;
+  }
+  const std::string platform_name = flags.Get("platform").value_or("aws");
+  const auto platform = ParsePlatform(platform_name);
+  if (!platform.has_value()) {
+    std::fprintf(stderr, "monitor: unknown platform '%s'\n", platform_name.c_str());
+    return 1;
+  }
+  const int64_t window_s = flags.GetInt("window", 60);
+  if (window_s <= 0) {
+    std::fprintf(stderr, "monitor: --window must be > 0 seconds\n");
+    return 1;
+  }
+  const double slo_ms = flags.GetDouble("slo", 1'000.0);
+  if (slo_ms <= 0.0) {
+    std::fprintf(stderr, "monitor: --slo must be a positive latency in ms\n");
+    return 1;
+  }
+  SloSpec slo;
+  slo.target = flags.GetDouble("slo-target", 0.99);
+  slo.fast_windows = static_cast<int>(flags.GetInt("fast-windows", 1));
+  slo.slow_windows = static_cast<int>(flags.GetInt("slow-windows", 12));
+  slo.fast_burn = flags.GetDouble("fast-burn", 14.4);
+  slo.slow_burn = flags.GetDouble("slow-burn", 6.0);
+  const std::vector<std::string> slo_errors = slo.Validate();
+  if (!slo_errors.empty()) {
+    for (const std::string& err : slo_errors) {
+      std::fprintf(stderr, "monitor: %s\n", err.c_str());
+    }
+    return 1;
+  }
+  const bool profile = flags.GetBool("profile-engine");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  TimeSeries series(window_s * kMicrosPerSec);
+  slo.objective_id = series.AddLatencyObjective(MillisToMicros(slo_ms));
+  EngineProfiler profiler;
+  SpanCollector collector;
+  const BillingModel billing = MakeBillingModel(*platform);
+
+  std::string scenario;
+  if (sim_name == "fleet") {
+    // Fleet chaos scenario (the `faascost chaos` shape): host fault domains,
+    // client retries, admission defaults — the run where windowed telemetry
+    // has something to show.
+    TraceGenConfig tcfg;
+    tcfg.num_requests = flags.GetInt("requests", 20'000);
+    tcfg.num_functions = flags.GetInt("functions", 200);
+    tcfg.window = flags.GetInt("seconds", 3'600) * kMicrosPerSec;
+
+    FleetSimConfig cfg;
+    cfg.fault_seed = seed;
+    cfg.retry.max_attempts = static_cast<int>(flags.GetInt("retries", 3));
+    cfg.host_faults.hosts = static_cast<int>(flags.GetInt("hosts", 16));
+    cfg.host_faults.mtbf_seconds = flags.GetDouble("mtbf-s", 3'600.0);
+    cfg.host_faults.mttr_seconds = flags.GetDouble("mttr-s", 120.0);
+    cfg.host_faults.graceful_fraction = flags.GetDouble("graceful", 0.3);
+    cfg.trace_sink = &collector;
+    cfg.timeseries = &series;
+    if (profile) {
+      cfg.profiler = &profiler;
+    }
+    const std::vector<std::string> errors = cfg.Validate();
+    if (!errors.empty()) {
+      for (const std::string& err : errors) {
+        std::fprintf(stderr, "monitor: %s\n", err.c_str());
+      }
+      return 1;
+    }
+
+    if (profile) {
+      profiler.BeginPhase("generate_trace");
+    }
+    const std::vector<RequestRecord> trace = TraceGenerator(tcfg, seed).Generate();
+    if (profile) {
+      profiler.EndPhase();
+      profiler.BeginPhase("simulate");
+    }
+    const FleetResult res = SimulateFleet(trace, billing, cfg);
+    if (profile) {
+      profiler.EndPhase();
+    }
+    scenario = "fleet chaos: " + std::to_string(tcfg.num_requests) + " requests / " +
+               std::to_string(tcfg.num_functions) + " functions, " +
+               std::to_string(cfg.host_faults.hosts) + " hosts, " +
+               std::to_string(res.host_fault_sandbox_kills) + " sandbox kills";
+  } else {
+    const auto preset = SimPreset(*platform, platform_name, "monitor");
+    if (!preset.has_value()) {
+      return 1;
+    }
+    PlatformSimConfig cfg = *preset;
+    const double rate = flags.GetDouble("rate", 0.02);
+    if (rate < 0.0 || rate > 1.0) {
+      std::fprintf(stderr, "monitor: --rate must be in [0, 1]\n");
+      return 1;
+    }
+    cfg.faults.crash_prob = rate;
+    cfg.faults.init_failure_prob = rate / 4.0;
+    cfg.retry.max_attempts = static_cast<int>(flags.GetInt("retries", 3));
+    cfg.trace = &collector;
+    cfg.timeseries = &series;
+    if (profile) {
+      cfg.profiler = &profiler;
+    }
+    const std::vector<std::string> errors = cfg.Validate();
+    if (!errors.empty()) {
+      for (const std::string& err : errors) {
+        std::fprintf(stderr, "monitor: %s\n", err.c_str());
+      }
+      return 1;
+    }
+    const double rps = flags.GetDouble("rps", 20.0);
+    const MicroSecs seconds = flags.GetInt("seconds", 600);
+    if (rps <= 0.0 || seconds <= 0) {
+      std::fprintf(stderr, "monitor: --rps and --seconds must be > 0\n");
+      return 1;
+    }
+    if (profile) {
+      profiler.BeginPhase("simulate");
+    }
+    PlatformSim sim(cfg, seed);
+    const PlatformSimResult res =
+        sim.Run(UniformArrivals(rps, seconds * kMicrosPerSec), PyAesWorkload());
+    if (profile) {
+      profiler.EndPhase();
+      profiler.BeginPhase("price_spans");
+    }
+    // PlatformSim prices spans post-run; feed the priced spans back into the
+    // series so the billed column exists — in span emission order, the order
+    // reconciliation buckets in.
+    TagPlatformSpanBilling(collector.mutable_spans(), res, cfg, billing);
+    IngestBilledSpans(series, collector.spans());
+    if (profile) {
+      profiler.EndPhase();
+    }
+    scenario = "platform: " + std::to_string(res.requests.size()) + " requests, " +
+               std::to_string(res.attempts.size()) + " attempts, " +
+               std::to_string(res.cold_starts) + " cold starts";
+  }
+
+  // The acceptance gate: per-window billed USD must reproduce the span
+  // totals bit-for-bit. A mismatch means telemetry dropped or double-counted
+  // money — an integrity failure, same exit code as a tripped invariant.
+  const BilledReconciliation rec = ReconcileBilledUsd(series, collector.spans());
+  if (!rec.ok) {
+    std::fprintf(stderr,
+                 "monitor: billed-USD reconciliation FAILED: window %lld, "
+                 "series total %.17g vs span total %.17g\n",
+                 static_cast<long long>(rec.first_mismatch_window),
+                 rec.timeseries_total, rec.span_total);
+    return 2;
+  }
+
+  const std::vector<SloAlert> alerts = EvaluateSlo(series, slo);
+
+  std::error_code ec;
+  std::filesystem::create_directories(*out, ec);
+  if (ec) {
+    std::fprintf(stderr, "monitor: cannot create %s: %s\n", out->c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  const std::string series_path = *out + "/timeseries.jsonl";
+  const std::string alerts_path = *out + "/alerts.jsonl";
+  if (!WriteTextFile(series_path, TimeSeriesJsonl(series)) ||
+      !WriteTextFile(alerts_path, SloAlertsJsonl(alerts))) {
+    std::fprintf(stderr, "monitor: cannot write artifacts under %s\n", out->c_str());
+    return 1;
+  }
+  if (profile && !WriteTextFile(*out + "/profile.json", profiler.ChromeTraceJson())) {
+    std::fprintf(stderr, "monitor: cannot write profile under %s\n", out->c_str());
+    return 1;
+  }
+
+  // --- Dashboard ---
+  std::printf("%s on %s, seed %llu\n", scenario.c_str(), billing.platform.c_str(),
+              static_cast<unsigned long long>(seed));
+  std::printf("%zu windows of %llds; SLO: %.0fms @ %s (burn %gx/%dw fast, %gx/%dw slow)\n",
+              series.window_count(), static_cast<long long>(window_s), slo_ms,
+              FormatPercent(slo.target, 2).c_str(), slo.fast_burn, slo.fast_windows,
+              slo.slow_burn, slo.slow_windows);
+
+  TextTable totals({"metric", "total"});
+  int64_t completions = 0;
+  int64_t failures = 0;
+  int64_t cold = 0;
+  for (size_t i = 0; i < series.window_count(); ++i) {
+    completions += series.window_at(i).completions;
+    failures += series.window_at(i).failures;
+    cold += series.window_at(i).cold_starts;
+  }
+  totals.AddRow({"completions", FormatDouble(static_cast<double>(completions), 0)});
+  totals.AddRow({"failures", FormatDouble(static_cast<double>(failures), 0)});
+  totals.AddRow({"cold starts", FormatDouble(static_cast<double>(cold), 0)});
+  totals.AddRow({"billed USD", FormatSci(series.TotalBilledUsd(), 4)});
+  for (int k = 0; k < kWasteKindCount; ++k) {
+    const Usd w = series.TotalWasteUsd(static_cast<WasteKind>(k));
+    if (std::abs(w) > 0.0) {
+      totals.AddRow({std::string("waste: ") + WasteKindName(static_cast<WasteKind>(k)),
+                     FormatSci(w, 4)});
+    }
+  }
+  totals.AddRow({"reconciliation", "bitwise ok"});
+  std::printf("%s", totals.Render().c_str());
+
+  if (series.window_count() > 1) {
+    AsciiChart chart(72, 12);
+    chart.SetTitle("billed ($) and waste (w) USD per window");
+    chart.SetXLabel("sim time (s)");
+    chart.SetYLabel("USD");
+    ChartSeries billed{"billed", '$', {}};
+    ChartSeries waste{"waste", 'w', {}};
+    for (size_t i = 0; i < series.window_count(); ++i) {
+      const double t = static_cast<double>((static_cast<int64_t>(i) + 1) * window_s);
+      billed.points.push_back({t, series.window_at(i).billed_usd});
+      waste.points.push_back({t, series.window_at(i).WasteTotal()});
+    }
+    chart.AddSeries(std::move(billed));
+    chart.AddSeries(std::move(waste));
+    std::printf("%s", chart.Render().c_str());
+
+    AsciiChart lat(72, 12);
+    lat.SetTitle("p95 (9) and p50 (5) latency per window");
+    lat.SetXLabel("sim time (s)");
+    lat.SetYLabel("ms");
+    ChartSeries p95{"p95", '9', {}};
+    ChartSeries p50{"p50", '5', {}};
+    for (size_t i = 0; i < series.window_count(); ++i) {
+      const double t = static_cast<double>((static_cast<int64_t>(i) + 1) * window_s);
+      p95.points.push_back({t, series.window_at(i).latency_us.Quantile(0.95) / 1000.0});
+      p50.points.push_back({t, series.window_at(i).latency_us.Quantile(0.50) / 1000.0});
+    }
+    lat.AddSeries(std::move(p95));
+    lat.AddSeries(std::move(p50));
+    std::printf("%s", lat.Render().c_str());
+  }
+
+  if (alerts.empty()) {
+    std::printf("SLO: no burn-rate transitions\n");
+  }
+  for (const SloAlert& a : alerts) {
+    std::printf("SLO %s: %s at t=%llds (fast %.1fx, slow %.1fx, window $%s)\n",
+                a.slo.c_str(), a.firing ? "FIRING" : "resolved",
+                static_cast<long long>(a.time / kMicrosPerSec), a.fast_burn,
+                a.slow_burn, FormatSci(a.window_billed_usd, 3).c_str());
+  }
+  if (profile) {
+    std::printf("Engine: %lld events, queue peak %lld, %llu RNG draws\n",
+                static_cast<long long>(profiler.events_total()),
+                static_cast<long long>(profiler.queue_depth_peak()),
+                static_cast<unsigned long long>(profiler.rng_draws()));
+  }
+  std::printf("Wrote %s (%zu windows) and %s (%zu alerts)%s\n", series_path.c_str(),
+              series.window_count(), alerts_path.c_str(), alerts.size(),
+              profile ? " and profile.json" : "");
+  return 0;
+}
+
 // ---------------------------------------------------------------------------
 // `faascost audit`: integrity-audited simulation runs with deterministic
 // checkpoint/resume. The scenario is rebuilt from the same flags on both the
@@ -1330,6 +1618,9 @@ int Usage() {
                "  chaos --platform P --mtbf-s N        cost of fleet host failures\n"
                "  observe --out DIR [--platform P]     trace one run (trace.json +\n"
                "                                       metrics.jsonl + summary)\n"
+               "  monitor --out DIR [--sim fleet|platform]  windowed telemetry\n"
+               "        [--window S --slo MS --slo-target F --profile-engine]\n"
+               "                                       (timeseries.jsonl + alerts.jsonl)\n"
                "  workflows --archetype A --hops N     cost of workflow DAGs under\n"
                "        [--rate R --retries N --deadline-ms N --hedge-ms N\n"
                "         --async --quorum K --audit-level L]  resilience policies\n");
@@ -1363,6 +1654,9 @@ int Dispatch(const std::string& cmd, const Flags& flags) {
   }
   if (cmd == "observe") {
     return CmdObserve(flags);
+  }
+  if (cmd == "monitor") {
+    return CmdMonitor(flags);
   }
   if (cmd == "workflows") {
     return CmdWorkflows(flags);

@@ -3,23 +3,41 @@
 
 Reads the aggregate output of `bench_micro_simulators --benchmark_repetitions=N
 --benchmark_report_aggregates_only=true --benchmark_format=json`, keeps the
-median row per benchmark (events/sec where the bench reports items, ns/request
-otherwise), and writes the ROADMAP perf-trajectory artifact. Fails (exit 1)
-when an audited simulator run is more than BUDGET_PCT slower than its detached
-counterpart — the integrity layer's overhead contract, mirroring the obs
-layer's traced-vs-untraced budget.
+median and stddev rows per benchmark (events/sec where the bench reports
+items, ns/request otherwise), and writes the ROADMAP perf-trajectory artifact.
+
+The overhead gate is two-sided. An instrumented simulator run (audited or
+monitored) must not be more than BUDGET_PCT slower than its detached
+counterpart — the integrity/telemetry overhead contract. But it must also not
+be *faster* than detached beyond the pair's measured noise band: instrumented
+code cannot outrun the identical code with the instrumentation removed, so a
+negative overhead past noise means the measurement itself is broken (wrong
+binary, thermal drift between runs, a dead-code'd loop) and the "overhead OK"
+verdict is meaningless. Each pair's noise band is derived from the benchmark's
+own stddev aggregates: noise_pct = 100 * sqrt(cv_base^2 + cv_inst^2), the
+relative standard deviation of the throughput ratio, floored at
+NOISE_FLOOR_PCT and widened by NOISE_SIGMAS.
 
 Usage: make_bench_micro.py <google-benchmark.json> <BENCH_micro.json>
 """
 
 import json
+import math
 import sys
 
 BUDGET_PCT = 10.0
-# (label, detached benchmark, audited benchmark) — medians are compared.
+# Floor on the noise band (pct) so a suspiciously tight stddev from a short
+# run cannot turn ordinary jitter into a gate failure.
+NOISE_FLOOR_PCT = 2.0
+# Width of the band in stddevs of the ratio.
+NOISE_SIGMAS = 3.0
+# (label, detached benchmark, instrumented benchmark) — medians are compared.
 OVERHEAD_PAIRS = [
     ("platform", "BM_PlatformSimThousandRequests", "BM_PlatformSimThousandRequestsAudited"),
     ("fleet", "BM_FleetSimDay/50000", "BM_FleetSimDayAudited/50000"),
+    ("platform_monitored", "BM_PlatformSimThousandRequests",
+     "BM_PlatformSimThousandRequestsMonitored"),
+    ("fleet_monitored", "BM_FleetSimDay/50000", "BM_FleetSimDayMonitored/50000"),
 ]
 
 
@@ -31,36 +49,61 @@ def main():
         raw = json.load(f)
 
     medians = {}
+    stddevs = {}
     for row in raw.get("benchmarks", []):
-        if row.get("aggregate_name") != "median":
-            continue
+        agg = row.get("aggregate_name")
         name = row["run_name"]
-        entry = {"ns_per_iter": row["real_time"]}
-        ips = row.get("items_per_second")
-        if ips:
-            entry["items_per_second"] = ips
-            entry["ns_per_item"] = 1e9 / ips
-        medians[name] = entry
+        if agg == "median":
+            entry = {"ns_per_iter": row["real_time"]}
+            ips = row.get("items_per_second")
+            if ips:
+                entry["items_per_second"] = ips
+                entry["ns_per_item"] = 1e9 / ips
+            medians[name] = entry
+        elif agg == "stddev":
+            ips = row.get("items_per_second")
+            if ips is not None:
+                stddevs[name] = ips
 
     if not medians:
         print("make_bench_micro: no median aggregates in input", file=sys.stderr)
         return 1
+    for name, sd in stddevs.items():
+        if name in medians:
+            medians[name]["items_per_second_stddev"] = sd
 
-    overhead = {"budget_pct": BUDGET_PCT}
+    overhead = {
+        "budget_pct": BUDGET_PCT,
+        "noise_floor_pct": NOISE_FLOOR_PCT,
+        "noise_sigmas": NOISE_SIGMAS,
+    }
     failed = False
-    for label, detached, audited in OVERHEAD_PAIRS:
-        if detached not in medians or audited not in medians:
+    for label, detached, instrumented in OVERHEAD_PAIRS:
+        if detached not in medians or instrumented not in medians:
             print(f"make_bench_micro: missing pair for {label}", file=sys.stderr)
             failed = True
             continue
         base = medians[detached]["items_per_second"]
-        with_audit = medians[audited]["items_per_second"]
-        pct = (base / with_audit - 1.0) * 100.0
+        inst = medians[instrumented]["items_per_second"]
+        pct = (base / inst - 1.0) * 100.0
+        # Relative stddev of the throughput ratio, from each side's own
+        # spread; zero when the run had no stddev aggregates (reps == 1).
+        cv_base = stddevs.get(detached, 0.0) / base if base else 0.0
+        cv_inst = stddevs.get(instrumented, 0.0) / inst if inst else 0.0
+        noise_pct = 100.0 * math.sqrt(cv_base * cv_base + cv_inst * cv_inst)
+        band_pct = max(NOISE_FLOOR_PCT, NOISE_SIGMAS * noise_pct)
         overhead[label + "_pct"] = round(pct, 2)
-        status = "OK" if pct <= BUDGET_PCT else "OVER BUDGET"
-        print(f"  {label}: audited {pct:+.1f}% vs detached ({status})")
+        overhead[label + "_noise_pct"] = round(noise_pct, 2)
         if pct > BUDGET_PCT:
+            status = "OVER BUDGET"
             failed = True
+        elif pct < -band_pct:
+            status = f"SUSPECT (faster than detached beyond the {band_pct:.1f}% noise band)"
+            failed = True
+        else:
+            status = "OK"
+        print(f"  {label}: instrumented {pct:+.1f}% vs detached, "
+              f"noise {noise_pct:.1f}% ({status})")
 
     with open(sys.argv[2], "w") as f:
         json.dump({
@@ -72,8 +115,8 @@ def main():
         f.write("\n")
 
     if failed:
-        print("make_bench_micro: integrity overhead exceeds the "
-              f"{BUDGET_PCT:.0f}% budget", file=sys.stderr)
+        print("make_bench_micro: overhead gate failed — over the "
+              f"{BUDGET_PCT:.0f}% budget or negative beyond noise", file=sys.stderr)
         return 1
     return 0
 

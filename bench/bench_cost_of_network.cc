@@ -1,0 +1,351 @@
+// Cost of the network: what data transfer adds to a serverless bill, and
+// how topology decisions move money that compute rightsizing cannot touch.
+//
+// Compute catalogs price the sandbox; the invoice also prices every byte
+// that leaves it. Four effects, each measured end-to-end through the
+// zone/region topology and the monthly-cumulative transfer meter
+// (src/net + src/billing/tiered.h):
+//
+//   1. The volume ladder — the marginal price of the *same* GB of internet
+//      egress at different cumulative monthly positions, across providers.
+//      Free allowances and tier cliffs make "what does a GB cost" a
+//      stateful question.
+//   2. Payload sweep — network share of total fleet spend vs response
+//      payload size. At media-sized responses egress dwarfs compute.
+//   3. Shuffle placement — the same map-reduce workflow with mappers
+//      co-located vs spread across zones: the cross-zone shuffle tax.
+//   4. Zonal outage — egress detoured over a backup uplink pays cross-zone
+//      charges the healthy route never sees (the chaos consequence).
+//
+// Pass --json for machine-readable output (one object with per-section
+// arrays) instead of the human tables.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/billing/catalog.h"
+#include "src/billing/model.h"
+#include "src/billing/tiered.h"
+#include "src/cluster/fleet_sim.h"
+#include "src/common/json_writer.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/net/model.h"
+#include "src/trace/generator.h"
+#include "src/workflow/dag.h"
+#include "src/workflow/workflow_sim.h"
+
+namespace faascost {
+namespace {
+
+constexpr uint64_t kSeed = 43;
+constexpr int64_t kMb = 1'048'576;
+constexpr MicroSecs kSec = kMicrosPerSec;
+
+// --- 1. The volume ladder ---------------------------------------------------
+
+struct LadderRow {
+  std::string platform;
+  std::vector<double> usd_per_gb;  // Marginal $/GB at each probe position.
+};
+
+const std::vector<int64_t>& LadderProbesGb() {
+  static const std::vector<int64_t> probes = {0, 50, 150, 1024, 20 * 1024,
+                                              200 * 1024};
+  return probes;
+}
+
+std::vector<LadderRow> LadderTable(bool json) {
+  const std::pair<const char*, Platform> providers[] = {
+      {"aws", Platform::kAwsLambda},
+      {"gcp", Platform::kGcpCloudRunFunctions},
+      {"azure", Platform::kAzureConsumption},
+      {"oracle", Platform::kOracleFunctions},
+  };
+  std::vector<LadderRow> rows;
+  for (const auto& [name, p] : providers) {
+    const NetworkPricing pricing = MakeNetworkPricing(p);
+    const TieredSchedule& egress =
+        pricing.transfer[static_cast<size_t>(TransferClass::kInternetEgress)];
+    LadderRow row;
+    row.platform = name;
+    for (const int64_t gb : LadderProbesGb()) {
+      // Marginal price of one more GB when `gb` GB already shipped this month.
+      row.usd_per_gb.push_back(TieredCost(egress, gb * kBytesPerGb, kBytesPerGb));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (!json) {
+    PrintHeader("Marginal internet-egress $/GB vs cumulative monthly volume");
+    std::vector<std::string> head = {"platform"};
+    for (const int64_t gb : LadderProbesGb()) {
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "@%lld GB", static_cast<long long>(gb));
+      head.push_back(cell);
+    }
+    TextTable t(head);
+    for (const LadderRow& r : rows) {
+      std::vector<std::string> cells = {r.platform};
+      for (const double usd : r.usd_per_gb) {
+        cells.push_back(FormatDouble(usd, 4));
+      }
+      t.AddRow(cells);
+    }
+    std::printf("%s", t.Render().c_str());
+    std::printf("  The same GB is free, $0.09, or $0.05 on AWS depending on\n"
+                "  position; Oracle's 10 TB allowance zeroes typical tenants.\n");
+  }
+  return rows;
+}
+
+// --- 2. Payload sweep -------------------------------------------------------
+
+struct PayloadRow {
+  double resp_kb = 0.0;
+  Usd compute_usd = 0.0;
+  Usd network_usd = 0.0;
+  double network_share = 0.0;
+};
+
+std::vector<PayloadRow> PayloadSweep(bool json) {
+  std::vector<PayloadRow> rows;
+  for (const double resp_kb : {16.0, 64.0, 256.0, 1024.0}) {
+    TraceGenConfig tcfg;
+    tcfg.num_requests = 5'000;
+    tcfg.num_functions = 50;
+    tcfg.window = 120 * kSec;
+    tcfg.payload_request_mean_kb = 8.0;
+    tcfg.payload_response_mean_kb = resp_kb;
+    const auto trace = TraceGenerator(tcfg, kSeed).Generate();
+
+    NetworkModelConfig ncfg;
+    ncfg.topology.zones = 3;
+    ncfg.topology.zones_per_region = 3;
+    NetworkModel net(ncfg, MakeNetworkPricing(Platform::kAwsLambda), kSeed);
+    FleetSimConfig fcfg;
+    fcfg.network = &net;
+    const BillingModel billing = MakeBillingModel(Platform::kAwsLambda);
+    const FleetResult r = SimulateFleet(trace, billing, fcfg);
+
+    PayloadRow row;
+    row.resp_kb = resp_kb;
+    row.compute_usd = r.revenue;
+    row.network_usd = net.bill().TotalUsd();
+    const Usd total = row.compute_usd + row.network_usd;
+    row.network_share = total > 0.0 ? row.network_usd / total : 0.0;
+    rows.push_back(row);
+  }
+  if (!json) {
+    PrintHeader("Network share of fleet spend vs response payload (AWS)");
+    TextTable t({"resp KB", "compute+fees $", "network $", "network share"});
+    for (const PayloadRow& r : rows) {
+      t.AddRow({FormatDouble(r.resp_kb, 0), FormatSci(r.compute_usd, 3),
+                FormatSci(r.network_usd, 3), FormatPercent(r.network_share, 1)});
+    }
+    std::printf("%s", t.Render().c_str());
+  }
+  return rows;
+}
+
+// --- 3. Shuffle placement ---------------------------------------------------
+
+struct PlacementRow {
+  std::string placement;
+  Usd usd_network = 0.0;
+  Usd usd_total = 0.0;
+  MicroSecs mean_end = 0;
+};
+
+WorkflowSimConfig ShuffleConfig(bool spread) {
+  HopSpec proto;
+  WorkflowDag dag = MakeMapReduceDag("mr", 6, proto);
+  if (!spread) {
+    for (HopSpec& hop : dag.hops) {
+      hop.zone = 0;  // Co-locate the whole shuffle in one zone.
+    }
+  }
+  ApplyUniformPayloads(dag, /*input=*/2 * kMb, /*edge=*/32 * kMb, /*output=*/kMb);
+  WorkflowSimConfig cfg;
+  cfg.dags.push_back(std::move(dag));
+  cfg.workflows = 100;
+  cfg.wps = 4.0;
+  cfg.zones = 3;
+  cfg.pricing = MakeWorkflowPricing(Platform::kAwsLambda);
+  return cfg;
+}
+
+PlacementRow RunShuffle(const char* label, bool spread,
+                        std::vector<NetOutage> outages = {}) {
+  NetworkModelConfig ncfg;
+  ncfg.topology.zones = 3;
+  ncfg.topology.zones_per_region = 3;
+  ncfg.outages = std::move(outages);
+  NetworkModel net(ncfg, MakeNetworkPricing(Platform::kAwsLambda), kSeed);
+  WorkflowSimConfig cfg = ShuffleConfig(spread);
+  cfg.network = &net;
+  const BillingModel billing = MakeBillingModel(Platform::kAwsLambda);
+  const WorkflowSimResult r = SimulateWorkflows(cfg, billing, kSeed);
+  PlacementRow row;
+  row.placement = label;
+  row.usd_network = r.usd_network;
+  row.usd_total = r.usd_total;
+  int64_t sum_end = 0;
+  for (const WorkflowRow& w : r.workflows) {
+    sum_end += w.end - w.arrival;
+  }
+  row.mean_end = r.workflows.empty()
+                     ? 0
+                     : sum_end / static_cast<int64_t>(r.workflows.size());
+  return row;
+}
+
+std::vector<PlacementRow> PlacementTable(bool json) {
+  std::vector<PlacementRow> rows;
+  rows.push_back(RunShuffle("co-located", /*spread=*/false));
+  rows.push_back(RunShuffle("zone-spread", /*spread=*/true));
+  if (!json) {
+    PrintHeader("Map-reduce shuffle: co-located vs zone-spread mappers (AWS)");
+    TextTable t({"placement", "network $", "total $", "mean wf ms"});
+    for (const PlacementRow& r : rows) {
+      t.AddRow({r.placement, FormatSci(r.usd_network, 4), FormatSci(r.usd_total, 4),
+                FormatDouble(MicrosToMillis(r.mean_end), 1)});
+    }
+    std::printf("%s", t.Render().c_str());
+    if (rows[0].usd_network > 0.0) {
+      std::printf("  Shuffle tax: %.1fx network spend for crossing zones.\n",
+                  rows[1].usd_network / rows[0].usd_network);
+    }
+  }
+  return rows;
+}
+
+// --- 4. Zonal outage --------------------------------------------------------
+
+struct OutageRow {
+  std::string scenario;
+  Usd usd_network = 0.0;
+  Usd detour_usd = 0.0;
+  int64_t rerouted = 0;
+  MicroSecs mean_end = 0;
+};
+
+std::vector<OutageRow> OutageTable(bool json) {
+  std::vector<OutageRow> rows;
+  const auto run = [&](const char* label, std::vector<NetOutage> outages) {
+    NetworkModelConfig ncfg;
+    ncfg.topology.zones = 3;
+    ncfg.topology.zones_per_region = 3;
+    ncfg.outages = std::move(outages);
+    NetworkModel net(ncfg, MakeNetworkPricing(Platform::kAwsLambda), kSeed);
+    WorkflowSimConfig cfg = ShuffleConfig(/*spread=*/true);
+    cfg.network = &net;
+    const BillingModel billing = MakeBillingModel(Platform::kAwsLambda);
+    const WorkflowSimResult r = SimulateWorkflows(cfg, billing, kSeed);
+    OutageRow row;
+    row.scenario = label;
+    row.usd_network = r.usd_network;
+    row.detour_usd = r.usd_network_detour;
+    row.rerouted = net.bill().rerouted_transfers;
+    int64_t sum_end = 0;
+    for (const WorkflowRow& w : r.workflows) {
+      sum_end += w.end - w.arrival;
+    }
+    row.mean_end = r.workflows.empty()
+                       ? 0
+                       : sum_end / static_cast<int64_t>(r.workflows.size());
+    rows.push_back(row);
+  };
+  run("healthy", {});
+  // Zone 0 hosts the region's internet uplink; a whole-run outage forces
+  // every egress byte over the backup and onto the cross-zone meter.
+  run("zone-0 outage", {{/*zone=*/0, /*start=*/0, /*duration=*/100'000 * kSec}});
+  if (!json) {
+    PrintHeader("Zonal network outage: the egress-cost consequence (AWS)");
+    TextTable t({"scenario", "network $", "detour $", "rerouted", "mean wf ms"});
+    for (const OutageRow& r : rows) {
+      t.AddRow({r.scenario, FormatSci(r.usd_network, 4), FormatSci(r.detour_usd, 4),
+                std::to_string(r.rerouted),
+                FormatDouble(MicrosToMillis(r.mean_end), 1)});
+    }
+    std::printf("%s", t.Render().c_str());
+    std::printf("  Chaos bills twice: capacity kills re-run compute, and the\n"
+                "  surviving traffic detours onto priced cross-zone links.\n");
+  }
+  return rows;
+}
+
+}  // namespace
+}  // namespace faascost
+
+int main(int argc, char** argv) {
+  using namespace faascost;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    }
+  }
+  const auto ladder = LadderTable(json);
+  const auto payload = PayloadSweep(json);
+  const auto placement = PlacementTable(json);
+  const auto outage = OutageTable(json);
+  if (json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("egress_ladder");
+    w.BeginArray();
+    for (const LadderRow& r : ladder) {
+      w.BeginObject();
+      w.KV("platform", r.platform);
+      w.Key("usd_per_gb");
+      w.BeginArray();
+      for (const double usd : r.usd_per_gb) {
+        w.Value(usd);
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("payload_sweep");
+    w.BeginArray();
+    for (const PayloadRow& r : payload) {
+      w.BeginObject();
+      w.KV("resp_kb", r.resp_kb);
+      w.KV("compute_usd", r.compute_usd);
+      w.KV("network_usd", r.network_usd);
+      w.KV("network_share", r.network_share);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("placement");
+    w.BeginArray();
+    for (const PlacementRow& r : placement) {
+      w.BeginObject();
+      w.KV("placement", r.placement);
+      w.KV("network_usd", r.usd_network);
+      w.KV("total_usd", r.usd_total);
+      w.KV("mean_wf_ms", MicrosToMillis(r.mean_end));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("outage");
+    w.BeginArray();
+    for (const OutageRow& r : outage) {
+      w.BeginObject();
+      w.KV("scenario", r.scenario);
+      w.KV("network_usd", r.usd_network);
+      w.KV("detour_usd", r.detour_usd);
+      w.KV("rerouted_transfers", r.rerouted);
+      w.KV("mean_wf_ms", MicrosToMillis(r.mean_end));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  }
+  return 0;
+}

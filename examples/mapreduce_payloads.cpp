@@ -1,0 +1,75 @@
+// Map-reduce with payload sizes on the edges: where the workflow's money
+// actually goes once data transfer is billed.
+//
+// A 6-mapper map-reduce ships 2 MB of client input to the splitter, 32 MB
+// of shuffle on every mapper edge, and 1 MB of result egress. With mappers
+// spread across zones the shuffle crosses the cross-zone meter twice per
+// mapper (split -> map, map -> reduce); co-locating the whole DAG keeps it
+// on the free intra-zone links. Compute rightsizing cannot see this line
+// item — only placement can move it.
+
+#include <cstdio>
+
+#include "src/billing/catalog.h"
+#include "src/billing/model.h"
+#include "src/net/model.h"
+#include "src/workflow/dag.h"
+#include "src/workflow/workflow_sim.h"
+
+int main() {
+  using namespace faascost;
+  constexpr int64_t kMb = 1'048'576;
+  constexpr uint64_t kSeed = 7;
+
+  const BillingModel billing = MakeBillingModel(Platform::kAwsLambda);
+  std::printf("Map-reduce with priced payloads (AWS, 3 zones, 100 instances)\n\n");
+
+  const auto run = [&](const char* label, bool spread) {
+    HopSpec proto;
+    WorkflowDag dag = MakeMapReduceDag("mr", 6, proto);
+    if (!spread) {
+      for (HopSpec& hop : dag.hops) {
+        hop.zone = 0;
+      }
+    }
+    // input -> splitter: 2 MB; every edge: 32 MB of shuffle; sink: 1 MB out.
+    ApplyUniformPayloads(dag, 2 * kMb, 32 * kMb, kMb);
+
+    NetworkModelConfig ncfg;
+    ncfg.topology.zones = 3;
+    ncfg.topology.zones_per_region = 3;
+    ncfg.class_a_ops_per_request = 1;  // One PUT per attempt...
+    ncfg.class_b_ops_per_request = 2;  // ...and two GETs.
+    NetworkModel net(ncfg, MakeNetworkPricing(Platform::kAwsLambda), kSeed);
+
+    WorkflowSimConfig cfg;
+    cfg.dags.push_back(std::move(dag));
+    cfg.workflows = 100;
+    cfg.wps = 4.0;
+    cfg.zones = 3;
+    cfg.pricing = MakeWorkflowPricing(Platform::kAwsLambda);
+    cfg.network = &net;
+    const WorkflowSimResult r = SimulateWorkflows(cfg, billing, kSeed);
+
+    std::printf("%s mappers:\n", label);
+    std::printf("  compute     $%9.6f   transitions $%9.6f\n", r.usd_attempts,
+                r.usd_transitions);
+    std::printf("  network     $%9.6f   (%lld transfers, %.2f GB; storage ops"
+                " $%.6f)\n",
+                r.usd_network, static_cast<long long>(r.net_transfers),
+                static_cast<double>(r.net_bytes) / static_cast<double>(kBytesPerGb),
+                net.bill().ops_usd);
+    std::printf("  total       $%9.6f   network share %.1f%%\n\n", r.usd_total,
+                r.usd_total > 0.0 ? r.usd_network / r.usd_total * 100.0 : 0.0);
+    return r.usd_total;
+  };
+
+  const Usd colocated = run("Co-located", /*spread=*/false);
+  const Usd spread = run("Zone-spread", /*spread=*/true);
+  if (colocated > 0.0) {
+    std::printf("Placement verdict: spreading the shuffle costs %.1fx the\n"
+                "co-located bill — the cross-zone tax, not compute, dominates.\n",
+                spread / colocated);
+  }
+  return 0;
+}

@@ -361,6 +361,96 @@ WorkflowPricing MakeWorkflowPricing(Platform p) {
   return w;
 }
 
+NetworkPricing MakeNetworkPricing(Platform p) {
+  // AWS anchors (us-east, 2025-05 price sheet): internet egress ships the
+  // first 100 GB of a month free, then walks $0.09 / $0.085 / $0.07 / $0.05
+  // per GB at 10 TB / 50 TB / 150 TB cumulative; cross-region data transfer
+  // is a flat $0.02/GB, cross-AZ $0.01/GB per direction, and traffic inside
+  // one AZ plus all ingress is free. Storage operations follow S3 standard:
+  // class A (PUT/LIST) at $5 and class B (GET) at $0.40 per million.
+  // Platforms with their own documented sheets override below; the rest
+  // inherit the AWS-anchored defaults (paper's empirical-estimate
+  // convention), so cross-platform sweeps stay comparable.
+  constexpr int64_t kGb = kBytesPerGb;
+  constexpr int64_t kTb = 1024LL * kBytesPerGb;
+  const auto egress_ladder = [&](int64_t free_gb, Usd t1, Usd t2, Usd t3, Usd t4) {
+    TieredSchedule s;
+    if (free_gb > 0) {
+      s.tiers.push_back({free_gb * kGb, 0.0});
+    }
+    s.tiers.push_back({free_gb * kGb + 10 * kTb, t1});
+    s.tiers.push_back({free_gb * kGb + 50 * kTb, t2});
+    s.tiers.push_back({free_gb * kGb + 150 * kTb, t3});
+    s.tiers.push_back({kNoTierLimit, t4});
+    return s;
+  };
+
+  NetworkPricing n;
+  n.transfer[static_cast<size_t>(TransferClass::kIntraZone)] = TieredSchedule::Free();
+  n.transfer[static_cast<size_t>(TransferClass::kInterZone)] = TieredSchedule::Flat(0.01);
+  n.transfer[static_cast<size_t>(TransferClass::kInterRegion)] = TieredSchedule::Flat(0.02);
+  n.transfer[static_cast<size_t>(TransferClass::kInternetEgress)] =
+      egress_ladder(100, 0.09, 0.085, 0.07, 0.05);
+  n.transfer[static_cast<size_t>(TransferClass::kInternetIngress)] = TieredSchedule::Free();
+  n.class_a_per_op = 5e-6;
+  n.class_b_per_op = 4e-7;
+  n.billing_period = 2'592'000LL * kMicrosPerSec;  // 30-day billing month.
+  switch (p) {
+    case Platform::kGcpCloudRunFunctions:
+      // GCP premium-tier internet egress starts higher and steps at smaller
+      // volumes; cross-zone and cross-region match AWS's headline rates.
+      // GCS operations: class A $0.005, class B $0.0004 per thousand.
+      n.transfer[static_cast<size_t>(TransferClass::kInternetEgress)] = {
+          {{200 * kGb, 0.0},
+           {200 * kGb + 1 * kTb, 0.12},
+           {200 * kGb + 10 * kTb, 0.11},
+           {kNoTierLimit, 0.08}}};
+      break;
+    case Platform::kAzureConsumption:
+    case Platform::kAzureFlexConsumption:
+      // Azure ships 100 GB free then a slightly cheaper ladder, and has
+      // stopped billing availability-zone traffic inside a region.
+      n.transfer[static_cast<size_t>(TransferClass::kInterZone)] = TieredSchedule::Free();
+      n.transfer[static_cast<size_t>(TransferClass::kInternetEgress)] =
+          egress_ladder(100, 0.087, 0.083, 0.07, 0.05);
+      break;
+    case Platform::kHuaweiFunctionGraph:
+      // Flat CNY-converted egress rate, no published volume ladder.
+      n.transfer[static_cast<size_t>(TransferClass::kInternetEgress)] =
+          TieredSchedule::Flat(0.076);
+      break;
+    case Platform::kAlibabaFunctionCompute:
+      n.transfer[static_cast<size_t>(TransferClass::kInternetEgress)] =
+          TieredSchedule::Flat(0.074);
+      break;
+    case Platform::kOracleFunctions:
+      // OCI's headline differentiator: the first 10 TB each month free,
+      // then a flat $0.0085/GB.
+      n.transfer[static_cast<size_t>(TransferClass::kInternetEgress)] = {
+          {{10 * kTb, 0.0}, {kNoTierLimit, 0.0085}}};
+      break;
+    case Platform::kVercelFunctions:
+      // Bandwidth past the included allowance bills at $0.15/GB; the
+      // underlying AWS fabric's cross-zone rate is passed through.
+      n.transfer[static_cast<size_t>(TransferClass::kInternetEgress)] =
+          egress_ladder(100, 0.15, 0.15, 0.15, 0.15);
+      break;
+    case Platform::kCloudflareWorkers:
+      // Zero-egress-fee model (the R2 pitch); operations priced like R2:
+      // class A $4.50, class B $0.36 per million.
+      n.transfer[static_cast<size_t>(TransferClass::kInterZone)] = TieredSchedule::Free();
+      n.transfer[static_cast<size_t>(TransferClass::kInterRegion)] = TieredSchedule::Free();
+      n.transfer[static_cast<size_t>(TransferClass::kInternetEgress)] =
+          TieredSchedule::Free();
+      n.class_a_per_op = 4.5e-6;
+      n.class_b_per_op = 3.6e-7;
+      break;
+    default:
+      break;
+  }
+  return n;
+}
+
 UnitPrices FargateUnitPrices() {
   UnitPrices out;
   out.platform = Platform::kAwsLambda;  // Placeholder; Fargate is not FaaS.

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/billing/model.h"
+#include "src/billing/tiered.h"
 
 namespace faascost {
 
@@ -96,6 +97,14 @@ struct WorkflowPricing {
 // orchestration service inherit the AWS-anchored defaults, flagged in the
 // implementation, so cross-platform sweeps stay comparable.
 WorkflowPricing MakeWorkflowPricing(Platform p);
+
+// Data-transfer and storage-operation prices for a platform (tiered.h):
+// the monthly-cumulative internet-egress ladder with its free tier, the
+// flat inter-zone / inter-region per-GB rates, and the class-A/class-B
+// storage operation fees. Like MakeWorkflowPricing, platforms without a
+// public transfer price sheet inherit AWS-anchored defaults, flagged in the
+// implementation.
+NetworkPricing MakeNetworkPricing(Platform p);
 
 }  // namespace faascost
 

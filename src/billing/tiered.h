@@ -1,0 +1,160 @@
+// Tiered/volume pricing for data transfer and storage operations — the
+// billing dimensions the compute catalog (catalog.h) stops short of. Public
+// clouds price network egress on a *monthly cumulative* volume ladder: the
+// first N bytes of a billing period are free, the next tier bills at one
+// per-GB rate, the tier after that at a lower one, and so on (the gacspp
+// grid-cost model walks the same ladder recursively; SNIPPETS.md). Getting
+// the marginal cost of one transfer right therefore requires knowing how
+// many bytes of its class were already moved this period.
+//
+// TieredCost() is that walk as a pure function: the incremental USD of
+// adding `add_bytes` when `from_bytes` have already accumulated. TrafficMeter
+// wraps it with the per-class cumulative state, monthly period rollover, and
+// a folded NetworkBill, and is the single authority the simulators meter
+// through — every AddTransfer returns the marginal USD priced at that exact
+// cumulative position, in call order, so end-of-run totals reconcile
+// bit-for-bit against per-event telemetry (obs/timeseries.h contract).
+
+#ifndef FAASCOST_BILLING_TIERED_H_
+#define FAASCOST_BILLING_TIERED_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace faascost {
+
+// How a payload's route is billed. Every traversed link charges its class;
+// the classes mirror the public price sheets: traffic inside one zone and
+// ingress from the internet are free on every major platform, crossing a
+// zone boundary bills per GB *per direction*, crossing a region bills more,
+// and internet egress is the tiered headline rate.
+enum class TransferClass {
+  kIntraZone = 0,     // Same-zone hop (free everywhere, still counted).
+  kInterZone,         // Cross-zone hop within a region.
+  kInterRegion,       // Cross-region backbone hop.
+  kInternetEgress,    // Zone/region uplink toward the public internet.
+  kInternetIngress,   // Public internet toward the platform (free, counted).
+};
+inline constexpr int kTransferClassCount = 5;
+const char* TransferClassName(TransferClass c);
+
+// Bytes per billed GB. Binary, matching the repo's MB convention
+// (units.h: kMbPerGb = 1024) and AWS's GB-means-GiB billing practice. A
+// power of two, so `bytes / kBytesPerGb` is exact in double for any volume a
+// simulation can produce — tier-boundary tests can pin values bitwise.
+inline constexpr int64_t kBytesPerGb = 1024LL * 1024LL * 1024LL;
+
+// One rung of the volume ladder: bytes up to `upto_bytes` of cumulative
+// period volume bill at `usd_per_gb`. Tiers are ascending and the last one
+// is unbounded (upto_bytes == kNoTierLimit). A free allowance is simply a
+// first tier priced at zero.
+inline constexpr int64_t kNoTierLimit = std::numeric_limits<int64_t>::max();
+struct PriceTier {
+  int64_t upto_bytes = kNoTierLimit;
+  Usd usd_per_gb = 0.0;
+};
+
+struct TieredSchedule {
+  std::vector<PriceTier> tiers;
+
+  // Single unbounded tier at one rate (rate 0 = free class).
+  static TieredSchedule Flat(Usd usd_per_gb);
+  // Zero-priced everywhere.
+  static TieredSchedule Free();
+
+  // Empty schedules are invalid; tiers must ascend and end unbounded.
+  // Returns human-readable violations (empty when valid).
+  std::vector<std::string> Validate() const;
+};
+
+// Marginal USD of moving `add_bytes` when `from_bytes` have already been
+// moved this billing period: walks the ladder from the tier containing
+// from_bytes, charging each crossed segment at its rate. Segments fold in
+// ascending tier order — with one grouping, `usd_per_gb * (seg / kBytesPerGb)`
+// per segment — so the result is a deterministic function of
+// (schedule, from, add), bit-reproducible across runs and platforms.
+// Negative inputs are treated as zero.
+Usd TieredCost(const TieredSchedule& schedule, int64_t from_bytes, int64_t add_bytes);
+
+// Per-provider transfer + storage-operation price sheet.
+struct NetworkPricing {
+  std::array<TieredSchedule, kTransferClassCount> transfer;
+  // Storage operations, per op: class A mutates (PUT/LIST-class), class B
+  // reads (GET-class). The S3/GCS convention, priced per million.
+  Usd class_a_per_op = 0.0;
+  Usd class_b_per_op = 0.0;
+  // Cumulative-volume reset period (the "monthly" in monthly-cumulative).
+  // 0 = never reset: the whole run is one billing period.
+  MicroSecs billing_period = 0;
+
+  std::vector<std::string> Validate() const;
+};
+
+// End-of-run network bill, decomposed the way the price sheet charges it.
+// All USD fields are folds of the marginal charges in metering order, so a
+// simulator that records each marginal charge into telemetry reconciles
+// against these totals bitwise.
+struct NetworkBill {
+  int64_t bytes[kTransferClassCount] = {};  // Billed byte-hops per class.
+  Usd usd[kTransferClassCount] = {};
+  int64_t class_a_ops = 0;
+  int64_t class_b_ops = 0;
+  Usd ops_usd = 0.0;
+  // Outage-reroute surcharge: the part of `usd` the baseline (no-outage)
+  // routes would not have incurred. Informational subset, clamped at zero
+  // per transfer.
+  Usd detour_usd = 0.0;
+  int64_t transfers = 0;
+  int64_t rerouted_transfers = 0;
+
+  // Folded in class order, then + ops_usd.
+  Usd TransferUsd() const;
+  Usd TotalUsd() const;
+};
+
+// Stateful meter over a NetworkPricing sheet. Call sites must meter in
+// event-processing order: the cumulative tier position (and therefore every
+// marginal price) is defined by that order. Period rollover is a
+// high-water-mark on the timestamps seen, so slightly out-of-order
+// completion times (inherent to discrete-event simulators) cannot roll a
+// period backwards.
+class TrafficMeter {
+ public:
+  explicit TrafficMeter(NetworkPricing pricing);
+
+  // Marginal USD of `bytes` on class `c` at sim time `t`; advances the
+  // cumulative position and folds the charge into bill().
+  Usd AddTransfer(TransferClass c, int64_t bytes, MicroSecs t);
+  // The charge AddTransfer(c, bytes, t) *would* return, without metering.
+  Usd CostIfAdded(TransferClass c, int64_t bytes, MicroSecs t) const;
+  // Storage operations (flat-priced; no tiers on op fees).
+  Usd AddOps(int64_t class_a, int64_t class_b);
+
+  // Adjustment hooks for the bill's informational fields.
+  void NoteTransfer(bool rerouted, Usd detour_usd);
+
+  // Cumulative bytes of `c` within the current billing period.
+  int64_t PeriodBytes(TransferClass c) const {
+    return period_bytes_[static_cast<size_t>(c)];
+  }
+  const NetworkBill& bill() const { return bill_; }
+  const NetworkPricing& pricing() const { return pricing_; }
+
+ private:
+  int64_t PeriodIndexFor(MicroSecs t) const;
+  void RollPeriod(MicroSecs t);
+
+  NetworkPricing pricing_;
+  int64_t period_idx_ = 0;
+  std::array<int64_t, kTransferClassCount> period_bytes_ = {};
+  NetworkBill bill_;
+};
+
+}  // namespace faascost
+
+#endif  // FAASCOST_BILLING_TIERED_H_

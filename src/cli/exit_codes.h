@@ -1,0 +1,30 @@
+// Shared exit-code convention for every faascost subcommand (documented in
+// README "Exit codes"). Scripts and CI branch on these numerically, so they
+// are part of the tool's public contract: audit, monitor and network all
+// return the same code for the same failure kind, and new subcommands must
+// reuse these constants instead of inventing their own numbers.
+//
+//   kOk                 success; the report/artifacts are trustworthy.
+//   kUsage              bad flags or invalid config: nothing was simulated.
+//   kIntegrityViolation a simulator invariant or a bit-for-bit USD
+//                       reconciliation failed mid-run (IntegrityViolation,
+//                       monitor/network reconciliation gates).
+//   kMalformedArtifact  an input artifact exists but cannot be trusted: a
+//                       mismatched or corrupt checkpoint, unparseable JSON
+//                       (CheckpointError / JsonParseError).
+
+#ifndef FAASCOST_CLI_EXIT_CODES_H_
+#define FAASCOST_CLI_EXIT_CODES_H_
+
+namespace faascost {
+namespace cli {
+
+inline constexpr int kOk = 0;
+inline constexpr int kUsage = 1;
+inline constexpr int kIntegrityViolation = 2;
+inline constexpr int kMalformedArtifact = 3;
+
+}  // namespace cli
+}  // namespace faascost
+
+#endif  // FAASCOST_CLI_EXIT_CODES_H_

@@ -195,6 +195,7 @@ struct FleetEngine::Impl {
   TimeSeries* ts = nullptr;
   EngineProfiler* prof = nullptr;
   Auditor* auditor = nullptr;
+  NetworkModel* net = nullptr;
   MetricIds mid;
   MicroSecs next_sample = 0;
   int64_t waiting_now = 0;  // Attempts currently parked in admission queues.
@@ -216,7 +217,8 @@ struct FleetEngine::Impl {
         metrics(config.metrics),
         ts(config.timeseries),
         prof(config.profiler),
-        auditor(config.auditor) {
+        auditor(config.auditor),
+        net(config.network) {
     if (prof != nullptr) {
       prof->RegisterEventType(0, "attempt");
     }
@@ -253,6 +255,34 @@ struct FleetEngine::Impl {
       metrics->Set(mid.fees, result.fee_revenue);
       metrics->Sample(next_sample);
       next_sample += config.metrics_interval;
+    }
+  }
+
+  // One metered hop of an attempt's payload: fold into the result, the
+  // series, and the sink — same marginal value, same end timestamp, same
+  // order on every side, so ReconcileTransferUsd compares bitwise.
+  void MeterCharge(const TransferCharge& c, MicroSecs start,
+                   const PendingAttempt& at, int64_t fid) {
+    ++result.net_transfers;
+    result.net_bytes += c.bytes;
+    result.network_transfer_usd += c.usd;
+    const MicroSecs end = start + c.time;
+    if (ts != nullptr) {
+      ts->RecordTransfer(end, c.bytes, c.usd);
+    }
+    if (sink != nullptr) {
+      Span sp;
+      sp.kind = SpanKind::kTransfer;
+      sp.group = kTrackGroupFleetFunction;
+      sp.track = fid;
+      sp.start = start;
+      sp.duration = c.time;
+      sp.req_idx = static_cast<int32_t>(at.trace_idx);
+      sp.attempt = at.attempt;
+      sp.ref = c.bytes;
+      sp.status = c.rerouted ? "rerouted" : "";
+      sp.billed_usd = c.usd;
+      sink->Record(sp);
     }
   }
 
@@ -433,8 +463,7 @@ struct FleetEngine::Impl {
       prof->CountEvent(0, at.arrival, pending.size());
     }
     if (ts != nullptr) {
-      ts->RecordArrival(at.arrival);
-      ts->RecordQueueDepth(at.arrival, waiting_now);
+      ts->RecordArrivalQueued(at.arrival, waiting_now);
     }
     const RequestRecord& r = (*trace)[at.trace_idx];
     SampleMetricsUntil(at.arrival);
@@ -677,11 +706,10 @@ struct FleetEngine::Impl {
     result.revenue += inv.total;
     result.fee_revenue += inv.invocation_cost;
     if (ts != nullptr) {
-      ts->RecordDispatch(at.arrival, cold);
+      // The billed add carries the same value / end time / order as the
+      // terminal span below: bitwise reconciliation depends on it.
+      ts->RecordDispatchBilled(at.arrival, end, cold, inv.total);
       ts->RecordExecution(at.arrival, end);
-      // Same value / end time / order as the terminal span below: bitwise
-      // reconciliation depends on it.
-      ts->RecordBilled(end, inv.total);
       if (oc != Outcome::kOk) {
         ts->RecordWaste(end, WasteKind::kFailedAttempt, inv.total);
       } else if (cold && init_billed + effective > 0) {
@@ -731,11 +759,47 @@ struct FleetEngine::Impl {
       sink->Record(ex);
     }
 
+    // Route the attempt's payloads over the network edge (null model = one
+    // pointer test). The request rides internet -> zone at dispatch, the
+    // response rides back at completion; both extend the client-perceived
+    // end, never the sandbox occupancy (see FleetSimConfig::network).
+    MicroSecs client_end = end;
+    if (net != nullptr) {
+      const int zone = net->ZoneOf(hosts_on && host >= 0 ? host : r.function_id);
+      const AttemptPayload pl =
+          net->PayloadFor(r.function_id, at.trace_idx, at.attempt - 1, r.req_bytes,
+                          r.resp_bytes, oc == Outcome::kOk);
+      TransferCharge in;
+      if (pl.request_bytes > 0) {
+        in = net->Transfer(NetworkModel::kInternet, zone, pl.request_bytes, at.arrival);
+        MeterCharge(in, at.arrival, at, r.function_id);
+      }
+      TransferCharge back;
+      if (pl.response_bytes > 0) {
+        back = net->Transfer(zone, NetworkModel::kInternet, pl.response_bytes, end);
+        MeterCharge(back, end, at, r.function_id);
+      }
+      result.network_ops_usd += net->MeterRequestOps();
+      client_end = end + in.time + back.time;
+      const Usd detour = in.detour_usd + back.detour_usd;
+      result.network_detour_usd += detour;
+      if (ts != nullptr) {
+        // Disjoint waste attribution, first match wins: a failed attempt's
+        // whole transfer spend is waste; a successful one only wastes the
+        // outage-detour surcharge.
+        if (oc != Outcome::kOk) {
+          ts->RecordWaste(client_end, WasteKind::kFailedEgress, in.usd + back.usd);
+        } else if (detour > 0.0) {
+          ts->RecordWaste(client_end, WasteKind::kCrossZoneDetour, detour);
+        }
+      }
+    }
+
     if (oc == Outcome::kOk) {
       if (breaker_on) {
         BreakerFor(r.function_id).RecordSuccess();
       }
-      ResolveTerminal(at, end, true);
+      ResolveTerminal(at, client_end, true);
     } else {
       ++result.failed_attempts;
       if (oc == Outcome::kCrash) {
@@ -748,7 +812,7 @@ struct FleetEngine::Impl {
       if (breaker_on) {
         BreakerFor(r.function_id).RecordFailure(end);
       }
-      HandleFailure(at, end, /*retryable=*/true);
+      HandleFailure(at, client_end, /*retryable=*/true);
     }
 
     if (auditor != nullptr && auditor->ScanDue(attempts_processed)) {
@@ -1094,6 +1158,9 @@ FleetResult FleetEngine::Finish() {
     im.prof->AddRngDraws(im.host_faults.TotalRngDraws());
   }
 
+  if (im.net != nullptr) {
+    result.network_bill = im.net->bill();
+  }
   result.sandboxes = static_cast<int64_t>(result.spans.size());
   for (const auto& span : result.spans) {
     result.sandbox_seconds += MicrosToSecs(span.destroyed_at - span.created_at);

@@ -24,6 +24,7 @@
 #include "src/common/json_reader.h"
 #include "src/common/json_writer.h"
 #include "src/integrity/integrity.h"
+#include "src/net/model.h"
 #include "src/obs/engine_profiler.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
@@ -97,6 +98,18 @@ struct FleetSimConfig {
   // Runtime invariant auditor (non-owning; null = detached, zero overhead
   // beyond one pointer test per attempt). See src/integrity/integrity.h.
   Auditor* auditor = nullptr;
+  // Network model (src/net; non-owning, same null contract): every executed
+  // attempt's request payload rides internet -> sandbox zone and its
+  // response rides back, metered on the monthly-cumulative price ladder.
+  // Transfer time extends the *client* path (terminal latency and retry
+  // scheduling), not sandbox occupancy — the sandbox is released when the
+  // function returns; bytes move through the platform's edge, not the
+  // sandbox. The zone is the sandbox's host when host faults are on,
+  // ZoneOf(function_id) otherwise. Unexecuted attempts (shed, queue
+  // timeout, breaker fast-fail) never reach the edge and move nothing.
+  // Like TraceSink, the model is caller-owned run state and is NOT archived:
+  // checkpoint/resume of a network-attached run is unsupported.
+  NetworkModel* network = nullptr;
 
   // Human-readable config errors; empty when valid. SimulateFleet throws
   // std::invalid_argument on a non-empty result.
@@ -151,6 +164,17 @@ struct FleetResult {
   Usd hardware_cost = 0.0;       // Busy at full rate; idle at ka_cost_share.
   double margin = 0.0;
   std::vector<SandboxSpan> spans;  // Per-sandbox accounting.
+  // --- Network accounting (all zero with no NetworkModel attached) ---
+  // USD fields fold marginal charges in emission order — the same order the
+  // telemetry hooks and kTransfer spans see, so per-window reconciliation
+  // (ReconcileTransferUsd) is bitwise. `network_bill` is the meter's
+  // end-of-run decomposition by transfer class.
+  int64_t net_transfers = 0;
+  int64_t net_bytes = 0;
+  Usd network_transfer_usd = 0.0;
+  Usd network_ops_usd = 0.0;
+  Usd network_detour_usd = 0.0;
+  NetworkBill network_bill;
 };
 
 // Simulates sandbox lifecycles for the whole trace (requests must be sorted

@@ -33,6 +33,7 @@ inline constexpr uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
 // Well-known stream numbers. Keep these unique across the codebase.
 inline constexpr uint64_t kFaultStream = 0;      // Request-level fault model.
 inline constexpr uint64_t kHostFaultStream = 1;  // Fleet host-failure model.
+inline constexpr uint64_t kNetStream = 2;        // Network payload sizes (src/net).
 // Host-fault per-host streams occupy [kHostStreamBase, kHostStreamBase + hosts).
 inline constexpr uint64_t kHostStreamBase = 16;
 // Workflow-engine per-instance streams occupy

@@ -249,6 +249,11 @@ Usd RecomputeWorkflowTotalUsd(const WorkflowSimResult& result,
            static_cast<double>(result.counters.dispatched_attempts);
   total += (config.pricing.dlq_write_fee + config.pricing.dlq_read_fee) *
            static_cast<double>(result.counters.dead_letters);
+  // Network charges walk a stateful tiered meter and cannot be re-derived
+  // from attempts alone; the line item is carried over and cross-checked
+  // against the per-workflow rows (and, bitwise, against kTransfer spans via
+  // ReconcileTransferUsd) in AuditWorkflowRun.
+  total += result.usd_network;
   return total;
 }
 
@@ -336,7 +341,7 @@ void AuditWorkflowRun(const WorkflowSimResult& result, const WorkflowSimConfig& 
     const Usd want = wf_usd[i] +
                      config.pricing.per_state_transition *
                          static_cast<double>(wf_transitions[i]) +
-                     fee_dlq * static_cast<double>(wf_dead[i]);
+                     fee_dlq * static_cast<double>(wf_dead[i]) + row.usd_network;
     auditor.Check(UsdClose(row.usd, want), "workflow.usd_conservation", end, seed,
                   "wf " + std::to_string(i), UsdPair(row.usd, want));
     if (row.outcome == Outcome::kOk) {
@@ -365,11 +370,18 @@ void AuditWorkflowRun(const WorkflowSimResult& result, const WorkflowSimConfig& 
   auditor.Check(UsdClose(attempts_usd, result.usd_attempts),
                 "workflow.usd_conservation", end, seed, "usd_attempts",
                 UsdPair(result.usd_attempts, attempts_usd));
-  auditor.Check(UsdClose(result.usd_total,
-                         result.usd_attempts + result.usd_transitions + result.usd_dlq),
+  auditor.Check(UsdClose(result.usd_total, result.usd_attempts + result.usd_transitions +
+                                               result.usd_dlq + result.usd_network),
                 "workflow.usd_conservation", end, seed, "usd_total",
-                UsdPair(result.usd_total,
-                        result.usd_attempts + result.usd_transitions + result.usd_dlq));
+                UsdPair(result.usd_total, result.usd_attempts + result.usd_transitions +
+                                              result.usd_dlq + result.usd_network));
+  Usd rows_network = 0.0;
+  for (const WorkflowRow& row : result.workflows) {
+    rows_network += row.usd_network;
+  }
+  auditor.Check(UsdClose(rows_network, result.usd_network),
+                "workflow.usd_conservation", end, seed, "usd_network",
+                UsdPair(rows_network, result.usd_network));
   Usd rows_usd = 0.0;
   for (const WorkflowRow& row : result.workflows) {
     rows_usd += row.usd;

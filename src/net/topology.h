@@ -1,0 +1,124 @@
+// Zone/region network topology: the graph every simulated payload is routed
+// over. Nodes are availability zones (plus one node for the public
+// internet), edges are links carrying a latency, a bandwidth, and the
+// TransferClass each direction bills at (billing/tiered.h).
+//
+// The canonical cloud shape (MakeCloudTopology) mirrors how providers
+// actually wire regions: zones within a region form a ring of cross-zone
+// links, each region reaches the internet through a primary uplink in its
+// first zone and a thinner backup uplink in its second, and regions peer
+// through their primary zones. That shape is what gives a zonal outage its
+// network consequence — when the primary zone is down, egress reroutes over
+// the ring onto the backup uplink, paying extra cross-zone per-GB charges
+// and squeezing through less bandwidth.
+//
+// Everything here is deterministic: routing is Dijkstra by latency over
+// insertion-ordered adjacency lists with a (distance, node-id) heap, so
+// equal-cost ties break the same way on every run and platform. No RNG, no
+// clocks, no unordered containers.
+
+#ifndef FAASCOST_NET_TOPOLOGY_H_
+#define FAASCOST_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/billing/tiered.h"
+#include "src/common/units.h"
+
+namespace faascost {
+
+// 1 Gb/s moves 125 bytes per microsecond.
+inline constexpr double kBytesPerUsPerGbps = 125.0;
+
+struct NetLink {
+  int a = 0;
+  int b = 0;
+  MicroSecs latency = 0;  // One-way propagation + processing latency.
+  double gbps = 0.0;      // Usable bandwidth, either direction.
+  // Billing class per direction: an internet uplink bills tiered egress one
+  // way and free ingress the other; symmetric links bill the same class
+  // both ways.
+  TransferClass cls_ab = TransferClass::kIntraZone;
+  TransferClass cls_ba = TransferClass::kIntraZone;
+};
+
+// The latency/bandwidth/billing summary of one routed path. hops[] counts
+// link traversals per transfer class — a payload crossing two cross-zone
+// links bills the inter-zone rate twice, exactly like real per-direction
+// AZ-transfer charges.
+struct PathInfo {
+  bool reachable = false;
+  MicroSecs latency = 0;
+  double bytes_per_us = 0.0;  // Bottleneck bandwidth along the path.
+  int64_t hops[kTransferClassCount] = {};
+
+  // Store-and-forward transfer time: path latency plus serialization of the
+  // payload through the bottleneck link, rounded up to whole microseconds.
+  MicroSecs TransferTime(int64_t bytes) const;
+  bool SameRoute(const PathInfo& other) const;
+};
+
+class NetTopology {
+ public:
+  int AddNode() {
+    adjacency_.emplace_back();
+    return static_cast<int>(adjacency_.size()) - 1;
+  }
+  // Bidirectional link; returns its index. Endpoints must be valid nodes.
+  int AddLink(int a, int b, MicroSecs latency, double gbps, TransferClass cls_ab,
+              TransferClass cls_ba);
+
+  int node_count() const { return static_cast<int>(adjacency_.size()); }
+  int link_count() const { return static_cast<int>(links_.size()); }
+  const NetLink& link(int i) const { return links_[static_cast<size_t>(i)]; }
+  const std::vector<int>& LinksAt(int node) const {
+    return adjacency_[static_cast<size_t>(node)];
+  }
+
+  // Lowest-latency path from src to dst. `down_link[l]` masks link l
+  // entirely; `no_transit[n]` lets node n originate or terminate traffic
+  // but not forward it (a degraded zone still sources its own bytes).
+  // Either mask may be empty (nothing masked). src == dst yields an
+  // unreachable PathInfo — same-zone transfers are the caller's special
+  // case, not a graph walk.
+  PathInfo Route(int src, int dst, const std::vector<bool>& down_link,
+                 const std::vector<bool>& no_transit) const;
+
+ private:
+  std::vector<NetLink> links_;
+  std::vector<std::vector<int>> adjacency_;  // Node -> link indices, insertion order.
+};
+
+// Parameters of the canonical cloud topology. Defaults sketch a mid-size
+// multi-zone deployment: millisecond-scale cross-zone latency, tens of
+// milliseconds to cross regions or reach clients, fat intra-region pipes
+// and a thin backup uplink.
+struct CloudTopologyParams {
+  int zones = 4;
+  int zones_per_region = 4;
+  MicroSecs intra_zone_latency = 200;
+  MicroSecs inter_zone_latency = 1'000;
+  MicroSecs inter_region_latency = 15'000;
+  MicroSecs internet_latency = 25'000;
+  double intra_zone_gbps = 100.0;
+  double inter_zone_gbps = 25.0;
+  double inter_region_gbps = 5.0;
+  double uplink_gbps = 10.0;
+  double backup_uplink_gbps = 2.0;
+
+  int regions() const { return (zones + zones_per_region - 1) / zones_per_region; }
+  std::vector<std::string> Validate() const;
+};
+
+// Builds the canonical shape. Node ids: zones occupy [0, zones); the public
+// internet is node `zones` (the model layer maps its kInternet sentinel to
+// it). Region r spans zones [r*zpr, min((r+1)*zpr, zones)); its first zone
+// carries the primary uplink and the inter-region peerings, its second (if
+// any) the backup uplink.
+NetTopology MakeCloudTopology(const CloudTopologyParams& params);
+
+}  // namespace faascost
+
+#endif  // FAASCOST_NET_TOPOLOGY_H_

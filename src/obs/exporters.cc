@@ -140,6 +140,8 @@ std::string TimeSeriesJsonl(const TimeSeries& series) {
       w.KV(std::string("waste_usd_") + WasteKindName(static_cast<WasteKind>(k)),
            win.waste_usd[k]);
     }
+    w.KV("net_bytes", win.net_bytes);
+    w.KV("net_usd", win.net_usd);
     w.KV("queue_depth_max", win.queue_depth_max);
     w.KV("avg_concurrency",
          static_cast<double>(win.busy_micros) / static_cast<double>(width));

@@ -24,6 +24,8 @@ const char* SpanKindName(SpanKind kind) {
       return "preempt";
     case SpanKind::kWorkflow:
       return "workflow";
+    case SpanKind::kTransfer:
+      return "transfer";
   }
   return "unknown";
 }

@@ -30,6 +30,7 @@ enum class SpanKind {
   kThrottle,         // Tenant frozen by the CPU bandwidth controller.
   kPreempt,          // Tenant runnable but preempted by co-tenants.
   kWorkflow,         // Workflow instance, first dispatch to terminal outcome.
+  kTransfer,         // Network payload moving over the zone topology.
 };
 
 const char* SpanKindName(SpanKind kind);

@@ -37,8 +37,21 @@ const char* WasteKindName(WasteKind kind) {
       return "straggler";
     case WasteKind::kDeadLetter:
       return "dead_letter";
+    case WasteKind::kFailedEgress:
+      return "failed_egress";
+    case WasteKind::kCrossZoneDetour:
+      return "cross_zone_detour";
   }
   return "unknown";
+}
+
+std::optional<WasteKind> WasteKindFromName(std::string_view name) {
+  for (const WasteKind k : kAllWasteKinds) {
+    if (name == WasteKindName(k)) {
+      return k;
+    }
+  }
+  return std::nullopt;
 }
 
 // --- StreamingHistogram ---
@@ -233,6 +246,7 @@ int TimeSeries::AddLatencyObjective(MicroSecs objective) {
 }
 
 WindowStats& TimeSeries::WindowForSlow(MicroSecs t) {
+  sealed_objectives_ = true;
   const int64_t index = t >= 0 ? t / window_ : 0;
   if (static_cast<size_t>(index) >= windows_.size()) {
     const size_t old = windows_.size();
@@ -264,6 +278,13 @@ void TimeSeries::RecordExecution(MicroSecs start, MicroSecs end) {
   if (end <= start) {
     return;
   }
+  // Executions are almost always much shorter than a window, so the whole
+  // span usually lands in the cached window — attribute it with one add and
+  // skip both divisions below.
+  if (start >= cached_lo_ && end - cached_lo_ <= window_) {
+    windows_[static_cast<size_t>(cached_idx_)].busy_micros += end - start;
+    return;
+  }
   const int64_t first = start >= 0 ? start / window_ : 0;
   const int64_t last = (end - 1) / window_;
   for (int64_t i = first; i <= last; ++i) {
@@ -285,6 +306,22 @@ Usd TimeSeries::TotalWasteUsd(WasteKind kind) const {
   Usd total = 0.0;
   for (const WindowStats& w : windows_) {
     total += w.waste_usd[static_cast<int>(kind)];
+  }
+  return total;
+}
+
+Usd TimeSeries::TotalNetUsd() const {
+  Usd total = 0.0;
+  for (const WindowStats& w : windows_) {
+    total += w.net_usd;
+  }
+  return total;
+}
+
+int64_t TimeSeries::TotalNetBytes() const {
+  int64_t total = 0;
+  for (const WindowStats& w : windows_) {
+    total += w.net_bytes;
   }
   return total;
 }
@@ -321,6 +358,45 @@ BilledReconciliation ReconcileBilledUsd(const TimeSeries& series,
     }
   }
   rec.timeseries_total = series.TotalBilledUsd();
+  for (const double w : by_window) {
+    rec.span_total += w;
+  }
+  rec.ok = rec.first_mismatch_window == -1 &&
+           SameBits(rec.timeseries_total, rec.span_total);
+  return rec;
+}
+
+BilledReconciliation ReconcileTransferUsd(const TimeSeries& series,
+                                          const std::vector<Span>& spans) {
+  BilledReconciliation rec;
+  const MicroSecs width = series.window();
+  // Same discipline as ReconcileBilledUsd, over the network column: fold
+  // kTransfer-span USD per end-time window in emission order — the order
+  // RecordTransfer contractually ran in.
+  std::vector<double> by_window;
+  for (const Span& sp : spans) {
+    if (sp.kind != SpanKind::kTransfer) {
+      continue;
+    }
+    const MicroSecs end = sp.start + sp.duration;
+    const int64_t index = end >= 0 ? end / width : 0;
+    if (static_cast<size_t>(index) >= by_window.size()) {
+      by_window.resize(static_cast<size_t>(index) + 1, 0.0);
+    }
+    by_window[static_cast<size_t>(index)] += sp.billed_usd;
+  }
+
+  const size_t n = std::max(series.window_count(), by_window.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double from_series =
+        i < series.window_count() ? series.window_at(i).net_usd : 0.0;
+    const double from_spans = i < by_window.size() ? by_window[i] : 0.0;
+    if (!SameBits(from_series, from_spans)) {
+      rec.first_mismatch_window = static_cast<int64_t>(i);
+      break;
+    }
+  }
+  rec.timeseries_total = series.TotalNetUsd();
   for (const double w : by_window) {
     rec.span_total += w;
   }

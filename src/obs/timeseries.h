@@ -31,6 +31,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "src/common/units.h"
@@ -48,9 +50,24 @@ enum class WasteKind {
   kHedgeLoser,         // Speculative duplicate that lost the hedge race.
   kStraggler,          // Quorum-join loser billed past the join.
   kDeadLetter,         // Final attempt of a dead-lettered async hop.
+  kFailedEgress,       // Transfer USD spent moving a failed attempt's bytes.
+  kCrossZoneDetour,    // Outage-rerouting surcharge over the baseline route.
 };
-inline constexpr int kWasteKindCount = 5;
+inline constexpr int kWasteKindCount = 7;
 const char* WasteKindName(WasteKind kind);
+
+// Every category, in enum order. Keep in sync with the enum above — the
+// round-trip test (tests/obs/wastekind_roundtrip_test.cc) walks this array
+// and fails if a category is missing a name or a name maps back wrong.
+inline constexpr WasteKind kAllWasteKinds[] = {
+    WasteKind::kFailedAttempt, WasteKind::kColdInit,
+    WasteKind::kHedgeLoser,    WasteKind::kStraggler,
+    WasteKind::kDeadLetter,    WasteKind::kFailedEgress,
+    WasteKind::kCrossZoneDetour,
+};
+
+// Inverse of WasteKindName; nullopt for unrecognized names.
+std::optional<WasteKind> WasteKindFromName(std::string_view name);
 
 // Fixed-memory streaming histogram with HDR-style integer bucketing: values
 // are floored to int64 and bucketed by (octave, sub-bucket) using bit
@@ -127,11 +144,16 @@ struct WindowStats {
   int64_t failures = 0;     // Terminal resolutions that failed.
   int64_t retries = 0;
   double billed_usd = 0.0;  // Accumulated in emission order (see header).
-  double waste_usd[kWasteKindCount] = {0.0, 0.0, 0.0, 0.0, 0.0};
   int64_t queue_depth_max = 0;
   int64_t busy_micros = 0;  // Execution-time overlap with this window.
   StreamingHistogram latency_us;      // Terminal e2e latency, microseconds.
   std::vector<int64_t> good;          // Per latency objective: ok && within.
+  // Colder columns (touched on waste events and network transfers only)
+  // sit behind the per-event fields so the hot path's cache-line footprint
+  // stays what it was before the network columns were added.
+  double waste_usd[kWasteKindCount] = {};
+  int64_t net_bytes = 0;    // Payload bytes entering the network this window.
+  double net_usd = 0.0;     // Transfer USD, accumulated in emission order.
 
   double WasteTotal() const;
 };
@@ -156,6 +178,14 @@ class TimeSeries {
   // event, so the per-call budget is a few ns — a cached-window hit plus one
   // counter update, no out-of-line call.
   void RecordArrival(MicroSecs t) { ++WindowFor(t).arrivals; }
+  // Arrival-side hook: the arrival count and the queue-depth high-water
+  // mark share one window lookup (they always fire together in the
+  // simulator hot loops).
+  void RecordArrivalQueued(MicroSecs t, int64_t depth) {
+    WindowStats& w = WindowFor(t);
+    ++w.arrivals;
+    w.queue_depth_max = std::max(w.queue_depth_max, depth);
+  }
   void RecordDispatch(MicroSecs t, bool cold) {
     WindowStats& w = WindowFor(t);
     ++w.dispatches;
@@ -171,8 +201,30 @@ class TimeSeries {
   // the terminal span is priced, in the same order — reconciliation is
   // bitwise (see file header).
   void RecordBilled(MicroSecs t, Usd usd) { WindowFor(t).billed_usd += usd; }
+  // Dispatch-side hook for one executed attempt: the dispatch/cold-start
+  // counts land in the dispatch window and the billed USD in the end
+  // window, two lookups instead of three. The billed add runs exactly where
+  // a RecordDispatch + RecordBilled pair would, so the emission-order
+  // bitwise contract above is unchanged.
+  void RecordDispatchBilled(MicroSecs dispatch_t, MicroSecs end, bool cold,
+                            Usd billed) {
+    WindowStats& d = WindowFor(dispatch_t);
+    ++d.dispatches;
+    if (cold) {
+      ++d.cold_starts;
+    }
+    WindowFor(end).billed_usd += billed;
+  }
   void RecordWaste(MicroSecs t, WasteKind kind, Usd usd) {
     WindowFor(t).waste_usd[static_cast<int>(kind)] += usd;
+  }
+  // Network transfer USD at the transfer span's end time. Same bitwise
+  // contract as RecordBilled: call where the transfer is priced, in the
+  // same order, so ReconcileTransferUsd can compare without an epsilon.
+  void RecordTransfer(MicroSecs t, int64_t bytes, Usd usd) {
+    WindowStats& w = WindowFor(t);
+    w.net_bytes += bytes;
+    w.net_usd += usd;
   }
   void RecordQueueDepth(MicroSecs t, int64_t depth) {
     WindowStats& w = WindowFor(t);
@@ -189,13 +241,17 @@ class TimeSeries {
   // given the same recording sequence).
   Usd TotalBilledUsd() const;
   Usd TotalWasteUsd(WasteKind kind) const;
+  // Sums of per-window network columns, folded in window order.
+  Usd TotalNetUsd() const;
+  int64_t TotalNetBytes() const;
 
  private:
   // Hot path: one branch against the last-hit window. Simulators emit events
   // in near-sorted sim time, so consecutive hooks almost always land in the
   // same window and skip both the 64-bit division and the slow-path call.
   WindowStats& WindowFor(MicroSecs t) {
-    sealed_objectives_ = true;
+    // The cache starts cold, so the first record always reaches
+    // WindowForSlow, which seals the objective list — no store needed here.
     if (t >= cached_lo_ && t - cached_lo_ < window_) {
       return windows_[static_cast<size_t>(cached_idx_)];
     }
@@ -232,6 +288,14 @@ BilledReconciliation ReconcileBilledUsd(const TimeSeries& series,
 // RecordBilled inline). Iterates spans in emission order; by construction
 // the series then reconciles bitwise against the same span vector.
 void IngestBilledSpans(TimeSeries& series, const std::vector<Span>& spans);
+
+// Same bitwise reconciliation for the network column: the USD carried on
+// kTransfer spans (bucketed by end time, folded in emission order) must
+// reproduce the series' per-window net_usd exactly. kTransfer spans are
+// non-terminal, so the compute-billing reconciliation above never sees them
+// and the two columns stay disjoint.
+BilledReconciliation ReconcileTransferUsd(const TimeSeries& series,
+                                          const std::vector<Span>& spans);
 
 }  // namespace faascost
 

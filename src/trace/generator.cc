@@ -31,6 +31,7 @@ double KumaraswamyParams::Cdf(double x) const {
 TraceGenerator::TraceGenerator(TraceGenConfig config, uint64_t seed)
     : config_(std::move(config)),
       rng_(seed),
+      payload_seed_(DeriveSeed(seed, kNetStream)),
       popularity_(std::max<int64_t>(config_.num_functions, 1), config_.zipf_exponent) {
   assert(!config_.combos.empty());
   // Global lognormal location from the target mean and the combined sigma.
@@ -116,11 +117,37 @@ std::vector<RequestRecord> TraceGenerator::Generate() {
   std::vector<RequestRecord> out;
   out.reserve(static_cast<size_t>(config_.num_requests));
   Rng rng = rng_.Fork();
+  // Payload draws live on their own stream (see TraceGenConfig): the main
+  // stream's draw sequence — and with it every other field — is the same
+  // whether payload synthesis is on or off.
+  const bool want_req_payload = config_.payload_request_mean_kb > 0.0;
+  const bool want_resp_payload = config_.payload_response_mean_kb > 0.0;
+  Rng payload_rng(payload_seed_);
+  const double req_mu =
+      want_req_payload
+          ? std::log(config_.payload_request_mean_kb * 1024.0) -
+                config_.payload_request_ln_sigma * config_.payload_request_ln_sigma / 2.0
+          : 0.0;
+  const double resp_mu =
+      want_resp_payload
+          ? std::log(config_.payload_response_mean_kb * 1024.0) -
+                config_.payload_response_ln_sigma * config_.payload_response_ln_sigma / 2.0
+          : 0.0;
   for (int64_t i = 0; i < config_.num_requests; ++i) {
     const int64_t fid = popularity_.Sample(rng) - 1;
     const FunctionProfile& fn = functions_[static_cast<size_t>(fid)];
     const MicroSecs arrival = rng.UniformInt(0, config_.window - 1);
     out.push_back(MakeRequest(fn, arrival, rng));
+    if (want_req_payload) {
+      out.back().req_bytes = std::max<int64_t>(
+          1, static_cast<int64_t>(
+                 payload_rng.LogNormal(req_mu, config_.payload_request_ln_sigma)));
+    }
+    if (want_resp_payload) {
+      out.back().resp_bytes = std::max<int64_t>(
+          1, static_cast<int64_t>(
+                 payload_rng.LogNormal(resp_mu, config_.payload_response_ln_sigma)));
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const RequestRecord& a, const RequestRecord& b) { return a.arrival < b.arrival; });

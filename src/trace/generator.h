@@ -93,6 +93,17 @@ struct TraceGenConfig {
   // RNG draws happen, so existing traces are unchanged).
   double failure_rate_mean = 0.0;
   double failure_rate_alpha = 0.6;
+
+  // Payload synthesis for the network model (src/net): lognormal body sizes
+  // stamped on req_bytes/resp_bytes. A mean of 0 disables that side (the
+  // default; no RNG draws happen, so existing traces are unchanged). Enabled
+  // draws come from a dedicated kNetStream-derived Rng, never the main
+  // generator stream, so every other field of the trace stays bit-identical
+  // to a payload-less run of the same seed.
+  double payload_request_mean_kb = 0.0;
+  double payload_request_ln_sigma = 1.0;
+  double payload_response_mean_kb = 0.0;
+  double payload_response_ln_sigma = 1.0;
 };
 
 // Static per-function characteristics drawn once.
@@ -125,6 +136,7 @@ class TraceGenerator {
 
   TraceGenConfig config_;
   Rng rng_;
+  uint64_t payload_seed_ = 0;  // DeriveSeed(seed, kNetStream); see config.
   std::vector<FunctionProfile> functions_;
   ZipfTable popularity_;
 };

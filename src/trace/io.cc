@@ -13,9 +13,13 @@ namespace faascost {
 
 namespace {
 
+// v2 header: the two payload columns were appended for the network model.
+// The reader accepts both widths (and either header), so v1 extracts keep
+// loading; absent payload columns parse as 0 = "unrecorded".
 constexpr const char* kHeader =
     "function_id,arrival_us,exec_us,cpu_us,alloc_vcpus,alloc_mem_mb,"
-    "used_mem_mb,cold_start,init_us";
+    "used_mem_mb,cold_start,init_us,req_bytes,resp_bytes";
+constexpr std::string_view kHeaderPrefix = "function_id,";
 
 bool ParseField(std::string_view field, int64_t& out) {
   const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), out);
@@ -37,9 +41,9 @@ bool ParseField(std::string_view field, double& out) {
 }
 
 bool ParseLine(std::string_view line, RequestRecord& r) {
-  std::string_view fields[9];
+  std::string_view fields[11];
   size_t n = 0;
-  while (n < 9) {
+  while (n < 11) {
     const size_t comma = line.find(',');
     fields[n++] = line.substr(0, comma);
     if (comma == std::string_view::npos) {
@@ -47,7 +51,7 @@ bool ParseLine(std::string_view line, RequestRecord& r) {
     }
     line.remove_prefix(comma + 1);
   }
-  if (n != 9) {
+  if (n != 9 && n != 11) {
     return false;
   }
   int64_t cold = 0;
@@ -56,6 +60,10 @@ bool ParseLine(std::string_view line, RequestRecord& r) {
       !ParseField(fields[4], r.alloc_vcpus) || !ParseField(fields[5], r.alloc_mem_mb) ||
       !ParseField(fields[6], r.used_mem_mb) || !ParseField(fields[7], cold) ||
       !ParseField(fields[8], r.init_duration)) {
+    return false;
+  }
+  if (n == 11 &&
+      (!ParseField(fields[9], r.req_bytes) || !ParseField(fields[10], r.resp_bytes))) {
     return false;
   }
   r.cold_start = cold != 0;
@@ -71,7 +79,7 @@ size_t WriteTraceCsv(std::ostream& out, const std::vector<RequestRecord>& record
     out << r.function_id << ',' << r.arrival << ',' << r.exec_duration << ','
         << r.cpu_time << ',' << r.alloc_vcpus << ',' << r.alloc_mem_mb << ','
         << r.used_mem_mb << ',' << (r.cold_start ? 1 : 0) << ',' << r.init_duration
-        << '\n';
+        << ',' << r.req_bytes << ',' << r.resp_bytes << '\n';
   }
   return records.size();
 }
@@ -95,7 +103,9 @@ std::vector<RequestRecord> ReadTraceCsv(std::istream& in, size_t* skipped) {
   size_t bad = 0;
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty() || line == kHeader) {
+    // Skip any header row, current or legacy width.
+    if (line.empty() || std::string_view(line).substr(0, kHeaderPrefix.size()) ==
+                            kHeaderPrefix) {
       continue;
     }
     RequestRecord r;

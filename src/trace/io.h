@@ -4,7 +4,9 @@
 //
 // Format (header included):
 //   function_id,arrival_us,exec_us,cpu_us,alloc_vcpus,alloc_mem_mb,
-//   used_mem_mb,cold_start,init_us
+//   used_mem_mb,cold_start,init_us,req_bytes,resp_bytes
+// The reader also accepts the legacy 9-column layout (no payload columns);
+// missing payload sizes load as 0 = "unrecorded".
 
 #ifndef FAASCOST_TRACE_IO_H_
 #define FAASCOST_TRACE_IO_H_

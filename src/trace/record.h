@@ -101,6 +101,12 @@ struct RequestRecord {
   Outcome outcome = Outcome::kOk;
   int attempt = 1;            // 1-based client attempt number.
   double failure_rate = 0.0;  // Per-attempt failure probability of the function.
+  // Payload sizes for the network model (src/net). 0 means "unrecorded":
+  // simulators then fall back to the NetworkModel's deterministic payload
+  // draw (or move nothing when the model is disabled). Not part of the
+  // digest-audited record shape, so pinned digests stay valid.
+  int64_t req_bytes = 0;   // Client-request body entering the platform.
+  int64_t resp_bytes = 0;  // Response body returned to the client.
 
   // Fraction of the CPU allocation actually consumed over exec_duration.
   double CpuUtilization() const {

@@ -11,17 +11,32 @@ int WorkflowDag::AddHop(HopSpec hop) {
   hops.push_back(std::move(hop));
   children.emplace_back();
   parents.emplace_back();
+  child_bytes.emplace_back();
   return static_cast<int>(hops.size()) - 1;
 }
 
-void WorkflowDag::AddEdge(int from, int to) {
+void WorkflowDag::AddEdge(int from, int to, int64_t bytes) {
   const int n = static_cast<int>(hops.size());
   if (from >= 0 && from < n) {
     children[static_cast<size_t>(from)].push_back(to);
+    child_bytes[static_cast<size_t>(from)].push_back(bytes);
   }
   if (to >= 0 && to < n) {
     parents[static_cast<size_t>(to)].push_back(from);
   }
+}
+
+int64_t WorkflowDag::EdgeBytes(int from, int to) const {
+  if (from < 0 || static_cast<size_t>(from) >= children.size()) {
+    return 0;
+  }
+  const std::vector<int>& kids = children[static_cast<size_t>(from)];
+  for (size_t i = 0; i < kids.size(); ++i) {
+    if (kids[i] == to && i < child_bytes[static_cast<size_t>(from)].size()) {
+      return child_bytes[static_cast<size_t>(from)][i];
+    }
+  }
+  return 0;
 }
 
 std::vector<int> WorkflowDag::Sources() const {
@@ -129,6 +144,14 @@ std::vector<std::string> WorkflowDag::Validate() const {
         errors.push_back(where + ": self-edge");
       }
     }
+    for (const int64_t b : child_bytes[static_cast<size_t>(h)]) {
+      if (b < 0) {
+        errors.push_back(where + ": edge payload bytes must be non-negative");
+      }
+    }
+  }
+  if (input_bytes < 0 || output_bytes < 0) {
+    errors.push_back("dag '" + name + "': input/output bytes must be non-negative");
   }
   if (errors.empty() && TopoOrder().empty()) {
     errors.push_back("dag '" + name + "': contains a cycle");
@@ -200,6 +223,15 @@ WorkflowDag MakeMapReduceDag(const std::string& name, int mappers, const HopSpec
     dag.AddEdge(s + 1 + i, r);
   }
   return dag;
+}
+
+void ApplyUniformPayloads(WorkflowDag& dag, int64_t input, int64_t edge,
+                          int64_t output) {
+  dag.input_bytes = input;
+  dag.output_bytes = output;
+  for (std::vector<int64_t>& bytes : dag.child_bytes) {
+    std::fill(bytes.begin(), bytes.end(), edge);
+  }
 }
 
 }  // namespace faascost

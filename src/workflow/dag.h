@@ -13,6 +13,7 @@
 #ifndef FAASCOST_WORKFLOW_DAG_H_
 #define FAASCOST_WORKFLOW_DAG_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -59,11 +60,24 @@ struct WorkflowDag {
   std::vector<HopSpec> hops;
   std::vector<std::vector<int>> children;  // children[h] = downstream hops.
   std::vector<std::vector<int>> parents;   // parents[h] = upstream hops.
+  // Data-dependency payload per edge, parallel to `children`: the bytes the
+  // producer ships to that consumer when it succeeds. Only consulted when a
+  // NetworkModel is attached to the engine; 0 = the edge carries a signal,
+  // no payload.
+  std::vector<std::vector<int64_t>> child_bytes;
+  // Client-facing payloads: `input_bytes` travels from the internet to every
+  // source hop at workflow arrival; `output_bytes` travels from each sink to
+  // the internet at resolution (failed workflows ship an error body instead).
+  int64_t input_bytes = 0;
+  int64_t output_bytes = 0;
 
   // Appends a hop and returns its index; keeps the adjacency arrays sized.
   int AddHop(HopSpec hop);
-  // Adds the edge from -> to. Indices must already exist (Validate checks).
-  void AddEdge(int from, int to);
+  // Adds the edge from -> to, carrying `bytes` of producer output. Indices
+  // must already exist (Validate checks).
+  void AddEdge(int from, int to, int64_t bytes = 0);
+  // Payload on the from -> to edge; 0 when absent.
+  int64_t EdgeBytes(int from, int to) const;
 
   std::vector<int> Sources() const;
   std::vector<int> Sinks() const;
@@ -90,6 +104,13 @@ WorkflowDag MakeFanOutDag(const std::string& name, int width, int quorum,
 // Map-reduce: a splitter, `mappers` parallel map hops, and a reduce join
 // whose execution scales with the mapper count (shuffle cost).
 WorkflowDag MakeMapReduceDag(const std::string& name, int mappers, const HopSpec& proto);
+
+// Stamps a uniform payload profile onto a built DAG: `input` bytes of client
+// ingress into every source, `edge` bytes on every existing edge, `output`
+// bytes of egress from every sink. Convenience for archetype DAGs built
+// without per-edge sizes; set child_bytes directly for non-uniform shapes.
+void ApplyUniformPayloads(WorkflowDag& dag, int64_t input, int64_t edge,
+                          int64_t output);
 
 }  // namespace faascost
 

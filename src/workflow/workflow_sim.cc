@@ -129,6 +129,9 @@ struct HopState {
   int client_attempts = 0;  // Sync client attempts, incl. kCircuitOpen rows.
   int redrives = 0;
   std::vector<int64_t> open;  // Open attempt rows, ascending.
+  // Earliest time every inbound edge payload has landed (network runs only):
+  // the first dispatch waits for it.
+  MicroSecs data_ready = 0;
 };
 
 struct WfState {
@@ -146,6 +149,11 @@ struct WfState {
   Usd usd_attempts = 0.0;
   int64_t transitions = 0;
   int64_t dead_letters = 0;
+  Usd usd_network = 0.0;
+  Usd usd_net_detour = 0.0;
+  // Latest sink-egress landing time: the client has not "seen" the result
+  // until its payload arrives, so ws.end extends to cover it.
+  MicroSecs net_end = 0;
 };
 
 // Engine-private per-attempt bookkeeping, parallel to result.attempts.
@@ -297,6 +305,56 @@ class Engine {
     cfg_.trace->Record(s);
   }
 
+  // Maps the hop's engine zone into the attached model's zone space.
+  int NetZone(const HopSpec& spec) const {
+    return cfg_.network->ZoneOf(static_cast<int64_t>(ZoneOf(spec)));
+  }
+
+  // Walks the tiered meter in event-processing order, books the marginal
+  // charge to the instance and the run, and emits telemetry. kTransfer spans
+  // are non-terminal, so the billed-USD and transfer-USD columns stay
+  // disjoint and each reconciles independently. Waste attribution is
+  // disjoint, first match wins: a failed sink's egress wastes the whole
+  // charge; a rerouted-but-successful transfer wastes the detour surcharge.
+  // Returns the transfer time.
+  MicroSecs MeterTransfer(int src_zone, int dst_zone, int64_t bytes, int64_t wf,
+                          int hop, bool failed_egress) {
+    if (bytes <= 0) {
+      return 0;
+    }
+    const TransferCharge c = cfg_.network->Transfer(src_zone, dst_zone, bytes, now_);
+    WfState& ws = wfs_[static_cast<size_t>(wf)];
+    ws.usd_network += c.usd;
+    ws.usd_net_detour += c.detour_usd;
+    res_.usd_network += c.usd;
+    res_.usd_network_detour += c.detour_usd;
+    ++res_.net_transfers;
+    res_.net_bytes += c.bytes;
+    const MicroSecs end = now_ + c.time;
+    if (cfg_.timeseries != nullptr) {
+      cfg_.timeseries->RecordTransfer(end, c.bytes, c.usd);
+      if (failed_egress) {
+        cfg_.timeseries->RecordWaste(end, WasteKind::kFailedEgress, c.usd);
+      } else if (c.detour_usd > 0.0) {
+        cfg_.timeseries->RecordWaste(end, WasteKind::kCrossZoneDetour, c.detour_usd);
+      }
+    }
+    if (cfg_.trace != nullptr) {
+      Span s;
+      s.kind = SpanKind::kTransfer;
+      s.group = kTrackGroupWorkflow;
+      s.track = wf;
+      s.start = now_;
+      s.duration = c.time;
+      s.req_idx = hop;
+      s.ref = c.bytes;
+      s.status = c.rerouted ? "rerouted" : "";
+      s.billed_usd = c.usd;
+      cfg_.trace->Record(s);
+    }
+    return c.time;
+  }
+
   void EmitBackoffSpan(int64_t wf, int hop, int attempt, MicroSecs delay) {
     if (cfg_.trace == nullptr) {
       return;
@@ -398,8 +456,22 @@ class Engine {
       cfg_.timeseries->RecordArrival(now_);
     }
     for (const int src : dag.Sources()) {
-      ws.hops[static_cast<size_t>(src)].dispatched = true;
-      DispatchAttempt(wf, src, /*hedge=*/false, /*redrive=*/false);
+      HopState& hs = ws.hops[static_cast<size_t>(src)];
+      hs.dispatched = true;
+      // Client ingress: the input payload travels internet -> source zone
+      // before the source can start.
+      MicroSecs xfer = 0;
+      if (cfg_.network != nullptr && dag.input_bytes > 0) {
+        xfer = MeterTransfer(NetworkModel::kInternet,
+                             NetZone(dag.hops[static_cast<size_t>(src)]),
+                             dag.input_bytes, wf, src, /*failed_egress=*/false);
+      }
+      if (xfer > 0) {
+        hs.data_ready = now_ + xfer;
+        Schedule({now_ + xfer, 0, EvKind::kDispatch, wf, src, -1, kFlavorClient});
+      } else {
+        DispatchAttempt(wf, src, /*hedge=*/false, /*redrive=*/false);
+      }
     }
   }
 
@@ -456,6 +528,13 @@ class Engine {
     row.platform_dispatched = true;
     ++res_.counters.dispatched_attempts;
     ++ws.transitions;
+    if (cfg_.network != nullptr) {
+      // Storage ops the attempt performs (class A mutate / class B read),
+      // flat-priced by the model's meter.
+      const Usd ops = cfg_.network->MeterRequestOps();
+      ws.usd_network += ops;
+      res_.usd_network += ops;
+    }
 
     Rng rng(AttemptSeed(wf, hop, ordinal));
     const int zone = ZoneOf(spec);
@@ -680,10 +759,21 @@ class Engine {
       }
     }
     if (dag.children[static_cast<size_t>(hop)].empty()) {
-      SinkResolved(wf, /*sink_success=*/true);
+      SinkResolved(wf, hop, /*sink_success=*/true);
     }
     for (const int c : dag.children[static_cast<size_t>(hop)]) {
       HopState& cs = ws.hops[static_cast<size_t>(c)];
+      if (cfg_.network != nullptr) {
+        // Ship the edge payload producer zone -> consumer zone now; the
+        // consumer's first dispatch waits for every inbound payload.
+        const int64_t bytes = dag.EdgeBytes(hop, c);
+        if (bytes > 0) {
+          const MicroSecs xfer =
+              MeterTransfer(NetZone(Spec(ws.dag, hop)), NetZone(Spec(ws.dag, c)),
+                            bytes, wf, c, /*failed_egress=*/false);
+          cs.data_ready = std::max(cs.data_ready, now_ + xfer);
+        }
+      }
       ++cs.succeeded_parents;
       ++cs.terminal_parents;
       CheckReadiness(wf, c);
@@ -701,7 +791,7 @@ class Engine {
       ws.root_cause = oc;
     }
     if (dag.children[static_cast<size_t>(hop)].empty()) {
-      SinkResolved(wf, /*sink_success=*/false);
+      SinkResolved(wf, hop, /*sink_success=*/false);
     }
     for (const int c : dag.children[static_cast<size_t>(hop)]) {
       ++ws.hops[static_cast<size_t>(c)].terminal_parents;
@@ -732,7 +822,12 @@ class Engine {
           }
         }
       }
-      DispatchAttempt(wf, c, /*hedge=*/false, /*redrive=*/false);
+      if (cs.data_ready > now_) {
+        // Inbound edge payloads are still in flight: start when they land.
+        Schedule({cs.data_ready, 0, EvKind::kDispatch, wf, c, -1, kFlavorClient});
+      } else {
+        DispatchAttempt(wf, c, /*hedge=*/false, /*redrive=*/false);
+      }
       return;
     }
     if (cs.succeeded_parents + (n - cs.terminal_parents) < req) {
@@ -748,16 +843,30 @@ class Engine {
     }
   }
 
-  void SinkResolved(int64_t wf, bool sink_success) {
+  void SinkResolved(int64_t wf, int hop, bool sink_success) {
     WfState& ws = wfs_[static_cast<size_t>(wf)];
     if (!sink_success) {
       ++ws.failed_sinks;
+    }
+    if (cfg_.network != nullptr) {
+      // Sink egress: the client sees the result (or an error body) only
+      // after it crosses the topology, so the instance's end extends to the
+      // latest landing.
+      const int64_t bytes = sink_success
+                                ? Dag(ws.dag).output_bytes
+                                : cfg_.network->config().error_response_bytes;
+      if (bytes > 0) {
+        const MicroSecs xfer =
+            MeterTransfer(NetZone(Spec(ws.dag, hop)), NetworkModel::kInternet,
+                          bytes, wf, hop, /*failed_egress=*/!sink_success);
+        ws.net_end = std::max(ws.net_end, now_ + xfer);
+      }
     }
     if (--ws.pending_sinks > 0) {
       return;
     }
     ws.done = true;
-    ws.end = now_;
+    ws.end = std::max(now_, ws.net_end);
     const DeadlineBudgetPolicy& dl = cfg_.policy.deadline;
     if (ws.failed_sinks > 0) {
       ws.outcome =
@@ -942,7 +1051,8 @@ WorkflowSimResult Engine::Run() {
     row.arrival = ws.arrival;
     row.end = ws.end;
     row.usd = ws.usd_attempts + fee_t * static_cast<double>(ws.transitions) +
-              fee_dlq * static_cast<double>(ws.dead_letters);
+              fee_dlq * static_cast<double>(ws.dead_letters) + ws.usd_network;
+    row.usd_network = ws.usd_network;
     res_.usd_transitions += fee_t * static_cast<double>(ws.transitions);
     res_.usd_dlq += fee_dlq * static_cast<double>(ws.dead_letters);
     if (ws.outcome == Outcome::kOk) {
@@ -950,6 +1060,9 @@ WorkflowSimResult Engine::Run() {
       if (ws.degraded) {
         ++res_.counters.degraded_successes;
       }
+      // A successful instance's network spend is useful, except the part an
+      // outage detour forced on it.
+      res_.usd_useful += ws.usd_network - ws.usd_net_detour;
     } else {
       ++res_.counters.workflows_failed;
     }
@@ -967,7 +1080,8 @@ WorkflowSimResult Engine::Run() {
       cfg_.trace->Record(s);
     }
   }
-  res_.usd_total = res_.usd_attempts + res_.usd_transitions + res_.usd_dlq;
+  res_.usd_total =
+      res_.usd_attempts + res_.usd_transitions + res_.usd_dlq + res_.usd_network;
   for (const HopAttempt& att : res_.attempts) {
     if (res_.workflows[static_cast<size_t>(att.wf)].outcome == Outcome::kOk &&
         att.attempt.outcome == Outcome::kOk && !att.straggler) {

@@ -29,6 +29,7 @@
 #include "src/billing/model.h"
 #include "src/common/units.h"
 #include "src/integrity/integrity.h"
+#include "src/net/model.h"
 #include "src/obs/span.h"
 #include "src/platform/platform_sim.h"
 #include "src/trace/record.h"
@@ -81,6 +82,18 @@ struct WorkflowSimConfig {
   // unobserved one.
   TraceSink* trace = nullptr;
   Auditor* auditor = nullptr;
+  // Zone/region topology + transfer pricing (src/net/model.h). Attached, the
+  // engine routes client ingress (dag.input_bytes at arrival), every
+  // data-dependency edge payload (dag.child_bytes at producer success), and
+  // sink egress (dag.output_bytes, or the model's error body on failure)
+  // through the topology: transfer time delays the consumer's dispatch and
+  // extends the workflow's client-observed end; transfer bytes walk the
+  // tiered meter and land in usd_network. Storage ops are metered per
+  // platform-dispatched attempt. Hop zones map into the model via
+  // ZoneOf(spec.zone % zones). Caller-owned run state like a TraceSink; the
+  // caller mirrors ZonalOutageSpec windows into NetworkModelConfig::outages
+  // when the capacity outage should also degrade the network edge.
+  NetworkModel* network = nullptr;
   // Sim-time windowed telemetry (src/obs/timeseries.h). Billed USD is
   // recorded in CloseRow — the single point every priced attempt passes
   // through — at the attempt's terminal-span end time, so the series
@@ -126,10 +139,15 @@ struct WorkflowRow {
   Outcome outcome = Outcome::kOk;
   bool degraded = false;  // A quorum join fired before every parent finished.
   MicroSecs arrival = 0;
-  MicroSecs end = 0;  // Last sink resolution (stragglers may run longer).
+  // Last sink resolution plus any sink-egress transfer time (stragglers may
+  // run past it).
+  MicroSecs end = 0;
   // Full cost of the instance: attempt invoices + its state-transition fees
-  // + its DLQ fees.
+  // + its DLQ fees + its network charges (usd_network below).
   Usd usd = 0.0;
+  // The network share of `usd`: transfers this instance routed plus the
+  // storage ops its attempts metered. 0 when no NetworkModel is attached.
+  Usd usd_network = 0.0;
 };
 
 struct WorkflowCounters {
@@ -169,14 +187,23 @@ struct WorkflowSimResult {
   WorkflowCounters counters;
   std::vector<BreakerTransition> breaker_transitions;
 
-  // USD decomposition: usd_total = usd_attempts + usd_transitions + usd_dlq.
+  // USD decomposition:
+  //   usd_total = usd_attempts + usd_transitions + usd_dlq + usd_network.
   Usd usd_attempts = 0.0;     // Sum of per-attempt invoices.
   Usd usd_transitions = 0.0;  // dispatched_attempts * per_state_transition.
   Usd usd_dlq = 0.0;          // dead_letters * (dlq_write_fee + dlq_read_fee).
+  // Network line item: transfer charges + storage-op fees, metered through
+  // the attached NetworkModel. Zero when detached. Reconciles bitwise
+  // against kTransfer spans / windowed telemetry via ReconcileTransferUsd.
+  Usd usd_network = 0.0;
+  Usd usd_network_detour = 0.0;  // Outage-rerouting surcharge inside usd_network.
+  int64_t net_transfers = 0;
+  int64_t net_bytes = 0;
   Usd usd_total = 0.0;
   // Billed-but-wasted money: usd_total minus the invoices (plus transition
   // fees) of kOk, non-straggler attempts inside workflows that ultimately
-  // succeeded. This is the quantity deadline budgets and breakers exist to
+  // succeeded, and minus successful workflows' network spend net of detour
+  // surcharges. This is the quantity deadline budgets and breakers exist to
   // shrink.
   Usd usd_useful = 0.0;
   Usd usd_wasted = 0.0;

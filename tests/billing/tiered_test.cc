@@ -1,0 +1,164 @@
+// Tier-boundary pins for the volume-pricing walk (src/billing/tiered.h).
+// The values are hand-computed from the AWS-anchored ladder: 100 GB free,
+// then $0.09/GB to 10 TB past the free tier, $0.085 to 50 TB, $0.07 to
+// 150 TB, $0.05 beyond. kBytesPerGb is a power of two, so every expected
+// value below is an exact double product — the EXPECT_EQs are bitwise.
+
+#include "src/billing/tiered.h"
+
+#include <gtest/gtest.h>
+
+#include "src/billing/catalog.h"
+#include "src/common/units.h"
+
+namespace faascost {
+namespace {
+
+constexpr int64_t kGb = kBytesPerGb;
+constexpr int64_t kTb = 1024 * kBytesPerGb;
+constexpr int64_t kFree = 100 * kGb;
+
+TieredSchedule AwsEgress() {
+  return MakeNetworkPricing(Platform::kAwsLambda)
+      .transfer[static_cast<size_t>(TransferClass::kInternetEgress)];
+}
+
+TEST(TieredCostTest, ZeroBytesCostZero) {
+  const TieredSchedule s = AwsEgress();
+  EXPECT_EQ(TieredCost(s, 0, 0), 0.0);
+  EXPECT_EQ(TieredCost(s, 5 * kTb, 0), 0.0);
+  // Negative inputs clamp to zero instead of underflowing the walk.
+  EXPECT_EQ(TieredCost(s, -7, -7), 0.0);
+}
+
+TEST(TieredCostTest, FreeTierBoundary) {
+  const TieredSchedule s = AwsEgress();
+  // One byte below, exactly at, and one byte past the 100 GB free tier.
+  EXPECT_EQ(TieredCost(s, 0, kFree - 1), 0.0);
+  EXPECT_EQ(TieredCost(s, 0, kFree), 0.0);
+  // The +1 transfer straddles the boundary: 1 byte free, 1 byte at $0.09/GB.
+  EXPECT_EQ(TieredCost(s, kFree - 1, 2),
+            0.09 * (1.0 / static_cast<double>(kGb)));
+  // A whole GB past the boundary bills exactly one GB at tier-1 rate.
+  EXPECT_EQ(TieredCost(s, kFree, kGb), 0.09 * 1.0);
+}
+
+TEST(TieredCostTest, MidLadderBoundary) {
+  const TieredSchedule s = AwsEgress();
+  const int64_t t1_end = kFree + 10 * kTb;  // Where $0.09 hands over to $0.085.
+  EXPECT_EQ(TieredCost(s, t1_end - kGb, kGb), 0.09 * 1.0);
+  EXPECT_EQ(TieredCost(s, t1_end, kGb), 0.085 * 1.0);
+  // Straddle: half a tier-1 GB, half a tier-2 GB, folded in tier order.
+  EXPECT_EQ(TieredCost(s, t1_end - kGb / 2, kGb),
+            0.09 * 0.5 + 0.085 * 0.5);
+}
+
+TEST(TieredCostTest, BeyondLastTier) {
+  const TieredSchedule s = AwsEgress();
+  const int64_t last = kFree + 150 * kTb;  // Start of the unbounded $0.05 tier.
+  EXPECT_EQ(TieredCost(s, last, 10 * kGb), 0.05 * 10.0);
+  EXPECT_EQ(TieredCost(s, last + 400 * kTb, kGb), 0.05 * 1.0);
+}
+
+TEST(TieredCostTest, MultiTierWalkFoldsInOrder) {
+  const TieredSchedule s = AwsEgress();
+  // 100 GB free + full 10 TB tier 1 + 1 GB of tier 2, in one transfer.
+  const int64_t add = kFree + 10 * kTb + kGb;
+  EXPECT_DOUBLE_EQ(TieredCost(s, 0, add), 0.09 * 10240.0 + 0.085 * 1.0);
+  // Split transfers walk the same segments from the same cumulative state.
+  EXPECT_DOUBLE_EQ(TieredCost(s, 0, kFree + kGb) + TieredCost(s, kFree + kGb, 10 * kTb),
+                   TieredCost(s, 0, add));
+}
+
+TEST(TieredScheduleTest, ValidateCatchesMalformedLadders) {
+  TieredSchedule empty;
+  EXPECT_FALSE(empty.Validate().empty());
+
+  TieredSchedule unsorted;
+  unsorted.tiers = {{10 * kGb, 0.0}, {5 * kGb, 0.09}, {kNoTierLimit, 0.05}};
+  EXPECT_FALSE(unsorted.Validate().empty());
+
+  TieredSchedule bounded;
+  bounded.tiers = {{10 * kGb, 0.09}};  // No unbounded last tier.
+  EXPECT_FALSE(bounded.Validate().empty());
+
+  EXPECT_TRUE(AwsEgress().Validate().empty());
+}
+
+TEST(TrafficMeterTest, MarginalChargesTrackCumulativePosition) {
+  TrafficMeter meter(MakeNetworkPricing(Platform::kAwsLambda));
+  // First 100 GB of the month is free...
+  EXPECT_EQ(meter.AddTransfer(TransferClass::kInternetEgress, kFree, 0), 0.0);
+  // ...and the very next GB bills at tier-1 rate: the meter remembered.
+  EXPECT_EQ(meter.AddTransfer(TransferClass::kInternetEgress, kGb, 0), 0.09 * 1.0);
+  EXPECT_EQ(meter.PeriodBytes(TransferClass::kInternetEgress), kFree + kGb);
+  // Classes accumulate independently.
+  EXPECT_EQ(meter.AddTransfer(TransferClass::kInterZone, kGb, 0), 0.01 * 1.0);
+  EXPECT_EQ(meter.bill().bytes[static_cast<size_t>(TransferClass::kInterZone)], kGb);
+}
+
+TEST(TrafficMeterTest, CostIfAddedMatchesAddTransferBitwise) {
+  TrafficMeter meter(MakeNetworkPricing(Platform::kAwsLambda));
+  meter.AddTransfer(TransferClass::kInternetEgress, kFree - kGb, 0);
+  const Usd preview = meter.CostIfAdded(TransferClass::kInternetEgress, 3 * kGb, 0);
+  EXPECT_EQ(meter.AddTransfer(TransferClass::kInternetEgress, 3 * kGb, 0), preview);
+}
+
+TEST(TrafficMeterTest, BillingPeriodRollsForwardOnly) {
+  NetworkPricing pricing = MakeNetworkPricing(Platform::kAwsLambda);
+  const MicroSecs month = pricing.billing_period;
+  TrafficMeter meter(pricing);
+  meter.AddTransfer(TransferClass::kInternetEgress, kFree, 0);
+  EXPECT_EQ(meter.AddTransfer(TransferClass::kInternetEgress, kGb, 0), 0.09 * 1.0);
+  // A new month resets the cumulative position: the free tier is back.
+  EXPECT_EQ(meter.AddTransfer(TransferClass::kInternetEgress, kGb, month), 0.0);
+  // A slightly-stale timestamp after the roll must not roll backwards.
+  EXPECT_EQ(meter.PeriodBytes(TransferClass::kInternetEgress), kGb);
+  EXPECT_EQ(meter.AddTransfer(TransferClass::kInternetEgress, kGb, month - 1), 0.0);
+  EXPECT_EQ(meter.PeriodBytes(TransferClass::kInternetEgress), 2 * kGb);
+  // The run-level bill keeps counting across periods.
+  EXPECT_EQ(meter.bill().bytes[static_cast<size_t>(TransferClass::kInternetEgress)],
+            kFree + 3 * kGb);
+}
+
+TEST(TrafficMeterTest, StorageOperationFees) {
+  TrafficMeter meter(MakeNetworkPricing(Platform::kAwsLambda));
+  // S3-standard: $5 per million class A, $0.40 per million class B.
+  EXPECT_EQ(meter.AddOps(1'000'000, 0), 5e-6 * 1e6);
+  EXPECT_EQ(meter.AddOps(0, 1'000'000), 4e-7 * 1e6);
+  EXPECT_EQ(meter.bill().class_a_ops, 1'000'000);
+  EXPECT_EQ(meter.bill().class_b_ops, 1'000'000);
+  EXPECT_DOUBLE_EQ(meter.bill().ops_usd, 5.0 + 0.4);
+}
+
+TEST(NetworkPricingCatalogTest, EveryPlatformValidatesClean) {
+  for (const Platform p : AllPlatforms()) {
+    const NetworkPricing n = MakeNetworkPricing(p);
+    EXPECT_TRUE(n.Validate().empty()) << PlatformName(p);
+  }
+}
+
+TEST(NetworkPricingCatalogTest, ProviderDifferentiatorsHold) {
+  // Cloudflare's zero-egress pitch: a petabyte out costs nothing.
+  const NetworkPricing cf = MakeNetworkPricing(Platform::kCloudflareWorkers);
+  EXPECT_EQ(TieredCost(cf.transfer[static_cast<size_t>(TransferClass::kInternetEgress)],
+                       0, 1024 * kTb),
+            0.0);
+  // Oracle's 10 TB free month: boundary behaves like AWS's 100 GB one.
+  const NetworkPricing oci = MakeNetworkPricing(Platform::kOracleFunctions);
+  const TieredSchedule& oe =
+      oci.transfer[static_cast<size_t>(TransferClass::kInternetEgress)];
+  EXPECT_EQ(TieredCost(oe, 0, 10 * kTb), 0.0);
+  EXPECT_EQ(TieredCost(oe, 10 * kTb, kGb), 0.0085 * 1.0);
+  // Ingress is free on every platform in the catalog.
+  for (const Platform p : AllPlatforms()) {
+    const NetworkPricing n = MakeNetworkPricing(p);
+    EXPECT_EQ(TieredCost(n.transfer[static_cast<size_t>(TransferClass::kInternetIngress)],
+                         0, 100 * kTb),
+              0.0)
+        << PlatformName(p);
+  }
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,195 @@
+// Fleet simulation with a NetworkModel attached: payload routing, client
+// latency extension, bitwise USD reconciliation, and the null contract.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/billing/catalog.h"
+#include "src/cluster/fleet_sim.h"
+#include "src/net/model.h"
+#include "src/obs/span.h"
+#include "src/obs/timeseries.h"
+#include "src/trace/generator.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kSec = kMicrosPerSec;
+constexpr MicroSecs kMs = kMicrosPerMilli;
+
+bool BitEq(double a, double b) {
+  uint64_t ua = 0;
+  uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+std::vector<RequestRecord> SmallTrace(double failure_rate = 0.0) {
+  TraceGenConfig cfg;
+  cfg.num_requests = 2'000;
+  cfg.num_functions = 50;
+  cfg.window = 120 * kSec;
+  cfg.payload_request_mean_kb = 16.0;
+  cfg.payload_response_mean_kb = 64.0;
+  cfg.failure_rate_mean = failure_rate;
+  return TraceGenerator(cfg, 404).Generate();
+}
+
+NetworkModelConfig NetConfig() {
+  NetworkModelConfig c;
+  c.topology.zones = 4;
+  c.topology.zones_per_region = 4;
+  return c;
+}
+
+FleetSimConfig QuickConfig() {
+  FleetSimConfig c;
+  c.keepalive = 60 * kSec;
+  c.init_duration = 400 * kMs;
+  return c;
+}
+
+TEST(FleetNet, NullNetworkIsBitIdenticalToDefault) {
+  const auto billing = MakeBillingModel(Platform::kAwsLambda);
+  const auto trace = SmallTrace();
+  FleetSimConfig plain = QuickConfig();
+  FleetSimConfig with_null = QuickConfig();
+  with_null.network = nullptr;  // Explicit null: the documented default.
+  const FleetResult a = SimulateFleet(trace, billing, plain);
+  const FleetResult b = SimulateFleet(trace, billing, with_null);
+  EXPECT_TRUE(BitEq(a.revenue, b.revenue));
+  ASSERT_EQ(a.e2e_latency.size(), b.e2e_latency.size());
+  for (size_t i = 0; i < a.e2e_latency.size(); ++i) {
+    ASSERT_EQ(a.e2e_latency[i], b.e2e_latency[i]) << i;
+  }
+  EXPECT_EQ(a.net_transfers, 0);
+  EXPECT_EQ(a.net_bytes, 0);
+  EXPECT_TRUE(BitEq(a.network_transfer_usd, 0.0));
+}
+
+TEST(FleetNet, AttachedModelMetersAndExtendsClientLatency) {
+  const auto billing = MakeBillingModel(Platform::kAwsLambda);
+  const auto trace = SmallTrace();
+
+  const FleetResult base = SimulateFleet(trace, billing, QuickConfig());
+
+  NetworkModel net(NetConfig(), MakeNetworkPricing(Platform::kAwsLambda), 404);
+  FleetSimConfig cfg = QuickConfig();
+  cfg.network = &net;
+  const FleetResult r = SimulateFleet(trace, billing, cfg);
+
+  // Every attempt moves a request and a response payload.
+  EXPECT_GT(r.net_transfers, 0);
+  EXPECT_GT(r.net_bytes, 0);
+  EXPECT_GT(r.network_transfer_usd, 0.0);
+  EXPECT_EQ(r.net_transfers, net.bill().transfers);
+
+  // Sandbox billing is untouched by the network layer.
+  EXPECT_TRUE(BitEq(r.revenue, base.revenue));
+
+  // Transfer time rides the client path: end-to-end latency can only grow.
+  ASSERT_EQ(r.e2e_latency.size(), base.e2e_latency.size());
+  int64_t grew = 0;
+  for (size_t i = 0; i < r.e2e_latency.size(); ++i) {
+    ASSERT_GE(r.e2e_latency[i], base.e2e_latency[i]) << i;
+    grew += (r.e2e_latency[i] > base.e2e_latency[i]) ? 1 : 0;
+  }
+  EXPECT_GT(grew, 0);
+}
+
+TEST(FleetNet, TransferUsdReconcilesBitwiseAgainstTelemetry) {
+  const auto billing = MakeBillingModel(Platform::kAwsLambda);
+  const auto trace = SmallTrace(/*failure_rate=*/0.05);
+
+  NetworkModel net(NetConfig(), MakeNetworkPricing(Platform::kAwsLambda), 404);
+  SpanCollector sink;
+  TimeSeries series(10 * kSec);
+  FleetSimConfig cfg = QuickConfig();
+  cfg.network = &net;
+  cfg.trace_sink = &sink;
+  cfg.timeseries = &series;
+  cfg.retry.max_attempts = 3;
+  const FleetResult r = SimulateFleet(trace, billing, cfg);
+
+  // The transfer column and the billed column stay disjoint and each
+  // reconciles bit-for-bit between spans and windowed telemetry.
+  const BilledReconciliation xfer = ReconcileTransferUsd(series, sink.spans());
+  EXPECT_TRUE(xfer.ok) << "first mismatch window " << xfer.first_mismatch_window;
+  const BilledReconciliation billed = ReconcileBilledUsd(series, sink.spans());
+  EXPECT_TRUE(billed.ok) << "first mismatch window "
+                         << billed.first_mismatch_window;
+
+  // Span-level fold of transfer USD matches the result's accumulator
+  // bitwise: both fold the same marginal charges in emission order.
+  Usd span_fold = 0.0;
+  int64_t span_bytes = 0;
+  int64_t span_count = 0;
+  for (const Span& sp : sink.spans()) {
+    if (sp.kind != SpanKind::kTransfer) {
+      continue;
+    }
+    span_fold += sp.billed_usd;
+    span_bytes += sp.ref;
+    ++span_count;
+  }
+  EXPECT_TRUE(BitEq(span_fold, r.network_transfer_usd));
+  EXPECT_EQ(span_bytes, r.net_bytes);
+  EXPECT_EQ(span_count, r.net_transfers);
+
+  // With client failures in the trace, failed egress waste is attributed.
+  EXPECT_GT(r.failed_attempts, 0);
+  EXPECT_GT(series.TotalWasteUsd(WasteKind::kFailedEgress), 0.0);
+  // No outages configured: no detours, no detour waste.
+  EXPECT_TRUE(BitEq(r.network_detour_usd, 0.0));
+  EXPECT_TRUE(BitEq(series.TotalWasteUsd(WasteKind::kCrossZoneDetour), 0.0));
+}
+
+TEST(FleetNet, OutageWindowChargesDetoursAndReroutes) {
+  const auto billing = MakeBillingModel(Platform::kAwsLambda);
+  const auto trace = SmallTrace();
+
+  NetworkModelConfig nc = NetConfig();
+  // Zone 0 carries the primary uplink; knock it out for the whole window so
+  // everything in-region detours through the backup uplink at zone 1.
+  nc.outages.push_back({/*zone=*/0, /*start=*/0, /*duration=*/10'000 * kSec});
+  NetworkModel net(nc, MakeNetworkPricing(Platform::kAwsLambda), 404);
+  SpanCollector sink;
+  TimeSeries series(10 * kSec);
+  FleetSimConfig cfg = QuickConfig();
+  cfg.network = &net;
+  cfg.trace_sink = &sink;
+  cfg.timeseries = &series;
+  const FleetResult r = SimulateFleet(trace, billing, cfg);
+
+  EXPECT_GT(net.bill().rerouted_transfers, 0);
+  EXPECT_GT(r.network_detour_usd, 0.0);
+  // Successful attempts that paid a detour surcharge show up as waste.
+  EXPECT_GT(series.TotalWasteUsd(WasteKind::kCrossZoneDetour), 0.0);
+  // Windowed telemetry reconciles bitwise against the spans: both sides
+  // fold the same marginal charges in emission order per window.
+  const BilledReconciliation xfer = ReconcileTransferUsd(series, sink.spans());
+  EXPECT_TRUE(xfer.ok) << "first mismatch window " << xfer.first_mismatch_window;
+}
+
+TEST(FleetNet, StorageOpsAreBilledPerExecutedAttempt) {
+  const auto billing = MakeBillingModel(Platform::kAwsLambda);
+  const auto trace = SmallTrace();
+
+  NetworkModelConfig nc = NetConfig();
+  nc.class_a_ops_per_request = 2;
+  nc.class_b_ops_per_request = 10;
+  NetworkModel net(nc, MakeNetworkPricing(Platform::kAwsLambda), 404);
+  FleetSimConfig cfg = QuickConfig();
+  cfg.network = &net;
+  const FleetResult r = SimulateFleet(trace, billing, cfg);
+
+  EXPECT_EQ(net.bill().class_a_ops, 2 * r.attempts);
+  EXPECT_EQ(net.bill().class_b_ops, 10 * r.attempts);
+  EXPECT_TRUE(BitEq(r.network_ops_usd, net.bill().ops_usd));
+  EXPECT_GT(r.network_ops_usd, 0.0);
+}
+
+}  // namespace
+}  // namespace faascost

@@ -1,0 +1,137 @@
+// Topology and routing invariants: canonical cloud shape, deterministic
+// shortest paths, per-class hop accounting, and store-and-forward timing.
+
+#include "src/net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace faascost {
+namespace {
+
+CloudTopologyParams FourZones() {
+  CloudTopologyParams p;
+  p.zones = 4;
+  p.zones_per_region = 4;
+  return p;
+}
+
+TEST(CloudTopologyTest, CanonicalShape) {
+  const CloudTopologyParams p = FourZones();
+  const NetTopology topo = MakeCloudTopology(p);
+  // 4 zone nodes + the internet node.
+  EXPECT_EQ(topo.node_count(), 5);
+  // Ring of 4 + primary uplink + backup uplink, single region: 6 links.
+  EXPECT_EQ(topo.link_count(), 6);
+  EXPECT_TRUE(p.Validate().empty());
+}
+
+TEST(CloudTopologyTest, TwoRegionsPeerThroughPrimaries) {
+  CloudTopologyParams p;
+  p.zones = 8;
+  p.zones_per_region = 4;
+  const NetTopology topo = MakeCloudTopology(p);
+  EXPECT_EQ(p.regions(), 2);
+  // Two rings (8) + two uplink pairs (4) + one peering link.
+  EXPECT_EQ(topo.link_count(), 13);
+  // Zone 5 (region 1) to zone 2 (region 0) crosses exactly one region hop.
+  const PathInfo path = topo.Route(5, 2, {}, {});
+  ASSERT_TRUE(path.reachable);
+  EXPECT_EQ(path.hops[static_cast<int>(TransferClass::kInterRegion)], 1);
+  EXPECT_GE(path.hops[static_cast<int>(TransferClass::kInterZone)], 2);
+  EXPECT_EQ(path.hops[static_cast<int>(TransferClass::kInternetEgress)], 0);
+}
+
+TEST(NetTopologyTest, EgressRoutesViaPrimaryUplink) {
+  const CloudTopologyParams p = FourZones();
+  const NetTopology topo = MakeCloudTopology(p);
+  const int internet = p.zones;
+  const PathInfo path = topo.Route(3, internet, {}, {});
+  ASSERT_TRUE(path.reachable);
+  // z3 -> z0 (ring) -> internet: one cross-zone hop, one egress hop. The
+  // backup uplink's latency handicap keeps it out of the healthy route.
+  EXPECT_EQ(path.hops[static_cast<int>(TransferClass::kInterZone)], 1);
+  EXPECT_EQ(path.hops[static_cast<int>(TransferClass::kInternetEgress)], 1);
+  EXPECT_EQ(path.latency, p.inter_zone_latency + p.internet_latency);
+  // Bottleneck is the 10 Gb/s uplink: 1250 bytes per microsecond.
+  EXPECT_EQ(path.bytes_per_us, p.uplink_gbps * kBytesPerUsPerGbps);
+}
+
+TEST(NetTopologyTest, IngressDirectionBillsIngressClass) {
+  const CloudTopologyParams p = FourZones();
+  const NetTopology topo = MakeCloudTopology(p);
+  const PathInfo path = topo.Route(p.zones, 3, {}, {});
+  ASSERT_TRUE(path.reachable);
+  EXPECT_EQ(path.hops[static_cast<int>(TransferClass::kInternetIngress)], 1);
+  EXPECT_EQ(path.hops[static_cast<int>(TransferClass::kInternetEgress)], 0);
+  EXPECT_EQ(path.hops[static_cast<int>(TransferClass::kInterZone)], 1);
+}
+
+TEST(NetTopologyTest, TransferTimeAddsSerialization) {
+  const CloudTopologyParams p = FourZones();
+  const NetTopology topo = MakeCloudTopology(p);
+  const PathInfo path = topo.Route(0, p.zones, {}, {});
+  ASSERT_TRUE(path.reachable);
+  // 1'250'000 bytes through 1250 B/us = exactly 1000 us of serialization.
+  EXPECT_EQ(path.TransferTime(1'250'000), p.internet_latency + 1'000);
+  EXPECT_EQ(path.TransferTime(0), path.latency);
+}
+
+TEST(NetTopologyTest, MasksReroute) {
+  const CloudTopologyParams p = FourZones();
+  const NetTopology topo = MakeCloudTopology(p);
+  const int internet = p.zones;
+  // Find and mask the primary uplink (z0 <-> internet).
+  std::vector<bool> down(static_cast<size_t>(topo.link_count()), false);
+  for (int li = 0; li < topo.link_count(); ++li) {
+    const NetLink& l = topo.link(li);
+    if (l.cls_ab == TransferClass::kInternetEgress && l.a == 0) {
+      down[static_cast<size_t>(li)] = true;
+    }
+  }
+  const PathInfo rerouted = topo.Route(0, internet, down, {});
+  ASSERT_TRUE(rerouted.reachable);
+  // z0 -> z1 (ring) -> backup uplink: pays a cross-zone hop it didn't before
+  // and squeezes through the thin backup pipe.
+  EXPECT_EQ(rerouted.hops[static_cast<int>(TransferClass::kInterZone)], 1);
+  EXPECT_EQ(rerouted.hops[static_cast<int>(TransferClass::kInternetEgress)], 1);
+  EXPECT_EQ(rerouted.bytes_per_us, p.backup_uplink_gbps * kBytesPerUsPerGbps);
+  EXPECT_FALSE(rerouted.SameRoute(topo.Route(0, internet, {}, {})));
+}
+
+TEST(NetTopologyTest, NoTransitBlocksForwardingNotTermination) {
+  const CloudTopologyParams p = FourZones();
+  const NetTopology topo = MakeCloudTopology(p);
+  std::vector<bool> no_transit(static_cast<size_t>(topo.node_count()), false);
+  no_transit[0] = true;
+  // z0 can still *be* a destination...
+  EXPECT_TRUE(topo.Route(2, 0, {}, no_transit).reachable);
+  // ...and a source...
+  EXPECT_TRUE(topo.Route(0, 2, {}, no_transit).reachable);
+  // ...but z3 -> internet may no longer forward through it: the route must
+  // go z3 -> z2 -> z1 -> backup, three links avoiding z0 entirely.
+  const PathInfo path = topo.Route(3, p.zones, {}, no_transit);
+  ASSERT_TRUE(path.reachable);
+  EXPECT_EQ(path.hops[static_cast<int>(TransferClass::kInterZone)], 2);
+  EXPECT_EQ(path.bytes_per_us, p.backup_uplink_gbps * kBytesPerUsPerGbps);
+}
+
+TEST(NetTopologyTest, RouteIsDeterministic) {
+  const NetTopology topo = MakeCloudTopology(FourZones());
+  // z1 -> z3 has two equal-latency routes around the ring; repeated calls
+  // must resolve the tie identically.
+  const PathInfo first = topo.Route(1, 3, {}, {});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(topo.Route(1, 3, {}, {}).SameRoute(first));
+  }
+  EXPECT_EQ(first.hops[static_cast<int>(TransferClass::kInterZone)], 2);
+}
+
+TEST(NetTopologyTest, DegenerateRoutes) {
+  const NetTopology topo = MakeCloudTopology(FourZones());
+  EXPECT_FALSE(topo.Route(1, 1, {}, {}).reachable);  // Same node: caller's case.
+  EXPECT_FALSE(topo.Route(-1, 2, {}, {}).reachable);
+  EXPECT_FALSE(topo.Route(0, 99, {}, {}).reachable);
+}
+
+}  // namespace
+}  // namespace faascost

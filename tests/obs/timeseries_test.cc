@@ -299,5 +299,81 @@ TEST(IngestBilledSpansTest, RoundTripsToABitwiseReconciliation) {
   EXPECT_DOUBLE_EQ(series.TotalWasteUsd(WasteKind::kColdInit), 0.0);
 }
 
+// --- Network column ---
+
+Span TransferSpan(MicroSecs start, MicroSecs duration, int64_t bytes, Usd usd) {
+  Span sp;
+  sp.kind = SpanKind::kTransfer;
+  sp.start = start;
+  sp.duration = duration;
+  sp.ref = bytes;
+  sp.billed_usd = usd;
+  return sp;
+}
+
+TEST(TimeSeriesTest, TransfersAccumulateBytesAndUsdPerWindow) {
+  TimeSeries series(1'000);
+  series.RecordTransfer(100, 4'096, 1.0e-7);
+  series.RecordTransfer(900, 8'192, 2.0e-7);
+  series.RecordTransfer(1'500, 1'024, 5.0e-8);
+  EXPECT_EQ(series.window_at(0).net_bytes, 12'288);
+  EXPECT_EQ(series.window_at(1).net_bytes, 1'024);
+  EXPECT_EQ(series.TotalNetBytes(), 13'312);
+  EXPECT_DOUBLE_EQ(series.TotalNetUsd(), 1.0e-7 + 2.0e-7 + 5.0e-8);
+  // The network column is disjoint from compute billing.
+  EXPECT_DOUBLE_EQ(series.TotalBilledUsd(), 0.0);
+}
+
+TEST(ReconcileTransferUsdTest, MatchingSeriesAndSpansReconcileBitwise) {
+  const MicroSecs width = 1'000;
+  TimeSeries series(width);
+  std::vector<Span> spans;
+  // Order-sensitive doubles, as in the billed-USD reconciliation test.
+  const Usd values[] = {1.0e-7, 3.333333333e-8, 7.77e-9, 1.0e-13, 2.5e-8};
+  MicroSecs t = 100;
+  for (const Usd v : values) {
+    const MicroSecs duration = 450;
+    spans.push_back(TransferSpan(t, duration, 1'024, v));
+    series.RecordTransfer(t + duration, 1'024, v);
+    t += 777;
+  }
+  const BilledReconciliation rec = ReconcileTransferUsd(series, spans);
+  EXPECT_TRUE(rec.ok);
+  EXPECT_EQ(rec.first_mismatch_window, -1);
+  EXPECT_TRUE(BitEqual(rec.timeseries_total, rec.span_total));
+}
+
+TEST(ReconcileTransferUsdTest, DetectsDropsAndPerturbations) {
+  TimeSeries series(1'000);
+  std::vector<Span> spans;
+  spans.push_back(TransferSpan(0, 500, 1'024, 1.0e-7));
+  spans.push_back(TransferSpan(1'200, 500, 1'024, 2.0e-7));
+  series.RecordTransfer(500, 1'024, 1.0e-7);
+  // Second transfer never recorded: window 1 must mismatch.
+  const BilledReconciliation dropped = ReconcileTransferUsd(series, spans);
+  EXPECT_FALSE(dropped.ok);
+  EXPECT_EQ(dropped.first_mismatch_window, 1);
+
+  TimeSeries ulp(1'000);
+  const Usd usd = 1.23456789e-7;
+  std::vector<Span> one = {TransferSpan(0, 500, 1'024, usd)};
+  ulp.RecordTransfer(500, 1'024, std::nextafter(usd, 1.0));
+  EXPECT_FALSE(ReconcileTransferUsd(ulp, one).ok);
+}
+
+TEST(ReconcileTransferUsdTest, ColumnsStayDisjoint) {
+  // Transfer spans are invisible to the compute reconciliation and terminal
+  // spans are invisible to the transfer reconciliation; a series carrying
+  // both columns reconciles on each side independently.
+  TimeSeries series(1'000);
+  std::vector<Span> spans;
+  spans.push_back(TerminalSpan(0, 500, 1.0e-7));
+  spans.push_back(TransferSpan(0, 300, 2'048, 4.0e-8));
+  series.RecordBilled(500, 1.0e-7);
+  series.RecordTransfer(300, 2'048, 4.0e-8);
+  EXPECT_TRUE(ReconcileBilledUsd(series, spans).ok);
+  EXPECT_TRUE(ReconcileTransferUsd(series, spans).ok);
+}
+
 }  // namespace
 }  // namespace faascost

@@ -1,0 +1,67 @@
+// Exhaustive round-trip of the WasteKind <-> name mapping, mirroring the
+// Outcome round-trip test. WasteKindFromName is the parse side of telemetry
+// artifact readers (waste_usd_<name> keys), so the two directions must stay
+// inverse as categories are added; iterating kAllWasteKinds means a new
+// enumerator missing from either table fails here instead of silently
+// parsing as nullopt downstream.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/obs/timeseries.h"
+
+namespace faascost {
+namespace {
+
+TEST(WasteKindRoundTrip, EveryKindSurvivesNameAndBack) {
+  for (const WasteKind k : kAllWasteKinds) {
+    const char* name = WasteKindName(k);
+    ASSERT_NE(name, nullptr);
+    const auto parsed = WasteKindFromName(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, k) << name;
+  }
+}
+
+TEST(WasteKindRoundTrip, ArrayCoversTheWholeEnum) {
+  // kAllWasteKinds is the iteration surface; a category appended to the enum
+  // but not the array would silently drop out of every exhaustive walk.
+  EXPECT_EQ(std::size(kAllWasteKinds), static_cast<size_t>(kWasteKindCount));
+  std::set<int> seen;
+  for (const WasteKind k : kAllWasteKinds) {
+    EXPECT_TRUE(seen.insert(static_cast<int>(k)).second);
+  }
+}
+
+TEST(WasteKindRoundTrip, NamesAreUniqueAndNeverTheUnknownSentinel) {
+  std::set<std::string> seen;
+  for (const WasteKind k : kAllWasteKinds) {
+    const std::string name = WasteKindName(k);
+    EXPECT_NE(name, "unknown") << "a real category must not serialize to the "
+                                  "fallback token";
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name: " << name;
+  }
+  EXPECT_EQ(seen.size(), std::size(kAllWasteKinds));
+}
+
+TEST(WasteKindRoundTrip, UnknownTokensParseToNullopt) {
+  EXPECT_FALSE(WasteKindFromName("").has_value());
+  EXPECT_FALSE(WasteKindFromName("unknown").has_value());
+  EXPECT_FALSE(WasteKindFromName("COLD_INIT").has_value());  // Case-sensitive.
+  EXPECT_FALSE(WasteKindFromName("cold_init ").has_value());
+  EXPECT_FALSE(WasteKindFromName("cross-zone-detour").has_value());
+}
+
+// The network categories added for src/net are part of the taxonomy and must
+// parse like the originals.
+TEST(WasteKindRoundTrip, NetworkKindsAreInTheTaxonomy) {
+  EXPECT_EQ(WasteKindFromName(WasteKindName(WasteKind::kFailedEgress)),
+            WasteKind::kFailedEgress);
+  EXPECT_EQ(WasteKindFromName(WasteKindName(WasteKind::kCrossZoneDetour)),
+            WasteKind::kCrossZoneDetour);
+}
+
+}  // namespace
+}  // namespace faascost

@@ -241,5 +241,46 @@ TEST(RequestRecord, UtilizationEdgeCases) {
   EXPECT_EQ(r.MemUtilization(), 0.0);
 }
 
+TEST(PayloadSynthesis, OffByDefaultAndOtherFieldsUnaffectedWhenOn) {
+  TraceGenConfig base;
+  base.num_requests = 5'000;
+  base.num_functions = 100;
+  const auto plain = TraceGenerator(base, 11).Generate();
+  for (const auto& r : plain) {
+    EXPECT_EQ(r.req_bytes, 0);
+    EXPECT_EQ(r.resp_bytes, 0);
+  }
+
+  TraceGenConfig with = base;
+  with.payload_request_mean_kb = 64.0;
+  with.payload_response_mean_kb = 256.0;
+  const auto sized = TraceGenerator(with, 11).Generate();
+  ASSERT_EQ(sized.size(), plain.size());
+  double mean_req = 0.0;
+  for (size_t i = 0; i < plain.size(); ++i) {
+    // Payload draws come from their own stream: every pre-existing field is
+    // bit-identical to the payload-less trace of the same seed.
+    EXPECT_EQ(sized[i].function_id, plain[i].function_id);
+    EXPECT_EQ(sized[i].arrival, plain[i].arrival);
+    EXPECT_EQ(sized[i].exec_duration, plain[i].exec_duration);
+    EXPECT_EQ(sized[i].cpu_time, plain[i].cpu_time);
+    EXPECT_EQ(sized[i].cold_start, plain[i].cold_start);
+    EXPECT_GT(sized[i].req_bytes, 0);
+    EXPECT_GT(sized[i].resp_bytes, 0);
+    mean_req += static_cast<double>(sized[i].req_bytes);
+  }
+  mean_req /= static_cast<double>(sized.size());
+  // Lognormal mean calibration, loose band (heavy tail, 5k samples).
+  EXPECT_GT(mean_req, 64.0 * 1024.0 * 0.7);
+  EXPECT_LT(mean_req, 64.0 * 1024.0 * 1.5);
+
+  // Same seed, same payloads.
+  const auto again = TraceGenerator(with, 11).Generate();
+  for (size_t i = 0; i < sized.size(); ++i) {
+    ASSERT_EQ(again[i].req_bytes, sized[i].req_bytes);
+    ASSERT_EQ(again[i].resp_bytes, sized[i].resp_bytes);
+  }
+}
+
 }  // namespace
 }  // namespace faascost

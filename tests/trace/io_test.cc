@@ -20,6 +20,8 @@ RequestRecord Sample() {
   r.used_mem_mb = 250.5;
   r.cold_start = true;
   r.init_duration = 740'000;
+  r.req_bytes = 4'096;
+  r.resp_bytes = 131'072;
   return r;
 }
 
@@ -40,6 +42,8 @@ TEST(TraceIo, RoundTripSingleRecord) {
   EXPECT_DOUBLE_EQ(r.used_mem_mb, 250.5);
   EXPECT_TRUE(r.cold_start);
   EXPECT_EQ(r.init_duration, 740'000);
+  EXPECT_EQ(r.req_bytes, 4'096);
+  EXPECT_EQ(r.resp_bytes, 131'072);
 }
 
 TEST(TraceIo, RoundTripGeneratedTrace) {
@@ -68,6 +72,29 @@ TEST(TraceIo, HeaderToleratedOnRead) {
   ASSERT_EQ(back.size(), 1u);
   EXPECT_EQ(back[0].exec_duration, 100);
   EXPECT_FALSE(back[0].cold_start);
+}
+
+TEST(TraceIo, LegacyNineColumnLinesLoadWithZeroPayloads) {
+  std::stringstream ss;
+  // A v1 extract: old header, no payload columns.
+  ss << "function_id,arrival_us,exec_us,cpu_us,alloc_vcpus,alloc_mem_mb,"
+        "used_mem_mb,cold_start,init_us\n"
+     << "7,10,100,50,1,128,64,0,0\n";
+  size_t skipped = 9;
+  const auto back = ReadTraceCsv(ss, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].function_id, 7);
+  EXPECT_EQ(back[0].req_bytes, 0);
+  EXPECT_EQ(back[0].resp_bytes, 0);
+}
+
+TEST(TraceIo, TenColumnLinesAreMalformed) {
+  std::stringstream ss;
+  ss << "1,0,100,50,1,128,64,0,0,4096\n";  // Payloads come in pairs.
+  size_t skipped = 0;
+  EXPECT_TRUE(ReadTraceCsv(ss, &skipped).empty());
+  EXPECT_EQ(skipped, 1u);
 }
 
 TEST(TraceIo, MalformedLinesSkippedAndCounted) {

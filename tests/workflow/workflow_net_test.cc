@@ -1,0 +1,226 @@
+// Workflow engine with a NetworkModel attached: client ingress, edge
+// payloads delaying consumers, sink egress extending the client-observed
+// end, the usd_network line item, waste attribution, and the null contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/billing/catalog.h"
+#include "src/billing/model.h"
+#include "src/common/units.h"
+#include "src/integrity/audit_rules.h"
+#include "src/integrity/integrity.h"
+#include "src/net/model.h"
+#include "src/obs/span.h"
+#include "src/obs/timeseries.h"
+#include "src/workflow/dag.h"
+#include "src/workflow/workflow_sim.h"
+
+namespace faascost {
+namespace {
+
+constexpr MicroSecs kSec = kMicrosPerSec;
+constexpr uint64_t kSeed = 17;
+constexpr int64_t kMb = 1'048'576;
+
+bool BitEq(double a, double b) {
+  uint64_t ua = 0;
+  uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+WorkflowDag PayloadMapReduce(int mappers, int base_zone = 0) {
+  HopSpec proto;
+  proto.zone = base_zone;
+  WorkflowDag dag = MakeMapReduceDag("mr", mappers, proto);
+  ApplyUniformPayloads(dag, /*input=*/4 * kMb, /*edge=*/16 * kMb,
+                       /*output=*/kMb);
+  return dag;
+}
+
+WorkflowSimConfig BaseConfig(WorkflowDag dag, int64_t workflows) {
+  WorkflowSimConfig cfg;
+  cfg.dags.push_back(std::move(dag));
+  cfg.workflows = workflows;
+  cfg.wps = 4.0;
+  cfg.zones = 3;
+  cfg.pricing = MakeWorkflowPricing(Platform::kAwsLambda);
+  return cfg;
+}
+
+NetworkModel MakeNet(std::vector<NetOutage> outages = {}) {
+  NetworkModelConfig nc;
+  nc.topology.zones = 3;
+  nc.topology.zones_per_region = 3;
+  nc.outages = std::move(outages);
+  return NetworkModel(nc, MakeNetworkPricing(Platform::kAwsLambda), kSeed);
+}
+
+TEST(WorkflowNet, NullNetworkIsBitIdenticalToDefault) {
+  const BillingModel billing = MakeBillingModel(Platform::kAwsLambda);
+  // Payload sizes on the DAG are inert without a model attached.
+  WorkflowSimConfig plain = BaseConfig(PayloadMapReduce(4), 30);
+  WorkflowSimConfig with_null = BaseConfig(PayloadMapReduce(4), 30);
+  with_null.network = nullptr;  // Explicit null: the documented default.
+  const WorkflowSimResult a = SimulateWorkflows(plain, billing, kSeed);
+  const WorkflowSimResult b = SimulateWorkflows(with_null, billing, kSeed);
+  EXPECT_TRUE(BitEq(a.usd_total, b.usd_total));
+  EXPECT_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.workflows.size(), b.workflows.size());
+  for (size_t i = 0; i < a.workflows.size(); ++i) {
+    EXPECT_EQ(a.workflows[i].end, b.workflows[i].end) << i;
+  }
+  EXPECT_EQ(a.net_transfers, 0);
+  EXPECT_TRUE(BitEq(a.usd_network, 0.0));
+}
+
+TEST(WorkflowNet, EdgePayloadsDelayConsumersAndExtendTheEnd) {
+  const BillingModel billing = MakeBillingModel(Platform::kAwsLambda);
+  const WorkflowSimResult base =
+      SimulateWorkflows(BaseConfig(PayloadMapReduce(4), 30), billing, kSeed);
+
+  NetworkModel net = MakeNet();
+  WorkflowSimConfig cfg = BaseConfig(PayloadMapReduce(4), 30);
+  cfg.network = &net;
+  const WorkflowSimResult r = SimulateWorkflows(cfg, billing, kSeed);
+
+  // Ingress + every edge + egress moved bytes through the meter.
+  EXPECT_GT(r.net_transfers, 0);
+  EXPECT_GT(r.net_bytes, 0);
+  EXPECT_GT(r.usd_network, 0.0);
+  EXPECT_EQ(r.net_transfers, net.bill().transfers);
+
+  // The line item joins the decomposition bitwise (same fold in both).
+  EXPECT_TRUE(BitEq(r.usd_total, r.usd_attempts + r.usd_transitions + r.usd_dlq +
+                                     r.usd_network));
+
+  // Transfer time is real latency: every instance ends no earlier than its
+  // no-network twin, and at least one ends strictly later.
+  ASSERT_EQ(r.workflows.size(), base.workflows.size());
+  int64_t grew = 0;
+  for (size_t i = 0; i < r.workflows.size(); ++i) {
+    ASSERT_GE(r.workflows[i].end, base.workflows[i].end) << i;
+    grew += (r.workflows[i].end > base.workflows[i].end) ? 1 : 0;
+    EXPECT_GT(r.workflows[i].usd_network, 0.0) << i;
+    EXPECT_GT(r.workflows[i].usd, base.workflows[i].usd) << i;
+  }
+  EXPECT_GT(grew, 0);
+}
+
+TEST(WorkflowNet, TransferUsdReconcilesBitwiseAgainstTelemetry) {
+  const BillingModel billing = MakeBillingModel(Platform::kAwsLambda);
+  NetworkModel net = MakeNet();
+  SpanCollector sink;
+  TimeSeries series(5 * kSec);
+  // Sinks in zone 1: the error body pays the cross-zone leg to the uplink,
+  // so failed egress carries a nonzero charge even inside the internet
+  // free tier.
+  WorkflowSimConfig cfg = BaseConfig(PayloadMapReduce(4, /*base_zone=*/1), 40);
+  cfg.network = &net;
+  cfg.trace = &sink;
+  cfg.timeseries = &series;
+  cfg.failure_rate = 0.1;
+  cfg.policy.retry.max_attempts = 2;
+  const WorkflowSimResult r = SimulateWorkflows(cfg, billing, kSeed);
+
+  // Both USD columns reconcile independently and stay disjoint: kTransfer
+  // spans are non-terminal, terminal spans carry no transfer USD.
+  const BilledReconciliation xfer = ReconcileTransferUsd(series, sink.spans());
+  EXPECT_TRUE(xfer.ok) << "first mismatch window " << xfer.first_mismatch_window;
+  const BilledReconciliation billed = ReconcileBilledUsd(series, sink.spans());
+  EXPECT_TRUE(billed.ok) << "first mismatch window "
+                         << billed.first_mismatch_window;
+
+  // Span-level fold matches the result's accumulators bitwise: both fold the
+  // same marginal charges in emission order.
+  Usd span_fold = 0.0;
+  int64_t span_bytes = 0;
+  for (const Span& sp : sink.spans()) {
+    if (sp.kind != SpanKind::kTransfer) {
+      continue;
+    }
+    span_fold += sp.billed_usd;
+    span_bytes += sp.ref;
+  }
+  // Storage ops are metered outside the transfer column.
+  EXPECT_TRUE(BitEq(span_fold + net.bill().ops_usd, r.usd_network));
+  EXPECT_EQ(span_bytes, r.net_bytes);
+
+  // Failed instances ship an error body: its cost is attributed as waste.
+  EXPECT_GT(r.counters.workflows_failed, 0);
+  EXPECT_GT(series.TotalWasteUsd(WasteKind::kFailedEgress), 0.0);
+}
+
+TEST(WorkflowNet, OutageDetourSurchargeIsAttributed) {
+  const BillingModel billing = MakeBillingModel(Platform::kAwsLambda);
+  // Zone 0 hosts the primary uplink; with it down the whole run, egress
+  // detours over the backup and pays cross-zone charges.
+  NetworkModel net = MakeNet({{/*zone=*/0, /*start=*/0, /*duration=*/10'000 * kSec}});
+  TimeSeries series(5 * kSec);
+  WorkflowSimConfig cfg = BaseConfig(PayloadMapReduce(4), 30);
+  cfg.network = &net;
+  cfg.timeseries = &series;
+  const WorkflowSimResult r = SimulateWorkflows(cfg, billing, kSeed);
+
+  EXPECT_GT(net.bill().rerouted_transfers, 0);
+  EXPECT_GT(r.usd_network_detour, 0.0);
+  EXPECT_GT(series.TotalWasteUsd(WasteKind::kCrossZoneDetour), 0.0);
+  // The detour surcharge is the wasted part of a successful run's spend.
+  EXPECT_GT(r.usd_wasted, 0.0);
+}
+
+TEST(WorkflowNet, StorageOpsAreMeteredPerDispatchedAttempt) {
+  const BillingModel billing = MakeBillingModel(Platform::kAwsLambda);
+  NetworkModelConfig nc;
+  nc.topology.zones = 3;
+  nc.topology.zones_per_region = 3;
+  nc.class_a_ops_per_request = 1;
+  nc.class_b_ops_per_request = 4;
+  NetworkModel net(nc, MakeNetworkPricing(Platform::kAwsLambda), kSeed);
+  WorkflowSimConfig cfg = BaseConfig(PayloadMapReduce(4), 20);
+  cfg.network = &net;
+  const WorkflowSimResult r = SimulateWorkflows(cfg, billing, kSeed);
+
+  EXPECT_EQ(net.bill().class_a_ops, r.counters.dispatched_attempts);
+  EXPECT_EQ(net.bill().class_b_ops, 4 * r.counters.dispatched_attempts);
+  EXPECT_GT(net.bill().ops_usd, 0.0);
+}
+
+TEST(WorkflowNet, AuditPassesOnNetworkAttachedChaosRun) {
+  const BillingModel billing = MakeBillingModel(Platform::kAwsLambda);
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    NetworkModel net = MakeNet({{/*zone=*/1, /*start=*/2 * kSec, /*duration=*/6 * kSec}});
+    WorkflowSimConfig cfg = BaseConfig(PayloadMapReduce(3), 40);
+    cfg.dags.push_back(MakeChainDag("c", 3, HopSpec{}, /*spread_zones=*/true));
+    ApplyUniformPayloads(cfg.dags.back(), 2 * kMb, 8 * kMb, kMb);
+    cfg.network = &net;
+    cfg.failure_rate = 0.08;
+    cfg.policy.retry.max_attempts = 3;
+    ZonalOutageSpec outage;
+    outage.zone = 1;
+    outage.start = 2 * kSec;
+    outage.duration = 6 * kSec;
+    cfg.outages.push_back(outage);
+    const WorkflowSimResult r = SimulateWorkflows(cfg, billing, seed);
+    Auditor auditor(AuditLevel::kFull);
+    AuditWorkflowRun(r, cfg, seed, auditor, billing);  // Throws on violation.
+    EXPECT_GT(r.usd_network, 0.0) << seed;
+  }
+}
+
+TEST(WorkflowNet, NegativeEdgeBytesAreRejected) {
+  WorkflowDag dag = MakeChainDag("c", 2, HopSpec{});
+  dag.child_bytes[0][0] = -1;
+  EXPECT_FALSE(dag.Validate().empty());
+  WorkflowDag dag2 = MakeChainDag("c", 2, HopSpec{});
+  dag2.input_bytes = -5;
+  EXPECT_FALSE(dag2.Validate().empty());
+}
+
+}  // namespace
+}  // namespace faascost

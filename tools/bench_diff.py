@@ -35,15 +35,18 @@ def main():
         base = json.load(f).get("benchmarks", {})
     with open(args.candidate) as f:
         cand = json.load(f).get("benchmarks", {})
-    if not base or not cand:
-        print("bench_diff: one of the inputs has no benchmarks", file=sys.stderr)
+    # One-sided inputs are not an error: an empty baseline just means every
+    # candidate bench is new (and vice versa), reported as added/removed
+    # rows below. Only two empty artifacts leave nothing to say.
+    if not base and not cand:
+        print("bench_diff: neither input has benchmarks", file=sys.stderr)
         return 1
 
     shared = sorted(set(base) & set(cand))
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))
 
-    name_w = max([len(n) for n in shared] + [9])
+    name_w = max([len(n) for n in shared + only_base + only_cand] + [9])
     print(f"{'benchmark':<{name_w}}  {'baseline':>12}  {'candidate':>12}  "
           f"{'delta':>8}  unit")
     regressed = []

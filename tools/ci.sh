@@ -59,9 +59,10 @@ echo "== Failure benches: --json smoke =="
 "$repo/build/bench/bench_cost_of_failure" --json | python3 -m json.tool > /dev/null
 "$repo/build/bench/bench_cost_of_chaos" --json | python3 -m json.tool > /dev/null
 "$repo/build/bench/bench_cost_of_workflows" --json | python3 -m json.tool > /dev/null
+"$repo/build/bench/bench_cost_of_network" --json | python3 -m json.tool > /dev/null
 "$repo/build/tools/faascost" failures --json | python3 -m json.tool > /dev/null
 "$repo/build/tools/faascost" chaos --json | python3 -m json.tool > /dev/null
-echo "all five emitted valid JSON."
+echo "all six emitted valid JSON."
 
 echo
 echo "== Workflow engine: determinism smoke + JSON schema sanity =="
@@ -99,6 +100,42 @@ assert a["usd_total"] == 0 and a["dispatched_attempts"] == 0
 PYEOF
 rm -rf "$wf_tmp"
 echo "same-seed runs byte-identical; zero-DAG runs seed-independent and \$0."
+
+echo
+echo "== Network: determinism smoke + cost-decomposition schema sanity =="
+# Two seeds, each run twice through the zonal-outage scenario: the JSON
+# (which only prints after the bit-for-bit telemetry reconciliation gate)
+# must be byte-identical across repeats, and the decomposition must close.
+net_tmp="$(mktemp -d)"
+for seed in 5 17; do
+  net_args=(network --requests 4000 --functions 60 --seconds 300 --zones 3
+            --req-kb 16 --resp-kb 64 --rate 0.05 --outage-zone 0
+            --outage-start-s 30 --outage-seconds 120 --seed "$seed" --json)
+  "$repo/build/tools/faascost" "${net_args[@]}" > "$net_tmp/net_a$seed.json"
+  "$repo/build/tools/faascost" "${net_args[@]}" > "$net_tmp/net_b$seed.json"
+  cmp "$net_tmp/net_a$seed.json" "$net_tmp/net_b$seed.json"
+done
+python3 - "$net_tmp/net_a5.json" <<'PYEOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+required = ["platform", "zones", "zones_per_region", "seed", "attempts",
+            "compute_usd", "request_fee_usd", "transfer", "storage_ops",
+            "net_transfers", "rerouted_transfers", "detour_usd",
+            "network_usd", "total_usd", "network_share", "reconciled"]
+missing = [k for k in required if k not in d]
+assert not missing, f"faascost network --json missing keys: {missing}"
+classes = ["intra_zone", "inter_zone", "inter_region", "internet_egress",
+           "internet_ingress"]
+assert sorted(d["transfer"]) == sorted(classes), d["transfer"].keys()
+xfer = sum(d["transfer"][c]["usd"] for c in classes)
+assert abs(d["network_usd"] - (xfer + d["storage_ops"]["usd"])) < 1e-9
+assert abs(d["total_usd"]
+           - (d["compute_usd"] + d["request_fee_usd"] + d["network_usd"])) < 1e-9
+assert d["reconciled"] is True
+assert d["rerouted_transfers"] > 0, "zone-0 outage produced no detours"
+PYEOF
+rm -rf "$net_tmp"
+echo "same-seed network runs byte-identical; decomposition closes; detours seen."
 
 echo
 echo "== Observe smoke: artifact validity and determinism =="
@@ -194,12 +231,19 @@ echo "== Micro-bench: BENCH_micro.json + instrumented-overhead budget (<10%) =="
 if [ -f "$repo/BENCH_micro.json" ]; then
   cp "$repo/BENCH_micro.json" "$obs_tmp/micro_prev.json"
 fi
-"$repo/build/bench/bench_micro_simulators" \
-  --benchmark_filter='BM_PlatformSimThousandRequests|BM_HostSimSecond|BM_FleetSimDay' \
-  --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
-  --benchmark_format=json > "$obs_tmp/micro.json"
+# Three independent processes; make_bench_micro takes the best median per
+# benchmark. One process is one draw from the box's noise distribution
+# (steal time, frequency drops) — noise only ever slows a run down, so the
+# best of three is the stable estimate of the code's true cost.
+for n in 1 2 3; do
+  "$repo/build/bench/bench_micro_simulators" \
+    --benchmark_filter='BM_PlatformSimThousandRequests|BM_HostSimSecond|BM_FleetSimDay' \
+    --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "$obs_tmp/micro.$n.json"
+done
 python3 "$repo/tools/make_bench_micro.py" \
-  "$obs_tmp/micro.json" "$repo/BENCH_micro.json"
+  "$obs_tmp/micro.1.json" "$obs_tmp/micro.2.json" "$obs_tmp/micro.3.json" \
+  "$repo/BENCH_micro.json"
 python3 -m json.tool "$repo/BENCH_micro.json" > /dev/null
 # Delta vs the previous artifact. CI boxes vary, so the gate here is loose
 # (50%) — catches a catastrophic slowdown, not jitter; tighter comparisons

@@ -32,13 +32,20 @@
 //                      [--zones N --outage-zone Z --outage-start-s S
 //                       --outage-seconds N] [--breaker-threshold N]
 //                      [--platform P] [--audit-level L] [--seed S] [--json]
+//   faascost network   [--platform P] [--requests N] [--functions N]
+//                      [--seconds N] [--zones N] [--zones-per-region N]
+//                      [--req-kb K] [--resp-kb K] [--class-a N] [--class-b N]
+//                      [--rate R] [--retries N] [--outage-zone Z
+//                       --outage-start-s S --outage-seconds N] [--seed S]
+//                      [--json]
 //   faascost platforms
 //
-// `failures`, `chaos`, `workflows` and `audit` accept --json for
+// `failures`, `chaos`, `workflows`, `network` and `audit` accept --json for
 // machine-readable output.
 //
-// Exit status: 0 on success, 1 on usage errors, 2 when an integrity
-// invariant fails mid-run (IntegrityViolation), 3 on a malformed or
+// Exit status (src/cli/exit_codes.h, documented in README): 0 on success,
+// 1 on usage errors, 2 when an integrity invariant or a bit-for-bit USD
+// reconciliation fails mid-run (IntegrityViolation), 3 on a malformed or
 // mismatched checkpoint / unparseable artifact (CheckpointError).
 
 #include <algorithm>
@@ -55,6 +62,8 @@
 
 #include "src/billing/analysis.h"
 #include "src/billing/catalog.h"
+#include "src/billing/tiered.h"
+#include "src/cli/exit_codes.h"
 #include "src/cluster/fleet_sim.h"
 #include "src/common/chart.h"
 #include "src/common/json_writer.h"
@@ -64,6 +73,7 @@
 #include "src/integrity/audit_rules.h"
 #include "src/integrity/checkpoint.h"
 #include "src/integrity/integrity.h"
+#include "src/net/model.h"
 #include "src/obs/engine_profiler.h"
 #include "src/obs/exporters.h"
 #include "src/obs/metrics.h"
@@ -970,7 +980,7 @@ int CmdMonitor(const Flags& flags) {
                  "series total %.17g vs span total %.17g\n",
                  static_cast<long long>(rec.first_mismatch_window),
                  rec.timeseries_total, rec.span_total);
-    return 2;
+    return cli::kIntegrityViolation;
   }
 
   const std::vector<SloAlert> alerts = EvaluateSlo(series, slo);
@@ -1581,6 +1591,199 @@ int CmdWorkflows(const Flags& flags) {
   return 0;
 }
 
+// Cost-of-network decomposition: one fleet run with the zone topology and
+// the monthly-cumulative transfer meter attached, reported the way the
+// provider invoices it — compute, per-request fees, each transfer class on
+// its own ladder, and flat-priced storage operations. The report is gated
+// on the telemetry contract: per-window transfer USD and billed USD must
+// reproduce the span folds bit-for-bit, else the tool exits with the same
+// code as a tripped invariant (cli::kIntegrityViolation).
+int CmdNetwork(const Flags& flags) {
+  const std::string platform_name = flags.Get("platform").value_or("aws");
+  const auto platform = ParsePlatform(platform_name);
+  if (!platform.has_value()) {
+    std::fprintf(stderr, "network: unknown platform '%s'\n", platform_name.c_str());
+    return cli::kUsage;
+  }
+
+  TraceGenConfig tcfg;
+  tcfg.num_requests = flags.GetInt("requests", 20'000);
+  tcfg.num_functions = flags.GetInt("functions", 200);
+  tcfg.window = flags.GetInt("seconds", 3'600) * kMicrosPerSec;
+  // Trace records carry explicit payload hints; the model's own payload
+  // distribution stays disabled so sizes are pinned by the trace.
+  tcfg.payload_request_mean_kb = flags.GetDouble("req-kb", 16.0);
+  tcfg.payload_response_mean_kb = flags.GetDouble("resp-kb", 64.0);
+  tcfg.failure_rate_mean = flags.GetDouble("rate", 0.0);
+  if (tcfg.failure_rate_mean < 0.0 || tcfg.failure_rate_mean > 1.0) {
+    std::fprintf(stderr, "network: --rate must be in [0, 1]\n");
+    return cli::kUsage;
+  }
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  NetworkModelConfig ncfg;
+  ncfg.topology.zones = static_cast<int>(flags.GetInt("zones", 3));
+  ncfg.topology.zones_per_region =
+      static_cast<int>(flags.GetInt("zones-per-region", ncfg.topology.zones));
+  ncfg.class_a_ops_per_request = flags.GetInt("class-a", 1);
+  ncfg.class_b_ops_per_request = flags.GetInt("class-b", 2);
+  if (flags.Get("outage-zone").has_value()) {
+    NetOutage outage;
+    outage.zone = static_cast<int>(flags.GetInt("outage-zone", 0));
+    outage.start = SecsToMicros(flags.GetDouble("outage-start-s", 10.0));
+    outage.duration = SecsToMicros(flags.GetDouble("outage-seconds", 30.0));
+    ncfg.outages.push_back(outage);
+  }
+  const std::vector<std::string> net_errors = ncfg.Validate();
+  if (!net_errors.empty()) {
+    for (const std::string& err : net_errors) {
+      std::fprintf(stderr, "network: %s\n", err.c_str());
+    }
+    return cli::kUsage;
+  }
+
+  FleetSimConfig fcfg;
+  fcfg.fault_seed = seed;
+  fcfg.retry.max_attempts = static_cast<int>(flags.GetInt("retries", 3));
+  const std::vector<std::string> fleet_errors = fcfg.Validate();
+  if (!fleet_errors.empty()) {
+    for (const std::string& err : fleet_errors) {
+      std::fprintf(stderr, "network: %s\n", err.c_str());
+    }
+    return cli::kUsage;
+  }
+
+  NetworkModel net(ncfg, MakeNetworkPricing(*platform), seed);
+  SpanCollector sink;
+  TimeSeries series(flags.GetInt("window", 5) * kMicrosPerSec);
+  fcfg.network = &net;
+  fcfg.trace_sink = &sink;
+  fcfg.timeseries = &series;
+
+  const std::vector<RequestRecord> trace = TraceGenerator(tcfg, seed).Generate();
+  const BillingModel billing = MakeBillingModel(*platform);
+  const FleetResult res = SimulateFleet(trace, billing, fcfg);
+  const NetworkBill& bill = net.bill();
+
+  // Acceptance gates: both USD columns must reproduce their span folds
+  // bit-for-bit, window by window, and the meter's transfer count must
+  // match the engine's. A mismatch means money was dropped or
+  // double-counted between the engine, the meter and telemetry.
+  const BilledReconciliation xfer = ReconcileTransferUsd(series, sink.spans());
+  if (!xfer.ok) {
+    std::fprintf(stderr,
+                 "network: transfer-USD reconciliation FAILED: window %lld, "
+                 "series total %.17g vs span total %.17g\n",
+                 static_cast<long long>(xfer.first_mismatch_window),
+                 xfer.timeseries_total, xfer.span_total);
+    return cli::kIntegrityViolation;
+  }
+  const BilledReconciliation priced = ReconcileBilledUsd(series, sink.spans());
+  if (!priced.ok) {
+    std::fprintf(stderr,
+                 "network: billed-USD reconciliation FAILED: window %lld, "
+                 "series total %.17g vs span total %.17g\n",
+                 static_cast<long long>(priced.first_mismatch_window),
+                 priced.timeseries_total, priced.span_total);
+    return cli::kIntegrityViolation;
+  }
+  if (res.net_transfers != bill.transfers || res.net_bytes != series.TotalNetBytes()) {
+    std::fprintf(stderr,
+                 "network: meter/engine disagree: %lld vs %lld transfers, "
+                 "%lld vs %lld bytes\n",
+                 static_cast<long long>(res.net_transfers),
+                 static_cast<long long>(bill.transfers),
+                 static_cast<long long>(res.net_bytes),
+                 static_cast<long long>(series.TotalNetBytes()));
+    return cli::kIntegrityViolation;
+  }
+
+  const Usd compute_usd = res.revenue - res.fee_revenue;
+  const Usd network_usd = bill.TotalUsd();
+  const Usd total_usd = res.revenue + network_usd;
+  const auto gb = [](int64_t bytes) {
+    return static_cast<double>(bytes) / static_cast<double>(kBytesPerGb);
+  };
+
+  if (flags.GetBool("json")) {
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("platform", billing.platform);
+    w.KV("requests", tcfg.num_requests);
+    w.KV("functions", tcfg.num_functions);
+    w.KV("seconds", tcfg.window / kMicrosPerSec);
+    w.KV("zones", static_cast<int64_t>(ncfg.topology.zones));
+    w.KV("zones_per_region", static_cast<int64_t>(ncfg.topology.zones_per_region));
+    w.KV("seed", static_cast<int64_t>(seed));
+    w.KV("attempts", res.attempts);
+    w.KV("successes", res.successes);
+    w.KV("compute_usd", compute_usd);
+    w.KV("request_fee_usd", res.fee_revenue);
+    w.Key("transfer");
+    w.BeginObject();
+    for (int c = 0; c < kTransferClassCount; ++c) {
+      w.Key(TransferClassName(static_cast<TransferClass>(c)));
+      w.BeginObject();
+      w.KV("gb", gb(bill.bytes[c]));
+      w.KV("usd", bill.usd[c]);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.Key("storage_ops");
+    w.BeginObject();
+    w.KV("class_a_ops", bill.class_a_ops);
+    w.KV("class_b_ops", bill.class_b_ops);
+    w.KV("usd", bill.ops_usd);
+    w.EndObject();
+    w.KV("net_transfers", bill.transfers);
+    w.KV("rerouted_transfers", bill.rerouted_transfers);
+    w.KV("detour_usd", bill.detour_usd);
+    w.KV("network_usd", network_usd);
+    w.KV("total_usd", total_usd);
+    w.KV("network_share", total_usd > 0.0 ? network_usd / total_usd : 0.0);
+    w.KV("reconciled", true);
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return cli::kOk;
+  }
+
+  std::printf("%s: %lld requests / %lld functions over %llds, %d zones "
+              "(%d per region), seed %llu\n",
+              billing.platform.c_str(), static_cast<long long>(tcfg.num_requests),
+              static_cast<long long>(tcfg.num_functions),
+              static_cast<long long>(tcfg.window / kMicrosPerSec),
+              ncfg.topology.zones, ncfg.topology.zones_per_region,
+              static_cast<unsigned long long>(seed));
+  TextTable t({"line item", "volume", "USD", "share"});
+  const auto share = [&](Usd usd) {
+    return total_usd > 0.0 ? FormatPercent(usd / total_usd, 1) : "-";
+  };
+  t.AddRow({"compute", std::to_string(res.attempts) + " attempts",
+            FormatSci(compute_usd, 4), share(compute_usd)});
+  t.AddRow({"request fees", std::to_string(res.requests) + " requests",
+            FormatSci(res.fee_revenue, 4), share(res.fee_revenue)});
+  for (int c = 0; c < kTransferClassCount; ++c) {
+    t.AddRow({TransferClassName(static_cast<TransferClass>(c)),
+              FormatDouble(gb(bill.bytes[c]), 3) + " GB", FormatSci(bill.usd[c], 4),
+              share(bill.usd[c])});
+  }
+  t.AddRow({"storage ops",
+            std::to_string(bill.class_a_ops) + "A/" +
+                std::to_string(bill.class_b_ops) + "B",
+            FormatSci(bill.ops_usd, 4), share(bill.ops_usd)});
+  t.AddRow({"total", FormatDouble(gb(res.net_bytes), 3) + " GB moved",
+            FormatSci(total_usd, 4), share(total_usd)});
+  std::printf("%s", t.Render().c_str());
+  if (bill.rerouted_transfers > 0) {
+    std::printf("Outage detours:       %lld transfers rerouted, $%.6g surcharge\n",
+                static_cast<long long>(bill.rerouted_transfers), bill.detour_usd);
+  }
+  std::printf("Network share:        %.2f%% of total spend "
+              "(reconciled bit-for-bit against telemetry)\n",
+              total_usd > 0.0 ? network_usd / total_usd * 100.0 : 0.0);
+  return cli::kOk;
+}
+
 int CmdAuditIntegrity(const Flags& flags) {
   const std::string sim = flags.Get("sim").value_or("platform");
   AuditLevel level = AuditLevel::kFull;
@@ -1623,8 +1826,11 @@ int Usage() {
                "                                       (timeseries.jsonl + alerts.jsonl)\n"
                "  workflows --archetype A --hops N     cost of workflow DAGs under\n"
                "        [--rate R --retries N --deadline-ms N --hedge-ms N\n"
-               "         --async --quorum K --audit-level L]  resilience policies\n");
-  return 1;
+               "         --async --quorum K --audit-level L]  resilience policies\n"
+               "  network [--platform P] [--zones N]    cost-of-network decomposition\n"
+               "        [--req-kb K --resp-kb K --class-a N --class-b N\n"
+               "         --outage-zone Z]              (compute/requests/egress/ops)\n");
+  return cli::kUsage;
 }
 
 int Dispatch(const std::string& cmd, const Flags& flags) {
@@ -1661,6 +1867,9 @@ int Dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "workflows") {
     return CmdWorkflows(flags);
   }
+  if (cmd == "network") {
+    return CmdNetwork(flags);
+  }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return Usage();
 }
@@ -1677,20 +1886,20 @@ int Main(int argc, char** argv) {
     return Dispatch(cmd, flags);
   } catch (const IntegrityViolation& e) {
     std::fprintf(stderr, "faascost: integrity violation: %s\n", e.what());
-    return 2;
+    return cli::kIntegrityViolation;
   } catch (const CheckpointError& e) {
     std::fprintf(stderr, "faascost: checkpoint error: %s\n", e.what());
-    return 3;
+    return cli::kMalformedArtifact;
   } catch (const JsonParseError& e) {
     std::fprintf(stderr, "faascost: unparseable artifact: %s\n", e.what());
-    return 3;
+    return cli::kMalformedArtifact;
   } catch (const std::exception& e) {
     // Bad flag values surface as library exceptions (std::invalid_argument
     // from config validation, std::length_error from a negative count);
     // the CLI contract is a one-line stderr message and exit 1, never an
     // uncaught-exception abort.
     std::fprintf(stderr, "%s: %s\n", cmd.c_str(), e.what());
-    return 1;
+    return cli::kUsage;
   }
 }
 

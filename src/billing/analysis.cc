@@ -29,23 +29,23 @@ InflationResult AnalyzeInflation(const BillingModel& model,
     out.billable_gb_seconds.reserve(requests.size());
   }
   double actual_cpu = 0.0;
-  double actual_gb = 0.0;
+  double actual_gb_s = 0.0;
   for (const auto& r : requests) {
     const Invoice inv = ComputeInvoice(model, r);
     out.total_billable_vcpu_seconds += inv.billable_vcpu_seconds;
     out.total_billable_gb_seconds += inv.billable_gb_seconds;
     actual_cpu += MicrosToSecs(r.cpu_time);
-    actual_gb += MbToGb(r.used_mem_mb) * MicrosToSecs(r.exec_duration);
+    actual_gb_s += MbToGb(r.used_mem_mb) * MicrosToSecs(r.exec_duration);
     if (keep_samples) {
       out.billable_vcpu_seconds.push_back(inv.billable_vcpu_seconds);
       out.billable_gb_seconds.push_back(inv.billable_gb_seconds);
     }
   }
   out.total_actual_vcpu_seconds = actual_cpu;
-  out.total_actual_gb_seconds = actual_gb;
+  out.total_actual_gb_seconds = actual_gb_s;
   out.cpu_inflation = actual_cpu > 0.0 ? out.total_billable_vcpu_seconds / actual_cpu : 0.0;
-  out.mem_inflation = (actual_gb > 0.0 && model.bills_memory)
-                          ? out.total_billable_gb_seconds / actual_gb
+  out.mem_inflation = (actual_gb_s > 0.0 && model.bills_memory)
+                          ? out.total_billable_gb_seconds / actual_gb_s
                           : 0.0;
   return out;
 }

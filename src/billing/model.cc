@@ -206,22 +206,22 @@ Invoice ComputeInvoice(const BillingModel& model, const RequestRecord& request) 
 }
 
 Usd ResourceCostPerSecond(const BillingModel& model, const SnappedAllocation& alloc) {
-  Usd per_sec = 0.0;
+  Usd usd_per_sec = 0.0;
   if (model.bills_cpu_separately || model.cpu_basis == ResourceBasis::kConsumed) {
-    per_sec += model.price_per_vcpu_second * alloc.vcpus;
+    usd_per_sec += model.price_per_vcpu_second * alloc.vcpus;
   }
   if (model.bills_memory) {
-    per_sec += model.price_per_gb_second * MbToGb(alloc.mem_mb);
+    usd_per_sec += model.price_per_gb_second * MbToGb(alloc.mem_mb);
   }
-  return per_sec;
+  return usd_per_sec;
 }
 
 double FeeEquivalentMillis(const BillingModel& model, const SnappedAllocation& alloc) {
-  const Usd per_sec = ResourceCostPerSecond(model, alloc);
-  if (per_sec <= 0.0) {
+  const Usd usd_per_sec = ResourceCostPerSecond(model, alloc);
+  if (usd_per_sec <= 0.0) {
     return 0.0;
   }
-  return model.invocation_fee / per_sec * 1000.0;
+  return model.invocation_fee / usd_per_sec * 1000.0;
 }
 
 }  // namespace faascost

@@ -364,6 +364,9 @@ struct FleetEngine::Impl {
   // O(state) invariant scan (AuditLevel::kFull, cadence-gated over processed
   // attempts). See DESIGN.md §9 for the invariant catalog.
   void AuditScan() {
+    if (auditor == nullptr) {
+      return;
+    }
     auditor->NoteScan();
     // Request conservation: every request is resolved (success or exhausted)
     // or has exactly one live attempt chain in the pending queue.

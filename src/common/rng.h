@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/stream_registry.h"
+
 namespace faascost {
 
 // Golden-ratio increment used to decorrelate derived seeds (splitmix64's
@@ -30,17 +32,8 @@ inline constexpr uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
   return seed ^ (kSeedGamma * (stream + 1));
 }
 
-// Well-known stream numbers. Keep these unique across the codebase.
-inline constexpr uint64_t kFaultStream = 0;      // Request-level fault model.
-inline constexpr uint64_t kHostFaultStream = 1;  // Fleet host-failure model.
-inline constexpr uint64_t kNetStream = 2;        // Network payload sizes (src/net).
-// Host-fault per-host streams occupy [kHostStreamBase, kHostStreamBase + hosts).
-inline constexpr uint64_t kHostStreamBase = 16;
-// Workflow-engine per-instance streams occupy
-// [kWorkflowStreamBase, kWorkflowStreamBase + workflows). Each workflow's
-// seed is further split per (hop, attempt), so every draw is a pure function
-// of (base seed, workflow, hop, attempt) independent of event interleaving.
-inline constexpr uint64_t kWorkflowStreamBase = 1'048'576;
+// Stream numbers live in src/common/stream_registry.h (included above): one
+// canonical table so faaslint R7 can prove the numbers never collide.
 
 // Full serializable position of one Rng stream: the xoshiro256** engine
 // words plus the Box-Muller spare. Restoring a saved state resumes the

@@ -1,0 +1,40 @@
+// Canonical registry of DeriveSeed stream numbers.
+//
+// Every independent RNG stream in the tree derives its seed as
+// `DeriveSeed(base_seed, k*Stream)` with a constant declared HERE and nowhere
+// else. faaslint rule R7 enforces that policy statically: a `k*Stream`
+// constant declared outside this header is an unregistered stream, two
+// registered constants with the same value are a collision, and a raw integer
+// literal passed as the stream argument of DeriveSeed is banned outright.
+// Keeping the registry in one header is what makes the collision check
+// meaningful — engines that never include each other's headers still share
+// the stream-number space, and a reused number silently correlates their
+// draws.
+//
+// Second-level derivations (splitting an already-derived stream by host,
+// workflow, hop, or attempt index) are exempt from registration: their
+// uniqueness comes from the parent stream, not from this table. The base
+// constants below reserve the ranges those splits occupy.
+
+#ifndef FAASCOST_COMMON_STREAM_REGISTRY_H_
+#define FAASCOST_COMMON_STREAM_REGISTRY_H_
+
+#include <cstdint>
+
+namespace faascost {
+
+// Well-known stream numbers. Keep these unique across the codebase.
+inline constexpr uint64_t kFaultStream = 0;      // Request-level fault model.
+inline constexpr uint64_t kHostFaultStream = 1;  // Fleet host-failure model.
+inline constexpr uint64_t kNetStream = 2;        // Network payload sizes (src/net).
+// Host-fault per-host streams occupy [kHostStreamBase, kHostStreamBase + hosts).
+inline constexpr uint64_t kHostStreamBase = 16;
+// Workflow-engine per-instance streams occupy
+// [kWorkflowStreamBase, kWorkflowStreamBase + workflows). Each workflow's
+// seed is further split per (hop, attempt), so every draw is a pure function
+// of (base seed, workflow, hop, attempt) independent of event interleaving.
+inline constexpr uint64_t kWorkflowStreamBase = 1'048'576;
+
+}  // namespace faascost
+
+#endif  // FAASCOST_COMMON_STREAM_REGISTRY_H_

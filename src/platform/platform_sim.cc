@@ -343,6 +343,9 @@ struct PlatformEngine::Impl {
   // terminal span — the one the billing tagger attributes the invoice to.
   void EmitClientSpan(SpanKind kind, MicroSecs start, MicroSecs duration,
                       int attempt_idx, const char* status, bool term) {
+    if (trace == nullptr) {
+      return;
+    }
     const AttemptOutcome& att = result.attempts[static_cast<size_t>(attempt_idx)];
     Span sp;
     sp.kind = kind;
@@ -909,6 +912,9 @@ struct PlatformEngine::Impl {
   // O(state) invariant scan (AuditLevel::kFull, cadence-gated). Walks every
   // attempt, queue entry, and sandbox; see DESIGN.md §9 for the catalog.
   void AuditScan() {
+    if (auditor == nullptr) {
+      return;
+    }
     auditor->NoteScan();
     // Request conservation: admitted == concluded + in-flight, expressed as
     // "the number of open attempt flags equals the open-attempt counter".

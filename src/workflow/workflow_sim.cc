@@ -307,6 +307,9 @@ class Engine {
 
   // Maps the hop's engine zone into the attached model's zone space.
   int NetZone(const HopSpec& spec) const {
+    if (cfg_.network == nullptr) {
+      return NetworkModel::kInternet;
+    }
     return cfg_.network->ZoneOf(static_cast<int64_t>(ZoneOf(spec)));
   }
 
@@ -319,7 +322,7 @@ class Engine {
   // Returns the transfer time.
   MicroSecs MeterTransfer(int src_zone, int dst_zone, int64_t bytes, int64_t wf,
                           int hop, bool failed_egress) {
-    if (bytes <= 0) {
+    if (cfg_.network == nullptr || bytes <= 0) {
       return 0;
     }
     const TransferCharge c = cfg_.network->Transfer(src_zone, dst_zone, bytes, now_);

@@ -8,7 +8,7 @@
 namespace faascost {
 namespace {
 
-RequestRecord SimpleRequest(MicroSecs exec_ms, double cpu_util, double alloc_vcpus,
+RequestRecord SimpleRequest(int64_t exec_ms, double cpu_util, double alloc_vcpus,
                             MegaBytes alloc_mem, double mem_util) {
   RequestRecord r;
   r.exec_duration = exec_ms * kMicrosPerMilli;

@@ -143,7 +143,7 @@ INSTANTIATE_TEST_SUITE_P(AllPlatforms, SnapAllPlatformsTest,
 
 // --- BillableTimeOf ---
 
-RequestRecord MakeRequest(MicroSecs exec_ms, MicroSecs cpu_ms, MicroSecs init_ms = 0) {
+RequestRecord MakeRequest(int64_t exec_ms, int64_t cpu_ms, int64_t init_ms = 0) {
   RequestRecord r;
   r.exec_duration = exec_ms * kMicrosPerMilli;
   r.cpu_time = cpu_ms * kMicrosPerMilli;

@@ -13,7 +13,7 @@ namespace {
 constexpr MicroSecs kSec = kMicrosPerSec;
 constexpr MicroSecs kMs = kMicrosPerMilli;
 
-RequestRecord Req(int64_t fn, MicroSecs arrival, MicroSecs exec_ms = 100) {
+RequestRecord Req(int64_t fn, MicroSecs arrival, int64_t exec_ms = 100) {
   RequestRecord r;
   r.function_id = fn;
   r.arrival = arrival;

@@ -10,8 +10,8 @@ namespace {
 
 constexpr MicroSecs kSec = kMicrosPerSec;
 
-RequestOutcome MakeOutcome(MicroSecs duration_ms, bool cold = false,
-                           MicroSecs init_ms = 0) {
+RequestOutcome MakeOutcome(int64_t duration_ms, bool cold = false,
+                           int64_t init_ms = 0) {
   RequestOutcome o;
   o.arrival = 0;
   o.start_exec = init_ms * kMicrosPerMilli;

@@ -1,6 +1,7 @@
-// Tests for the faaslint lexer, rule engine, suppression machinery, and the
-// fixture corpus (golden-compared JSON findings). The fixture directory and
-// repo root are injected by CMake as FAASLINT_FIXTURE_DIR / FAASLINT_REPO_ROOT.
+// Tests for the faaslint lexer, per-file rule engine (R1-R5), the two-phase
+// semantic analyzer (R6-R9), suppression machinery, and the fixture corpus
+// (golden-compared JSON report). The fixture directory and repo root are
+// injected by CMake as FAASLINT_FIXTURE_DIR / FAASLINT_REPO_ROOT.
 
 #include <algorithm>
 #include <cstdio>
@@ -9,12 +10,15 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "tools/faaslint/index.h"
 #include "tools/faaslint/lexer.h"
 #include "tools/faaslint/rules.h"
+#include "tools/faaslint/semantic.h"
 
 namespace faascost::faaslint {
 namespace {
@@ -33,6 +37,85 @@ std::vector<std::string> Rules(const LintResult& r) {
   std::vector<std::string> out;
   out.reserve(r.findings.size());
   for (const Finding& f : r.findings) {
+    out.push_back(f.rule);
+  }
+  return out;
+}
+
+// Runs the full two-phase pipeline over in-memory sources, mirroring the CLI:
+// per-file rules, fact harvesting, index merge, semantic rules, allowlist.
+struct PipelineResult {
+  std::vector<Finding> findings;
+  std::vector<Finding> suppressed_findings;
+  std::vector<ConcurrencySite> inventory;
+  int suppressed = 0;
+  Index index;
+  std::map<std::string, LexResult> lexed;
+};
+
+PipelineResult RunPipeline(const std::vector<std::pair<std::string, std::string>>& sources,
+                           const std::vector<AllowlistEntry>& allow = {},
+                           bool concurrency_everywhere = true) {
+  PipelineResult out;
+  struct PerFile {
+    std::string path;
+    FileFacts facts;
+  };
+  std::vector<PerFile> files;
+  for (const auto& [path, text] : sources) {
+    out.lexed[path] = Lex(text);
+    files.push_back({path, BuildFileFacts(path, out.lexed[path])});
+  }
+  std::vector<FileFacts> all_facts;
+  std::vector<SemanticInput> inputs;
+  for (PerFile& f : files) {
+    all_facts.push_back(f.facts);
+  }
+  out.index = MergeFacts(all_facts);
+  for (PerFile& f : files) {
+    inputs.push_back({&f.facts, &out.lexed[f.path]});
+  }
+  SemanticOptions options;
+  options.concurrency_everywhere = concurrency_everywhere;
+  SemanticResult semantic = RunSemanticRules(out.index, inputs, options);
+  out.inventory = std::move(semantic.inventory);
+
+  std::vector<Finding> merged;
+  for (const auto& [path, text] : sources) {
+    LintResult r = LintLexed(path, out.lexed[path]);
+    out.suppressed += r.suppressed;
+    for (Finding& f : r.findings) {
+      merged.push_back(std::move(f));
+    }
+    for (Finding& f : r.suppressed_findings) {
+      out.suppressed_findings.push_back(std::move(f));
+    }
+  }
+  for (Finding& f : semantic.findings) {
+    merged.push_back(std::move(f));
+  }
+  out.suppressed += static_cast<int>(semantic.suppressed_findings.size());
+  for (Finding& f : semantic.suppressed_findings) {
+    out.suppressed_findings.push_back(std::move(f));
+  }
+  for (Finding& f : merged) {
+    if (IsAllowlisted(allow, f)) {
+      ++out.suppressed;
+    } else {
+      out.findings.push_back(std::move(f));
+    }
+  }
+  std::sort(out.findings.begin(), out.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return out;
+}
+
+std::vector<std::string> RuleList(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  for (const Finding& f : findings) {
     out.push_back(f.rule);
   }
   return out;
@@ -81,6 +164,16 @@ TEST(Lexer, ParsesAllowMarkers) {
   // The allow also covers the following line (comment-above style).
   ASSERT_TRUE(lex.allows.count(2));
   EXPECT_TRUE(lex.allows.at(2).count("R5"));
+  // Marker occurrences are recorded for stale-suppression checks.
+  ASSERT_EQ(lex.allow_markers.size(), 2u);
+  EXPECT_EQ(lex.allow_markers[0].line, 1);
+}
+
+TEST(Lexer, MidSentenceMarkerMentionIsProse) {
+  const LexResult lex =
+      Lex("// docs: add a faaslint:allow(R5) comment to suppress.\nint a;\n");
+  EXPECT_TRUE(lex.allows.empty());
+  EXPECT_TRUE(lex.allow_markers.empty());
 }
 
 TEST(Lexer, RawStringsAreOpaque) {
@@ -88,6 +181,66 @@ TEST(Lexer, RawStringsAreOpaque) {
   for (const Token& t : lex.tokens) {
     EXPECT_NE(t.text, "getenv");
   }
+}
+
+TEST(Lexer, PrefixedRawStringsAreOpaque) {
+  // u8R / uR / UR / LR prefixes must not leave the body to the plain string
+  // scanner (which would mis-lex the embedded quote).
+  for (const char* prefix : {"u8R", "uR", "UR", "LR"}) {
+    const std::string src =
+        std::string("auto s = ") + prefix + "\"x(a \" b getenv)x\"; int tail;\n";
+    const LexResult lex = Lex(src);
+    bool saw_tail = false;
+    for (const Token& t : lex.tokens) {
+      EXPECT_NE(t.text, "getenv") << prefix;
+      saw_tail = saw_tail || t.text == "tail";
+    }
+    EXPECT_TRUE(saw_tail) << prefix;
+  }
+}
+
+TEST(Lexer, LineCommentContinuationStaysInComment) {
+  // A line comment ending in a backslash splices onto the next line; the
+  // continuation must not be tokenized as code.
+  const LexResult lex = Lex("// comment continues \\\ntime(nullptr);\nint a;\n");
+  for (const Token& t : lex.tokens) {
+    EXPECT_NE(t.text, "time");
+  }
+  ASSERT_FALSE(lex.tokens.empty());
+  EXPECT_EQ(lex.tokens[0].text, "int");
+  EXPECT_EQ(lex.tokens[0].line, 3);
+}
+
+TEST(Lexer, CrlfSplicesInDirectivesAndComments) {
+  // CRLF files put a '\r' between the backslash and newline.
+  const LexResult lex =
+      Lex("#define M(a) \\\r\n  (a + 1)\r\n// tail \\\r\nmt19937 x;\r\nint b;\r\n");
+  for (const Token& t : lex.tokens) {
+    EXPECT_NE(t.text, "mt19937");
+  }
+  ASSERT_FALSE(lex.tokens.empty());
+  EXPECT_EQ(lex.tokens[0].text, "int");
+  EXPECT_EQ(lex.tokens[0].line, 5);
+}
+
+TEST(Lexer, NumberValueParsesAllIntegerSpellings) {
+  const auto value_of = [](const char* text) {
+    const LexResult lex = Lex(text);
+    EXPECT_EQ(lex.tokens.size(), 1u) << text;
+    uint64_t v = 0;
+    EXPECT_TRUE(NumberValue(lex.tokens[0], &v)) << text;
+    return v;
+  };
+  EXPECT_EQ(value_of("42"), 42u);
+  EXPECT_EQ(value_of("1'048'576"), 1'048'576u);
+  EXPECT_EQ(value_of("0x1F"), 31u);
+  EXPECT_EQ(value_of("0b101"), 5u);
+  EXPECT_EQ(value_of("017"), 15u);
+  EXPECT_EQ(value_of("7ull"), 7u);
+
+  uint64_t v = 0;
+  EXPECT_FALSE(NumberValue(Lex("1.5").tokens[0], &v));
+  EXPECT_FALSE(NumberValue(Lex("1e9").tokens[0], &v));
 }
 
 // ---------------------------------------------------------------------------
@@ -229,7 +382,217 @@ TEST(RuleR5, IntegerAndToleranceComparesAreFine) {
 }
 
 // ---------------------------------------------------------------------------
-// Suppression: inline allows and the allowlist.
+// Unit tagging (phase 1).
+
+TEST(UnitTags, SuffixConvention) {
+  EXPECT_EQ(SuffixTag("end_us"), UnitTag::kMicros);
+  EXPECT_EQ(SuffixTag("p95_ms"), UnitTag::kMillis);
+  EXPECT_EQ(SuffixTag("window_s"), UnitTag::kSecs);
+  EXPECT_EQ(SuffixTag("warmup_seconds"), UnitTag::kSecs);
+  EXPECT_EQ(SuffixTag("req_bytes"), UnitTag::kBytes);
+  EXPECT_EQ(SuffixTag("free_gb"), UnitTag::kGb);
+  EXPECT_EQ(SuffixTag("usd_total"), UnitTag::kUsd);
+  EXPECT_EQ(SuffixTag("total_usd"), UnitTag::kUsd);
+  EXPECT_EQ(SuffixTag("window_us_"), UnitTag::kMicros);  // Member underscore.
+  // Compound billing dimension, not seconds.
+  EXPECT_EQ(SuffixTag("billable_gb_seconds"), UnitTag::kGbSecs);
+  EXPECT_EQ(SuffixTag("gb_s"), UnitTag::kGbSecs);
+  EXPECT_EQ(SuffixTag("deadline"), UnitTag::kNone);
+}
+
+TEST(UnitTags, IndexMergeDropsConflictedNames) {
+  const PipelineResult r = RunPipeline({
+      {"a.h", "using MicroSecs = long;\nstruct A { MicroSecs deadline = 0; };\n"},
+      {"b.h", "struct B { double deadline = 0; };\n"},
+  });
+  // `deadline` is MicroSecs in one file and plain double in another: dropped.
+  EXPECT_EQ(r.index.unit_symbols.count("deadline"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// R6: mixed-unit arithmetic.
+
+TEST(RuleR6, FlagsMixedSuffixArithmetic) {
+  const PipelineResult r = RunPipeline(
+      {{"x.cc", "long f(long start_us, long budget_ms) { return start_us + budget_ms; }\n"}});
+  EXPECT_EQ(RuleList(r.findings), (std::vector<std::string>{"R6"}));
+}
+
+TEST(RuleR6, FlagsCrossFileIndexedUse) {
+  const PipelineResult r = RunPipeline({
+      {"cfg.h", "using MicroSecs = long;\nstruct Cfg { MicroSecs deadline = 0; };\n"},
+      {"use.cc", "bool f(long now_ms, const Cfg& c) { return now_ms > c.deadline; }\n"},
+  });
+  EXPECT_EQ(RuleList(r.findings), (std::vector<std::string>{"R6"}));
+  EXPECT_NE(r.findings[0].message.find("[us]"), std::string::npos);
+}
+
+TEST(RuleR6, FlagsDeclarationMismatch) {
+  const PipelineResult r = RunPipeline(
+      {{"x.cc", "using MicroSecs = long;\nvoid f() { MicroSecs window_ms = 5; (void)window_ms; }\n"}});
+  EXPECT_EQ(RuleList(r.findings), (std::vector<std::string>{"R6"}));
+}
+
+TEST(RuleR6, ScaledExpressionsAndConversionsAreFine) {
+  const PipelineResult r = RunPipeline({{"x.cc",
+                                         "long MillisToMicros(double ms);\n"
+                                         "long f(long window_ms) {\n"
+                                         "  const long scaled_us = window_ms * 1000;\n"
+                                         "  const long conv_us = MillisToMicros(window_ms);\n"
+                                         "  return scaled_us + conv_us;\n"
+                                         "}\n"}});
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(RuleR6, TernaryConditionAssignIsFine) {
+  const PipelineResult r = RunPipeline(
+      {{"x.cc",
+        "double f(double total_usd, long mode_us, double a, double b) {\n"
+        "  total_usd = mode_us == 0 ? a : b;\n"
+        "  return total_usd;\n"
+        "}\n"}});
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R7: stream registry.
+
+constexpr const char* kTestRegistry =
+    "inline constexpr unsigned long kAStream = 0;\n"
+    "inline constexpr unsigned long kBStream = 1;\n";
+
+TEST(RuleR7, FlagsRawLiteralAndRogueConstant) {
+  const PipelineResult r = RunPipeline({
+      {"stream_registry.h", kTestRegistry},
+      {"x.cc",
+       "unsigned long DeriveSeed(unsigned long, unsigned long);\n"
+       "inline constexpr unsigned long kRogueStream = 5;\n"
+       "unsigned long f(unsigned long s) { return DeriveSeed(s, 2); }\n"
+       "unsigned long g(unsigned long s) { return DeriveSeed(s, kMissingStream); }\n"},
+  });
+  EXPECT_EQ(RuleList(r.findings), (std::vector<std::string>{"R7", "R7", "R7"}));
+}
+
+TEST(RuleR7, FlagsValueCollisionInsideRegistry) {
+  const PipelineResult r = RunPipeline({
+      {"stream_registry.h",
+       "inline constexpr unsigned long kAStream = 3;\n"
+       "inline constexpr unsigned long kBStream = 3;\n"},
+  });
+  ASSERT_EQ(RuleList(r.findings), (std::vector<std::string>{"R7"}));
+  EXPECT_NE(r.findings[0].message.find("collides"), std::string::npos);
+}
+
+TEST(RuleR7, RegisteredUseAndSecondLevelSplitAreFine) {
+  const PipelineResult r = RunPipeline({
+      {"stream_registry.h", kTestRegistry},
+      {"x.cc",
+       "unsigned long DeriveSeed(unsigned long, unsigned long);\n"
+       "unsigned long f(unsigned long s) { return DeriveSeed(s, kAStream); }\n"
+       "unsigned long g(unsigned long s, unsigned long i) {\n"
+       "  return DeriveSeed(s, kBStream + i);\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(RuleR7, NoRegistryInScopeSkipsUnknownUseCheck) {
+  // Subset runs (explicit paths) have no registry; unknown-constant uses must
+  // not false-positive there.
+  const PipelineResult r = RunPipeline({
+      {"x.cc",
+       "unsigned long DeriveSeed(unsigned long, unsigned long);\n"
+       "unsigned long f(unsigned long s) { return DeriveSeed(s, kSomeStream); }\n"},
+  });
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R8: null-sink contract.
+
+constexpr const char* kSinkDecls =
+    "struct TraceSink { void Record(int); };\n"
+    "struct Sim {\n"
+    "  TraceSink* trace = nullptr;\n";
+
+TEST(RuleR8, FlagsUnguardedDeref) {
+  const PipelineResult r = RunPipeline(
+      {{"x.cc", std::string(kSinkDecls) + "  void f(int v) { trace->Record(v); }\n};\n"}});
+  EXPECT_EQ(RuleList(r.findings), (std::vector<std::string>{"R8"}));
+}
+
+TEST(RuleR8, GuardInAnotherFunctionDoesNotCount) {
+  const PipelineResult r = RunPipeline(
+      {{"x.cc", std::string(kSinkDecls) +
+                    "  void a(int v) { if (trace != nullptr) { trace->Record(v); } }\n"
+                    "  void b(int v) { trace->Record(v); }\n};\n"}});
+  ASSERT_EQ(RuleList(r.findings), (std::vector<std::string>{"R8"}));
+  EXPECT_EQ(r.findings[0].line, 5);
+}
+
+TEST(RuleR8, AllGuardStylesCount) {
+  const PipelineResult r = RunPipeline(
+      {{"x.cc", std::string(kSinkDecls) +
+                    "  void a(int v) { if (trace != nullptr) { trace->Record(v); } }\n"
+                    "  void b(int v) { if (trace) { trace->Record(v); } }\n"
+                    "  void c(int v) { if (trace && v) { trace->Record(v); } }\n"
+                    "  void d(int v) { if (!trace) { return; } trace->Record(v); }\n"
+                    "  void e(int v) { TraceSink t; trace = &t; trace->Record(v); }\n"
+                    "};\n"}});
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R9: concurrency readiness.
+
+TEST(RuleR9, FlagsMutableGlobalsAndStaticLocals) {
+  const PipelineResult r = RunPipeline(
+      {{"x.cc",
+        "long g_count = 0;\n"
+        "struct Engine { void Step() { static long calls = 0; ++calls; } };\n"}});
+  EXPECT_EQ(RuleList(r.findings), (std::vector<std::string>{"R9", "R9"}));
+}
+
+TEST(RuleR9, ConstantsAndInstanceStateAreFine) {
+  const PipelineResult r = RunPipeline(
+      {{"x.cc",
+        "constexpr long kMax = 9;\n"
+        "const char* const kName = \"x\";\n"
+        "struct Engine { long n = 0; void Step() { static const long kS = 2; n += kS; } };\n"}});
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(RuleR9, InventoryListsUnorderedHotMembersAndContractPointers) {
+  const PipelineResult r = RunPipeline(
+      {{"x.cc",
+        "#include <unordered_map>\n"
+        "struct TraceSink { void Record(int); };\n"
+        "struct Engine {\n"
+        "  TraceSink* trace = nullptr;\n"
+        "  std::unordered_map<int, int> cache;\n"
+        "  void Step() { if (trace != nullptr) { trace->Record(1); } }\n"
+        "};\n"}});
+  EXPECT_TRUE(r.findings.empty());
+  std::vector<std::string> kinds;
+  for (const ConcurrencySite& s : r.inventory) {
+    kinds.push_back(s.kind);
+  }
+  EXPECT_EQ(kinds, (std::vector<std::string>{"contract_pointer", "unordered_hot_member"}));
+}
+
+TEST(RuleR9, ScopedToEngineDirsWithoutEverywhereFlag) {
+  const std::vector<std::pair<std::string, std::string>> sources = {
+      {"src/billing/x.cc", "long g_count = 0;\n"},
+      {"src/platform/y.cc", "long g_other = 0;\n"},
+  };
+  const PipelineResult r =
+      RunPipeline(sources, {}, /*concurrency_everywhere=*/false);
+  ASSERT_EQ(RuleList(r.findings), (std::vector<std::string>{"R9"}));
+  EXPECT_EQ(r.findings[0].file, "src/platform/y.cc");
+}
+
+// ---------------------------------------------------------------------------
+// Suppression: inline allows, the allowlist, and staleness.
 
 TEST(Suppression, InlineAllowSilencesSameAndNextLine) {
   const LintResult trailing = LintSource(
@@ -237,6 +600,8 @@ TEST(Suppression, InlineAllowSilencesSameAndNextLine) {
       "bool f(double v) { return v == 1.0; }  // faaslint:allow(R5): exact.\n");
   EXPECT_TRUE(trailing.findings.empty());
   EXPECT_EQ(trailing.suppressed, 1);
+  ASSERT_EQ(trailing.suppressed_findings.size(), 1u);
+  EXPECT_EQ(trailing.suppressed_findings[0].rule, "R5");
 
   const LintResult above = LintSource(
       "src/x.cc",
@@ -253,6 +618,28 @@ TEST(Suppression, AllowOnlySilencesTheNamedRule) {
   ASSERT_EQ(r.findings.size(), 1u);
   EXPECT_EQ(r.findings[0].rule, "R1");
   EXPECT_EQ(r.suppressed, 0);
+}
+
+TEST(Suppression, InlineAllowSilencesSemanticRules) {
+  const PipelineResult r = RunPipeline(
+      {{"x.cc",
+        "long f(long a_us, long b_ms) {\n"
+        "  return a_us + b_ms;  // faaslint:allow(R6): fixture.\n"
+        "}\n"}});
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1);
+}
+
+TEST(Suppression, StaleInlineAllowIsDetected) {
+  const LexResult lex = Lex(
+      "bool f(double v) { return v == 1.0; }  // faaslint:allow(R5): used.\n"
+      "long g() { return 0; }  // faaslint:allow(R1): nothing to suppress.\n");
+  const LintResult r = LintLexed("src/x.cc", lex);
+  const std::vector<StaleSuppression> stale =
+      StaleInlineAllows("src/x.cc", lex, r.suppressed_findings);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "R1");
+  EXPECT_EQ(stale[0].line, 2);
 }
 
 TEST(Allowlist, ParsesEntriesAndRejectsMissingJustification) {
@@ -276,6 +663,64 @@ TEST(Allowlist, MatchesExactAndSuffixPaths) {
   EXPECT_TRUE(IsAllowlisted(entries, {"repo/bench/foo.cc", 1, "R5", "m"}));
   EXPECT_FALSE(IsAllowlisted(entries, {"bench/foo.cc", 1, "R1", "m"}));
   EXPECT_FALSE(IsAllowlisted(entries, {"bench/bar.cc", 1, "R5", "m"}));
+  EXPECT_EQ(AllowlistMatch(entries, {"bench/foo.cc", 1, "R5", "m"}), 0);
+  EXPECT_EQ(AllowlistMatch(entries, {"bench/bar.cc", 1, "R5", "m"}), -1);
+}
+
+TEST(RuleCatalogTest, CoversAllNineRules) {
+  const std::vector<RuleInfo>& catalog = RuleCatalog();
+  ASSERT_EQ(catalog.size(), 9u);
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    std::string expected = "R";
+    expected += std::to_string(i + 1);
+    EXPECT_EQ(catalog[i].id, expected);
+    EXPECT_FALSE(catalog[i].summary.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stream registry round-trip: every k*Stream constant referenced under src/
+// resolves to a declaration in the canonical registry header.
+
+TEST(StreamRegistry, EveryStreamConstantUsedInSrcIsRegistered) {
+  const fs::path root(FAASLINT_REPO_ROOT);
+  const LexResult registry =
+      Lex(ReadFileOrDie(root / "src/common/stream_registry.h"));
+  const FileFacts facts = BuildFileFacts("src/common/stream_registry.h", registry);
+  std::map<std::string, bool> registered;
+  for (const StreamConstant& c : facts.stream_constants) {
+    EXPECT_TRUE(c.registered) << c.name;
+    EXPECT_TRUE(c.has_value) << c.name << " must use a literal value";
+    registered[c.name] = true;
+  }
+  ASSERT_GE(registered.size(), 5u);
+
+  const auto is_stream_name = [](const std::string& t) {
+    const auto ends_with = [&](std::string_view sfx) {
+      return t.size() >= sfx.size() &&
+             std::string_view(t).substr(t.size() - sfx.size()) == sfx;
+    };
+    return t.size() > 1 && t[0] == 'k' &&
+           (ends_with("Stream") || ends_with("StreamBase"));
+  };
+
+  int uses = 0;
+  for (auto it = fs::recursive_directory_iterator(root / "src");
+       it != fs::recursive_directory_iterator(); ++it) {
+    const std::string ext = it->path().extension().string();
+    if (!it->is_regular_file() || (ext != ".cc" && ext != ".h")) {
+      continue;
+    }
+    const LexResult lex = Lex(ReadFileOrDie(it->path()));
+    for (const Token& t : lex.tokens) {
+      if (t.kind == TokenKind::kIdentifier && is_stream_name(t.text)) {
+        ++uses;
+        EXPECT_TRUE(registered.count(t.text))
+            << it->path() << ":" << t.line << " uses unregistered " << t.text;
+      }
+    }
+  }
+  EXPECT_GT(uses, 5);  // The engines really do reference the registry.
 }
 
 // ---------------------------------------------------------------------------
@@ -293,58 +738,39 @@ class FixtureCorpus : public ::testing::Test {
 
     std::vector<fs::path> files;
     for (const auto& entry : fs::directory_iterator(dir)) {
-      if (entry.path().extension() == ".cc") {
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cc" || ext == ".h") {
         files.push_back(entry.path());
       }
     }
     std::sort(files.begin(), files.end());
 
-    results_ = new std::map<std::string, LintResult>();
-    all_findings_ = new std::vector<Finding>();
-    suppressed_ = 0;
+    std::vector<std::pair<std::string, std::string>> sources;
     for (const fs::path& f : files) {
-      LintResult r = LintSource(f.filename().string(), ReadFileOrDie(f));
-      suppressed_ += r.suppressed;
-      for (const Finding& finding : r.findings) {
-        if (IsAllowlisted(allow, finding)) {
-          ++suppressed_;
-        } else {
-          all_findings_->push_back(finding);
-        }
-      }
-      (*results_)[f.filename().string()] = std::move(r);
+      sources.emplace_back(f.filename().string(), ReadFileOrDie(f));
     }
+    result_ = new PipelineResult(RunPipeline(sources, allow));
     files_scanned_ = static_cast<int>(files.size());
   }
 
   static void TearDownTestSuite() {
-    delete results_;
-    delete all_findings_;
-    results_ = nullptr;
-    all_findings_ = nullptr;
+    delete result_;
+    result_ = nullptr;
   }
 
   static int CountRule(const std::string& file, const std::string& rule) {
-    const auto it = results_->find(file);
-    if (it == results_->end()) {
-      return -1;  // Fixture missing.
-    }
     int n = 0;
-    for (const Finding& f : it->second.findings) {
-      n += f.rule == rule ? 1 : 0;
+    for (const Finding& f : result_->findings) {
+      n += (f.file == file && f.rule == rule) ? 1 : 0;
     }
     return n;
   }
 
-  static std::map<std::string, LintResult>* results_;
-  static std::vector<Finding>* all_findings_;
-  static int suppressed_;
+  static PipelineResult* result_;
   static int files_scanned_;
 };
 
-std::map<std::string, LintResult>* FixtureCorpus::results_ = nullptr;
-std::vector<Finding>* FixtureCorpus::all_findings_ = nullptr;
-int FixtureCorpus::suppressed_ = 0;
+PipelineResult* FixtureCorpus::result_ = nullptr;
 int FixtureCorpus::files_scanned_ = 0;
 
 TEST_F(FixtureCorpus, EveryRuleHasPositiveAndNegativeFixtures) {
@@ -359,26 +785,55 @@ TEST_F(FixtureCorpus, EveryRuleHasPositiveAndNegativeFixtures) {
   EXPECT_EQ(CountRule("r4_negative.cc", "R4"), 0);
   EXPECT_EQ(CountRule("r5_float_compare.cc", "R5"), 2);
   EXPECT_EQ(CountRule("r5_negative.cc", "R5"), 0);
+  EXPECT_EQ(CountRule("r6_mixed_units.cc", "R6"), 5);
+  EXPECT_EQ(CountRule("r6_negative.cc", "R6"), 0);
+  EXPECT_EQ(CountRule("r7_streams.cc", "R7"), 5);
+  EXPECT_EQ(CountRule("stream_registry.h", "R7"), 1);  // Value collision.
+  EXPECT_EQ(CountRule("r7_negative.cc", "R7"), 0);
+  EXPECT_EQ(CountRule("r8_null_sink.cc", "R8"), 2);
+  EXPECT_EQ(CountRule("r8_negative.cc", "R8"), 0);
+  EXPECT_EQ(CountRule("r9_shared_state.cc", "R9"), 2);
+  EXPECT_EQ(CountRule("r9_negative.cc", "R9"), 0);
 }
 
 TEST_F(FixtureCorpus, NegativeFixturesAreCompletelyClean) {
   for (const char* file :
        {"r1_negative.cc", "r2_negative.cc", "r3_negative.cc", "r4_negative.cc",
-        "r5_negative.cc"}) {
-    const auto it = results_->find(file);
-    ASSERT_NE(it, results_->end()) << file;
-    EXPECT_TRUE(it->second.findings.empty()) << file;
+        "r5_negative.cc", "r6_negative.cc", "r7_negative.cc", "r8_negative.cc",
+        "r9_negative.cc"}) {
+    for (const Finding& f : result_->findings) {
+      EXPECT_NE(f.file, file) << f.rule << " " << f.message;
+    }
   }
 }
 
 TEST_F(FixtureCorpus, SuppressionFixturesReportZeroFindings) {
-  EXPECT_TRUE(results_->at("suppressed_inline.cc").findings.empty());
-  EXPECT_EQ(results_->at("suppressed_inline.cc").suppressed, 2);
-  EXPECT_EQ(suppressed_, 3);  // 2 inline + 1 allowlisted.
+  for (const Finding& f : result_->findings) {
+    EXPECT_NE(f.file, "suppressed_inline.cc");
+    EXPECT_NE(f.file, "suppressed_allowlist.cc");
+  }
+  EXPECT_EQ(result_->suppressed, 4);  // 2 inline R5 + 1 inline R6 + 1 allowlisted.
+}
+
+TEST_F(FixtureCorpus, InventoryCoversTheR9Corpus) {
+  std::vector<std::string> kinds;
+  for (const ConcurrencySite& s : result_->inventory) {
+    if (s.file == "r9_shared_state.cc") {
+      kinds.push_back(s.kind);
+    }
+  }
+  std::sort(kinds.begin(), kinds.end());
+  EXPECT_EQ(kinds, (std::vector<std::string>{"mutable_global", "static_local",
+                                             "unordered_hot_member"}));
 }
 
 TEST_F(FixtureCorpus, JsonReportMatchesGolden) {
-  const std::string json = FindingsToJson(*all_findings_, files_scanned_, suppressed_);
+  Report report;
+  report.files_scanned = files_scanned_;
+  report.suppressed = result_->suppressed;
+  report.findings = result_->findings;
+  report.inventory = result_->inventory;
+  const std::string json = ReportToJson(report);
   const std::string golden =
       ReadFileOrDie(fs::path(FAASLINT_REPO_ROOT) / "tests/faaslint/golden_findings.json");
   // The CLI appends a trailing newline after the JSON document.
@@ -419,14 +874,14 @@ TEST(RepoTree, LintsClean) {
   std::sort(files.begin(), files.end());
   ASSERT_GT(files.size(), 100u);  // Sanity: the walk found the real tree.
 
+  std::vector<std::pair<std::string, std::string>> sources;
   for (const fs::path& f : files) {
-    const std::string rel = fs::relative(f, root).generic_string();
-    const LintResult r = LintSource(rel, ReadFileOrDie(f));
-    for (const Finding& finding : r.findings) {
-      EXPECT_TRUE(IsAllowlisted(allow, finding))
-          << finding.file << ":" << finding.line << " [" << finding.rule << "] "
-          << finding.message;
-    }
+    sources.emplace_back(fs::relative(f, root).generic_string(), ReadFileOrDie(f));
+  }
+  const PipelineResult r =
+      RunPipeline(sources, allow, /*concurrency_everywhere=*/false);
+  for (const Finding& f : r.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] " << f.message;
   }
 }
 

@@ -1,0 +1,31 @@
+// faaslint fixture: R6 positives — mixed-unit arithmetic, comparisons, and
+// declarations whose type contradicts their name. `deadline` carries its
+// microsecond tag via the cross-file index (declared in r6_units_decl.h).
+#include <cstdint>
+
+using MicroSecs = int64_t;
+
+struct Cfg;
+int64_t DeadlineOf(const Cfg& c);
+
+int64_t Deadline(int64_t start_us, int64_t budget_ms) {
+  return start_us + budget_ms;  // R6: us + ms
+}
+
+bool OverQuota(int64_t used_bytes, int64_t quota_gb) {
+  return used_bytes > quota_gb;  // R6: bytes vs gb
+}
+
+double Bill(double total_usd, double runtime_s) {
+  total_usd += runtime_s;  // R6: usd += s
+  return total_usd;
+}
+
+int64_t Window() {
+  MicroSecs window_ms = 5;  // R6: microsecond type, millisecond name
+  return window_ms;
+}
+
+bool Expired(int64_t now_ms, const Cfg& c) {
+  return now_ms > c.deadline;  // R6: ms vs us (index tag from r6_units_decl.h)
+}

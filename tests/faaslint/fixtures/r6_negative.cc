@@ -1,0 +1,27 @@
+// faaslint fixture: R6 negatives — same-unit arithmetic, unit-producing
+// scalings, explicit conversions, and untagged operands are all fine.
+#include <cstdint>
+
+int64_t MillisToMicros(double ms);
+
+int64_t Sum(int64_t a_us, int64_t b_us) {
+  return a_us + b_us;  // Same unit: fine.
+}
+
+int64_t Scale(int64_t window_ms) {
+  const int64_t scaled_us = window_ms * 1000;  // Scaled product: fine.
+  return scaled_us;
+}
+
+double Cost(double rate_usd, double dur_s) {
+  return rate_usd * dur_s;  // Product forms a new dimension: fine.
+}
+
+int64_t Convert(int64_t window_ms) {
+  const int64_t window_us = MillisToMicros(window_ms);  // Conversion: fine.
+  return window_us;
+}
+
+int64_t Plain(int64_t total_us, int64_t n) {
+  return total_us + n;  // Untagged operand: fine.
+}

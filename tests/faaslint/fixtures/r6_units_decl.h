@@ -1,0 +1,10 @@
+// faaslint fixture: phase-1 unit source for the R6 corpus — `deadline` is
+// declared with a microsecond type here, so uses elsewhere inherit the tag
+// through the cross-file index.
+#include <cstdint>
+
+using MicroSecs = int64_t;
+
+struct Cfg {
+  MicroSecs deadline = 0;
+};

@@ -1,0 +1,13 @@
+// faaslint fixture: R7 negatives — registered constants and second-level
+// seed splits (a non-literal stream expression) are both fine.
+#include <cstdint>
+
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream);
+
+uint64_t SeedHost(uint64_t seed) {
+  return DeriveSeed(seed, kAlphaStream);  // Registered constant: fine.
+}
+
+uint64_t SeedShard(uint64_t host_seed, uint64_t shard) {
+  return DeriveSeed(host_seed, kBetaStream + shard);  // Second-level split: fine.
+}

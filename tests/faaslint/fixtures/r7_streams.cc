@@ -1,0 +1,16 @@
+// faaslint fixture: R7 positives — stream constants declared outside the
+// registry, redeclared names, raw literal stream ids, unregistered uses.
+#include <cstdint>
+
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream);
+
+inline constexpr uint64_t kRogueStream = 7;   // R7: declared outside the registry
+inline constexpr uint64_t kAlphaStream = 9;   // R7: redeclares a registry name
+
+uint64_t SeedFaults(uint64_t seed) {
+  return DeriveSeed(seed, 3);  // R7: raw literal stream id
+}
+
+uint64_t SeedNet(uint64_t seed) {
+  return DeriveSeed(seed, kGhostStream);  // R7: constant missing from the registry
+}

@@ -1,0 +1,39 @@
+// faaslint fixture: R8 negatives — every guard style the contract accepts.
+struct MetricsSink {
+  void Add(int v);
+};
+
+struct Probe {
+  MetricsSink* sink = nullptr;
+
+  void ExplicitCompare(int v) {
+    if (sink != nullptr) {
+      sink->Add(v);
+    }
+  }
+
+  void Truthiness(int v) {
+    if (sink) {
+      sink->Add(v);
+    }
+  }
+
+  void ShortCircuit(int v) {
+    if (sink && v > 0) {
+      sink->Add(v);
+    }
+  }
+
+  void EarlyReturn(int v) {
+    if (!sink) {
+      return;
+    }
+    sink->Add(v);
+  }
+
+  void Rebound(int v) {
+    MetricsSink local;
+    sink = &local;
+    sink->Add(v);
+  }
+};

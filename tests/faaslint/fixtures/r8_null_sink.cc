@@ -1,0 +1,27 @@
+// faaslint fixture: R8 positives — null-sink contract pointers dereferenced
+// without a guard in the dereferencing function.
+struct TraceSink {
+  void Record(int v);
+};
+struct Auditor {
+  void NoteScan();
+};
+
+struct Sim {
+  TraceSink* trace = nullptr;
+  Auditor* auditor = nullptr;
+
+  void Emit(int v) {
+    trace->Record(v);  // R8: no guard anywhere in this function
+  }
+
+  void Guarded() {
+    if (auditor != nullptr) {
+      auditor->NoteScan();
+    }
+  }
+
+  void Unguarded() {
+    auditor->NoteScan();  // R8: the guard lives in Guarded(), not here
+  }
+};

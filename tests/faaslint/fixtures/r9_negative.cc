@@ -1,0 +1,17 @@
+// faaslint fixture: R9 negatives — constants, engine-owned instance state,
+// and ordered containers are all shard-safe.
+#include <cstdint>
+#include <map>
+
+constexpr int64_t kMaxShards = 64;        // constexpr: fine
+const char* const kEngineName = "fleet";  // const: fine
+
+struct Engine {
+  std::map<int, int> ordered;  // Ordered container: fine.
+  int64_t step_count = 0;      // Instance state: fine.
+
+  void Step() {
+    static const int64_t kStride = 2;  // const static: fine
+    step_count += kStride;
+  }
+};

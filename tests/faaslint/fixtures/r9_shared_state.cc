@@ -1,0 +1,17 @@
+// faaslint fixture: R9 positives — shared mutable state that blocks the
+// sharded-engine work (exercised with --r9-all; engine-directory scoping
+// would otherwise skip bare fixture paths).
+#include <cstdint>
+#include <unordered_map>
+
+int64_t g_event_count = 0;  // R9: mutable namespace-scope variable
+
+struct Engine {
+  std::unordered_map<int, int> cache;  // Inventory: unordered member on a hot type.
+
+  void Step() {
+    static int64_t calls = 0;  // R9: mutable function-local static
+    ++calls;
+    ++g_event_count;
+  }
+};

@@ -1,0 +1,8 @@
+// faaslint fixture: stands in for src/common/stream_registry.h — registry
+// detection keys on the path suffix, so this file is the corpus's canonical
+// stream table. One entry deliberately collides by value (R7).
+#include <cstdint>
+
+inline constexpr uint64_t kAlphaStream = 0;
+inline constexpr uint64_t kBetaStream = 1;
+inline constexpr uint64_t kDupStream = 1;  // R7: value collides with kBetaStream

@@ -1,9 +1,16 @@
-// faaslint fixture: inline suppressions. Both violations below carry a
-// faaslint:allow marker, so this file must produce zero findings (and two
-// suppressed counts).
+// faaslint fixture: inline suppressions. All three violations below carry a
+// faaslint:allow marker, so this file must produce zero findings (and three
+// suppressed counts) — including the semantic rule R6, whose suppression is
+// applied in phase 2.
+#include <cstdint>
+
 bool ExactCut(double value) {
   return value == 0.25;  // faaslint:allow(R5): quartile cut points are exact binary fractions.
 }
 
 // faaslint:allow(R5): sentinel is assigned from this literal, bitwise equal by construction.
 bool IsSentinel(double v) { return v == -1.0; }
+
+int64_t MixedButBlessed(int64_t raw_us, int64_t raw_ms) {
+  return raw_us + raw_ms;  // faaslint:allow(R6): fixture exercising semantic-rule suppression.
+}

@@ -78,7 +78,7 @@ TEST(BandwidthSim, ShortTaskWithinQuotaRunsAtFullSpeed) {
 }
 
 struct ShareCase {
-  MicroSecs period_ms;
+  int64_t period_ms;
   double fraction;
   int hz;
   SchedulerKind kind;

@@ -14,8 +14,8 @@ constexpr MicroSecs kMs = kMicrosPerMilli;
 constexpr MicroSecs kSec = kMicrosPerSec;
 
 struct Eq2Case {
-  MicroSecs demand_ms;
-  MicroSecs period_ms;
+  int64_t demand_ms;
+  int64_t period_ms;
   double fraction;
 };
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice: a warnings-as-errors build and a sanitized build,
-# each followed by the full test suite — then static analysis (faaslint,
-# clang-tidy when available) and determinism smoke checks. Run from anywhere;
-# build trees live under the repo root so they are covered by .gitignore.
+# Tier-1 verification, three ways: a warnings-as-errors build, an ASan+UBSan
+# build (full suite each), and a ThreadSanitizer build running the sharded
+# engine candidates — then static analysis (faaslint R1-R9, clang-tidy when
+# available) and determinism smoke checks. Run from anywhere; build trees
+# live under the repo root so they are covered by .gitignore.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -25,17 +26,41 @@ ctest --test-dir "$repo/build-asan" -R 'chaos|host_faults|faults_test' \
   --output-on-failure -j "$jobs"
 
 echo
-echo "== faaslint: determinism rules over the repo tree =="
-"$repo/build/tools/faaslint/faaslint" --root "$repo" --json | python3 -m json.tool > /dev/null
+echo "== Tier 1: ThreadSanitizer build (sharded-engine concurrency readiness) =="
+# TSan is incompatible with ASan, so it gets its own tree. The fleet and
+# workflow chaos/engine suites are the sharding candidates R9 audits; they
+# must already be data-race-free under TSan before any sharding lands.
+cmake -B "$repo/build-tsan" -S "$repo" -DFAASCOST_SANITIZE=thread
+cmake --build "$repo/build-tsan" -j "$jobs"
+ctest --test-dir "$repo/build-tsan" \
+  -R 'fleet|workflow|chaos|host_faults|faults_test' \
+  --output-on-failure -j "$jobs"
+
+echo
+echo "== faaslint: semantic analysis (R1-R9) over the repo tree =="
+# Two full runs: the byte-compare proves the cross-file index and rule
+# ordering are deterministic. The report is archived at the repo root next
+# to BENCH_micro.json so lint state travels with the perf artifacts.
+lint_tmp="$(mktemp -d)"
+"$repo/build/tools/faaslint/faaslint" --root "$repo" --json > "$lint_tmp/repo_a.json"
+"$repo/build/tools/faaslint/faaslint" --root "$repo" --json > "$lint_tmp/repo_b.json"
+cmp "$lint_tmp/repo_a.json" "$lint_tmp/repo_b.json"
+python3 -m json.tool "$lint_tmp/repo_a.json" > /dev/null
+cp "$lint_tmp/repo_a.json" "$repo/LINT_report.json"
 "$repo/build/tools/faaslint/faaslint" --root "$repo"
+echo "two analyzer runs byte-identical; report archived at LINT_report.json."
+
+echo
+echo "== faaslint: suppression hygiene (--check-allowlist) =="
+"$repo/build/tools/faaslint/faaslint" --root "$repo" --check-allowlist
 
 echo
 echo "== faaslint: fixture corpus vs golden findings =="
-lint_tmp="$(mktemp -d)"
 # The fixtures intentionally violate every rule, so faaslint exits 1 here;
-# what must match exactly is the JSON report.
+# what must match exactly is the JSON report. --r9-all because fixture paths
+# are bare file names, outside the engine directories R9 scopes to.
 set +e
-"$repo/build/tools/faaslint/faaslint" --json \
+"$repo/build/tools/faaslint/faaslint" --json --r9-all \
   --relative-to "$repo/tests/faaslint/fixtures" \
   --allowlist "$repo/tests/faaslint/fixtures/allowlist.txt" \
   "$repo/tests/faaslint/fixtures" > "$lint_tmp/findings.json"

@@ -1,15 +1,29 @@
-// faaslint: static analyzer for faascost's determinism invariants.
+// faaslint: two-phase static analyzer for faascost's determinism and
+// concurrency invariants.
 //
 // Usage:
 //   faaslint [--root DIR] [--json] [--allowlist FILE] [--relative-to DIR]
-//            [paths...]
+//            [--r9-all] [--check-allowlist] [paths...]
+//
+// Phase 1 lexes every file once, runs the per-file rules (R1-R5), and
+// harvests cross-file facts (unit-typed declarations, RNG stream constants,
+// null-sink contract pointers, shared-mutable-state sites). Phase 2 merges
+// the facts into one index and runs the semantic rules (R6-R9) over it.
 //
 // With no paths, walks src/, tools/, bench/, tests/, and examples/ under
 // --root (default: cwd), skipping tests/faaslint/fixtures/ (those files are
 // intentional rule violations, linted separately by ci.sh against a golden
 // findings file). With explicit paths, lints exactly those files/directories.
 //
-// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+// --r9-all drops the engine-directory scoping of R9 so fixture corpora
+// (whose display paths are bare file names) exercise the rule.
+//
+// --check-allowlist flips the exit criterion: instead of findings, the run
+// fails when a suppression is stale — an inline `faaslint:allow` marker that
+// silenced nothing, or an allowlist entry that matched no finding.
+//
+// Exit codes: 0 clean, 1 findings (or stale suppressions under
+// --check-allowlist), 2 usage or I/O error.
 
 #include <algorithm>
 #include <cstdio>
@@ -20,7 +34,9 @@
 #include <string>
 #include <vector>
 
+#include "tools/faaslint/index.h"
 #include "tools/faaslint/rules.h"
+#include "tools/faaslint/semantic.h"
 
 namespace faascost::faaslint {
 namespace {
@@ -102,11 +118,21 @@ bool CollectFiles(const fs::path& p, bool skip_fixtures, std::vector<fs::path>* 
   return true;
 }
 
+// Everything the two phases keep per file.
+struct AnalyzedFile {
+  std::string display_path;
+  LexResult lex;
+  FileFacts facts;
+  LintResult per_file;  // R1-R5 result.
+};
+
 int Run(int argc, char** argv) {
   fs::path root = fs::current_path();
   fs::path relative_to;
   std::string allowlist_path;
   bool json = false;
+  bool r9_all = false;
+  bool check_allowlist = false;
   std::vector<fs::path> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -126,6 +152,10 @@ int Run(int argc, char** argv) {
       root = v;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--r9-all") {
+      r9_all = true;
+    } else if (arg == "--check-allowlist") {
+      check_allowlist = true;
     } else if (arg == "--allowlist") {
       const char* v = need_value("--allowlist");
       if (v == nullptr) {
@@ -141,7 +171,8 @@ int Run(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: faaslint [--root DIR] [--json] [--allowlist FILE] "
-                   "[--relative-to DIR] [paths...]\n");
+                   "[--relative-to DIR] [--r9-all] [--check-allowlist] "
+                   "[paths...]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "faaslint: unknown flag: %s\n", argv[i]);
@@ -206,41 +237,131 @@ int Run(int argc, char** argv) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<Finding> findings;
-  int suppressed = 0;
+  // Phase 1: lex once per file, run the per-file rules, harvest facts.
+  std::vector<AnalyzedFile> analyzed;
+  analyzed.reserve(files.size());
   for (const fs::path& file : files) {
     std::string source;
     if (!ReadFile(file, &source)) {
       std::fprintf(stderr, "faaslint: cannot read %s\n", Slashed(file).c_str());
       return 2;
     }
-    LintResult result = LintSource(RelativeTo(file, relative_to), source);
-    suppressed += result.suppressed;
-    for (Finding& f : result.findings) {
-      if (IsAllowlisted(allowlist, f)) {
-        ++suppressed;
-      } else {
-        findings.push_back(std::move(f));
-      }
+    AnalyzedFile a;
+    a.display_path = RelativeTo(file, relative_to);
+    a.lex = Lex(source);
+    a.facts = BuildFileFacts(a.display_path, a.lex);
+    a.per_file = LintLexed(a.display_path, a.lex);
+    analyzed.push_back(std::move(a));
+  }
+
+  // Phase 2: merge facts, run the cross-file rules.
+  std::vector<FileFacts> all_facts;
+  std::vector<SemanticInput> semantic_inputs;
+  all_facts.reserve(analyzed.size());
+  for (const AnalyzedFile& a : analyzed) {
+    all_facts.push_back(a.facts);
+  }
+  const Index index = MergeFacts(all_facts);
+  semantic_inputs.reserve(analyzed.size());
+  for (const AnalyzedFile& a : analyzed) {
+    semantic_inputs.push_back(SemanticInput{&a.facts, &a.lex});
+  }
+  SemanticOptions options;
+  options.concurrency_everywhere = r9_all;
+  SemanticResult semantic = RunSemanticRules(index, semantic_inputs, options);
+
+  // Merge, then apply the allowlist, tracking which entries ever matched.
+  std::vector<Finding> findings;
+  std::vector<Finding> suppressed_findings;
+  int suppressed = 0;
+  for (AnalyzedFile& a : analyzed) {
+    suppressed += a.per_file.suppressed;
+    for (Finding& f : a.per_file.findings) {
+      findings.push_back(std::move(f));
+    }
+    for (Finding& f : a.per_file.suppressed_findings) {
+      suppressed_findings.push_back(std::move(f));
     }
   }
-  // Files are visited in sorted order and per-file findings are pre-sorted,
-  // so the concatenation is already deterministic.
+  for (Finding& f : semantic.findings) {
+    findings.push_back(std::move(f));
+  }
+  suppressed += static_cast<int>(semantic.suppressed_findings.size());
+  for (Finding& f : semantic.suppressed_findings) {
+    suppressed_findings.push_back(std::move(f));
+  }
+
+  std::vector<int> allowlist_hits(allowlist.size(), 0);
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& f : findings) {
+    const int match = AllowlistMatch(allowlist, f);
+    if (match >= 0) {
+      ++allowlist_hits[static_cast<size_t>(match)];
+      ++suppressed;
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+
+  if (check_allowlist) {
+    // Stale suppressions: inline markers that silenced nothing, allowlist
+    // entries that matched nothing.
+    std::vector<StaleSuppression> stale;
+    for (const AnalyzedFile& a : analyzed) {
+      std::vector<Finding> file_suppressed;
+      for (const Finding& f : suppressed_findings) {
+        if (f.file == a.display_path) {
+          file_suppressed.push_back(f);
+        }
+      }
+      std::vector<StaleSuppression> s =
+          StaleInlineAllows(a.display_path, a.lex, file_suppressed);
+      stale.insert(stale.end(), s.begin(), s.end());
+    }
+    for (size_t i = 0; i < allowlist.size(); ++i) {
+      if (allowlist_hits[i] == 0) {
+        stale.push_back(StaleSuppression{
+            allowlist[i].path, 0, allowlist[i].rule,
+            "allowlist entry matched no finding; remove it from " +
+                allowlist_path});
+      }
+    }
+    std::sort(stale.begin(), stale.end(),
+              [](const StaleSuppression& a, const StaleSuppression& b) {
+                return std::tie(a.file, a.line, a.rule) <
+                       std::tie(b.file, b.line, b.rule);
+              });
+    for (const StaleSuppression& s : stale) {
+      std::printf("%s:%d: stale suppression of %s: %s\n", s.file.c_str(), s.line,
+                  s.rule.c_str(), s.detail.c_str());
+    }
+    std::printf("faaslint: %zu stale suppression%s in %zu files\n", stale.size(),
+                stale.size() == 1 ? "" : "s", files.size());
+    return stale.empty() ? 0 : 1;
+  }
 
   if (json) {
-    std::printf("%s\n",
-                FindingsToJson(findings, static_cast<int>(files.size()), suppressed)
-                    .c_str());
+    Report report;
+    report.files_scanned = static_cast<int>(files.size());
+    report.suppressed = suppressed;
+    report.findings = kept;
+    report.inventory = std::move(semantic.inventory);
+    std::printf("%s\n", ReportToJson(report).c_str());
   } else {
-    for (const Finding& f : findings) {
+    for (const Finding& f : kept) {
       std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                   f.message.c_str());
     }
     std::printf("faaslint: %zu finding%s (%d suppressed) in %zu files\n",
-                findings.size(), findings.size() == 1 ? "" : "s", suppressed,
+                kept.size(), kept.size() == 1 ? "" : "s", suppressed,
                 files.size());
   }
-  return findings.empty() ? 0 : 1;
+  return kept.empty() ? 0 : 1;
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 #include "tools/faaslint/lexer.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <tuple>
 
 namespace faascost::faaslint {
 
@@ -24,10 +27,21 @@ constexpr std::string_view kPuncts[] = {
 };
 
 // Records the rules named in a `faaslint:allow(R1, R2)` marker inside the
-// comment text, against `line` and the line after it.
+// comment text, against `line` and the line after it. Only a marker at the
+// very start of the comment body counts: prose that merely mentions the
+// syntax mid-sentence (like this comment) is not a suppression, so it can
+// never show up as a stale one.
 void ParseAllows(std::string_view comment, int line, LexResult* out) {
   constexpr std::string_view kMarker = "faaslint:allow(";
+  const auto record = [&](std::string rule) {
+    out->allows[line].insert(rule);
+    out->allows[line + 1].insert(rule);
+    out->allow_markers.push_back(AllowMarker{line, std::move(rule)});
+  };
   size_t pos = comment.find(kMarker);
+  if (pos != comment.find_first_not_of(" \t")) {
+    return;
+  }
   while (pos != std::string_view::npos) {
     size_t i = pos + kMarker.size();
     std::string rule;
@@ -35,8 +49,7 @@ void ParseAllows(std::string_view comment, int line, LexResult* out) {
       const char c = comment[i];
       if (c == ',' || c == ' ' || c == '\t') {
         if (!rule.empty()) {
-          out->allows[line].insert(rule);
-          out->allows[line + 1].insert(rule);
+          record(std::move(rule));
           rule.clear();
         }
       } else {
@@ -44,11 +57,39 @@ void ParseAllows(std::string_view comment, int line, LexResult* out) {
       }
     }
     if (!rule.empty()) {
-      out->allows[line].insert(rule);
-      out->allows[line + 1].insert(rule);
+      record(std::move(rule));
     }
     pos = comment.find(kMarker, i);
   }
+}
+
+// Length of the encoding prefix of a raw string starting at s[i]
+// (`R"`, `u8R"`, `uR"`, `UR"`, `LR"`), or 0 when s[i] does not start one.
+size_t RawStringPrefix(std::string_view s, size_t i) {
+  for (const std::string_view p : {"R\"", "u8R\"", "uR\"", "UR\"", "LR\""}) {
+    if (s.substr(i, p.size()) == p) {
+      return p.size();
+    }
+  }
+  return 0;
+}
+
+// True when position `i` holds a backslash-newline splice (optionally with a
+// carriage return between them, as CRLF files have). Sets `*len` to the
+// splice's byte length.
+bool IsLineSplice(std::string_view s, size_t i, size_t* len) {
+  if (i >= s.size() || s[i] != '\\') {
+    return false;
+  }
+  if (i + 1 < s.size() && s[i + 1] == '\n') {
+    *len = 2;
+    return true;
+  }
+  if (i + 2 < s.size() && s[i + 1] == '\r' && s[i + 2] == '\n') {
+    *len = 3;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -66,6 +107,64 @@ bool IsFloatLiteral(const Token& token) {
     return t.find('p') != std::string::npos || t.find('P') != std::string::npos;
   }
   return t.find('e') != std::string::npos || t.find('E') != std::string::npos;
+}
+
+bool NumberValue(const Token& token, uint64_t* value) {
+  if (token.kind != TokenKind::kNumber || IsFloatLiteral(token)) {
+    return false;
+  }
+  // Strip digit separators, then any trailing integer suffix.
+  std::string digits;
+  for (const char c : token.text) {
+    if (c != '\'') {
+      digits.push_back(c);
+    }
+  }
+  size_t end = digits.size();
+  while (end > 0) {
+    const char c = digits[end - 1];
+    if (c == 'u' || c == 'U' || c == 'l' || c == 'L' || c == 'z' || c == 'Z') {
+      --end;
+    } else {
+      break;
+    }
+  }
+  digits.resize(end);
+  if (digits.empty()) {
+    return false;
+  }
+  uint64_t base = 10;
+  size_t start = 0;
+  if (digits.size() > 2 && digits[0] == '0' && (digits[1] == 'x' || digits[1] == 'X')) {
+    base = 16;
+    start = 2;
+  } else if (digits.size() > 2 && digits[0] == '0' && (digits[1] == 'b' || digits[1] == 'B')) {
+    base = 2;
+    start = 2;
+  } else if (digits.size() > 1 && digits[0] == '0') {
+    base = 8;
+    start = 1;
+  }
+  uint64_t v = 0;
+  for (size_t i = start; i < digits.size(); ++i) {
+    const char c = digits[i];
+    uint64_t d;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    if (d >= base || v > (UINT64_MAX - d) / base) {
+      return false;
+    }
+    v = v * base + d;
+  }
+  *value = v;
+  return true;
 }
 
 LexResult Lex(std::string_view s) {
@@ -105,11 +204,16 @@ LexResult Lex(std::string_view s) {
         ++k;
       }
       const bool is_include = s.substr(j, k - j) == "include";
-      // Find the end of the logical line, honoring backslash continuations.
+      // Find the end of the logical line, honoring backslash continuations
+      // (including CRLF ones, where a '\r' sits between the backslash and
+      // the newline).
       size_t end = k;
-      while (end < n && (s[end] != '\n' || s[end - 1] == '\\')) {
-        if (s[end] == '\n') {
+      while (end < n && s[end] != '\n') {
+        size_t splice = 0;
+        if (IsLineSplice(s, end, &splice)) {
           ++line;
+          end += splice;
+          continue;
         }
         ++end;
       }
@@ -130,13 +234,23 @@ LexResult Lex(std::string_view s) {
     }
     at_line_start = false;
 
-    // Comments.
+    // Comments. A line comment whose final character is a backslash splices
+    // onto the next line (phase-2 splicing happens before comment removal in
+    // real C++), so continuation lines must stay inside the comment instead
+    // of being tokenized as code.
     if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      const int start_line = line;
       size_t end = i + 2;
       while (end < n && s[end] != '\n') {
+        size_t splice = 0;
+        if (IsLineSplice(s, end, &splice)) {
+          ++line;
+          end += splice;
+          continue;
+        }
         ++end;
       }
-      ParseAllows(s.substr(i + 2, end - i - 2), line, &out);
+      ParseAllows(s.substr(i + 2, end - i - 2), start_line, &out);
       i = end;
       continue;
     }
@@ -157,9 +271,12 @@ LexResult Lex(std::string_view s) {
       continue;
     }
 
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
-      size_t j = i + 2;
+    // Raw string literal: R"delim( ... )delim", with an optional encoding
+    // prefix (u8R, uR, UR, LR). Checked before the identifier path so the
+    // prefix is not lexed as an identifier, which would leave the raw body
+    // to the ordinary string scanner (and mis-lex any embedded quote).
+    if (const size_t prefix = RawStringPrefix(s, i); prefix != 0) {
+      size_t j = i + prefix;
       std::string delim;
       while (j < n && s[j] != '(') {
         delim.push_back(s[j]);
@@ -253,6 +370,19 @@ LexResult Lex(std::string_view s) {
       ++i;
     }
   }
+  // A block comment spanning lines registers its allows against both its
+  // first and last line; dedupe the marker list so stale-suppression checks
+  // see each textual marker once.
+  std::sort(out.allow_markers.begin(), out.allow_markers.end(),
+            [](const AllowMarker& a, const AllowMarker& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  out.allow_markers.erase(
+      std::unique(out.allow_markers.begin(), out.allow_markers.end(),
+                  [](const AllowMarker& a, const AllowMarker& b) {
+                    return a.line == b.line && a.rule == b.rule;
+                  }),
+      out.allow_markers.end());
   return out;
 }
 

@@ -8,11 +8,13 @@
 // needs to know which serialization headers a translation unit pulls in) and
 // `// faaslint:allow(RULE)` suppression comments (recorded against both the
 // comment's own line and the following line, so trailing and comment-above
-// styles both work).
+// styles both work; the marker must open the comment body — a mid-sentence
+// mention of the syntax is prose, not a suppression).
 
 #ifndef FAASCOST_TOOLS_FAASLINT_LEXER_H_
 #define FAASCOST_TOOLS_FAASLINT_LEXER_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -34,12 +36,22 @@ struct Token {
   int line = 0;
 };
 
+// One `faaslint:allow(RULE)` marker occurrence, recorded once against the
+// comment's own line (its registrations in `allows` cover line and line+1).
+// `--check-allowlist` uses these to detect markers that suppress nothing.
+struct AllowMarker {
+  int line = 0;
+  std::string rule;
+};
+
 struct LexResult {
   std::vector<Token> tokens;
   // Targets of #include directives, without the <> or "" delimiters.
   std::vector<std::string> includes;
   // line -> rules suppressed on that line via faaslint:allow(...) comments.
   std::map<int, std::set<std::string>> allows;
+  // Every marker occurrence, in source order.
+  std::vector<AllowMarker> allow_markers;
 };
 
 // Tokenizes `source`. Never fails: unrecognized bytes are skipped, an
@@ -49,6 +61,13 @@ LexResult Lex(std::string_view source);
 // True when a number token spells a floating-point literal (has a decimal
 // point, a decimal exponent, or a hex-float exponent).
 bool IsFloatLiteral(const Token& token);
+
+// Parses the integer value of a number token, stripping digit separators
+// (1'048'576) and any integer suffix (u/l/z combinations); handles decimal,
+// hex, octal, and binary spellings. Returns false for float literals,
+// overflow, or malformed digits. The two-phase index uses this to compare
+// registered stream constants by value.
+bool NumberValue(const Token& token, uint64_t* value);
 
 }  // namespace faascost::faaslint
 

@@ -4,7 +4,6 @@
 #include <set>
 #include <string>
 
-#include "src/common/json_writer.h"
 #include "tools/faaslint/lexer.h"
 
 namespace faascost::faaslint {
@@ -124,6 +123,8 @@ class Linter {
     const auto it = lex_.allows.find(line);
     if (it != lex_.allows.end() && it->second.count(rule) > 0) {
       ++result_.suppressed;
+      result_.suppressed_findings.push_back(
+          Finding{path_, line, std::move(rule), std::move(message)});
       return;
     }
     result_.findings.push_back(Finding{path_, line, std::move(rule), std::move(message)});
@@ -408,6 +409,25 @@ LintResult LintSource(const std::string& display_path, std::string_view source) 
   return Linter(display_path, lex).Run();
 }
 
+LintResult LintLexed(const std::string& display_path, const LexResult& lex) {
+  return Linter(display_path, lex).Run();
+}
+
+const std::vector<RuleInfo>& RuleCatalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"R1", "banned nondeterminism source (wall clock, rand, getenv, locale)"},
+      {"R2", "raw <random> use outside src/common/rng.*"},
+      {"R3", "ranged-for over an unordered container in a serializing TU"},
+      {"R4", "assert with side effects, or assert validating external input"},
+      {"R5", "exact floating-point ==/!= comparison"},
+      {"R6", "mixed-unit arithmetic/comparison or unit-contradicting declaration"},
+      {"R7", "RNG stream constant unregistered, colliding, or a raw literal"},
+      {"R8", "null-sink contract pointer dereferenced without a null guard"},
+      {"R9", "shared mutable state in a sharding-candidate engine directory"},
+  };
+  return kCatalog;
+}
+
 bool ParseAllowlist(std::string_view text, std::vector<AllowlistEntry>* entries,
                     std::string* error) {
   int line_no = 0;
@@ -456,38 +476,43 @@ bool ParseAllowlist(std::string_view text, std::vector<AllowlistEntry>* entries,
   return true;
 }
 
-bool IsAllowlisted(const std::vector<AllowlistEntry>& entries, const Finding& finding) {
-  for (const AllowlistEntry& e : entries) {
+int AllowlistMatch(const std::vector<AllowlistEntry>& entries, const Finding& finding) {
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const AllowlistEntry& e = entries[i];
     if (e.rule != finding.rule) {
       continue;
     }
     if (finding.file == e.path || EndsWith(finding.file, "/" + e.path)) {
-      return true;
+      return static_cast<int>(i);
     }
   }
-  return false;
+  return -1;
 }
 
-std::string FindingsToJson(const std::vector<Finding>& findings, int files_scanned,
-                           int suppressed) {
-  JsonWriter w;
-  w.BeginObject();
-  w.KV("files_scanned", files_scanned);
-  w.KV("suppressed", suppressed);
-  w.KV("finding_count", static_cast<int64_t>(findings.size()));
-  w.Key("findings");
-  w.BeginArray();
-  for (const Finding& f : findings) {
-    w.BeginObject();
-    w.KV("file", f.file);
-    w.KV("line", f.line);
-    w.KV("rule", f.rule);
-    w.KV("message", f.message);
-    w.EndObject();
+bool IsAllowlisted(const std::vector<AllowlistEntry>& entries, const Finding& finding) {
+  return AllowlistMatch(entries, finding) >= 0;
+}
+
+std::vector<StaleSuppression> StaleInlineAllows(const std::string& path,
+                                                const LexResult& lex,
+                                                const std::vector<Finding>& suppressed) {
+  std::vector<StaleSuppression> stale;
+  for (const AllowMarker& marker : lex.allow_markers) {
+    bool used = false;
+    for (const Finding& f : suppressed) {
+      if (f.rule == marker.rule &&
+          (f.line == marker.line || f.line == marker.line + 1)) {
+        used = true;
+        break;
+      }
+    }
+    if (!used) {
+      stale.push_back({path, marker.line, marker.rule,
+                       "inline faaslint:allow(" + marker.rule +
+                           ") suppresses no finding; remove it"});
+    }
   }
-  w.EndArray();
-  w.EndObject();
-  return w.str();
+  return stale;
 }
 
 }  // namespace faascost::faaslint

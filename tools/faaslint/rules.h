@@ -18,6 +18,9 @@
 //   R5  floating-point ==/!= comparisons (against float literals or
 //       variables declared double/float/Usd/MegaBytes in the same file).
 //
+// R6-R9 are cross-file semantic rules; they live in semantic.h on top of the
+// index built by index.h.
+//
 // Suppression: a `// faaslint:allow(R3)` comment on the finding's line or the
 // line above, or an entry in tools/faaslint/allowlist.txt (rule + path +
 // mandatory justification).
@@ -28,6 +31,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "tools/faaslint/lexer.h"
 
 namespace faascost::faaslint {
 
@@ -41,12 +46,27 @@ struct Finding {
 struct LintResult {
   std::vector<Finding> findings;  // Sorted by (file, line, rule, message).
   int suppressed = 0;             // Findings silenced by inline allows.
+  // The silenced findings themselves, in report order. `--check-allowlist`
+  // compares these against the file's allow markers to find stale ones.
+  std::vector<Finding> suppressed_findings;
 };
 
 // Lints one translation unit. `display_path` is used both for path-sensitive
 // rules (R1 shim / R2 rng.* / R4 parse-path exemptions key off it) and as the
 // `file` of every finding; pass a root-relative path for stable output.
 LintResult LintSource(const std::string& display_path, std::string_view source);
+
+// Same, over an already-lexed file (the two-phase driver lexes each file
+// once and shares the result between the per-file rules and the index).
+LintResult LintLexed(const std::string& display_path, const LexResult& lex);
+
+// Static metadata for every rule, R1..R9, in id order (the JSON report
+// embeds it so findings are interpretable without this header).
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+const std::vector<RuleInfo>& RuleCatalog();
 
 // One allowlist entry: suppress `rule` findings in the file whose
 // root-relative path equals (or ends with a "/"-separated suffix of) `path`.
@@ -65,10 +85,27 @@ bool ParseAllowlist(std::string_view text, std::vector<AllowlistEntry>* entries,
 // True when `entries` suppresses `finding`.
 bool IsAllowlisted(const std::vector<AllowlistEntry>& entries, const Finding& finding);
 
-// Deterministic JSON report (via common/JsonWriter):
-// {"files_scanned":N,"suppressed":N,"findings":[{file,line,rule,message}...]}.
-std::string FindingsToJson(const std::vector<Finding>& findings, int files_scanned,
-                           int suppressed);
+// Index into `entries` of the entry suppressing `finding`, or -1. The driver
+// uses the index to track which entries ever matched (`--check-allowlist`).
+int AllowlistMatch(const std::vector<AllowlistEntry>& entries, const Finding& finding);
+
+// A suppression that no longer suppresses anything: an inline
+// `faaslint:allow` marker or an allowlist entry with zero matches.
+struct StaleSuppression {
+  std::string file;  // Marker's file, or the allowlist path for entries.
+  int line = 0;      // Marker line; 0 for allowlist entries.
+  std::string rule;
+  std::string detail;
+};
+
+// Markers in `lex` whose rule suppressed no finding in `suppressed` (the
+// union of per-file and semantic suppressed findings for that file).
+std::vector<StaleSuppression> StaleInlineAllows(const std::string& path,
+                                                const LexResult& lex,
+                                                const std::vector<Finding>& suppressed);
+
+// The deterministic JSON report moved to semantic.h (ReportToJson), which
+// also carries the rule catalog and the R9 concurrency inventory.
 
 }  // namespace faascost::faaslint
 

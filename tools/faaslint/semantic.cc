@@ -1,0 +1,511 @@
+#include "tools/faaslint/semantic.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "src/common/json_writer.h"
+
+namespace faascost::faaslint {
+
+namespace {
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool IsStreamConstantName(std::string_view name) {
+  return name.size() > 1 && name[0] == 'k' &&
+         (EndsWith(name, "Stream") || EndsWith(name, "StreamBase"));
+}
+
+// Known unit-converting helpers (src/common/units.h and friends): a call to
+// one of these tags the call expression with the converter's result unit.
+UnitTag ConverterTag(std::string_view callee) {
+  if (callee == "MillisToMicros" || callee == "SecsToMicros") {
+    return UnitTag::kMicros;
+  }
+  if (callee == "MicrosToMillis") {
+    return UnitTag::kMillis;
+  }
+  if (callee == "MicrosToSecs") {
+    return UnitTag::kSecs;
+  }
+  if (callee == "MbToGb") {
+    return UnitTag::kGb;
+  }
+  return UnitTag::kNone;
+}
+
+// Binary operators R6 inspects. Multiplication/division are deliberately
+// absent: scaling across units (`bytes / seconds`) is legitimate.
+const std::set<std::string, std::less<>> kMixOps = {
+    "+", "-", "+=", "-=", "=", "==", "!=", "<", "<=", ">", ">=",
+};
+
+class SemanticPass {
+ public:
+  SemanticPass(const Index& index, const std::vector<SemanticInput>& files,
+               const SemanticOptions& options)
+      : index_(index), files_(files), options_(options) {}
+
+  SemanticResult Run() {
+    CheckR7Registry();
+    for (const SemanticInput& in : files_) {
+      file_ = in.facts->path;
+      lex_ = in.lex;
+      CheckR6DeclMismatches(*in.facts);
+      CheckR6Expressions();
+      CheckR7DeriveSeedCalls();
+      CheckR8NullSinkDerefs();
+      CheckR9(*in.facts);
+    }
+    const auto finding_less = [](const Finding& a, const Finding& b) {
+      return std::tie(a.file, a.line, a.rule, a.message) <
+             std::tie(b.file, b.line, b.rule, b.message);
+    };
+    std::sort(result_.findings.begin(), result_.findings.end(), finding_less);
+    std::sort(result_.suppressed_findings.begin(), result_.suppressed_findings.end(),
+              finding_less);
+    std::sort(result_.inventory.begin(), result_.inventory.end(),
+              [](const ConcurrencySite& a, const ConcurrencySite& b) {
+                return std::tie(a.file, a.line, a.kind, a.name) <
+                       std::tie(b.file, b.line, b.kind, b.name);
+              });
+    return std::move(result_);
+  }
+
+ private:
+  void Report(std::string rule, int line, std::string message) {
+    Finding f{file_, line, std::move(rule), std::move(message)};
+    const auto it = lex_->allows.find(line);
+    if (it != lex_->allows.end() && it->second.count(f.rule) > 0) {
+      result_.suppressed_findings.push_back(std::move(f));
+      return;
+    }
+    result_.findings.push_back(std::move(f));
+  }
+
+  bool InConcurrencyScope(std::string_view path) const {
+    if (options_.concurrency_everywhere) {
+      return true;
+    }
+    for (const std::string& dir : options_.concurrency_dirs) {
+      if (StartsWith(path, dir)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // --- R6 ------------------------------------------------------------------
+
+  // Unit of a variable name: spelling first, cross-file index second.
+  UnitTag VarTag(std::string_view name) const {
+    const UnitTag suffix = SuffixTag(name);
+    if (suffix != UnitTag::kNone) {
+      return suffix;
+    }
+    const auto it = index_.unit_symbols.find(std::string(name));
+    return it == index_.unit_symbols.end() ? UnitTag::kNone : it->second;
+  }
+
+  // Unit of a call expression, from the callee's name.
+  UnitTag CallTag(std::string_view callee) const {
+    const UnitTag conv = ConverterTag(callee);
+    return conv != UnitTag::kNone ? conv : SuffixTag(callee);
+  }
+
+  struct Operand {
+    UnitTag tag = UnitTag::kNone;
+    std::string text;
+    // Token extent of the operand, for scaled-expression detection: an
+    // operand adjacent to `*` or `/` is one factor of a product whose overall
+    // unit the factor's tag does not describe (`cost = seconds * rate`).
+    size_t begin = 0;
+    size_t end = 0;  // One past the last token.
+  };
+
+  // Resolves the operand ending at token `i` (left side of an operator at
+  // i+1): a plain identifier, the last member of an access chain, or a call
+  // whose `)` sits at `i`.
+  Operand LeftOperand(const std::vector<Token>& tokens, size_t i) const {
+    const Token& t = tokens[i];
+    if (IsIdent(t)) {
+      // The start of the member chain ending here (`cfg.window_us`).
+      size_t begin = i;
+      while (begin >= 2 && (IsPunct(tokens[begin - 1], ".") ||
+                            IsPunct(tokens[begin - 1], "->")) &&
+             IsIdent(tokens[begin - 2])) {
+        begin -= 2;
+      }
+      return {VarTag(t.text), t.text, begin, i + 1};
+    }
+    if (IsPunct(t, ")")) {
+      int depth = 0;
+      for (size_t j = i;; --j) {
+        if (IsPunct(tokens[j], ")")) {
+          ++depth;
+        } else if (IsPunct(tokens[j], "(")) {
+          if (--depth == 0) {
+            if (j > 0 && IsIdent(tokens[j - 1])) {
+              return {CallTag(tokens[j - 1].text), tokens[j - 1].text + "()",
+                      j - 1, i + 1};
+            }
+            return {};
+          }
+        }
+        if (j == 0) {
+          break;
+        }
+      }
+    }
+    return {};
+  }
+
+  // Resolves the operand starting at token `i` (right side of an operator at
+  // i-1): follows member-access chains forward and detects calls.
+  Operand RightOperand(const std::vector<Token>& tokens, size_t i) const {
+    size_t j = i;
+    while (j + 2 < tokens.size() && IsIdent(tokens[j]) &&
+           (IsPunct(tokens[j + 1], ".") || IsPunct(tokens[j + 1], "->"))) {
+      j += 2;
+    }
+    if (j >= tokens.size() || !IsIdent(tokens[j])) {
+      return {};
+    }
+    const Token& t = tokens[j];
+    if (j + 1 < tokens.size() && IsPunct(tokens[j + 1], "(")) {
+      // Skip to the call's closing paren so `end` covers the whole call.
+      int depth = 0;
+      size_t k = j + 1;
+      for (; k < tokens.size(); ++k) {
+        if (IsPunct(tokens[k], "(")) {
+          ++depth;
+        } else if (IsPunct(tokens[k], ")") && --depth == 0) {
+          ++k;
+          break;
+        }
+      }
+      return {CallTag(t.text), t.text + "()", i, k};
+    }
+    return {VarTag(t.text), t.text, i, j + 1};
+  }
+
+  void CheckR6DeclMismatches(const FileFacts& facts) {
+    for (const UnitDecl& d : facts.typed_decls) {
+      const UnitTag suffix = SuffixTag(d.name);
+      if (suffix != UnitTag::kNone && suffix != d.type_tag) {
+        Report("R6", d.line,
+               "declaration unit mismatch: '" + d.name + "' is named [" +
+                   std::string(UnitTagName(suffix)) + "] but declared with a [" +
+                   std::string(UnitTagName(d.type_tag)) +
+                   "] type; rename it or convert the value");
+      }
+    }
+  }
+
+  void CheckR6Expressions() {
+    const std::vector<Token>& tokens = lex_->tokens;
+    for (size_t i = 1; i + 1 < tokens.size(); ++i) {
+      const Token& op = tokens[i];
+      if (op.kind != TokenKind::kPunct || kMixOps.count(op.text) == 0) {
+        continue;
+      }
+      const Operand lhs = LeftOperand(tokens, i - 1);
+      if (lhs.tag == UnitTag::kNone) {
+        continue;
+      }
+      const Operand rhs = RightOperand(tokens, i + 1);
+      if (rhs.tag == UnitTag::kNone || rhs.tag == lhs.tag) {
+        continue;
+      }
+      // Scaled expressions: when either operand is a factor of a product or
+      // quotient, its tag does not describe the full expression's unit
+      // (`usd = seconds * rate`, `ms = total_us / 1000`), so stay silent.
+      const auto scaled = [&](const Operand& op) {
+        const bool before = op.begin > 0 && (IsPunct(tokens[op.begin - 1], "*") ||
+                                             IsPunct(tokens[op.begin - 1], "/"));
+        const bool after =
+            op.end < tokens.size() && (IsPunct(tokens[op.end], "*") ||
+                                       IsPunct(tokens[op.end], "/"));
+        return before || after;
+      };
+      if (scaled(lhs) || scaled(rhs)) {
+        continue;
+      }
+      // Assignments from a condition: in `x = cond ? a : b` or
+      // `flag = a == b`, the token after the first rhs operand is a
+      // comparison or `?`, and that operand's unit says nothing about the
+      // value assigned.
+      if ((op.text == "=" || op.text == "+=" || op.text == "-=") &&
+          rhs.end < tokens.size()) {
+        const Token& after = tokens[rhs.end];
+        if (IsPunct(after, "?") || (after.kind == TokenKind::kPunct &&
+                                    kMixOps.count(after.text) > 0 &&
+                                    after.text != "=")) {
+          continue;
+        }
+      }
+      Report("R6", op.line,
+             "mixed-unit '" + op.text + "': '" + lhs.text + "' [" +
+                 std::string(UnitTagName(lhs.tag)) + "] vs '" + rhs.text + "' [" +
+                 std::string(UnitTagName(rhs.tag)) +
+                 "]; convert explicitly before combining");
+    }
+  }
+
+  // --- R7 ------------------------------------------------------------------
+
+  void CheckR7Registry() {
+    // Findings here attach to the declaring file; route suppression through
+    // that file's lex result.
+    const auto report_at = [&](const StreamConstant& c, const std::string& message) {
+      for (const SemanticInput& in : files_) {
+        if (in.facts->path == c.file) {
+          file_ = c.file;
+          lex_ = in.lex;
+          Report("R7", c.line, message);
+          return;
+        }
+      }
+    };
+    // Registered constants take precedence in first-declaration bookkeeping:
+    // a name or value clash always blames the declaration outside (or later
+    // in) the registry, never the canonical entry.
+    std::vector<const StreamConstant*> ordered;
+    ordered.reserve(index_.stream_constants.size());
+    for (const StreamConstant& c : index_.stream_constants) {
+      if (c.registered) {
+        ordered.push_back(&c);
+      }
+    }
+    for (const StreamConstant& c : index_.stream_constants) {
+      if (!c.registered) {
+        ordered.push_back(&c);
+      }
+    }
+    std::map<std::string, const StreamConstant*> by_name;
+    std::map<uint64_t, const StreamConstant*> by_value;
+    for (const StreamConstant* cp : ordered) {
+      const StreamConstant& c = *cp;
+      if (!c.registered) {
+        report_at(c, "stream constant '" + c.name +
+                         "' declared outside the canonical registry "
+                         "(src/common/stream_registry.h); register it there so "
+                         "collisions are impossible");
+      }
+      const auto [name_it, name_inserted] = by_name.emplace(c.name, &c);
+      if (!name_inserted) {
+        const StreamConstant& first = *name_it->second;
+        report_at(c, "stream constant '" + c.name + "' redeclared (first at " +
+                         first.file + ":" + std::to_string(first.line) + ")");
+        continue;
+      }
+      if (c.has_value) {
+        const auto [value_it, value_inserted] = by_value.emplace(c.value, &c);
+        if (!value_inserted) {
+          const StreamConstant& first = *value_it->second;
+          report_at(c, "stream value " + std::to_string(c.value) + " of '" +
+                           c.name + "' collides with '" + first.name + "' (" +
+                           first.file + ":" + std::to_string(first.line) +
+                           "); streams with equal numbers draw identical "
+                           "sequences");
+        }
+      }
+    }
+  }
+
+  void CheckR7DeriveSeedCalls() {
+    const std::vector<Token>& tokens = lex_->tokens;
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (!IsIdent(tokens[i]) || tokens[i].text != "DeriveSeed" ||
+          !IsPunct(tokens[i + 1], "(")) {
+        continue;
+      }
+      // First token of the second top-level argument.
+      int depth = 0;
+      size_t arg2 = 0;
+      for (size_t j = i + 1; j < tokens.size(); ++j) {
+        if (IsPunct(tokens[j], "(") || IsPunct(tokens[j], "[") ||
+            IsPunct(tokens[j], "{")) {
+          ++depth;
+        } else if (IsPunct(tokens[j], ")") || IsPunct(tokens[j], "]") ||
+                   IsPunct(tokens[j], "}")) {
+          if (--depth == 0) {
+            break;
+          }
+        } else if (depth == 1 && IsPunct(tokens[j], ",") && arg2 == 0) {
+          arg2 = j + 1;
+        }
+      }
+      if (arg2 == 0 || arg2 >= tokens.size()) {
+        continue;
+      }
+      const Token& first = tokens[arg2];
+      if (first.kind == TokenKind::kNumber) {
+        Report("R7", first.line,
+               "raw literal stream id '" + first.text +
+                   "' passed to DeriveSeed: use a constant registered in "
+                   "src/common/stream_registry.h");
+      } else if (IsIdent(first) && IsStreamConstantName(first.text) &&
+                 index_.has_registry &&
+                 index_.registered_streams.count(first.text) == 0) {
+        Report("R7", first.line,
+               "stream constant '" + first.text +
+                   "' is not registered in src/common/stream_registry.h");
+      }
+    }
+  }
+
+  // --- R8 ------------------------------------------------------------------
+
+  void CheckR8NullSinkDerefs() {
+    const std::vector<Token>& tokens = lex_->tokens;
+    ScopeTracker scope;
+    int guard_fn = 0;
+    std::set<std::string> guarded;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      scope.Observe(tokens, i);
+      const Token& t = tokens[i];
+      if (!IsIdent(t)) {
+        continue;
+      }
+      const auto contract = index_.contract_names.find(t.text);
+      if (contract == index_.contract_names.end()) {
+        continue;
+      }
+      if (scope.FunctionId() != guard_fn) {
+        guard_fn = scope.FunctionId();
+        guarded.clear();
+      }
+      const Token* prev = i > 0 ? &tokens[i - 1] : nullptr;
+      const Token* next = i + 1 < tokens.size() ? &tokens[i + 1] : nullptr;
+      const Token* next2 = i + 2 < tokens.size() ? &tokens[i + 2] : nullptr;
+      // Guard forms: `x != nullptr` / `x == nullptr`, `!x`, `(x)`, `x && `,
+      // ` && x`, `x ? `, and definite-assignment `x = &...`.
+      const bool guards =
+          (next != nullptr && (IsPunct(*next, "==") || IsPunct(*next, "!=")) &&
+           next2 != nullptr && IsIdent(*next2) && next2->text == "nullptr") ||
+          (prev != nullptr && IsPunct(*prev, "!")) ||
+          (prev != nullptr && IsPunct(*prev, "(") && next != nullptr &&
+           IsPunct(*next, ")")) ||
+          (next != nullptr && IsPunct(*next, "&&")) ||
+          (prev != nullptr && IsPunct(*prev, "&&")) ||
+          (next != nullptr && IsPunct(*next, "?")) ||
+          (next != nullptr && IsPunct(*next, "=") && next2 != nullptr &&
+           IsPunct(*next2, "&"));
+      if (guards) {
+        guarded.insert(t.text);
+        continue;
+      }
+      if (next != nullptr && IsPunct(*next, "->") && guarded.count(t.text) == 0) {
+        Report("R8", t.line,
+               "null-sink contract pointer '" + t.text + "' (" +
+                   contract->second +
+                   "*) dereferenced without a null guard in this function; "
+                   "detached sinks are nullptr by contract");
+      }
+    }
+  }
+
+  // --- R9 ------------------------------------------------------------------
+
+  void CheckR9(const FileFacts& facts) {
+    if (!InConcurrencyScope(facts.path)) {
+      return;
+    }
+    for (const ConcurrencySite& site : facts.mutable_state) {
+      result_.inventory.push_back(site);
+      Report("R9", site.line,
+             site.kind == "static_local"
+                 ? "mutable function-local static '" + site.name +
+                       "': per-process state breaks deterministic sharding; "
+                       "move it into the engine's state object"
+                 : "mutable namespace-scope variable '" + site.name +
+                       "': shared across shards; move it into the engine's "
+                       "state object or make it constexpr");
+    }
+    for (const ConcurrencySite& site : facts.hot_unordered) {
+      result_.inventory.push_back(site);
+    }
+    for (const ContractPointer& p : facts.contract_pointers) {
+      result_.inventory.push_back(
+          {p.file, p.line, "contract_pointer", p.name,
+           p.type + "* shared sink: shards must not emit into it concurrently"});
+    }
+  }
+
+  const Index& index_;
+  const std::vector<SemanticInput>& files_;
+  const SemanticOptions& options_;
+  std::string file_;
+  const LexResult* lex_ = nullptr;
+  SemanticResult result_;
+};
+
+}  // namespace
+
+SemanticResult RunSemanticRules(const Index& index,
+                                const std::vector<SemanticInput>& files,
+                                const SemanticOptions& options) {
+  return SemanticPass(index, files, options).Run();
+}
+
+std::string ReportToJson(const Report& report) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("schema_version", static_cast<int64_t>(2));
+  w.KV("tool", "faaslint");
+  w.KV("files_scanned", report.files_scanned);
+  w.KV("suppressed", report.suppressed);
+  w.KV("finding_count", static_cast<int64_t>(report.findings.size()));
+  w.Key("rules");
+  w.BeginArray();
+  for (const RuleInfo& r : RuleCatalog()) {
+    w.BeginObject();
+    w.KV("id", std::string(r.id));
+    w.KV("summary", std::string(r.summary));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("findings");
+  w.BeginArray();
+  for (const Finding& f : report.findings) {
+    w.BeginObject();
+    w.KV("file", f.file);
+    w.KV("line", f.line);
+    w.KV("rule", f.rule);
+    w.KV("message", f.message);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("concurrency_inventory");
+  w.BeginArray();
+  for (const ConcurrencySite& s : report.inventory) {
+    w.BeginObject();
+    w.KV("file", s.file);
+    w.KV("line", s.line);
+    w.KV("kind", s.kind);
+    w.KV("name", s.name);
+    w.KV("detail", s.detail);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace faascost::faaslint
